@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: the paper's co-design direction (Sec. IV-G, insights iii
+ * and v) — what a PL-side BN-adaptation accelerator on the Ultra96
+ * would buy. We compare the plain PS against the hypothetical
+ * PS+PL device for every model/batch/algorithm case, reporting the
+ * adaptation-overhead reduction, and sweep the accelerator's BN
+ * statistics bandwidth to show where the bottleneck moves.
+ */
+
+#include <cstdio>
+
+#include "adapt/method.hh"
+#include "base/logging.hh"
+#include "analysis/objective.hh"
+#include "bench_util.hh"
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+using adapt::Algorithm;
+
+int
+main()
+{
+    setVerbose(false);
+    Rng rng(16);
+    device::DeviceSpec ps = device::ultra96();
+    device::DeviceSpec pl = device::ultra96PlAccelerator();
+
+    section("Adaptation overhead: Ultra96 PS vs PS + PL BN "
+            "accelerator (what-if)");
+    TextTable t;
+    t.header({"config", "alg", "PS total", "PS+PL total",
+              "overhead PS", "overhead PS+PL", "cut"});
+    for (const std::string &mn : models::robustModelNames(false)) {
+        models::Model m = models::buildModel(mn, rng);
+        for (int64_t b : paperBatchSizes()) {
+            auto basePs =
+                device::estimateRun(ps, m, Algorithm::NoAdapt, b);
+            auto basePl =
+                device::estimateRun(pl, m, Algorithm::NoAdapt, b);
+            for (Algorithm a :
+                 {Algorithm::BnNorm, Algorithm::BnOpt}) {
+                auto ePs = device::estimateRun(ps, m, a, b);
+                auto ePl = device::estimateRun(pl, m, a, b);
+                if (ePs.oom || ePl.oom) {
+                    t.row({analysis::pointLabel(mn, b),
+                           adapt::algorithmName(a),
+                           ePs.oom ? "OOM" : humanTime(ePs.seconds),
+                           ePl.oom ? "OOM" : humanTime(ePl.seconds),
+                           "-", "-", "-"});
+                    continue;
+                }
+                double ovPs = ePs.seconds - basePs.seconds;
+                double ovPl = ePl.seconds - basePl.seconds;
+                t.row({analysis::pointLabel(mn, b), adapt::algorithmName(a),
+                       humanTime(ePs.seconds), humanTime(ePl.seconds),
+                       humanTime(ovPs), humanTime(ovPl),
+                       fixed(100.0 * (1.0 - ovPl / ovPs), 1) + "%"});
+            }
+        }
+    }
+    emit(t);
+
+    section("Sensitivity: BN-stat bandwidth sweep (WRN-AM-50, "
+            "BN-Norm)");
+    TextTable s;
+    s.header({"bnTrain GB/s", "forward total", "adaptation overhead"});
+    models::Model wrn = models::buildModel("wrn40_2", rng);
+    for (double gbps : {1.6, 3.2, 6.4, 12.8, 25.6}) {
+        device::DeviceSpec d = device::ultra96();
+        d.proc.bnTrainGBps = gbps;
+        d.proc.bnTrainLayerOverheadSec /= (gbps / 1.6);
+        auto base = device::estimateRun(d, wrn, Algorithm::NoAdapt, 50);
+        auto norm = device::estimateRun(d, wrn, Algorithm::BnNorm, 50);
+        s.row({fixed(gbps, 1), humanTime(norm.seconds),
+               humanTime(norm.seconds - base.seconds)});
+    }
+    emit(s);
+    std::printf("\nTakeaway: offloading BN statistics + backward to "
+                "the PL removes most of the\nadaptation overhead; "
+                "beyond ~13 GB/s the residual cost is dispatch "
+                "overhead,\nmatching insight (iii): adaptation needs "
+                "accelerator support, not just fast cores.\n");
+    return 0;
+}

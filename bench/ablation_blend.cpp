@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: source-prior blending for BN statistics (Schneider et
+ * al., the paper's ref [14]) across adaptation batch sizes. The
+ * paper's memory analysis pushes deployments toward small batches;
+ * pure batch statistics get noisy there. Blending with the training
+ * statistics at prior strength N restores small-batch adaptation —
+ * this bench sweeps (batch, N) and reports corrupted-stream error.
+ *
+ * Flags: --samples N (default 300), --train-steps N (default 300).
+ */
+
+#include <cstdio>
+
+#include "adapt/bn_norm_blend.hh"
+#include "adapt/session.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "models/registry.hh"
+#include "train/trainer.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+
+namespace {
+
+double
+blendError(models::Model &m, float prior, int64_t batch,
+           const data::SynthCifar &ds, int64_t samples)
+{
+    nn::ModelState pristine = nn::ModelState::capture(m.net());
+    const std::vector<data::Corruption> suite{
+        data::Corruption::GaussianNoise, data::Corruption::Contrast,
+        data::Corruption::Fog, data::Corruption::ImpulseNoise};
+    int64_t correct = 0, total = 0;
+    for (data::Corruption c : suite) {
+        pristine.restore(m.net());
+        auto method = adapt::makeBlendedBnNorm(m, prior);
+        data::StreamConfig sc;
+        sc.corruption = c;
+        sc.batchSize = batch;
+        sc.totalSamples = samples;
+        Rng srng(31000 + (uint64_t)c * 17);
+        data::CorruptionStream stream(ds, sc, srng);
+        auto r = adapt::runStream(*method, stream);
+        correct += r.correct;
+        total += r.samples;
+    }
+    pristine.restore(m.net());
+    return 100.0 * (1.0 - (double)correct / (double)total);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    int64_t samples = argInt(argc, argv, "--samples", 300);
+    int64_t steps = argInt(argc, argv, "--train-steps", 300);
+
+    data::SynthCifar ds(16);
+    Rng rng(30);
+    models::Model m = models::buildModel("wrn40_2-tiny", rng);
+    train::TrainConfig tc;
+    tc.steps = (int)steps;
+    tc.useAugmix = true;
+    tc.seed = 31;
+    train::trainModel(m, ds, tc);
+
+    section("Blended BN-Norm: corrupted-stream error (%) vs batch "
+            "size and source-prior strength N");
+    TextTable t;
+    t.header({"batch", "N=0 (pure batch)", "N=4", "N=16", "N=64",
+              "N=1e6 (~No-Adapt)"});
+    for (int64_t batch : {2LL, 4LL, 8LL, 16LL, 50LL}) {
+        std::vector<std::string> row{std::to_string(batch)};
+        for (float prior : {0.0f, 4.0f, 16.0f, 64.0f, 1e6f}) {
+            row.push_back(
+                fixed(blendError(m, prior, batch, ds, samples), 2));
+        }
+        t.row(std::move(row));
+    }
+    emit(t);
+
+    std::printf("\nTakeaway: at streaming-friendly batch sizes (the "
+                "regime the paper's memory analysis\npushes toward), "
+                "pure batch statistics degrade; a small source prior "
+                "recovers most of\nthe adaptation benefit, while a "
+                "huge prior collapses back to No-Adapt.\n");
+    return 0;
+}

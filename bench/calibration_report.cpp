@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Device-model calibration report: predicted time/energy/memory for
+ * the paper's anchor configurations, side by side with the published
+ * measurements. This is the evidence that the analytical cost model
+ * reproduces the paper's hardware findings; the same comparisons are
+ * asserted (with tolerances) in tests/device/test_calibration.cpp and
+ * recorded in EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+
+#include "adapt/method.hh"
+#include "bench_util.hh"
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+using adapt::Algorithm;
+
+namespace {
+
+struct Anchor
+{
+    const char *device;
+    const char *model;
+    int64_t batch;
+    Algorithm algo;
+    double paperSeconds; ///< <0 = not published
+    double paperJoules;  ///< <0 = not published
+    bool paperOom;
+};
+
+const Anchor kAnchors[] = {
+    // Ultra96 WRN-AM-50 (Fig. 5).
+    {"ultra96", "wrn40_2", 50, Algorithm::NoAdapt, 3.58, 4.47, false},
+    {"ultra96", "wrn40_2", 50, Algorithm::BnNorm, 3.95, 4.93, false},
+    {"ultra96", "wrn40_2", 50, Algorithm::BnOpt, 13.35, 14.35, false},
+    // Ultra96 OOM cases (Sec. IV-B).
+    {"ultra96", "resnext29", 50, Algorithm::BnOpt, -1, -1, false},
+    {"ultra96", "resnext29", 100, Algorithm::BnOpt, -1, -1, true},
+    {"ultra96", "resnext29", 200, Algorithm::BnOpt, -1, -1, true},
+    // RPi WRN-AM-50 (Fig. 8).
+    {"rpi4", "wrn40_2", 50, Algorithm::NoAdapt, 2.04, 5.04, false},
+    {"rpi4", "wrn40_2", 50, Algorithm::BnNorm, 2.59, 5.95, false},
+    {"rpi4", "wrn40_2", 50, Algorithm::BnOpt, 7.97, 19.12, false},
+    // NX GPU WRN-AM-50 (Fig. 11).
+    {"nx-gpu", "wrn40_2", 50, Algorithm::NoAdapt, 0.10, 1.02, false},
+    {"nx-gpu", "wrn40_2", 50, Algorithm::BnNorm, 0.315, 2.96, false},
+    {"nx-gpu", "wrn40_2", 50, Algorithm::BnOpt, 0.82, 7.96, false},
+    // NX GPU OOM case (Sec. IV-D).
+    {"nx-gpu", "resnext29", 100, Algorithm::BnOpt, -1, -1, false},
+    {"nx-gpu", "resnext29", 200, Algorithm::BnOpt, -1, -1, true},
+    // NX CPU: A1 = RXT-AM-200 + BN-Opt (Sec. IV-E).
+    {"nx-cpu", "resnext29", 200, Algorithm::BnOpt, 69.58, -1, false},
+    // RPi: A2 = RXT-AM-200 + BN-Opt, 337.43 J.
+    {"rpi4", "resnext29", 200, Algorithm::BnOpt, -1, 337.43, false},
+    // MobileNet on NX GPU (Table I).
+    {"nx-gpu", "mobilenetv2", 50, Algorithm::NoAdapt, 0.07, -1, false},
+    {"nx-gpu", "mobilenetv2", 100, Algorithm::NoAdapt, 0.13, -1, false},
+    {"nx-gpu", "mobilenetv2", 200, Algorithm::NoAdapt, 0.25, -1, false},
+    {"nx-gpu", "mobilenetv2", 50, Algorithm::BnNorm, 0.58, -1, false},
+    {"nx-gpu", "mobilenetv2", 100, Algorithm::BnNorm, 1.18, -1, false},
+    {"nx-gpu", "mobilenetv2", 200, Algorithm::BnNorm, 2.95, -1, false},
+    {"nx-gpu", "mobilenetv2", 50, Algorithm::BnOpt, 1.63, -1, false},
+    {"nx-gpu", "mobilenetv2", 100, Algorithm::BnOpt, 3.70, -1, false},
+    {"nx-gpu", "mobilenetv2", 200, Algorithm::BnOpt, 8.28, -1, false},
+};
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    Rng rng(2022);
+
+    section("Device-model calibration vs paper anchors");
+    TextTable t;
+    t.header({"device", "config", "alg", "paper t", "model t",
+              "ratio", "paper J", "model J", "paper mem",
+              "model mem"});
+
+    // Cache built models.
+    std::vector<std::pair<std::string, models::Model>> cache;
+    auto getModel = [&](const std::string &name) -> models::Model & {
+        for (auto &kv : cache) {
+            if (kv.first == name)
+                return kv.second;
+        }
+        cache.emplace_back(name, models::buildModel(name, rng));
+        return cache.back().second;
+    };
+
+    for (const Anchor &a : kAnchors) {
+        device::DeviceSpec dev = device::deviceByName(a.device);
+        models::Model &m = getModel(a.model);
+        device::RunEstimate est =
+            device::estimateRun(dev, m, a.algo, a.batch);
+
+        std::string ratio = "-";
+        if (a.paperSeconds > 0 && !est.oom) {
+            ratio = fixed(est.seconds / a.paperSeconds, 2);
+        }
+        t.row({a.device,
+               std::string(a.model) + "-" + std::to_string(a.batch),
+               adapt::algorithmName(a.algo),
+               a.paperSeconds > 0 ? humanTime(a.paperSeconds) : "-",
+               est.oom ? "OOM" : humanTime(est.seconds), ratio,
+               a.paperJoules > 0 ? fixed(a.paperJoules, 2) + " J" : "-",
+               est.oom ? "-" : fixed(est.energyJ, 2) + " J",
+               a.paperOom ? "OOM" : "fits",
+               est.oom ? "OOM (" + humanBytes(est.memory.total()) + ")"
+                       : "fits (" + humanBytes(est.memory.total()) +
+                             ")"});
+    }
+    emit(t);
+
+    // Memory profile anchors: RXT dynamic graph 3.12 GB @ 100,
+    // 5.1 GB @ 200 (Sec. IV-B).
+    section("Retained-graph memory vs paper profiler");
+    TextTable g;
+    g.header({"config", "paper graph", "model graph"});
+    models::Model &rxt = getModel("resnext29");
+    for (auto [batch, paperGb] :
+         {std::pair<int64_t, double>{100, 3.12}, {200, 5.1}}) {
+        device::RunEstimate est = device::estimateRun(
+            device::raspberryPi4(), rxt, Algorithm::BnOpt, batch);
+        g.row({"resnext29-" + std::to_string(batch),
+               fixed(paperGb, 2) + " GB",
+               humanBytes(est.memory.graphBytes)});
+    }
+    emit(g);
+
+    // Derived aggregates the paper quotes.
+    section("Derived aggregates");
+    {
+        TextTable d;
+        d.header({"quantity", "paper", "model"});
+
+        // Avg extra adaptation time across the 9 cases (Ultra96/RPi).
+        for (const char *devName : {"ultra96", "rpi4"}) {
+            device::DeviceSpec dev = device::deviceByName(devName);
+            double extraNorm = 0.0, extraOpt = 0.0;
+            int nNorm = 0, nOpt = 0;
+            for (const char *mn :
+                 {"resnext29", "wrn40_2", "resnet18"}) {
+                models::Model &m = getModel(mn);
+                for (int64_t b : paperBatchSizes()) {
+                    auto base = device::estimateRun(
+                        dev, m, Algorithm::NoAdapt, b);
+                    auto norm = device::estimateRun(
+                        dev, m, Algorithm::BnNorm, b);
+                    auto opt = device::estimateRun(
+                        dev, m, Algorithm::BnOpt, b);
+                    if (!norm.oom) {
+                        extraNorm += norm.seconds - base.seconds;
+                        ++nNorm;
+                    }
+                    if (!opt.oom) {
+                        extraOpt += opt.seconds - base.seconds;
+                        ++nOpt;
+                    }
+                }
+            }
+            std::string paperNorm =
+                std::string(devName) == "ultra96" ? "1.40 s" : "0.86 s";
+            std::string paperOpt =
+                std::string(devName) == "ultra96" ? "30.27 s"
+                                                  : "24.9 s";
+            d.row({std::string(devName) + " avg extra BN-Norm",
+                   paperNorm, humanTime(extraNorm / nNorm)});
+            d.row({std::string(devName) + " avg extra BN-Opt",
+                   paperOpt, humanTime(extraOpt / nOpt)});
+        }
+
+        // GPU vs CPU speedups on NX (Sec. IV-D).
+        {
+            device::DeviceSpec cpu = device::xavierNxCpu();
+            device::DeviceSpec gpu = device::xavierNxGpu();
+            for (auto [algo, paperPct] :
+                 {std::pair<Algorithm, double>{Algorithm::NoAdapt,
+                                               90.5},
+                  {Algorithm::BnNorm, 68.13},
+                  {Algorithm::BnOpt, 79.21}}) {
+                double acc = 0.0;
+                int n = 0;
+                for (const char *mn :
+                     {"resnext29", "wrn40_2", "resnet18"}) {
+                    models::Model &m = getModel(mn);
+                    for (int64_t b : paperBatchSizes()) {
+                        auto c = device::estimateRun(cpu, m, algo, b);
+                        auto g2 = device::estimateRun(gpu, m, algo, b);
+                        if (c.oom || g2.oom)
+                            continue;
+                        acc += 100.0 *
+                               (1.0 - g2.seconds / c.seconds);
+                        ++n;
+                    }
+                }
+                d.row({std::string("NX GPU time reduction, ") +
+                           adapt::algorithmName(algo),
+                       fixed(paperPct, 1) + "%",
+                       fixed(acc / n, 1) + "%"});
+            }
+        }
+
+        // WRN-50 BN-Norm adaptation overhead on NX GPU: 213 ms, 1.9 J.
+        {
+            device::DeviceSpec gpu = device::xavierNxGpu();
+            models::Model &m = getModel("wrn40_2");
+            auto base =
+                device::estimateRun(gpu, m, Algorithm::NoAdapt, 50);
+            auto norm =
+                device::estimateRun(gpu, m, Algorithm::BnNorm, 50);
+            d.row({"NX GPU WRN-50 BN-Norm overhead", "213 ms / 1.9 J",
+                   humanTime(norm.seconds - base.seconds) + " / " +
+                       fixed(norm.energyJ - base.energyJ, 2) + " J"});
+        }
+        emit(d);
+    }
+    return 0;
+}

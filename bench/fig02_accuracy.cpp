@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Fig. 2 reproduction (measured): average prediction error over the
+ * 15-corruption suite for No-Adapt / BN-Norm / BN-Opt at batch sizes
+ * 50/100/200.
+ *
+ * This is the *measured* experiment: width/depth-scaled variants of
+ * the three robust architectures are trained in-harness on the
+ * synthetic CIFAR analogue (AugMix for all, plus PGD adversarial
+ * training for the R18 family, matching the paper's AM / AM-AT
+ * recipes), then adapted online on corrupted streams exactly as the
+ * paper does. Absolute errors differ from CIFAR-10-C (different data,
+ * scaled models); the *shape* — algorithm ordering, batch-size
+ * trends, aggregate deltas — is the reproduction target. See
+ * EXPERIMENTS.md for the comparison against the paper's anchors.
+ *
+ * Flags:
+ *   --samples N      stream length per corruption (default 800)
+ *   --train-steps N  offline training steps (default 300)
+ *   --paper-scale    10000-sample streams (the paper's protocol)
+ *   --mobilenet      also run the Sec. IV-F MobileNet comparison
+ *   --seed N         experiment seed
+ */
+
+#include <cstdio>
+
+#include "adapt/session.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "models/registry.hh"
+#include "train/trainer.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+using adapt::Algorithm;
+
+namespace {
+
+struct ModelRun
+{
+    std::string name;
+    std::string display;
+    // error[algorithm][batch index]
+    double errorPct[3][3] = {};
+};
+
+models::Model
+trainTinyModel(const std::string &name, const data::SynthCifar &ds,
+               int steps, uint64_t seed, bool adversarial)
+{
+    Rng rng(seed);
+    models::Model m = models::buildModel(name, rng);
+    train::TrainConfig cfg;
+    cfg.steps = steps;
+    cfg.batchSize = 32;
+    cfg.useAugmix = true;
+    cfg.useAdversarial = adversarial;
+    cfg.seed = seed + 1;
+    train::TrainReport rep = train::trainModel(m, ds, cfg);
+    std::printf("  trained %-16s  clean eval acc %.1f%%%s\n",
+                name.c_str(), 100.0 * rep.cleanEvalAccuracy,
+                adversarial ? "  (AugMix + PGD)" : "  (AugMix)");
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    int64_t samples = argInt(argc, argv, "--samples", 800);
+    int64_t steps = argInt(argc, argv, "--train-steps", 300);
+    uint64_t seed = (uint64_t)argInt(argc, argv, "--seed", 20221);
+    if (argFlag(argc, argv, "--paper-scale")) {
+        samples = 10000;
+        steps = 1500;
+    }
+    const bool withMobilenet = argFlag(argc, argv, "--mobilenet");
+
+    const int64_t batches[3] = {50, 100, 200};
+    data::SynthCifar ds(16);
+
+    section("Offline robust training (scaled models, synthetic data)");
+    std::vector<ModelRun> runs;
+    std::vector<models::Model> nets;
+    for (const std::string &name : models::robustModelNames(true)) {
+        ModelRun r;
+        r.name = name;
+        r.display = models::displayName(name);
+        bool adversarial = name.find("resnet18") == 0; // AM+AT recipe
+        nets.push_back(
+            trainTinyModel(name, ds, (int)steps, seed, adversarial));
+        runs.push_back(r);
+    }
+
+    section("Online adaptation over " + std::to_string(samples) +
+            " samples x 15 corruptions (severity 5)");
+    for (size_t mi = 0; mi < runs.size(); ++mi) {
+        for (int ai = 0; ai < 3; ++ai) {
+            Algorithm algo = adapt::allAlgorithms()[(size_t)ai];
+            for (int bi = 0; bi < 3; ++bi) {
+                adapt::EvalConfig cfg;
+                cfg.batchSize = batches[bi];
+                cfg.samplesPerCorruption = samples;
+                cfg.seed = seed + 77;
+                adapt::EvalResult res =
+                    adapt::evaluate(nets[mi], algo, ds, cfg);
+                runs[mi].errorPct[ai][bi] = res.meanErrorPct;
+            }
+        }
+        std::printf("  evaluated %s\n", runs[mi].name.c_str());
+    }
+
+    section("Fig. 2: average prediction error (%) over the corruption "
+            "suite");
+    TextTable t;
+    t.header({"model", "batch", "No-Adapt", "BN-Norm", "BN-Opt"});
+    for (const auto &r : runs) {
+        for (int bi = 0; bi < 3; ++bi) {
+            t.row({r.display, std::to_string(batches[bi]),
+                   fixed(r.errorPct[0][bi], 2),
+                   fixed(r.errorPct[1][bi], 2),
+                   fixed(r.errorPct[2][bi], 2)});
+        }
+        t.rule();
+    }
+    emit(t);
+
+    // Aggregate deltas, the paper's headline Fig. 2 numbers.
+    double avg[3] = {};
+    for (const auto &r : runs) {
+        for (int ai = 0; ai < 3; ++ai) {
+            for (int bi = 0; bi < 3; ++bi)
+                avg[ai] += r.errorPct[ai][bi] / 9.0;
+        }
+    }
+    section("Aggregates (paper: BN-Norm -4.02%, BN-Opt -6.67% vs "
+            "No-Adapt; BN-Opt -2.65% vs BN-Norm)");
+    std::printf("No-Adapt mean error : %.2f%%\n", avg[0]);
+    std::printf("BN-Norm  mean error : %.2f%%  (delta %.2f%%)\n",
+                avg[1], avg[0] - avg[1]);
+    std::printf("BN-Opt   mean error : %.2f%%  (delta %.2f%%, vs "
+                "BN-Norm %.2f%%)\n",
+                avg[2], avg[0] - avg[2], avg[1] - avg[2]);
+
+    if (withMobilenet) {
+        section("Sec. IV-F analogue: non-robust MobileNet");
+        data::SynthCifar ds2(16);
+        Rng mrng(seed + 5);
+        models::Model mb = models::buildModel("mobilenetv2-tiny", mrng);
+        train::TrainConfig cfg;
+        cfg.steps = (int)steps;
+        cfg.batchSize = 32;
+        cfg.useAugmix = false; // the paper's MobileNet is non-robust
+        cfg.seed = seed + 6;
+        train::trainModel(mb, ds2, cfg);
+
+        adapt::EvalConfig ec;
+        ec.batchSize = 200;
+        ec.samplesPerCorruption = samples;
+        ec.seed = seed + 7;
+        double noAdapt =
+            adapt::evaluate(mb, Algorithm::NoAdapt, ds2, ec)
+                .meanErrorPct;
+        double bnOpt =
+            adapt::evaluate(mb, Algorithm::BnOpt, ds2, ec)
+                .meanErrorPct;
+        std::printf("MobileNet (non-robust) No-Adapt : %.2f%%\n",
+                    noAdapt);
+        std::printf("MobileNet (non-robust) BN-Opt-200: %.2f%%\n",
+                    bnOpt);
+        std::printf("(paper: 81.2%% -> 28.1%%; adaptation helps but "
+                    "cannot replace robust training)\n");
+    }
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fig. 3 reproduction: average forward time per batch (inference +
+ * any adaptation) on the Ultra96-v2 PS for the 9 model x batch cases
+ * under No-Adapt / BN-Norm / BN-Opt, including the RXT BN-Opt OOM
+ * cases at batch 100/200.
+ */
+
+#include "base/logging.hh"
+#include "figures_common.hh"
+
+int
+main()
+{
+    edgeadapt::setVerbose(false);
+    edgeadapt::bench::printForwardTimes({edgeadapt::device::ultra96()});
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig. 4 reproduction: forward/backward per-op-class time on the
+ * Ultra96-v2 PS at batch 50 for Wide-ResNet and ResNet-18 (the paper
+ * omits ResNeXt because the profiler itself runs out of memory there;
+ * we keep the same scope).
+ */
+
+#include "base/logging.hh"
+#include "figures_common.hh"
+
+int
+main()
+{
+    edgeadapt::setVerbose(false);
+    edgeadapt::bench::printBreakdown({edgeadapt::device::ultra96()},
+                                     {"wrn40_2", "resnet18"}, 50);
+    return 0;
+}

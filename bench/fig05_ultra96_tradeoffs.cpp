@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig. 5 reproduction: time/energy/error trade-offs on the Ultra96-v2
+ * PS and the optimal configurations under the paper's four weight
+ * scenarios (Sec. IV-B expects WRN-AM-50 + BN-Norm for balanced,
+ * WRN-AM-50 + BN-Opt for accuracy-first, WRN-AM-50 + No-Adapt when
+ * performance or energy dominate).
+ */
+
+#include "base/logging.hh"
+#include "figures_common.hh"
+
+int
+main()
+{
+    edgeadapt::setVerbose(false);
+    edgeadapt::bench::printTradeoffs(edgeadapt::device::ultra96());
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fig. 6 reproduction: Raspberry Pi 4 forward times (inference + any
+ * adaptation) for all 9 cases x 3 algorithms — everything fits in the
+ * RPi's 8 GB, as the paper observes.
+ */
+
+#include "base/logging.hh"
+#include "figures_common.hh"
+
+int
+main()
+{
+    edgeadapt::setVerbose(false);
+    edgeadapt::bench::printForwardTimes(
+        {edgeadapt::device::raspberryPi4()});
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fig. 7 reproduction: forward/backward per-op-class time on the
+ * Raspberry Pi 4 at batch 50 for all three robust models.
+ */
+
+#include "base/logging.hh"
+#include "figures_common.hh"
+
+int
+main()
+{
+    edgeadapt::setVerbose(false);
+    edgeadapt::bench::printBreakdown(
+        {edgeadapt::device::raspberryPi4()},
+        {"resnext29", "wrn40_2", "resnet18"}, 50);
+    return 0;
+}

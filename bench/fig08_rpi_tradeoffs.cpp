@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig. 8 reproduction: Raspberry Pi 4 trade-offs and weighted optima
+ * (Sec. IV-C expects WRN-AM-50 + BN-Norm for balanced *and*
+ * performance-first — the paper's "interestingly" case — BN-Opt for
+ * accuracy-first, and No-Adapt for energy-first).
+ */
+
+#include "base/logging.hh"
+#include "figures_common.hh"
+
+int
+main()
+{
+    edgeadapt::setVerbose(false);
+    edgeadapt::bench::printTradeoffs(
+        edgeadapt::device::raspberryPi4());
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 9 reproduction: Xavier NX forward times on the Carmel CPU
+ * cluster and the Volta GPU for all 9 cases x 3 algorithms, including
+ * the RXT-AM-200 BN-Opt OOM on the GPU (cuDNN library footprint) and
+ * the average GPU speedups the paper reports.
+ */
+
+#include <cstdio>
+
+#include "adapt/method.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "device/cost_model.hh"
+#include "figures_common.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    printForwardTimes({device::xavierNxCpu(), device::xavierNxGpu()});
+
+    // The paper's headline GPU-vs-CPU reductions (Sec. IV-D).
+    section("Average GPU time reduction vs CPU (paper: 90.5% / "
+            "68.13% / 79.21%)");
+    Rng rng(3);
+    TextTable t;
+    t.header({"algorithm", "avg time reduction", "max speedup"});
+    for (adapt::Algorithm a : adapt::allAlgorithms()) {
+        double acc = 0.0, maxSp = 0.0;
+        int n = 0;
+        for (const std::string &mn : models::robustModelNames(false)) {
+            models::Model m = models::buildModel(mn, rng);
+            for (int64_t b : paperBatchSizes()) {
+                auto c =
+                    device::estimateRun(device::xavierNxCpu(), m, a, b);
+                auto g =
+                    device::estimateRun(device::xavierNxGpu(), m, a, b);
+                if (c.oom || g.oom)
+                    continue;
+                acc += 100.0 * (1.0 - g.seconds / c.seconds);
+                maxSp = std::max(maxSp, c.seconds / g.seconds);
+                ++n;
+            }
+        }
+        t.row({adapt::algorithmName(a), fixed(acc / n, 1) + "%",
+               fixed(maxSp, 2) + "x"});
+    }
+    emit(t);
+    return 0;
+}

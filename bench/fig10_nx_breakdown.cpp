@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Fig. 10 reproduction: Xavier NX per-op-class forward/backward time
+ * for all three robust models at batch 50, CPU vs GPU. Note the
+ * paper's observation that BN forward can be *worse* on the GPU than
+ * the CPU (reduction kernels at small batch) while convolution is far
+ * faster — the calibrated model reflects that regime.
+ */
+
+#include "base/logging.hh"
+#include "figures_common.hh"
+
+int
+main()
+{
+    edgeadapt::setVerbose(false);
+    edgeadapt::bench::printBreakdown(
+        {edgeadapt::device::xavierNxCpu(),
+         edgeadapt::device::xavierNxGpu()},
+        {"resnext29", "wrn40_2", "resnet18"}, 50);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fig. 11 reproduction: Xavier NX (GPU) trade-offs and weighted
+ * optima (Sec. IV-D expects WRN-AM-50 + BN-Norm balanced at ~0.31 s /
+ * 2.96 J / 15.21 %, BN-Opt under accuracy-first at < 1 s, No-Adapt
+ * when performance or energy dominate). The CPU sweep is printed too
+ * for the energy-efficiency comparison.
+ */
+
+#include "base/logging.hh"
+#include "figures_common.hh"
+
+int
+main()
+{
+    edgeadapt::setVerbose(false);
+    edgeadapt::bench::printTradeoffs(edgeadapt::device::xavierNxGpu());
+    edgeadapt::bench::printTradeoffs(edgeadapt::device::xavierNxCpu());
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fig. 12 reproduction: the overall view — every design point from
+ * Figs. 5/8/11 pooled across devices, the global Pareto front, and
+ * the paper's three highlighted selections:
+ *
+ *   A1: accuracy-only priority, lowest runtime   (RXT-AM-200 +
+ *       BN-Opt on the NX CPU — the GPU OOMs at batch 200);
+ *   A2: accuracy-only priority, lowest energy    (RXT-AM-200 +
+ *       BN-Opt on the RPi);
+ *   A3: all three costs equal (WRN-AM-50 + BN-Norm on the NX GPU),
+ *       ~220x faster and ~114x more energy-efficient than A1/A2.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "adapt/method.hh"
+#include "analysis/objective.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "device/spec.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+using analysis::DesignPoint;
+
+int
+main()
+{
+    setVerbose(false);
+    Rng rng(12);
+
+    std::vector<DesignPoint> all;
+    for (const auto &dev : device::paperDevices()) {
+        auto pts = analysis::sweepDevice(dev, rng);
+        all.insert(all.end(), pts.begin(), pts.end());
+    }
+
+    section("All design points (4 devices x 9 cases x 3 algorithms)");
+    TextTable t;
+    t.header({"device", "config", "alg", "time", "energy", "error"});
+    for (const auto &p : all) {
+        t.row({p.device, p.display, adapt::algorithmName(p.algo),
+               p.oom ? "OOM" : humanTime(p.seconds),
+               p.oom ? "-" : fixed(p.energyJ, 2) + " J",
+               fixed(p.errorPct, 2) + "%"});
+    }
+    emit(t);
+
+    // Global Pareto front over (time, energy, error).
+    section("Global Pareto front");
+    TextTable pf;
+    pf.header({"device", "config", "alg", "time", "energy", "error"});
+    for (size_t i : analysis::paretoFront(all)) {
+        const auto &p = all[i];
+        pf.row({p.device, p.display, adapt::algorithmName(p.algo),
+                humanTime(p.seconds), fixed(p.energyJ, 2) + " J",
+                fixed(p.errorPct, 2) + "%"});
+    }
+    emit(pf);
+
+    // A1/A2: among points achieving the global best error, the
+    // fastest and the most energy-efficient.
+    double bestErr = 1e9;
+    for (const auto &p : all) {
+        if (!p.oom)
+            bestErr = std::min(bestErr, p.errorPct);
+    }
+    const DesignPoint *a1 = nullptr, *a2 = nullptr;
+    for (const auto &p : all) {
+        if (p.oom || p.errorPct > bestErr + 1e-9)
+            continue;
+        if (!a1 || p.seconds < a1->seconds)
+            a1 = &p;
+        if (!a2 || p.energyJ < a2->energyJ)
+            a2 = &p;
+    }
+    // A3: balanced weighted optimum over the pooled set.
+    const DesignPoint &a3 =
+        all[analysis::selectOptimal(all, analysis::paperScenarios()[0])];
+
+    section("Highlighted selections");
+    TextTable h;
+    h.header({"point", "device", "config", "alg", "time", "energy",
+              "error"});
+    auto rowOf = [&](const char *tag, const DesignPoint &p) {
+        h.row({tag, p.device, p.display, adapt::algorithmName(p.algo),
+               humanTime(p.seconds), fixed(p.energyJ, 2) + " J",
+               fixed(p.errorPct, 2) + "%"});
+    };
+    rowOf("A1 (best error, fastest)", *a1);
+    rowOf("A2 (best error, least energy)", *a2);
+    rowOf("A3 (balanced optimum)", a3);
+    emit(h);
+
+    section("Headline ratios (paper: A3 is 220x faster, 114x more "
+            "energy-efficient than the accuracy champions)");
+    std::printf("A1 runtime / A3 runtime : %.0fx\n",
+                a1->seconds / a3.seconds);
+    std::printf("A2 energy  / A3 energy  : %.0fx\n",
+                a2->energyJ / a3.energyJ);
+    std::printf("A3 error penalty vs A1  : +%.2f%%\n",
+                a3.errorPct - a1->errorPct);
+    return 0;
+}

@@ -1,0 +1,133 @@
+#include "figures_common.hh"
+
+#include "adapt/method.hh"
+#include "analysis/objective.hh"
+#include "bench_util.hh"
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+
+namespace edgeadapt {
+namespace bench {
+
+namespace {
+
+using adapt::Algorithm;
+
+/** Cached full-size model lookup (building RXT et al. is not free). */
+models::Model &
+model(const std::string &name)
+{
+    static std::vector<std::pair<std::string, models::Model>> cache;
+    for (auto &kv : cache) {
+        if (kv.first == name)
+            return kv.second;
+    }
+    Rng rng(2022);
+    cache.emplace_back(name, models::buildModel(name, rng));
+    return cache.back().second;
+}
+
+} // namespace
+
+void
+printForwardTimes(const std::vector<device::DeviceSpec> &devs)
+{
+    for (const auto &dev : devs) {
+        section("Average forward time per batch on " + dev.name +
+                " (inference + any adaptation)");
+        TextTable t;
+        t.header({"config", "No-Adapt", "BN-Norm", "BN-Opt"});
+        for (const std::string &mn :
+             models::robustModelNames(false)) {
+            for (int64_t b : paperBatchSizes()) {
+                std::vector<std::string> row{
+                    analysis::pointLabel(mn, b)};
+                for (Algorithm a : adapt::allAlgorithms()) {
+                    auto est =
+                        device::estimateRun(dev, model(mn), a, b);
+                    row.push_back(est.oom ? "OOM"
+                                          : humanTime(est.seconds));
+                }
+                t.row(std::move(row));
+            }
+            t.rule();
+        }
+        emit(t);
+    }
+}
+
+void
+printBreakdown(const std::vector<device::DeviceSpec> &devs,
+               const std::vector<std::string> &model_names,
+               int64_t batch)
+{
+    for (const auto &dev : devs) {
+        section("Per-op-class forward (fw) / backward (bw) time on " +
+                dev.name + ", batch " + std::to_string(batch));
+        TextTable t;
+        t.header({"model", "alg", "conv fw", "conv bw", "bn fw",
+                  "bn bw", "other fw"});
+        for (const std::string &mn : model_names) {
+            for (Algorithm a : adapt::allAlgorithms()) {
+                auto est =
+                    device::estimateRun(dev, model(mn), a, batch);
+                if (est.oom) {
+                    t.row({models::displayName(mn),
+                           adapt::algorithmName(a), "OOM", "-", "-",
+                           "-", "-"});
+                    continue;
+                }
+                auto b = device::breakdownByClass(dev, model(mn), a,
+                                                  batch);
+                t.row({models::displayName(mn),
+                       adapt::algorithmName(a), humanTime(b.convFw),
+                       b.convBw > 0 ? humanTime(b.convBw) : "0",
+                       humanTime(b.bnFw),
+                       b.bnBw > 0 ? humanTime(b.bnBw) : "0",
+                       humanTime(b.otherFw)});
+            }
+            t.rule();
+        }
+        emit(t);
+    }
+}
+
+void
+printTradeoffs(const device::DeviceSpec &dev)
+{
+    section("Performance-energy-accuracy trade-offs: " + dev.name);
+    Rng rng(7);
+    auto pts = analysis::sweepDevice(dev, rng);
+
+    TextTable t;
+    t.header({"config", "alg", "time", "energy", "error"});
+    for (const auto &p : pts) {
+        if (p.oom) {
+            t.row({p.display, adapt::algorithmName(p.algo), "OOM",
+                   "-", "-"});
+        } else {
+            t.row({p.display, adapt::algorithmName(p.algo),
+                   humanTime(p.seconds), fixed(p.energyJ, 2) + " J",
+                   fixed(p.errorPct, 2) + "%"});
+        }
+    }
+    emit(t);
+
+    section("Optimal configurations (w1*time + w2*energy + w3*error)");
+    TextTable o;
+    o.header({"scenario", "w(t,E,err)", "choice", "alg", "time",
+              "energy", "error"});
+    for (const auto &w : analysis::paperScenarios()) {
+        const auto &p = pts[analysis::selectOptimal(pts, w)];
+        o.row({w.name,
+               fixed(w.wTime, 2) + "/" + fixed(w.wEnergy, 2) + "/" +
+                   fixed(w.wError, 2),
+               p.display, adapt::algorithmName(p.algo),
+               humanTime(p.seconds), fixed(p.energyJ, 2) + " J",
+               fixed(p.errorPct, 2) + "%"});
+    }
+    emit(o);
+}
+
+} // namespace bench
+} // namespace edgeadapt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared generators for the per-device figure families: forward-time
+ * tables (Figs. 3/6/9), per-op-class fw/bw breakdowns (Figs. 4/7/10),
+ * and time/energy/error trade-off tables with the four weighted
+ * selections (Figs. 5/8/11).
+ */
+
+#ifndef EDGEADAPT_BENCH_FIGURES_COMMON_HH
+#define EDGEADAPT_BENCH_FIGURES_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "device/spec.hh"
+
+namespace edgeadapt {
+namespace bench {
+
+/**
+ * Print the Fig. 3/6/9-style forward-time table for one or more
+ * device views (NX prints CPU and GPU side by side): rows are the 9
+ * model x batch cases, columns the 3 algorithms. OOM cases are marked
+ * as in the paper.
+ */
+void printForwardTimes(const std::vector<device::DeviceSpec> &devs);
+
+/**
+ * Print the Fig. 4/7/10-style per-op-class forward/backward breakdown
+ * at a fixed batch size.
+ *
+ * @param devs device views (one table per device).
+ * @param model_names which models to include (the paper drops RXT on
+ *        the Ultra96 because the profiler itself OOMs there).
+ * @param batch batch size (paper uses 50).
+ */
+void printBreakdown(const std::vector<device::DeviceSpec> &devs,
+                    const std::vector<std::string> &model_names,
+                    int64_t batch);
+
+/**
+ * Print the Fig. 5/8/11-style trade-off table (time, energy, error
+ * for every feasible case) followed by the optimal configuration
+ * under each of the paper's four weight scenarios.
+ */
+void printTradeoffs(const device::DeviceSpec &dev);
+
+} // namespace bench
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_BENCH_FIGURES_COMMON_HH

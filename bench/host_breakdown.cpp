@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Measured companion to Figs. 4/7/10: the host-side per-op-class
+ * profiler (the reproduction's analogue of the PyTorch Autograd
+ * profiler) run on real executions of the tiny models on *this*
+ * machine. The absolute times are host-specific; the structure the
+ * paper reports must appear anyway: train-mode BN forward costs a
+ * multiple of eval-mode BN forward, and BN-Opt's backward pass costs
+ * a multiple of its forward pass.
+ *
+ * Flags: --batch N (default 50).
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "data/synth_cifar.hh"
+#include "models/registry.hh"
+#include "profile/host_profiler.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+using adapt::Algorithm;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    int64_t batch = argInt(argc, argv, "--batch", 50);
+
+    data::SynthCifar ds(16);
+    Rng drng(41);
+    data::Batch b = ds.batch(batch, drng);
+
+    section("Host-measured per-op-class time (tiny models, batch " +
+            std::to_string(batch) + ", this machine)");
+    TextTable t;
+    t.header({"model", "alg", "conv fw", "bn fw", "other fw",
+              "conv bw", "bn bw", "total"});
+
+    struct Ratios
+    {
+        double bnEval = 0, bnTrain = 0, convFw = 0, convBw = 0;
+    };
+    std::vector<std::pair<std::string, Ratios>> ratios;
+
+    for (const std::string &mn : models::robustModelNames(true)) {
+        Rng rng(42);
+        models::Model m = models::buildModel(mn, rng);
+        Ratios r;
+        for (Algorithm a : adapt::allAlgorithms()) {
+            // Average over a few repetitions to stabilize timings.
+            profile::HostBreakdown acc;
+            const int reps = 3;
+            for (int i = 0; i < reps; ++i) {
+                auto hb = profile::profileHostRun(m, a, b.images);
+                for (const auto &kv : hb.forwardSec)
+                    acc.forwardSec[kv.first] += kv.second / reps;
+                for (const auto &kv : hb.backwardSec)
+                    acc.backwardSec[kv.first] += kv.second / reps;
+                acc.totalForward += hb.totalForward / reps;
+                acc.totalBackward += hb.totalBackward / reps;
+            }
+            auto get = [](const std::map<std::string, double> &m2,
+                          const char *k) {
+                auto it = m2.find(k);
+                return it == m2.end() ? 0.0 : it->second;
+            };
+            double convFw = get(acc.forwardSec, "conv");
+            double bnFw = get(acc.forwardSec, "batchnorm");
+            double otherFw = get(acc.forwardSec, "activation") +
+                             get(acc.forwardSec, "pool") +
+                             get(acc.forwardSec, "other") +
+                             get(acc.forwardSec, "linear");
+            double convBw = get(acc.backwardSec, "conv");
+            double bnBw = get(acc.backwardSec, "batchnorm");
+            t.row({models::displayName(mn), adapt::algorithmName(a),
+                   humanTime(convFw), humanTime(bnFw),
+                   humanTime(otherFw),
+                   convBw > 0 ? humanTime(convBw) : "0",
+                   bnBw > 0 ? humanTime(bnBw) : "0",
+                   humanTime(acc.totalForward + acc.totalBackward)});
+            if (a == Algorithm::NoAdapt)
+                r.bnEval = bnFw;
+            if (a == Algorithm::BnNorm)
+                r.bnTrain = bnFw;
+            if (a == Algorithm::BnOpt) {
+                r.convFw = convFw;
+                r.convBw = convBw;
+            }
+        }
+        t.rule();
+        ratios.emplace_back(models::displayName(mn), r);
+    }
+    emit(t);
+
+    section("Structural ratios (paper: BN train/eval fw up to "
+            "3.7-4.7x; conv bw/fw ~2.2-2.5x)");
+    TextTable s;
+    s.header({"model", "bn train fw / eval fw", "conv bw / fw"});
+    for (const auto &[name, r] : ratios) {
+        s.row({name,
+               r.bnEval > 0 ? fixed(r.bnTrain / r.bnEval, 2) + "x"
+                            : "-",
+               r.convFw > 0 ? fixed(r.convBw / r.convFw, 2) + "x"
+                            : "-"});
+    }
+    emit(s);
+    return 0;
+}

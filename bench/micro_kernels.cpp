@@ -1,0 +1,190 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the compute kernels underneath
+ * every experiment: GEMM, convolution forward/backward (the BN-Opt
+ * bottleneck), train- vs eval-mode batch-norm (the BN-Norm cost), the
+ * entropy loss, the Adam step, and the corruption pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "data/corruptions.hh"
+#include "data/synth_cifar.hh"
+#include "nn/batchnorm2d.hh"
+#include "nn/conv2d.hh"
+#include "tensor/gemm.hh"
+#include "train/losses.hh"
+#include "train/optimizer.hh"
+
+using namespace edgeadapt;
+
+namespace {
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    int64_t n = state.range(0);
+    Rng rng(1);
+    Tensor a = Tensor::randn(Shape{n, n}, rng);
+    Tensor b = Tensor::randn(Shape{n, n}, rng);
+    Tensor c = Tensor::zeros(Shape{n, n});
+    for (auto _ : state) {
+        gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+             c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    int64_t batch = state.range(0);
+    Rng rng(2);
+    nn::Conv2dOpts o;
+    o.pad = 1;
+    nn::Conv2d conv(32, 32, 3, o, rng);
+    Tensor x = Tensor::randn(Shape{batch, 32, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void
+BM_ConvBackward(benchmark::State &state)
+{
+    int64_t batch = state.range(0);
+    Rng rng(3);
+    nn::Conv2dOpts o;
+    o.pad = 1;
+    nn::Conv2d conv(32, 32, 3, o, rng);
+    Tensor x = Tensor::randn(Shape{batch, 32, 16, 16}, rng);
+    Tensor y = conv.forward(x);
+    Tensor g = Tensor::randn(y.shape(), rng);
+    for (auto _ : state) {
+        conv.forward(x);
+        Tensor gi = conv.backward(g);
+        benchmark::DoNotOptimize(gi.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void
+BM_DepthwiseConv(benchmark::State &state)
+{
+    Rng rng(4);
+    nn::Conv2dOpts o;
+    o.pad = 1;
+    o.groups = 64;
+    nn::Conv2d conv(64, 64, 3, o, rng);
+    Tensor x = Tensor::randn(Shape{8, 64, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+
+void
+BM_BatchNormEval(benchmark::State &state)
+{
+    int64_t batch = state.range(0);
+    Rng rng(5);
+    nn::BatchNorm2d bn(64);
+    bn.setTraining(false);
+    Tensor x = Tensor::randn(Shape{batch, 64, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = bn.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * x.numel());
+}
+
+void
+BM_BatchNormTrain(benchmark::State &state)
+{
+    // The BN-Norm adaptation primitive: statistics re-estimation.
+    int64_t batch = state.range(0);
+    Rng rng(6);
+    nn::BatchNorm2d bn(64);
+    bn.setTraining(true);
+    Tensor x = Tensor::randn(Shape{batch, 64, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = bn.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * x.numel());
+}
+
+void
+BM_BatchNormBackward(benchmark::State &state)
+{
+    int64_t batch = state.range(0);
+    Rng rng(7);
+    nn::BatchNorm2d bn(64);
+    bn.setTraining(true);
+    Tensor x = Tensor::randn(Shape{batch, 64, 16, 16}, rng);
+    Tensor g = Tensor::randn(x.shape(), rng);
+    for (auto _ : state) {
+        bn.forward(x);
+        Tensor gi = bn.backward(g);
+        benchmark::DoNotOptimize(gi.data());
+    }
+    state.SetItemsProcessed(state.iterations() * x.numel());
+}
+
+void
+BM_EntropyLoss(benchmark::State &state)
+{
+    Rng rng(8);
+    Tensor logits = Tensor::randn(Shape{200, 10}, rng);
+    for (auto _ : state) {
+        auto r = train::entropy(logits);
+        benchmark::DoNotOptimize(r.gradLogits.data());
+    }
+}
+
+void
+BM_AdamStep(benchmark::State &state)
+{
+    // Sized like WRN-40-2's BN affine set (5408 params).
+    nn::Parameter p;
+    p.value = Tensor::ones(Shape{5408});
+    p.grad = Tensor::ones(Shape{5408});
+    train::Adam adam({&p});
+    for (auto _ : state) {
+        adam.step();
+        benchmark::DoNotOptimize(p.value.data());
+    }
+}
+
+void
+BM_Corruption(benchmark::State &state)
+{
+    data::Corruption c =
+        data::allCorruptions()[(size_t)state.range(0)];
+    data::SynthCifar ds(32);
+    Rng rng(9);
+    data::Sample s = ds.sample(0, rng);
+    state.SetLabel(data::corruptionName(c));
+    for (auto _ : state) {
+        Tensor out = data::applyCorruption(s.image, c, 5, rng);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_ConvForward)->Arg(8)->Arg(32);
+BENCHMARK(BM_ConvBackward)->Arg(8)->Arg(32);
+BENCHMARK(BM_DepthwiseConv);
+BENCHMARK(BM_BatchNormEval)->Arg(50)->Arg(200);
+BENCHMARK(BM_BatchNormTrain)->Arg(50)->Arg(200);
+BENCHMARK(BM_BatchNormBackward)->Arg(50);
+BENCHMARK(BM_EntropyLoss);
+BENCHMARK(BM_AdamStep);
+BENCHMARK(BM_Corruption)->DenseRange(0, 14);
+
+} // namespace
+
+BENCHMARK_MAIN();

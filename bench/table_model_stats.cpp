@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sec. III-B reproduction: the model-statistics table — GMACs, total
+ * parameters, batch-norm parameters (the adaptation working set), and
+ * float32 model size for the three robust models and MobileNet-V2.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    Rng rng(15);
+
+    section("Model statistics (paper Sec. III-B / IV-F)");
+    TextTable t;
+    t.header({"model", "GMACs", "params", "BN params", "size",
+              "conv layers", "bn layers"});
+    for (const char *mn :
+         {"resnet18", "wrn40_2", "resnext29", "mobilenetv2"}) {
+        models::Model m = models::buildModel(mn, rng);
+        const auto &s = m.stats();
+        t.row({models::displayName(mn),
+               fixed((double)s.macs / 1e9, 3),
+               humanCount((uint64_t)s.params),
+               std::to_string(s.bnParams),
+               humanBytes((uint64_t)s.modelBytes),
+               std::to_string(s.convLayers),
+               std::to_string(s.bnLayers)});
+    }
+    emit(t);
+
+    std::printf("\nPaper values: R18 0.56 GMAC / 11.17M / 7808; "
+                "WRN 0.33 / 2.24M / 5408 / 9 MB;\n"
+                "RXT 1.08 / 6.81M / 25216 / 26 MB; "
+                "MBV2 0.096 GMAC / 34112 BN params / 9 MB.\n"
+                "(The paper lists R18's checkpoint at 86 MB; at 4 "
+                "bytes/param the weights are ~45 MB — the robustbench\n"
+                "checkpoint stores additional training state. See "
+                "EXPERIMENTS.md.)\n");
+    return 0;
+}

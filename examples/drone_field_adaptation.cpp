@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Scenario (paper Sec. I, example i): a drone runs visual recognition
+ * in the field with no labels and no uplink. Weather changes as it
+ * flies — clear, then fog rolls in, then motion blur from wind gusts,
+ * then snow. The model must keep adapting online.
+ *
+ * This example shows:
+ *  - a *non-stationary* corruption schedule (the corruption changes
+ *    mid-flight, unlike the per-corruption streams of Fig. 2);
+ *  - rolling-window accuracy for No-Adapt vs BN-Norm, demonstrating
+ *    recovery after each weather front;
+ *  - a real-time feasibility check: given a frame-batch deadline,
+ *    which edge device can keep up with adaptation enabled?
+ *
+ * Run: ./build/examples/drone_field_adaptation
+ */
+
+#include "base/logging.hh"
+#include "data/corruptions.hh"
+#include <cstdio>
+#include <vector>
+
+#include "adapt/method.hh"
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+#include "tensor/ops.hh"
+#include "train/trainer.hh"
+
+using namespace edgeadapt;
+
+namespace {
+
+struct FlightLeg
+{
+    const char *weather;
+    data::Corruption corruption;
+    int severity;
+    int batches;
+};
+
+/** Score one flight under a given adaptation method. */
+std::vector<double>
+fly(models::Model &model, adapt::Algorithm algo,
+    const std::vector<FlightLeg> &legs, const data::SynthCifar &ds,
+    uint64_t seed)
+{
+    auto method = adapt::makeMethod(algo, model);
+    Rng rng(seed);
+    std::vector<double> legAccuracy;
+    for (const auto &leg : legs) {
+        int64_t correct = 0, total = 0;
+        for (int b = 0; b < leg.batches; ++b) {
+            // Assemble one unlabeled batch of the current weather.
+            const int64_t n = 50;
+            std::vector<Tensor> imgs;
+            std::vector<int> labels;
+            for (int64_t i = 0; i < n; ++i) {
+                data::Sample s = ds.sample(rng);
+                imgs.push_back(data::applyCorruption(
+                    s.image, leg.corruption, leg.severity, rng));
+                labels.push_back(s.label);
+            }
+            Tensor batch = data::stackImages(imgs);
+            Tensor logits = method->processBatch(batch);
+            auto pred = argmaxRows(logits);
+            for (size_t i = 0; i < pred.size(); ++i)
+                correct += pred[i] == labels[i];
+            total += n;
+        }
+        legAccuracy.push_back(100.0 * (double)correct /
+                              (double)total);
+    }
+    return legAccuracy;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    // Train the payload model once, offline, with the robust recipe.
+    Rng rng(7);
+    data::SynthCifar ds(16);
+    models::Model model = models::buildModel("wrn40_2-tiny", rng);
+    train::TrainConfig tc;
+    tc.steps = 250;
+    train::trainModel(model, ds, tc);
+
+    const std::vector<FlightLeg> flight{
+        {"clear skies", data::Corruption::Brightness, 1, 6},
+        {"fog bank", data::Corruption::Fog, 5, 8},
+        {"wind gusts (motion blur)", data::Corruption::MotionBlur, 5,
+         8},
+        {"snow squall", data::Corruption::Snow, 5, 8},
+    };
+
+    std::printf("flight plan: 4 legs x 50-frame batches, weather "
+                "shifting mid-flight\n\n");
+
+    nn::ModelState pristine = nn::ModelState::capture(model.net());
+    auto baseline =
+        fly(model, adapt::Algorithm::NoAdapt, flight, ds, 99);
+    pristine.restore(model.net());
+    auto adapted =
+        fly(model, adapt::Algorithm::BnNorm, flight, ds, 99);
+    pristine.restore(model.net());
+
+    std::printf("%-26s  %-10s  %-10s  %s\n", "leg", "No-Adapt",
+                "BN-Norm", "recovery");
+    for (size_t i = 0; i < flight.size(); ++i) {
+        std::printf("%-26s  %8.1f%%  %8.1f%%  %+.1f%%\n",
+                    flight[i].weather, baseline[i], adapted[i],
+                    adapted[i] - baseline[i]);
+    }
+
+    // Real-time feasibility: the drone captures a 50-frame batch
+    // every 2 seconds; adaptation must finish before the next batch.
+    const double deadline = 2.0;
+    std::printf("\nreal-time check (full WRN-40-2, batch 50, %.1f s "
+                "deadline per batch):\n",
+                deadline);
+    models::Model fullWrn = models::buildModel("wrn40_2", rng);
+    for (const auto &dev : device::paperDevices()) {
+        auto est = device::estimateRun(dev, fullWrn,
+                                       adapt::Algorithm::BnNorm, 50);
+        std::printf("  %-18s : %7.3f s  -> %s\n", dev.name.c_str(),
+                    est.seconds,
+                    est.seconds <= deadline ? "meets deadline"
+                                            : "TOO SLOW");
+    }
+    std::printf("\n(the paper's conclusion in miniature: only the "
+                "accelerated device sustains\n online adaptation "
+                "under streaming deadlines)\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scenario (paper Sec. I, example iii): a bedside imaging assistant
+ * must keep classifying as a scanner drifts (noise, contrast loss,
+ * compression artifacts from the PACS link) — annotating new data is
+ * impossible mid-shift, so adaptation must be unsupervised.
+ *
+ * This example focuses on BN-Opt (TENT): it tracks the *prediction
+ * entropy* of each incoming batch — the only signal available without
+ * labels — alongside the true error, showing that entropy is a usable
+ * online proxy for model health, and demonstrates recovery after a
+ * scanner-recalibration shift.
+ *
+ * Run: ./build/examples/medical_stream_triage
+ */
+
+#include "base/logging.hh"
+#include "data/corruptions.hh"
+#include <cstdio>
+
+#include "adapt/method.hh"
+#include "models/registry.hh"
+#include "tensor/ops.hh"
+#include "train/losses.hh"
+#include "train/trainer.hh"
+
+using namespace edgeadapt;
+
+int
+main()
+{
+    setVerbose(false);
+
+    Rng rng(21);
+    data::SynthCifar ds(16);
+    models::Model model = models::buildModel("resnet18-tiny", rng);
+    train::TrainConfig tc;
+    tc.steps = 250;
+    tc.useAugmix = true;
+    train::trainModel(model, ds, tc);
+
+    // Shift schedule: the scanner degrades at batch 6 (severe noise +
+    // contrast loss), then is recalibrated at batch 16 (mild JPEG
+    // artifacts only).
+    auto corruptionAt = [](int batch) {
+        if (batch < 6)
+            return std::pair<data::Corruption, int>(
+                data::Corruption::JpegCompression, 1);
+        if (batch < 16)
+            return std::pair<data::Corruption, int>(
+                data::Corruption::GaussianNoise, 5);
+        return std::pair<data::Corruption, int>(
+            data::Corruption::JpegCompression, 2);
+    };
+
+    auto method = adapt::makeMethod(adapt::Algorithm::BnOpt, model);
+    Rng srng(22);
+
+    std::printf("batch  phase             entropy  error   note\n");
+    for (int b = 0; b < 24; ++b) {
+        auto [corruption, severity] = corruptionAt(b);
+        const int64_t n = 64;
+        std::vector<Tensor> imgs;
+        std::vector<int> labels;
+        for (int64_t i = 0; i < n; ++i) {
+            data::Sample s = ds.sample(srng);
+            imgs.push_back(data::applyCorruption(s.image, corruption,
+                                                 severity, srng));
+            labels.push_back(s.label);
+        }
+        Tensor batch = data::stackImages(imgs);
+        Tensor logits = method->processBatch(batch);
+
+        double entropy = train::entropy(logits).value;
+        double err =
+            100.0 * (1.0 - train::accuracy(logits, labels));
+        const char *phase = b < 6    ? "nominal"
+                            : b < 16 ? "scanner degraded"
+                                     : "recalibrated";
+        const char *note = "";
+        if (b == 6)
+            note = "<- shift hits";
+        if (b == 16)
+            note = "<- second shift";
+        std::printf("%5d  %-16s  %7.3f  %5.1f%%  %s\n", b, phase,
+                    entropy, err, note);
+    }
+
+    std::printf("\nentropy (label-free) tracks the error spike at "
+                "each shift and falls as BN-Opt\nre-tunes the BN "
+                "parameters — the monitoring signal a deployed triage "
+                "system would\nexpose. Adaptation used no labels at "
+                "any point.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+#include "adapt/bn_norm_blend.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "nn/batchnorm2d.hh"
+
+namespace edgeadapt {
+namespace adapt {
+
+namespace {
+
+class BlendedBnNorm : public AdaptationMethod
+{
+  public:
+    BlendedBnNorm(models::Model &model, float prior_n) : model_(model)
+    {
+        fatal_if(prior_n < 0.0f, "prior strength must be >= 0");
+        model_.setTraining(true);
+        nn::setRequiresGradTree(model_.net(), false);
+        for (nn::Module *m : nn::collectModules(model_.net())) {
+            if (auto *bn = dynamic_cast<nn::BatchNorm2d *>(m)) {
+                bn->setBlendPrior(prior_n);
+                bns_.push_back(bn);
+            }
+        }
+        fatal_if(bns_.empty(),
+                 "blended BN-Norm on a model without BatchNorm");
+    }
+
+    ~BlendedBnNorm() override
+    {
+        for (auto *bn : bns_)
+            bn->setBlendPrior(0.0f);
+    }
+
+    Tensor
+    processBatch(const Tensor &images) override
+    {
+        return model_.forward(images);
+    }
+
+    Algorithm algorithm() const override { return Algorithm::BnNorm; }
+
+  private:
+    models::Model &model_;
+    std::vector<nn::BatchNorm2d *> bns_;
+};
+
+} // namespace
+
+std::unique_ptr<AdaptationMethod>
+makeBlendedBnNorm(models::Model &model, float prior_n)
+{
+    return std::make_unique<BlendedBnNorm>(model, prior_n);
+}
+
+} // namespace adapt
+} // namespace edgeadapt

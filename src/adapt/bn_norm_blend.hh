@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Blended BN-Norm — the source-prior variant of prediction-time
+ * statistics re-estimation from Schneider et al. (the paper's
+ * ref [14], one of the two works behind its "BN-Norm" algorithm).
+ *
+ * Pure batch statistics (TENT-style BN-Norm) become noisy when the
+ * adaptation batch is small; blending them with the training-set
+ * running statistics at prior strength N trades adaptation speed for
+ * estimator variance. The ablation bench sweeps N across batch sizes
+ * — an extension of the paper's batch-size study toward its insight
+ * (v) (memory pressure pushes deployments toward small batches).
+ */
+
+#ifndef EDGEADAPT_ADAPT_BN_NORM_BLEND_HH
+#define EDGEADAPT_ADAPT_BN_NORM_BLEND_HH
+
+#include <memory>
+
+#include "adapt/method.hh"
+
+namespace edgeadapt {
+namespace adapt {
+
+/**
+ * Build a blended BN-Norm method bound to @p model.
+ *
+ * @param model network to adapt (mode/flags configured here; prior
+ *        blending enabled on every BatchNorm2d).
+ * @param prior_n source-prior strength N (0 = plain BN-Norm).
+ *
+ * The returned method restores each BN layer's blend prior to 0 on
+ * destruction.
+ */
+std::unique_ptr<AdaptationMethod> makeBlendedBnNorm(
+    models::Model &model, float prior_n);
+
+} // namespace adapt
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_ADAPT_BN_NORM_BLEND_HH

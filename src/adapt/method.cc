@@ -1,0 +1,173 @@
+#include "adapt/method.hh"
+
+#include "base/logging.hh"
+#include "train/losses.hh"
+
+namespace edgeadapt {
+namespace adapt {
+
+const char *
+algorithmName(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::NoAdapt:
+        return "No-Adapt";
+      case Algorithm::BnNorm:
+        return "BN-Norm";
+      case Algorithm::BnOpt:
+        return "BN-Opt";
+    }
+    return "?";
+}
+
+Algorithm
+algorithmFromName(const std::string &name)
+{
+    for (Algorithm a : allAlgorithms()) {
+        if (name == algorithmName(a))
+            return a;
+    }
+    if (name == "noadapt" || name == "no-adapt")
+        return Algorithm::NoAdapt;
+    if (name == "bnnorm" || name == "bn-norm")
+        return Algorithm::BnNorm;
+    if (name == "bnopt" || name == "bn-opt")
+        return Algorithm::BnOpt;
+    fatal("unknown algorithm name: ", name);
+}
+
+const std::vector<Algorithm> &
+allAlgorithms()
+{
+    static const std::vector<Algorithm> all{
+        Algorithm::NoAdapt, Algorithm::BnNorm, Algorithm::BnOpt};
+    return all;
+}
+
+int64_t
+bnAffineParamCount(models::Model &model)
+{
+    int64_t n = 0;
+    for (nn::Parameter *p : nn::collectParameters(model.net())) {
+        if (p->isBnAffine)
+            n += p->value.numel();
+    }
+    return n;
+}
+
+namespace {
+
+/** Baseline: eval-mode inference, nothing changes. */
+class NoAdapt : public AdaptationMethod
+{
+  public:
+    explicit NoAdapt(models::Model &model) : model_(model)
+    {
+        model_.setTraining(false);
+        nn::setRequiresGradTree(model_.net(), false);
+    }
+
+    Tensor
+    processBatch(const Tensor &images) override
+    {
+        return model_.forward(images);
+    }
+
+    Algorithm algorithm() const override { return Algorithm::NoAdapt; }
+
+  private:
+    models::Model &model_;
+};
+
+/**
+ * BN-Norm: train-mode forward re-estimates every BN layer's
+ * normalization statistics from the batch (and folds them into the
+ * running buffers). No backward pass is ever run.
+ */
+class BnNorm : public AdaptationMethod
+{
+  public:
+    explicit BnNorm(models::Model &model) : model_(model)
+    {
+        model_.setTraining(true);
+        nn::setRequiresGradTree(model_.net(), false);
+    }
+
+    Tensor
+    processBatch(const Tensor &images) override
+    {
+        return model_.forward(images);
+    }
+
+    Algorithm algorithm() const override { return Algorithm::BnNorm; }
+
+  private:
+    models::Model &model_;
+};
+
+/**
+ * BN-Opt (TENT): train-mode forward (statistics re-estimation), then
+ * one entropy-loss backward pass and a single Adam step on the BN
+ * affine parameters. Predictions come from the forward pass, i.e.
+ * each batch is scored before the update it triggers (Sec. III-D:
+ * "first perform inference followed by updating ... the batch-norm
+ * parameters").
+ */
+class BnOpt : public AdaptationMethod
+{
+  public:
+    BnOpt(models::Model &model, const BnOptOpts &opts) : model_(model)
+    {
+        model_.setTraining(true);
+        // Freeze everything, then re-enable exactly the BN affine set.
+        nn::setRequiresGradTree(model_.net(), false);
+        std::vector<nn::Parameter *> bnAffine;
+        for (nn::Parameter *p : nn::collectParameters(model_.net())) {
+            if (p->isBnAffine) {
+                p->requiresGrad = true;
+                bnAffine.push_back(p);
+            }
+        }
+        fatal_if(bnAffine.empty(),
+                 "BN-Opt on a model with no BatchNorm layers");
+        adam_ = std::make_unique<train::Adam>(std::move(bnAffine),
+                                              opts.lr, opts.beta1,
+                                              opts.beta2);
+    }
+
+    Tensor
+    processBatch(const Tensor &images) override
+    {
+        Tensor logits = model_.forward(images);
+        train::LossResult loss = train::entropy(logits);
+        adam_->zeroGrad();
+        model_.backward(loss.gradLogits);
+        adam_->step();
+        return logits;
+    }
+
+    Algorithm algorithm() const override { return Algorithm::BnOpt; }
+
+  private:
+    models::Model &model_;
+    std::unique_ptr<train::Adam> adam_;
+};
+
+} // namespace
+
+std::unique_ptr<AdaptationMethod>
+makeMethod(Algorithm a, models::Model &model, const BnOptOpts &opts)
+{
+    switch (a) {
+      case Algorithm::NoAdapt:
+        return std::make_unique<NoAdapt>(model);
+      case Algorithm::BnNorm:
+        return std::make_unique<BnNorm>(model);
+      case Algorithm::BnOpt:
+        return std::make_unique<BnOpt>(model, opts);
+    }
+    panic("unhandled algorithm");
+}
+
+} // namespace adapt
+} // namespace edgeadapt

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Test-time unsupervised adaptation methods — the core subject of the
+ * paper (Sec. II-B/C, III-D):
+ *
+ *  - NoAdapt: eval-mode inference with frozen statistics (baseline).
+ *  - BNNorm: train-mode forward; every BatchNorm layer re-estimates
+ *    its normalization statistics from the incoming unlabeled batch.
+ *    No gradients, no optimizer.
+ *  - BNOpt (TENT): the BN-Norm forward plus one backpropagation pass
+ *    minimizing prediction entropy, with a single Adam step applied to
+ *    the BN affine parameters (gamma/beta) only. All other parameters
+ *    stay frozen.
+ *
+ * Every method consumes a batch of *unlabeled* images and returns the
+ * logits used for prediction; adaptation is a side effect on the
+ * model.
+ */
+
+#ifndef EDGEADAPT_ADAPT_METHOD_HH
+#define EDGEADAPT_ADAPT_METHOD_HH
+
+#include <memory>
+#include <string>
+
+#include "models/model.hh"
+#include "train/optimizer.hh"
+
+namespace edgeadapt {
+namespace adapt {
+
+/** The three algorithms the study compares. */
+enum class Algorithm
+{
+    NoAdapt,
+    BnNorm,
+    BnOpt,
+};
+
+/** @return paper-style name: "No-Adapt", "BN-Norm", "BN-Opt". */
+const char *algorithmName(Algorithm a);
+
+/** @return algorithm parsed from its name; fatal() on bad input. */
+Algorithm algorithmFromName(const std::string &name);
+
+/** All three algorithms in presentation order. */
+const std::vector<Algorithm> &allAlgorithms();
+
+/**
+ * Abstract prediction-time processor. Implementations configure the
+ * model's mode and gradient flags at construction and own any
+ * optimizer state for the duration of one test stream.
+ */
+class AdaptationMethod
+{
+  public:
+    virtual ~AdaptationMethod() = default;
+
+    /**
+     * Predict on one unlabeled batch, adapting the model as a side
+     * effect (except NoAdapt).
+     *
+     * @param images (N, 3, H, W) batch.
+     * @return (N, classes) logits for these images.
+     */
+    virtual Tensor processBatch(const Tensor &images) = 0;
+
+    /** @return which algorithm this is. */
+    virtual Algorithm algorithm() const = 0;
+};
+
+/** Options for BN-Opt's optimizer (TENT defaults). */
+struct BnOptOpts
+{
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+};
+
+/**
+ * Build an adaptation method bound to @p model. The constructor sets
+ * the model's train/eval mode and requiresGrad flags appropriately;
+ * the caller retains ownership of the model and should restore its
+ * pristine state (nn::ModelState) between independent streams.
+ */
+std::unique_ptr<AdaptationMethod> makeMethod(Algorithm a,
+                                             models::Model &model,
+                                             const BnOptOpts &opts = {});
+
+/** @return number of BN affine parameter elements BN-Opt would tune. */
+int64_t bnAffineParamCount(models::Model &model);
+
+} // namespace adapt
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_ADAPT_METHOD_HH

@@ -1,0 +1,89 @@
+#include "adapt/session.hh"
+
+#include <chrono>
+
+#include "base/logging.hh"
+#include "tensor/ops.hh"
+
+namespace edgeadapt {
+namespace adapt {
+
+double
+StreamResult::errorPct() const
+{
+    if (samples == 0)
+        return 0.0;
+    return 100.0 * (1.0 - (double)correct / (double)samples);
+}
+
+StreamResult
+runStream(AdaptationMethod &method, data::CorruptionStream &stream)
+{
+    StreamResult r;
+    r.corruption = stream.config().corruption;
+    while (stream.hasNext()) {
+        data::Batch b = stream.next();
+        auto t0 = std::chrono::steady_clock::now();
+        Tensor logits = method.processBatch(b.images);
+        auto t1 = std::chrono::steady_clock::now();
+        r.hostSeconds +=
+            std::chrono::duration<double>(t1 - t0).count();
+
+        auto pred = argmaxRows(logits);
+        panic_if(pred.size() != b.labels.size(),
+                 "prediction/label count mismatch");
+        for (size_t i = 0; i < pred.size(); ++i) {
+            if (pred[i] == b.labels[i])
+                ++r.correct;
+        }
+        r.samples += b.size();
+        ++r.batches;
+    }
+    return r;
+}
+
+EvalResult
+evaluate(models::Model &model, Algorithm algo,
+         const data::SynthCifar &dataset, const EvalConfig &cfg)
+{
+    std::vector<data::Corruption> suite =
+        cfg.corruptions.empty() ? data::allCorruptions()
+                                : cfg.corruptions;
+
+    nn::ModelState pristine = nn::ModelState::capture(model.net());
+    Rng seeds(cfg.seed);
+
+    EvalResult out;
+    int64_t totalSamples = 0, totalCorrect = 0;
+    for (data::Corruption c : suite) {
+        pristine.restore(model.net());
+        auto method = makeMethod(algo, model, cfg.bnOpt);
+
+        data::StreamConfig sc;
+        sc.corruption = c;
+        sc.severity = cfg.severity;
+        sc.batchSize = cfg.batchSize;
+        sc.totalSamples = cfg.samplesPerCorruption;
+        // Derive the stream seed from the corruption id so that all
+        // algorithms see identical pixel streams.
+        Rng streamRng(cfg.seed * 1000003ull + (uint64_t)c * 7919ull);
+        data::CorruptionStream stream(dataset, sc, streamRng);
+
+        StreamResult r = runStream(*method, stream);
+        totalSamples += r.samples;
+        totalCorrect += r.correct;
+        out.hostSeconds += r.hostSeconds;
+        out.perCorruption.push_back(std::move(r));
+    }
+    pristine.restore(model.net());
+    model.setTraining(false);
+
+    out.meanErrorPct =
+        totalSamples
+            ? 100.0 * (1.0 - (double)totalCorrect / (double)totalSamples)
+            : 0.0;
+    return out;
+}
+
+} // namespace adapt
+} // namespace edgeadapt

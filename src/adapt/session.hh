@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Streaming adaptation sessions and the full accuracy evaluation
+ * protocol of the paper: for each corruption type, stream unlabeled
+ * corrupted batches through an adaptation method starting from the
+ * pristine pre-trained checkpoint, score predictions against the
+ * held-back labels, and average error over the corruption suite
+ * (Fig. 2 protocol).
+ */
+
+#ifndef EDGEADAPT_ADAPT_SESSION_HH
+#define EDGEADAPT_ADAPT_SESSION_HH
+
+#include <vector>
+
+#include "adapt/method.hh"
+#include "data/stream.hh"
+
+namespace edgeadapt {
+namespace adapt {
+
+/** Outcome of one corruption stream. */
+struct StreamResult
+{
+    data::Corruption corruption;
+    int64_t samples = 0;
+    int64_t correct = 0;
+    int batches = 0;
+    double hostSeconds = 0.0; ///< wall-clock host time in processBatch
+
+    /** @return prediction error in percent. */
+    double errorPct() const;
+};
+
+/**
+ * Run one corruption stream through an adaptation method.
+ * Labels are used only for scoring, never shown to the method.
+ */
+StreamResult runStream(AdaptationMethod &method,
+                       data::CorruptionStream &stream);
+
+/** Configuration of the full Fig. 2-style evaluation. */
+struct EvalConfig
+{
+    int severity = 5;
+    int64_t batchSize = 50;
+    int64_t samplesPerCorruption = 10000;
+    uint64_t seed = 1234;
+    /// empty = all 15 corruption types
+    std::vector<data::Corruption> corruptions;
+    BnOptOpts bnOpt;
+};
+
+/** Per-corruption and aggregate error for one (model, algorithm). */
+struct EvalResult
+{
+    std::vector<StreamResult> perCorruption;
+    double meanErrorPct = 0.0;
+    double hostSeconds = 0.0;
+};
+
+/**
+ * Evaluate an algorithm on the corruption suite. The model's pristine
+ * state is captured first and restored before every corruption stream
+ * and once more on exit, so evaluations are order-independent.
+ */
+EvalResult evaluate(models::Model &model, Algorithm algo,
+                    const data::SynthCifar &dataset,
+                    const EvalConfig &cfg);
+
+} // namespace adapt
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_ADAPT_SESSION_HH

@@ -1,0 +1,88 @@
+#include "analysis/error_table.hh"
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace analysis {
+
+namespace {
+
+/** Row of the reconstructed Fig. 2 surface. */
+struct ErrorRow
+{
+    const char *model;
+    double noAdapt;      ///< batch-independent
+    double bnNorm[3];    ///< batch 50 / 100 / 200
+    double bnOpt[3];
+};
+
+// Anchors in **bold** comments are verbatim from the paper.
+const ErrorRow kRows[] = {
+    // RXT: best post-adaptation accuracy; **10.15 %** at BN-Opt-200.
+    {"resnext29", 17.00, {13.30, 12.80, 12.55}, {11.10, 10.50, 10.15}},
+    // WRN: **18.26 / 15.21 / 12.37 %** at batch 50.
+    {"wrn40_2", 18.26, {15.21, 14.70, 14.45}, {12.37, 11.85, 11.60}},
+    // R18: BN-Opt best case **12.97 %**.
+    {"resnet18", 20.60, {16.50, 15.90, 15.60}, {13.90, 13.40, 12.97}},
+};
+
+int
+batchIndex(int64_t batch)
+{
+    switch (batch) {
+      case 50:
+        return 0;
+      case 100:
+        return 1;
+      case 200:
+        return 2;
+      default:
+        fatal("error table covers batch sizes 50/100/200, got ",
+              batch);
+    }
+}
+
+} // namespace
+
+double
+paperErrorPct(const std::string &model_name, adapt::Algorithm algo,
+              int64_t batch)
+{
+    for (const ErrorRow &r : kRows) {
+        if (model_name != r.model)
+            continue;
+        switch (algo) {
+          case adapt::Algorithm::NoAdapt:
+            return r.noAdapt;
+          case adapt::Algorithm::BnNorm:
+            return r.bnNorm[batchIndex(batch)];
+          case adapt::Algorithm::BnOpt:
+            return r.bnOpt[batchIndex(batch)];
+        }
+    }
+    fatal("no error-table entry for model ", model_name);
+}
+
+double
+mobileNetErrorPct(adapt::Algorithm algo, int64_t batch)
+{
+    // Sec. IV-F anchors: 81.2 % No-Adapt, 28.1 % BN-Opt-200. BN-Norm
+    // and the other batch sizes are interpolated with the same
+    // batch-size falloff shape as the robust models.
+    switch (algo) {
+      case adapt::Algorithm::NoAdapt:
+        return 81.2;
+      case adapt::Algorithm::BnNorm: {
+        const double v[3] = {48.0, 45.5, 44.3};
+        return v[batchIndex(batch)];
+      }
+      case adapt::Algorithm::BnOpt: {
+        const double v[3] = {31.5, 29.2, 28.1};
+        return v[batchIndex(batch)];
+      }
+    }
+    fatal("bad algorithm");
+}
+
+} // namespace analysis
+} // namespace edgeadapt

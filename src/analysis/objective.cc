@@ -1,0 +1,170 @@
+#include "analysis/objective.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/error_table.hh"
+#include "base/logging.hh"
+#include "models/registry.hh"
+
+namespace edgeadapt {
+namespace analysis {
+
+const std::vector<WeightScenario> &
+paperScenarios()
+{
+    static const std::vector<WeightScenario> s{
+        {"balanced", 1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0},
+        {"performance-first", 0.8, 0.1, 0.1},
+        {"accuracy-first", 0.1, 0.1, 0.8},
+        {"energy-first", 0.1, 0.8, 0.1},
+    };
+    return s;
+}
+
+std::string
+pointLabel(const std::string &model_name, int64_t batch)
+{
+    std::string base = models::displayName(model_name);
+    return base + "-" + std::to_string(batch);
+}
+
+std::vector<DesignPoint>
+sweepDevice(const device::DeviceSpec &dev, Rng &rng)
+{
+    std::vector<DesignPoint> out;
+    for (const std::string &name : models::robustModelNames(false)) {
+        models::Model model = models::buildModel(name, rng);
+        for (int64_t batch : {50LL, 100LL, 200LL}) {
+            for (adapt::Algorithm algo : adapt::allAlgorithms()) {
+                device::RunEstimate est =
+                    device::estimateRun(dev, model, algo, batch);
+                DesignPoint p;
+                p.device = dev.shortName;
+                p.model = name;
+                p.display = pointLabel(name, batch);
+                p.algo = algo;
+                p.batch = batch;
+                p.seconds = est.seconds;
+                p.energyJ = est.energyJ;
+                p.errorPct = paperErrorPct(name, algo, batch);
+                p.oom = est.oom;
+                out.push_back(p);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+struct Range
+{
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+
+    void
+    add(double v)
+    {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    double
+    norm(double v) const
+    {
+        return hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    }
+};
+
+} // namespace
+
+size_t
+selectOptimal(const std::vector<DesignPoint> &points,
+              const WeightScenario &w)
+{
+    // The paper's objective combines raw units — seconds, joules, and
+    // percentage points — without normalization (Sec. III-F); its
+    // published selections are only reproduced under raw-unit
+    // weighting, so that is the default here.
+    bool any = false;
+    size_t best = 0;
+    double bestScore = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        if (p.oom)
+            continue;
+        any = true;
+        double score = w.wTime * p.seconds + w.wEnergy * p.energyJ +
+                       w.wError * p.errorPct;
+        if (score < bestScore) {
+            bestScore = score;
+            best = i;
+        }
+    }
+    fatal_if(!any, "no feasible design point to select from");
+    return best;
+}
+
+size_t
+selectOptimalNormalized(const std::vector<DesignPoint> &points,
+                        const WeightScenario &w)
+{
+    Range rt, re, rp;
+    bool any = false;
+    for (const auto &p : points) {
+        if (p.oom)
+            continue;
+        any = true;
+        rt.add(p.seconds);
+        re.add(p.energyJ);
+        rp.add(p.errorPct);
+    }
+    fatal_if(!any, "no feasible design point to select from");
+
+    size_t best = 0;
+    double bestScore = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        if (p.oom)
+            continue;
+        double score = w.wTime * rt.norm(p.seconds) +
+                       w.wEnergy * re.norm(p.energyJ) +
+                       w.wError * rp.norm(p.errorPct);
+        if (score < bestScore) {
+            bestScore = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::vector<size_t>
+paretoFront(const std::vector<DesignPoint> &points)
+{
+    auto dominates = [](const DesignPoint &a, const DesignPoint &b) {
+        bool le = a.seconds <= b.seconds && a.energyJ <= b.energyJ &&
+                  a.errorPct <= b.errorPct;
+        bool lt = a.seconds < b.seconds || a.energyJ < b.energyJ ||
+                  a.errorPct < b.errorPct;
+        return le && lt;
+    };
+    std::vector<size_t> front;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (points[i].oom)
+            continue;
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (j != i && !points[j].oom &&
+                dominates(points[j], points[i])) {
+                dominated = true;
+            }
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+} // namespace analysis
+} // namespace edgeadapt

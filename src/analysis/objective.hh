@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Multi-objective trade-off machinery (paper Sec. III-F): design-point
+ * sweeps over (model, algorithm, batch size) per device, min-max
+ * metric normalization, the weighted objective
+ * w1*time + w2*energy + w3*error, the four weight scenarios, and
+ * Pareto-front extraction for the Fig. 12 overall view.
+ */
+
+#ifndef EDGEADAPT_ANALYSIS_OBJECTIVE_HH
+#define EDGEADAPT_ANALYSIS_OBJECTIVE_HH
+
+#include <string>
+#include <vector>
+
+#include "adapt/method.hh"
+#include "device/cost_model.hh"
+
+namespace edgeadapt {
+namespace analysis {
+
+/** One evaluated configuration. */
+struct DesignPoint
+{
+    std::string device;     ///< device shortName
+    std::string model;      ///< model registry name
+    std::string display;    ///< paper-style label, e.g. "WRN-AM-50"
+    adapt::Algorithm algo = adapt::Algorithm::NoAdapt;
+    int64_t batch = 50;
+    double seconds = 0.0;   ///< avg forward (+adaptation) time per batch
+    double energyJ = 0.0;   ///< avg energy per batch
+    double errorPct = 0.0;  ///< stream prediction error
+    bool oom = false;       ///< infeasible on this device
+};
+
+/** The paper's four weighting scenarios (Sec. III-F). */
+struct WeightScenario
+{
+    std::string name; ///< e.g. "balanced", "accuracy-first"
+    double wTime = 1.0 / 3.0;
+    double wEnergy = 1.0 / 3.0;
+    double wError = 1.0 / 3.0;
+};
+
+/** @return the four scenarios: balanced, perf-, accuracy-, energy-. */
+const std::vector<WeightScenario> &paperScenarios();
+
+/**
+ * Sweep the paper's 9 cases x 3 algorithms on one device using the
+ * analytical cost model for time/energy and the reconstructed Fig. 2
+ * surface for error.
+ *
+ * @param dev device under test.
+ * @param rng model-construction stream (weights are irrelevant for
+ *        the trace; the rng keeps builders deterministic).
+ */
+std::vector<DesignPoint> sweepDevice(const device::DeviceSpec &dev,
+                                     Rng &rng);
+
+/**
+ * Score every feasible point with the paper's raw-unit objective
+ * w1*seconds + w2*joules + w3*error_pct and @return the index of the
+ * minimizer. OOM points are excluded. fatal()s when no point is
+ * feasible. (Raw units reproduce the paper's published selections;
+ * see selectOptimalNormalized for the scale-free alternative.)
+ */
+size_t selectOptimal(const std::vector<DesignPoint> &points,
+                     const WeightScenario &w);
+
+/**
+ * Alternative selection with min-max-normalized metrics — included
+ * as an ablation of the objective design choice (DESIGN.md); used by
+ * bench/ablation_objective.
+ */
+size_t selectOptimalNormalized(const std::vector<DesignPoint> &points,
+                               const WeightScenario &w);
+
+/**
+ * @return indices of the Pareto-efficient feasible points under
+ * (seconds, energyJ, errorPct) minimization.
+ */
+std::vector<size_t> paretoFront(const std::vector<DesignPoint> &points);
+
+/** @return "WRN-AM-50"-style label for a (model, batch) pair. */
+std::string pointLabel(const std::string &model_name, int64_t batch);
+
+} // namespace analysis
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_ANALYSIS_OBJECTIVE_HH

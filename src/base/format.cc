@@ -1,0 +1,175 @@
+#include "base/format.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+
+std::string
+humanTime(double seconds)
+{
+    char buf[64];
+    double a = std::fabs(seconds);
+    if (a < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+    else if (a < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    else if (a < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else if (a < 120.0)
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+    return buf;
+}
+
+std::string
+humanBytes(uint64_t bytes)
+{
+    char buf[64];
+    double b = (double)bytes;
+    if (b < 1024.0)
+        std::snprintf(buf, sizeof(buf), "%llu B", (unsigned long long)bytes);
+    else if (b < 1024.0 * 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.2f KB", b / 1024.0);
+    else if (b < 1024.0 * 1024.0 * 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1024.0 * 1024.0));
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f GB",
+                      b / (1024.0 * 1024.0 * 1024.0));
+    return buf;
+}
+
+std::string
+humanCount(uint64_t count)
+{
+    char buf[64];
+    double c = (double)count;
+    if (c < 1e3)
+        std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)count);
+    else if (c < 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fK", c / 1e3);
+    else if (c < 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2fM", c / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fG", c / 1e9);
+    return buf;
+}
+
+std::string
+fixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::rule()
+{
+    ruleAfter_.push_back(rows_.size());
+}
+
+std::string
+TextTable::render() const
+{
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < cols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            os << cell << std::string(width[i] - cell.size(), ' ');
+            if (i + 1 < cols)
+                os << "  ";
+        }
+        os << "\n";
+    };
+    auto hrule = [&]() {
+        size_t total = 0;
+        for (size_t i = 0; i < cols; ++i)
+            total += width[i] + (i + 1 < cols ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        hrule();
+    }
+    size_t ruleIdx = 0;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        while (ruleIdx < ruleAfter_.size() && ruleAfter_[ruleIdx] == i) {
+            hrule();
+            ++ruleIdx;
+        }
+        emit(rows_[i]);
+    }
+    while (ruleIdx < ruleAfter_.size() &&
+           ruleAfter_[ruleIdx] == rows_.size()) {
+        hrule();
+        ++ruleIdx;
+    }
+    return os.str();
+}
+
+CsvWriter::CsvWriter(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    fatal_if(!f, "cannot open CSV output file ", path);
+    file_ = f;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    FILE *f = (FILE *)file_;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const std::string &c = cells[i];
+        bool quote = c.find_first_of(",\"\n") != std::string::npos;
+        if (quote) {
+            std::fputc('"', f);
+            for (char ch : c) {
+                if (ch == '"')
+                    std::fputc('"', f);
+                std::fputc(ch, f);
+            }
+            std::fputc('"', f);
+        } else {
+            std::fputs(c.c_str(), f);
+        }
+        std::fputc(i + 1 < cells.size() ? ',' : '\n', f);
+    }
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (file_)
+        std::fclose((FILE *)file_);
+}
+
+} // namespace edgeadapt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Text-formatting helpers for report tables: human-readable durations,
+ * byte counts, fixed-width numeric cells, and a minimal aligned-column
+ * table printer used by every bench binary.
+ */
+
+#ifndef EDGEADAPT_BASE_FORMAT_HH
+#define EDGEADAPT_BASE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgeadapt {
+
+/** Format seconds as an adaptive human string (e.g. "213 ms", "3.95 s"). */
+std::string humanTime(double seconds);
+
+/** Format a byte count as B/KB/MB/GB with ~3 significant digits. */
+std::string humanBytes(uint64_t bytes);
+
+/** Format a count with K/M/G suffix (e.g. parameter counts). */
+std::string humanCount(uint64_t count);
+
+/** Format a double with fixed decimals. */
+std::string fixed(double v, int decimals);
+
+/**
+ * Aligned-column console table. Rows are added as string cells; the
+ * printer right-pads each column to its widest cell. Keeps the bench
+ * binaries' output close to the paper's tabular presentation.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a body row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal rule before the next row. */
+    void rule();
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> ruleAfter_;
+};
+
+/**
+ * Minimal CSV writer; every figure bench can emit machine-readable data
+ * alongside the console table (for external replotting).
+ */
+class CsvWriter
+{
+  public:
+    /** Open the file for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row, quoting cells that contain separators. */
+    void row(const std::vector<std::string> &cells);
+
+    ~CsvWriter();
+
+  private:
+    void *file_;
+};
+
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_BASE_FORMAT_HH

@@ -1,0 +1,53 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace edgeadapt {
+
+namespace {
+bool verboseFlag = true;
+} // namespace
+
+void
+panicImpl(const char *where, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s @ %s\n", msg.c_str(), where);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *where, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s @ %s\n", msg.c_str(), where);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseFlag)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+} // namespace edgeadapt

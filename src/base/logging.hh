@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status-message and error-handling primitives, in the spirit of gem5's
+ * logging discipline: panic() for internal invariant violations, fatal()
+ * for unrecoverable user errors, warn()/inform() for status output.
+ */
+
+#ifndef EDGEADAPT_BASE_LOGGING_HH
+#define EDGEADAPT_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace edgeadapt {
+
+/**
+ * Terminate with an internal-error diagnostic. Call when an invariant
+ * that no user input should be able to violate has been violated, i.e.
+ * a bug in edgeadapt itself. Aborts (core-dump friendly).
+ *
+ * @param where source location string (use the PANIC macro).
+ * @param msg description of the violated invariant.
+ */
+[[noreturn]] void panicImpl(const char *where, const std::string &msg);
+
+/**
+ * Terminate with a user-error diagnostic. Call when the simulation or
+ * experiment cannot continue because of bad configuration or arguments
+ * (the user's fault, not a bug). Exits with status 1.
+ *
+ * @param where source location string (use the FATAL macro).
+ * @param msg description of the problem.
+ */
+[[noreturn]] void fatalImpl(const char *where, const std::string &msg);
+
+/** Print a warning (possibly-incorrect behaviour) to stderr. */
+void warn(const std::string &msg);
+
+/** Print an informational status message to stderr. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output (benchmarks silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool verbose();
+
+namespace detail {
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace edgeadapt
+
+#define EDGEADAPT_STRINGIFY2(x) #x
+#define EDGEADAPT_STRINGIFY(x) EDGEADAPT_STRINGIFY2(x)
+#define EDGEADAPT_WHERE __FILE__ ":" EDGEADAPT_STRINGIFY(__LINE__)
+
+/** Abort on an internal invariant violation. Variadic streamables. */
+#define panic(...) \
+    ::edgeadapt::panicImpl(EDGEADAPT_WHERE, \
+                           ::edgeadapt::detail::concat(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define fatal(...) \
+    ::edgeadapt::fatalImpl(EDGEADAPT_WHERE, \
+                           ::edgeadapt::detail::concat(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** fatal() unless the condition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // EDGEADAPT_BASE_LOGGING_HH

@@ -1,0 +1,206 @@
+#include "base/rng.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed) : cachedNormal_(0.0), hasCachedNormal_(false)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    panic_if(n == 0, "uniformInt(0) is undefined");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (~n + 1) % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    panic_if(hi < lo, "uniformInt: hi < lo");
+    return lo + (int64_t)uniformInt((uint64_t)(hi - lo + 1));
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gamma(double shape)
+{
+    panic_if(shape <= 0.0, "gamma shape must be positive");
+    if (shape < 1.0) {
+        // Boost to shape+1 then scale back (Marsaglia-Tsang trick).
+        double u = uniform();
+        while (u <= 0.0)
+            u = uniform();
+        return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x, v;
+        do {
+            x = normal();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        double u = uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v;
+        if (u > 0.0 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v;
+        }
+    }
+}
+
+double
+Rng::beta(double a, double b)
+{
+    double x = gamma(a);
+    double y = gamma(b);
+    return x / (x + y);
+}
+
+std::vector<double>
+Rng::dirichlet(double alpha, int k)
+{
+    std::vector<double> w(k);
+    double sum = 0.0;
+    for (auto &wi : w) {
+        wi = gamma(alpha);
+        sum += wi;
+    }
+    for (auto &wi : w)
+        wi /= sum;
+    return w;
+}
+
+int
+Rng::poisson(double lambda)
+{
+    panic_if(lambda < 0.0, "poisson lambda must be non-negative");
+    if (lambda > 30.0) {
+        // Normal approximation for large lambda.
+        double v = normal(lambda, std::sqrt(lambda));
+        return v < 0.0 ? 0 : (int)std::lround(v);
+    }
+    double l = std::exp(-lambda);
+    int k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= uniform();
+    } while (p > l);
+    return k - 1;
+}
+
+std::vector<int>
+Rng::permutation(int n)
+{
+    std::vector<int> idx(n);
+    for (int i = 0; i < n; ++i)
+        idx[i] = i;
+    for (int i = n - 1; i > 0; --i) {
+        int j = (int)uniformInt((uint64_t)(i + 1));
+        std::swap(idx[i], idx[j]);
+    }
+    return idx;
+}
+
+Rng
+Rng::fork(uint64_t tag)
+{
+    // Mix the tag with fresh output so that distinct tags on the same
+    // parent give decorrelated children.
+    uint64_t seed = next() ^ (tag * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull);
+    return Rng(seed);
+}
+
+} // namespace edgeadapt

@@ -1,0 +1,119 @@
+#include "base/stats.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+
+void
+RunningStat::reset()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / (double)n_;
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / (double)(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), counts_((size_t)bins, 0), underflow_(0),
+      overflow_(0), total_(0)
+{
+    panic_if(bins <= 0, "Histogram needs at least one bin");
+    panic_if(hi <= lo, "Histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        int bin = (int)((x - lo_) / (hi_ - lo_) * (double)counts_.size());
+        if (bin >= (int)counts_.size())
+            bin = (int)counts_.size() - 1;
+        ++counts_[(size_t)bin];
+    }
+}
+
+uint64_t
+Histogram::binCount(int i) const
+{
+    panic_if(i < 0 || i >= bins(), "histogram bin out of range");
+    return counts_[(size_t)i];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    panic_if(q < 0.0 || q > 1.0, "quantile must be in [0,1]");
+    uint64_t inRange = total_ - underflow_ - overflow_;
+    panic_if(inRange == 0, "quantile of empty histogram");
+    double target = q * (double)inRange;
+    double cum = 0.0;
+    double width = (hi_ - lo_) / (double)counts_.size();
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double next = cum + (double)counts_[i];
+        if (next >= target && counts_[i] > 0) {
+            double frac = (target - cum) / (double)counts_[i];
+            return lo_ + ((double)i + frac) * width;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / (double)v.size();
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        panic_if(x <= 0.0, "geomean requires positive values");
+        s += std::log(x);
+    }
+    return std::exp(s / (double)v.size());
+}
+
+} // namespace edgeadapt

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Small statistics accumulators used throughout the measurement harness:
+ * running mean/variance (Welford), min/max tracking, and a fixed-bin
+ * histogram for latency distributions.
+ */
+
+#ifndef EDGEADAPT_BASE_STATS_HH
+#define EDGEADAPT_BASE_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace edgeadapt {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ * Numerically stable for long measurement streams.
+ */
+class RunningStat
+{
+  public:
+    RunningStat() { reset(); }
+
+    /** Clear all accumulated samples. */
+    void reset();
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** @return number of samples added. */
+    uint64_t count() const { return n_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** @return unbiased sample variance (0 with < 2 samples). */
+    double variance() const;
+
+    /** @return unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample seen (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest sample seen (-inf when empty). */
+    double max() const { return max_; }
+
+    /** @return sum of all samples. */
+    double sum() const { return mean_ * (double)n_; }
+
+  private:
+    uint64_t n_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi) with overflow/underflow bins.
+ * Used for per-batch latency distributions in the profiling reports.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the binned range.
+     * @param hi exclusive upper bound of the binned range.
+     * @param bins number of equal-width bins (> 0).
+     */
+    Histogram(double lo, double hi, int bins);
+
+    /** Add one sample (out-of-range samples land in under/overflow). */
+    void add(double x);
+
+    /** @return count in bin i (0 <= i < bins()). */
+    uint64_t binCount(int i) const;
+
+    /** @return number of regular bins. */
+    int bins() const { return (int)counts_.size(); }
+
+    /** @return samples below the binned range. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** @return samples at or above the binned range. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** @return total samples added. */
+    uint64_t total() const { return total_; }
+
+    /**
+     * @return approximate quantile (0 <= q <= 1) by linear interpolation
+     * within bins; requires at least one in-range sample.
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_;
+    uint64_t overflow_;
+    uint64_t total_;
+};
+
+/** @return arithmetic mean of a vector (0 for empty). */
+double mean(const std::vector<double> &v);
+
+/** @return geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &v);
+
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_BASE_STATS_HH

@@ -1,0 +1,83 @@
+#include "compress/prune.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace compress {
+
+namespace {
+
+bool
+isPrunable(const nn::Parameter &p)
+{
+    return !p.isBnAffine && p.value.shape().rank() >= 2;
+}
+
+} // namespace
+
+PruneReport
+pruneWeights(models::Model &model, double sparsity)
+{
+    fatal_if(sparsity < 0.0 || sparsity >= 1.0,
+             "sparsity must be in [0, 1), got ", sparsity);
+    PruneReport rep;
+    rep.targetSparsity = sparsity;
+
+    // Gather all prunable magnitudes to find the global threshold.
+    std::vector<float> mags;
+    for (nn::Parameter *p : nn::collectParameters(model.net())) {
+        if (!isPrunable(*p))
+            continue;
+        const float *d = p->value.data();
+        for (int64_t i = 0; i < p->value.numel(); ++i)
+            mags.push_back(std::fabs(d[i]));
+    }
+    rep.prunableElems = (int64_t)mags.size();
+    if (mags.empty() || sparsity == 0.0)
+        return rep;
+
+    size_t k = (size_t)((double)mags.size() * sparsity);
+    if (k == 0)
+        return rep;
+    std::nth_element(mags.begin(), mags.begin() + (k - 1), mags.end());
+    float threshold = mags[k - 1];
+
+    for (nn::Parameter *p : nn::collectParameters(model.net())) {
+        if (!isPrunable(*p))
+            continue;
+        float *d = p->value.data();
+        for (int64_t i = 0; i < p->value.numel(); ++i) {
+            if (std::fabs(d[i]) <= threshold && rep.zeroedElems <
+                (int64_t)k) {
+                d[i] = 0.0f;
+                ++rep.zeroedElems;
+            }
+        }
+    }
+    rep.achievedSparsity =
+        (double)rep.zeroedElems / (double)rep.prunableElems;
+    return rep;
+}
+
+double
+weightSparsity(models::Model &model)
+{
+    int64_t zeros = 0, total = 0;
+    for (nn::Parameter *p : nn::collectParameters(model.net())) {
+        if (!isPrunable(*p))
+            continue;
+        const float *d = p->value.data();
+        for (int64_t i = 0; i < p->value.numel(); ++i) {
+            zeros += d[i] == 0.0f;
+            ++total;
+        }
+    }
+    return total ? (double)zeros / (double)total : 0.0;
+}
+
+} // namespace compress
+} // namespace edgeadapt

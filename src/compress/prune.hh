@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Global magnitude pruning (paper Sec. IV-G, insight iv). Conv and
+ * linear weights below a globally-chosen magnitude threshold are
+ * zeroed; BN parameters and biases are never pruned (they are the
+ * adaptation working set).
+ *
+ * Reference [7] of the paper (Diffenderfer et al., "A Winning Hand")
+ * shows compressed networks *can* retain out-of-distribution
+ * robustness; the ablation bench measures where that holds for
+ * BN-adapted models on the corruption streams.
+ */
+
+#ifndef EDGEADAPT_COMPRESS_PRUNE_HH
+#define EDGEADAPT_COMPRESS_PRUNE_HH
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace compress {
+
+/** Pruning summary. */
+struct PruneReport
+{
+    double targetSparsity = 0.0;
+    double achievedSparsity = 0.0; ///< zeros / prunable weights
+    int64_t prunableElems = 0;
+    int64_t zeroedElems = 0;
+};
+
+/**
+ * Zero the smallest-magnitude fraction of all conv/linear weights
+ * (one global threshold across layers).
+ *
+ * @param model network to prune in place.
+ * @param sparsity fraction in [0, 1) of prunable weights to zero.
+ */
+PruneReport pruneWeights(models::Model &model, double sparsity);
+
+/** @return current sparsity over prunable (conv/linear) weights. */
+double weightSparsity(models::Model &model);
+
+} // namespace compress
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_COMPRESS_PRUNE_HH

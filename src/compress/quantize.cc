@@ -1,0 +1,88 @@
+#include "compress/quantize.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace compress {
+
+namespace {
+
+/** @return true when a parameter is a conv/linear weight matrix. */
+bool
+isWeightTensor(const nn::Parameter &p)
+{
+    // BN affine parameters are flagged; biases are rank-1. Weight
+    // tensors are rank-2 (linear) or rank-4 (conv).
+    return !p.isBnAffine && p.value.shape().rank() >= 2;
+}
+
+/**
+ * Symmetric per-output-channel quantization of one tensor: channel c
+ * is rows [c] of the leading dimension.
+ */
+void
+quantizeTensor(Tensor &t, int bits, QuantReport &rep)
+{
+    const int64_t channels = t.shape()[0];
+    const int64_t per = t.numel() / channels;
+    const float qmax = (float)((1 << (bits - 1)) - 1);
+    float *p = t.data();
+    for (int64_t c = 0; c < channels; ++c) {
+        float *row = p + c * per;
+        float absmax = 0.0f;
+        for (int64_t i = 0; i < per; ++i)
+            absmax = std::max(absmax, std::fabs(row[i]));
+        if (absmax == 0.0f)
+            continue;
+        float scale = absmax / qmax;
+        for (int64_t i = 0; i < per; ++i) {
+            float q = std::round(row[i] / scale) * scale;
+            double err = std::fabs((double)q - row[i]);
+            rep.maxAbsError = std::max(rep.maxAbsError, err);
+            rep.meanAbsError += err;
+            row[i] = q;
+        }
+    }
+    rep.elemsQuantized += t.numel();
+    ++rep.tensorsQuantized;
+}
+
+} // namespace
+
+QuantReport
+quantizeWeights(models::Model &model, int bits)
+{
+    fatal_if(bits < 2 || bits > 16,
+             "quantization width must be in [2, 16], got ", bits);
+    QuantReport rep;
+    rep.bits = bits;
+    for (nn::Parameter *p : nn::collectParameters(model.net())) {
+        if (isWeightTensor(*p))
+            quantizeTensor(p->value, bits, rep);
+    }
+    if (rep.elemsQuantized > 0)
+        rep.meanAbsError /= (double)rep.elemsQuantized;
+    return rep;
+}
+
+int64_t
+quantizedModelBytes(models::Model &model, int bits)
+{
+    int64_t bytes = 0;
+    for (nn::Parameter *p : nn::collectParameters(model.net())) {
+        if (isWeightTensor(*p)) {
+            bytes += (p->value.numel() * bits + 7) / 8;
+            bytes += p->value.shape()[0] * 4; // per-channel scales
+        } else {
+            bytes += p->value.numel() * 4;
+        }
+    }
+    for (Tensor *b : nn::collectBuffers(model.net()))
+        bytes += b->numel() * 4;
+    return bytes;
+}
+
+} // namespace compress
+} // namespace edgeadapt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Post-training weight quantization (paper Sec. IV-G, insight iv:
+ * "pruning and quantization should be explored... care must be taken
+ * that model reduction does not compromise robust accuracy").
+ *
+ * Symmetric per-output-channel fake quantization: weights are rounded
+ * to a b-bit integer grid and de-quantized back to float32, so the
+ * network executes the exact arithmetic a quantized deployment would
+ * see while reusing the float kernels. BN affine parameters and
+ * running statistics are deliberately left in float32 — they are the
+ * adaptation working set, and quantizing them would freeze the very
+ * parameters BN-Norm/BN-Opt need to move.
+ */
+
+#ifndef EDGEADAPT_COMPRESS_QUANTIZE_HH
+#define EDGEADAPT_COMPRESS_QUANTIZE_HH
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace compress {
+
+/** Quantization summary. */
+struct QuantReport
+{
+    int bits = 8;
+    int tensorsQuantized = 0;
+    int64_t elemsQuantized = 0;
+    double maxAbsError = 0.0;  ///< worst per-weight rounding error
+    double meanAbsError = 0.0;
+};
+
+/**
+ * Fake-quantize every conv/linear weight tensor in place.
+ *
+ * @param model network to quantize.
+ * @param bits integer width (2..16; 8 = int8 deployment).
+ * @return rounding-error summary.
+ */
+QuantReport quantizeWeights(models::Model &model, int bits);
+
+/**
+ * @return deployed weight footprint in bytes at the given width
+ * (quantized conv/linear weights + float32 everything else).
+ */
+int64_t quantizedModelBytes(models::Model &model, int bits);
+
+} // namespace compress
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_COMPRESS_QUANTIZE_HH

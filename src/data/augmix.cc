@@ -1,0 +1,85 @@
+#include "data/augmix.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "data/image.hh"
+#include "tensor/ops.hh"
+
+namespace edgeadapt {
+namespace data {
+
+Tensor
+randomAugmentOp(const Tensor &img, double severity, Rng &rng)
+{
+    panic_if(severity < 0.0 || severity > 1.0,
+             "augment severity must be in [0,1]");
+    int op = (int)rng.uniformInt(7);
+    int64_t n = img.shape()[1];
+    switch (op) {
+      case 0: { // rotate
+        double a = rng.uniform(-0.45, 0.45) * severity * M_PI;
+        float ca = (float)std::cos(a), sa = (float)std::sin(a);
+        float m[4] = {ca, -sa, sa, ca};
+        return warpAffine(img, m, 0.0f, 0.0f);
+      }
+      case 1: { // translate
+        float ty = (float)(rng.uniform(-0.3, 0.3) * severity * (double)n);
+        float tx = (float)(rng.uniform(-0.3, 0.3) * severity * (double)n);
+        float m[4] = {1.0f, 0.0f, 0.0f, 1.0f};
+        return warpAffine(img, m, ty, tx);
+      }
+      case 2: { // shear
+        float sh = (float)(rng.uniform(-0.5, 0.5) * severity);
+        float m[4] = {1.0f, sh, 0.0f, 1.0f};
+        return warpAffine(img, m, 0.0f, 0.0f);
+      }
+      case 3: { // posterize
+        int levels = 8 - (int)std::lround(5.0 * severity *
+                                          rng.uniform());
+        return posterize(img, std::max(2, levels));
+      }
+      case 4: { // solarize
+        float t = (float)(1.0 - 0.7 * severity * rng.uniform());
+        return solarize(img, t);
+      }
+      case 5: // autocontrast
+        return autocontrast(img);
+      default: { // equalize-style global stretch toward uniform
+        Tensor ac = autocontrast(img);
+        Tensor out(img.shape());
+        const float *p = ac.data();
+        float *q = out.data();
+        int64_t total = img.numel();
+        for (int64_t i = 0; i < total; ++i) {
+            // Smooth-step remap spreads mid-tones like equalization.
+            float v = p[i];
+            q[i] = v * v * (3.0f - 2.0f * v);
+        }
+        return out;
+      }
+    }
+}
+
+Tensor
+augmix(const Tensor &img, const AugMixOpts &opts, Rng &rng)
+{
+    panic_if(opts.width < 1, "AugMix width must be >= 1");
+    auto w = rng.dirichlet(opts.alpha, opts.width);
+    Tensor mixed = Tensor::zeros(img.shape());
+    for (int i = 0; i < opts.width; ++i) {
+        Tensor chain = img;
+        int depth = 1 + (int)rng.uniformInt((uint64_t)opts.maxDepth);
+        for (int d = 0; d < depth; ++d)
+            chain = randomAugmentOp(chain, opts.severity, rng);
+        axpyInPlace(mixed, (float)w[(size_t)i], chain);
+    }
+    double m = rng.beta(opts.alpha, opts.alpha);
+    Tensor out = scale(img, (float)m);
+    axpyInPlace(out, (float)(1.0 - m), mixed);
+    clampInPlace(out, 0.0f, 1.0f);
+    return out;
+}
+
+} // namespace data
+} // namespace edgeadapt

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * AugMix data augmentation (Hendrycks et al., the paper's offline
+ * robust-training technique, Sec. II-A1): sample several chains of
+ * simple augmentation ops, mix the augmented images with Dirichlet
+ * weights, then blend with the original via a Beta-distributed skip
+ * weight. The op set deliberately excludes the test corruptions.
+ */
+
+#ifndef EDGEADAPT_DATA_AUGMIX_HH
+#define EDGEADAPT_DATA_AUGMIX_HH
+
+#include "base/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace edgeadapt {
+namespace data {
+
+/** AugMix hyperparameters (defaults follow the reference settings). */
+struct AugMixOpts
+{
+    int width = 3;        ///< number of augmentation chains
+    int maxDepth = 3;     ///< ops per chain: uniform in [1, maxDepth]
+    double alpha = 1.0;   ///< Dirichlet/Beta concentration
+    double severity = 0.3; ///< op strength scale in [0, 1]
+};
+
+/**
+ * @return an AugMix-augmented copy of a (3,H,W) image in [0,1].
+ */
+Tensor augmix(const Tensor &img, const AugMixOpts &opts, Rng &rng);
+
+/**
+ * Apply one randomly chosen primitive augmentation op (rotate,
+ * translate, shear, posterize, solarize, autocontrast, equalize-style
+ * stretch). Exposed for tests.
+ */
+Tensor randomAugmentOp(const Tensor &img, double severity, Rng &rng);
+
+} // namespace data
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_DATA_AUGMIX_HH

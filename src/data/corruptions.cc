@@ -1,0 +1,483 @@
+#include "data/corruptions.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "data/image.hh"
+#include "tensor/ops.hh"
+
+namespace edgeadapt {
+namespace data {
+
+namespace {
+
+/** Severity-indexed parameter table (index 0 = severity 1). */
+template <typename T>
+T
+sev(const T (&table)[5], int severity)
+{
+    panic_if(severity < 1 || severity > 5,
+             "corruption severity must be 1..5, got ", severity);
+    return table[severity - 1];
+}
+
+Tensor
+clamp01(Tensor t)
+{
+    clampInPlace(t, 0.0f, 1.0f);
+    return t;
+}
+
+Tensor
+gaussianNoise(const Tensor &img, int severity, Rng &rng)
+{
+    static const double kSigma[5] = {0.04, 0.06, 0.08, 0.09, 0.10};
+    double s = sev(kSigma, severity);
+    Tensor out = img.clone();
+    float *p = out.data();
+    int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] += (float)rng.normal(0.0, s);
+    return clamp01(std::move(out));
+}
+
+Tensor
+shotNoise(const Tensor &img, int severity, Rng &rng)
+{
+    static const double kLambda[5] = {500.0, 250.0, 100.0, 75.0, 50.0};
+    double lam = sev(kLambda, severity);
+    Tensor out(img.shape());
+    const float *p = img.data();
+    float *q = out.data();
+    int64_t n = img.numel();
+    for (int64_t i = 0; i < n; ++i)
+        q[i] = (float)(rng.poisson((double)p[i] * lam) / lam);
+    return clamp01(std::move(out));
+}
+
+Tensor
+impulseNoise(const Tensor &img, int severity, Rng &rng)
+{
+    static const double kProb[5] = {0.01, 0.02, 0.03, 0.05, 0.07};
+    double prob = sev(kProb, severity);
+    Tensor out = img.clone();
+    float *p = out.data();
+    int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(prob))
+            p[i] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    }
+    return out;
+}
+
+Tensor
+defocusBlur(const Tensor &img, int severity, Rng &)
+{
+    static const double kRadius[5] = {0.8, 1.2, 1.6, 2.2, 3.0};
+    return convolve(img, Kernel::disk(sev(kRadius, severity)));
+}
+
+Tensor
+glassBlur(const Tensor &img, int severity, Rng &rng)
+{
+    static const int kReach[5] = {1, 1, 2, 2, 3};
+    static const int kIters[5] = {1, 2, 2, 3, 3};
+    int reach = sev(kReach, severity);
+    int iters = sev(kIters, severity);
+    Tensor out =
+        convolve(img, Kernel::gaussian(0.3 + 0.1 * severity));
+    int64_t c = out.shape()[0], h = out.shape()[1], w = out.shape()[2];
+    float *p = out.data();
+    for (int it = 0; it < iters; ++it) {
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t x = 0; x < w; ++x) {
+                int64_t ny = y + rng.uniformInt(-(int64_t)reach,
+                                                (int64_t)reach);
+                int64_t nx = x + rng.uniformInt(-(int64_t)reach,
+                                                (int64_t)reach);
+                ny = std::min(std::max(ny, (int64_t)0), h - 1);
+                nx = std::min(std::max(nx, (int64_t)0), w - 1);
+                for (int64_t ch = 0; ch < c; ++ch)
+                    std::swap(p[ch * h * w + y * w + x],
+                              p[ch * h * w + ny * w + nx]);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+motionBlur(const Tensor &img, int severity, Rng &rng)
+{
+    static const int kLen[5] = {3, 5, 7, 9, 11};
+    int len = std::min<int>(sev(kLen, severity),
+                            (int)img.shape()[1] - 1);
+    double angle = rng.uniform(0.0, M_PI);
+    return convolve(img, Kernel::motionLine(len, angle));
+}
+
+Tensor
+zoomBlur(const Tensor &img, int severity, Rng &)
+{
+    static const double kMaxZoom[5] = {1.06, 1.11, 1.16, 1.21, 1.26};
+    double maxZoom = sev(kMaxZoom, severity);
+    int64_t h = img.shape()[1], w = img.shape()[2];
+    Tensor acc = img.clone();
+    int steps = 0;
+    for (double z = 1.01; z <= maxZoom; z += 0.02) {
+        // Zoom in: crop center 1/z then resize back up.
+        float a[4] = {(float)(1.0 / z), 0.0f, 0.0f, (float)(1.0 / z)};
+        Tensor zoomed = warpAffine(img, a, 0.0f, 0.0f);
+        addInPlace(acc, zoomed);
+        ++steps;
+        (void)h;
+        (void)w;
+    }
+    scaleInPlace(acc, 1.0f / (float)(steps + 1));
+    return acc;
+}
+
+Tensor
+snow(const Tensor &img, int severity, Rng &rng)
+{
+    static const double kAmount[5] = {0.08, 0.12, 0.18, 0.24, 0.30};
+    static const double kBright[5] = {0.10, 0.12, 0.15, 0.18, 0.20};
+    double amount = sev(kAmount, severity);
+    double bright = sev(kBright, severity);
+    int64_t h = img.shape()[1], w = img.shape()[2];
+
+    // Snow layer: thresholded plasma field streaked by motion blur.
+    auto field = plasmaField(h, w, rng, 0.55);
+    Tensor layer = Tensor::zeros(Shape{1, h, w});
+    float *lp = layer.data();
+    float thresh = (float)(1.0 - amount);
+    for (int64_t i = 0; i < h * w; ++i)
+        lp[i] = field[(size_t)i] > thresh ? 1.0f : 0.0f;
+    layer = convolve(layer,
+                     Kernel::motionLine(std::min<int>(5, (int)h - 1),
+                                        rng.uniform(0.5, 1.2)));
+
+    Tensor out = img.clone();
+    float *p = out.data();
+    const float *l = layer.data();
+    for (int64_t ch = 0; ch < 3; ++ch) {
+        for (int64_t i = 0; i < h * w; ++i) {
+            float v = p[ch * h * w + i] + (float)bright * 0.3f +
+                      l[i] * 0.8f;
+            p[ch * h * w + i] = v;
+        }
+    }
+    return clamp01(std::move(out));
+}
+
+Tensor
+frost(const Tensor &img, int severity, Rng &rng)
+{
+    static const double kMix[5] = {0.22, 0.30, 0.38, 0.46, 0.54};
+    double mix = sev(kMix, severity);
+    int64_t h = img.shape()[1], w = img.shape()[2];
+    auto field = plasmaField(h, w, rng, 0.7);
+
+    Tensor out = img.clone();
+    float *p = out.data();
+    for (int64_t ch = 0; ch < 3; ++ch) {
+        for (int64_t i = 0; i < h * w; ++i) {
+            // Frost crystals: bright, slightly blue-tinted occlusion.
+            float f = field[(size_t)i];
+            f = f * f; // sharpen
+            float frostVal = 0.7f + 0.3f * f +
+                             (ch == 2 ? 0.05f : 0.0f);
+            float &v = p[ch * h * w + i];
+            v = (float)((1.0 - mix * f) * v + mix * f * frostVal);
+        }
+    }
+    return clamp01(std::move(out));
+}
+
+Tensor
+fog(const Tensor &img, int severity, Rng &rng)
+{
+    static const double kMix[5] = {0.25, 0.35, 0.45, 0.55, 0.65};
+    double mix = sev(kMix, severity);
+    int64_t h = img.shape()[1], w = img.shape()[2];
+    auto field = plasmaField(h, w, rng, 0.75);
+    Tensor out = img.clone();
+    float *p = out.data();
+    for (int64_t ch = 0; ch < 3; ++ch) {
+        for (int64_t i = 0; i < h * w; ++i) {
+            float f = (float)(mix * (0.6 + 0.4 * field[(size_t)i]));
+            float &v = p[ch * h * w + i];
+            v = (1.0f - f) * v + f * 0.9f; // haze toward light gray
+        }
+    }
+    return clamp01(std::move(out));
+}
+
+Tensor
+brightness(const Tensor &img, int severity, Rng &)
+{
+    static const double kDelta[5] = {0.10, 0.15, 0.20, 0.25, 0.30};
+    Tensor out = img.clone();
+    float *p = out.data();
+    float d = (float)sev(kDelta, severity);
+    int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] += d;
+    return clamp01(std::move(out));
+}
+
+Tensor
+contrast(const Tensor &img, int severity, Rng &)
+{
+    static const double kFactor[5] = {0.75, 0.6, 0.45, 0.3, 0.2};
+    float f = (float)sev(kFactor, severity);
+    float m = (float)img.mean();
+    Tensor out = img.clone();
+    float *p = out.data();
+    int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = (p[i] - m) * f + m;
+    return clamp01(std::move(out));
+}
+
+Tensor
+elasticTransform(const Tensor &img, int severity, Rng &rng)
+{
+    static const double kAlpha[5] = {1.0, 1.5, 2.0, 2.5, 3.0};
+    double alpha = sev(kAlpha, severity);
+    int64_t h = img.shape()[1], w = img.shape()[2];
+    // Smooth random displacement field: white noise blurred by a
+    // Gaussian, scaled by alpha pixels.
+    Tensor ny(Shape{1, h, w}), nx(Shape{1, h, w});
+    float *py = ny.data(), *px = nx.data();
+    for (int64_t i = 0; i < h * w; ++i) {
+        py[i] = (float)rng.uniform(-1.0, 1.0);
+        px[i] = (float)rng.uniform(-1.0, 1.0);
+    }
+    Kernel g = Kernel::gaussian(2.0);
+    ny = convolve(ny, g);
+    nx = convolve(nx, g);
+    std::vector<float> dy((size_t)(h * w)), dx((size_t)(h * w));
+    const float *sy = ny.data(), *sx = nx.data();
+    for (int64_t i = 0; i < h * w; ++i) {
+        dy[(size_t)i] = (float)(alpha * 4.0) * sy[i];
+        dx[(size_t)i] = (float)(alpha * 4.0) * sx[i];
+    }
+    return warpDisplacement(img, dy, dx);
+}
+
+Tensor
+pixelate(const Tensor &img, int severity, Rng &)
+{
+    static const double kFactor[5] = {0.8, 0.65, 0.5, 0.4, 0.3};
+    double f = sev(kFactor, severity);
+    int64_t h = img.shape()[1], w = img.shape()[2];
+    int64_t sh = std::max<int64_t>(2, (int64_t)((double)h * f));
+    int64_t sw = std::max<int64_t>(2, (int64_t)((double)w * f));
+    Tensor small = resizeBilinear(img, sh, sw);
+    // Nearest-neighbour upsample for the blocky look.
+    Tensor out(img.shape());
+    const float *p = small.data();
+    float *q = out.data();
+    for (int64_t ch = 0; ch < 3; ++ch) {
+        for (int64_t y = 0; y < h; ++y) {
+            int64_t ys = std::min(sh - 1, y * sh / h);
+            for (int64_t x = 0; x < w; ++x) {
+                int64_t xs = std::min(sw - 1, x * sw / w);
+                q[ch * h * w + y * w + x] =
+                    p[ch * sh * sw + ys * sw + xs];
+            }
+        }
+    }
+    return out;
+}
+
+/** 8-point 1-D DCT-II applied along rows or columns of an 8x8 block. */
+void
+dct8(const float in[8], float out[8], bool inverse)
+{
+    for (int k = 0; k < 8; ++k) {
+        double s = 0.0;
+        for (int n = 0; n < 8; ++n) {
+            if (!inverse) {
+                s += in[n] *
+                     std::cos(M_PI / 8.0 * ((double)n + 0.5) * k);
+            } else {
+                double ck = n == 0 ? 0.5 : 1.0;
+                s += ck * in[n] *
+                     std::cos(M_PI / 8.0 * ((double)k + 0.5) * n);
+            }
+        }
+        out[k] = (float)(inverse ? s * 0.25 : s);
+    }
+}
+
+Tensor
+jpegCompression(const Tensor &img, int severity, Rng &)
+{
+    // True 8x8 block DCT quantization: quality falls with severity.
+    static const double kQuant[5] = {0.04, 0.08, 0.12, 0.18, 0.26};
+    double qbase = sev(kQuant, severity);
+    int64_t c = img.shape()[0], h = img.shape()[1], w = img.shape()[2];
+    Tensor out = img.clone();
+    float *p = out.data();
+
+    for (int64_t ch = 0; ch < c; ++ch) {
+        float *chan = p + ch * h * w;
+        for (int64_t by = 0; by < h; by += 8) {
+            for (int64_t bx = 0; bx < w; bx += 8) {
+                float block[8][8] = {};
+                int64_t bh = std::min<int64_t>(8, h - by);
+                int64_t bw = std::min<int64_t>(8, w - bx);
+                for (int64_t y = 0; y < bh; ++y)
+                    for (int64_t x = 0; x < bw; ++x)
+                        block[y][x] = chan[(by + y) * w + bx + x];
+                // Forward DCT: rows then columns.
+                float tmp[8][8], coef[8][8];
+                for (int y = 0; y < 8; ++y)
+                    dct8(block[y], tmp[y], false);
+                for (int x = 0; x < 8; ++x) {
+                    float col[8], dc[8];
+                    for (int y = 0; y < 8; ++y)
+                        col[y] = tmp[y][x];
+                    dct8(col, dc, false);
+                    for (int y = 0; y < 8; ++y)
+                        coef[y][x] = dc[y];
+                }
+                // Quantize: step grows with frequency (luminance-like).
+                for (int y = 0; y < 8; ++y) {
+                    for (int x = 0; x < 8; ++x) {
+                        double step =
+                            qbase * (1.0 + 0.6 * (double)(x + y));
+                        coef[y][x] = (float)(std::round(coef[y][x] /
+                                                        step) *
+                                             step);
+                    }
+                }
+                // Inverse DCT: columns then rows.
+                for (int x = 0; x < 8; ++x) {
+                    float col[8], dc[8];
+                    for (int y = 0; y < 8; ++y)
+                        col[y] = coef[y][x];
+                    dct8(col, dc, true);
+                    for (int y = 0; y < 8; ++y)
+                        tmp[y][x] = dc[y];
+                }
+                for (int y = 0; y < 8; ++y)
+                    dct8(tmp[y], block[y], true);
+                for (int64_t y = 0; y < bh; ++y)
+                    for (int64_t x = 0; x < bw; ++x)
+                        chan[(by + y) * w + bx + x] = block[y][x];
+            }
+        }
+    }
+    return clamp01(std::move(out));
+}
+
+} // namespace
+
+const std::vector<Corruption> &
+allCorruptions()
+{
+    static const std::vector<Corruption> all{
+        Corruption::GaussianNoise,  Corruption::ShotNoise,
+        Corruption::ImpulseNoise,   Corruption::DefocusBlur,
+        Corruption::GlassBlur,      Corruption::MotionBlur,
+        Corruption::ZoomBlur,       Corruption::Snow,
+        Corruption::Frost,          Corruption::Fog,
+        Corruption::Brightness,     Corruption::Contrast,
+        Corruption::ElasticTransform, Corruption::Pixelate,
+        Corruption::JpegCompression,
+    };
+    return all;
+}
+
+const char *
+corruptionName(Corruption c)
+{
+    switch (c) {
+      case Corruption::GaussianNoise:
+        return "gaussian_noise";
+      case Corruption::ShotNoise:
+        return "shot_noise";
+      case Corruption::ImpulseNoise:
+        return "impulse_noise";
+      case Corruption::DefocusBlur:
+        return "defocus_blur";
+      case Corruption::GlassBlur:
+        return "glass_blur";
+      case Corruption::MotionBlur:
+        return "motion_blur";
+      case Corruption::ZoomBlur:
+        return "zoom_blur";
+      case Corruption::Snow:
+        return "snow";
+      case Corruption::Frost:
+        return "frost";
+      case Corruption::Fog:
+        return "fog";
+      case Corruption::Brightness:
+        return "brightness";
+      case Corruption::Contrast:
+        return "contrast";
+      case Corruption::ElasticTransform:
+        return "elastic_transform";
+      case Corruption::Pixelate:
+        return "pixelate";
+      case Corruption::JpegCompression:
+        return "jpeg_compression";
+    }
+    return "?";
+}
+
+Corruption
+corruptionFromName(const std::string &name)
+{
+    for (Corruption c : allCorruptions()) {
+        if (name == corruptionName(c))
+            return c;
+    }
+    fatal("unknown corruption name: ", name);
+}
+
+Tensor
+applyCorruption(const Tensor &img, Corruption c, int severity, Rng &rng)
+{
+    panic_if(img.shape().rank() != 3, "applyCorruption wants (C,H,W)");
+    switch (c) {
+      case Corruption::GaussianNoise:
+        return gaussianNoise(img, severity, rng);
+      case Corruption::ShotNoise:
+        return shotNoise(img, severity, rng);
+      case Corruption::ImpulseNoise:
+        return impulseNoise(img, severity, rng);
+      case Corruption::DefocusBlur:
+        return defocusBlur(img, severity, rng);
+      case Corruption::GlassBlur:
+        return glassBlur(img, severity, rng);
+      case Corruption::MotionBlur:
+        return motionBlur(img, severity, rng);
+      case Corruption::ZoomBlur:
+        return zoomBlur(img, severity, rng);
+      case Corruption::Snow:
+        return snow(img, severity, rng);
+      case Corruption::Frost:
+        return frost(img, severity, rng);
+      case Corruption::Fog:
+        return fog(img, severity, rng);
+      case Corruption::Brightness:
+        return brightness(img, severity, rng);
+      case Corruption::Contrast:
+        return contrast(img, severity, rng);
+      case Corruption::ElasticTransform:
+        return elasticTransform(img, severity, rng);
+      case Corruption::Pixelate:
+        return pixelate(img, severity, rng);
+      case Corruption::JpegCompression:
+        return jpegCompression(img, severity, rng);
+    }
+    panic("unhandled corruption");
+}
+
+} // namespace data
+} // namespace edgeadapt

@@ -1,0 +1,320 @@
+#include "data/image.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace data {
+
+namespace {
+
+void
+checkImage(const Tensor &img)
+{
+    panic_if(img.shape().rank() != 3, "image ops want (C,H,W), got ",
+             img.shape().str());
+}
+
+int64_t
+reflect(int64_t i, int64_t n)
+{
+    if (n == 1)
+        return 0;
+    while (i < 0 || i >= n) {
+        if (i < 0)
+            i = -i - 1;
+        if (i >= n)
+            i = 2 * n - i - 1;
+    }
+    return i;
+}
+
+void
+normalizeKernel(Kernel &k)
+{
+    double s = 0.0;
+    for (float w : k.weights)
+        s += w;
+    panic_if(s <= 0.0, "kernel has non-positive mass");
+    for (float &w : k.weights)
+        w = (float)(w / s);
+}
+
+} // namespace
+
+Kernel
+Kernel::disk(double radius)
+{
+    int r = std::max(1, (int)std::ceil(radius));
+    Kernel k;
+    k.size = 2 * r + 1;
+    k.weights.assign((size_t)(k.size * k.size), 0.0f);
+    for (int y = -r; y <= r; ++y) {
+        for (int x = -r; x <= r; ++x) {
+            double d = std::sqrt((double)(y * y + x * x));
+            // Soft edge keeps small radii meaningful on small images.
+            double v = 1.0 / (1.0 + std::exp(4.0 * (d - radius)));
+            k.weights[(size_t)((y + r) * k.size + (x + r))] = (float)v;
+        }
+    }
+    normalizeKernel(k);
+    return k;
+}
+
+Kernel
+Kernel::gaussian(double sigma)
+{
+    panic_if(sigma <= 0.0, "gaussian sigma must be positive");
+    int r = std::max(1, (int)std::ceil(3.0 * sigma));
+    Kernel k;
+    k.size = 2 * r + 1;
+    k.weights.assign((size_t)(k.size * k.size), 0.0f);
+    for (int y = -r; y <= r; ++y) {
+        for (int x = -r; x <= r; ++x) {
+            double v = std::exp(-(y * y + x * x) / (2.0 * sigma * sigma));
+            k.weights[(size_t)((y + r) * k.size + (x + r))] = (float)v;
+        }
+    }
+    normalizeKernel(k);
+    return k;
+}
+
+Kernel
+Kernel::motionLine(int length, double angle_rad)
+{
+    panic_if(length < 1, "motion kernel length must be >= 1");
+    int r = length / 2;
+    Kernel k;
+    k.size = 2 * r + 1;
+    k.weights.assign((size_t)(k.size * k.size), 0.0f);
+    double cy = std::sin(angle_rad), cx = std::cos(angle_rad);
+    for (int t = -r; t <= r; ++t) {
+        int y = (int)std::lround(t * cy) + r;
+        int x = (int)std::lround(t * cx) + r;
+        k.weights[(size_t)(y * k.size + x)] += 1.0f;
+    }
+    normalizeKernel(k);
+    return k;
+}
+
+Tensor
+convolve(const Tensor &img, const Kernel &k)
+{
+    checkImage(img);
+    int64_t c = img.shape()[0], h = img.shape()[1], w = img.shape()[2];
+    int r = k.size / 2;
+    Tensor out(img.shape());
+    const float *p = img.data();
+    float *q = out.data();
+    for (int64_t ch = 0; ch < c; ++ch) {
+        const float *src = p + ch * h * w;
+        float *dst = q + ch * h * w;
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t x = 0; x < w; ++x) {
+                double s = 0.0;
+                for (int ky = -r; ky <= r; ++ky) {
+                    int64_t iy = reflect(y + ky, h);
+                    for (int kx = -r; kx <= r; ++kx) {
+                        int64_t ix = reflect(x + kx, w);
+                        s += src[iy * w + ix] *
+                             k.weights[(size_t)((ky + r) * k.size +
+                                                (kx + r))];
+                    }
+                }
+                dst[y * w + x] = (float)s;
+            }
+        }
+    }
+    return out;
+}
+
+float
+sampleBilinear(const float *chan, int64_t h, int64_t w, float y, float x)
+{
+    float yc = std::min(std::max(y, 0.0f), (float)(h - 1));
+    float xc = std::min(std::max(x, 0.0f), (float)(w - 1));
+    int64_t y0 = (int64_t)yc, x0 = (int64_t)xc;
+    int64_t y1 = std::min(y0 + 1, h - 1), x1 = std::min(x0 + 1, w - 1);
+    float fy = yc - (float)y0, fx = xc - (float)x0;
+    float v00 = chan[y0 * w + x0], v01 = chan[y0 * w + x1];
+    float v10 = chan[y1 * w + x0], v11 = chan[y1 * w + x1];
+    return v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx +
+           v10 * fy * (1 - fx) + v11 * fy * fx;
+}
+
+Tensor
+resizeBilinear(const Tensor &img, int64_t new_h, int64_t new_w)
+{
+    checkImage(img);
+    int64_t c = img.shape()[0], h = img.shape()[1], w = img.shape()[2];
+    Tensor out(Shape{c, new_h, new_w});
+    const float *p = img.data();
+    float *q = out.data();
+    float sy = (float)h / (float)new_h;
+    float sx = (float)w / (float)new_w;
+    for (int64_t ch = 0; ch < c; ++ch) {
+        const float *src = p + ch * h * w;
+        float *dst = q + ch * new_h * new_w;
+        for (int64_t y = 0; y < new_h; ++y) {
+            float fy = ((float)y + 0.5f) * sy - 0.5f;
+            for (int64_t x = 0; x < new_w; ++x) {
+                float fx = ((float)x + 0.5f) * sx - 0.5f;
+                dst[y * new_w + x] = sampleBilinear(src, h, w, fy, fx);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+warpAffine(const Tensor &img, const float a[4], float ty, float tx)
+{
+    checkImage(img);
+    int64_t c = img.shape()[0], h = img.shape()[1], w = img.shape()[2];
+    Tensor out(img.shape());
+    const float *p = img.data();
+    float *q = out.data();
+    float cy = (float)(h - 1) / 2.0f, cx = (float)(w - 1) / 2.0f;
+    for (int64_t ch = 0; ch < c; ++ch) {
+        const float *src = p + ch * h * w;
+        float *dst = q + ch * h * w;
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t x = 0; x < w; ++x) {
+                float dy = (float)y - cy, dx = (float)x - cx;
+                float sy = a[0] * dy + a[1] * dx + cy + ty;
+                float sx = a[2] * dy + a[3] * dx + cx + tx;
+                dst[y * w + x] = sampleBilinear(src, h, w, sy, sx);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+warpDisplacement(const Tensor &img, const std::vector<float> &dy,
+                 const std::vector<float> &dx)
+{
+    checkImage(img);
+    int64_t c = img.shape()[0], h = img.shape()[1], w = img.shape()[2];
+    panic_if((int64_t)dy.size() != h * w || (int64_t)dx.size() != h * w,
+             "displacement field size mismatch");
+    Tensor out(img.shape());
+    const float *p = img.data();
+    float *q = out.data();
+    for (int64_t ch = 0; ch < c; ++ch) {
+        const float *src = p + ch * h * w;
+        float *dst = q + ch * h * w;
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t x = 0; x < w; ++x) {
+                float sy = (float)y + dy[(size_t)(y * w + x)];
+                float sx = (float)x + dx[(size_t)(y * w + x)];
+                dst[y * w + x] = sampleBilinear(src, h, w, sy, sx);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+plasmaField(int64_t h, int64_t w, Rng &rng, double roughness)
+{
+    std::vector<float> acc((size_t)(h * w), 0.0f);
+    double amp = 1.0, totalAmp = 0.0;
+    // Octaves from coarse (2x2) to fine (full resolution).
+    for (int64_t res = 2; res <= std::max(h, w); res *= 2) {
+        int64_t rh = std::min(res, h), rw = std::min(res, w);
+        Tensor noise(Shape{1, rh, rw});
+        float *np = noise.data();
+        for (int64_t i = 0; i < rh * rw; ++i)
+            np[i] = (float)rng.uniform();
+        Tensor up = resizeBilinear(noise, h, w);
+        const float *u = up.data();
+        for (int64_t i = 0; i < h * w; ++i)
+            acc[(size_t)i] += (float)amp * u[i];
+        totalAmp += amp;
+        amp *= roughness;
+        if (rh == h && rw == w)
+            break;
+    }
+    for (auto &v : acc)
+        v = (float)(v / totalAmp);
+    return acc;
+}
+
+Tensor
+autocontrast(const Tensor &img)
+{
+    checkImage(img);
+    int64_t c = img.shape()[0], area = img.shape()[1] * img.shape()[2];
+    Tensor out(img.shape());
+    const float *p = img.data();
+    float *q = out.data();
+    for (int64_t ch = 0; ch < c; ++ch) {
+        const float *src = p + ch * area;
+        float *dst = q + ch * area;
+        float lo = src[0], hi = src[0];
+        for (int64_t i = 1; i < area; ++i) {
+            lo = std::min(lo, src[i]);
+            hi = std::max(hi, src[i]);
+        }
+        float range = hi - lo;
+        if (range < 1e-6f) {
+            for (int64_t i = 0; i < area; ++i)
+                dst[i] = src[i];
+        } else {
+            float inv = 1.0f / range;
+            for (int64_t i = 0; i < area; ++i)
+                dst[i] = (src[i] - lo) * inv;
+        }
+    }
+    return out;
+}
+
+Tensor
+posterize(const Tensor &img, int levels)
+{
+    panic_if(levels < 2, "posterize needs >= 2 levels");
+    Tensor out(img.shape());
+    const float *p = img.data();
+    float *q = out.data();
+    int64_t n = img.numel();
+    float l = (float)(levels - 1);
+    for (int64_t i = 0; i < n; ++i)
+        q[i] = std::round(p[i] * l) / l;
+    return out;
+}
+
+Tensor
+solarize(const Tensor &img, float threshold)
+{
+    Tensor out(img.shape());
+    const float *p = img.data();
+    float *q = out.data();
+    int64_t n = img.numel();
+    for (int64_t i = 0; i < n; ++i)
+        q[i] = p[i] >= threshold ? 1.0f - p[i] : p[i];
+    return out;
+}
+
+Tensor
+toGray(const Tensor &img)
+{
+    checkImage(img);
+    int64_t c = img.shape()[0], area = img.shape()[1] * img.shape()[2];
+    Tensor out(img.shape());
+    const float *p = img.data();
+    float *q = out.data();
+    for (int64_t i = 0; i < area; ++i) {
+        float s = 0.0f;
+        for (int64_t ch = 0; ch < c; ++ch)
+            s += p[ch * area + i];
+        s /= (float)c;
+        for (int64_t ch = 0; ch < c; ++ch)
+            q[ch * area + i] = s;
+    }
+    return out;
+}
+
+} // namespace data
+} // namespace edgeadapt

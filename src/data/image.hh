@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Image-processing primitives shared by the synthetic dataset, the
+ * corruption library, and AugMix: 2-D convolution with reflect
+ * padding, bilinear resampling, affine warps, and value transforms.
+ * Images are rank-3 (C, H, W) float tensors with values nominally in
+ * [0, 1].
+ */
+
+#ifndef EDGEADAPT_DATA_IMAGE_HH
+#define EDGEADAPT_DATA_IMAGE_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace edgeadapt {
+namespace data {
+
+/** Square convolution kernel (odd extent), row-major. */
+struct Kernel
+{
+    int size = 1;
+    std::vector<float> weights; ///< size*size entries
+
+    /** @return normalized disk kernel of the given radius. */
+    static Kernel disk(double radius);
+
+    /** @return normalized Gaussian kernel (3-sigma support). */
+    static Kernel gaussian(double sigma);
+
+    /** @return normalized oriented line kernel (motion blur). */
+    static Kernel motionLine(int length, double angle_rad);
+};
+
+/** Convolve each channel with the kernel, reflect padding. */
+Tensor convolve(const Tensor &img, const Kernel &k);
+
+/** Bilinear resize to (newH, newW). */
+Tensor resizeBilinear(const Tensor &img, int64_t new_h, int64_t new_w);
+
+/**
+ * Sample a channel at continuous coordinates with bilinear filtering
+ * and edge clamping.
+ */
+float sampleBilinear(const float *chan, int64_t h, int64_t w, float y,
+                     float x);
+
+/**
+ * Warp an image by an affine map applied around the image center:
+ * source = A * (dest - c) + c + t.
+ *
+ * @param img input image.
+ * @param a 2x2 row-major linear part {a00, a01, a10, a11}.
+ * @param ty translation rows. @param tx translation cols.
+ */
+Tensor warpAffine(const Tensor &img, const float a[4], float ty,
+                  float tx);
+
+/**
+ * Warp by a dense per-pixel displacement field (elastic transform).
+ * @param dy per-pixel row displacement (H*W floats).
+ * @param dx per-pixel col displacement.
+ */
+Tensor warpDisplacement(const Tensor &img, const std::vector<float> &dy,
+                        const std::vector<float> &dx);
+
+/**
+ * Band-limited "plasma" noise field in [0,1]: several octaves of
+ * bilinearly-upsampled white noise. Used by the fog/frost/snow
+ * corruptions.
+ */
+std::vector<float> plasmaField(int64_t h, int64_t w, Rng &rng,
+                               double roughness = 0.6);
+
+/** Per-channel linear remap to span exactly [0,1] (autocontrast). */
+Tensor autocontrast(const Tensor &img);
+
+/** Quantize values to n levels (posterize analogue). */
+Tensor posterize(const Tensor &img, int levels);
+
+/** Invert values above the threshold (solarize). */
+Tensor solarize(const Tensor &img, float threshold);
+
+/** @return grayscale mean-luminance copy broadcast to all channels. */
+Tensor toGray(const Tensor &img);
+
+} // namespace data
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_DATA_IMAGE_HH

@@ -1,0 +1,41 @@
+#include "data/stream.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace data {
+
+CorruptionStream::CorruptionStream(const SynthCifar &dataset,
+                                   const StreamConfig &cfg, Rng rng)
+    : dataset_(dataset), cfg_(cfg), rng_(rng)
+{
+    fatal_if(cfg.batchSize <= 0, "stream batch size must be positive");
+    fatal_if(cfg.totalSamples <= 0, "stream length must be positive");
+}
+
+Batch
+CorruptionStream::next()
+{
+    panic_if(!hasNext(), "CorruptionStream exhausted");
+    int64_t n = std::min(cfg_.batchSize, cfg_.totalSamples - produced_);
+    int64_t sz = dataset_.imageSize();
+    Batch b;
+    b.images = Tensor(Shape{n, 3, sz, sz});
+    b.labels.resize((size_t)n);
+    int64_t elems = 3 * sz * sz;
+    for (int64_t i = 0; i < n; ++i) {
+        Sample s = dataset_.sample(rng_);
+        Tensor corrupted = applyCorruption(s.image, cfg_.corruption,
+                                           cfg_.severity, rng_);
+        std::memcpy(b.images.data() + i * elems, corrupted.data(),
+                    (size_t)elems * sizeof(float));
+        b.labels[(size_t)i] = s.label;
+    }
+    produced_ += n;
+    return b;
+}
+
+} // namespace data
+} // namespace edgeadapt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Corruption test streams. The paper streams 10000 unlabeled
+ * CIFAR-10-C samples per corruption type and adapts on batches of
+ * recently-seen data (Sec. III-C). CorruptionStream reproduces that:
+ * it yields consecutive labelled batches of corrupted SynthCIFAR
+ * samples (labels are used only for scoring, never shown to the
+ * adaptation algorithms).
+ */
+
+#ifndef EDGEADAPT_DATA_STREAM_HH
+#define EDGEADAPT_DATA_STREAM_HH
+
+#include "data/corruptions.hh"
+#include "data/synth_cifar.hh"
+
+namespace edgeadapt {
+namespace data {
+
+/** Configuration of one corruption test stream. */
+struct StreamConfig
+{
+    Corruption corruption = Corruption::GaussianNoise;
+    int severity = 5;       ///< paper uses level 5
+    int64_t batchSize = 50; ///< adaptation batch (50/100/200)
+    int64_t totalSamples = 10000; ///< stream length per corruption
+};
+
+/** Sequential batch source over a corrupted synthetic stream. */
+class CorruptionStream
+{
+  public:
+    /**
+     * @param dataset clean-image generator.
+     * @param cfg stream parameters.
+     * @param rng stream-owned random state (copied).
+     */
+    CorruptionStream(const SynthCifar &dataset, const StreamConfig &cfg,
+                     Rng rng);
+
+    /** @return whether another batch is available. */
+    bool hasNext() const { return produced_ < cfg_.totalSamples; }
+
+    /**
+     * Produce the next batch (the final batch may be short).
+     * panic()s when exhausted.
+     */
+    Batch next();
+
+    /** @return samples produced so far. */
+    int64_t produced() const { return produced_; }
+
+    /** @return the stream configuration. */
+    const StreamConfig &config() const { return cfg_; }
+
+  private:
+    const SynthCifar &dataset_;
+    StreamConfig cfg_;
+    Rng rng_;
+    int64_t produced_ = 0;
+};
+
+} // namespace data
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_DATA_STREAM_HH

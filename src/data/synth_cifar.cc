@@ -1,0 +1,165 @@
+#include "data/synth_cifar.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace data {
+
+namespace {
+
+/** Static per-class appearance parameters, derived from the label. */
+struct ClassStyle
+{
+    float baseR, baseG, baseB;   ///< background tint
+    float blobR, blobG, blobB;   ///< blob color
+    float gratingAngle;          ///< radians
+    float gratingFreq;           ///< cycles across the image
+    float blobRadius;            ///< fraction of image size
+    int blobCount;               ///< 1 or 2 blobs
+};
+
+ClassStyle
+styleFor(int label)
+{
+    // Class appearances deliberately overlap (muted palette, shared
+    // frequency bands): like natural images, classification requires
+    // combining color, texture, and shape cues, which leaves the
+    // realistic error headroom under corruption that the adaptation
+    // study needs.
+    ClassStyle s;
+    float t = (float)label;
+    s.baseR = 0.30f + 0.04f * std::sin(2.1f * t + 0.3f);
+    s.baseG = 0.30f + 0.04f * std::sin(1.7f * t + 1.9f);
+    s.baseB = 0.30f + 0.04f * std::sin(1.3f * t + 4.2f);
+    s.blobR = 0.45f + 0.22f * std::sin(2.39996f * t);       // golden
+    s.blobG = 0.45f + 0.22f * std::sin(2.39996f * t + 2.1f);
+    s.blobB = 0.45f + 0.22f * std::sin(2.39996f * t + 4.2f);
+    s.gratingAngle = (float)(M_PI * (double)label / 10.0);
+    s.gratingFreq = 2.0f + (float)(label % 5);
+    s.blobRadius = 0.15f + 0.02f * (float)(label % 3);
+    s.blobCount = 1 + (label % 2);
+    return s;
+}
+
+} // namespace
+
+SynthCifar::SynthCifar(int64_t image_size, int num_classes)
+    : size_(image_size), classes_(num_classes)
+{
+    panic_if(image_size < 8, "SynthCifar images must be >= 8 px");
+    panic_if(num_classes < 2, "SynthCifar needs >= 2 classes");
+}
+
+Sample
+SynthCifar::sample(int label, Rng &rng) const
+{
+    panic_if(label < 0 || label >= classes_, "label out of range");
+    const ClassStyle st = styleFor(label);
+    const int64_t n = size_;
+
+    Sample out;
+    out.label = label;
+    out.image = Tensor(Shape{3, n, n});
+    float *img = out.image.data();
+
+    // Per-sample jitter: pose, lighting, and texture vary enough that
+    // classes overlap near their boundaries.
+    float phase = (float)rng.uniform(0.0, 2.0 * M_PI);
+    float angleJit = (float)rng.normal(0.0, 0.16);
+    float tintJit[3] = {(float)rng.normal(0.0, 0.06),
+                        (float)rng.normal(0.0, 0.06),
+                        (float)rng.normal(0.0, 0.06)};
+    float angle = st.gratingAngle + angleJit;
+    float ca = std::cos(angle), sa = std::sin(angle);
+    float freq = st.gratingFreq * (1.0f + (float)rng.normal(0.0, 0.10));
+
+    // Background tint + oriented grating.
+    for (int64_t y = 0; y < n; ++y) {
+        for (int64_t x = 0; x < n; ++x) {
+            float u = (float)x / (float)n, v = (float)y / (float)n;
+            float proj = ca * u + sa * v;
+            float g = 0.5f +
+                      0.5f * std::sin(2.0f * (float)M_PI * freq * proj +
+                                      phase);
+            float gw = 0.18f * g;
+            img[0 * n * n + y * n + x] = st.baseR + tintJit[0] + gw;
+            img[1 * n * n + y * n + x] = st.baseG + tintJit[1] + gw;
+            img[2 * n * n + y * n + x] = st.baseB + tintJit[2] + gw;
+        }
+    }
+
+    // Class-colored blob(s) with jittered center and radius.
+    for (int b = 0; b < st.blobCount; ++b) {
+        float cy = (float)rng.uniform(0.2, 0.8) * (float)n;
+        float cx = (float)rng.uniform(0.2, 0.8) * (float)n;
+        float rad = st.blobRadius * (float)n *
+                    (1.0f + (float)rng.normal(0.0, 0.25));
+        float inv2r2 = 1.0f / (2.0f * rad * rad);
+        for (int64_t y = 0; y < n; ++y) {
+            for (int64_t x = 0; x < n; ++x) {
+                float dy = (float)y - cy, dx = (float)x - cx;
+                float m = std::exp(-(dy * dy + dx * dx) * inv2r2);
+                int64_t i = y * n + x;
+                img[0 * n * n + i] += m * (st.blobR - img[0 * n * n + i]);
+                img[1 * n * n + i] += m * (st.blobG - img[1 * n * n + i]);
+                img[2 * n * n + i] += m * (st.blobB - img[2 * n * n + i]);
+            }
+        }
+    }
+
+    // Sensor noise on clean data (CIFAR images are far from
+    // noiseless).
+    int64_t total = 3 * n * n;
+    for (int64_t i = 0; i < total; ++i) {
+        img[i] += (float)rng.normal(0.0, 0.03);
+        img[i] = std::min(1.0f, std::max(0.0f, img[i]));
+    }
+    return out;
+}
+
+Sample
+SynthCifar::sample(Rng &rng) const
+{
+    return sample((int)rng.uniformInt((uint64_t)classes_), rng);
+}
+
+Batch
+SynthCifar::batch(int64_t n, Rng &rng) const
+{
+    panic_if(n <= 0, "batch size must be positive");
+    Batch b;
+    b.images = Tensor(Shape{n, 3, size_, size_});
+    b.labels.resize((size_t)n);
+    int64_t imgElems = 3 * size_ * size_;
+    for (int64_t i = 0; i < n; ++i) {
+        Sample s = sample(rng);
+        std::memcpy(b.images.data() + i * imgElems, s.image.data(),
+                    (size_t)imgElems * sizeof(float));
+        b.labels[(size_t)i] = s.label;
+    }
+    return b;
+}
+
+Tensor
+stackImages(const std::vector<Tensor> &images)
+{
+    panic_if(images.empty(), "stackImages on empty list");
+    const Shape &s = images[0].shape();
+    panic_if(s.rank() != 3, "stackImages wants rank-3 images");
+    int64_t n = (int64_t)images.size();
+    Tensor out(Shape{n, s[0], s[1], s[2]});
+    int64_t elems = s.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        panic_if(images[(size_t)i].shape() != s,
+                 "stackImages shape mismatch");
+        std::memcpy(out.data() + i * elems, images[(size_t)i].data(),
+                    (size_t)elems * sizeof(float));
+    }
+    return out;
+}
+
+} // namespace data
+} // namespace edgeadapt

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SynthCIFAR: a deterministic procedural stand-in for CIFAR-10.
+ *
+ * The real CIFAR-10/-C datasets are not available in this offline
+ * environment (DESIGN.md Sec. 2). What the adaptation algorithms react
+ * to is *covariate shift of feature statistics*, not natural-image
+ * semantics, so a learnable class-structured synthetic distribution
+ * with the same corruption pipeline preserves the phenomena the paper
+ * measures. Each class is a parametric texture: a class-specific
+ * oriented grating plus a class-colored blob over a tinted background,
+ * with per-sample jitter in phase, position, scale, and color.
+ */
+
+#ifndef EDGEADAPT_DATA_SYNTH_CIFAR_HH
+#define EDGEADAPT_DATA_SYNTH_CIFAR_HH
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace edgeadapt {
+namespace data {
+
+/** One labelled image. */
+struct Sample
+{
+    Tensor image; ///< (3, H, W), values in [0, 1]
+    int label = 0;
+};
+
+/** A labelled batch in NCHW layout. */
+struct Batch
+{
+    Tensor images; ///< (N, 3, H, W)
+    std::vector<int> labels;
+
+    /** @return batch size. */
+    int64_t size() const { return (int64_t)labels.size(); }
+};
+
+/** Procedural 10-class image distribution. */
+class SynthCifar
+{
+  public:
+    /**
+     * @param image_size square image extent (32 for paper scale,
+     *        16 for the tiny in-harness experiments).
+     * @param num_classes number of classes (10).
+     */
+    explicit SynthCifar(int64_t image_size, int num_classes = 10);
+
+    /** @return one sample of the given class. */
+    Sample sample(int label, Rng &rng) const;
+
+    /** @return one sample with a uniformly random class. */
+    Sample sample(Rng &rng) const;
+
+    /** @return a batch of n uniformly random samples. */
+    Batch batch(int64_t n, Rng &rng) const;
+
+    /** @return image extent. */
+    int64_t imageSize() const { return size_; }
+
+    /** @return class count. */
+    int numClasses() const { return classes_; }
+
+  private:
+    int64_t size_;
+    int classes_;
+};
+
+/** Stack rank-3 images into one NCHW batch tensor. */
+Tensor stackImages(const std::vector<Tensor> &images);
+
+} // namespace data
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_DATA_SYNTH_CIFAR_HH

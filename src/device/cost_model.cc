@@ -1,0 +1,258 @@
+#include "device/cost_model.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace device {
+
+double
+PhaseBreakdown::total() const
+{
+    return convFw + bnFw + otherFw + convBw + bnBw + optStep;
+}
+
+uint64_t
+MemoryEstimate::total() const
+{
+    return runtimeBytes + weightBytes + activationBytes + graphBytes;
+}
+
+namespace {
+
+constexpr double kBytesPerElem = 4.0; // float32
+
+/** Forward time of one layer for a batch (excludes dispatch). */
+double
+layerForwardSeconds(const ProcessorSpec &p, const nn::LayerDesc &l,
+                    int64_t batch, bool train_mode_bn)
+{
+    const double b = (double)batch;
+    const double ioBytes = ((double)l.inElems + (double)l.outElems) *
+                           kBytesPerElem * b;
+    switch (l.op) {
+      case nn::OpClass::Conv:
+      case nn::OpClass::Linear: {
+        double compute = 2.0 * (double)l.macs * b /
+                         (p.convFwGflops * 1e9);
+        double memory = ioBytes / (p.elementwiseGBps * 1e9);
+        return std::max(compute, memory);
+      }
+      case nn::OpClass::BatchNorm: {
+        // Eval mode: one normalization pass over in+out bytes.
+        double evalT = ioBytes / (p.elementwiseGBps * 1e9);
+        if (!train_mode_bn)
+            return evalT;
+        // Train mode: extra reduction/variance/renorm passes over the
+        // input at the (usually lower) bnTrain bandwidth.
+        double extraBytes = (double)l.inElems * kBytesPerElem * b *
+                            p.bnTrainExtraPasses;
+        return evalT + extraBytes / (p.bnTrainGBps * 1e9) +
+               p.bnTrainLayerOverheadSec;
+      }
+      case nn::OpClass::Activation:
+      case nn::OpClass::Pool:
+      case nn::OpClass::Add:
+        return ioBytes / (p.elementwiseGBps * 1e9);
+      case nn::OpClass::Other:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+/**
+ * Activation elements the autograd graph retains for one layer's
+ * backward (per image). Mirrors PyTorch's save-for-backward sets:
+ * conv/linear keep their input (for the weight/data gradients), BN
+ * keeps its input plus per-channel statistics, elementwise ops keep a
+ * mask-sized record, residual adds keep nothing.
+ */
+double
+layerSavedElems(const nn::LayerDesc &l)
+{
+    switch (l.op) {
+      case nn::OpClass::Conv:
+      case nn::OpClass::Linear:
+      case nn::OpClass::BatchNorm:
+        return (double)l.inElems;
+      case nn::OpClass::Activation:
+      case nn::OpClass::Pool:
+        return 0.25 * (double)l.inElems; // mask / index record
+      case nn::OpClass::Add:
+      case nn::OpClass::Other:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+/** Backward time of one layer for a batch (BN-Opt path). */
+double
+layerBackwardSeconds(const ProcessorSpec &p, const nn::LayerDesc &l,
+                     int64_t batch)
+{
+    switch (l.op) {
+      case nn::OpClass::Conv:
+      case nn::OpClass::Linear:
+        // Data-gradient GEMM + weight-gradient GEMM + col2im.
+        return p.convBwFactor *
+               layerForwardSeconds(p, l, batch, false);
+      case nn::OpClass::BatchNorm:
+        return p.bnBwFactor * layerForwardSeconds(p, l, batch, true);
+      case nn::OpClass::Activation:
+      case nn::OpClass::Pool:
+      case nn::OpClass::Add:
+        // Elementwise mask/scatter, same traffic as forward.
+        return layerForwardSeconds(p, l, batch, false);
+      case nn::OpClass::Other:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+RunEstimate
+estimateRun(const DeviceSpec &dev, const models::Model &model,
+            adapt::Algorithm algo, int64_t batch)
+{
+    panic_if(batch <= 0, "batch size must be positive");
+    const auto &layers = model.layers();
+    const auto &stats = model.stats();
+    const ProcessorSpec &p = dev.proc;
+    const bool trainBn = algo != adapt::Algorithm::NoAdapt;
+    const bool backward = algo == adapt::Algorithm::BnOpt;
+
+    RunEstimate est;
+
+    // ---- Time ----
+    int64_t peakLiveElems = 0;
+    double savedGraphElems = 0.0;
+    for (const auto &l : layers) {
+        double fw = layerForwardSeconds(p, l, batch, trainBn) +
+                    p.opOverheadSec;
+        switch (l.op) {
+          case nn::OpClass::Conv:
+          case nn::OpClass::Linear:
+            est.time.convFw += fw;
+            break;
+          case nn::OpClass::BatchNorm:
+            est.time.bnFw += fw;
+            break;
+          case nn::OpClass::Other:
+            break;
+          default:
+            est.time.otherFw += fw;
+        }
+        if (backward && l.op != nn::OpClass::Other) {
+            double bw = layerBackwardSeconds(p, l, batch) +
+                        p.opOverheadSec;
+            if (l.op == nn::OpClass::Conv ||
+                l.op == nn::OpClass::Linear) {
+                est.time.convBw += bw;
+            } else if (l.op == nn::OpClass::BatchNorm) {
+                est.time.bnBw += bw;
+            } else {
+                // Elementwise backward (ReLU masks, pool scatter,
+                // residual fan-out) — bucketed with the other
+                // non-conv/non-BN work, as the paper's profiler does.
+                est.time.otherFw += bw;
+            }
+        }
+        peakLiveElems =
+            std::max(peakLiveElems, l.inElems + l.outElems);
+        savedGraphElems += layerSavedElems(l);
+    }
+    if (backward) {
+        est.time.optStep = (double)stats.bnParams /
+                               p.optimizerParamsPerSec +
+                           p.opOverheadSec;
+    }
+    est.seconds = est.time.total();
+
+    // ---- Memory ----
+    est.memory.runtimeBytes =
+        dev.mem.runtimeBaseBytes + dev.mem.gpuLibBytes;
+    est.memory.weightBytes = (uint64_t)stats.modelBytes;
+    est.memory.activationBytes =
+        (uint64_t)((double)peakLiveElems * (double)batch *
+                   kBytesPerElem * dev.mem.forwardSlackFactor);
+    if (backward) {
+        // The dynamic graph retains every intermediate activation
+        // (plus normalized copies and gradient buffers) until the
+        // backward pass completes.
+        est.memory.graphBytes =
+            (uint64_t)(savedGraphElems * (double)batch *
+                       kBytesPerElem * dev.mem.graphOverheadFactor);
+    }
+    est.oom = est.memory.total() > dev.mem.capacityBytes;
+
+    // ---- Energy ----
+    est.energyJ = est.oom ? 0.0 : p.activePowerW * est.seconds;
+    if (est.oom) {
+        est.seconds = 0.0;
+        est.time = PhaseBreakdown{};
+    }
+    return est;
+}
+
+RunEstimate
+estimateRunCheckpointed(const DeviceSpec &dev,
+                        const models::Model &model, int64_t batch,
+                        const CheckpointOpts &opts)
+{
+    panic_if(opts.segments < 1, "need at least one segment");
+    RunEstimate est =
+        estimateRun(dev, model, adapt::Algorithm::BnOpt, batch);
+
+    // Reconstruct the un-checkpointed estimate even if it OOMed: the
+    // time phases were zeroed on OOM, so recompute them from a
+    // device with unbounded memory.
+    if (est.oom) {
+        DeviceSpec unbounded = dev;
+        unbounded.mem.capacityBytes = ~0ull;
+        est = estimateRun(unbounded, model, adapt::Algorithm::BnOpt,
+                          batch);
+    }
+
+    const double s = (double)opts.segments;
+    // Interior activations of all but the currently-backwarded
+    // segment are dropped. Segment-boundary activations are on the
+    // order of the live forward set, which MemoryEstimate already
+    // accounts for in activationBytes.
+    est.memory.graphBytes =
+        (uint64_t)((double)est.memory.graphBytes / s);
+    // Each segment's interior is recomputed once during backward:
+    // (s-1)/s of an extra forward pass, applied uniformly to the
+    // forward phases.
+    double fwScale = 1.0 + (s - 1.0) / s;
+    est.time.convFw *= fwScale;
+    est.time.bnFw *= fwScale;
+    est.time.otherFw *= fwScale;
+
+    est.oom = est.memory.total() > dev.mem.capacityBytes;
+    est.seconds = est.time.total();
+    est.energyJ = est.oom ? 0.0 : dev.proc.activePowerW * est.seconds;
+    if (est.oom) {
+        est.seconds = 0.0;
+        est.time = PhaseBreakdown{};
+    }
+    return est;
+}
+
+LayerClassBreakdown
+breakdownByClass(const DeviceSpec &dev, const models::Model &model,
+                 adapt::Algorithm algo, int64_t batch)
+{
+    RunEstimate est = estimateRun(dev, model, algo, batch);
+    LayerClassBreakdown b;
+    b.convFw = est.time.convFw;
+    b.convBw = est.time.convBw;
+    b.bnFw = est.time.bnFw;
+    b.bnBw = est.time.bnBw;
+    b.otherFw = est.time.otherFw;
+    return b;
+}
+
+} // namespace device
+} // namespace edgeadapt

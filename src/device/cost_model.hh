@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Analytical execution model: predict per-batch forward time (and any
+ * adaptation overhead), energy, and memory high-water-mark for a
+ * (device, model, algorithm, batch size) configuration — the
+ * quantities behind every performance figure in the paper.
+ *
+ * Mechanisms (DESIGN.md Sec. 5.3):
+ *  - per-layer forward time = max(compute roofline, memory roofline)
+ *    + per-op dispatch overhead;
+ *  - train-mode BN adds extra statistics-recomputation passes over
+ *    the BN activations (the BN-Norm cost);
+ *  - BN-Opt adds a backward pass (conv/linear at convBwFactor x
+ *    forward, BN at bnBwFactor x train-forward) plus an Adam step
+ *    over the BN affine parameters;
+ *  - memory = runtime base (+ GPU libs) + weights + live activations,
+ *    where BN-Opt retains the full activation graph for backward
+ *    (PyTorch dynamic-graph behaviour the paper profiles);
+ *  - energy = board active power x modeled time.
+ */
+
+#ifndef EDGEADAPT_DEVICE_COST_MODEL_HH
+#define EDGEADAPT_DEVICE_COST_MODEL_HH
+
+#include "adapt/method.hh"
+#include "device/spec.hh"
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace device {
+
+/** Seconds spent in each execution phase for one batch. */
+struct PhaseBreakdown
+{
+    double convFw = 0.0;  ///< conv + linear forward
+    double bnFw = 0.0;    ///< batch-norm forward (incl. any re-estim.)
+    double otherFw = 0.0; ///< activations, pooling, residual adds
+    double convBw = 0.0;  ///< conv + linear backward (BN-Opt only)
+    double bnBw = 0.0;    ///< batch-norm backward (BN-Opt only)
+    double optStep = 0.0; ///< Adam update on BN affine params
+
+    /** @return total seconds. */
+    double total() const;
+
+    /** @return forward-only seconds. */
+    double forward() const { return convFw + bnFw + otherFw; }
+
+    /** @return backward-only seconds. */
+    double backward() const { return convBw + bnBw; }
+};
+
+/** Peak-memory decomposition for one batch. */
+struct MemoryEstimate
+{
+    uint64_t runtimeBytes = 0;    ///< framework + (GPU libs)
+    uint64_t weightBytes = 0;     ///< model parameters
+    uint64_t activationBytes = 0; ///< live forward working set
+    uint64_t graphBytes = 0;      ///< retained autograd graph (BN-Opt)
+
+    /** @return total peak bytes. */
+    uint64_t total() const;
+};
+
+/** Full prediction for one configuration. */
+struct RunEstimate
+{
+    PhaseBreakdown time;
+    MemoryEstimate memory;
+    double seconds = 0.0;  ///< == time.total(); 0 when OOM
+    double energyJ = 0.0;  ///< active power x seconds; 0 when OOM
+    bool oom = false;      ///< memory.total() > device capacity
+};
+
+/**
+ * Predict the cost of one adaptation batch.
+ *
+ * @param dev device specification.
+ * @param model network (its per-image layer trace is used).
+ * @param algo No-Adapt / BN-Norm / BN-Opt.
+ * @param batch adaptation batch size (paper: 50/100/200).
+ */
+RunEstimate estimateRun(const DeviceSpec &dev,
+                        const models::Model &model,
+                        adapt::Algorithm algo, int64_t batch);
+
+/**
+ * Gradient-checkpointed BN-Opt — the "streaming approach" of the
+ * paper's insight (v): instead of retaining the whole activation
+ * graph for the backward pass, the network is split into segments;
+ * only segment-boundary activations are kept and each segment's
+ * interior is recomputed during backward. Memory falls by ~the
+ * segment count at the cost of (segments-1)/segments of an extra
+ * forward pass — which turns the paper's Ultra96 RXT OOMs into
+ * slower-but-feasible configurations.
+ */
+struct CheckpointOpts
+{
+    int segments = 8; ///< recomputation granularity (>= 1)
+};
+
+/**
+ * Predict the cost of one BN-Opt adaptation batch under gradient
+ * checkpointing.
+ */
+RunEstimate estimateRunCheckpointed(const DeviceSpec &dev,
+                                    const models::Model &model,
+                                    int64_t batch,
+                                    const CheckpointOpts &opts = {});
+
+/**
+ * Per-op-class forward/backward seconds, the analogue of the paper's
+ * PyTorch Autograd profiler breakdowns (Figs. 4, 7, 10).
+ */
+struct LayerClassBreakdown
+{
+    double convFw = 0.0, convBw = 0.0;
+    double bnFw = 0.0, bnBw = 0.0;
+    double otherFw = 0.0;
+};
+
+/** @return the Fig. 4/7/10-style per-class breakdown. */
+LayerClassBreakdown breakdownByClass(const DeviceSpec &dev,
+                                     const models::Model &model,
+                                     adapt::Algorithm algo,
+                                     int64_t batch);
+
+} // namespace device
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_DEVICE_COST_MODEL_HH

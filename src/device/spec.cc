@@ -1,0 +1,141 @@
+#include "device/spec.hh"
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace device {
+
+DeviceSpec
+ultra96()
+{
+    DeviceSpec d;
+    d.name = "Ultra96-v2 (PS)";
+    d.shortName = "ultra96";
+    d.proc.name = "4x Cortex-A53 @ 1.5 GHz";
+    d.proc.kind = ProcKind::Cpu;
+    d.proc.convFwGflops = 10.5;
+    d.proc.convBwFactor = 2.51;
+    d.proc.elementwiseGBps = 2.2;
+    d.proc.bnTrainGBps = 1.6;
+    d.proc.bnTrainLayerOverheadSec = 3e-3;
+    d.proc.bnBwFactor = 2.78;
+    d.proc.opOverheadSec = 250e-6;
+    d.proc.optimizerParamsPerSec = 2e6;
+    d.proc.activePowerW = 1.22;
+    d.mem.capacityBytes = 2ull << 30;
+    d.mem.runtimeBaseBytes = 300ull << 20;
+    d.mem.graphOverheadFactor = 0.95;
+    return d;
+}
+
+DeviceSpec
+raspberryPi4()
+{
+    DeviceSpec d;
+    d.name = "Raspberry Pi 4";
+    d.shortName = "rpi4";
+    d.proc.name = "4x Cortex-A72 @ 1.5 GHz";
+    d.proc.kind = ProcKind::Cpu;
+    d.proc.convFwGflops = 19.0;
+    d.proc.convBwFactor = 2.3;
+    d.proc.elementwiseGBps = 3.6;
+    d.proc.bnTrainGBps = 2.5;
+    d.proc.bnTrainLayerOverheadSec = 1.5e-3;
+    d.proc.bnBwFactor = 2.6;
+    d.proc.opOverheadSec = 150e-6;
+    d.proc.optimizerParamsPerSec = 4e6;
+    d.proc.activePowerW = 2.42;
+    d.mem.capacityBytes = 8ull << 30;
+    d.mem.runtimeBaseBytes = 420ull << 20;
+    d.mem.graphOverheadFactor = 0.95;
+    return d;
+}
+
+DeviceSpec
+xavierNxCpu()
+{
+    DeviceSpec d;
+    d.name = "Xavier NX (CPU)";
+    d.shortName = "nx-cpu";
+    d.proc.name = "6x Carmel @ 1.9 GHz";
+    d.proc.kind = ProcKind::Cpu;
+    d.proc.convFwGflops = 34.0;
+    d.proc.convBwFactor = 2.5;
+    d.proc.elementwiseGBps = 7.0;
+    d.proc.bnTrainGBps = 3.2;
+    d.proc.bnTrainLayerOverheadSec = 1e-3;
+    d.proc.bnBwFactor = 2.5;
+    d.proc.opOverheadSec = 120e-6;
+    d.proc.optimizerParamsPerSec = 8e6;
+    d.proc.activePowerW = 4.4;
+    d.mem.capacityBytes = 8ull << 30;
+    d.mem.runtimeBaseBytes = 620ull << 20;
+    d.mem.graphOverheadFactor = 0.95;
+    return d;
+}
+
+DeviceSpec
+xavierNxGpu()
+{
+    DeviceSpec d;
+    d.name = "Xavier NX (GPU)";
+    d.shortName = "nx-gpu";
+    d.proc.name = "384-core Volta @ 1.1 GHz";
+    d.proc.kind = ProcKind::Gpu;
+    d.proc.convFwGflops = 420.0;
+    d.proc.convBwFactor = 2.2;
+    d.proc.elementwiseGBps = 30.0;
+    // BN statistics recomputation parallelizes poorly on the GPU at
+    // these batch sizes (reduction kernels + host sync); the paper
+    // even observes BN forward *worse* on GPU than CPU for RXT.
+    d.proc.bnTrainGBps = 2.1;
+    d.proc.bnBwFactor = 1.7;
+    d.proc.opOverheadSec = 60e-6;
+    d.proc.optimizerParamsPerSec = 30e6;
+    d.proc.activePowerW = 9.65;
+    d.mem.capacityBytes = 8ull << 30;
+    d.mem.runtimeBaseBytes = 620ull << 20;
+    d.mem.gpuLibBytes = 1750ull << 20; // cuDNN + CUDA context
+    d.mem.graphOverheadFactor = 0.95;
+    return d;
+}
+
+DeviceSpec
+ultra96PlAccelerator()
+{
+    // What-if: PL-side systolic array servicing BN statistics and
+    // backward GEMMs (paper Sec. IV-G insights (iii)/(v)). Conv
+    // forward stays on the PS; adaptation-specific work is offloaded.
+    DeviceSpec d = ultra96();
+    d.name = "Ultra96-v2 (PS + PL BN accelerator)";
+    d.shortName = "ultra96-pl";
+    d.proc.name = "4x A53 + PL systolic accelerator";
+    d.proc.kind = ProcKind::Accel;
+    d.proc.bnTrainGBps = 12.0;     // dedicated reduction trees
+    d.proc.convBwFactor = 0.9;     // backward GEMMs on PL MAC array
+    d.proc.bnBwFactor = 0.8;
+    d.proc.optimizerParamsPerSec = 50e6;
+    d.proc.activePowerW = 2.1;     // PL fabric adds ~0.9 W
+    return d;
+}
+
+std::vector<DeviceSpec>
+paperDevices()
+{
+    return {ultra96(), raspberryPi4(), xavierNxCpu(), xavierNxGpu()};
+}
+
+DeviceSpec
+deviceByName(const std::string &short_name)
+{
+    for (const DeviceSpec &d :
+         {ultra96(), raspberryPi4(), xavierNxCpu(), xavierNxGpu(),
+          ultra96PlAccelerator()}) {
+        if (d.shortName == short_name)
+            return d;
+    }
+    fatal("unknown device: ", short_name);
+}
+
+} // namespace device
+} // namespace edgeadapt

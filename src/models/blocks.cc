@@ -1,0 +1,168 @@
+#include "models/blocks.hh"
+
+#include "nn/activation.hh"
+#include "nn/batchnorm2d.hh"
+#include "nn/conv2d.hh"
+
+namespace edgeadapt {
+namespace models {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Conv2dOpts;
+using nn::Module;
+using nn::ReLU;
+using nn::ReLU6;
+using nn::Residual;
+using nn::Sequential;
+
+std::unique_ptr<Module>
+conv3x3(int64_t in_c, int64_t out_c, int64_t stride, Rng &rng,
+        const std::string &label)
+{
+    Conv2dOpts o;
+    o.stride = stride;
+    o.pad = 1;
+    auto m = std::make_unique<Conv2d>(in_c, out_c, 3, o, rng);
+    m->setLabel(label);
+    return m;
+}
+
+std::unique_ptr<Module>
+conv1x1(int64_t in_c, int64_t out_c, int64_t stride, Rng &rng,
+        const std::string &label)
+{
+    Conv2dOpts o;
+    o.stride = stride;
+    o.pad = 0;
+    auto m = std::make_unique<Conv2d>(in_c, out_c, 1, o, rng);
+    m->setLabel(label);
+    return m;
+}
+
+std::unique_ptr<Module>
+bn(int64_t c, const std::string &label)
+{
+    auto m = std::make_unique<BatchNorm2d>(c);
+    m->setLabel(label);
+    return m;
+}
+
+std::unique_ptr<Module>
+relu(const std::string &label)
+{
+    auto m = std::make_unique<ReLU>();
+    m->setLabel(label);
+    return m;
+}
+
+std::unique_ptr<Module>
+preActBlock(int64_t in_c, int64_t out_c, int64_t stride, Rng &rng,
+            const std::string &label)
+{
+    bool reshape = stride != 1 || in_c != out_c;
+
+    auto prefix = std::make_unique<Sequential>();
+    prefix->add(bn(in_c, label + ".bn1"));
+    prefix->add(relu(label + ".relu1"));
+
+    auto main = std::make_unique<Sequential>();
+    main->add(conv3x3(in_c, out_c, stride, rng, label + ".conv1"));
+    main->add(bn(out_c, label + ".bn2"));
+    main->add(relu(label + ".relu2"));
+    main->add(conv3x3(out_c, out_c, 1, rng, label + ".conv2"));
+
+    std::unique_ptr<Module> shortcut;
+    if (reshape)
+        shortcut = conv1x1(in_c, out_c, stride, rng, label + ".proj");
+
+    auto block = std::make_unique<Residual>(
+        std::move(prefix), std::move(main), std::move(shortcut));
+    block->setLabel(label);
+    return block;
+}
+
+std::unique_ptr<Module>
+resNeXtBlock(int64_t in_c, int64_t width, int64_t cardinality,
+             int64_t out_c, int64_t stride, Rng &rng,
+             const std::string &label)
+{
+    bool reshape = stride != 1 || in_c != out_c;
+
+    auto main = std::make_unique<Sequential>();
+    main->add(conv1x1(in_c, width, 1, rng, label + ".conv1"));
+    main->add(bn(width, label + ".bn1"));
+    main->add(relu(label + ".relu1"));
+    Conv2dOpts grouped;
+    grouped.stride = stride;
+    grouped.pad = 1;
+    grouped.groups = cardinality;
+    auto gconv =
+        std::make_unique<Conv2d>(width, width, 3, grouped, rng);
+    gconv->setLabel(label + ".conv2g");
+    main->add(std::move(gconv));
+    main->add(bn(width, label + ".bn2"));
+    main->add(relu(label + ".relu2"));
+    main->add(conv1x1(width, out_c, 1, rng, label + ".conv3"));
+    main->add(bn(out_c, label + ".bn3"));
+
+    std::unique_ptr<Module> shortcut;
+    if (reshape) {
+        auto sc = std::make_unique<Sequential>();
+        sc->add(conv1x1(in_c, out_c, stride, rng, label + ".projConv"));
+        sc->add(bn(out_c, label + ".projBn"));
+        shortcut = std::move(sc);
+    }
+
+    auto res = std::make_unique<Residual>(nullptr, std::move(main),
+                                          std::move(shortcut));
+    res->setLabel(label);
+
+    // Post-activation: ReLU after the residual sum.
+    auto block = std::make_unique<Sequential>();
+    block->setLabel(label);
+    block->add(std::move(res));
+    block->add(relu(label + ".reluOut"));
+    return block;
+}
+
+std::unique_ptr<Module>
+invertedResidual(int64_t in_c, int64_t out_c, int64_t expand,
+                 int64_t stride, Rng &rng, const std::string &label)
+{
+    int64_t hidden = in_c * expand;
+
+    auto main = std::make_unique<Sequential>();
+    if (expand != 1) {
+        main->add(conv1x1(in_c, hidden, 1, rng, label + ".expand"));
+        main->add(bn(hidden, label + ".bnExpand"));
+        auto r1 = std::make_unique<ReLU6>();
+        r1->setLabel(label + ".relu6Expand");
+        main->add(std::move(r1));
+    }
+    Conv2dOpts dw;
+    dw.stride = stride;
+    dw.pad = 1;
+    dw.groups = hidden;
+    auto dconv = std::make_unique<Conv2d>(hidden, hidden, 3, dw, rng);
+    dconv->setLabel(label + ".depthwise");
+    main->add(std::move(dconv));
+    main->add(bn(hidden, label + ".bnDw"));
+    auto r2 = std::make_unique<ReLU6>();
+    r2->setLabel(label + ".relu6Dw");
+    main->add(std::move(r2));
+    main->add(conv1x1(hidden, out_c, 1, rng, label + ".project"));
+    main->add(bn(out_c, label + ".bnProject"));
+
+    if (stride == 1 && in_c == out_c) {
+        auto res = std::make_unique<Residual>(nullptr, std::move(main),
+                                              nullptr);
+        res->setLabel(label);
+        return res;
+    }
+    main->setLabel(label);
+    return main;
+}
+
+} // namespace models
+} // namespace edgeadapt

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Residual block builders shared by the model zoo. Each helper returns
+ * a ready-wired composite module:
+ *
+ *  - preActBlock: pre-activation basic block (PreAct-ResNet-18 and
+ *    Wide-ResNet share this structure).
+ *  - resNeXtBlock: post-activation grouped bottleneck (ResNeXt-29).
+ *  - invertedResidual: MobileNetV2 expand/depthwise/project block.
+ */
+
+#ifndef EDGEADAPT_MODELS_BLOCKS_HH
+#define EDGEADAPT_MODELS_BLOCKS_HH
+
+#include <memory>
+#include <string>
+
+#include "nn/module.hh"
+
+namespace edgeadapt {
+namespace models {
+
+/**
+ * Pre-activation basic block:
+ *
+ *   p = relu(bn1(x))
+ *   y = conv2(relu(bn2(conv1(p)))) + (proj(p) if reshaping else x)
+ *
+ * conv1 is 3x3 stride @p stride, conv2 is 3x3 stride 1, proj is a
+ * 1x1 stride @p stride convolution present iff the block reshapes
+ * (stride != 1 or in_c != out_c).
+ */
+std::unique_ptr<nn::Module> preActBlock(int64_t in_c, int64_t out_c,
+                                        int64_t stride, Rng &rng,
+                                        const std::string &label);
+
+/**
+ * ResNeXt bottleneck (post-activation):
+ *
+ *   m = bn3(conv3(relu(bn2(conv2g(relu(bn1(conv1(x))))))))
+ *   y = relu(m + (bnP(convP(x)) if reshaping else x))
+ *
+ * conv1: 1x1 to @p width; conv2g: 3x3 grouped (@p cardinality),
+ * stride @p stride; conv3: 1x1 to @p out_c; projection shortcut is a
+ * 1x1 stride @p stride conv + BN. The trailing ReLU is included.
+ */
+std::unique_ptr<nn::Module> resNeXtBlock(int64_t in_c, int64_t width,
+                                         int64_t cardinality,
+                                         int64_t out_c, int64_t stride,
+                                         Rng &rng,
+                                         const std::string &label);
+
+/**
+ * MobileNetV2 inverted residual:
+ *
+ *   expand (1x1 conv+BN+ReLU6, skipped when expand==1) ->
+ *   depthwise 3x3 stride s (conv+BN+ReLU6) ->
+ *   project (1x1 conv+BN)
+ *
+ * with an identity skip iff stride == 1 and in_c == out_c.
+ */
+std::unique_ptr<nn::Module> invertedResidual(int64_t in_c, int64_t out_c,
+                                             int64_t expand,
+                                             int64_t stride, Rng &rng,
+                                             const std::string &label);
+
+/** Convenience: 3x3 conv, stride/pad preset, no bias. */
+std::unique_ptr<nn::Module> conv3x3(int64_t in_c, int64_t out_c,
+                                    int64_t stride, Rng &rng,
+                                    const std::string &label);
+
+/** Convenience: 1x1 conv, no bias. */
+std::unique_ptr<nn::Module> conv1x1(int64_t in_c, int64_t out_c,
+                                    int64_t stride, Rng &rng,
+                                    const std::string &label);
+
+/** Convenience: labelled BatchNorm2d. */
+std::unique_ptr<nn::Module> bn(int64_t c, const std::string &label);
+
+/** Convenience: labelled ReLU. */
+std::unique_ptr<nn::Module> relu(const std::string &label);
+
+} // namespace models
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_MODELS_BLOCKS_HH

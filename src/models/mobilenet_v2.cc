@@ -1,0 +1,59 @@
+#include "models/mobilenet_v2.hh"
+
+#include "base/logging.hh"
+#include "models/blocks.hh"
+#include "nn/activation.hh"
+#include "nn/linear.hh"
+#include "nn/pooling.hh"
+
+namespace edgeadapt {
+namespace models {
+
+Model
+buildMobileNetV2(const MobileNetV2Config &cfg, Rng &rng)
+{
+    auto net = std::make_unique<nn::Sequential>();
+    net->setLabel(cfg.name);
+
+    net->add(conv3x3(3, cfg.stemWidth, 1, rng, "stem.conv"));
+    net->add(bn(cfg.stemWidth, "stem.bn"));
+    auto r = std::make_unique<nn::ReLU6>();
+    r->setLabel("stem.relu6");
+    net->add(std::move(r));
+
+    int64_t in_c = cfg.stemWidth;
+    int stageIdx = 0;
+    for (const auto &s : cfg.settings) {
+        ++stageIdx;
+        for (int b = 0; b < s.repeats; ++b) {
+            std::string label = "stage" + std::to_string(stageIdx) +
+                                ".block" + std::to_string(b + 1);
+            net->add(invertedResidual(in_c, s.channels, s.expand,
+                                      b == 0 ? s.stride : 1, rng,
+                                      label));
+            in_c = s.channels;
+        }
+    }
+
+    net->add(conv1x1(in_c, cfg.lastWidth, 1, rng, "head.conv"));
+    net->add(bn(cfg.lastWidth, "head.bn"));
+    auto r2 = std::make_unique<nn::ReLU6>();
+    r2->setLabel("head.relu6");
+    net->add(std::move(r2));
+    net->add(std::make_unique<nn::GlobalAvgPool2d>());
+    net->add(std::make_unique<nn::Flatten>());
+    auto fc =
+        std::make_unique<nn::Linear>(cfg.lastWidth, cfg.numClasses, rng);
+    fc->setLabel("head.fc");
+    net->add(std::move(fc));
+
+    ModelInfo info;
+    info.name = cfg.name;
+    info.display = cfg.display;
+    info.inputShape = Shape{3, cfg.imageSize, cfg.imageSize};
+    info.numClasses = cfg.numClasses;
+    return Model(std::move(info), std::move(net));
+}
+
+} // namespace models
+} // namespace edgeadapt

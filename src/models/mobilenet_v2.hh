@@ -1,0 +1,54 @@
+/**
+ * @file
+ * MobileNetV2 (Sandler et al.), CIFAR variant (stride-1 stem). Used in
+ * the paper's Sec. IV-F comparison: 0.096 GMAC, ~9 MB, but 34112
+ * batch-norm parameters — more than any of the robust models, which
+ * is exactly what makes its BN-based adaptation expensive.
+ */
+
+#ifndef EDGEADAPT_MODELS_MOBILENET_V2_HH
+#define EDGEADAPT_MODELS_MOBILENET_V2_HH
+
+#include <vector>
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace models {
+
+/** One inverted-residual stage: expansion t, out channels c, repeats
+ * n, first-block stride s. */
+struct InvertedResidualSetting
+{
+    int expand;
+    int64_t channels;
+    int repeats;
+    int stride;
+};
+
+/** Configuration for buildMobileNetV2(). */
+struct MobileNetV2Config
+{
+    std::string name = "mobilenetv2";
+    std::string display = "MBV2";
+    int64_t stemWidth = 32;
+    int64_t lastWidth = 1280;
+    /// Default: the standard (t, c, n, s) table with CIFAR strides
+    /// (stem and first two stages keep resolution at 32x32).
+    std::vector<InvertedResidualSetting> settings{
+        {1, 16, 1, 1},  {6, 24, 2, 1},  {6, 32, 3, 2},
+        {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+        {6, 320, 1, 1},
+    };
+    int numClasses = 10;
+    int64_t imageSize = 32;
+};
+
+/** Build a MobileNetV2: stem conv, inverted-residual stages, 1x1
+ * expansion to lastWidth, global average pool, linear classifier. */
+Model buildMobileNetV2(const MobileNetV2Config &cfg, Rng &rng);
+
+} // namespace models
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_MODELS_MOBILENET_V2_HH

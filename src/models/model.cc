@@ -1,0 +1,40 @@
+#include "models/model.hh"
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace models {
+
+Model::Model(ModelInfo info, std::unique_ptr<nn::Module> net)
+    : info_(std::move(info)), net_(std::move(net))
+{
+    panic_if(!net_, "Model requires a network");
+}
+
+const std::vector<nn::LayerDesc> &
+Model::layers() const
+{
+    if (!traced_) {
+        layers_.clear();
+        net_->trace(info_.inputShape, &layers_);
+        auto s = nn::summarize(layers_);
+        stats_.params = s.totalParams;
+        stats_.bnParams = s.bnParams;
+        stats_.macs = s.totalMacs;
+        stats_.modelBytes = s.totalParams * (int64_t)sizeof(float);
+        stats_.bnLayers = s.bnLayers;
+        stats_.convLayers = s.convLayers;
+        traced_ = true;
+    }
+    return layers_;
+}
+
+const ModelStats &
+Model::stats() const
+{
+    layers(); // ensure traced
+    return stats_;
+}
+
+} // namespace models
+} // namespace edgeadapt

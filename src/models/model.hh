@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Model wrapper: a module tree plus its metadata (input geometry,
+ * class count) and derived statistics (parameter counts, BN parameter
+ * counts, per-image MACs) matching the quantities the paper reports in
+ * Sec. III-B.
+ */
+
+#ifndef EDGEADAPT_MODELS_MODEL_HH
+#define EDGEADAPT_MODELS_MODEL_HH
+
+#include <memory>
+#include <string>
+
+#include "nn/module.hh"
+
+namespace edgeadapt {
+namespace models {
+
+/** Static description of a model's I/O geometry. */
+struct ModelInfo
+{
+    std::string name;    ///< registry name, e.g. "wrn40_2"
+    std::string display; ///< paper-style label, e.g. "WRN-AM"
+    Shape inputShape;    ///< per-image (C, H, W)
+    int numClasses = 10;
+};
+
+/** Headline statistics for a model (paper Sec. III-B). */
+struct ModelStats
+{
+    int64_t params = 0;     ///< total parameter elements
+    int64_t bnParams = 0;   ///< BN gamma+beta elements (adaptation set)
+    int64_t macs = 0;       ///< per-image forward multiply-accumulates
+    int64_t modelBytes = 0; ///< float32 weight footprint
+    int bnLayers = 0;
+    int convLayers = 0;
+};
+
+/**
+ * A complete network: owns the module tree, caches the layer trace
+ * and statistics. Copy is disabled (parameters are owned uniquely).
+ */
+class Model
+{
+  public:
+    /**
+     * @param info I/O metadata.
+     * @param net root module (typically a Sequential).
+     */
+    Model(ModelInfo info, std::unique_ptr<nn::Module> net);
+
+    Model(const Model &) = delete;
+    Model &operator=(const Model &) = delete;
+    Model(Model &&) = default;
+    Model &operator=(Model &&) = default;
+
+    /** @return metadata. */
+    const ModelInfo &info() const { return info_; }
+
+    /** @return the root module. */
+    nn::Module &net() { return *net_; }
+
+    /** Forward a batch of NCHW inputs to (N, classes) logits. */
+    Tensor forward(const Tensor &x) { return net_->forward(x); }
+
+    /** Back-propagate logits gradient; @return input gradient. */
+    Tensor backward(const Tensor &g) { return net_->backward(g); }
+
+    /** Switch train/eval mode on the whole tree. */
+    void setTraining(bool training) { net_->setTraining(training); }
+
+    /** @return the per-image layer trace (computed once, cached). */
+    const std::vector<nn::LayerDesc> &layers() const;
+
+    /** @return headline statistics (computed once, cached). */
+    const ModelStats &stats() const;
+
+  private:
+    ModelInfo info_;
+    std::unique_ptr<nn::Module> net_;
+    mutable std::vector<nn::LayerDesc> layers_;
+    mutable ModelStats stats_;
+    mutable bool traced_ = false;
+};
+
+} // namespace models
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_MODELS_MODEL_HH

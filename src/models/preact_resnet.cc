@@ -1,0 +1,50 @@
+#include "models/preact_resnet.hh"
+
+#include "base/logging.hh"
+#include "models/blocks.hh"
+#include "nn/linear.hh"
+#include "nn/pooling.hh"
+
+namespace edgeadapt {
+namespace models {
+
+Model
+buildPreActResNet(const PreActResNetConfig &cfg, Rng &rng)
+{
+    panic_if(cfg.blocks.empty(), "need at least one stage");
+    auto net = std::make_unique<nn::Sequential>();
+    net->setLabel(cfg.name);
+
+    net->add(conv3x3(3, cfg.stemWidth, 1, rng, "stem.conv"));
+
+    int64_t in_c = cfg.stemWidth;
+    for (size_t s = 0; s < cfg.blocks.size(); ++s) {
+        int64_t out_c = cfg.stemWidth << s;
+        int64_t stride = s == 0 ? 1 : 2;
+        for (int b = 0; b < cfg.blocks[s]; ++b) {
+            std::string label = "stage" + std::to_string(s + 1) +
+                                ".block" + std::to_string(b + 1);
+            net->add(preActBlock(in_c, out_c, b == 0 ? stride : 1, rng,
+                                 label));
+            in_c = out_c;
+        }
+    }
+
+    net->add(bn(in_c, "head.bn"));
+    net->add(relu("head.relu"));
+    net->add(std::make_unique<nn::GlobalAvgPool2d>());
+    net->add(std::make_unique<nn::Flatten>());
+    auto fc = std::make_unique<nn::Linear>(in_c, cfg.numClasses, rng);
+    fc->setLabel("head.fc");
+    net->add(std::move(fc));
+
+    ModelInfo info;
+    info.name = cfg.name;
+    info.display = cfg.display;
+    info.inputShape = Shape{3, cfg.imageSize, cfg.imageSize};
+    info.numClasses = cfg.numClasses;
+    return Model(std::move(info), std::move(net));
+}
+
+} // namespace models
+} // namespace edgeadapt

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pre-activation ResNet (He et al. identity-mappings variant) for
+ * CIFAR-style inputs. The default configuration is the robustbench
+ * PreAct-ResNet-18 used by the paper's "R18-AM-AT" model: 11.17 M
+ * parameters, 7808 batch-norm parameters, 0.56 GMAC at 32x32.
+ */
+
+#ifndef EDGEADAPT_MODELS_PREACT_RESNET_HH
+#define EDGEADAPT_MODELS_PREACT_RESNET_HH
+
+#include <vector>
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace models {
+
+/** Configuration for buildPreActResNet(). */
+struct PreActResNetConfig
+{
+    std::string name = "resnet18";
+    std::string display = "R18-AM-AT";
+    int64_t stemWidth = 64;          ///< width of stage 1 (doubles/stage)
+    std::vector<int> blocks{2, 2, 2, 2}; ///< blocks per stage
+    int numClasses = 10;
+    int64_t imageSize = 32;
+};
+
+/**
+ * Build a pre-activation ResNet. Stage s has width stemWidth << s and
+ * stride 2 for s > 0; a final BN+ReLU precedes global average pooling
+ * (this final BN is what brings the BN parameter count to the paper's
+ * 7808 for the default depth-18 configuration).
+ */
+Model buildPreActResNet(const PreActResNetConfig &cfg, Rng &rng);
+
+} // namespace models
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_MODELS_PREACT_RESNET_HH

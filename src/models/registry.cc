@@ -1,0 +1,113 @@
+#include "models/registry.hh"
+
+#include "base/logging.hh"
+#include "models/mobilenet_v2.hh"
+#include "models/preact_resnet.hh"
+#include "models/resnext.hh"
+#include "models/wide_resnet.hh"
+
+namespace edgeadapt {
+namespace models {
+
+Model
+buildModel(const std::string &name, Rng &rng)
+{
+    if (name == "resnet18") {
+        PreActResNetConfig cfg;
+        return buildPreActResNet(cfg, rng);
+    }
+    if (name == "wrn40_2") {
+        WideResNetConfig cfg;
+        return buildWideResNet(cfg, rng);
+    }
+    if (name == "resnext29") {
+        ResNeXtConfig cfg;
+        return buildResNeXt(cfg, rng);
+    }
+    if (name == "mobilenetv2") {
+        MobileNetV2Config cfg;
+        return buildMobileNetV2(cfg, rng);
+    }
+    if (name == "resnet18-tiny") {
+        // Same 4-stage pre-activation family at 1/8 width, 16x16 input.
+        PreActResNetConfig cfg;
+        cfg.name = name;
+        cfg.display = "R18t-AM-AT";
+        cfg.stemWidth = 8;
+        cfg.blocks = {1, 1, 1, 1};
+        cfg.imageSize = 16;
+        return buildPreActResNet(cfg, rng);
+    }
+    if (name == "wrn40_2-tiny") {
+        // WRN-10-1: the same block family, smallest legal depth.
+        WideResNetConfig cfg;
+        cfg.name = name;
+        cfg.display = "WRNt-AM";
+        cfg.depth = 10;
+        cfg.widen = 1;
+        cfg.imageSize = 16;
+        return buildWideResNet(cfg, rng);
+    }
+    if (name == "resnext29-tiny") {
+        // ResNeXt-11 (2x8d): keeps the BN-heavy bottleneck character.
+        ResNeXtConfig cfg;
+        cfg.name = name;
+        cfg.display = "RXTt-AM";
+        cfg.depth = 11;
+        cfg.cardinality = 2;
+        cfg.baseWidth = 8;
+        cfg.stemWidth = 16;
+        cfg.imageSize = 16;
+        return buildResNeXt(cfg, rng);
+    }
+    if (name == "mobilenetv2-tiny") {
+        MobileNetV2Config cfg;
+        cfg.name = name;
+        cfg.display = "MBV2t";
+        cfg.stemWidth = 8;
+        cfg.lastWidth = 64;
+        cfg.settings = {
+            {1, 8, 1, 1}, {6, 12, 2, 1}, {6, 16, 2, 2}, {6, 24, 2, 2},
+        };
+        cfg.imageSize = 16;
+        return buildMobileNetV2(cfg, rng);
+    }
+    fatal("unknown model name: ", name);
+}
+
+std::vector<std::string>
+modelNames()
+{
+    return {"resnet18",      "wrn40_2",      "resnext29",
+            "mobilenetv2",   "resnet18-tiny", "wrn40_2-tiny",
+            "resnext29-tiny", "mobilenetv2-tiny"};
+}
+
+std::vector<std::string>
+robustModelNames(bool tiny)
+{
+    if (tiny)
+        return {"resnext29-tiny", "wrn40_2-tiny", "resnet18-tiny"};
+    return {"resnext29", "wrn40_2", "resnet18"};
+}
+
+std::string
+displayName(const std::string &name)
+{
+    Rng rng(1);
+    // Display names are static per config; building tiny models is
+    // cheap, but avoid building full models just for a label.
+    if (name == "resnet18")
+        return "R18-AM-AT";
+    if (name == "wrn40_2")
+        return "WRN-AM";
+    if (name == "resnext29")
+        return "RXT-AM";
+    if (name == "mobilenetv2")
+        return "MBV2";
+    Model m = buildModel(name, rng);
+    return m.info().display;
+}
+
+} // namespace models
+} // namespace edgeadapt

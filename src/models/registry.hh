@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Model registry. Full-size architectures carry the exact paper
+ * dimensions and feed the device cost model; "-tiny" variants are
+ * width/depth/resolution-scaled versions of the same families, cheap
+ * enough to train and adapt in-harness on one CPU core for the
+ * measured accuracy experiments (DESIGN.md Sec. 5.4).
+ */
+
+#ifndef EDGEADAPT_MODELS_REGISTRY_HH
+#define EDGEADAPT_MODELS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace models {
+
+/**
+ * Build a model by registry name.
+ *
+ * Full-size names: "resnet18", "wrn40_2", "resnext29", "mobilenetv2".
+ * Tiny names: same with a "-tiny" suffix (16x16 input).
+ *
+ * fatal()s on an unknown name.
+ */
+Model buildModel(const std::string &name, Rng &rng);
+
+/** @return all registry names (full-size first). */
+std::vector<std::string> modelNames();
+
+/** @return the three robust-model names the study sweeps. */
+std::vector<std::string> robustModelNames(bool tiny);
+
+/** @return paper-style display label for a registry name. */
+std::string displayName(const std::string &name);
+
+} // namespace models
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_MODELS_REGISTRY_HH

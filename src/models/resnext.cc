@@ -1,0 +1,55 @@
+#include "models/resnext.hh"
+
+#include "base/logging.hh"
+#include "models/blocks.hh"
+#include "nn/linear.hh"
+#include "nn/pooling.hh"
+
+namespace edgeadapt {
+namespace models {
+
+Model
+buildResNeXt(const ResNeXtConfig &cfg, Rng &rng)
+{
+    fatal_if((cfg.depth - 2) % 9 != 0,
+             "ResNeXt depth must satisfy (depth-2) % 9 == 0, got ",
+             cfg.depth);
+    const int n = (cfg.depth - 2) / 9;
+
+    auto net = std::make_unique<nn::Sequential>();
+    net->setLabel(cfg.name);
+    net->add(conv3x3(3, cfg.stemWidth, 1, rng, "stem.conv"));
+    net->add(bn(cfg.stemWidth, "stem.bn"));
+    net->add(relu("stem.relu"));
+
+    int64_t in_c = cfg.stemWidth;
+    for (int s = 0; s < 3; ++s) {
+        int64_t width =
+            (int64_t)cfg.cardinality * cfg.baseWidth << s;
+        int64_t out_c = 2 * width;
+        int64_t stride = s == 0 ? 1 : 2;
+        for (int b = 0; b < n; ++b) {
+            std::string label = "stage" + std::to_string(s + 1) +
+                                ".block" + std::to_string(b + 1);
+            net->add(resNeXtBlock(in_c, width, cfg.cardinality, out_c,
+                                  b == 0 ? stride : 1, rng, label));
+            in_c = out_c;
+        }
+    }
+
+    net->add(std::make_unique<nn::GlobalAvgPool2d>());
+    net->add(std::make_unique<nn::Flatten>());
+    auto fc = std::make_unique<nn::Linear>(in_c, cfg.numClasses, rng);
+    fc->setLabel("head.fc");
+    net->add(std::move(fc));
+
+    ModelInfo info;
+    info.name = cfg.name;
+    info.display = cfg.display;
+    info.inputShape = Shape{3, cfg.imageSize, cfg.imageSize};
+    info.numClasses = cfg.numClasses;
+    return Model(std::move(info), std::move(net));
+}
+
+} // namespace models
+} // namespace edgeadapt

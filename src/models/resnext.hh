@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ResNeXt (Xie et al.) for CIFAR-style inputs. The default
+ * configuration is the paper's ResNeXt-29 with cardinality 4 and base
+ * width 32: 6.81 M parameters, 25216 batch-norm parameters (by far the
+ * most of the three robust models), 1.08 GMAC at 32x32.
+ */
+
+#ifndef EDGEADAPT_MODELS_RESNEXT_HH
+#define EDGEADAPT_MODELS_RESNEXT_HH
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace models {
+
+/** Configuration for buildResNeXt(). */
+struct ResNeXtConfig
+{
+    std::string name = "resnext29";
+    std::string display = "RXT-AM";
+    int depth = 29;        ///< (depth-2) % 9 == 0; 3 stages
+    int cardinality = 4;   ///< number of grouped-conv groups
+    int baseWidth = 32;    ///< per-group width at stage 1
+    int64_t stemWidth = 64;
+    int numClasses = 10;
+    int64_t imageSize = 32;
+};
+
+/**
+ * Build a ResNeXt. Stage s uses grouped-conv width
+ * cardinality*baseWidth*2^s and output width twice that; strides are
+ * {1, 2, 2}. All blocks are post-activation bottlenecks with
+ * projection (conv+BN) shortcuts on the first block of each stage.
+ */
+Model buildResNeXt(const ResNeXtConfig &cfg, Rng &rng);
+
+} // namespace models
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_MODELS_RESNEXT_HH

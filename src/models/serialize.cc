@@ -1,0 +1,123 @@
+#include "models/serialize.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace models {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'A', 'D', 'P'};
+constexpr uint32_t kVersion = 1;
+
+/** Every tensor a checkpoint covers, in canonical order. */
+std::vector<Tensor *>
+checkpointTensors(Model &model)
+{
+    std::vector<Tensor *> out;
+    for (nn::Parameter *p : nn::collectParameters(model.net()))
+        out.push_back(&p->value);
+    for (Tensor *b : nn::collectBuffers(model.net()))
+        out.push_back(b);
+    return out;
+}
+
+void
+writeOrDie(const void *data, size_t bytes, FILE *f,
+           const std::string &path)
+{
+    fatal_if(std::fwrite(data, 1, bytes, f) != bytes,
+             "short write to checkpoint ", path);
+}
+
+void
+readOrDie(void *data, size_t bytes, FILE *f, const std::string &path)
+{
+    fatal_if(std::fread(data, 1, bytes, f) != bytes,
+             "short read from checkpoint ", path);
+}
+
+} // namespace
+
+void
+saveCheckpoint(Model &model, const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    fatal_if(!f, "cannot open checkpoint for writing: ", path);
+
+    auto tensors = checkpointTensors(model);
+    writeOrDie(kMagic, sizeof(kMagic), f, path);
+    writeOrDie(&kVersion, sizeof(kVersion), f, path);
+    uint64_t count = tensors.size();
+    writeOrDie(&count, sizeof(count), f, path);
+
+    for (Tensor *t : tensors) {
+        uint32_t rank = (uint32_t)t->shape().rank();
+        writeOrDie(&rank, sizeof(rank), f, path);
+        for (int i = 0; i < (int)rank; ++i) {
+            int64_t d = t->shape()[i];
+            writeOrDie(&d, sizeof(d), f, path);
+        }
+        writeOrDie(t->data(), (size_t)t->numel() * sizeof(float), f,
+                   path);
+    }
+    std::fclose(f);
+}
+
+void
+loadCheckpoint(Model &model, const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(!f, "cannot open checkpoint: ", path);
+
+    char magic[4];
+    readOrDie(magic, sizeof(magic), f, path);
+    fatal_if(std::memcmp(magic, kMagic, 4) != 0,
+             "not an edgeadapt checkpoint: ", path);
+    uint32_t version = 0;
+    readOrDie(&version, sizeof(version), f, path);
+    fatal_if(version != kVersion, "unsupported checkpoint version ",
+             version, " in ", path);
+
+    auto tensors = checkpointTensors(model);
+    uint64_t count = 0;
+    readOrDie(&count, sizeof(count), f, path);
+    fatal_if(count != tensors.size(),
+             "checkpoint tensor count mismatch: file has ", count,
+             ", model expects ", tensors.size(),
+             " (different architecture?)");
+
+    for (Tensor *t : tensors) {
+        uint32_t rank = 0;
+        readOrDie(&rank, sizeof(rank), f, path);
+        fatal_if((int)rank != t->shape().rank(),
+                 "checkpoint rank mismatch in ", path);
+        for (int i = 0; i < (int)rank; ++i) {
+            int64_t d = 0;
+            readOrDie(&d, sizeof(d), f, path);
+            fatal_if(d != t->shape()[i],
+                     "checkpoint shape mismatch in ", path);
+        }
+        readOrDie(t->data(), (size_t)t->numel() * sizeof(float), f,
+                  path);
+    }
+    std::fclose(f);
+}
+
+int64_t
+checkpointBytes(Model &model)
+{
+    int64_t bytes = 4 + 4 + 8; // header
+    for (Tensor *t : checkpointTensors(model)) {
+        bytes += 4 + 8 * t->shape().rank() +
+                 t->numel() * (int64_t)sizeof(float);
+    }
+    return bytes;
+}
+
+} // namespace models
+} // namespace edgeadapt

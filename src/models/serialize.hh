@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Checkpoint I/O. The paper's deployment flow starts from
+ * "pre-trained robust DNNs" shipped to the device; this module
+ * provides the corresponding artifact: a binary checkpoint holding
+ * every parameter and buffer (BN running statistics included), with a
+ * magic/version header and per-tensor shape validation on load.
+ *
+ * Format (little-endian):
+ *   "EADP" | u32 version | u64 tensor_count |
+ *   per tensor: u32 rank | i64 dims[rank] | f32 data[numel]
+ * Parameters are serialized in collectParameters() order followed by
+ * collectBuffers() order, which is deterministic for a given
+ * architecture.
+ */
+
+#ifndef EDGEADAPT_MODELS_SERIALIZE_HH
+#define EDGEADAPT_MODELS_SERIALIZE_HH
+
+#include <string>
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace models {
+
+/**
+ * Write a model's parameters and buffers to @p path.
+ * fatal()s on I/O failure.
+ */
+void saveCheckpoint(Model &model, const std::string &path);
+
+/**
+ * Load a checkpoint into an already-constructed model of the same
+ * architecture. fatal()s on I/O failure, bad magic/version, tensor
+ * count mismatch, or any shape mismatch.
+ */
+void loadCheckpoint(Model &model, const std::string &path);
+
+/** @return serialized byte size of a model's checkpoint. */
+int64_t checkpointBytes(Model &model);
+
+} // namespace models
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_MODELS_SERIALIZE_HH

@@ -1,0 +1,54 @@
+#include "models/wide_resnet.hh"
+
+#include "base/logging.hh"
+#include "models/blocks.hh"
+#include "nn/linear.hh"
+#include "nn/pooling.hh"
+
+namespace edgeadapt {
+namespace models {
+
+Model
+buildWideResNet(const WideResNetConfig &cfg, Rng &rng)
+{
+    fatal_if((cfg.depth - 4) % 6 != 0,
+             "WideResNet depth must satisfy (depth-4) % 6 == 0, got ",
+             cfg.depth);
+    const int n = (cfg.depth - 4) / 6;
+    const int64_t widths[3] = {16LL * cfg.widen, 32LL * cfg.widen,
+                               64LL * cfg.widen};
+
+    auto net = std::make_unique<nn::Sequential>();
+    net->setLabel(cfg.name);
+    net->add(conv3x3(3, 16, 1, rng, "stem.conv"));
+
+    int64_t in_c = 16;
+    for (int g = 0; g < 3; ++g) {
+        int64_t stride = g == 0 ? 1 : 2;
+        for (int b = 0; b < n; ++b) {
+            std::string label = "group" + std::to_string(g + 1) +
+                                ".block" + std::to_string(b + 1);
+            net->add(preActBlock(in_c, widths[g], b == 0 ? stride : 1,
+                                 rng, label));
+            in_c = widths[g];
+        }
+    }
+
+    net->add(bn(in_c, "head.bn"));
+    net->add(relu("head.relu"));
+    net->add(std::make_unique<nn::GlobalAvgPool2d>());
+    net->add(std::make_unique<nn::Flatten>());
+    auto fc = std::make_unique<nn::Linear>(in_c, cfg.numClasses, rng);
+    fc->setLabel("head.fc");
+    net->add(std::move(fc));
+
+    ModelInfo info;
+    info.name = cfg.name;
+    info.display = cfg.display;
+    info.inputShape = Shape{3, cfg.imageSize, cfg.imageSize};
+    info.numClasses = cfg.numClasses;
+    return Model(std::move(info), std::move(net));
+}
+
+} // namespace models
+} // namespace edgeadapt

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wide-ResNet (Zagoruyko & Komodakis) for CIFAR-style inputs. The
+ * default WRN-40-2 configuration matches the paper's "WRN-AM" model:
+ * 2.24 M parameters, 5408 batch-norm parameters, 0.33 GMAC at 32x32.
+ */
+
+#ifndef EDGEADAPT_MODELS_WIDE_RESNET_HH
+#define EDGEADAPT_MODELS_WIDE_RESNET_HH
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace models {
+
+/** Configuration for buildWideResNet(). */
+struct WideResNetConfig
+{
+    std::string name = "wrn40_2";
+    std::string display = "WRN-AM";
+    int depth = 40;      ///< total depth; (depth-4) % 6 == 0
+    int widen = 2;       ///< width multiplier k
+    int numClasses = 10;
+    int64_t imageSize = 32;
+};
+
+/**
+ * Build a Wide-ResNet-depth-widen. Three groups of pre-activation
+ * basic blocks with widths {16k, 32k, 64k} and strides {1, 2, 2},
+ * a final BN+ReLU head, global average pooling, and a linear
+ * classifier.
+ */
+Model buildWideResNet(const WideResNetConfig &cfg, Rng &rng);
+
+} // namespace models
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_MODELS_WIDE_RESNET_HH

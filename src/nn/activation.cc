@@ -1,0 +1,92 @@
+#include "nn/activation.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+namespace {
+
+LayerDesc
+actDesc(const std::string &label, const char *fallback, const Shape &in)
+{
+    LayerDesc d;
+    d.label = label.empty() ? fallback : label;
+    d.op = OpClass::Activation;
+    d.inElems = in.numel();
+    d.outElems = in.numel();
+    return d;
+}
+
+} // namespace
+
+Tensor
+ReLU::forward(const Tensor &x)
+{
+    input_ = x;
+    Tensor out(x.shape());
+    const float *p = x.data();
+    float *q = out.data();
+    int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i)
+        q[i] = p[i] > 0.0f ? p[i] : 0.0f;
+    return out;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(grad_out.shape());
+    const float *p = input_.data();
+    const float *g = grad_out.data();
+    float *q = grad_in.data();
+    int64_t n = grad_out.numel();
+    for (int64_t i = 0; i < n; ++i)
+        q[i] = p[i] > 0.0f ? g[i] : 0.0f;
+    return grad_in;
+}
+
+Shape
+ReLU::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    if (out)
+        out->push_back(actDesc(label_, "relu", in));
+    return in;
+}
+
+Tensor
+ReLU6::forward(const Tensor &x)
+{
+    input_ = x;
+    Tensor out(x.shape());
+    const float *p = x.data();
+    float *q = out.data();
+    int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        float v = p[i] > 0.0f ? p[i] : 0.0f;
+        q[i] = v < 6.0f ? v : 6.0f;
+    }
+    return out;
+}
+
+Tensor
+ReLU6::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(grad_out.shape());
+    const float *p = input_.data();
+    const float *g = grad_out.data();
+    float *q = grad_in.data();
+    int64_t n = grad_out.numel();
+    for (int64_t i = 0; i < n; ++i)
+        q[i] = (p[i] > 0.0f && p[i] < 6.0f) ? g[i] : 0.0f;
+    return grad_in;
+}
+
+Shape
+ReLU6::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    if (out)
+        out->push_back(actDesc(label_, "relu6", in));
+    return in;
+}
+
+} // namespace nn
+} // namespace edgeadapt

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Elementwise activation layers: ReLU (ResNet family) and ReLU6
+ * (MobileNetV2).
+ */
+
+#ifndef EDGEADAPT_NN_ACTIVATION_HH
+#define EDGEADAPT_NN_ACTIVATION_HH
+
+#include "nn/module.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+/** y = max(x, 0). */
+class ReLU : public Module
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "ReLU"; }
+
+  private:
+    Tensor input_;
+};
+
+/** y = min(max(x, 0), 6) — MobileNetV2's clipped activation. */
+class ReLU6 : public Module
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "ReLU6"; }
+
+  private:
+    Tensor input_;
+};
+
+} // namespace nn
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_NN_ACTIVATION_HH

@@ -1,0 +1,219 @@
+#include "nn/batchnorm2d.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : c_(channels), momentum_(momentum), eps_(eps)
+{
+    gamma_.name = "gamma";
+    gamma_.value = Tensor::ones(Shape{c_});
+    gamma_.grad = Tensor::zeros(Shape{c_});
+    gamma_.isBnAffine = true;
+    beta_.name = "beta";
+    beta_.value = Tensor::zeros(Shape{c_});
+    beta_.grad = Tensor::zeros(Shape{c_});
+    beta_.isBnAffine = true;
+    runMean_ = Tensor::zeros(Shape{c_});
+    runVar_ = Tensor::ones(Shape{c_});
+}
+
+void
+BatchNorm2d::resetRunningStats()
+{
+    runMean_.fill(0.0f);
+    runVar_.fill(1.0f);
+}
+
+void
+BatchNorm2d::setBlendPrior(float n)
+{
+    panic_if(n < 0.0f, "blend prior must be non-negative");
+    blendPrior_ = n;
+}
+
+std::vector<Parameter *>
+BatchNorm2d::params()
+{
+    return {&gamma_, &beta_};
+}
+
+std::vector<Tensor *>
+BatchNorm2d::buffers()
+{
+    return {&runMean_, &runVar_};
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &x)
+{
+    panic_if(x.shape().rank() != 4, "BatchNorm2d wants NCHW input");
+    panic_if(x.shape()[1] != c_, "BatchNorm2d channel mismatch");
+    const int64_t n = x.shape()[0];
+    const int64_t h = x.shape()[2], w = x.shape()[3];
+    const int64_t area = h * w;
+    const int64_t m = n * area;
+
+    fwdWasTraining_ = training_;
+    Tensor out(x.shape());
+    xhat_ = Tensor(x.shape());
+    invStd_ = Tensor(Shape{c_});
+
+    const float *g = gamma_.value.data();
+    const float *b = beta_.value.data();
+    const float *px = x.data();
+    float *po = out.data();
+    float *pxh = xhat_.data();
+    float *pis = invStd_.data();
+
+    for (int64_t c = 0; c < c_; ++c) {
+        double mean, var;
+        if (training_) {
+            // Re-estimate statistics from the incoming batch -- the
+            // BN-Norm adaptation primitive (Sec. II-B).
+            double s = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+                const float *row = px + (i * c_ + c) * area;
+                for (int64_t j = 0; j < area; ++j)
+                    s += row[j];
+            }
+            mean = s / (double)m;
+            double v = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+                const float *row = px + (i * c_ + c) * area;
+                for (int64_t j = 0; j < area; ++j) {
+                    double d = row[j] - mean;
+                    v += d * d;
+                }
+            }
+            var = v / (double)m; // biased, as PyTorch normalizes with
+            if (blendPrior_ > 0.0f) {
+                // Source-prior blending (Schneider et al.): running
+                // buffers act as a fixed prior of strength N; they
+                // are not updated.
+                double nPrior = blendPrior_;
+                double w = nPrior / (nPrior + (double)m);
+                mean = w * runMean_.data()[c] + (1.0 - w) * mean;
+                var = w * runVar_.data()[c] + (1.0 - w) * var;
+            } else {
+                // Fold into running stats (PyTorch uses the unbiased
+                // variance for the running buffer).
+                double unbiased = m > 1 ? v / (double)(m - 1) : var;
+                float *rm = runMean_.data();
+                float *rv = runVar_.data();
+                rm[c] = (1.0f - momentum_) * rm[c] +
+                        momentum_ * (float)mean;
+                rv[c] = (1.0f - momentum_) * rv[c] +
+                        momentum_ * (float)unbiased;
+            }
+        } else {
+            mean = runMean_.data()[c];
+            var = runVar_.data()[c];
+        }
+        float is = (float)(1.0 / std::sqrt(var + (double)eps_));
+        pis[c] = is;
+        float mu = (float)mean;
+        float gc = g[c], bc = b[c];
+        for (int64_t i = 0; i < n; ++i) {
+            const float *row = px + (i * c_ + c) * area;
+            float *xr = pxh + (i * c_ + c) * area;
+            float *orow = po + (i * c_ + c) * area;
+            for (int64_t j = 0; j < area; ++j) {
+                float xh = (row[j] - mu) * is;
+                xr[j] = xh;
+                orow[j] = gc * xh + bc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &grad_out)
+{
+    panic_if(!xhat_.defined(), "BatchNorm2d backward before forward");
+    panic_if(grad_out.shape() != xhat_.shape(),
+             "BatchNorm2d backward grad shape mismatch");
+    const int64_t n = grad_out.shape()[0];
+    const int64_t h = grad_out.shape()[2], w = grad_out.shape()[3];
+    const int64_t area = h * w;
+    const int64_t m = n * area;
+
+    Tensor grad_in(grad_out.shape());
+    const float *gy = grad_out.data();
+    const float *xh = xhat_.data();
+    const float *is = invStd_.data();
+    const float *g = gamma_.value.data();
+    float *gx = grad_in.data();
+
+    for (int64_t c = 0; c < c_; ++c) {
+        // Channel-wise reductions: sum(dy) and sum(dy * xhat).
+        double sumDy = 0.0, sumDyXh = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            const float *gr = gy + (i * c_ + c) * area;
+            const float *xr = xh + (i * c_ + c) * area;
+            for (int64_t j = 0; j < area; ++j) {
+                sumDy += gr[j];
+                sumDyXh += gr[j] * xr[j];
+            }
+        }
+        if (gamma_.requiresGrad)
+            gamma_.grad.data()[c] += (float)sumDyXh;
+        if (beta_.requiresGrad)
+            beta_.grad.data()[c] += (float)sumDy;
+
+        if (fwdWasTraining_) {
+            // Batch statistics participated in the forward, so they
+            // carry gradient:
+            // dx = gamma*invStd/m * (m*dy - sum(dy) - xhat*sum(dy*xhat))
+            float k = g[c] * is[c] / (float)m;
+            float sDy = (float)sumDy, sDyXh = (float)sumDyXh;
+            for (int64_t i = 0; i < n; ++i) {
+                const float *gr = gy + (i * c_ + c) * area;
+                const float *xr = xh + (i * c_ + c) * area;
+                float *dst = gx + (i * c_ + c) * area;
+                for (int64_t j = 0; j < area; ++j) {
+                    dst[j] = k * ((float)m * gr[j] - sDy -
+                                  xr[j] * sDyXh);
+                }
+            }
+        } else {
+            // Frozen statistics: dx = dy * gamma * invStd.
+            float k = g[c] * is[c];
+            for (int64_t i = 0; i < n; ++i) {
+                const float *gr = gy + (i * c_ + c) * area;
+                float *dst = gx + (i * c_ + c) * area;
+                for (int64_t j = 0; j < area; ++j)
+                    dst[j] = k * gr[j];
+            }
+        }
+    }
+    return grad_in;
+}
+
+Shape
+BatchNorm2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    panic_if(in.rank() != 3 || in[0] != c_,
+             "BatchNorm2d trace shape mismatch: ", in.str());
+    if (out) {
+        LayerDesc d;
+        d.label = label_.empty() ? "bn" : label_;
+        d.op = OpClass::BatchNorm;
+        d.macs = in.numel(); // one multiply-add per element
+        d.inElems = in.numel();
+        d.outElems = in.numel();
+        d.paramElems = 2 * c_;
+        d.bnChannels = c_;
+        out->push_back(d);
+    }
+    return in;
+}
+
+} // namespace nn
+} // namespace edgeadapt

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Batch normalization over NCHW activations — the layer the whole
+ * paper revolves around.
+ *
+ * Modes:
+ *  - eval (training()==false): normalize with the frozen running
+ *    statistics, exactly what No-Adapt does at test time.
+ *  - train (training()==true): normalize with the statistics of the
+ *    current batch and fold them into the running estimates. This is
+ *    the PyTorch train() behaviour that BN-Norm and BN-Opt rely on:
+ *    putting the model in train mode *is* the statistics re-estimation
+ *    step of Sec. II-B.
+ *
+ * The affine transformation y = gamma * xhat + beta is always applied;
+ * gamma/beta are flagged isBnAffine so BN-Opt can select exactly the
+ * TENT parameter subset for its single optimization pass.
+ */
+
+#ifndef EDGEADAPT_NN_BATCHNORM2D_HH
+#define EDGEADAPT_NN_BATCHNORM2D_HH
+
+#include "nn/module.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+/** Batch normalization over the channel dimension of NCHW input. */
+class BatchNorm2d : public Module
+{
+  public:
+    /**
+     * @param channels number of feature channels C.
+     * @param momentum running-statistics update rate (PyTorch
+     *        convention: run = (1-m)*run + m*batch).
+     * @param eps variance floor.
+     */
+    explicit BatchNorm2d(int64_t channels, float momentum = 0.1f,
+                         float eps = 1e-5f);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> params() override;
+    std::vector<Tensor *> buffers() override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "BatchNorm2d"; }
+
+    /** @return channel count. */
+    int64_t channels() const { return c_; }
+
+    /** @return scale parameter gamma. */
+    Parameter &gamma() { return gamma_; }
+
+    /** @return shift parameter beta. */
+    Parameter &beta() { return beta_; }
+
+    /** @return running mean buffer (C). */
+    Tensor &runningMean() { return runMean_; }
+
+    /** @return running variance buffer (C). */
+    Tensor &runningVar() { return runVar_; }
+
+    /** Reset running statistics to (0, 1). */
+    void resetRunningStats();
+
+    /**
+     * Enable source-prior blending of train-mode statistics
+     * (Schneider et al., the paper's ref [14]): with prior strength
+     * N > 0, the normalization statistics become
+     *
+     *   mu = (N*mu_run + m*mu_batch) / (N + m)
+     *
+     * (and likewise for the variance), where m is the batch sample
+     * count. This stabilizes adaptation at small batch sizes. The
+     * running buffers act as the source prior and are not updated
+     * while blending is active. N = 0 restores pure batch statistics.
+     */
+    void setBlendPrior(float n);
+
+    /** @return current source-prior strength (0 = disabled). */
+    float blendPrior() const { return blendPrior_; }
+
+  private:
+    int64_t c_;
+    float momentum_, eps_;
+    float blendPrior_ = 0.0f;
+    Parameter gamma_, beta_;
+    Tensor runMean_, runVar_;
+
+    // Backward cache (valid after a forward).
+    Tensor xhat_;        ///< normalized input (N,C,H,W)
+    Tensor invStd_;      ///< per-channel 1/sqrt(var+eps) used in fw
+    bool fwdWasTraining_ = false;
+};
+
+} // namespace nn
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_NN_BATCHNORM2D_HH

@@ -1,0 +1,176 @@
+#include "nn/conv2d.hh"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "base/logging.hh"
+#include "tensor/gemm.hh"
+#include "tensor/im2col.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+Conv2d::Conv2d(int64_t in_c, int64_t out_c, int64_t kernel,
+               const Conv2dOpts &opts, Rng &rng)
+    : inC_(in_c), outC_(out_c), k_(kernel), stride_(opts.stride),
+      pad_(opts.pad), groups_(opts.groups), hasBias_(opts.bias)
+{
+    panic_if(in_c % groups_ != 0 || out_c % groups_ != 0,
+             "conv channels not divisible by groups");
+    int64_t cg = inC_ / groups_;
+    double fan_in = (double)(cg * k_ * k_);
+    float std = (float)std::sqrt(2.0 / fan_in);
+    weight_.name = "weight";
+    weight_.value = Tensor::randn(Shape{outC_, cg, k_, k_}, rng, std);
+    weight_.grad = Tensor::zeros(weight_.value.shape());
+    if (hasBias_) {
+        bias_.name = "bias";
+        bias_.value = Tensor::zeros(Shape{outC_});
+        bias_.grad = Tensor::zeros(Shape{outC_});
+    }
+}
+
+Parameter &
+Conv2d::bias()
+{
+    panic_if(!hasBias_, "conv has no bias");
+    return bias_;
+}
+
+std::vector<Parameter *>
+Conv2d::params()
+{
+    std::vector<Parameter *> out{&weight_};
+    if (hasBias_)
+        out.push_back(&bias_);
+    return out;
+}
+
+Tensor
+Conv2d::forward(const Tensor &x)
+{
+    panic_if(x.shape().rank() != 4, "Conv2d wants NCHW input");
+    panic_if(x.shape()[1] != inC_, "Conv2d channel mismatch: got ",
+             x.shape()[1], ", want ", inC_);
+    const int64_t n = x.shape()[0];
+    const int64_t h = x.shape()[2], w = x.shape()[3];
+    outH_ = convOutDim(h, k_, stride_, pad_);
+    outW_ = convOutDim(w, k_, stride_, pad_);
+    const int64_t outArea = outH_ * outW_;
+    const int64_t cg = inC_ / groups_;
+    const int64_t ocg = outC_ / groups_;
+    const int64_t colRows = inC_ * k_ * k_;
+    const int64_t gRows = cg * k_ * k_;
+
+    input_ = x; // alias; backward reads it
+    Tensor out(Shape{n, outC_, outH_, outW_});
+    std::vector<float> cols((size_t)(colRows * outArea));
+
+    const float *wp = weight_.value.data();
+    for (int64_t i = 0; i < n; ++i) {
+        const float *img = x.data() + i * inC_ * h * w;
+        im2col(img, inC_, h, w, k_, k_, stride_, pad_, cols.data());
+        float *dst = out.data() + i * outC_ * outArea;
+        for (int64_t g = 0; g < groups_; ++g) {
+            // (ocg x gRows) * (gRows x outArea) -> (ocg x outArea)
+            gemm(false, false, ocg, outArea, gRows, 1.0f,
+                 wp + g * ocg * gRows, cols.data() + g * gRows * outArea,
+                 0.0f, dst + g * ocg * outArea);
+        }
+        if (hasBias_) {
+            const float *b = bias_.value.data();
+            for (int64_t c = 0; c < outC_; ++c) {
+                float bv = b[c];
+                float *row = dst + c * outArea;
+                for (int64_t j = 0; j < outArea; ++j)
+                    row[j] += bv;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+Conv2d::backward(const Tensor &grad_out)
+{
+    panic_if(!input_.defined(), "Conv2d backward before forward");
+    const Tensor &x = input_;
+    const int64_t n = x.shape()[0];
+    const int64_t h = x.shape()[2], w = x.shape()[3];
+    const int64_t outArea = outH_ * outW_;
+    const int64_t cg = inC_ / groups_;
+    const int64_t ocg = outC_ / groups_;
+    const int64_t colRows = inC_ * k_ * k_;
+    const int64_t gRows = cg * k_ * k_;
+
+    panic_if(grad_out.shape() != Shape({n, outC_, outH_, outW_}),
+             "Conv2d backward grad shape mismatch");
+
+    Tensor grad_in = Tensor::zeros(x.shape());
+    std::vector<float> cols((size_t)(colRows * outArea));
+    std::vector<float> dcols((size_t)(colRows * outArea));
+
+    const bool needW = weight_.requiresGrad;
+    const float *wp = weight_.value.data();
+    float *gw = weight_.grad.data();
+
+    for (int64_t i = 0; i < n; ++i) {
+        const float *gout = grad_out.data() + i * outC_ * outArea;
+        if (needW) {
+            const float *img = x.data() + i * inC_ * h * w;
+            im2col(img, inC_, h, w, k_, k_, stride_, pad_, cols.data());
+        }
+        for (int64_t g = 0; g < groups_; ++g) {
+            const float *goutG = gout + g * ocg * outArea;
+            if (needW) {
+                // dW += gout * cols^T : (ocg x outArea)*(outArea x gRows)
+                gemm(false, true, ocg, gRows, outArea, 1.0f, goutG,
+                     cols.data() + g * gRows * outArea, 1.0f,
+                     gw + g * ocg * gRows);
+            }
+            // dcols = W^T * gout : (gRows x ocg)*(ocg x outArea)
+            gemm(true, false, gRows, outArea, ocg, 1.0f,
+                 wp + g * ocg * gRows, goutG, 0.0f,
+                 dcols.data() + g * gRows * outArea);
+        }
+        col2im(dcols.data(), inC_, h, w, k_, k_, stride_, pad_,
+               grad_in.data() + i * inC_ * h * w);
+        if (hasBias_ && bias_.requiresGrad) {
+            float *gb = bias_.grad.data();
+            for (int64_t c = 0; c < outC_; ++c) {
+                const float *row = gout + c * outArea;
+                double s = 0.0;
+                for (int64_t j = 0; j < outArea; ++j)
+                    s += row[j];
+                gb[c] += (float)s;
+            }
+        }
+    }
+    return grad_in;
+}
+
+Shape
+Conv2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    panic_if(in.rank() != 3, "Conv2d trace wants (C,H,W), got ",
+             in.str());
+    panic_if(in[0] != inC_, "Conv2d trace channel mismatch");
+    int64_t oh = convOutDim(in[1], k_, stride_, pad_);
+    int64_t ow = convOutDim(in[2], k_, stride_, pad_);
+    if (out) {
+        LayerDesc d;
+        d.label = label_.empty() ? "conv" : label_;
+        d.op = OpClass::Conv;
+        d.macs = outC_ * (inC_ / groups_) * k_ * k_ * oh * ow;
+        d.inElems = in.numel();
+        d.outElems = outC_ * oh * ow;
+        d.paramElems = weight_.value.numel() +
+                       (hasBias_ ? outC_ : 0);
+        out->push_back(d);
+    }
+    return Shape{outC_, oh, ow};
+}
+
+} // namespace nn
+} // namespace edgeadapt

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * 2-D convolution (square kernels, symmetric stride/padding, grouped
+ * and depthwise supported) via im2col + GEMM, with full backward:
+ * gradient w.r.t. input (needed to reach upstream BN layers during
+ * BN-Opt adaptation) and w.r.t. weights (needed for offline robust
+ * training; gated by Parameter::requiresGrad).
+ */
+
+#ifndef EDGEADAPT_NN_CONV2D_HH
+#define EDGEADAPT_NN_CONV2D_HH
+
+#include "nn/module.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+/** Configuration for a Conv2d layer. */
+struct Conv2dOpts
+{
+    int64_t stride = 1;
+    int64_t pad = 0;
+    int64_t groups = 1;
+    bool bias = false; ///< models in this study put bias in BN layers
+};
+
+/**
+ * Grouped 2-D convolution. Weight layout is
+ * (outC, inC/groups, k, k); group g owns output channels
+ * [g*outC/groups, (g+1)*outC/groups).
+ */
+class Conv2d : public Module
+{
+  public:
+    /**
+     * @param in_c input channels.
+     * @param out_c output channels.
+     * @param kernel square kernel extent.
+     * @param opts stride/pad/groups/bias.
+     * @param rng weight-init stream (Kaiming normal, fan-in).
+     */
+    Conv2d(int64_t in_c, int64_t out_c, int64_t kernel,
+           const Conv2dOpts &opts, Rng &rng);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> params() override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "Conv2d"; }
+
+    /** @return the weight parameter (for tests / serialization). */
+    Parameter &weight() { return weight_; }
+
+    /** @return the bias parameter; panics when bias is disabled. */
+    Parameter &bias();
+
+  private:
+    int64_t inC_, outC_, k_, stride_, pad_, groups_;
+    bool hasBias_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor input_;      ///< cached forward input
+    int64_t outH_ = 0, outW_ = 0;
+};
+
+} // namespace nn
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_NN_CONV2D_HH

@@ -1,0 +1,51 @@
+#include "nn/layer_desc.hh"
+
+#include <algorithm>
+
+namespace edgeadapt {
+namespace nn {
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::Conv:
+        return "conv";
+      case OpClass::BatchNorm:
+        return "batchnorm";
+      case OpClass::Linear:
+        return "linear";
+      case OpClass::Activation:
+        return "activation";
+      case OpClass::Pool:
+        return "pool";
+      case OpClass::Add:
+        return "add";
+      case OpClass::Other:
+        return "other";
+    }
+    return "?";
+}
+
+TraceSummary
+summarize(const std::vector<LayerDesc> &layers)
+{
+    TraceSummary s;
+    for (const auto &l : layers) {
+        s.totalMacs += l.macs;
+        s.totalParams += l.paramElems;
+        s.totalActElems += l.outElems;
+        s.peakActElems =
+            std::max(s.peakActElems, l.inElems + l.outElems);
+        if (l.op == OpClass::BatchNorm) {
+            s.bnParams += l.paramElems;
+            ++s.bnLayers;
+        }
+        if (l.op == OpClass::Conv)
+            ++s.convLayers;
+    }
+    return s;
+}
+
+} // namespace nn
+} // namespace edgeadapt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-layer operation descriptors. A model "trace" walks the module
+ * graph with a symbolic input shape and emits one LayerDesc per
+ * primitive op. The device cost model (src/device) consumes these to
+ * predict time, energy, and memory on each edge platform without
+ * executing any arithmetic.
+ */
+
+#ifndef EDGEADAPT_NN_LAYER_DESC_HH
+#define EDGEADAPT_NN_LAYER_DESC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgeadapt {
+namespace nn {
+
+/** Coarse operation class used by the device cost model. */
+enum class OpClass
+{
+    Conv,       ///< im2col + GEMM convolution (incl. grouped/depthwise)
+    BatchNorm,  ///< batch normalization
+    Linear,     ///< fully-connected GEMM
+    Activation, ///< elementwise nonlinearity
+    Pool,       ///< spatial pooling
+    Add,        ///< residual addition
+    Other,      ///< reshape/flatten and similar no-compute ops
+};
+
+/** @return short printable name of an op class. */
+const char *opClassName(OpClass op);
+
+/**
+ * Description of one primitive layer for a *single-image* forward pass.
+ * All element counts are per image; the cost model scales by batch size.
+ */
+struct LayerDesc
+{
+    std::string label;       ///< hierarchical module label
+    OpClass op = OpClass::Other;
+    int64_t macs = 0;        ///< multiply-accumulates per image
+    int64_t inElems = 0;     ///< input activation elements per image
+    int64_t outElems = 0;    ///< output activation elements per image
+    int64_t paramElems = 0;  ///< parameter elements (weights/affine)
+    int64_t bnChannels = 0;  ///< channels, for BatchNorm layers only
+};
+
+/** Aggregate counts over a trace. */
+struct TraceSummary
+{
+    int64_t totalMacs = 0;       ///< per-image forward MACs
+    int64_t totalParams = 0;     ///< all parameter elements
+    int64_t bnParams = 0;        ///< BN affine (gamma+beta) elements
+    int64_t totalActElems = 0;   ///< sum of per-layer output elements
+    int64_t peakActElems = 0;    ///< max single-layer in+out elements
+    int convLayers = 0;
+    int bnLayers = 0;
+};
+
+/** @return aggregate counters for a layer list. */
+TraceSummary summarize(const std::vector<LayerDesc> &layers);
+
+} // namespace nn
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_NN_LAYER_DESC_HH

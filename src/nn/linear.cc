@@ -1,0 +1,97 @@
+#include "nn/linear.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "tensor/gemm.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng &rng)
+    : in_(in_features), out_(out_features)
+{
+    float bound = (float)(1.0 / std::sqrt((double)in_features));
+    weight_.name = "weight";
+    weight_.value =
+        Tensor::uniform(Shape{out_, in_}, rng, -bound, bound);
+    weight_.grad = Tensor::zeros(Shape{out_, in_});
+    bias_.name = "bias";
+    bias_.value = Tensor::uniform(Shape{out_}, rng, -bound, bound);
+    bias_.grad = Tensor::zeros(Shape{out_});
+}
+
+std::vector<Parameter *>
+Linear::params()
+{
+    return {&weight_, &bias_};
+}
+
+Tensor
+Linear::forward(const Tensor &x)
+{
+    panic_if(x.shape().rank() != 2, "Linear wants (N, in) input");
+    panic_if(x.shape()[1] != in_, "Linear width mismatch: got ",
+             x.shape()[1], ", want ", in_);
+    input_ = x;
+    int64_t n = x.shape()[0];
+    Tensor out(Shape{n, out_});
+    // out = x (n x in) * W^T (in x out)
+    gemm(false, true, n, out_, in_, 1.0f, x.data(),
+         weight_.value.data(), 0.0f, out.data());
+    const float *b = bias_.value.data();
+    float *q = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < out_; ++j)
+            q[i * out_ + j] += b[j];
+    }
+    return out;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_out)
+{
+    panic_if(!input_.defined(), "Linear backward before forward");
+    int64_t n = input_.shape()[0];
+    panic_if(grad_out.shape() != Shape({n, out_}),
+             "Linear backward grad shape mismatch");
+    if (weight_.requiresGrad) {
+        // dW += dY^T (out x n) * X (n x in)
+        gemm(true, false, out_, in_, n, 1.0f, grad_out.data(),
+             input_.data(), 1.0f, weight_.grad.data());
+    }
+    if (bias_.requiresGrad) {
+        float *gb = bias_.grad.data();
+        const float *g = grad_out.data();
+        for (int64_t i = 0; i < n; ++i) {
+            for (int64_t j = 0; j < out_; ++j)
+                gb[j] += g[i * out_ + j];
+        }
+    }
+    Tensor grad_in(Shape{n, in_});
+    // dX = dY (n x out) * W (out x in)
+    gemm(false, false, n, in_, out_, 1.0f, grad_out.data(),
+         weight_.value.data(), 0.0f, grad_in.data());
+    return grad_in;
+}
+
+Shape
+Linear::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    panic_if(in.rank() != 1 || in[0] != in_,
+             "Linear trace shape mismatch: ", in.str());
+    if (out) {
+        LayerDesc d;
+        d.label = label_.empty() ? "fc" : label_;
+        d.op = OpClass::Linear;
+        d.macs = in_ * out_;
+        d.inElems = in_;
+        d.outElems = out_;
+        d.paramElems = weight_.value.numel() + bias_.value.numel();
+        out->push_back(d);
+    }
+    return Shape{out_};
+}
+
+} // namespace nn
+} // namespace edgeadapt

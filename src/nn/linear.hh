@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fully-connected layer for the classifier heads: y = x W^T + b with
+ * x (N, in), W (out, in).
+ */
+
+#ifndef EDGEADAPT_NN_LINEAR_HH
+#define EDGEADAPT_NN_LINEAR_HH
+
+#include "nn/module.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+/** Affine map from in_features to out_features. */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in_features input width.
+     * @param out_features output width.
+     * @param rng init stream (Kaiming-uniform style fan-in bound).
+     */
+    Linear(int64_t in_features, int64_t out_features, Rng &rng);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> params() override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "Linear"; }
+
+    /** @return the weight parameter (out x in). */
+    Parameter &weight() { return weight_; }
+
+    /** @return the bias parameter (out). */
+    Parameter &bias() { return bias_; }
+
+  private:
+    int64_t in_, out_;
+    Parameter weight_, bias_;
+    Tensor input_;
+};
+
+} // namespace nn
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_NN_LINEAR_HH

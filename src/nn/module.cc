@@ -1,0 +1,276 @@
+#include "nn/module.hh"
+
+#include "base/logging.hh"
+#include "tensor/ops.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+void
+Module::setTraining(bool training)
+{
+    training_ = training;
+    for (Module *c : children())
+        c->setTraining(training);
+}
+
+std::vector<Parameter *>
+collectParameters(Module &root)
+{
+    std::vector<Parameter *> out;
+    for (Module *m : collectModules(root)) {
+        for (Parameter *p : m->params())
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<Module *>
+collectModules(Module &root)
+{
+    std::vector<Module *> out;
+    std::vector<Module *> stack{&root};
+    while (!stack.empty()) {
+        Module *m = stack.back();
+        stack.pop_back();
+        out.push_back(m);
+        auto kids = m->children();
+        // Push in reverse to keep pre-order left-to-right.
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+            stack.push_back(*it);
+    }
+    return out;
+}
+
+std::vector<Tensor *>
+collectBuffers(Module &root)
+{
+    std::vector<Tensor *> out;
+    for (Module *m : collectModules(root)) {
+        for (Tensor *b : m->buffers())
+            out.push_back(b);
+    }
+    return out;
+}
+
+ModelState
+ModelState::capture(Module &root)
+{
+    ModelState st;
+    for (Parameter *p : collectParameters(root))
+        st.values_.push_back(p->value.clone());
+    for (Tensor *b : collectBuffers(root))
+        st.values_.push_back(b->clone());
+    return st;
+}
+
+void
+ModelState::restore(Module &root) const
+{
+    size_t i = 0;
+    for (Parameter *p : collectParameters(root)) {
+        panic_if(i >= values_.size(), "ModelState size mismatch");
+        p->value.copyFrom(values_[i++]);
+    }
+    for (Tensor *b : collectBuffers(root)) {
+        panic_if(i >= values_.size(), "ModelState size mismatch");
+        b->copyFrom(values_[i++]);
+    }
+    panic_if(i != values_.size(),
+             "ModelState captured a different module tree");
+}
+
+void
+zeroGradTree(Module &root)
+{
+    for (Parameter *p : collectParameters(root)) {
+        if (p->grad.defined())
+            p->grad.fill(0.0f);
+    }
+}
+
+void
+setRequiresGradTree(Module &root, bool requires_grad)
+{
+    for (Parameter *p : collectParameters(root))
+        p->requiresGrad = requires_grad;
+}
+
+int64_t
+parameterCount(Module &root)
+{
+    int64_t n = 0;
+    for (Parameter *p : collectParameters(root))
+        n += p->value.numel();
+    return n;
+}
+
+Module &
+Sequential::add(std::unique_ptr<Module> m)
+{
+    panic_if(!m, "Sequential::add(null)");
+    mods_.push_back(std::move(m));
+    return *mods_.back();
+}
+
+Module &
+Sequential::at(size_t i)
+{
+    panic_if(i >= mods_.size(), "Sequential index out of range");
+    return *mods_[i];
+}
+
+Tensor
+Sequential::forward(const Tensor &x)
+{
+    Tensor cur = x;
+    for (auto &m : mods_)
+        cur = m->forward(cur);
+    return cur;
+}
+
+Tensor
+Sequential::backward(const Tensor &grad_out)
+{
+    Tensor cur = grad_out;
+    for (auto it = mods_.rbegin(); it != mods_.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+std::vector<Module *>
+Sequential::children()
+{
+    std::vector<Module *> out;
+    out.reserve(mods_.size());
+    for (auto &m : mods_)
+        out.push_back(m.get());
+    return out;
+}
+
+Shape
+Sequential::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    Shape cur = in;
+    for (const auto &m : mods_)
+        cur = m->trace(cur, out);
+    return cur;
+}
+
+void
+Sequential::setTraining(bool training)
+{
+    Module::setTraining(training);
+}
+
+Residual::Residual(std::unique_ptr<Module> prefix,
+                   std::unique_ptr<Module> main,
+                   std::unique_ptr<Module> shortcut)
+    : prefix_(std::move(prefix)), main_(std::move(main)),
+      shortcut_(std::move(shortcut))
+{
+    panic_if(!main_, "Residual requires a main branch");
+}
+
+Tensor
+Residual::forward(const Tensor &x)
+{
+    Tensor p = prefix_ ? prefix_->forward(x) : x;
+    Tensor y = main_->forward(p);
+    Tensor skip = shortcut_ ? shortcut_->forward(p)
+                            : (prefix_ ? x : p);
+    // When prefix exists and shortcut is identity, the skip carries the
+    // *unactivated* input x (standard pre-activation identity skip).
+    addInPlace(y, skip);
+    return y;
+}
+
+Tensor
+Residual::backward(const Tensor &grad_out)
+{
+    Tensor gp = main_->backward(grad_out);
+    if (shortcut_) {
+        Tensor gs = shortcut_->backward(grad_out);
+        addInPlace(gp, gs);
+        return prefix_ ? prefix_->backward(gp) : gp;
+    }
+    if (prefix_) {
+        // Identity skip bypasses the prefix: grad_in = prefix_bw(gp) + g.
+        Tensor gx = prefix_->backward(gp);
+        addInPlace(gx, grad_out);
+        return gx;
+    }
+    // Plain y = main(x) + x.
+    addInPlace(gp, grad_out);
+    return gp;
+}
+
+std::vector<Module *>
+Residual::children()
+{
+    std::vector<Module *> out;
+    if (prefix_)
+        out.push_back(prefix_.get());
+    out.push_back(main_.get());
+    if (shortcut_)
+        out.push_back(shortcut_.get());
+    return out;
+}
+
+Shape
+Residual::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    Shape p = prefix_ ? prefix_->trace(in, out) : in;
+    Shape y = main_->trace(p, out);
+    Shape skip = shortcut_ ? shortcut_->trace(p, out)
+                           : (prefix_ ? in : p);
+    panic_if(y != skip, "Residual branch shape mismatch: main ",
+             y.str(), " vs skip ", skip.str(), " in ", label());
+    if (out) {
+        LayerDesc d;
+        d.label = label_.empty() ? "residual.add" : label_ + ".add";
+        d.op = OpClass::Add;
+        d.inElems = 2 * y.numel();
+        d.outElems = y.numel();
+        out->push_back(d);
+    }
+    return y;
+}
+
+void
+Residual::setTraining(bool training)
+{
+    Module::setTraining(training);
+}
+
+Tensor
+Flatten::forward(const Tensor &x)
+{
+    inShape_ = x.shape();
+    panic_if(inShape_.rank() < 2, "Flatten wants a batched tensor");
+    int64_t n = inShape_[0];
+    return x.reshape(Shape{n, x.numel() / n});
+}
+
+Tensor
+Flatten::backward(const Tensor &grad_out)
+{
+    return grad_out.reshape(inShape_);
+}
+
+Shape
+Flatten::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    if (out) {
+        LayerDesc d;
+        d.label = label_.empty() ? "flatten" : label_;
+        d.op = OpClass::Other;
+        d.inElems = in.numel();
+        d.outElems = in.numel();
+        out->push_back(d);
+    }
+    return Shape{in.numel()};
+}
+
+} // namespace nn
+} // namespace edgeadapt

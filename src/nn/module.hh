@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Module base class and structural composites (Sequential, Residual,
+ * Flatten). edgeadapt uses a module-graph with explicit per-module
+ * backward instead of a taped autograd: every module caches what its
+ * backward needs during forward, and backward(grad_out) returns the
+ * gradient w.r.t. the module input while accumulating parameter
+ * gradients for parameters whose requiresGrad flag is set.
+ *
+ * This mirrors exactly what the paper's adaptation algorithms need:
+ * BN-Opt freezes all parameters except BN affine scale/shift and runs
+ * one full backward pass; the offline trainer enables every parameter.
+ */
+
+#ifndef EDGEADAPT_NN_MODULE_HH
+#define EDGEADAPT_NN_MODULE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer_desc.hh"
+#include "tensor/tensor.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+/**
+ * A learnable tensor with its gradient accumulator. The isBnAffine
+ * flag marks batch-norm scale/shift so adaptation methods can select
+ * exactly the TENT parameter subset.
+ */
+struct Parameter
+{
+    std::string name;        ///< hierarchical name for reporting
+    Tensor value;            ///< current parameter values
+    Tensor grad;             ///< accumulated gradient (same shape)
+    bool requiresGrad = true; ///< gate for gradient accumulation
+    bool isBnAffine = false;  ///< true for BN gamma/beta
+};
+
+/**
+ * Base class for all layers and composite blocks.
+ *
+ * Contract: forward() must be called before backward(); backward()
+ * consumes the cached state of the most recent forward() (no
+ * re-entrancy). Gradients accumulate into Parameter::grad; call
+ * zeroGradTree() between steps.
+ */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** Run the forward pass, caching state for a later backward(). */
+    virtual Tensor forward(const Tensor &x) = 0;
+
+    /**
+     * Back-propagate. Accumulates parameter gradients (for params with
+     * requiresGrad) and @return gradient w.r.t. the forward input.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** @return this module's own parameters (not descendants'). */
+    virtual std::vector<Parameter *> params() { return {}; }
+
+    /**
+     * @return this module's own non-learnable state tensors (e.g. BN
+     * running statistics) that must be captured by snapshots.
+     */
+    virtual std::vector<Tensor *> buffers() { return {}; }
+
+    /** @return direct child modules. */
+    virtual std::vector<Module *> children() { return {}; }
+
+    /**
+     * Symbolically propagate an input shape, appending one LayerDesc
+     * per primitive op when @p out is non-null.
+     *
+     * @param in per-image input shape (C, H, W as a rank-3 Shape).
+     * @param out optional descriptor sink.
+     * @return per-image output shape.
+     */
+    virtual Shape trace(const Shape &in,
+                        std::vector<LayerDesc> *out) const = 0;
+
+    /** Switch train/eval mode (affects BatchNorm2d); recurses. */
+    virtual void setTraining(bool training);
+
+    /** @return current mode. */
+    bool training() const { return training_; }
+
+    /** @return short type name for diagnostics ("Conv2d", ...). */
+    virtual std::string kind() const = 0;
+
+    /** Set the hierarchical label used in traces and param names. */
+    void setLabel(std::string label) { label_ = std::move(label); }
+
+    /** @return the hierarchical label. */
+    const std::string &label() const { return label_; }
+
+  protected:
+    bool training_ = false;
+    std::string label_;
+};
+
+/** Recursively collect every parameter in a module tree. */
+std::vector<Parameter *> collectParameters(Module &root);
+
+/** Recursively collect every buffer tensor in a module tree. */
+std::vector<Tensor *> collectBuffers(Module &root);
+
+/**
+ * Deep snapshot of a module tree's parameters and buffers, used to
+ * restore the pristine pre-trained model between adaptation streams
+ * (each corruption stream starts from the same deployed checkpoint).
+ */
+class ModelState
+{
+  public:
+    /** Capture the current values of @p root. */
+    static ModelState capture(Module &root);
+
+    /** Write the captured values back into @p root (shapes must match). */
+    void restore(Module &root) const;
+
+  private:
+    std::vector<Tensor> values_;
+};
+
+/** Recursively collect every module in a tree (pre-order, incl. root). */
+std::vector<Module *> collectModules(Module &root);
+
+/** Zero all gradients in a module tree. */
+void zeroGradTree(Module &root);
+
+/** Set requiresGrad on every parameter in a tree. */
+void setRequiresGradTree(Module &root, bool requires_grad);
+
+/** Count parameter elements in a tree. */
+int64_t parameterCount(Module &root);
+
+/**
+ * Ordered container of sub-modules; forward chains them, backward
+ * reverses the chain.
+ */
+class Sequential : public Module
+{
+  public:
+    Sequential() = default;
+
+    /** Append a module; @return reference to the stored module. */
+    Module &add(std::unique_ptr<Module> m);
+
+    /** @return number of sub-modules. */
+    size_t size() const { return mods_.size(); }
+
+    /** @return sub-module i. */
+    Module &at(size_t i);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Module *> children() override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    void setTraining(bool training) override;
+    std::string kind() const override { return "Sequential"; }
+
+  private:
+    std::vector<std::unique_ptr<Module>> mods_;
+};
+
+/**
+ * Generic residual composite covering every block family in the model
+ * zoo:
+ *
+ *   p = prefix(x)            (identity when prefix is null)
+ *   y = main(p) + shortcut(p)   (shortcut(x)=x when shortcut is null;
+ *                                when prefix is null and shortcut is
+ *                                null, the skip connection carries x)
+ *
+ * Pre-activation ResNet/WRN blocks use a non-null prefix (the shared
+ * BN+ReLU) with the shortcut reading the *activated* input; ResNeXt
+ * and MobileNetV2 blocks use a null prefix.
+ */
+class Residual : public Module
+{
+  public:
+    /**
+     * @param prefix shared pre-branch computation (may be null).
+     * @param main main branch (required).
+     * @param shortcut projection branch (null = identity skip).
+     */
+    Residual(std::unique_ptr<Module> prefix, std::unique_ptr<Module> main,
+             std::unique_ptr<Module> shortcut);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Module *> children() override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    void setTraining(bool training) override;
+    std::string kind() const override { return "Residual"; }
+
+    /** @return shared prefix branch (may be null). */
+    Module *prefix() { return prefix_.get(); }
+
+    /** @return main branch (never null). */
+    Module *mainBranch() { return main_.get(); }
+
+    /** @return projection shortcut (null = identity skip). */
+    Module *shortcut() { return shortcut_.get(); }
+
+  private:
+    std::unique_ptr<Module> prefix_;
+    std::unique_ptr<Module> main_;
+    std::unique_ptr<Module> shortcut_;
+};
+
+/** Collapse (N, C, H, W) to (N, C*H*W) ahead of a Linear classifier. */
+class Flatten : public Module
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "Flatten"; }
+
+  private:
+    Shape inShape_;
+};
+
+} // namespace nn
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_NN_MODULE_HH

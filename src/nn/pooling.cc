@@ -1,0 +1,241 @@
+#include "nn/pooling.hh"
+
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+namespace {
+
+int64_t
+poolOutDim(int64_t in, int64_t k, int64_t stride)
+{
+    panic_if(in < k, "pool window larger than input");
+    return (in - k) / stride + 1;
+}
+
+} // namespace
+
+AvgPool2d::AvgPool2d(int64_t kernel, int64_t stride)
+    : k_(kernel), stride_(stride > 0 ? stride : kernel)
+{
+    panic_if(kernel <= 0, "pool kernel must be positive");
+}
+
+Tensor
+AvgPool2d::forward(const Tensor &x)
+{
+    panic_if(x.shape().rank() != 4, "AvgPool2d wants NCHW input");
+    inShape_ = x.shape();
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t h = x.shape()[2], w = x.shape()[3];
+    int64_t oh = poolOutDim(h, k_, stride_);
+    int64_t ow = poolOutDim(w, k_, stride_);
+    Tensor out(Shape{n, c, oh, ow});
+    const float *p = x.data();
+    float *q = out.data();
+    float inv = 1.0f / (float)(k_ * k_);
+    for (int64_t ic = 0; ic < n * c; ++ic) {
+        const float *img = p + ic * h * w;
+        float *dst = q + ic * oh * ow;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                double s = 0.0;
+                for (int64_t ky = 0; ky < k_; ++ky) {
+                    const float *row = img + (oy * stride_ + ky) * w +
+                                       ox * stride_;
+                    for (int64_t kx = 0; kx < k_; ++kx)
+                        s += row[kx];
+                }
+                dst[oy * ow + ox] = (float)s * inv;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+AvgPool2d::backward(const Tensor &grad_out)
+{
+    int64_t n = inShape_[0], c = inShape_[1];
+    int64_t h = inShape_[2], w = inShape_[3];
+    int64_t oh = grad_out.shape()[2], ow = grad_out.shape()[3];
+    Tensor grad_in = Tensor::zeros(inShape_);
+    const float *g = grad_out.data();
+    float *q = grad_in.data();
+    float inv = 1.0f / (float)(k_ * k_);
+    for (int64_t ic = 0; ic < n * c; ++ic) {
+        float *img = q + ic * h * w;
+        const float *src = g + ic * oh * ow;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                float gv = src[oy * ow + ox] * inv;
+                for (int64_t ky = 0; ky < k_; ++ky) {
+                    float *row = img + (oy * stride_ + ky) * w +
+                                 ox * stride_;
+                    for (int64_t kx = 0; kx < k_; ++kx)
+                        row[kx] += gv;
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+Shape
+AvgPool2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    int64_t oh = poolOutDim(in[1], k_, stride_);
+    int64_t ow = poolOutDim(in[2], k_, stride_);
+    Shape o{in[0], oh, ow};
+    if (out) {
+        LayerDesc d;
+        d.label = label_.empty() ? "avgpool" : label_;
+        d.op = OpClass::Pool;
+        d.inElems = in.numel();
+        d.outElems = o.numel();
+        out->push_back(d);
+    }
+    return o;
+}
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
+    : k_(kernel), stride_(stride > 0 ? stride : kernel)
+{
+    panic_if(kernel <= 0, "pool kernel must be positive");
+}
+
+Tensor
+MaxPool2d::forward(const Tensor &x)
+{
+    panic_if(x.shape().rank() != 4, "MaxPool2d wants NCHW input");
+    inShape_ = x.shape();
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t h = x.shape()[2], w = x.shape()[3];
+    int64_t oh = poolOutDim(h, k_, stride_);
+    int64_t ow = poolOutDim(w, k_, stride_);
+    Tensor out(Shape{n, c, oh, ow});
+    argmax_.assign((size_t)(n * c * oh * ow), 0);
+    const float *p = x.data();
+    float *q = out.data();
+    for (int64_t ic = 0; ic < n * c; ++ic) {
+        const float *img = p + ic * h * w;
+        float *dst = q + ic * oh * ow;
+        int64_t *amax = argmax_.data() + ic * oh * ow;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                float best = -std::numeric_limits<float>::infinity();
+                int64_t bestIdx = 0;
+                for (int64_t ky = 0; ky < k_; ++ky) {
+                    for (int64_t kx = 0; kx < k_; ++kx) {
+                        int64_t iy = oy * stride_ + ky;
+                        int64_t ix = ox * stride_ + kx;
+                        float v = img[iy * w + ix];
+                        if (v > best) {
+                            best = v;
+                            bestIdx = iy * w + ix;
+                        }
+                    }
+                }
+                dst[oy * ow + ox] = best;
+                amax[oy * ow + ox] = bestIdx;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &grad_out)
+{
+    int64_t n = inShape_[0], c = inShape_[1];
+    int64_t h = inShape_[2], w = inShape_[3];
+    int64_t oh = grad_out.shape()[2], ow = grad_out.shape()[3];
+    Tensor grad_in = Tensor::zeros(inShape_);
+    const float *g = grad_out.data();
+    float *q = grad_in.data();
+    for (int64_t ic = 0; ic < n * c; ++ic) {
+        float *img = q + ic * h * w;
+        const float *src = g + ic * oh * ow;
+        const int64_t *amax = argmax_.data() + ic * oh * ow;
+        for (int64_t j = 0; j < oh * ow; ++j)
+            img[amax[j]] += src[j];
+    }
+    return grad_in;
+}
+
+Shape
+MaxPool2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    int64_t oh = poolOutDim(in[1], k_, stride_);
+    int64_t ow = poolOutDim(in[2], k_, stride_);
+    Shape o{in[0], oh, ow};
+    if (out) {
+        LayerDesc d;
+        d.label = label_.empty() ? "maxpool" : label_;
+        d.op = OpClass::Pool;
+        d.inElems = in.numel();
+        d.outElems = o.numel();
+        out->push_back(d);
+    }
+    return o;
+}
+
+Tensor
+GlobalAvgPool2d::forward(const Tensor &x)
+{
+    panic_if(x.shape().rank() != 4, "GlobalAvgPool2d wants NCHW input");
+    inShape_ = x.shape();
+    int64_t n = x.shape()[0], c = x.shape()[1];
+    int64_t area = x.shape()[2] * x.shape()[3];
+    Tensor out(Shape{n, c, 1, 1});
+    const float *p = x.data();
+    float *q = out.data();
+    float inv = 1.0f / (float)area;
+    for (int64_t ic = 0; ic < n * c; ++ic) {
+        const float *img = p + ic * area;
+        double s = 0.0;
+        for (int64_t j = 0; j < area; ++j)
+            s += img[j];
+        q[ic] = (float)s * inv;
+    }
+    return out;
+}
+
+Tensor
+GlobalAvgPool2d::backward(const Tensor &grad_out)
+{
+    int64_t n = inShape_[0], c = inShape_[1];
+    int64_t area = inShape_[2] * inShape_[3];
+    Tensor grad_in(inShape_);
+    const float *g = grad_out.data();
+    float *q = grad_in.data();
+    float inv = 1.0f / (float)area;
+    for (int64_t ic = 0; ic < n * c; ++ic) {
+        float gv = g[ic] * inv;
+        float *img = q + ic * area;
+        for (int64_t j = 0; j < area; ++j)
+            img[j] = gv;
+    }
+    return grad_in;
+}
+
+Shape
+GlobalAvgPool2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
+{
+    Shape o{in[0], 1, 1};
+    if (out) {
+        LayerDesc d;
+        d.label = label_.empty() ? "gap" : label_;
+        d.op = OpClass::Pool;
+        d.inElems = in.numel();
+        d.outElems = o.numel();
+        out->push_back(d);
+    }
+    return o;
+}
+
+} // namespace nn
+} // namespace edgeadapt

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Spatial pooling layers: average pooling (classifier heads of the
+ * CIFAR ResNet family) and max pooling (available for completeness
+ * and for the synthetic-workload tests).
+ */
+
+#ifndef EDGEADAPT_NN_POOLING_HH
+#define EDGEADAPT_NN_POOLING_HH
+
+#include "nn/module.hh"
+
+namespace edgeadapt {
+namespace nn {
+
+/** Non-overlapping (or strided) average pooling with square window. */
+class AvgPool2d : public Module
+{
+  public:
+    /**
+     * @param kernel square window extent.
+     * @param stride window stride (defaults to kernel, i.e. tiling).
+     */
+    explicit AvgPool2d(int64_t kernel, int64_t stride = 0);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "AvgPool2d"; }
+
+  private:
+    int64_t k_, stride_;
+    Shape inShape_;
+};
+
+/** Strided max pooling with square window; caches argmax for backward. */
+class MaxPool2d : public Module
+{
+  public:
+    explicit MaxPool2d(int64_t kernel, int64_t stride = 0);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "MaxPool2d"; }
+
+  private:
+    int64_t k_, stride_;
+    Shape inShape_;
+    std::vector<int64_t> argmax_;
+};
+
+/** Reduce each channel map to its mean: (N,C,H,W) -> (N,C,1,1). */
+class GlobalAvgPool2d : public Module
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape trace(const Shape &in,
+                std::vector<LayerDesc> *out) const override;
+    std::string kind() const override { return "GlobalAvgPool2d"; }
+
+  private:
+    Shape inShape_;
+};
+
+} // namespace nn
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_NN_POOLING_HH

@@ -1,0 +1,143 @@
+#include "profile/host_profiler.hh"
+
+#include "base/logging.hh"
+#include "nn/module.hh"
+#include "profile/timer.hh"
+#include "tensor/ops.hh"
+#include "train/losses.hh"
+#include "train/optimizer.hh"
+
+namespace edgeadapt {
+namespace profile {
+
+namespace {
+
+using nn::Module;
+using nn::Residual;
+using nn::Sequential;
+
+/** Map a module kind() to the paper's profiler buckets. */
+std::string
+classOf(const Module &m)
+{
+    const std::string k = m.kind();
+    if (k == "Conv2d")
+        return "conv";
+    if (k == "BatchNorm2d")
+        return "batchnorm";
+    if (k == "Linear")
+        return "linear";
+    if (k == "ReLU" || k == "ReLU6")
+        return "activation";
+    if (k == "AvgPool2d" || k == "MaxPool2d" || k == "GlobalAvgPool2d")
+        return "pool";
+    return "other";
+}
+
+/**
+ * Execution mirror of the module graph that times each primitive.
+ * Composites (Sequential, Residual) are recursed; the residual "add"
+ * cost lands in the "other" bucket.
+ */
+Tensor
+timedForward(Module &m, const Tensor &x, HostBreakdown &hb)
+{
+    if (auto *seq = dynamic_cast<Sequential *>(&m)) {
+        Tensor cur = x;
+        for (Module *c : seq->children())
+            cur = timedForward(*c, cur, hb);
+        return cur;
+    }
+    if (auto *res = dynamic_cast<Residual *>(&m)) {
+        Tensor p = res->prefix() ? timedForward(*res->prefix(), x, hb)
+                                 : x;
+        Tensor y = timedForward(*res->mainBranch(), p, hb);
+        Tensor skip = res->shortcut()
+                          ? timedForward(*res->shortcut(), p, hb)
+                          : (res->prefix() ? x : p);
+        Stopwatch sw;
+        addInPlace(y, skip);
+        hb.forwardSec["other"] += sw.seconds();
+        return y;
+    }
+    Stopwatch sw;
+    Tensor y = m.forward(x);
+    hb.forwardSec[classOf(m)] += sw.seconds();
+    return y;
+}
+
+/** Reverse mirror for the backward pass. */
+Tensor
+timedBackward(Module &m, const Tensor &g, HostBreakdown &hb)
+{
+    if (auto *seq = dynamic_cast<Sequential *>(&m)) {
+        Tensor cur = g;
+        auto kids = seq->children();
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+            cur = timedBackward(**it, cur, hb);
+        return cur;
+    }
+    if (auto *res = dynamic_cast<Residual *>(&m)) {
+        Tensor gp = timedBackward(*res->mainBranch(), g, hb);
+        if (res->shortcut()) {
+            Tensor gs = timedBackward(*res->shortcut(), g, hb);
+            Stopwatch sw;
+            addInPlace(gp, gs);
+            hb.backwardSec["other"] += sw.seconds();
+            return res->prefix()
+                       ? timedBackward(*res->prefix(), gp, hb)
+                       : gp;
+        }
+        if (res->prefix()) {
+            Tensor gx = timedBackward(*res->prefix(), gp, hb);
+            Stopwatch sw;
+            addInPlace(gx, g);
+            hb.backwardSec["other"] += sw.seconds();
+            return gx;
+        }
+        Stopwatch sw;
+        addInPlace(gp, g);
+        hb.backwardSec["other"] += sw.seconds();
+        return gp;
+    }
+    Stopwatch sw;
+    Tensor gi = m.backward(g);
+    hb.backwardSec[classOf(m)] += sw.seconds();
+    return gi;
+}
+
+} // namespace
+
+HostBreakdown
+profileHostRun(models::Model &model, adapt::Algorithm algo,
+               const Tensor &images)
+{
+    HostBreakdown hb;
+
+    // Configure mode/grad flags exactly as the algorithms do.
+    auto method = adapt::makeMethod(algo, model);
+    (void)method; // configuration side effects only
+
+    Stopwatch fwTotal;
+    Tensor logits = timedForward(model.net(), images, hb);
+    hb.totalForward = fwTotal.seconds();
+
+    if (algo == adapt::Algorithm::BnOpt) {
+        train::LossResult loss = train::entropy(logits);
+        std::vector<nn::Parameter *> bnAffine;
+        for (auto *p : nn::collectParameters(model.net())) {
+            if (p->isBnAffine)
+                bnAffine.push_back(p);
+        }
+        train::Adam adam(bnAffine);
+        adam.zeroGrad();
+        Stopwatch bwTotal;
+        timedBackward(model.net(), loss.gradLogits, hb);
+        hb.totalBackward = bwTotal.seconds();
+        adam.step();
+    }
+    return hb;
+}
+
+} // namespace profile
+} // namespace edgeadapt

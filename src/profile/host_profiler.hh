@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Host-side per-op-class profiler — the measured analogue of the
+ * PyTorch Autograd profiler the paper uses for Figs. 4/7/10. It wraps
+ * a real model execution (on this machine, not a modeled device) and
+ * accumulates wall-clock time per op class for the forward and
+ * backward passes, by timing each primitive module.
+ */
+
+#ifndef EDGEADAPT_PROFILE_HOST_PROFILER_HH
+#define EDGEADAPT_PROFILE_HOST_PROFILER_HH
+
+#include <map>
+#include <string>
+
+#include "adapt/method.hh"
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace profile {
+
+/** Wall-clock seconds per op class, forward and backward. */
+struct HostBreakdown
+{
+    std::map<std::string, double> forwardSec;  ///< keyed by op class
+    std::map<std::string, double> backwardSec;
+    double totalForward = 0.0;
+    double totalBackward = 0.0;
+};
+
+/**
+ * Execute one adaptation batch on the host and profile it.
+ *
+ * The primitive modules are timed individually: the batch is pushed
+ * through the flattened layer list while accumulating per-class time.
+ * For BN-Opt the entropy backward is profiled the same way.
+ *
+ * @param model network (mode is set according to @p algo).
+ * @param algo adaptation algorithm to emulate.
+ * @param images input batch.
+ */
+HostBreakdown profileHostRun(models::Model &model,
+                             adapt::Algorithm algo,
+                             const Tensor &images);
+
+} // namespace profile
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_PROFILE_HOST_PROFILER_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Host wall-clock timing utilities used by the measured experiments
+ * and microbenchmarks.
+ */
+
+#ifndef EDGEADAPT_PROFILE_TIMER_HH
+#define EDGEADAPT_PROFILE_TIMER_HH
+
+#include <chrono>
+
+namespace edgeadapt {
+namespace profile {
+
+/** Restartable monotonic stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { restart(); }
+
+    /** Reset the epoch to now. */
+    void restart() { start_ = clock::now(); }
+
+    /** @return seconds since the epoch. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/** Adds its lifetime to an accumulator on destruction. */
+class ScopedTimer
+{
+  public:
+    /** @param acc accumulator (seconds) to add to. */
+    explicit ScopedTimer(double &acc) : acc_(acc) {}
+
+    ~ScopedTimer() { acc_ += sw_.seconds(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    double &acc_;
+    Stopwatch sw_;
+};
+
+} // namespace profile
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_PROFILE_TIMER_HH

@@ -1,0 +1,82 @@
+#include "tensor/gemm.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace edgeadapt {
+
+namespace {
+
+/**
+ * Core row-major kernel for C += A * B with A (m x k), B (k x n).
+ * The k-outer, j-inner ordering streams B and C rows, which the
+ * compiler vectorizes well; blocking keeps the working set in L1/L2.
+ */
+void
+gemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
+       int64_t lda, const float *b, int64_t ldb, float *c, int64_t ldc)
+{
+    constexpr int64_t MB = 64, KB = 128;
+    for (int64_t i0 = 0; i0 < m; i0 += MB) {
+        int64_t iMax = std::min(i0 + MB, m);
+        for (int64_t k0 = 0; k0 < k; k0 += KB) {
+            int64_t kMax = std::min(k0 + KB, k);
+            for (int64_t i = i0; i < iMax; ++i) {
+                float *cRow = c + i * ldc;
+                for (int64_t kk = k0; kk < kMax; ++kk) {
+                    float av = alpha * a[i * lda + kk];
+                    if (av == 0.0f)
+                        continue;
+                    const float *bRow = b + kk * ldb;
+                    for (int64_t j = 0; j < n; ++j)
+                        cRow[j] += av * bRow[j];
+                }
+            }
+        }
+    }
+}
+
+/** Pack op(X) into a dense row-major m x k buffer. */
+void
+packTranspose(int64_t rows, int64_t cols, const float *src, float *dst)
+{
+    // src is cols x rows row-major; dst becomes rows x cols row-major.
+    for (int64_t i = 0; i < rows; ++i)
+        for (int64_t j = 0; j < cols; ++j)
+            dst[i * cols + j] = src[j * rows + i];
+}
+
+} // namespace
+
+void
+gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
+     float alpha, const float *a, const float *b, float beta, float *c)
+{
+    // Scale / clear C first.
+    if (beta == 0.0f) {
+        std::fill(c, c + m * n, 0.0f);
+    } else if (beta != 1.0f) {
+        for (int64_t i = 0; i < m * n; ++i)
+            c[i] *= beta;
+    }
+
+    // Transposed operands are packed into contiguous buffers once; the
+    // packing cost is linear while the multiply is cubic, so this is a
+    // net win for all layer-sized problems.
+    std::vector<float> packA, packB;
+    const float *ap = a;
+    const float *bp = b;
+    if (transA) {
+        packA.resize((size_t)(m * k));
+        packTranspose(m, k, a, packA.data());
+        ap = packA.data();
+    }
+    if (transB) {
+        packB.resize((size_t)(k * n));
+        packTranspose(k, n, b, packB.data());
+        bp = packB.data();
+    }
+    gemmNN(m, n, k, alpha, ap, k, bp, n, c, n);
+}
+
+} // namespace edgeadapt

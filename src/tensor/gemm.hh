@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Single-precision general matrix multiply used by the convolution and
+ * linear layers. The kernel is a cache-blocked i-k-j loop that the
+ * compiler auto-vectorizes; it is the compute backbone of the whole
+ * library, so microbenchmarks cover it (`bench/micro_kernels`).
+ */
+
+#ifndef EDGEADAPT_TENSOR_GEMM_HH
+#define EDGEADAPT_TENSOR_GEMM_HH
+
+#include <cstdint>
+
+namespace edgeadapt {
+
+/**
+ * C = alpha * op(A) * op(B) + beta * C, all row-major.
+ *
+ * @param transA when true, use A^T (A is then K x M in memory).
+ * @param transB when true, use B^T (B is then N x K in memory).
+ * @param m rows of op(A) and C.
+ * @param n cols of op(B) and C.
+ * @param k inner dimension.
+ * @param alpha scale on the product.
+ * @param a pointer to A.
+ * @param b pointer to B.
+ * @param beta scale on the existing C (0 overwrites).
+ * @param c pointer to C (m x n row-major).
+ */
+void gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
+          float alpha, const float *a, const float *b, float beta,
+          float *c);
+
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TENSOR_GEMM_HH

@@ -1,0 +1,82 @@
+#include "tensor/im2col.hh"
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+
+int64_t
+convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    int64_t out = (in + 2 * pad - kernel) / stride + 1;
+    panic_if(out <= 0, "convolution output dim non-positive (in=", in,
+             " k=", kernel, " s=", stride, " p=", pad, ")");
+    return out;
+}
+
+void
+im2col(const float *data, int64_t channels, int64_t h, int64_t w,
+       int64_t kh, int64_t kw, int64_t stride, int64_t pad, float *cols)
+{
+    const int64_t outH = convOutDim(h, kh, stride, pad);
+    const int64_t outW = convOutDim(w, kw, stride, pad);
+    const int64_t outArea = outH * outW;
+
+    float *out = cols;
+    for (int64_t c = 0; c < channels; ++c) {
+        const float *img = data + c * h * w;
+        for (int64_t ki = 0; ki < kh; ++ki) {
+            for (int64_t kj = 0; kj < kw; ++kj) {
+                // One row of the column matrix: the (c, ki, kj) tap
+                // sampled at every output position.
+                for (int64_t oy = 0; oy < outH; ++oy) {
+                    int64_t iy = oy * stride - pad + ki;
+                    float *dst = out + oy * outW;
+                    if (iy < 0 || iy >= h) {
+                        for (int64_t ox = 0; ox < outW; ++ox)
+                            dst[ox] = 0.0f;
+                        continue;
+                    }
+                    const float *srcRow = img + iy * w;
+                    for (int64_t ox = 0; ox < outW; ++ox) {
+                        int64_t ix = ox * stride - pad + kj;
+                        dst[ox] = (ix >= 0 && ix < w) ? srcRow[ix] : 0.0f;
+                    }
+                }
+                out += outArea;
+            }
+        }
+    }
+}
+
+void
+col2im(const float *cols, int64_t channels, int64_t h, int64_t w,
+       int64_t kh, int64_t kw, int64_t stride, int64_t pad, float *data)
+{
+    const int64_t outH = convOutDim(h, kh, stride, pad);
+    const int64_t outW = convOutDim(w, kw, stride, pad);
+    const int64_t outArea = outH * outW;
+
+    const float *in = cols;
+    for (int64_t c = 0; c < channels; ++c) {
+        float *img = data + c * h * w;
+        for (int64_t ki = 0; ki < kh; ++ki) {
+            for (int64_t kj = 0; kj < kw; ++kj) {
+                for (int64_t oy = 0; oy < outH; ++oy) {
+                    int64_t iy = oy * stride - pad + ki;
+                    if (iy < 0 || iy >= h)
+                        continue;
+                    const float *src = in + oy * outW;
+                    float *dstRow = img + iy * w;
+                    for (int64_t ox = 0; ox < outW; ++ox) {
+                        int64_t ix = ox * stride - pad + kj;
+                        if (ix >= 0 && ix < w)
+                            dstRow[ix] += src[ox];
+                    }
+                }
+                in += outArea;
+            }
+        }
+    }
+}
+
+} // namespace edgeadapt

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * im2col / col2im lowering for convolution. A convolution over an NCHW
+ * input becomes a GEMM between the weight matrix and the column buffer;
+ * col2im scatters column-space gradients back to image space for the
+ * backward pass.
+ */
+
+#ifndef EDGEADAPT_TENSOR_IM2COL_HH
+#define EDGEADAPT_TENSOR_IM2COL_HH
+
+#include <cstdint>
+
+namespace edgeadapt {
+
+/**
+ * Expand one image (C x H x W) into a column buffer of shape
+ * (C*kh*kw) x (outH*outW), row-major, with implicit zero padding.
+ *
+ * @param data pointer to the C x H x W image.
+ * @param channels C.
+ * @param h input height.  @param w input width.
+ * @param kh kernel height. @param kw kernel width.
+ * @param stride stride (same both dims).
+ * @param pad zero padding (same both dims).
+ * @param cols output buffer, (C*kh*kw) * (outH*outW) floats.
+ */
+void im2col(const float *data, int64_t channels, int64_t h, int64_t w,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float *cols);
+
+/**
+ * Inverse scatter-add of im2col: accumulate a column buffer back into
+ * an image-space gradient (the image buffer must be pre-zeroed by the
+ * caller when accumulation across calls is not wanted).
+ */
+void col2im(const float *cols, int64_t channels, int64_t h, int64_t w,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float *data);
+
+/** @return convolution output extent for one spatial dim. */
+int64_t convOutDim(int64_t in, int64_t kernel, int64_t stride,
+                   int64_t pad);
+
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TENSOR_IM2COL_HH

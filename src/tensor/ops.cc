@@ -1,0 +1,194 @@
+#include "tensor/ops.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+
+namespace {
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *what)
+{
+    panic_if(a.shape() != b.shape(), what, ": shape mismatch ",
+             a.shape().str(), " vs ", b.shape().str());
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add");
+    Tensor out(a.shape());
+    const float *pa = a.data(), *pb = b.data();
+    float *po = out.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] + pb[i];
+    return out;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "sub");
+    Tensor out(a.shape());
+    const float *pa = a.data(), *pb = b.data();
+    float *po = out.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] - pb[i];
+    return out;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "mul");
+    Tensor out(a.shape());
+    const float *pa = a.data(), *pb = b.data();
+    float *po = out.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] * pb[i];
+    return out;
+}
+
+Tensor
+scale(const Tensor &a, float s)
+{
+    Tensor out(a.shape());
+    const float *pa = a.data();
+    float *po = out.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] * s;
+    return out;
+}
+
+void
+addInPlace(Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "addInPlace");
+    float *pa = a.data();
+    const float *pb = b.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] += pb[i];
+}
+
+void
+axpyInPlace(Tensor &a, float s, const Tensor &b)
+{
+    checkSameShape(a, b, "axpyInPlace");
+    float *pa = a.data();
+    const float *pb = b.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] += s * pb[i];
+}
+
+void
+scaleInPlace(Tensor &a, float s)
+{
+    float *pa = a.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] *= s;
+}
+
+void
+clampInPlace(Tensor &a, float lo, float hi)
+{
+    panic_if(hi < lo, "clamp with hi < lo");
+    float *pa = a.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] = std::min(hi, std::max(lo, pa[i]));
+}
+
+std::vector<int>
+argmaxRows(const Tensor &logits)
+{
+    panic_if(logits.shape().rank() != 2, "argmaxRows wants a 2-D tensor");
+    int64_t n = logits.shape()[0], c = logits.shape()[1];
+    std::vector<int> out((size_t)n);
+    const float *p = logits.data();
+    for (int64_t i = 0; i < n; ++i) {
+        const float *row = p + i * c;
+        int best = 0;
+        for (int64_t j = 1; j < c; ++j) {
+            if (row[j] > row[best])
+                best = (int)j;
+        }
+        out[(size_t)i] = best;
+    }
+    return out;
+}
+
+Tensor
+softmaxRows(const Tensor &logits)
+{
+    panic_if(logits.shape().rank() != 2, "softmaxRows wants a 2-D tensor");
+    int64_t n = logits.shape()[0], c = logits.shape()[1];
+    Tensor out(logits.shape());
+    const float *p = logits.data();
+    float *q = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        const float *row = p + i * c;
+        float *dst = q + i * c;
+        float mx = row[0];
+        for (int64_t j = 1; j < c; ++j)
+            mx = std::max(mx, row[j]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < c; ++j) {
+            dst[j] = std::exp(row[j] - mx);
+            sum += dst[j];
+        }
+        float inv = (float)(1.0 / sum);
+        for (int64_t j = 0; j < c; ++j)
+            dst[j] *= inv;
+    }
+    return out;
+}
+
+Tensor
+logSoftmaxRows(const Tensor &logits)
+{
+    panic_if(logits.shape().rank() != 2,
+             "logSoftmaxRows wants a 2-D tensor");
+    int64_t n = logits.shape()[0], c = logits.shape()[1];
+    Tensor out(logits.shape());
+    const float *p = logits.data();
+    float *q = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        const float *row = p + i * c;
+        float *dst = q + i * c;
+        float mx = row[0];
+        for (int64_t j = 1; j < c; ++j)
+            mx = std::max(mx, row[j]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < c; ++j)
+            sum += std::exp(row[j] - mx);
+        float lse = mx + (float)std::log(sum);
+        for (int64_t j = 0; j < c; ++j)
+            dst[j] = row[j] - lse;
+    }
+    return out;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "maxAbsDiff");
+    const float *pa = a.data(), *pb = b.data();
+    int64_t n = a.numel();
+    float m = 0.0f;
+    for (int64_t i = 0; i < n; ++i)
+        m = std::max(m, std::fabs(pa[i] - pb[i]));
+    return m;
+}
+
+} // namespace edgeadapt

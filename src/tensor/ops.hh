@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Elementwise and reduction operations on tensors. These are free
+ * functions (not Tensor members) so the op vocabulary can grow without
+ * touching the core class.
+ */
+
+#ifndef EDGEADAPT_TENSOR_OPS_HH
+#define EDGEADAPT_TENSOR_OPS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace edgeadapt {
+
+/** @return a + b (elementwise, shapes must match). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** @return a - b (elementwise). */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** @return a * b (elementwise). */
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** @return a * s (scalar). */
+Tensor scale(const Tensor &a, float s);
+
+/** a += b in place. */
+void addInPlace(Tensor &a, const Tensor &b);
+
+/** a += s * b in place (axpy). */
+void axpyInPlace(Tensor &a, float s, const Tensor &b);
+
+/** a *= s in place. */
+void scaleInPlace(Tensor &a, float s);
+
+/** Clamp every element of a into [lo, hi] in place. */
+void clampInPlace(Tensor &a, float lo, float hi);
+
+/**
+ * Row-wise argmax over a 2-D (N x C) tensor.
+ * @return vector of N class indices.
+ */
+std::vector<int> argmaxRows(const Tensor &logits);
+
+/**
+ * Numerically-stable row-wise softmax of a 2-D (N x C) tensor.
+ * @return N x C tensor of probabilities.
+ */
+Tensor softmaxRows(const Tensor &logits);
+
+/** Row-wise log-softmax of a 2-D (N x C) tensor. */
+Tensor logSoftmaxRows(const Tensor &logits);
+
+/** @return max elementwise |a - b| (for test comparisons). */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TENSOR_OPS_HH

@@ -1,0 +1,56 @@
+#include "tensor/shape.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
+{
+    for (auto d : dims_)
+        panic_if(d <= 0, "shape dimensions must be positive, got ", d);
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
+{
+    for (auto d : dims_)
+        panic_if(d <= 0, "shape dimensions must be positive, got ", d);
+}
+
+int64_t
+Shape::dim(int i) const
+{
+    int r = rank();
+    if (i < 0)
+        i += r;
+    panic_if(i < 0 || i >= r, "shape dim index ", i, " out of rank ", r);
+    return dims_[(size_t)i];
+}
+
+int64_t
+Shape::numel() const
+{
+    if (dims_.empty())
+        return 0;
+    int64_t n = 1;
+    for (auto d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+Shape::str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << dims_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace edgeadapt

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tensor shape descriptor. edgeadapt tensors are dense, contiguous,
+ * row-major float32 arrays of up to 4 dimensions, with the NCHW
+ * convention for image batches (N = batch, C = channels, H, W).
+ */
+
+#ifndef EDGEADAPT_TENSOR_SHAPE_HH
+#define EDGEADAPT_TENSOR_SHAPE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace edgeadapt {
+
+/**
+ * Immutable-ish dimension list with convenience accessors. A Shape with
+ * zero dimensions denotes a scalar (numel() == 1 semantics are *not*
+ * used; empty shape means "no tensor").
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from an explicit dimension list; all dims must be > 0. */
+    Shape(std::initializer_list<int64_t> dims);
+
+    /** Construct from a vector of dims. */
+    explicit Shape(std::vector<int64_t> dims);
+
+    /** @return number of dimensions. */
+    int rank() const { return (int)dims_.size(); }
+
+    /** @return size of dimension i (supports negative indexing). */
+    int64_t dim(int i) const;
+
+    /** @return operator alias for dim(). */
+    int64_t operator[](int i) const { return dim(i); }
+
+    /** @return total number of elements (0 when rank()==0). */
+    int64_t numel() const;
+
+    /** @return true when both shapes have identical dims. */
+    bool operator==(const Shape &o) const { return dims_ == o.dims_; }
+    bool operator!=(const Shape &o) const { return !(*this == o); }
+
+    /** @return "[N, C, H, W]" style debug string. */
+    std::string str() const;
+
+    /** @return underlying dim vector. */
+    const std::vector<int64_t> &dims() const { return dims_; }
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TENSOR_SHAPE_HH

@@ -1,0 +1,185 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+
+Tensor::Tensor(Shape shape)
+    : storage_(std::make_shared<std::vector<float>>((size_t)shape.numel())),
+      shape_(std::move(shape))
+{
+    panic_if(shape_.rank() == 0, "cannot allocate a rank-0 tensor");
+}
+
+Tensor
+Tensor::zeros(Shape shape)
+{
+    Tensor t(std::move(shape));
+    t.fill(0.0f);
+    return t;
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::ones(Shape shape)
+{
+    return full(std::move(shape), 1.0f);
+}
+
+Tensor
+Tensor::randn(Shape shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = (float)rng.normal(0.0, stddev);
+    return t;
+}
+
+Tensor
+Tensor::uniform(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = (float)rng.uniform(lo, hi);
+    return t;
+}
+
+Tensor
+Tensor::fromVector(Shape shape, const std::vector<float> &values)
+{
+    Tensor t(std::move(shape));
+    panic_if((int64_t)values.size() != t.numel(),
+             "fromVector size mismatch: ", values.size(), " vs ",
+             t.numel());
+    std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+    return t;
+}
+
+float *
+Tensor::data()
+{
+    panic_if(!defined(), "access to undefined tensor");
+    return storage_->data();
+}
+
+const float *
+Tensor::data() const
+{
+    panic_if(!defined(), "access to undefined tensor");
+    return storage_->data();
+}
+
+float &
+Tensor::at(int64_t i)
+{
+    panic_if(i < 0 || i >= numel(), "tensor index ", i, " out of ",
+             numel());
+    return data()[i];
+}
+
+float
+Tensor::at(int64_t i) const
+{
+    panic_if(i < 0 || i >= numel(), "tensor index ", i, " out of ",
+             numel());
+    return data()[i];
+}
+
+float &
+Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w)
+{
+    panic_if(shape_.rank() != 4, "4-D access on rank-", shape_.rank(),
+             " tensor");
+    int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+    return data()[((n * C + c) * H + h) * W + w];
+}
+
+float
+Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const
+{
+    panic_if(shape_.rank() != 4, "4-D access on rank-", shape_.rank(),
+             " tensor");
+    int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+    return data()[((n * C + c) * H + h) * W + w];
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor t(shape_);
+    std::memcpy(t.data(), data(), (size_t)numel() * sizeof(float));
+    return t;
+}
+
+Tensor
+Tensor::reshape(Shape shape) const
+{
+    panic_if(shape.numel() != numel(), "reshape ", shape_.str(), " -> ",
+             shape.str(), " changes element count");
+    Tensor t;
+    t.storage_ = storage_;
+    t.shape_ = std::move(shape);
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    float *p = data();
+    int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = value;
+}
+
+void
+Tensor::copyFrom(const Tensor &src)
+{
+    panic_if(shape_ != src.shape(), "copyFrom shape mismatch ",
+             shape_.str(), " vs ", src.shape().str());
+    std::memcpy(data(), src.data(), (size_t)numel() * sizeof(float));
+}
+
+double
+Tensor::sum() const
+{
+    const float *p = data();
+    int64_t n = numel();
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        s += p[i];
+    return s;
+}
+
+double
+Tensor::mean() const
+{
+    int64_t n = numel();
+    return n ? sum() / (double)n : 0.0;
+}
+
+float
+Tensor::absMax() const
+{
+    const float *p = data();
+    int64_t n = numel();
+    float m = 0.0f;
+    for (int64_t i = 0; i < n; ++i)
+        m = std::max(m, std::fabs(p[i]));
+    return m;
+}
+
+} // namespace edgeadapt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Dense float32 tensor with shared, reference-counted storage.
+ *
+ * Tensors are always contiguous row-major. Copying a Tensor aliases the
+ * same storage (cheap); clone() deep-copies. This matches the needs of
+ * the NN layers, which pass activations by value and keep cached views
+ * for the backward pass.
+ */
+
+#ifndef EDGEADAPT_TENSOR_TENSOR_HH
+#define EDGEADAPT_TENSOR_TENSOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.hh"
+#include "tensor/shape.hh"
+
+namespace edgeadapt {
+
+/**
+ * Reference-counted dense float32 tensor. Default-constructed tensors
+ * are "empty" (defined() == false) and may not be accessed.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate an uninitialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** @return tensor of zeros. */
+    static Tensor zeros(Shape shape);
+
+    /** @return tensor filled with a constant. */
+    static Tensor full(Shape shape, float value);
+
+    /** @return tensor of ones. */
+    static Tensor ones(Shape shape);
+
+    /** @return tensor with i.i.d. N(0, stddev^2) entries. */
+    static Tensor randn(Shape shape, Rng &rng, float stddev = 1.0f);
+
+    /** @return tensor with i.i.d. U[lo, hi) entries. */
+    static Tensor uniform(Shape shape, Rng &rng, float lo, float hi);
+
+    /** @return tensor wrapping a copy of the given values. */
+    static Tensor fromVector(Shape shape, const std::vector<float> &values);
+
+    /** @return whether this tensor has storage. */
+    bool defined() const { return storage_ != nullptr; }
+
+    /** @return the shape. */
+    const Shape &shape() const { return shape_; }
+
+    /** @return total element count. */
+    int64_t numel() const { return shape_.numel(); }
+
+    /** @return mutable pointer to the first element. */
+    float *data();
+
+    /** @return const pointer to the first element. */
+    const float *data() const;
+
+    /** Linear element access (debug-checked). */
+    float &at(int64_t i);
+    float at(int64_t i) const;
+
+    /** 4-D element access for NCHW tensors. */
+    float &at(int64_t n, int64_t c, int64_t h, int64_t w);
+    float at(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+    /** @return deep copy with fresh storage. */
+    Tensor clone() const;
+
+    /**
+     * @return alias of the same storage with a different shape; numel
+     * must match. O(1), no copy.
+     */
+    Tensor reshape(Shape shape) const;
+
+    /** Overwrite every element with a constant. */
+    void fill(float value);
+
+    /** Copy all elements from another tensor of identical shape. */
+    void copyFrom(const Tensor &src);
+
+    /** @return sum of all elements (double accumulation). */
+    double sum() const;
+
+    /** @return mean of all elements. */
+    double mean() const;
+
+    /** @return maximum absolute element value. */
+    float absMax() const;
+
+  private:
+    std::shared_ptr<std::vector<float>> storage_;
+    Shape shape_;
+};
+
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TENSOR_TENSOR_HH

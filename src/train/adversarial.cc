@@ -1,0 +1,45 @@
+#include "train/adversarial.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "tensor/ops.hh"
+#include "train/losses.hh"
+
+namespace edgeadapt {
+namespace train {
+
+Tensor
+pgdAttack(models::Model &model, const Tensor &images,
+          const std::vector<int> &labels, const PgdOpts &opts)
+{
+    panic_if(opts.steps < 1, "PGD needs at least one step");
+    Tensor adv = images.clone();
+    const float *clean = images.data();
+
+    for (int s = 0; s < opts.steps; ++s) {
+        Tensor logits = model.forward(adv);
+        LossResult loss = crossEntropy(logits, labels);
+        Tensor gin = model.backward(loss.gradLogits);
+
+        float *a = adv.data();
+        const float *g = gin.data();
+        int64_t n = adv.numel();
+        for (int64_t i = 0; i < n; ++i) {
+            // Ascend the loss: signed gradient step, projected back
+            // into the eps-ball and the valid pixel range.
+            float v = a[i] + opts.alpha *
+                             (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f
+                                                                : 0.0f));
+            float lo = clean[i] - opts.eps, hi = clean[i] + opts.eps;
+            v = std::min(hi, std::max(lo, v));
+            a[i] = std::min(1.0f, std::max(0.0f, v));
+        }
+    }
+    // Attack used the graph for input gradients only.
+    nn::zeroGradTree(model.net());
+    return adv;
+}
+
+} // namespace train
+} // namespace edgeadapt

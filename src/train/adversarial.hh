@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Adversarial example generation for robust offline training.
+ *
+ * Substitution note (DESIGN.md Sec. 2): the paper's R18 uses
+ * LPIPS-perceptual adversarial training (Kireev et al.), which needs a
+ * second pretrained perceptual network. We substitute PGD in an
+ * L-infinity ball — the same min-max training loop and the same
+ * qualitative role (an adversarially-trained robust model), without
+ * the perceptual-distance dependency.
+ */
+
+#ifndef EDGEADAPT_TRAIN_ADVERSARIAL_HH
+#define EDGEADAPT_TRAIN_ADVERSARIAL_HH
+
+#include <vector>
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace train {
+
+/** PGD attack hyperparameters. */
+struct PgdOpts
+{
+    float eps = 8.0f / 255.0f;   ///< L-inf radius
+    float alpha = 2.0f / 255.0f; ///< per-step size
+    int steps = 3;               ///< PGD iterations
+};
+
+/**
+ * Generate adversarial examples maximizing cross-entropy within an
+ * L-infinity ball around the clean batch. The model's parameter
+ * gradients are zeroed afterwards; only the input gradient is used.
+ *
+ * @param model network (left in its current train/eval mode).
+ * @param images clean batch (N,3,H,W) in [0,1].
+ * @param labels ground-truth labels.
+ * @param opts attack parameters.
+ * @return perturbed batch, clamped to [0,1].
+ */
+Tensor pgdAttack(models::Model &model, const Tensor &images,
+                 const std::vector<int> &labels, const PgdOpts &opts);
+
+} // namespace train
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TRAIN_ADVERSARIAL_HH

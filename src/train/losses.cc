@@ -1,0 +1,86 @@
+#include "train/losses.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "tensor/ops.hh"
+
+namespace edgeadapt {
+namespace train {
+
+LossResult
+crossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    panic_if(logits.shape().rank() != 2, "crossEntropy wants (N,C)");
+    int64_t n = logits.shape()[0], c = logits.shape()[1];
+    panic_if((int64_t)labels.size() != n, "labels/batch size mismatch");
+
+    Tensor logp = logSoftmaxRows(logits);
+    LossResult r;
+    r.gradLogits = Tensor(logits.shape());
+    const float *lp = logp.data();
+    float *g = r.gradLogits.data();
+    double total = 0.0;
+    float invN = 1.0f / (float)n;
+    for (int64_t i = 0; i < n; ++i) {
+        int y = labels[(size_t)i];
+        panic_if(y < 0 || y >= (int)c, "label ", y, " out of range");
+        total -= lp[i * c + y];
+        for (int64_t j = 0; j < c; ++j) {
+            float p = std::exp(lp[i * c + j]);
+            g[i * c + j] = (p - (j == y ? 1.0f : 0.0f)) * invN;
+        }
+    }
+    r.value = total / (double)n;
+    return r;
+}
+
+LossResult
+entropy(const Tensor &logits)
+{
+    panic_if(logits.shape().rank() != 2, "entropy wants (N,C)");
+    int64_t n = logits.shape()[0], c = logits.shape()[1];
+
+    Tensor logp = logSoftmaxRows(logits);
+    LossResult r;
+    r.gradLogits = Tensor(logits.shape());
+    const float *lp = logp.data();
+    float *g = r.gradLogits.data();
+    double total = 0.0;
+    float invN = 1.0f / (float)n;
+    for (int64_t i = 0; i < n; ++i) {
+        // Row entropy H = -sum p*logp.
+        double h = 0.0;
+        for (int64_t j = 0; j < c; ++j) {
+            double p = std::exp((double)lp[i * c + j]);
+            h -= p * (double)lp[i * c + j];
+        }
+        total += h;
+        // dH/dz_k = p_k * (-log p_k - H), batch-averaged.
+        for (int64_t j = 0; j < c; ++j) {
+            float p = std::exp(lp[i * c + j]);
+            g[i * c + j] =
+                p * (-lp[i * c + j] - (float)h) * invN;
+        }
+    }
+    r.value = total / (double)n;
+    return r;
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    auto pred = argmaxRows(logits);
+    panic_if(pred.size() != labels.size(), "accuracy size mismatch");
+    if (pred.empty())
+        return 0.0;
+    int64_t correct = 0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        if (pred[i] == labels[i])
+            ++correct;
+    }
+    return (double)correct / (double)pred.size();
+}
+
+} // namespace train
+} // namespace edgeadapt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Loss functions. Cross-entropy drives the offline (supervised) robust
+ * training; Shannon prediction entropy is the unsupervised objective
+ * BN-Opt minimizes at test time (paper Sec. II-C):
+ *
+ *   H(y) = -sum_c p(y_c) log p(y_c)
+ *
+ * Both losses return the scalar value and the gradient w.r.t. logits,
+ * averaged over the batch.
+ */
+
+#ifndef EDGEADAPT_TRAIN_LOSSES_HH
+#define EDGEADAPT_TRAIN_LOSSES_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace edgeadapt {
+namespace train {
+
+/** Scalar loss plus the gradient w.r.t. the logits. */
+struct LossResult
+{
+    double value = 0.0;
+    Tensor gradLogits; ///< (N, C)
+};
+
+/**
+ * Mean cross-entropy between softmax(logits) and integer labels.
+ *
+ * @param logits (N, C) raw scores.
+ * @param labels N class indices.
+ */
+LossResult crossEntropy(const Tensor &logits,
+                        const std::vector<int> &labels);
+
+/**
+ * Mean Shannon entropy of softmax(logits) — computable without any
+ * labels. Gradient: dH/dz_k = p_k * (-log p_k - H) for each row.
+ */
+LossResult entropy(const Tensor &logits);
+
+/** @return fraction of rows whose argmax equals the label. */
+double accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+} // namespace train
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TRAIN_LOSSES_HH

@@ -1,0 +1,92 @@
+#include "train/optimizer.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace train {
+
+Optimizer::Optimizer(std::vector<nn::Parameter *> params)
+    : params_(std::move(params))
+{
+    for (auto *p : params_)
+        panic_if(!p || !p->value.defined(), "optimizer given bad param");
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (auto *p : params_)
+        p->grad.fill(0.0f);
+}
+
+Sgd::Sgd(std::vector<nn::Parameter *> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum),
+      weightDecay_(weight_decay)
+{
+    velocity_.reserve(params_.size());
+    for (auto *p : params_)
+        velocity_.push_back(Tensor::zeros(p->value.shape()));
+}
+
+void
+Sgd::step()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        nn::Parameter *p = params_[i];
+        if (!p->requiresGrad)
+            continue;
+        float *w = p->value.data();
+        const float *g = p->grad.data();
+        float *v = velocity_[i].data();
+        int64_t n = p->value.numel();
+        for (int64_t j = 0; j < n; ++j) {
+            float grad = g[j] + weightDecay_ * w[j];
+            v[j] = momentum_ * v[j] + grad;
+            w[j] -= lr_ * v[j];
+        }
+    }
+}
+
+Adam::Adam(std::vector<nn::Parameter *> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1),
+      beta2_(beta2), eps_(eps)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (auto *p : params_) {
+        m_.push_back(Tensor::zeros(p->value.shape()));
+        v_.push_back(Tensor::zeros(p->value.shape()));
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    float bc1 = 1.0f - std::pow(beta1_, (float)t_);
+    float bc2 = 1.0f - std::pow(beta2_, (float)t_);
+    for (size_t i = 0; i < params_.size(); ++i) {
+        nn::Parameter *p = params_[i];
+        if (!p->requiresGrad)
+            continue;
+        float *w = p->value.data();
+        const float *g = p->grad.data();
+        float *m = m_[i].data();
+        float *v = v_[i].data();
+        int64_t n = p->value.numel();
+        for (int64_t j = 0; j < n; ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+            float mhat = m[j] / bc1;
+            float vhat = v[j] / bc2;
+            w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+} // namespace train
+} // namespace edgeadapt

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * First-order optimizers over Parameter sets. SGD (with momentum and
+ * weight decay) drives offline robust training; Adam is the optimizer
+ * the paper's BN-Opt uses for its single test-time optimization step
+ * (Sec. III-D).
+ */
+
+#ifndef EDGEADAPT_TRAIN_OPTIMIZER_HH
+#define EDGEADAPT_TRAIN_OPTIMIZER_HH
+
+#include <vector>
+
+#include "nn/module.hh"
+
+namespace edgeadapt {
+namespace train {
+
+/** Abstract optimizer over an externally-owned parameter list. */
+class Optimizer
+{
+  public:
+    /** @param params parameters to update (must outlive the optimizer). */
+    explicit Optimizer(std::vector<nn::Parameter *> params);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero the gradients of the managed parameters. */
+    void zeroGrad();
+
+    /** @return managed parameters. */
+    const std::vector<nn::Parameter *> &params() const { return params_; }
+
+  protected:
+    std::vector<nn::Parameter *> params_;
+};
+
+/** SGD with classical momentum and decoupled weight decay. */
+class Sgd : public Optimizer
+{
+  public:
+    /**
+     * @param params parameters to update.
+     * @param lr learning rate.
+     * @param momentum momentum coefficient (0 disables).
+     * @param weight_decay L2 coefficient applied to the gradient.
+     */
+    Sgd(std::vector<nn::Parameter *> params, float lr,
+        float momentum = 0.9f, float weight_decay = 0.0f);
+
+    void step() override;
+
+    /** Change the learning rate (for schedules). */
+    void setLr(float lr) { lr_ = lr; }
+
+    /** @return current learning rate. */
+    float lr() const { return lr_; }
+
+  private:
+    float lr_, momentum_, weightDecay_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba), the BN-Opt test-time optimizer. */
+class Adam : public Optimizer
+{
+  public:
+    /**
+     * @param params parameters to update.
+     * @param lr learning rate (TENT uses 1e-3).
+     * @param beta1 first-moment decay.
+     * @param beta2 second-moment decay.
+     * @param eps denominator floor.
+     */
+    Adam(std::vector<nn::Parameter *> params, float lr = 1e-3f,
+         float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+    void step() override;
+
+    /** @return number of steps taken. */
+    int64_t steps() const { return t_; }
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+    std::vector<Tensor> m_, v_;
+};
+
+} // namespace train
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TRAIN_OPTIMIZER_HH

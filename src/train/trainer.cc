@@ -1,0 +1,127 @@
+#include "train/trainer.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "tensor/ops.hh"
+#include "train/losses.hh"
+#include "train/optimizer.hh"
+
+namespace edgeadapt {
+namespace train {
+
+namespace {
+
+/** Draw a clean batch and optionally AugMix every image. */
+data::Batch
+drawTrainBatch(const data::SynthCifar &dataset, const TrainConfig &cfg,
+               Rng &rng)
+{
+    int64_t sz = dataset.imageSize();
+    int64_t elems = 3 * sz * sz;
+    data::Batch b;
+    b.images = Tensor(Shape{cfg.batchSize, 3, sz, sz});
+    b.labels.resize((size_t)cfg.batchSize);
+    for (int64_t i = 0; i < cfg.batchSize; ++i) {
+        data::Sample s = dataset.sample(rng);
+        Tensor img = s.image;
+        if (cfg.useAugmix)
+            img = data::augmix(img, cfg.augmix, rng);
+        std::memcpy(b.images.data() + i * elems, img.data(),
+                    (size_t)elems * sizeof(float));
+        b.labels[(size_t)i] = s.label;
+    }
+    return b;
+}
+
+} // namespace
+
+TrainReport
+trainModel(models::Model &model, const data::SynthCifar &dataset,
+           const TrainConfig &cfg)
+{
+    fatal_if(cfg.steps <= 0, "training needs at least one step");
+    Rng rng(cfg.seed);
+    model.setTraining(true);
+    nn::setRequiresGradTree(model.net(), true);
+
+    Sgd sgd(nn::collectParameters(model.net()), cfg.lr, cfg.momentum,
+            cfg.weightDecay);
+
+    RunningStat lossTail, accTail;
+    int m1 = (int)(cfg.milestone1 * (float)cfg.steps);
+    int m2 = (int)(cfg.milestone2 * (float)cfg.steps);
+
+    for (int step = 0; step < cfg.steps; ++step) {
+        if (step == m1 || step == m2)
+            sgd.setLr(sgd.lr() * cfg.lrDecay);
+
+        data::Batch b = drawTrainBatch(dataset, cfg, rng);
+        if (cfg.useAdversarial) {
+            // Attack a leading slice of the batch in place.
+            int64_t nAdv = (int64_t)(cfg.adversarialFraction *
+                                     (float)b.size());
+            if (nAdv > 0) {
+                int64_t sz = dataset.imageSize();
+                int64_t elems = 3 * sz * sz;
+                Tensor slice(Shape{nAdv, 3, sz, sz});
+                std::memcpy(slice.data(), b.images.data(),
+                            (size_t)(nAdv * elems) * sizeof(float));
+                std::vector<int> sliceLabels(
+                    b.labels.begin(), b.labels.begin() + nAdv);
+                Tensor adv = pgdAttack(model, slice, sliceLabels,
+                                       cfg.pgd);
+                std::memcpy(b.images.data(), adv.data(),
+                            (size_t)(nAdv * elems) * sizeof(float));
+            }
+        }
+
+        sgd.zeroGrad();
+        Tensor logits = model.forward(b.images);
+        LossResult loss = crossEntropy(logits, b.labels);
+        model.backward(loss.gradLogits);
+        sgd.step();
+
+        if (step >= cfg.steps - 20) {
+            lossTail.add(loss.value);
+            accTail.add(accuracy(logits, b.labels));
+        }
+    }
+
+    model.setTraining(false);
+    TrainReport rep;
+    rep.finalLoss = lossTail.mean();
+    rep.finalAccuracy = accTail.mean();
+    rep.steps = cfg.steps;
+    rep.cleanEvalAccuracy =
+        evalCleanAccuracy(model, dataset, 512, cfg.seed + 99);
+    return rep;
+}
+
+double
+evalCleanAccuracy(models::Model &model, const data::SynthCifar &dataset,
+                  int64_t samples, uint64_t seed)
+{
+    Rng rng(seed);
+    bool wasTraining = model.net().training();
+    model.setTraining(false);
+    int64_t done = 0;
+    int64_t correct = 0;
+    while (done < samples) {
+        int64_t n = std::min<int64_t>(64, samples - done);
+        data::Batch b = dataset.batch(n, rng);
+        Tensor logits = model.forward(b.images);
+        auto pred = argmaxRows(logits);
+        for (size_t i = 0; i < pred.size(); ++i) {
+            if (pred[i] == b.labels[i])
+                ++correct;
+        }
+        done += n;
+    }
+    model.setTraining(wasTraining);
+    return (double)correct / (double)samples;
+}
+
+} // namespace train
+} // namespace edgeadapt

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Offline robust training loop — the substrate that produces the
+ * "pre-trained robust DNNs" the paper starts from (Sec. II-A). The
+ * trainer runs supervised SGD on clean SynthCIFAR with optional AugMix
+ * augmentation and optional PGD adversarial training, mirroring the
+ * AM / AM+AT recipes of the three robust models.
+ */
+
+#ifndef EDGEADAPT_TRAIN_TRAINER_HH
+#define EDGEADAPT_TRAIN_TRAINER_HH
+
+#include "data/augmix.hh"
+#include "data/synth_cifar.hh"
+#include "models/model.hh"
+#include "train/adversarial.hh"
+
+namespace edgeadapt {
+namespace train {
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    int steps = 400;          ///< SGD steps
+    int64_t batchSize = 64;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    float weightDecay = 5e-4f;
+    float lrDecay = 0.1f;     ///< multiplicative decay at milestones
+    /// fraction-of-run milestones where lr decays
+    float milestone1 = 0.5f, milestone2 = 0.8f;
+    bool useAugmix = true;    ///< "AM" recipe
+    data::AugMixOpts augmix;
+    bool useAdversarial = false; ///< "+AT" recipe (PGD substitution)
+    PgdOpts pgd;
+    float adversarialFraction = 0.5f; ///< share of each batch attacked
+    uint64_t seed = 7;
+};
+
+/** Summary of a finished training run. */
+struct TrainReport
+{
+    double finalLoss = 0.0;
+    double finalAccuracy = 0.0;    ///< accuracy on final batches
+    double cleanEvalAccuracy = 0.0; ///< eval-mode clean accuracy
+    int steps = 0;
+};
+
+/**
+ * Train a model in place on the synthetic distribution.
+ *
+ * @param model network to train (left in eval mode afterwards).
+ * @param dataset clean-image source.
+ * @param cfg hyperparameters.
+ * @return run summary.
+ */
+TrainReport trainModel(models::Model &model,
+                       const data::SynthCifar &dataset,
+                       const TrainConfig &cfg);
+
+/**
+ * Evaluate eval-mode accuracy on freshly drawn clean batches.
+ *
+ * @param samples number of evaluation images.
+ */
+double evalCleanAccuracy(models::Model &model,
+                         const data::SynthCifar &dataset,
+                         int64_t samples, uint64_t seed);
+
+} // namespace train
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TRAIN_TRAINER_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Analysis tests: the reconstructed Fig. 2 error surface must satisfy
+ * every aggregate the paper publishes; the weighted-objective
+ * machinery must reproduce the paper's per-device optimal selections
+ * (Secs. IV-B/C/D outcomes); Pareto extraction sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/error_table.hh"
+#include "analysis/objective.hh"
+#include "device/spec.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::analysis;
+using adapt::Algorithm;
+
+TEST(ErrorTable, PublishedAnchorsExact)
+{
+    // WRN-AM-50 trio (Fig. 5/8/11 captions).
+    EXPECT_DOUBLE_EQ(paperErrorPct("wrn40_2", Algorithm::NoAdapt, 50),
+                     18.26);
+    EXPECT_DOUBLE_EQ(paperErrorPct("wrn40_2", Algorithm::BnNorm, 50),
+                     15.21);
+    EXPECT_DOUBLE_EQ(paperErrorPct("wrn40_2", Algorithm::BnOpt, 50),
+                     12.37);
+    // Best point: RXT-AM-200 + BN-Opt = 10.15 %.
+    EXPECT_DOUBLE_EQ(paperErrorPct("resnext29", Algorithm::BnOpt, 200),
+                     10.15);
+    // BN-Opt best-case range 10.15-12.97 %.
+    EXPECT_DOUBLE_EQ(paperErrorPct("resnet18", Algorithm::BnOpt, 200),
+                     12.97);
+}
+
+TEST(ErrorTable, AggregateDeltasMatchPaper)
+{
+    // BN-Norm improves on No-Adapt by 4.02 % and BN-Opt by 6.67 % on
+    // average over the 9 cases; BN-Opt beats BN-Norm by ~2.45-2.65 %.
+    double noAdaptAvg = 0, bnNormAvg = 0, bnOptAvg = 0;
+    int n = 0;
+    for (const char *m : {"resnext29", "wrn40_2", "resnet18"}) {
+        for (int64_t b : {50, 100, 200}) {
+            noAdaptAvg += paperErrorPct(m, Algorithm::NoAdapt, b);
+            bnNormAvg += paperErrorPct(m, Algorithm::BnNorm, b);
+            bnOptAvg += paperErrorPct(m, Algorithm::BnOpt, b);
+            ++n;
+        }
+    }
+    noAdaptAvg /= n;
+    bnNormAvg /= n;
+    bnOptAvg /= n;
+    EXPECT_NEAR(noAdaptAvg - bnNormAvg, 4.02, 0.15);
+    EXPECT_NEAR(noAdaptAvg - bnOptAvg, 6.67, 0.15);
+    EXPECT_NEAR(bnNormAvg - bnOptAvg, 2.55, 0.25);
+}
+
+TEST(ErrorTable, MonotoneInBatchSizeWithDiminishingReturns)
+{
+    for (const char *m : {"resnext29", "wrn40_2", "resnet18"}) {
+        for (Algorithm a : {Algorithm::BnNorm, Algorithm::BnOpt}) {
+            double e50 = paperErrorPct(m, a, 50);
+            double e100 = paperErrorPct(m, a, 100);
+            double e200 = paperErrorPct(m, a, 200);
+            EXPECT_GT(e50, e100) << m;
+            EXPECT_GT(e100, e200) << m;
+            // Diminishing returns: 50->100 gain > 100->200 gain.
+            EXPECT_GT(e50 - e100, e100 - e200) << m;
+        }
+    }
+}
+
+TEST(ErrorTable, AlgorithmOrderingHoldsEverywhere)
+{
+    for (const char *m : {"resnext29", "wrn40_2", "resnet18"}) {
+        for (int64_t b : {50, 100, 200}) {
+            EXPECT_GT(paperErrorPct(m, Algorithm::NoAdapt, b),
+                      paperErrorPct(m, Algorithm::BnNorm, b));
+            EXPECT_GT(paperErrorPct(m, Algorithm::BnNorm, b),
+                      paperErrorPct(m, Algorithm::BnOpt, b));
+        }
+    }
+}
+
+TEST(ErrorTable, MobileNetAnchors)
+{
+    EXPECT_DOUBLE_EQ(mobileNetErrorPct(Algorithm::NoAdapt, 50), 81.2);
+    EXPECT_DOUBLE_EQ(mobileNetErrorPct(Algorithm::BnOpt, 200), 28.1);
+    // Still far worse than the robust models (Sec. IV-F conclusion).
+    EXPECT_GT(mobileNetErrorPct(Algorithm::BnOpt, 200),
+              paperErrorPct("resnext29", Algorithm::BnOpt, 200) + 10);
+}
+
+namespace {
+
+std::vector<DesignPoint>
+sweep(const device::DeviceSpec &dev)
+{
+    Rng rng(101);
+    return analysis::sweepDevice(dev, rng);
+}
+
+const DesignPoint &
+optimum(const std::vector<DesignPoint> &pts, const char *scenario)
+{
+    for (const WeightScenario &w : paperScenarios()) {
+        if (w.name == scenario)
+            return pts[selectOptimal(pts, w)];
+    }
+    ADD_FAILURE() << "unknown scenario " << scenario;
+    static DesignPoint dummy;
+    return dummy;
+}
+
+} // namespace
+
+TEST(Objective, ScenariosSumToOne)
+{
+    for (const WeightScenario &w : paperScenarios()) {
+        EXPECT_NEAR(w.wTime + w.wEnergy + w.wError, 1.0, 1e-9)
+            << w.name;
+    }
+    EXPECT_EQ(paperScenarios().size(), 4u);
+}
+
+TEST(Objective, SweepCovers27PointsWithCorrectOoms)
+{
+    auto pts = sweep(device::ultra96());
+    EXPECT_EQ(pts.size(), 27u); // 3 models x 3 batches x 3 algorithms
+    int ooms = 0;
+    for (const auto &p : pts) {
+        if (p.oom)
+            ++ooms;
+    }
+    // Exactly RXT+BN-Opt at batch 100 and 200 are infeasible.
+    EXPECT_EQ(ooms, 2);
+}
+
+TEST(Objective, Ultra96SelectionsMatchPaper)
+{
+    // Sec. IV-B: balanced -> WRN-AM-50 + BN-Norm;
+    // accuracy-first -> WRN-AM-50 + BN-Opt;
+    // perf/energy-first -> WRN-AM-50 + No-Adapt.
+    auto pts = sweep(device::ultra96());
+    {
+        const auto &p = optimum(pts, "balanced");
+        EXPECT_EQ(p.model, "wrn40_2");
+        EXPECT_EQ(p.batch, 50);
+        EXPECT_EQ(p.algo, Algorithm::BnNorm);
+    }
+    {
+        const auto &p = optimum(pts, "accuracy-first");
+        EXPECT_EQ(p.model, "wrn40_2");
+        EXPECT_EQ(p.batch, 50);
+        EXPECT_EQ(p.algo, Algorithm::BnOpt);
+    }
+    for (const char *s : {"performance-first", "energy-first"}) {
+        const auto &p = optimum(pts, s);
+        EXPECT_EQ(p.model, "wrn40_2") << s;
+        EXPECT_EQ(p.batch, 50) << s;
+        EXPECT_EQ(p.algo, Algorithm::NoAdapt) << s;
+    }
+}
+
+TEST(Objective, RPiSelectionsMatchPaper)
+{
+    // Sec. IV-C: balanced & perf-first -> WRN-AM-50 + BN-Norm;
+    // accuracy-first -> WRN-AM-50 + BN-Opt;
+    // energy-first -> WRN-AM-50 + No-Adapt.
+    auto pts = sweep(device::raspberryPi4());
+    EXPECT_EQ(optimum(pts, "balanced").algo, Algorithm::BnNorm);
+    EXPECT_EQ(optimum(pts, "balanced").model, "wrn40_2");
+    EXPECT_EQ(optimum(pts, "accuracy-first").algo, Algorithm::BnOpt);
+    EXPECT_EQ(optimum(pts, "accuracy-first").model, "wrn40_2");
+    EXPECT_EQ(optimum(pts, "energy-first").algo, Algorithm::NoAdapt);
+}
+
+TEST(Objective, XavierGpuSelectionsMatchPaper)
+{
+    // Sec. IV-D: balanced -> WRN-AM-50 + BN-Norm; accuracy-first ->
+    // WRN-AM-50 + BN-Opt; perf/energy -> WRN-AM-50 + No-Adapt.
+    auto pts = sweep(device::xavierNxGpu());
+    EXPECT_EQ(optimum(pts, "balanced").algo, Algorithm::BnNorm);
+    EXPECT_EQ(optimum(pts, "balanced").model, "wrn40_2");
+    EXPECT_EQ(optimum(pts, "balanced").batch, 50);
+    EXPECT_EQ(optimum(pts, "accuracy-first").algo, Algorithm::BnOpt);
+    EXPECT_EQ(optimum(pts, "accuracy-first").model, "wrn40_2");
+    EXPECT_EQ(optimum(pts, "performance-first").algo,
+              Algorithm::NoAdapt);
+}
+
+TEST(Objective, ParetoFrontExcludesDominatedAndOomPoints)
+{
+    auto pts = sweep(device::xavierNxGpu());
+    auto front = paretoFront(pts);
+    EXPECT_FALSE(front.empty());
+    EXPECT_LT(front.size(), pts.size());
+    for (size_t i : front)
+        EXPECT_FALSE(pts[i].oom);
+    // The accuracy champion (feasible minimum error) must be on the
+    // front.
+    size_t bestErr = 0;
+    double minErr = 1e9;
+    for (size_t i = 0; i < pts.size(); ++i) {
+        if (!pts[i].oom && pts[i].errorPct < minErr) {
+            minErr = pts[i].errorPct;
+            bestErr = i;
+        }
+    }
+    EXPECT_NE(std::find(front.begin(), front.end(), bestErr),
+              front.end());
+}
+
+TEST(Objective, PointLabelFormat)
+{
+    EXPECT_EQ(pointLabel("wrn40_2", 50), "WRN-AM-50");
+    EXPECT_EQ(pointLabel("resnext29", 200), "RXT-AM-200");
+    EXPECT_EQ(pointLabel("resnet18", 100), "R18-AM-AT-100");
+}

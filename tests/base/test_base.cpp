@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Base-utility tests: deterministic RNG streams and distribution
+ * sanity, statistics accumulators, histogram quantiles, and text
+ * formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/format.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+
+using namespace edgeadapt;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(123), b(124);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated)
+{
+    Rng parent(7);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformBoundsAndMoments)
+{
+    Rng rng(99);
+    RunningStat st;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        st.add(u);
+    }
+    EXPECT_NEAR(st.mean(), 0.5, 0.01);
+    EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(100);
+    RunningStat st;
+    for (int i = 0; i < 20000; ++i)
+        st.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(st.mean(), 2.0, 0.1);
+    EXPECT_NEAR(st.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, UniformIntInRangeAndUnbiasedish)
+{
+    Rng rng(101);
+    int counts[7] = {};
+    for (int i = 0; i < 70000; ++i) {
+        auto v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        ++counts[v];
+    }
+    for (int c : counts)
+        EXPECT_NEAR((double)c, 10000.0, 500.0);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda)
+{
+    Rng rng(102);
+    for (double lam : {0.5, 3.0, 20.0, 80.0}) {
+        RunningStat st;
+        for (int i = 0; i < 5000; ++i)
+            st.add(rng.poisson(lam));
+        EXPECT_NEAR(st.mean(), lam, 0.15 * lam + 0.1) << lam;
+    }
+}
+
+TEST(Rng, DirichletSumsToOne)
+{
+    Rng rng(103);
+    auto w = rng.dirichlet(1.0, 5);
+    double s = 0.0;
+    for (double x : w) {
+        EXPECT_GE(x, 0.0);
+        s += x;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(Rng, BetaWithinUnitInterval)
+{
+    Rng rng(104);
+    RunningStat st;
+    for (int i = 0; i < 5000; ++i) {
+        double b = rng.beta(2.0, 2.0);
+        ASSERT_GE(b, 0.0);
+        ASSERT_LE(b, 1.0);
+        st.add(b);
+    }
+    EXPECT_NEAR(st.mean(), 0.5, 0.03);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(105);
+    auto p = rng.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (int v : p) {
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 50);
+        ASSERT_FALSE(seen[(size_t)v]);
+        seen[(size_t)v] = true;
+    }
+}
+
+TEST(RunningStat, WelfordMatchesDirectComputation)
+{
+    RunningStat st;
+    const double xs[] = {1.0, 2.0, 4.0, 8.0};
+    for (double x : xs)
+        st.add(x);
+    EXPECT_EQ(st.count(), 4u);
+    EXPECT_DOUBLE_EQ(st.mean(), 3.75);
+    EXPECT_DOUBLE_EQ(st.min(), 1.0);
+    EXPECT_DOUBLE_EQ(st.max(), 8.0);
+    // Unbiased variance: sum((x-3.75)^2)/3 = (7.5625+3.0625+.0625+18.0625)/3
+    EXPECT_NEAR(st.variance(), 28.75 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(st.sum(), 15.0);
+}
+
+TEST(Histogram, CountsAndQuantiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(0.05 + 0.0999 * i); // spread over [0, 10)
+    h.add(-5.0);
+    h.add(20.0);
+    EXPECT_EQ(h.total(), 102u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 0.6);
+    EXPECT_NEAR(h.quantile(0.9), 9.0, 0.6);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Format, HumanTime)
+{
+    EXPECT_EQ(humanTime(0.213), "213.00 ms");
+    EXPECT_EQ(humanTime(3.95), "3.95 s");
+    EXPECT_EQ(humanTime(300.0), "5.0 min");
+    EXPECT_EQ(humanTime(5e-5), "50.00 us");
+}
+
+TEST(Format, HumanBytesAndCount)
+{
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(9 * 1024 * 1024), "9.00 MB");
+    EXPECT_EQ(humanCount(11170000), "11.17M");
+    EXPECT_EQ(humanCount(7808), "7.81K");
+}
+
+TEST(Format, TextTableAlignsColumns)
+{
+    TextTable t;
+    t.header({"a", "bbbb"});
+    t.row({"xx", "y"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("a   bbbb"), std::string::npos);
+    EXPECT_NE(s.find("xx  y"), std::string::npos);
+}

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Compression tests (paper insight iv substrate): quantization grid
+ * properties, error bounds, BN-parameter exclusion; pruning sparsity
+ * targets, global-threshold semantics, and the interaction with
+ * BN-based adaptation (the adaptation working set must survive both
+ * transforms untouched).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "compress/prune.hh"
+#include "compress/quantize.hh"
+#include "data/synth_cifar.hh"
+#include "models/registry.hh"
+#include "nn/batchnorm2d.hh"
+#include "tensor/ops.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::compress;
+
+namespace {
+
+models::Model
+freshModel(uint64_t seed = 601)
+{
+    Rng rng(seed);
+    return models::buildModel("wrn40_2-tiny", rng);
+}
+
+} // namespace
+
+TEST(Quantize, ReportCountsAndErrorBound)
+{
+    models::Model m = freshModel();
+    QuantReport rep = quantizeWeights(m, 8);
+    EXPECT_EQ(rep.bits, 8);
+    EXPECT_GT(rep.tensorsQuantized, 0);
+    EXPECT_GT(rep.elemsQuantized, 0);
+    // Symmetric rounding error is at most half a step = absmax/254.
+    EXPECT_LT(rep.maxAbsError, 0.05);
+    EXPECT_LT(rep.meanAbsError, rep.maxAbsError);
+}
+
+TEST(Quantize, WeightsLandOnChannelGrid)
+{
+    models::Model m = freshModel();
+    quantizeWeights(m, 4);
+    // Every quantized weight must be one of <= 2^4-1 distinct
+    // magnitudes per channel (signed 4-bit symmetric grid).
+    for (nn::Parameter *p : nn::collectParameters(m.net())) {
+        if (p->isBnAffine || p->value.shape().rank() < 2)
+            continue;
+        int64_t channels = p->value.shape()[0];
+        int64_t per = p->value.numel() / channels;
+        for (int64_t c = 0; c < std::min<int64_t>(channels, 4); ++c) {
+            std::set<float> distinct;
+            const float *row = p->value.data() + c * per;
+            for (int64_t i = 0; i < per; ++i)
+                distinct.insert(row[i]);
+            EXPECT_LE(distinct.size(), 15u)
+                << p->name << " channel " << c;
+        }
+    }
+}
+
+TEST(Quantize, BnParametersAreUntouched)
+{
+    models::Model m = freshModel();
+    std::vector<Tensor> before;
+    for (nn::Parameter *p : nn::collectParameters(m.net())) {
+        if (p->isBnAffine)
+            before.push_back(p->value.clone());
+    }
+    quantizeWeights(m, 2); // brutal width; BN must still be exact
+    size_t i = 0;
+    for (nn::Parameter *p : nn::collectParameters(m.net())) {
+        if (p->isBnAffine) {
+            EXPECT_EQ(maxAbsDiff(p->value, before[i]), 0.0f);
+            ++i;
+        }
+    }
+}
+
+TEST(Quantize, HigherBitsMeanLowerError)
+{
+    models::Model m8 = freshModel(602);
+    models::Model m4 = freshModel(602);
+    double e8 = quantizeWeights(m8, 8).meanAbsError;
+    double e4 = quantizeWeights(m4, 4).meanAbsError;
+    EXPECT_LT(e8, e4);
+}
+
+TEST(Quantize, Int8PreservesPredictions)
+{
+    models::Model a = freshModel(603);
+    models::Model b = freshModel(603);
+    quantizeWeights(b, 8);
+    data::SynthCifar ds(16);
+    Rng drng(604);
+    Tensor x = ds.batch(16, drng).images;
+    a.setTraining(false);
+    b.setTraining(false);
+    auto pa = argmaxRows(a.forward(x));
+    auto pb = argmaxRows(b.forward(x));
+    int same = 0;
+    for (size_t i = 0; i < pa.size(); ++i)
+        same += pa[i] == pb[i];
+    // int8 weight rounding should rarely flip an argmax.
+    EXPECT_GE(same, 14);
+}
+
+TEST(Quantize, FootprintShrinksWithBits)
+{
+    models::Model m = freshModel();
+    int64_t b32 = m.stats().modelBytes;
+    int64_t b8 = quantizedModelBytes(m, 8);
+    int64_t b4 = quantizedModelBytes(m, 4);
+    EXPECT_LT(b8, b32);
+    EXPECT_LT(b4, b8);
+    // int8 ~ 4x smaller on the conv-dominated weights.
+    EXPECT_LT((double)b8, 0.4 * (double)b32);
+}
+
+TEST(Quantize, BadWidthIsFatal)
+{
+    models::Model m = freshModel();
+    EXPECT_EXIT(quantizeWeights(m, 1), testing::ExitedWithCode(1),
+                "width");
+    EXPECT_EXIT(quantizeWeights(m, 17), testing::ExitedWithCode(1),
+                "width");
+}
+
+TEST(Prune, HitsTargetSparsity)
+{
+    models::Model m = freshModel();
+    PruneReport rep = pruneWeights(m, 0.5);
+    EXPECT_NEAR(rep.achievedSparsity, 0.5, 0.01);
+    EXPECT_NEAR(weightSparsity(m), 0.5, 0.01);
+    EXPECT_EQ(rep.zeroedElems,
+              (int64_t)(0.5 * (double)rep.prunableElems));
+}
+
+TEST(Prune, ZeroSparsityIsNoOp)
+{
+    models::Model a = freshModel(605);
+    models::Model b = freshModel(605);
+    pruneWeights(b, 0.0);
+    auto pa = nn::collectParameters(a.net());
+    auto pb = nn::collectParameters(b.net());
+    for (size_t i = 0; i < pa.size(); ++i)
+        EXPECT_EQ(maxAbsDiff(pa[i]->value, pb[i]->value), 0.0f);
+}
+
+TEST(Prune, KeepsLargestMagnitudes)
+{
+    models::Model m = freshModel();
+    // Record the largest weight before pruning.
+    float biggest = 0.0f;
+    for (nn::Parameter *p : nn::collectParameters(m.net())) {
+        if (!p->isBnAffine && p->value.shape().rank() >= 2)
+            biggest = std::max(biggest, p->value.absMax());
+    }
+    pruneWeights(m, 0.9);
+    float biggestAfter = 0.0f;
+    for (nn::Parameter *p : nn::collectParameters(m.net())) {
+        if (!p->isBnAffine && p->value.shape().rank() >= 2)
+            biggestAfter = std::max(biggestAfter, p->value.absMax());
+    }
+    EXPECT_EQ(biggest, biggestAfter);
+}
+
+TEST(Prune, BnParametersAreUntouched)
+{
+    models::Model m = freshModel();
+    pruneWeights(m, 0.95);
+    // All BN gammas initialized to 1 must still be 1 (never pruned).
+    for (nn::Parameter *p : nn::collectParameters(m.net())) {
+        if (p->isBnAffine && p->name == "gamma") {
+            for (int64_t i = 0; i < p->value.numel(); ++i)
+                ASSERT_EQ(p->value.at(i), 1.0f);
+        }
+    }
+}
+
+TEST(Prune, InvalidSparsityIsFatal)
+{
+    models::Model m = freshModel();
+    EXPECT_EXIT(pruneWeights(m, 1.0), testing::ExitedWithCode(1),
+                "sparsity");
+    EXPECT_EXIT(pruneWeights(m, -0.1), testing::ExitedWithCode(1),
+                "sparsity");
+}
+
+TEST(BlendedBn, PriorShrinksStatisticsShift)
+{
+    // With a huge prior, train-mode BN behaves like eval mode; with
+    // prior 0 it uses pure batch statistics.
+    Rng rng(606);
+    nn::BatchNorm2d bn(2);
+    bn.setTraining(true);
+    bn.runningMean().fill(0.0f);
+    bn.runningVar().fill(1.0f);
+    Tensor x = Tensor::full(Shape{4, 2, 2, 2}, 5.0f);
+    float *p = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i)
+        p[i] += (i % 2) ? 0.5f : -0.5f;
+
+    bn.setBlendPrior(1e6f);
+    Tensor strong = bn.forward(x);
+    // Nearly eval behaviour: output ~ x (mean 5, var ~0.25 barely
+    // normalized by prior var 1).
+    EXPECT_NEAR(strong.mean(), 5.0, 0.1);
+
+    bn.setBlendPrior(0.0f);
+    bn.resetRunningStats();
+    Tensor pure = bn.forward(x);
+    EXPECT_NEAR(pure.mean(), 0.0, 1e-3);
+}
+
+TEST(BlendedBn, BlendingDoesNotUpdateRunningStats)
+{
+    Rng rng(607);
+    nn::BatchNorm2d bn(3);
+    bn.setTraining(true);
+    bn.setBlendPrior(16.0f);
+    Tensor x = Tensor::randn(Shape{4, 3, 4, 4}, rng, 2.0f);
+    bn.forward(x);
+    EXPECT_EQ(bn.runningMean().data()[0], 0.0f);
+    EXPECT_EQ(bn.runningVar().data()[0], 1.0f);
+}

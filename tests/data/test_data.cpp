@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Data-substrate tests: SynthCIFAR determinism and class structure,
+ * all 15 corruption transforms (validity, severity monotonicity,
+ * distribution-shift property), AugMix, image ops, and the stream
+ * loader.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/augmix.hh"
+#include "data/corruptions.hh"
+#include "data/image.hh"
+#include "data/stream.hh"
+#include "data/synth_cifar.hh"
+#include "tensor/ops.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::data;
+
+namespace {
+
+bool
+inUnitRange(const Tensor &t)
+{
+    const float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        if (p[i] < -1e-6f || p[i] > 1.0f + 1e-6f)
+            return false;
+    }
+    return true;
+}
+
+double
+meanAbsDelta(const Tensor &a, const Tensor &b)
+{
+    double s = 0.0;
+    const float *pa = a.data(), *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        s += std::fabs((double)pa[i] - pb[i]);
+    return s / (double)a.numel();
+}
+
+} // namespace
+
+TEST(SynthCifar, DeterministicGivenSeed)
+{
+    SynthCifar ds(16);
+    Rng a(5), b(5);
+    Sample s1 = ds.sample(3, a);
+    Sample s2 = ds.sample(3, b);
+    EXPECT_EQ(s1.label, 3);
+    EXPECT_LT(maxAbsDiff(s1.image, s2.image), 0.0f + 1e-9f);
+}
+
+TEST(SynthCifar, ImagesAreValidAndClassesDiffer)
+{
+    SynthCifar ds(16);
+    Rng rng(6);
+    // Mean image per class should differ across classes (color cue).
+    std::vector<Tensor> classMeans;
+    for (int c = 0; c < 10; ++c) {
+        Tensor acc = Tensor::zeros(Shape{3, 16, 16});
+        for (int i = 0; i < 8; ++i) {
+            Sample s = ds.sample(c, rng);
+            ASSERT_TRUE(inUnitRange(s.image));
+            addInPlace(acc, s.image);
+        }
+        scaleInPlace(acc, 1.0f / 8.0f);
+        classMeans.push_back(acc);
+    }
+    int distinctPairs = 0, totalPairs = 0;
+    for (int a = 0; a < 10; ++a) {
+        for (int b = a + 1; b < 10; ++b) {
+            ++totalPairs;
+            if (meanAbsDelta(classMeans[(size_t)a],
+                             classMeans[(size_t)b]) > 0.01)
+                ++distinctPairs;
+        }
+    }
+    // Nearly all class pairs must be separable in mean appearance.
+    EXPECT_GE(distinctPairs, totalPairs - 3);
+}
+
+TEST(SynthCifar, BatchShapeAndLabels)
+{
+    SynthCifar ds(16);
+    Rng rng(7);
+    Batch b = ds.batch(13, rng);
+    EXPECT_EQ(b.images.shape(), Shape({13, 3, 16, 16}));
+    EXPECT_EQ(b.size(), 13);
+    for (int l : b.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 10);
+    }
+}
+
+TEST(Corruptions, AllFifteenProduceValidImages)
+{
+    SynthCifar ds(16);
+    Rng rng(8);
+    Sample s = ds.sample(0, rng);
+    EXPECT_EQ((int)allCorruptions().size(), kNumCorruptions);
+    for (Corruption c : allCorruptions()) {
+        for (int sev : {1, 3, 5}) {
+            Rng crng(9);
+            Tensor out = applyCorruption(s.image, c, sev, crng);
+            EXPECT_EQ(out.shape(), s.image.shape())
+                << corruptionName(c);
+            EXPECT_TRUE(inUnitRange(out)) << corruptionName(c)
+                                          << " sev " << sev;
+        }
+    }
+}
+
+TEST(Corruptions, EveryCorruptionActuallyShiftsTheImage)
+{
+    SynthCifar ds(16);
+    Rng rng(10);
+    Sample s = ds.sample(4, rng);
+    for (Corruption c : allCorruptions()) {
+        Rng crng(11);
+        Tensor out = applyCorruption(s.image, c, 5, crng);
+        EXPECT_GT(meanAbsDelta(out, s.image), 0.005)
+            << corruptionName(c) << " is a no-op";
+    }
+}
+
+TEST(Corruptions, SeverityIsBroadlyMonotonic)
+{
+    // Severity 5 must distort at least as much as severity 1
+    // (averaged over several images to wash out randomness).
+    SynthCifar ds(16);
+    for (Corruption c : allCorruptions()) {
+        double d1 = 0.0, d5 = 0.0;
+        Rng rng(12);
+        for (int i = 0; i < 6; ++i) {
+            Sample s = ds.sample(i % 10, rng);
+            Rng r1(100 + i), r5(100 + i);
+            d1 += meanAbsDelta(applyCorruption(s.image, c, 1, r1),
+                               s.image);
+            d5 += meanAbsDelta(applyCorruption(s.image, c, 5, r5),
+                               s.image);
+        }
+        EXPECT_GT(d5, d1 * 0.99) << corruptionName(c);
+    }
+}
+
+TEST(Corruptions, NamesRoundTrip)
+{
+    for (Corruption c : allCorruptions()) {
+        EXPECT_EQ(corruptionFromName(corruptionName(c)), c);
+    }
+    EXPECT_EQ(corruptionFromName("gaussian_noise"),
+              Corruption::GaussianNoise);
+}
+
+TEST(ImageOps, GaussianKernelNormalized)
+{
+    Kernel k = Kernel::gaussian(1.0);
+    double s = 0.0;
+    for (float w : k.weights)
+        s += w;
+    EXPECT_NEAR(s, 1.0, 1e-5);
+    EXPECT_EQ(k.size % 2, 1);
+}
+
+TEST(ImageOps, ConvolvePreservesConstantImages)
+{
+    Tensor img = Tensor::full(Shape{3, 8, 8}, 0.37f);
+    for (auto k : {Kernel::gaussian(1.2), Kernel::disk(1.5),
+                   Kernel::motionLine(5, 0.7)}) {
+        Tensor out = convolve(img, k);
+        EXPECT_LT(maxAbsDiff(out, img), 1e-4f);
+    }
+}
+
+TEST(ImageOps, ResizeRoundTripApproximatesIdentity)
+{
+    Rng rng(13);
+    SynthCifar ds(16);
+    Sample s = ds.sample(2, rng);
+    Tensor up = resizeBilinear(s.image, 32, 32);
+    Tensor back = resizeBilinear(up, 16, 16);
+    EXPECT_LT(meanAbsDelta(back, s.image), 0.03);
+}
+
+TEST(ImageOps, WarpAffineIdentityIsIdentity)
+{
+    Rng rng(14);
+    SynthCifar ds(16);
+    Sample s = ds.sample(5, rng);
+    float ident[4] = {1.0f, 0.0f, 0.0f, 1.0f};
+    Tensor out = warpAffine(s.image, ident, 0.0f, 0.0f);
+    EXPECT_LT(maxAbsDiff(out, s.image), 1e-5f);
+}
+
+TEST(ImageOps, PosterizeQuantizes)
+{
+    Tensor img = Tensor::fromVector(Shape{1, 1, 4},
+                                    {0.1f, 0.4f, 0.6f, 0.9f});
+    Tensor out = posterize(img, 2); // levels {0, 1}
+    EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(3), 1.0f);
+}
+
+TEST(ImageOps, SolarizeInvertsAboveThreshold)
+{
+    Tensor img = Tensor::fromVector(Shape{1, 1, 2}, {0.2f, 0.8f});
+    Tensor out = solarize(img, 0.5f);
+    EXPECT_FLOAT_EQ(out.at(0), 0.2f);
+    EXPECT_NEAR(out.at(1), 0.2f, 1e-6);
+}
+
+TEST(ImageOps, AutocontrastSpansUnitRange)
+{
+    Tensor img = Tensor::fromVector(Shape{1, 1, 3}, {0.4f, 0.5f, 0.6f});
+    Tensor out = autocontrast(img);
+    EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(2), 1.0f);
+}
+
+TEST(ImageOps, PlasmaFieldInRange)
+{
+    Rng rng(15);
+    auto f = plasmaField(16, 16, rng);
+    EXPECT_EQ(f.size(), 256u);
+    for (float v : f) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(AugMix, ProducesValidDistinctImages)
+{
+    SynthCifar ds(16);
+    Rng rng(16);
+    Sample s = ds.sample(1, rng);
+    AugMixOpts opts;
+    Tensor out = augmix(s.image, opts, rng);
+    EXPECT_TRUE(inUnitRange(out));
+    EXPECT_GT(meanAbsDelta(out, s.image), 1e-4);
+    // Should stay loosely correlated with the source (skip connection).
+    EXPECT_LT(meanAbsDelta(out, s.image), 0.5);
+}
+
+TEST(Stream, ProducesRequestedSampleCountAndShortFinalBatch)
+{
+    SynthCifar ds(16);
+    StreamConfig cfg;
+    cfg.batchSize = 50;
+    cfg.totalSamples = 120;
+    cfg.corruption = Corruption::Fog;
+    CorruptionStream st(ds, cfg, Rng(17));
+    int64_t total = 0;
+    std::vector<int64_t> sizes;
+    while (st.hasNext()) {
+        Batch b = st.next();
+        sizes.push_back(b.size());
+        total += b.size();
+    }
+    EXPECT_EQ(total, 120);
+    ASSERT_EQ(sizes.size(), 3u);
+    EXPECT_EQ(sizes[0], 50);
+    EXPECT_EQ(sizes[2], 20);
+}
+
+TEST(Stream, DeterministicForEqualSeeds)
+{
+    SynthCifar ds(16);
+    StreamConfig cfg;
+    cfg.batchSize = 8;
+    cfg.totalSamples = 8;
+    cfg.corruption = Corruption::GaussianNoise;
+    CorruptionStream a(ds, cfg, Rng(18));
+    CorruptionStream b(ds, cfg, Rng(18));
+    Batch ba = a.next(), bb = b.next();
+    EXPECT_LT(maxAbsDiff(ba.images, bb.images), 1e-9f);
+    EXPECT_EQ(ba.labels, bb.labels);
+}

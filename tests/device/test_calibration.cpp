@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Calibration regression tests: the analytical device model must keep
+ * reproducing the paper's published measurements. Quantitative
+ * anchors are held to +/-35 % (the model is mechanistic, not a
+ * curve-fit per point); structural findings — every OOM boundary, all
+ * cost orderings, the A1/A3 headline ratios — are asserted exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::device;
+using adapt::Algorithm;
+
+namespace {
+
+constexpr double kRelTol = 0.35;
+
+models::Model &
+model(const std::string &name)
+{
+    static std::vector<std::pair<std::string, models::Model>> cache;
+    for (auto &kv : cache) {
+        if (kv.first == name)
+            return kv.second;
+    }
+    Rng rng(91);
+    cache.emplace_back(name, models::buildModel(name, rng));
+    return cache.back().second;
+}
+
+void
+expectNearRel(double modelVal, double paperVal, const char *what)
+{
+    EXPECT_NEAR(modelVal, paperVal, kRelTol * paperVal) << what;
+}
+
+} // namespace
+
+TEST(Calibration, Ultra96Wrn50Anchors)
+{
+    DeviceSpec d = ultra96();
+    models::Model &m = model("wrn40_2");
+    auto base = estimateRun(d, m, Algorithm::NoAdapt, 50);
+    auto norm = estimateRun(d, m, Algorithm::BnNorm, 50);
+    auto opt = estimateRun(d, m, Algorithm::BnOpt, 50);
+    expectNearRel(base.seconds, 3.58, "ultra96 noadapt t");
+    expectNearRel(norm.seconds, 3.95, "ultra96 bnnorm t");
+    expectNearRel(opt.seconds, 13.35, "ultra96 bnopt t");
+    expectNearRel(base.energyJ, 4.47, "ultra96 noadapt J");
+    expectNearRel(norm.energyJ, 4.93, "ultra96 bnnorm J");
+    expectNearRel(opt.energyJ, 14.35, "ultra96 bnopt J");
+}
+
+TEST(Calibration, RPiWrn50Anchors)
+{
+    DeviceSpec d = raspberryPi4();
+    models::Model &m = model("wrn40_2");
+    expectNearRel(estimateRun(d, m, Algorithm::NoAdapt, 50).seconds,
+                  2.04, "rpi noadapt t");
+    expectNearRel(estimateRun(d, m, Algorithm::BnNorm, 50).seconds,
+                  2.59, "rpi bnnorm t");
+    expectNearRel(estimateRun(d, m, Algorithm::BnOpt, 50).seconds,
+                  7.97, "rpi bnopt t");
+    expectNearRel(estimateRun(d, m, Algorithm::BnOpt, 50).energyJ,
+                  19.12, "rpi bnopt J");
+}
+
+TEST(Calibration, XavierGpuWrn50Anchors)
+{
+    DeviceSpec d = xavierNxGpu();
+    models::Model &m = model("wrn40_2");
+    expectNearRel(estimateRun(d, m, Algorithm::NoAdapt, 50).seconds,
+                  0.10, "nx-gpu noadapt t");
+    expectNearRel(estimateRun(d, m, Algorithm::BnNorm, 50).seconds,
+                  0.315, "nx-gpu bnnorm t");
+    expectNearRel(estimateRun(d, m, Algorithm::BnOpt, 50).seconds,
+                  0.82, "nx-gpu bnopt t");
+    expectNearRel(estimateRun(d, m, Algorithm::BnNorm, 50).energyJ,
+                  2.96, "nx-gpu bnnorm J");
+}
+
+TEST(Calibration, BnNormAdaptationOverheadIs213msOnNxGpu)
+{
+    // The paper's headline bottleneck number (Sec. IV-E / IV-G iii).
+    DeviceSpec d = xavierNxGpu();
+    models::Model &m = model("wrn40_2");
+    double overhead =
+        estimateRun(d, m, Algorithm::BnNorm, 50).seconds -
+        estimateRun(d, m, Algorithm::NoAdapt, 50).seconds;
+    expectNearRel(overhead, 0.213, "213 ms adaptation overhead");
+}
+
+TEST(Calibration, OomBoundariesMatchPaperExactly)
+{
+    models::Model &rxt = model("resnext29");
+    // Ultra96 (2 GB): RXT+BN-Opt runs at batch 50, OOMs at 100/200.
+    EXPECT_FALSE(
+        estimateRun(ultra96(), rxt, Algorithm::BnOpt, 50).oom);
+    EXPECT_TRUE(
+        estimateRun(ultra96(), rxt, Algorithm::BnOpt, 100).oom);
+    EXPECT_TRUE(
+        estimateRun(ultra96(), rxt, Algorithm::BnOpt, 200).oom);
+    // BN-Norm runs everywhere on the Ultra96.
+    for (int64_t b : {50, 100, 200}) {
+        EXPECT_FALSE(
+            estimateRun(ultra96(), rxt, Algorithm::BnNorm, b).oom)
+            << b;
+    }
+    // NX GPU: RXT-200+BN-Opt OOMs (cuDNN libs), RXT-100 fits.
+    EXPECT_FALSE(
+        estimateRun(xavierNxGpu(), rxt, Algorithm::BnOpt, 100).oom);
+    EXPECT_TRUE(
+        estimateRun(xavierNxGpu(), rxt, Algorithm::BnOpt, 200).oom);
+    // NX CPU and RPi (8 GB, no GPU libs) run everything.
+    EXPECT_FALSE(
+        estimateRun(xavierNxCpu(), rxt, Algorithm::BnOpt, 200).oom);
+    EXPECT_FALSE(
+        estimateRun(raspberryPi4(), rxt, Algorithm::BnOpt, 200).oom);
+}
+
+TEST(Calibration, RetainedGraphMatchesPaperProfiler)
+{
+    models::Model &rxt = model("resnext29");
+    auto e100 =
+        estimateRun(raspberryPi4(), rxt, Algorithm::BnOpt, 100);
+    auto e200 =
+        estimateRun(raspberryPi4(), rxt, Algorithm::BnOpt, 200);
+    expectNearRel((double)e100.memory.graphBytes, 3.12e9 * 1.0,
+                  "rxt graph @100");
+    expectNearRel((double)e200.memory.graphBytes, 5.1e9 * 1.0,
+                  "rxt graph @200");
+}
+
+TEST(Calibration, AverageAdaptationOverheads)
+{
+    // Ultra96: BN-Norm +1.40 s, BN-Opt +30.27 s on average;
+    // RPi: +0.86 s and +24.9 s (Secs. IV-B/IV-C).
+    struct Target
+    {
+        DeviceSpec dev;
+        double bnNorm, bnOpt;
+    };
+    const Target targets[] = {
+        {ultra96(), 1.40, 30.27},
+        {raspberryPi4(), 0.86, 24.9},
+    };
+    for (const auto &t : targets) {
+        double extraNorm = 0, extraOpt = 0;
+        int nNorm = 0, nOpt = 0;
+        for (const char *mn : {"resnext29", "wrn40_2", "resnet18"}) {
+            for (int64_t b : {50, 100, 200}) {
+                auto base = estimateRun(t.dev, model(mn),
+                                        Algorithm::NoAdapt, b);
+                auto norm = estimateRun(t.dev, model(mn),
+                                        Algorithm::BnNorm, b);
+                auto opt = estimateRun(t.dev, model(mn),
+                                       Algorithm::BnOpt, b);
+                if (!norm.oom) {
+                    extraNorm += norm.seconds - base.seconds;
+                    ++nNorm;
+                }
+                if (!opt.oom) {
+                    extraOpt += opt.seconds - base.seconds;
+                    ++nOpt;
+                }
+            }
+        }
+        expectNearRel(extraNorm / nNorm, t.bnNorm,
+                      (t.dev.name + " avg BN-Norm extra").c_str());
+        expectNearRel(extraOpt / nOpt, t.bnOpt,
+                      (t.dev.name + " avg BN-Opt extra").c_str());
+    }
+}
+
+TEST(Calibration, GpuSpeedupsOverCpu)
+{
+    // Paper Sec. IV-D: average GPU time reduction 90.5 % (No-Adapt),
+    // 68.13 % (BN-Norm), 79.21 % (BN-Opt); up to 7.89x for BN-Opt.
+    const std::pair<Algorithm, double> targets[] = {
+        {Algorithm::NoAdapt, 90.5},
+        {Algorithm::BnNorm, 68.13},
+        {Algorithm::BnOpt, 79.21},
+    };
+    double maxBnOptSpeedup = 0.0;
+    for (auto [algo, paperPct] : targets) {
+        double acc = 0;
+        int n = 0;
+        for (const char *mn : {"resnext29", "wrn40_2", "resnet18"}) {
+            for (int64_t b : {50, 100, 200}) {
+                auto c = estimateRun(xavierNxCpu(), model(mn), algo, b);
+                auto g = estimateRun(xavierNxGpu(), model(mn), algo, b);
+                if (c.oom || g.oom)
+                    continue;
+                acc += 100.0 * (1.0 - g.seconds / c.seconds);
+                if (algo == Algorithm::BnOpt) {
+                    maxBnOptSpeedup = std::max(
+                        maxBnOptSpeedup, c.seconds / g.seconds);
+                }
+                ++n;
+            }
+        }
+        // Percentages compared absolutely (10 pp tolerance).
+        EXPECT_NEAR(acc / n, paperPct, 10.0)
+            << adapt::algorithmName(algo);
+    }
+    EXPECT_NEAR(maxBnOptSpeedup, 7.89, 0.35 * 7.89);
+}
+
+TEST(Calibration, MobileNetTable1Shapes)
+{
+    // Table I relations: BN-Opt > BN-Norm >> No-Adapt on the GPU, and
+    // MobileNet's adaptation ~2x the cost of WRN's despite its ~5x
+    // cheaper inference.
+    DeviceSpec d = xavierNxGpu();
+    models::Model &mb = model("mobilenetv2");
+    models::Model &w = model("wrn40_2");
+    for (int64_t b : {50, 100, 200}) {
+        auto na = estimateRun(d, mb, Algorithm::NoAdapt, b);
+        auto norm = estimateRun(d, mb, Algorithm::BnNorm, b);
+        auto opt = estimateRun(d, mb, Algorithm::BnOpt, b);
+        EXPECT_LT(na.seconds, 0.35 * norm.seconds) << b;
+        EXPECT_LT(norm.seconds, opt.seconds) << b;
+    }
+    // MobileNet inference beats WRN (paper: 19.2% better).
+    EXPECT_LT(estimateRun(d, mb, Algorithm::NoAdapt, 50).seconds,
+              estimateRun(d, w, Algorithm::NoAdapt, 50).seconds);
+    // But its BN-Norm adaptation costs more than WRN's.
+    EXPECT_GT(estimateRun(d, mb, Algorithm::BnNorm, 50).seconds,
+              estimateRun(d, w, Algorithm::BnNorm, 50).seconds);
+}
+
+TEST(Calibration, HeadlineA1A3Ratios)
+{
+    // A1 = RXT-AM-200 + BN-Opt on NX CPU: 69.58 s; A3 = WRN-AM-50 +
+    // BN-Norm on NX GPU: 0.315 s / 2.96 J. A3 is ~220x faster and
+    // ~114x more energy-efficient (Sec. IV-E).
+    auto a1 = estimateRun(xavierNxCpu(), model("resnext29"),
+                          Algorithm::BnOpt, 200);
+    auto a2 = estimateRun(raspberryPi4(), model("resnext29"),
+                          Algorithm::BnOpt, 200);
+    auto a3 = estimateRun(xavierNxGpu(), model("wrn40_2"),
+                          Algorithm::BnNorm, 50);
+    ASSERT_FALSE(a1.oom);
+    ASSERT_FALSE(a2.oom);
+    ASSERT_FALSE(a3.oom);
+    expectNearRel(a1.seconds, 69.58, "A1 runtime");
+    expectNearRel(a2.energyJ, 337.43, "A2 energy");
+    double speedRatio = a1.seconds / a3.seconds;
+    double energyRatio = a2.energyJ / a3.energyJ;
+    EXPECT_NEAR(speedRatio, 220.0, 0.4 * 220.0);
+    EXPECT_NEAR(energyRatio, 114.0, 0.4 * 114.0);
+}
+
+TEST(Calibration, BreakdownRatiosMatchProfilerFindings)
+{
+    // Figs. 4/7/10: train-mode BN fw is ~3.7-4.7x eval BN fw on the
+    // ARM devices; BN-Opt conv bw is ~2.2-2.5x conv fw.
+    for (const DeviceSpec &d :
+         {ultra96(), raspberryPi4(), xavierNxCpu()}) {
+        auto evalB = breakdownByClass(d, model("wrn40_2"),
+                                      Algorithm::NoAdapt, 50);
+        auto trainB = breakdownByClass(d, model("wrn40_2"),
+                                       Algorithm::BnNorm, 50);
+        double ratio = trainB.bnFw / evalB.bnFw;
+        EXPECT_GT(ratio, 1.5) << d.name;
+        EXPECT_LT(ratio, 6.0) << d.name;
+
+        auto opt = breakdownByClass(d, model("wrn40_2"),
+                                    Algorithm::BnOpt, 50);
+        double convRatio = opt.convBw / opt.convFw;
+        EXPECT_GT(convRatio, 1.8) << d.name;
+        EXPECT_LT(convRatio, 3.0) << d.name;
+    }
+}

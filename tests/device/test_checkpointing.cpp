@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Gradient-checkpointed BN-Opt cost-model tests (insight v): memory
+ * must shrink roughly with the segment count, time must grow by at
+ * most one extra forward pass, and the paper's infeasible Ultra96
+ * RXT configurations must become feasible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::device;
+using adapt::Algorithm;
+
+namespace {
+
+models::Model &
+rxt()
+{
+    static models::Model m = [] {
+        Rng rng(701);
+        return models::buildModel("resnext29", rng);
+    }();
+    return m;
+}
+
+} // namespace
+
+TEST(Checkpointing, MemoryShrinksTimeGrowsBounded)
+{
+    DeviceSpec dev = raspberryPi4();
+    RunEstimate plain = estimateRun(dev, rxt(), Algorithm::BnOpt, 100);
+    CheckpointOpts opts;
+    opts.segments = 8;
+    RunEstimate ck = estimateRunCheckpointed(dev, rxt(), 100, opts);
+
+    ASSERT_FALSE(plain.oom);
+    ASSERT_FALSE(ck.oom);
+    EXPECT_LT(ck.memory.graphBytes, plain.memory.graphBytes / 4);
+    EXPECT_GT(ck.seconds, plain.seconds);
+    // At most one extra forward on top of the plain run.
+    EXPECT_LT(ck.seconds, plain.seconds + plain.time.forward() + 1e-9);
+}
+
+TEST(Checkpointing, SingleSegmentMatchesPlainBnOpt)
+{
+    DeviceSpec dev = raspberryPi4();
+    RunEstimate plain = estimateRun(dev, rxt(), Algorithm::BnOpt, 50);
+    CheckpointOpts opts;
+    opts.segments = 1;
+    RunEstimate ck = estimateRunCheckpointed(dev, rxt(), 50, opts);
+    EXPECT_NEAR(ck.seconds, plain.seconds, 1e-9);
+    // One segment still drops nothing but keeps the boundary set.
+    EXPECT_GE(ck.memory.graphBytes, plain.memory.graphBytes);
+}
+
+TEST(Checkpointing, RescuesUltra96RxtOoms)
+{
+    // The paper's headline infeasibility: RXT + BN-Opt at batch
+    // 100/200 exceeds the Ultra96's 2 GB. Checkpointed execution
+    // must turn those into feasible (slower) runs.
+    DeviceSpec dev = ultra96();
+    for (int64_t batch : {100, 200}) {
+        RunEstimate plain =
+            estimateRun(dev, rxt(), Algorithm::BnOpt, batch);
+        ASSERT_TRUE(plain.oom) << batch;
+        CheckpointOpts opts;
+        opts.segments = 12;
+        RunEstimate ck =
+            estimateRunCheckpointed(dev, rxt(), batch, opts);
+        EXPECT_FALSE(ck.oom) << batch;
+        EXPECT_GT(ck.seconds, 0.0) << batch;
+    }
+}
+
+TEST(Checkpointing, MoreSegmentsMeansLessMemoryMoreTime)
+{
+    DeviceSpec dev = xavierNxCpu();
+    double prevMem = 1e300, prevTime = 0.0;
+    for (int segments : {2, 4, 8, 16}) {
+        CheckpointOpts opts;
+        opts.segments = segments;
+        RunEstimate ck =
+            estimateRunCheckpointed(dev, rxt(), 100, opts);
+        ASSERT_FALSE(ck.oom);
+        EXPECT_LT((double)ck.memory.graphBytes, prevMem) << segments;
+        EXPECT_GT(ck.seconds, prevTime) << segments;
+        prevMem = (double)ck.memory.graphBytes;
+        prevTime = ck.seconds;
+    }
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Device cost-model unit tests: spec registry, phase accounting
+ * identities, algorithm cost ordering, batch-size scaling, memory
+ * composition, and OOM semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/cost_model.hh"
+#include "device/spec.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::device;
+using adapt::Algorithm;
+
+namespace {
+
+models::Model &
+wrn()
+{
+    static models::Model m = [] {
+        Rng rng(81);
+        return models::buildModel("wrn40_2", rng);
+    }();
+    return m;
+}
+
+} // namespace
+
+TEST(DeviceSpec, RegistryRoundTrip)
+{
+    for (const char *name :
+         {"ultra96", "rpi4", "nx-cpu", "nx-gpu", "ultra96-pl"}) {
+        DeviceSpec d = deviceByName(name);
+        EXPECT_EQ(d.shortName, name);
+        EXPECT_GT(d.proc.convFwGflops, 0.0);
+        EXPECT_GT(d.proc.activePowerW, 0.0);
+        EXPECT_GT(d.mem.capacityBytes, 0u);
+    }
+    EXPECT_EQ(paperDevices().size(), 4u);
+}
+
+TEST(CostModel, PhaseTotalsAreConsistent)
+{
+    RunEstimate e = estimateRun(ultra96(), wrn(), Algorithm::BnOpt, 50);
+    EXPECT_NEAR(e.time.total(),
+                e.time.forward() + e.time.backward() + e.time.optStep,
+                1e-12);
+    EXPECT_DOUBLE_EQ(e.seconds, e.time.total());
+    EXPECT_NEAR(e.energyJ, e.seconds * ultra96().proc.activePowerW,
+                1e-9);
+}
+
+TEST(CostModel, AlgorithmCostOrdering)
+{
+    // No-Adapt < BN-Norm < BN-Opt on every device (paper Figs 3/6/9).
+    for (const DeviceSpec &d : paperDevices()) {
+        RunEstimate base = estimateRun(d, wrn(), Algorithm::NoAdapt, 50);
+        RunEstimate norm = estimateRun(d, wrn(), Algorithm::BnNorm, 50);
+        RunEstimate opt = estimateRun(d, wrn(), Algorithm::BnOpt, 50);
+        EXPECT_LT(base.seconds, norm.seconds) << d.name;
+        EXPECT_LT(norm.seconds, opt.seconds) << d.name;
+        EXPECT_LT(base.energyJ, norm.energyJ) << d.name;
+        EXPECT_LT(norm.energyJ, opt.energyJ) << d.name;
+    }
+}
+
+TEST(CostModel, NoBackwardWithoutBnOpt)
+{
+    for (Algorithm a : {Algorithm::NoAdapt, Algorithm::BnNorm}) {
+        RunEstimate e = estimateRun(raspberryPi4(), wrn(), a, 100);
+        EXPECT_EQ(e.time.convBw, 0.0);
+        EXPECT_EQ(e.time.bnBw, 0.0);
+        EXPECT_EQ(e.time.optStep, 0.0);
+        EXPECT_EQ(e.memory.graphBytes, 0u);
+    }
+}
+
+TEST(CostModel, TimeScalesRoughlyLinearlyWithBatch)
+{
+    RunEstimate b50 = estimateRun(raspberryPi4(), wrn(), Algorithm::BnNorm, 50);
+    RunEstimate b200 =
+        estimateRun(raspberryPi4(), wrn(), Algorithm::BnNorm, 200);
+    double ratio = b200.seconds / b50.seconds;
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 4.2);
+}
+
+TEST(CostModel, BnNormExtraGrowsWithBnFootprint)
+{
+    // MobileNet (34112 BN params) pays more for statistics
+    // re-estimation than WRN (5408) — paper Sec. IV-F.
+    Rng rng(82);
+    models::Model mbv2 = models::buildModel("mobilenetv2", rng);
+    DeviceSpec gpu = xavierNxGpu();
+    double wrnExtra =
+        estimateRun(gpu, wrn(), Algorithm::BnNorm, 50).seconds -
+        estimateRun(gpu, wrn(), Algorithm::NoAdapt, 50).seconds;
+    double mbExtra =
+        estimateRun(gpu, mbv2, Algorithm::BnNorm, 50).seconds -
+        estimateRun(gpu, mbv2, Algorithm::NoAdapt, 50).seconds;
+    EXPECT_GT(mbExtra, 1.5 * wrnExtra);
+}
+
+TEST(CostModel, MemoryComposition)
+{
+    RunEstimate e = estimateRun(xavierNxGpu(), wrn(), Algorithm::BnOpt,
+                                100);
+    EXPECT_EQ(e.memory.total(),
+              e.memory.runtimeBytes + e.memory.weightBytes +
+                  e.memory.activationBytes + e.memory.graphBytes);
+    EXPECT_GT(e.memory.graphBytes, e.memory.weightBytes);
+    // GPU runtime includes the cuDNN library footprint.
+    EXPECT_GT(xavierNxGpu().mem.gpuLibBytes, 0u);
+    RunEstimate cpuE =
+        estimateRun(xavierNxCpu(), wrn(), Algorithm::BnOpt, 100);
+    EXPECT_GT(e.memory.runtimeBytes, cpuE.memory.runtimeBytes);
+}
+
+TEST(CostModel, OomZeroesCostAndSetsFlag)
+{
+    Rng rng(83);
+    models::Model rxt = models::buildModel("resnext29", rng);
+    RunEstimate e =
+        estimateRun(ultra96(), rxt, Algorithm::BnOpt, 200);
+    EXPECT_TRUE(e.oom);
+    EXPECT_EQ(e.seconds, 0.0);
+    EXPECT_EQ(e.energyJ, 0.0);
+    EXPECT_GT(e.memory.total(), ultra96().mem.capacityBytes);
+}
+
+TEST(CostModel, BreakdownMatchesEstimate)
+{
+    LayerClassBreakdown b =
+        breakdownByClass(ultra96(), wrn(), Algorithm::BnOpt, 50);
+    RunEstimate e = estimateRun(ultra96(), wrn(), Algorithm::BnOpt, 50);
+    EXPECT_DOUBLE_EQ(b.convFw, e.time.convFw);
+    EXPECT_DOUBLE_EQ(b.convBw, e.time.convBw);
+    EXPECT_DOUBLE_EQ(b.bnFw, e.time.bnFw);
+    EXPECT_DOUBLE_EQ(b.bnBw, e.time.bnBw);
+}
+
+TEST(CostModel, AcceleratorAblationReducesAdaptationOverhead)
+{
+    // The what-if PL accelerator must cut the BN-Opt gap vs the plain
+    // Ultra96 PS (paper insight iii).
+    DeviceSpec ps = ultra96();
+    DeviceSpec pl = ultra96PlAccelerator();
+    double psOverhead =
+        estimateRun(ps, wrn(), Algorithm::BnOpt, 50).seconds -
+        estimateRun(ps, wrn(), Algorithm::NoAdapt, 50).seconds;
+    double plOverhead =
+        estimateRun(pl, wrn(), Algorithm::BnOpt, 50).seconds -
+        estimateRun(pl, wrn(), Algorithm::NoAdapt, 50).seconds;
+    EXPECT_LT(plOverhead, 0.5 * psOverhead);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Parameterized device-model property sweeps: invariants that must
+ * hold for every (device, algorithm, batch) combination — cost
+ * monotonicity in batch size, energy/power consistency, memory
+ * ordering between algorithms, and OOM monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::device;
+using adapt::Algorithm;
+
+namespace {
+
+models::Model &
+wrnModel()
+{
+    static models::Model m = [] {
+        Rng rng(401);
+        return models::buildModel("wrn40_2", rng);
+    }();
+    return m;
+}
+
+struct Combo
+{
+    const char *device;
+    Algorithm algo;
+};
+
+std::string
+comboName(const testing::TestParamInfo<Combo> &info)
+{
+    std::string a;
+    switch (info.param.algo) {
+      case Algorithm::NoAdapt:
+        a = "NoAdapt";
+        break;
+      case Algorithm::BnNorm:
+        a = "BnNorm";
+        break;
+      case Algorithm::BnOpt:
+        a = "BnOpt";
+        break;
+    }
+    std::string d = info.param.device;
+    for (auto &ch : d) {
+        if (ch == '-')
+            ch = '_';
+    }
+    return d + "_" + a;
+}
+
+} // namespace
+
+class DeviceProperty : public testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(DeviceProperty, TimeAndMemoryMonotoneInBatch)
+{
+    DeviceSpec dev = deviceByName(GetParam().device);
+    Algorithm algo = GetParam().algo;
+    double prevT = 0.0;
+    uint64_t prevM = 0;
+    for (int64_t b : {25, 50, 100, 200, 400}) {
+        RunEstimate e = estimateRun(dev, wrnModel(), algo, b);
+        if (e.oom)
+            break; // once OOM, larger batches stay OOM (below)
+        EXPECT_GT(e.seconds, prevT) << "batch " << b;
+        EXPECT_GE(e.memory.total(), prevM) << "batch " << b;
+        prevT = e.seconds;
+        prevM = e.memory.total();
+    }
+}
+
+TEST_P(DeviceProperty, OomIsMonotoneInBatch)
+{
+    DeviceSpec dev = deviceByName(GetParam().device);
+    Algorithm algo = GetParam().algo;
+    bool seenOom = false;
+    for (int64_t b = 25; b <= 6400; b *= 2) {
+        RunEstimate e = estimateRun(dev, wrnModel(), algo, b);
+        if (seenOom)
+            EXPECT_TRUE(e.oom) << "batch " << b;
+        seenOom = seenOom || e.oom;
+    }
+}
+
+TEST_P(DeviceProperty, EnergyEqualsPowerTimesTime)
+{
+    DeviceSpec dev = deviceByName(GetParam().device);
+    RunEstimate e = estimateRun(dev, wrnModel(), GetParam().algo, 50);
+    if (!e.oom) {
+        EXPECT_NEAR(e.energyJ, dev.proc.activePowerW * e.seconds,
+                    1e-9);
+    }
+}
+
+TEST_P(DeviceProperty, BreakdownSumsToTotal)
+{
+    DeviceSpec dev = deviceByName(GetParam().device);
+    RunEstimate e = estimateRun(dev, wrnModel(), GetParam().algo, 100);
+    if (!e.oom) {
+        EXPECT_NEAR(e.seconds,
+                    e.time.convFw + e.time.bnFw + e.time.otherFw +
+                        e.time.convBw + e.time.bnBw + e.time.optStep,
+                    1e-12);
+    }
+}
+
+TEST_P(DeviceProperty, MemoryNeverBelowWeightsPlusRuntime)
+{
+    DeviceSpec dev = deviceByName(GetParam().device);
+    RunEstimate e = estimateRun(dev, wrnModel(), GetParam().algo, 50);
+    EXPECT_GE(e.memory.total(),
+              e.memory.runtimeBytes + e.memory.weightBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeviceProperty,
+    testing::Values(Combo{"ultra96", Algorithm::NoAdapt},
+                    Combo{"ultra96", Algorithm::BnNorm},
+                    Combo{"ultra96", Algorithm::BnOpt},
+                    Combo{"rpi4", Algorithm::NoAdapt},
+                    Combo{"rpi4", Algorithm::BnNorm},
+                    Combo{"rpi4", Algorithm::BnOpt},
+                    Combo{"nx-cpu", Algorithm::BnOpt},
+                    Combo{"nx-gpu", Algorithm::NoAdapt},
+                    Combo{"nx-gpu", Algorithm::BnNorm},
+                    Combo{"nx-gpu", Algorithm::BnOpt},
+                    Combo{"ultra96-pl", Algorithm::BnOpt}),
+    comboName);
+
+TEST(DeviceProperty, BnOptMemoryDominatesOtherAlgorithms)
+{
+    for (const DeviceSpec &dev : paperDevices()) {
+        auto na = estimateRun(dev, wrnModel(), Algorithm::NoAdapt, 100);
+        auto norm =
+            estimateRun(dev, wrnModel(), Algorithm::BnNorm, 100);
+        auto opt = estimateRun(dev, wrnModel(), Algorithm::BnOpt, 100);
+        EXPECT_EQ(na.memory.total(), norm.memory.total()) << dev.name;
+        EXPECT_GT(opt.memory.total(), norm.memory.total()) << dev.name;
+    }
+}
+
+TEST(DeviceProperty, FasterDeviceOrderingForConvWork)
+{
+    // For conv-dominated inference the device ranking must follow
+    // the paper: ultra96 slowest, then rpi4, nx-cpu, nx-gpu fastest.
+    double t[4];
+    const DeviceSpec devs[4] = {ultra96(), raspberryPi4(),
+                                xavierNxCpu(), xavierNxGpu()};
+    for (int i = 0; i < 4; ++i) {
+        t[i] = estimateRun(devs[i], wrnModel(), Algorithm::NoAdapt, 50)
+                   .seconds;
+    }
+    EXPECT_GT(t[0], t[1]);
+    EXPECT_GT(t[1], t[2]);
+    EXPECT_GT(t[2], t[3]);
+}

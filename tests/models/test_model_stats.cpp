@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Checks that the model-zoo architectures reproduce the statistics the
+ * paper reports in Sec. III-B and IV-F: total parameters, batch-norm
+ * parameters (the adaptation working set), and GMAC counts. The BN
+ * parameter counts are exact integers in the paper (7808 / 5408 /
+ * 25216 / 34112), so they are asserted exactly — they pin down the
+ * architecture definitions completely.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/registry.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::models;
+
+namespace {
+
+Model
+build(const std::string &name)
+{
+    Rng rng(42);
+    return buildModel(name, rng);
+}
+
+} // namespace
+
+TEST(ModelStats, ResNet18MatchesPaper)
+{
+    Model m = build("resnet18");
+    const ModelStats &s = m.stats();
+    EXPECT_EQ(s.bnParams, 7808);
+    // Paper: 11.17M total parameters.
+    EXPECT_NEAR((double)s.params, 11.17e6, 0.05e6);
+    // Paper: 0.56 GMAC.
+    EXPECT_NEAR((double)s.macs, 0.56e9, 0.02e9);
+}
+
+TEST(ModelStats, WideResNet402MatchesPaper)
+{
+    Model m = build("wrn40_2");
+    const ModelStats &s = m.stats();
+    EXPECT_EQ(s.bnParams, 5408);
+    // Paper: 2.24M parameters, 0.33 GMAC, 9 MB.
+    EXPECT_NEAR((double)s.params, 2.24e6, 0.03e6);
+    EXPECT_NEAR((double)s.macs, 0.33e9, 0.01e9);
+    EXPECT_NEAR((double)s.modelBytes, 9.0e6, 0.6e6);
+}
+
+TEST(ModelStats, ResNeXt29MatchesPaper)
+{
+    Model m = build("resnext29");
+    const ModelStats &s = m.stats();
+    EXPECT_EQ(s.bnParams, 25216);
+    // Paper: 6.81M parameters, 1.08 GMAC, 26 MB.
+    EXPECT_NEAR((double)s.params, 6.81e6, 0.1e6);
+    EXPECT_NEAR((double)s.macs, 1.08e9, 0.05e9);
+    EXPECT_NEAR((double)s.modelBytes, 27.0e6, 1.5e6);
+}
+
+TEST(ModelStats, MobileNetV2MatchesPaper)
+{
+    Model m = build("mobilenetv2");
+    const ModelStats &s = m.stats();
+    EXPECT_EQ(s.bnParams, 34112);
+    // Paper: 0.096 GMAC, ~9 MB.
+    EXPECT_NEAR((double)s.macs, 0.096e9, 0.01e9);
+    EXPECT_NEAR((double)s.modelBytes, 9.0e6, 1.5e6);
+}
+
+TEST(ModelStats, BnParameterOrderingMatchesPaperNarrative)
+{
+    // The paper's key architecture observation: WRN has the fewest BN
+    // parameters, then R18, then RXT; MobileNet exceeds them all.
+    Model wrn = build("wrn40_2");
+    Model r18 = build("resnet18");
+    Model rxt = build("resnext29");
+    Model mbv2 = build("mobilenetv2");
+    EXPECT_LT(wrn.stats().bnParams, r18.stats().bnParams);
+    EXPECT_LT(r18.stats().bnParams, rxt.stats().bnParams);
+    EXPECT_LT(rxt.stats().bnParams, mbv2.stats().bnParams);
+}
+
+TEST(ModelStats, TinyVariantsPreserveBnOrdering)
+{
+    Model wrn = build("wrn40_2-tiny");
+    Model r18 = build("resnet18-tiny");
+    Model rxt = build("resnext29-tiny");
+    EXPECT_LT(wrn.stats().bnParams, r18.stats().bnParams);
+    EXPECT_LT(r18.stats().bnParams, rxt.stats().bnParams);
+    // Tiny models must be small enough to train in-harness.
+    EXPECT_LT(wrn.stats().macs, 10'000'000);
+    EXPECT_LT(r18.stats().macs, 10'000'000);
+    EXPECT_LT(rxt.stats().macs, 20'000'000);
+}
+
+TEST(ModelStats, TraceParamCountAgreesWithParameterWalk)
+{
+    for (const char *name : {"wrn40_2-tiny", "resnext29-tiny",
+                             "mobilenetv2-tiny", "resnet18-tiny"}) {
+        Model m = build(name);
+        EXPECT_EQ(m.stats().params, nn::parameterCount(m.net()))
+            << name;
+    }
+}

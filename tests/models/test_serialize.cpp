@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Checkpoint I/O tests: save/load round trips bit-exactly (including
+ * BN running statistics), architecture mismatches are rejected, and
+ * corrupted files fail cleanly.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar.hh"
+#include "models/registry.hh"
+#include "models/serialize.hh"
+#include "tensor/ops.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::models;
+
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string("/tmp/edgeadapt_ckpt_") + tag + ".bin";
+}
+
+} // namespace
+
+TEST(Serialize, RoundTripIsBitExact)
+{
+    Rng rng(501);
+    Model a = buildModel("wrn40_2-tiny", rng);
+
+    // Dirty the BN running stats so buffers are exercised too.
+    data::SynthCifar ds(16);
+    Rng drng(502);
+    a.setTraining(true);
+    a.forward(ds.batch(8, drng).images);
+    a.setTraining(false);
+
+    std::string path = tempPath("roundtrip");
+    saveCheckpoint(a, path);
+
+    Rng rng2(777); // different init: load must overwrite everything
+    Model b = buildModel("wrn40_2-tiny", rng2);
+    loadCheckpoint(b, path);
+
+    Tensor x = ds.batch(4, drng).images;
+    b.setTraining(false);
+    Tensor ya = a.forward(x);
+    Tensor yb = b.forward(x);
+    EXPECT_EQ(maxAbsDiff(ya, yb), 0.0f);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, CheckpointBytesMatchesFileSize)
+{
+    Rng rng(503);
+    Model m = buildModel("resnext29-tiny", rng);
+    std::string path = tempPath("size");
+    saveCheckpoint(m, path);
+    FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    EXPECT_EQ((int64_t)size, checkpointBytes(m));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, ArchitectureMismatchIsFatal)
+{
+    Rng rng(504);
+    Model a = buildModel("wrn40_2-tiny", rng);
+    std::string path = tempPath("mismatch");
+    saveCheckpoint(a, path);
+
+    Model b = buildModel("resnet18-tiny", rng);
+    EXPECT_EXIT(loadCheckpoint(b, path), testing::ExitedWithCode(1),
+                "mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, GarbageFileIsRejected)
+{
+    std::string path = tempPath("garbage");
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a checkpoint at all", f);
+    std::fclose(f);
+
+    Rng rng(505);
+    Model m = buildModel("wrn40_2-tiny", rng);
+    EXPECT_EXIT(loadCheckpoint(m, path), testing::ExitedWithCode(1),
+                "not an edgeadapt checkpoint");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    Rng rng(506);
+    Model m = buildModel("wrn40_2-tiny", rng);
+    EXPECT_EXIT(loadCheckpoint(m, "/nonexistent/nope.bin"),
+                testing::ExitedWithCode(1), "cannot open");
+}

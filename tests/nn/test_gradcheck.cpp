@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Finite-difference gradient checks for every layer type and for the
+ * composite residual blocks. These validate the backward passes that
+ * BN-Opt's test-time optimization and the offline robust trainer rely
+ * on. float32 arithmetic with eps=1e-3 central differences gives
+ * relative agreement around 1e-3; we assert < 3e-2 to keep the tests
+ * robust to rounding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/blocks.hh"
+#include "nn/activation.hh"
+#include "nn/batchnorm2d.hh"
+#include "nn/conv2d.hh"
+#include "nn/linear.hh"
+#include "nn/pooling.hh"
+
+#include "gradcheck.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::nn;
+using edgeadapt::testutil::gradCheck;
+
+namespace {
+constexpr double kTol = 3e-2;
+} // namespace
+
+TEST(GradCheck, Conv2dBasic)
+{
+    Rng rng(11);
+    Conv2dOpts o;
+    o.stride = 1;
+    o.pad = 1;
+    Conv2d conv(3, 4, 3, o, rng);
+    Tensor x = Tensor::randn(Shape{2, 3, 5, 5}, rng);
+    auto r = gradCheck(conv, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, Conv2dStrided)
+{
+    Rng rng(12);
+    Conv2dOpts o;
+    o.stride = 2;
+    o.pad = 1;
+    Conv2d conv(2, 3, 3, o, rng);
+    Tensor x = Tensor::randn(Shape{2, 2, 6, 6}, rng);
+    auto r = gradCheck(conv, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, Conv2dGrouped)
+{
+    Rng rng(13);
+    Conv2dOpts o;
+    o.stride = 1;
+    o.pad = 1;
+    o.groups = 2;
+    Conv2d conv(4, 6, 3, o, rng);
+    Tensor x = Tensor::randn(Shape{2, 4, 4, 4}, rng);
+    auto r = gradCheck(conv, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, Conv2dDepthwise)
+{
+    Rng rng(14);
+    Conv2dOpts o;
+    o.stride = 1;
+    o.pad = 1;
+    o.groups = 4;
+    Conv2d conv(4, 4, 3, o, rng);
+    Tensor x = Tensor::randn(Shape{1, 4, 5, 5}, rng);
+    auto r = gradCheck(conv, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, Conv2d1x1WithBias)
+{
+    Rng rng(15);
+    Conv2dOpts o;
+    o.bias = true;
+    Conv2d conv(3, 5, 1, o, rng);
+    Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+    auto r = gradCheck(conv, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, BatchNormTrainMode)
+{
+    // Train-mode BN backward is the core of BN-Opt: batch statistics
+    // participate in the graph, so the gradient couples all samples.
+    Rng rng(16);
+    BatchNorm2d bn(3);
+    bn.setTraining(true);
+    // Non-trivial gamma/beta so their grads are exercised.
+    bn.gamma().value.data()[0] = 1.3f;
+    bn.beta().value.data()[1] = -0.4f;
+    Tensor x = Tensor::randn(Shape{4, 3, 3, 3}, rng);
+    auto r = gradCheck(bn, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, BatchNormEvalMode)
+{
+    Rng rng(17);
+    BatchNorm2d bn(3);
+    bn.setTraining(false);
+    // Non-default running stats.
+    bn.runningMean().data()[0] = 0.5f;
+    bn.runningVar().data()[1] = 2.0f;
+    Tensor x = Tensor::randn(Shape{2, 3, 3, 3}, rng);
+    auto r = gradCheck(bn, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, ReLUAndReLU6)
+{
+    Rng rng(18);
+    ReLU relu;
+    Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+    auto r = gradCheck(relu, x, rng, 1e-3, false);
+    EXPECT_LT(r.maxInputErr, kTol);
+
+    ReLU6 relu6;
+    // Scale up so some values cross the 6.0 knee.
+    Tensor x6 = Tensor::randn(Shape{2, 3, 4, 4}, rng, 4.0f);
+    auto r6 = gradCheck(relu6, x6, rng, 1e-3, false);
+    EXPECT_LT(r6.maxInputErr, kTol);
+}
+
+TEST(GradCheck, Linear)
+{
+    Rng rng(19);
+    Linear fc(6, 4, rng);
+    Tensor x = Tensor::randn(Shape{3, 6}, rng);
+    auto r = gradCheck(fc, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, Pooling)
+{
+    Rng rng(20);
+    AvgPool2d avg(2);
+    Tensor x = Tensor::randn(Shape{2, 2, 4, 4}, rng);
+    auto r = gradCheck(avg, x, rng, 1e-3, false);
+    EXPECT_LT(r.maxInputErr, kTol);
+
+    MaxPool2d mx(2);
+    Tensor xm = Tensor::randn(Shape{2, 2, 4, 4}, rng);
+    auto rm = gradCheck(mx, xm, rng, 1e-4, false);
+    EXPECT_LT(rm.maxInputErr, kTol);
+
+    GlobalAvgPool2d gap;
+    Tensor xg = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+    auto rg = gradCheck(gap, xg, rng, 1e-3, false);
+    EXPECT_LT(rg.maxInputErr, kTol);
+}
+
+TEST(GradCheck, PreActBlockIdentitySkip)
+{
+    Rng rng(21);
+    auto block = models::preActBlock(4, 4, 1, rng, "t");
+    block->setTraining(true);
+    Tensor x = Tensor::randn(Shape{2, 4, 4, 4}, rng);
+    auto r = gradCheck(*block, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, PreActBlockProjectionSkip)
+{
+    Rng rng(22);
+    auto block = models::preActBlock(3, 6, 2, rng, "t");
+    block->setTraining(true);
+    Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+    auto r = gradCheck(*block, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, ResNeXtBlock)
+{
+    Rng rng(23);
+    auto block = models::resNeXtBlock(4, 4, 2, 8, 1, rng, "t");
+    block->setTraining(true);
+    Tensor x = Tensor::randn(Shape{2, 4, 4, 4}, rng);
+    auto r = gradCheck(*block, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, InvertedResidualWithSkip)
+{
+    Rng rng(24);
+    auto block = models::invertedResidual(4, 4, 2, 1, rng, "t");
+    block->setTraining(true);
+    Tensor x = Tensor::randn(Shape{2, 4, 4, 4}, rng);
+    auto r = gradCheck(*block, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, InvertedResidualNoSkip)
+{
+    Rng rng(25);
+    auto block = models::invertedResidual(4, 6, 2, 2, rng, "t");
+    block->setTraining(true);
+    Tensor x = Tensor::randn(Shape{2, 4, 4, 4}, rng);
+    auto r = gradCheck(*block, x, rng);
+    EXPECT_LT(r.maxInputErr, kTol);
+    EXPECT_LT(r.maxParamErr, kTol);
+}
+
+TEST(GradCheck, FrozenParamsReceiveNoGradient)
+{
+    // The requiresGrad gate must suppress accumulation — BN-Opt
+    // depends on conv weights staying untouched.
+    Rng rng(26);
+    Conv2dOpts o;
+    o.pad = 1;
+    Conv2d conv(2, 2, 3, o, rng);
+    conv.weight().requiresGrad = false;
+    Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
+    Tensor y = conv.forward(x);
+    Tensor w = Tensor::ones(y.shape());
+    conv.backward(w);
+    EXPECT_EQ(conv.weight().grad.absMax(), 0.0f);
+}

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Functional layer tests: convolution against a naive reference,
+ * batch-norm semantics in train vs eval mode (the BN-Norm adaptation
+ * primitive), pooling arithmetic, module-tree utilities, and model
+ * state snapshot/restore.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "nn/activation.hh"
+#include "nn/batchnorm2d.hh"
+#include "nn/conv2d.hh"
+#include "nn/linear.hh"
+#include "nn/module.hh"
+#include "nn/pooling.hh"
+#include "tensor/ops.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::nn;
+
+namespace {
+
+/** Naive direct convolution for cross-checking the im2col path. */
+Tensor
+naiveConv(const Tensor &x, const Tensor &w, int64_t stride, int64_t pad,
+          int64_t groups)
+{
+    int64_t n = x.shape()[0], inC = x.shape()[1];
+    int64_t h = x.shape()[2], ww = x.shape()[3];
+    int64_t outC = w.shape()[0], cg = w.shape()[1], k = w.shape()[2];
+    int64_t oh = (h + 2 * pad - k) / stride + 1;
+    int64_t ow = (ww + 2 * pad - k) / stride + 1;
+    int64_t ocg = outC / groups;
+    Tensor out = Tensor::zeros(Shape{n, outC, oh, ow});
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t oc = 0; oc < outC; ++oc) {
+            int64_t g = oc / ocg;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    double s = 0.0;
+                    for (int64_t ci = 0; ci < cg; ++ci) {
+                        int64_t ic = g * cg + ci;
+                        for (int64_t ky = 0; ky < k; ++ky) {
+                            for (int64_t kx = 0; kx < k; ++kx) {
+                                int64_t iy = oy * stride - pad + ky;
+                                int64_t ix = ox * stride - pad + kx;
+                                if (iy < 0 || iy >= h || ix < 0 ||
+                                    ix >= ww) {
+                                    continue;
+                                }
+                                s += (double)x.at(i, ic, iy, ix) *
+                                     (double)w.at(oc, ci, ky, kx);
+                            }
+                        }
+                    }
+                    out.at(i, oc, oy, ox) = (float)s;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Conv2d, MatchesNaiveReference)
+{
+    Rng rng(31);
+    struct Case
+    {
+        int64_t inC, outC, k, stride, pad, groups, size;
+    };
+    const Case cases[] = {
+        {3, 8, 3, 1, 1, 1, 8},  {3, 8, 3, 2, 1, 1, 8},
+        {4, 6, 3, 1, 1, 2, 6},  {4, 4, 3, 1, 1, 4, 6},
+        {5, 7, 1, 1, 0, 1, 5},  {2, 4, 3, 2, 0, 1, 7},
+    };
+    for (const auto &c : cases) {
+        Conv2dOpts o;
+        o.stride = c.stride;
+        o.pad = c.pad;
+        o.groups = c.groups;
+        Conv2d conv(c.inC, c.outC, c.k, o, rng);
+        Tensor x = Tensor::randn(Shape{2, c.inC, c.size, c.size}, rng);
+        Tensor got = conv.forward(x);
+        Tensor want = naiveConv(x, conv.weight().value, c.stride,
+                                c.pad, c.groups);
+        EXPECT_LT(maxAbsDiff(got, want), 1e-4f)
+            << "inC=" << c.inC << " outC=" << c.outC
+            << " groups=" << c.groups << " stride=" << c.stride;
+    }
+}
+
+TEST(BatchNorm, TrainModeNormalizesWithBatchStats)
+{
+    Rng rng(32);
+    BatchNorm2d bn(4);
+    bn.setTraining(true);
+    Tensor x = Tensor::randn(Shape{8, 4, 6, 6}, rng, 3.0f);
+    // Shift one channel far from the running stats.
+    for (int64_t i = 0; i < 8; ++i)
+        for (int64_t y = 0; y < 6; ++y)
+            for (int64_t z = 0; z < 6; ++z)
+                x.at(i, 2, y, z) += 10.0f;
+
+    Tensor y = bn.forward(x);
+    // Per-channel output must be ~N(0,1) regardless of input shift.
+    for (int64_t c = 0; c < 4; ++c) {
+        double s = 0.0, s2 = 0.0;
+        int64_t m = 0;
+        for (int64_t i = 0; i < 8; ++i) {
+            for (int64_t yy = 0; yy < 6; ++yy) {
+                for (int64_t zz = 0; zz < 6; ++zz) {
+                    double v = y.at(i, c, yy, zz);
+                    s += v;
+                    s2 += v * v;
+                    ++m;
+                }
+            }
+        }
+        double mean = s / m, var = s2 / m - mean * mean;
+        EXPECT_NEAR(mean, 0.0, 1e-3);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats)
+{
+    Rng rng(33);
+    BatchNorm2d bn(2);
+    bn.runningMean().data()[0] = 1.0f;
+    bn.runningVar().data()[0] = 4.0f;
+    bn.setTraining(false);
+    Tensor x = Tensor::full(Shape{1, 2, 2, 2}, 3.0f);
+    Tensor y = bn.forward(x);
+    // Channel 0: (3-1)/sqrt(4+eps) ~= 1.0.
+    EXPECT_NEAR(y.at(0, 0, 0, 0), 1.0f, 1e-3);
+    // Channel 1: (3-0)/sqrt(1+eps) ~= 3.0.
+    EXPECT_NEAR(y.at(0, 1, 0, 0), 3.0f, 1e-3);
+}
+
+TEST(BatchNorm, TrainModeUpdatesRunningStats)
+{
+    Rng rng(34);
+    BatchNorm2d bn(1, /*momentum=*/0.5f);
+    bn.setTraining(true);
+    Tensor x = Tensor::full(Shape{4, 1, 4, 4}, 2.0f);
+    // Add variance so the batch var is non-zero.
+    float *p = x.data();
+    for (int64_t i = 0; i < x.numel(); ++i)
+        p[i] += (i % 2 == 0) ? 0.5f : -0.5f;
+    bn.forward(x);
+    // run_mean = 0.5*0 + 0.5*2 = 1; batch mean is exactly 2.
+    EXPECT_NEAR(bn.runningMean().data()[0], 1.0f, 1e-4);
+    EXPECT_GT(bn.runningVar().data()[0], 0.5f);
+    EXPECT_LT(bn.runningVar().data()[0], 1.0f);
+}
+
+TEST(BatchNorm, EvalModeDoesNotTouchRunningStats)
+{
+    BatchNorm2d bn(2);
+    bn.setTraining(false);
+    Tensor x = Tensor::full(Shape{2, 2, 2, 2}, 5.0f);
+    bn.forward(x);
+    EXPECT_EQ(bn.runningMean().data()[0], 0.0f);
+    EXPECT_EQ(bn.runningVar().data()[0], 1.0f);
+}
+
+TEST(Pooling, AvgAndMaxArithmetic)
+{
+    Tensor x = Tensor::zeros(Shape{1, 1, 4, 4});
+    for (int64_t y = 0; y < 4; ++y)
+        for (int64_t z = 0; z < 4; ++z)
+            x.at(0, 0, y, z) = (float)(y * 4 + z);
+
+    AvgPool2d avg(2);
+    Tensor a = avg.forward(x);
+    EXPECT_FLOAT_EQ(a.at(0, 0, 0, 0), (0 + 1 + 4 + 5) / 4.0f);
+    EXPECT_FLOAT_EQ(a.at(0, 0, 1, 1), (10 + 11 + 14 + 15) / 4.0f);
+
+    MaxPool2d mx(2);
+    Tensor m = mx.forward(x);
+    EXPECT_FLOAT_EQ(m.at(0, 0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 0, 1, 1), 15.0f);
+
+    GlobalAvgPool2d gap;
+    Tensor g = gap.forward(x);
+    EXPECT_FLOAT_EQ(g.at(0, 0, 0, 0), 7.5f);
+}
+
+TEST(Module, CollectParametersFindsAllAndBnAffineFlagged)
+{
+    Rng rng(35);
+    Sequential seq;
+    Conv2dOpts o;
+    o.pad = 1;
+    seq.add(std::make_unique<Conv2d>(3, 4, 3, o, rng));
+    seq.add(std::make_unique<BatchNorm2d>(4));
+    seq.add(std::make_unique<ReLU>());
+
+    auto params = collectParameters(seq);
+    ASSERT_EQ(params.size(), 3u); // conv w, gamma, beta
+    int bnAffine = 0;
+    for (auto *p : params) {
+        if (p->isBnAffine)
+            ++bnAffine;
+    }
+    EXPECT_EQ(bnAffine, 2);
+
+    auto bufs = collectBuffers(seq);
+    EXPECT_EQ(bufs.size(), 2u); // running mean/var
+}
+
+TEST(Module, ModelStateRoundTrips)
+{
+    Rng rng(36);
+    Sequential seq;
+    Conv2dOpts o;
+    o.pad = 1;
+    seq.add(std::make_unique<Conv2d>(2, 2, 3, o, rng));
+    seq.add(std::make_unique<BatchNorm2d>(2));
+    seq.setTraining(true);
+
+    Tensor x = Tensor::randn(Shape{4, 2, 4, 4}, rng);
+    Tensor yBefore = seq.forward(x).clone();
+    ModelState snap = ModelState::capture(seq);
+
+    // Perturb parameters and running stats.
+    for (auto *p : collectParameters(seq))
+        p->value.fill(0.123f);
+    seq.forward(x); // also moves BN running stats
+
+    snap.restore(seq);
+    Tensor yAfter = seq.forward(x);
+    EXPECT_LT(maxAbsDiff(yBefore, yAfter), 1e-5f);
+}
+
+TEST(Module, SequentialBackwardChainsInReverse)
+{
+    Rng rng(37);
+    Sequential seq;
+    seq.add(std::make_unique<ReLU>());
+    seq.add(std::make_unique<ReLU>());
+    Tensor x = Tensor::randn(Shape{1, 2, 2, 2}, rng);
+    Tensor y = seq.forward(x);
+    Tensor g = seq.backward(Tensor::ones(y.shape()));
+    // Gradient passes where x > 0, zero elsewhere.
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        EXPECT_FLOAT_EQ(g.at(i), x.at(i) > 0.0f ? 1.0f : 0.0f);
+    }
+}
+
+TEST(Linear, ForwardMatchesManualComputation)
+{
+    Rng rng(38);
+    Linear fc(3, 2, rng);
+    fc.weight().value = Tensor::fromVector(
+        Shape{2, 3}, {1.0f, 2.0f, 3.0f, -1.0f, 0.5f, 0.0f});
+    fc.bias().value = Tensor::fromVector(Shape{2}, {0.1f, -0.2f});
+    Tensor x = Tensor::fromVector(Shape{1, 3}, {1.0f, 1.0f, 2.0f});
+    Tensor y = fc.forward(x);
+    EXPECT_NEAR(y.at(0), 1 + 2 + 6 + 0.1f, 1e-5);
+    EXPECT_NEAR(y.at(1), -1 + 0.5f + 0 - 0.2f, 1e-5);
+}

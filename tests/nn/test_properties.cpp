@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Property-based layer tests (parameterized sweeps): algebraic
+ * identities that must hold for any configuration — convolution
+ * linearity, shape agreement between trace() and forward(), BN
+ * normalization invariants, and activation idempotence.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "nn/activation.hh"
+#include "nn/batchnorm2d.hh"
+#include "nn/conv2d.hh"
+#include "nn/pooling.hh"
+#include "tensor/ops.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::nn;
+
+namespace {
+
+struct ConvCase
+{
+    int64_t inC, outC, k, stride, pad, groups, size;
+};
+
+std::string
+caseName(const testing::TestParamInfo<ConvCase> &info)
+{
+    const ConvCase &c = info.param;
+    return "in" + std::to_string(c.inC) + "out" +
+           std::to_string(c.outC) + "k" + std::to_string(c.k) + "s" +
+           std::to_string(c.stride) + "p" + std::to_string(c.pad) +
+           "g" + std::to_string(c.groups);
+}
+
+} // namespace
+
+class ConvProperty : public testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvProperty, ForwardShapeMatchesTrace)
+{
+    const ConvCase c = GetParam();
+    Rng rng(201);
+    Conv2dOpts o;
+    o.stride = c.stride;
+    o.pad = c.pad;
+    o.groups = c.groups;
+    Conv2d conv(c.inC, c.outC, c.k, o, rng);
+
+    Shape traced = conv.trace(Shape{c.inC, c.size, c.size}, nullptr);
+    Tensor x = Tensor::randn(Shape{2, c.inC, c.size, c.size}, rng);
+    Tensor y = conv.forward(x);
+    ASSERT_EQ(y.shape().rank(), 4);
+    EXPECT_EQ(y.shape()[1], traced[0]);
+    EXPECT_EQ(y.shape()[2], traced[1]);
+    EXPECT_EQ(y.shape()[3], traced[2]);
+}
+
+TEST_P(ConvProperty, Homogeneity)
+{
+    // conv(a*x) == a*conv(x) for bias-free convolution.
+    const ConvCase c = GetParam();
+    Rng rng(202);
+    Conv2dOpts o;
+    o.stride = c.stride;
+    o.pad = c.pad;
+    o.groups = c.groups;
+    Conv2d conv(c.inC, c.outC, c.k, o, rng);
+    Tensor x = Tensor::randn(Shape{1, c.inC, c.size, c.size}, rng);
+    Tensor y1 = scale(conv.forward(x), 2.5f);
+    Tensor y2 = conv.forward(scale(x, 2.5f));
+    EXPECT_LT(maxAbsDiff(y1, y2), 1e-3f);
+}
+
+TEST_P(ConvProperty, Additivity)
+{
+    // conv(x + y) == conv(x) + conv(y).
+    const ConvCase c = GetParam();
+    Rng rng(203);
+    Conv2dOpts o;
+    o.stride = c.stride;
+    o.pad = c.pad;
+    o.groups = c.groups;
+    Conv2d conv(c.inC, c.outC, c.k, o, rng);
+    Tensor x = Tensor::randn(Shape{1, c.inC, c.size, c.size}, rng);
+    Tensor y = Tensor::randn(Shape{1, c.inC, c.size, c.size}, rng);
+    Tensor lhs = conv.forward(add(x, y));
+    Tensor rhs = add(conv.forward(x), conv.forward(y));
+    EXPECT_LT(maxAbsDiff(lhs, rhs), 1e-3f);
+}
+
+TEST_P(ConvProperty, BatchIndependence)
+{
+    // Each image convolves independently: forward on a 2-batch equals
+    // the two single-image forwards.
+    const ConvCase c = GetParam();
+    Rng rng(204);
+    Conv2dOpts o;
+    o.stride = c.stride;
+    o.pad = c.pad;
+    o.groups = c.groups;
+    Conv2d conv(c.inC, c.outC, c.k, o, rng);
+    Tensor x = Tensor::randn(Shape{2, c.inC, c.size, c.size}, rng);
+    Tensor y = conv.forward(x);
+    int64_t imgIn = c.inC * c.size * c.size;
+    for (int64_t i = 0; i < 2; ++i) {
+        Tensor xi(Shape{1, c.inC, c.size, c.size});
+        std::copy(x.data() + i * imgIn, x.data() + (i + 1) * imgIn,
+                  xi.data());
+        Tensor yi = conv.forward(xi);
+        int64_t imgOut = yi.numel();
+        for (int64_t j = 0; j < imgOut; ++j) {
+            ASSERT_NEAR(y.data()[i * imgOut + j], yi.data()[j], 1e-4f)
+                << "image " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvProperty,
+    testing::Values(ConvCase{3, 8, 3, 1, 1, 1, 8},
+                    ConvCase{8, 8, 3, 2, 1, 1, 8},
+                    ConvCase{4, 8, 3, 1, 1, 2, 6},
+                    ConvCase{6, 6, 3, 1, 1, 6, 6},
+                    ConvCase{5, 10, 1, 1, 0, 1, 5},
+                    ConvCase{4, 4, 5, 1, 2, 1, 9},
+                    ConvCase{2, 6, 3, 3, 0, 1, 9}),
+    caseName);
+
+class BatchNormProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatchNormProperty, TrainForwardAlwaysNormalizes)
+{
+    // For any channel count, train-mode output statistics are (0, 1)
+    // per channel when gamma=1, beta=0 — regardless of input scale.
+    const int channels = GetParam();
+    Rng rng(205);
+    BatchNorm2d bn(channels);
+    bn.setTraining(true);
+    Tensor x =
+        Tensor::randn(Shape{6, channels, 4, 4}, rng, 7.0f);
+    // Add a per-channel offset.
+    for (int64_t c = 0; c < channels; ++c) {
+        for (int64_t i = 0; i < 6; ++i)
+            for (int64_t h = 0; h < 4; ++h)
+                for (int64_t w = 0; w < 4; ++w)
+                    x.at(i, c, h, w) += 3.0f * (float)c;
+    }
+    Tensor y = bn.forward(x);
+    for (int64_t c = 0; c < channels; ++c) {
+        double s = 0, s2 = 0;
+        for (int64_t i = 0; i < 6; ++i) {
+            for (int64_t h = 0; h < 4; ++h) {
+                for (int64_t w = 0; w < 4; ++w) {
+                    double v = y.at(i, c, h, w);
+                    s += v;
+                    s2 += v * v;
+                }
+            }
+        }
+        double m = s / 96.0, var = s2 / 96.0 - m * m;
+        EXPECT_NEAR(m, 0.0, 1e-3) << "channel " << c;
+        EXPECT_NEAR(var, 1.0, 2e-2) << "channel " << c;
+    }
+}
+
+TEST_P(BatchNormProperty, EvalForwardIsDeterministicAndStateless)
+{
+    const int channels = GetParam();
+    Rng rng(206);
+    BatchNorm2d bn(channels);
+    bn.setTraining(false);
+    Tensor x = Tensor::randn(Shape{2, channels, 3, 3}, rng);
+    Tensor y1 = bn.forward(x).clone();
+    Tensor y2 = bn.forward(x);
+    EXPECT_LT(maxAbsDiff(y1, y2), 0.0f + 1e-9f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, BatchNormProperty,
+                         testing::Values(1, 3, 16, 33));
+
+TEST(ActivationProperty, ReLUIsIdempotent)
+{
+    Rng rng(207);
+    ReLU relu;
+    Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+    Tensor once = relu.forward(x);
+    Tensor twice = relu.forward(once);
+    EXPECT_LT(maxAbsDiff(once, twice), 0.0f + 1e-9f);
+}
+
+TEST(ActivationProperty, ReLU6IsBoundedAndIdempotent)
+{
+    Rng rng(208);
+    ReLU6 relu6;
+    Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng, 5.0f);
+    Tensor once = relu6.forward(x);
+    EXPECT_GE(0.0f + 1e-9f, -once.data()[0] * 0.0f); // compile guard
+    for (int64_t i = 0; i < once.numel(); ++i) {
+        ASSERT_GE(once.at(i), 0.0f);
+        ASSERT_LE(once.at(i), 6.0f);
+    }
+    Tensor twice = relu6.forward(once);
+    EXPECT_LT(maxAbsDiff(once, twice), 0.0f + 1e-9f);
+}
+
+TEST(PoolProperty, AvgPoolPreservesMean)
+{
+    // Global mean is invariant under non-overlapping average pooling.
+    Rng rng(209);
+    AvgPool2d pool(2);
+    Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+    Tensor y = pool.forward(x);
+    EXPECT_NEAR(x.mean(), y.mean(), 1e-5);
+}
+
+TEST(PoolProperty, MaxPoolDominatesAvgPool)
+{
+    Rng rng(210);
+    AvgPool2d avg(2);
+    MaxPool2d mx(2);
+    Tensor x = Tensor::randn(Shape{1, 2, 6, 6}, rng);
+    Tensor a = avg.forward(x);
+    Tensor m = mx.forward(x);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_GE(m.at(i), a.at(i));
+}

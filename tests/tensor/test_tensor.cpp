@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tensor-library tests: shape machinery, storage semantics, GEMM
+ * against a naive reference (all transpose combinations), im2col /
+ * col2im adjointness, and elementwise/reduction ops.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.hh"
+#include "tensor/im2col.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+using namespace edgeadapt;
+
+TEST(Shape, BasicProperties)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s.numel(), 24);
+    EXPECT_EQ(s[0], 2);
+    EXPECT_EQ(s[-1], 4);
+    EXPECT_EQ(s.str(), "[2, 3, 4]");
+    EXPECT_TRUE(s == Shape({2, 3, 4}));
+    EXPECT_TRUE(s != Shape({2, 3, 5}));
+    EXPECT_EQ(Shape{}.numel(), 0);
+}
+
+TEST(Tensor, StorageAliasingAndClone)
+{
+    Tensor a = Tensor::full(Shape{2, 2}, 1.0f);
+    Tensor alias = a; // shares storage
+    alias.data()[0] = 9.0f;
+    EXPECT_FLOAT_EQ(a.at(0), 9.0f);
+
+    Tensor deep = a.clone();
+    deep.data()[0] = 5.0f;
+    EXPECT_FLOAT_EQ(a.at(0), 9.0f);
+}
+
+TEST(Tensor, ReshapeSharesStorageAndChecksNumel)
+{
+    Tensor a = Tensor::zeros(Shape{2, 6});
+    Tensor b = a.reshape(Shape{3, 4});
+    b.data()[0] = 7.0f;
+    EXPECT_FLOAT_EQ(a.at(0), 7.0f);
+    EXPECT_EQ(b.shape(), Shape({3, 4}));
+}
+
+TEST(Tensor, FillSumMeanAbsMax)
+{
+    Tensor a = Tensor::full(Shape{4}, 2.0f);
+    a.data()[2] = -5.0f;
+    EXPECT_DOUBLE_EQ(a.sum(), 1.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.25);
+    EXPECT_FLOAT_EQ(a.absMax(), 5.0f);
+}
+
+namespace {
+
+void
+naiveGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+          float alpha, const float *a, const float *b, float beta,
+          float *c)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            for (int64_t kk = 0; kk < k; ++kk) {
+                float av = ta ? a[kk * m + i] : a[i * k + kk];
+                float bv = tb ? b[j * k + kk] : b[kk * n + j];
+                s += (double)av * bv;
+            }
+            c[i * n + j] = alpha * (float)s + beta * c[i * n + j];
+        }
+    }
+}
+
+} // namespace
+
+TEST(Gemm, AllTransposeCombinationsMatchNaive)
+{
+    Rng rng(41);
+    const int64_t m = 9, n = 11, k = 7;
+    for (bool ta : {false, true}) {
+        for (bool tb : {false, true}) {
+            Tensor a = Tensor::randn(Shape{m * k}, rng);
+            Tensor b = Tensor::randn(Shape{k * n}, rng);
+            Tensor c0 = Tensor::randn(Shape{m * n}, rng);
+            Tensor c1 = c0.clone();
+            gemm(ta, tb, m, n, k, 1.5f, a.data(), b.data(), 0.5f,
+                 c0.data());
+            naiveGemm(ta, tb, m, n, k, 1.5f, a.data(), b.data(), 0.5f,
+                      c1.data());
+            EXPECT_LT(maxAbsDiff(c0, c1), 1e-3f)
+                << "ta=" << ta << " tb=" << tb;
+        }
+    }
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage)
+{
+    Tensor a = Tensor::ones(Shape{4});  // 2x2
+    Tensor b = Tensor::ones(Shape{4});
+    Tensor c = Tensor::full(Shape{4}, 1e30f);
+    gemm(false, false, 2, 2, 2, 1.0f, a.data(), b.data(), 0.0f,
+         c.data());
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(c.at(i), 2.0f);
+}
+
+TEST(Im2Col, RoundTripAdjointProperty)
+{
+    // col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+    Rng rng(42);
+    const int64_t c = 2, h = 5, w = 5, k = 3, stride = 2, pad = 1;
+    const int64_t oh = convOutDim(h, k, stride, pad);
+    const int64_t ow = convOutDim(w, k, stride, pad);
+    const int64_t rows = c * k * k, cols = oh * ow;
+
+    Tensor x = Tensor::randn(Shape{c, h, w}, rng);
+    Tensor y = Tensor::randn(Shape{rows, cols}, rng);
+
+    Tensor xc(Shape{rows, cols});
+    im2col(x.data(), c, h, w, k, k, stride, pad, xc.data());
+    double lhs = 0.0;
+    for (int64_t i = 0; i < xc.numel(); ++i)
+        lhs += (double)xc.at(i) * y.at(i);
+
+    Tensor xg = Tensor::zeros(Shape{c, h, w});
+    col2im(y.data(), c, h, w, k, k, stride, pad, xg.data());
+    double rhs = 0.0;
+    for (int64_t i = 0; i < x.numel(); ++i)
+        rhs += (double)x.at(i) * xg.at(i);
+
+    EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Im2Col, OutDimArithmetic)
+{
+    EXPECT_EQ(convOutDim(32, 3, 1, 1), 32);
+    EXPECT_EQ(convOutDim(32, 3, 2, 1), 16);
+    EXPECT_EQ(convOutDim(8, 1, 1, 0), 8);
+    EXPECT_EQ(convOutDim(7, 3, 2, 0), 3);
+}
+
+TEST(Ops, ElementwiseAndScalar)
+{
+    Tensor a = Tensor::fromVector(Shape{3}, {1, 2, 3});
+    Tensor b = Tensor::fromVector(Shape{3}, {4, 5, 6});
+    EXPECT_FLOAT_EQ(add(a, b).at(1), 7.0f);
+    EXPECT_FLOAT_EQ(sub(b, a).at(2), 3.0f);
+    EXPECT_FLOAT_EQ(mul(a, b).at(0), 4.0f);
+    EXPECT_FLOAT_EQ(scale(a, 2.0f).at(2), 6.0f);
+
+    Tensor c = a.clone();
+    addInPlace(c, b);
+    EXPECT_FLOAT_EQ(c.at(0), 5.0f);
+    axpyInPlace(c, -1.0f, b);
+    EXPECT_FLOAT_EQ(c.at(0), 1.0f);
+    scaleInPlace(c, 3.0f);
+    EXPECT_FLOAT_EQ(c.at(2), 9.0f);
+    clampInPlace(c, 0.0f, 5.0f);
+    EXPECT_FLOAT_EQ(c.at(2), 5.0f);
+}
+
+TEST(Ops, SoftmaxRowsIsNormalizedAndStable)
+{
+    // Include a huge logit to verify numerical stability.
+    Tensor logits = Tensor::fromVector(Shape{2, 3},
+                                       {1.0f, 2.0f, 3.0f,
+                                        1000.0f, 0.0f, -1000.0f});
+    Tensor p = softmaxRows(logits);
+    for (int64_t i = 0; i < 2; ++i) {
+        double s = 0.0;
+        for (int64_t j = 0; j < 3; ++j) {
+            double v = p.at(i * 3 + j);
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+            s += v;
+        }
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+    EXPECT_NEAR(p.at(3), 1.0, 1e-5); // the 1000 logit dominates
+}
+
+TEST(Ops, LogSoftmaxAgreesWithSoftmax)
+{
+    Rng rng(43);
+    Tensor logits = Tensor::randn(Shape{4, 6}, rng, 3.0f);
+    Tensor p = softmaxRows(logits);
+    Tensor lp = logSoftmaxRows(logits);
+    for (int64_t i = 0; i < logits.numel(); ++i)
+        EXPECT_NEAR(std::log((double)p.at(i)), lp.at(i), 1e-4);
+}
+
+TEST(Ops, ArgmaxRows)
+{
+    Tensor logits = Tensor::fromVector(Shape{2, 3},
+                                       {0.1f, 0.9f, 0.2f,
+                                        5.0f, -1.0f, 4.9f});
+    auto am = argmaxRows(logits);
+    ASSERT_EQ(am.size(), 2u);
+    EXPECT_EQ(am[0], 1);
+    EXPECT_EQ(am[1], 0);
+}

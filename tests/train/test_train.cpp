@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Training-substrate tests: loss values and gradients (including a
+ * finite-difference check of the entropy loss BN-Opt minimizes),
+ * optimizer update rules, PGD attack behaviour, and an end-to-end
+ * sanity check that the trainer actually learns the synthetic task.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "models/registry.hh"
+#include "tensor/ops.hh"
+#include "train/adversarial.hh"
+#include "train/losses.hh"
+#include "train/optimizer.hh"
+#include "train/trainer.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::train;
+
+TEST(Losses, CrossEntropyOfPerfectPredictionIsSmall)
+{
+    Tensor logits = Tensor::fromVector(Shape{2, 3},
+                                       {10.0f, 0.0f, 0.0f,
+                                        0.0f, 0.0f, 10.0f});
+    auto r = crossEntropy(logits, {0, 2});
+    EXPECT_LT(r.value, 1e-3);
+    EXPECT_LT(r.gradLogits.absMax(), 0.1f);
+}
+
+TEST(Losses, CrossEntropyUniformIsLogC)
+{
+    Tensor logits = Tensor::zeros(Shape{4, 10});
+    auto r = crossEntropy(logits, {0, 1, 2, 3});
+    EXPECT_NEAR(r.value, std::log(10.0), 1e-5);
+}
+
+TEST(Losses, CrossEntropyGradientMatchesFiniteDifference)
+{
+    Rng rng(51);
+    Tensor logits = Tensor::randn(Shape{3, 5}, rng);
+    std::vector<int> labels{1, 4, 0};
+    auto r = crossEntropy(logits, labels);
+    const double eps = 1e-3;
+    for (int64_t i = 0; i < logits.numel(); ++i) {
+        Tensor lp = logits.clone();
+        lp.data()[i] += (float)eps;
+        Tensor lm = logits.clone();
+        lm.data()[i] -= (float)eps;
+        double fd = (crossEntropy(lp, labels).value -
+                     crossEntropy(lm, labels).value) /
+                    (2 * eps);
+        EXPECT_NEAR(fd, r.gradLogits.at(i), 2e-3);
+    }
+}
+
+TEST(Losses, EntropyExtremes)
+{
+    // Uniform prediction: H = log C. Confident prediction: H ~= 0.
+    Tensor uniform = Tensor::zeros(Shape{1, 10});
+    EXPECT_NEAR(entropy(uniform).value, std::log(10.0), 1e-5);
+
+    Tensor confident = Tensor::zeros(Shape{1, 10});
+    confident.data()[3] = 30.0f;
+    EXPECT_LT(entropy(confident).value, 1e-4);
+}
+
+TEST(Losses, EntropyGradientMatchesFiniteDifference)
+{
+    // This gradient drives BN-Opt's test-time optimization step.
+    Rng rng(52);
+    Tensor logits = Tensor::randn(Shape{4, 6}, rng);
+    auto r = entropy(logits);
+    const double eps = 1e-3;
+    for (int64_t i = 0; i < logits.numel(); ++i) {
+        Tensor lp = logits.clone();
+        lp.data()[i] += (float)eps;
+        Tensor lm = logits.clone();
+        lm.data()[i] -= (float)eps;
+        double fd = (entropy(lp).value - entropy(lm).value) / (2 * eps);
+        EXPECT_NEAR(fd, r.gradLogits.at(i), 2e-3);
+    }
+}
+
+TEST(Losses, AccuracyCountsArgmaxMatches)
+{
+    Tensor logits = Tensor::fromVector(Shape{3, 2},
+                                       {1.0f, 0.0f,
+                                        0.0f, 1.0f,
+                                        1.0f, 0.0f});
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 1}), 2.0 / 3.0);
+}
+
+namespace {
+
+nn::Parameter
+makeParam(std::vector<float> v)
+{
+    nn::Parameter p;
+    p.value = Tensor::fromVector(Shape{(int64_t)v.size()}, v);
+    p.grad = Tensor::zeros(p.value.shape());
+    return p;
+}
+
+} // namespace
+
+TEST(Optimizer, SgdPlainStep)
+{
+    nn::Parameter p = makeParam({1.0f, 2.0f});
+    p.grad.data()[0] = 0.5f;
+    p.grad.data()[1] = -1.0f;
+    Sgd sgd({&p}, /*lr=*/0.1f, /*momentum=*/0.0f);
+    sgd.step();
+    EXPECT_NEAR(p.value.at(0), 0.95f, 1e-6);
+    EXPECT_NEAR(p.value.at(1), 2.1f, 1e-6);
+}
+
+TEST(Optimizer, SgdMomentumAccumulates)
+{
+    nn::Parameter p = makeParam({0.0f});
+    Sgd sgd({&p}, 0.1f, 0.9f);
+    p.grad.data()[0] = 1.0f;
+    sgd.step(); // v=1, w=-0.1
+    sgd.step(); // v=1.9, w=-0.29
+    EXPECT_NEAR(p.value.at(0), -0.29f, 1e-6);
+}
+
+TEST(Optimizer, SgdRespectsRequiresGrad)
+{
+    nn::Parameter p = makeParam({1.0f});
+    p.requiresGrad = false;
+    p.grad.data()[0] = 100.0f;
+    Sgd sgd({&p}, 0.1f);
+    sgd.step();
+    EXPECT_FLOAT_EQ(p.value.at(0), 1.0f);
+}
+
+TEST(Optimizer, AdamFirstStepIsLrSized)
+{
+    // With bias correction, Adam's first update is ~lr * sign(grad).
+    nn::Parameter p = makeParam({0.0f, 0.0f});
+    p.grad.data()[0] = 0.001f;
+    p.grad.data()[1] = -5.0f;
+    Adam adam({&p}, 0.01f);
+    adam.step();
+    EXPECT_NEAR(p.value.at(0), -0.01f, 1e-4);
+    EXPECT_NEAR(p.value.at(1), 0.01f, 1e-4);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic)
+{
+    // Minimize (w - 3)^2 — must get close within a few hundred steps.
+    nn::Parameter p = makeParam({0.0f});
+    Adam adam({&p}, 0.05f);
+    for (int i = 0; i < 400; ++i) {
+        p.grad.data()[0] = 2.0f * (p.value.at(0) - 3.0f);
+        adam.step();
+    }
+    EXPECT_NEAR(p.value.at(0), 3.0f, 0.05f);
+}
+
+TEST(Adversarial, PgdStaysInEpsBallAndRaisesLoss)
+{
+    Rng rng(53);
+    models::Model model = models::buildModel("wrn40_2-tiny", rng);
+    data::SynthCifar ds(16);
+    Rng drng(54);
+    data::Batch b = ds.batch(8, drng);
+
+    model.setTraining(false);
+    Tensor cleanLogits = model.forward(b.images);
+    double cleanLoss = crossEntropy(cleanLogits, b.labels).value;
+
+    PgdOpts opts;
+    opts.eps = 0.05f;
+    opts.alpha = 0.02f;
+    opts.steps = 3;
+    Tensor adv = pgdAttack(model, b.images, b.labels, opts);
+
+    EXPECT_LE(maxAbsDiff(adv, b.images), opts.eps + 1e-5f);
+    double advLoss =
+        crossEntropy(model.forward(adv), b.labels).value;
+    EXPECT_GE(advLoss, cleanLoss - 1e-6);
+
+    // Attack must not leave parameter gradients behind.
+    for (auto *p : nn::collectParameters(model.net()))
+        EXPECT_EQ(p->grad.absMax(), 0.0f);
+}
+
+TEST(Trainer, LearnsSyntheticTaskAboveChance)
+{
+    Rng rng(55);
+    models::Model model = models::buildModel("wrn40_2-tiny", rng);
+    data::SynthCifar ds(16);
+
+    TrainConfig cfg;
+    cfg.steps = 120;
+    cfg.batchSize = 32;
+    cfg.useAugmix = false; // fastest path for the unit test
+    cfg.seed = 56;
+    TrainReport rep = trainModel(model, ds, cfg);
+
+    // 10 classes -> chance is 10%. Even a short run must beat 30%.
+    EXPECT_GT(rep.cleanEvalAccuracy, 0.30);
+    EXPECT_EQ(rep.steps, 120);
+    EXPECT_FALSE(model.net().training());
+}
