@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accelerator.dir/ablation_accelerator.cpp.o"
+  "CMakeFiles/ablation_accelerator.dir/ablation_accelerator.cpp.o.d"
+  "ablation_accelerator"
+  "ablation_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blend.dir/ablation_blend.cpp.o"
+  "CMakeFiles/ablation_blend.dir/ablation_blend.cpp.o.d"
+  "ablation_blend"
+  "ablation_blend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_objective.dir/ablation_objective.cpp.o"
+  "CMakeFiles/ablation_objective.dir/ablation_objective.cpp.o.d"
+  "ablation_objective"
+  "ablation_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/bench_util.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/bench_util.dir/bench_util.cc.o.d"
+  "/root/repo/bench/figures_common.cc" "bench/CMakeFiles/bench_util.dir/figures_common.cc.o" "gcc" "bench/CMakeFiles/bench_util.dir/figures_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

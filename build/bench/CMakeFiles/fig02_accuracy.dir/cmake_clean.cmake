@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_accuracy.dir/fig02_accuracy.cpp.o"
+  "CMakeFiles/fig02_accuracy.dir/fig02_accuracy.cpp.o.d"
+  "fig02_accuracy"
+  "fig02_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ultra96_forward.dir/fig03_ultra96_forward.cpp.o"
+  "CMakeFiles/fig03_ultra96_forward.dir/fig03_ultra96_forward.cpp.o.d"
+  "fig03_ultra96_forward"
+  "fig03_ultra96_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ultra96_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_ultra96_forward.
+# This may be replaced when dependencies are built.

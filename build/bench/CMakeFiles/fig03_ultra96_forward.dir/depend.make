@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_ultra96_forward.
+# This may be replaced when dependencies are built.

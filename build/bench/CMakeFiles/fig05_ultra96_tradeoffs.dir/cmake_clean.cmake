@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ultra96_tradeoffs.dir/fig05_ultra96_tradeoffs.cpp.o"
+  "CMakeFiles/fig05_ultra96_tradeoffs.dir/fig05_ultra96_tradeoffs.cpp.o.d"
+  "fig05_ultra96_tradeoffs"
+  "fig05_ultra96_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ultra96_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_ultra96_tradeoffs.
+# This may be replaced when dependencies are built.

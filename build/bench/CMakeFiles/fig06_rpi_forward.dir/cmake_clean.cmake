@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_rpi_forward.dir/fig06_rpi_forward.cpp.o"
+  "CMakeFiles/fig06_rpi_forward.dir/fig06_rpi_forward.cpp.o.d"
+  "fig06_rpi_forward"
+  "fig06_rpi_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rpi_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_rpi_breakdown.dir/fig07_rpi_breakdown.cpp.o"
+  "CMakeFiles/fig07_rpi_breakdown.dir/fig07_rpi_breakdown.cpp.o.d"
+  "fig07_rpi_breakdown"
+  "fig07_rpi_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_rpi_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

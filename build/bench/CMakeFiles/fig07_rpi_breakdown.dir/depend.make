@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_rpi_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rpi_tradeoffs.dir/fig08_rpi_tradeoffs.cpp.o"
+  "CMakeFiles/fig08_rpi_tradeoffs.dir/fig08_rpi_tradeoffs.cpp.o.d"
+  "fig08_rpi_tradeoffs"
+  "fig08_rpi_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rpi_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

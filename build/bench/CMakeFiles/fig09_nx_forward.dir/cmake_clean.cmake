@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nx_forward.dir/fig09_nx_forward.cpp.o"
+  "CMakeFiles/fig09_nx_forward.dir/fig09_nx_forward.cpp.o.d"
+  "fig09_nx_forward"
+  "fig09_nx_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nx_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

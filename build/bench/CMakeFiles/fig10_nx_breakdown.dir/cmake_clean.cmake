@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nx_breakdown.dir/fig10_nx_breakdown.cpp.o"
+  "CMakeFiles/fig10_nx_breakdown.dir/fig10_nx_breakdown.cpp.o.d"
+  "fig10_nx_breakdown"
+  "fig10_nx_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nx_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

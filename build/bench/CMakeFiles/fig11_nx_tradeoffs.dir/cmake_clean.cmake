@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nx_tradeoffs.dir/fig11_nx_tradeoffs.cpp.o"
+  "CMakeFiles/fig11_nx_tradeoffs.dir/fig11_nx_tradeoffs.cpp.o.d"
+  "fig11_nx_tradeoffs"
+  "fig11_nx_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nx_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

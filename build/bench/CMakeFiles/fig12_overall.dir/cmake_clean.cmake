@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_overall.dir/fig12_overall.cpp.o"
+  "CMakeFiles/fig12_overall.dir/fig12_overall.cpp.o.d"
+  "fig12_overall"
+  "fig12_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_breakdown.dir/host_breakdown.cpp.o"
+  "CMakeFiles/host_breakdown.dir/host_breakdown.cpp.o.d"
+  "host_breakdown"
+  "host_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

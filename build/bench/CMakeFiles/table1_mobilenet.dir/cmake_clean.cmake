@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mobilenet.dir/table1_mobilenet.cpp.o"
+  "CMakeFiles/table1_mobilenet.dir/table1_mobilenet.cpp.o.d"
+  "table1_mobilenet"
+  "table1_mobilenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mobilenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_model_stats.dir/table_model_stats.cpp.o"
+  "CMakeFiles/table_model_stats.dir/table_model_stats.cpp.o.d"
+  "table_model_stats"
+  "table_model_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_model_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_field_adaptation.dir/drone_field_adaptation.cpp.o"
+  "CMakeFiles/drone_field_adaptation.dir/drone_field_adaptation.cpp.o.d"
+  "drone_field_adaptation"
+  "drone_field_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_field_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

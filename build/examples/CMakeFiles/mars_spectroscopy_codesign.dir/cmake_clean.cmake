@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_spectroscopy_codesign.dir/mars_spectroscopy_codesign.cpp.o"
+  "CMakeFiles/mars_spectroscopy_codesign.dir/mars_spectroscopy_codesign.cpp.o.d"
+  "mars_spectroscopy_codesign"
+  "mars_spectroscopy_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_spectroscopy_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mars_spectroscopy_codesign.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_stream_triage.dir/medical_stream_triage.cpp.o"
+  "CMakeFiles/medical_stream_triage.dir/medical_stream_triage.cpp.o.d"
+  "medical_stream_triage"
+  "medical_stream_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_stream_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

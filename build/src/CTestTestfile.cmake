@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("tensor")
+subdirs("nn")
+subdirs("models")
+subdirs("compress")
+subdirs("data")
+subdirs("train")
+subdirs("adapt")
+subdirs("device")
+subdirs("profile")
+subdirs("analysis")

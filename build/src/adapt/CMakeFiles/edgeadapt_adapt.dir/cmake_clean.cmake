@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_adapt.dir/bn_norm_blend.cc.o"
+  "CMakeFiles/edgeadapt_adapt.dir/bn_norm_blend.cc.o.d"
+  "CMakeFiles/edgeadapt_adapt.dir/method.cc.o"
+  "CMakeFiles/edgeadapt_adapt.dir/method.cc.o.d"
+  "CMakeFiles/edgeadapt_adapt.dir/session.cc.o"
+  "CMakeFiles/edgeadapt_adapt.dir/session.cc.o.d"
+  "libedgeadapt_adapt.a"
+  "libedgeadapt_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

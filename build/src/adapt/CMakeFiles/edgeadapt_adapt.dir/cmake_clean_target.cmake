@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgeadapt_adapt.a"
+)

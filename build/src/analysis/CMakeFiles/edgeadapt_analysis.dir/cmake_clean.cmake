@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_analysis.dir/error_table.cc.o"
+  "CMakeFiles/edgeadapt_analysis.dir/error_table.cc.o.d"
+  "CMakeFiles/edgeadapt_analysis.dir/objective.cc.o"
+  "CMakeFiles/edgeadapt_analysis.dir/objective.cc.o.d"
+  "libedgeadapt_analysis.a"
+  "libedgeadapt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_base.dir/format.cc.o"
+  "CMakeFiles/edgeadapt_base.dir/format.cc.o.d"
+  "CMakeFiles/edgeadapt_base.dir/logging.cc.o"
+  "CMakeFiles/edgeadapt_base.dir/logging.cc.o.d"
+  "CMakeFiles/edgeadapt_base.dir/rng.cc.o"
+  "CMakeFiles/edgeadapt_base.dir/rng.cc.o.d"
+  "CMakeFiles/edgeadapt_base.dir/stats.cc.o"
+  "CMakeFiles/edgeadapt_base.dir/stats.cc.o.d"
+  "libedgeadapt_base.a"
+  "libedgeadapt_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edgeadapt_base.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_compress.dir/prune.cc.o"
+  "CMakeFiles/edgeadapt_compress.dir/prune.cc.o.d"
+  "CMakeFiles/edgeadapt_compress.dir/quantize.cc.o"
+  "CMakeFiles/edgeadapt_compress.dir/quantize.cc.o.d"
+  "libedgeadapt_compress.a"
+  "libedgeadapt_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

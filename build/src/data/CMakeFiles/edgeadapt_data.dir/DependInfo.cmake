@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augmix.cc" "src/data/CMakeFiles/edgeadapt_data.dir/augmix.cc.o" "gcc" "src/data/CMakeFiles/edgeadapt_data.dir/augmix.cc.o.d"
+  "/root/repo/src/data/corruptions.cc" "src/data/CMakeFiles/edgeadapt_data.dir/corruptions.cc.o" "gcc" "src/data/CMakeFiles/edgeadapt_data.dir/corruptions.cc.o.d"
+  "/root/repo/src/data/image.cc" "src/data/CMakeFiles/edgeadapt_data.dir/image.cc.o" "gcc" "src/data/CMakeFiles/edgeadapt_data.dir/image.cc.o.d"
+  "/root/repo/src/data/stream.cc" "src/data/CMakeFiles/edgeadapt_data.dir/stream.cc.o" "gcc" "src/data/CMakeFiles/edgeadapt_data.dir/stream.cc.o.d"
+  "/root/repo/src/data/synth_cifar.cc" "src/data/CMakeFiles/edgeadapt_data.dir/synth_cifar.cc.o" "gcc" "src/data/CMakeFiles/edgeadapt_data.dir/synth_cifar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/edgeadapt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/edgeadapt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_data.dir/augmix.cc.o"
+  "CMakeFiles/edgeadapt_data.dir/augmix.cc.o.d"
+  "CMakeFiles/edgeadapt_data.dir/corruptions.cc.o"
+  "CMakeFiles/edgeadapt_data.dir/corruptions.cc.o.d"
+  "CMakeFiles/edgeadapt_data.dir/image.cc.o"
+  "CMakeFiles/edgeadapt_data.dir/image.cc.o.d"
+  "CMakeFiles/edgeadapt_data.dir/stream.cc.o"
+  "CMakeFiles/edgeadapt_data.dir/stream.cc.o.d"
+  "CMakeFiles/edgeadapt_data.dir/synth_cifar.cc.o"
+  "CMakeFiles/edgeadapt_data.dir/synth_cifar.cc.o.d"
+  "libedgeadapt_data.a"
+  "libedgeadapt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

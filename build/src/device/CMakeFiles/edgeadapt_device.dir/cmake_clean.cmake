@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_device.dir/cost_model.cc.o"
+  "CMakeFiles/edgeadapt_device.dir/cost_model.cc.o.d"
+  "CMakeFiles/edgeadapt_device.dir/spec.cc.o"
+  "CMakeFiles/edgeadapt_device.dir/spec.cc.o.d"
+  "libedgeadapt_device.a"
+  "libedgeadapt_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/blocks.cc" "src/models/CMakeFiles/edgeadapt_models.dir/blocks.cc.o" "gcc" "src/models/CMakeFiles/edgeadapt_models.dir/blocks.cc.o.d"
+  "/root/repo/src/models/mobilenet_v2.cc" "src/models/CMakeFiles/edgeadapt_models.dir/mobilenet_v2.cc.o" "gcc" "src/models/CMakeFiles/edgeadapt_models.dir/mobilenet_v2.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/models/CMakeFiles/edgeadapt_models.dir/model.cc.o" "gcc" "src/models/CMakeFiles/edgeadapt_models.dir/model.cc.o.d"
+  "/root/repo/src/models/preact_resnet.cc" "src/models/CMakeFiles/edgeadapt_models.dir/preact_resnet.cc.o" "gcc" "src/models/CMakeFiles/edgeadapt_models.dir/preact_resnet.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/models/CMakeFiles/edgeadapt_models.dir/registry.cc.o" "gcc" "src/models/CMakeFiles/edgeadapt_models.dir/registry.cc.o.d"
+  "/root/repo/src/models/resnext.cc" "src/models/CMakeFiles/edgeadapt_models.dir/resnext.cc.o" "gcc" "src/models/CMakeFiles/edgeadapt_models.dir/resnext.cc.o.d"
+  "/root/repo/src/models/serialize.cc" "src/models/CMakeFiles/edgeadapt_models.dir/serialize.cc.o" "gcc" "src/models/CMakeFiles/edgeadapt_models.dir/serialize.cc.o.d"
+  "/root/repo/src/models/wide_resnet.cc" "src/models/CMakeFiles/edgeadapt_models.dir/wide_resnet.cc.o" "gcc" "src/models/CMakeFiles/edgeadapt_models.dir/wide_resnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/edgeadapt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/edgeadapt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/edgeadapt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_models.dir/blocks.cc.o"
+  "CMakeFiles/edgeadapt_models.dir/blocks.cc.o.d"
+  "CMakeFiles/edgeadapt_models.dir/mobilenet_v2.cc.o"
+  "CMakeFiles/edgeadapt_models.dir/mobilenet_v2.cc.o.d"
+  "CMakeFiles/edgeadapt_models.dir/model.cc.o"
+  "CMakeFiles/edgeadapt_models.dir/model.cc.o.d"
+  "CMakeFiles/edgeadapt_models.dir/preact_resnet.cc.o"
+  "CMakeFiles/edgeadapt_models.dir/preact_resnet.cc.o.d"
+  "CMakeFiles/edgeadapt_models.dir/registry.cc.o"
+  "CMakeFiles/edgeadapt_models.dir/registry.cc.o.d"
+  "CMakeFiles/edgeadapt_models.dir/resnext.cc.o"
+  "CMakeFiles/edgeadapt_models.dir/resnext.cc.o.d"
+  "CMakeFiles/edgeadapt_models.dir/serialize.cc.o"
+  "CMakeFiles/edgeadapt_models.dir/serialize.cc.o.d"
+  "CMakeFiles/edgeadapt_models.dir/wide_resnet.cc.o"
+  "CMakeFiles/edgeadapt_models.dir/wide_resnet.cc.o.d"
+  "libedgeadapt_models.a"
+  "libedgeadapt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/edgeadapt_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/edgeadapt_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/batchnorm2d.cc" "src/nn/CMakeFiles/edgeadapt_nn.dir/batchnorm2d.cc.o" "gcc" "src/nn/CMakeFiles/edgeadapt_nn.dir/batchnorm2d.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/edgeadapt_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/edgeadapt_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/layer_desc.cc" "src/nn/CMakeFiles/edgeadapt_nn.dir/layer_desc.cc.o" "gcc" "src/nn/CMakeFiles/edgeadapt_nn.dir/layer_desc.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/edgeadapt_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/edgeadapt_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/edgeadapt_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/edgeadapt_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/edgeadapt_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/edgeadapt_nn.dir/pooling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/edgeadapt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/edgeadapt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

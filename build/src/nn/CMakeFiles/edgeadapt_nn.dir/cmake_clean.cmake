@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_nn.dir/activation.cc.o"
+  "CMakeFiles/edgeadapt_nn.dir/activation.cc.o.d"
+  "CMakeFiles/edgeadapt_nn.dir/batchnorm2d.cc.o"
+  "CMakeFiles/edgeadapt_nn.dir/batchnorm2d.cc.o.d"
+  "CMakeFiles/edgeadapt_nn.dir/conv2d.cc.o"
+  "CMakeFiles/edgeadapt_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/edgeadapt_nn.dir/layer_desc.cc.o"
+  "CMakeFiles/edgeadapt_nn.dir/layer_desc.cc.o.d"
+  "CMakeFiles/edgeadapt_nn.dir/linear.cc.o"
+  "CMakeFiles/edgeadapt_nn.dir/linear.cc.o.d"
+  "CMakeFiles/edgeadapt_nn.dir/module.cc.o"
+  "CMakeFiles/edgeadapt_nn.dir/module.cc.o.d"
+  "CMakeFiles/edgeadapt_nn.dir/pooling.cc.o"
+  "CMakeFiles/edgeadapt_nn.dir/pooling.cc.o.d"
+  "libedgeadapt_nn.a"
+  "libedgeadapt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_profile.dir/host_profiler.cc.o"
+  "CMakeFiles/edgeadapt_profile.dir/host_profiler.cc.o.d"
+  "libedgeadapt_profile.a"
+  "libedgeadapt_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/gemm.cc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/gemm.cc.o" "gcc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/gemm.cc.o.d"
+  "/root/repo/src/tensor/im2col.cc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/im2col.cc.o" "gcc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/im2col.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/ops.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/shape.cc.o" "gcc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/edgeadapt_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/edgeadapt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

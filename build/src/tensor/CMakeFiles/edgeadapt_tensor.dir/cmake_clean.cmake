@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_tensor.dir/gemm.cc.o"
+  "CMakeFiles/edgeadapt_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/edgeadapt_tensor.dir/im2col.cc.o"
+  "CMakeFiles/edgeadapt_tensor.dir/im2col.cc.o.d"
+  "CMakeFiles/edgeadapt_tensor.dir/ops.cc.o"
+  "CMakeFiles/edgeadapt_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/edgeadapt_tensor.dir/shape.cc.o"
+  "CMakeFiles/edgeadapt_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/edgeadapt_tensor.dir/tensor.cc.o"
+  "CMakeFiles/edgeadapt_tensor.dir/tensor.cc.o.d"
+  "libedgeadapt_tensor.a"
+  "libedgeadapt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

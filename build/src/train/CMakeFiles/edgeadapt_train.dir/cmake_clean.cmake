@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeadapt_train.dir/adversarial.cc.o"
+  "CMakeFiles/edgeadapt_train.dir/adversarial.cc.o.d"
+  "CMakeFiles/edgeadapt_train.dir/losses.cc.o"
+  "CMakeFiles/edgeadapt_train.dir/losses.cc.o.d"
+  "CMakeFiles/edgeadapt_train.dir/optimizer.cc.o"
+  "CMakeFiles/edgeadapt_train.dir/optimizer.cc.o.d"
+  "CMakeFiles/edgeadapt_train.dir/trainer.cc.o"
+  "CMakeFiles/edgeadapt_train.dir/trainer.cc.o.d"
+  "libedgeadapt_train.a"
+  "libedgeadapt_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeadapt_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adapt.dir/adapt/test_adapt.cpp.o"
+  "CMakeFiles/test_adapt.dir/adapt/test_adapt.cpp.o.d"
+  "test_adapt"
+  "test_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/device/test_calibration.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_calibration.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_checkpointing.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_checkpointing.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_device.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_device.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_device_properties.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_device_properties.cpp.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/test_model_forward.cpp" "tests/CMakeFiles/test_model_forward.dir/models/test_model_forward.cpp.o" "gcc" "tests/CMakeFiles/test_model_forward.dir/models/test_model_forward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/edgeadapt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/edgeadapt_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/edgeadapt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/edgeadapt_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/edgeadapt_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/edgeadapt_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/edgeadapt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/edgeadapt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/edgeadapt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/edgeadapt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/edgeadapt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_forward.dir/models/test_model_forward.cpp.o"
+  "CMakeFiles/test_model_forward.dir/models/test_model_forward.cpp.o.d"
+  "test_model_forward"
+  "test_model_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train.dir/train/test_train.cpp.o"
+  "CMakeFiles/test_train.dir/train/test_train.cpp.o.d"
+  "test_train"
+  "test_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+add_test(test_model_forward "/root/repo/build/tests/test_model_forward")
+set_tests_properties(test_model_forward PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;55;edgeadapt_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_profile "/root/repo/build/tests/test_profile")
+set_tests_properties(test_profile PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;82;edgeadapt_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_train "/root/repo/build/tests/test_train")
+set_tests_properties(test_train PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;86;edgeadapt_test_single;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_adapt "/root/repo/build/tests/test_adapt")
+set_tests_properties(test_adapt PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;90;edgeadapt_test_single;/root/repo/tests/CMakeLists.txt;0;")
