@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <list>
 
 #include "adapt/method.hh"
 #include "bench_util.hh"
@@ -82,8 +83,9 @@ main()
               "ratio", "paper J", "model J", "paper mem",
               "model mem"});
 
-    // Cache built models.
-    std::vector<std::pair<std::string, models::Model>> cache;
+    // Cache built models (std::list: returned references must stay
+    // valid across later insertions).
+    std::list<std::pair<std::string, models::Model>> cache;
     auto getModel = [&](const std::string &name) -> models::Model & {
         for (auto &kv : cache) {
             if (kv.first == name)

@@ -1,5 +1,7 @@
 #include "figures_common.hh"
 
+#include <list>
+
 #include "adapt/method.hh"
 #include "analysis/objective.hh"
 #include "bench_util.hh"
@@ -17,7 +19,9 @@ using adapt::Algorithm;
 models::Model &
 model(const std::string &name)
 {
-    static std::vector<std::pair<std::string, models::Model>> cache;
+    // std::list for stable element addresses: callers may hold the
+    // returned reference across later cache insertions.
+    static std::list<std::pair<std::string, models::Model>> cache;
     for (auto &kv : cache) {
         if (kv.first == name)
             return kv.second;

@@ -1,10 +1,34 @@
 #include "adapt/method.hh"
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "train/losses.hh"
 
 namespace edgeadapt {
 namespace adapt {
+
+namespace {
+
+/**
+ * Adaptation-batch contract shared by every method: a non-empty NCHW
+ * batch matching the model's per-image geometry. Violations here mean
+ * the stream plumbing is broken, not the user's configuration.
+ */
+void
+checkAdaptBatch(const models::Model &model, const Tensor &images)
+{
+    EA_CHECK(images.defined(), "adaptation batch is undefined");
+    EA_CHECK(images.shape().rank() == 4,
+             "adaptation batch must be NCHW, got ", images.shape().str());
+    EA_CHECK(images.shape()[0] >= 1, "adaptation batch is empty");
+    const Shape &in = model.info().inputShape;
+    EA_CHECK(images.shape()[1] == in[0] && images.shape()[2] == in[1] &&
+                 images.shape()[3] == in[2],
+             "adaptation batch geometry ", images.shape().str(),
+             " does not match model input ", in.str());
+}
+
+} // namespace
 
 const char *
 algorithmName(Algorithm a)
@@ -70,6 +94,7 @@ class NoAdapt : public AdaptationMethod
     Tensor
     processBatch(const Tensor &images) override
     {
+        checkAdaptBatch(model_, images);
         return model_.forward(images);
     }
 
@@ -96,7 +121,12 @@ class BnNorm : public AdaptationMethod
     Tensor
     processBatch(const Tensor &images) override
     {
-        return model_.forward(images);
+        checkAdaptBatch(model_, images);
+        Tensor logits = model_.forward(images);
+        // Degenerate batch statistics (e.g. a zero-variance channel)
+        // surface here as non-finite logits.
+        EA_CHECK_FINITE("BN-Norm logits", logits.data(), logits.numel());
+        return logits;
     }
 
     Algorithm algorithm() const override { return Algorithm::BnNorm; }
@@ -138,7 +168,9 @@ class BnOpt : public AdaptationMethod
     Tensor
     processBatch(const Tensor &images) override
     {
+        checkAdaptBatch(model_, images);
         Tensor logits = model_.forward(images);
+        EA_CHECK_FINITE("BN-Opt logits", logits.data(), logits.numel());
         train::LossResult loss = train::entropy(logits);
         adam_->zeroGrad();
         model_.backward(loss.gradLogits);

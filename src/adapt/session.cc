@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "tensor/ops.hh"
 
@@ -23,6 +24,9 @@ runStream(AdaptationMethod &method, data::CorruptionStream &stream)
     r.corruption = stream.config().corruption;
     while (stream.hasNext()) {
         data::Batch b = stream.next();
+        EA_CHECK(b.size() > 0, "corruption stream produced an empty batch");
+        EA_CHECK(b.images.defined() && b.images.shape()[0] == b.size(),
+                 "stream batch image/label count mismatch");
         auto t0 = std::chrono::steady_clock::now();
         Tensor logits = method.processBatch(b.images);
         auto t1 = std::chrono::steady_clock::now();
@@ -30,8 +34,9 @@ runStream(AdaptationMethod &method, data::CorruptionStream &stream)
             std::chrono::duration<double>(t1 - t0).count();
 
         auto pred = argmaxRows(logits);
-        panic_if(pred.size() != b.labels.size(),
-                 "prediction/label count mismatch");
+        EA_CHECK(pred.size() == b.labels.size(),
+                 "prediction/label count mismatch: ", pred.size(), " vs ",
+                 b.labels.size());
         for (size_t i = 0; i < pred.size(); ++i) {
             if (pred[i] == b.labels[i])
                 ++r.correct;
@@ -46,6 +51,12 @@ EvalResult
 evaluate(models::Model &model, Algorithm algo,
          const data::SynthCifar &dataset, const EvalConfig &cfg)
 {
+    fatal_if(cfg.batchSize < 1, "evaluate: batchSize must be >= 1, got ",
+             cfg.batchSize);
+    fatal_if(cfg.samplesPerCorruption < 1,
+             "evaluate: samplesPerCorruption must be >= 1");
+    fatal_if(cfg.severity < 1 || cfg.severity > 5,
+             "evaluate: severity must be in [1, 5], got ", cfg.severity);
     std::vector<data::Corruption> suite =
         cfg.corruptions.empty() ? data::allCorruptions()
                                 : cfg.corruptions;

@@ -1,0 +1,55 @@
+#include "base/check.hh"
+
+#include <cmath>
+
+namespace edgeadapt {
+namespace detail {
+
+void
+checkFail(const char *where, const char *cond, const std::string &msg)
+{
+    std::string full = "check failed: ";
+    full += cond;
+    if (!msg.empty()) {
+        full += ": ";
+        full += msg;
+    }
+    panicImpl(where, full);
+}
+
+void
+checkShapeFail(const char *where, const char *what,
+               const std::string &got, const std::string &want)
+{
+    panicImpl(where, concat("shape check failed: ", what, ": got ", got,
+                            ", want ", want));
+}
+
+void
+checkIndexFail(const char *where, const char *expr, int64_t index,
+               int64_t size)
+{
+    panicImpl(where, concat("index check failed: ", expr, " = ", index,
+                            " not in [0, ", size, ")"));
+}
+
+void
+checkFiniteFail(const char *where, const char *what, int64_t index,
+                float value)
+{
+    panicImpl(where, concat("finite check failed: ", what, "[", index,
+                            "] = ", value));
+}
+
+int64_t
+firstNonFinite(const float *data, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        if (!std::isfinite(data[i]))
+            return i;
+    }
+    return -1;
+}
+
+} // namespace detail
+} // namespace edgeadapt

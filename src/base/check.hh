@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Contract-check macros layered on the panic()/fatal() logging
+ * discipline. Use these to state invariants at module boundaries so
+ * that shape or memory bugs abort loudly instead of silently
+ * corrupting benchmark numbers.
+ *
+ * Rules of thumb:
+ *  - EA_CHECK: always compiled in. For cheap boundary contracts
+ *    (argument validation, shape agreement) whose cost is invisible
+ *    next to the work they guard.
+ *  - EA_DCHECK: compiled only when EDGEADAPT_ENABLE_DCHECKS is set
+ *    (the EDGEADAPT_DCHECKS CMake option, default ON). For checks on
+ *    per-element paths (Tensor::at) where a caller may reasonably
+ *    want a zero-cost build.
+ *  - EA_CHECK_SHAPE / EA_CHECK_INDEX / EA_CHECK_FINITE: specialized
+ *    forms with better diagnostics; same always-on semantics as
+ *    EA_CHECK (use EA_DCHECK_INDEX on per-element paths).
+ *
+ * All violations route through panicImpl(): a contract violation is a
+ * bug in edgeadapt or its caller, never a recoverable user error.
+ */
+
+#ifndef EDGEADAPT_BASE_CHECK_HH
+#define EDGEADAPT_BASE_CHECK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+
+/** True when EA_DCHECK is compiled in (EDGEADAPT_DCHECKS=ON). */
+#ifdef EDGEADAPT_ENABLE_DCHECKS
+inline constexpr bool kDchecksEnabled = true;
+#else
+inline constexpr bool kDchecksEnabled = false;
+#endif
+
+namespace detail {
+
+/** Report an EA_CHECK condition failure and abort. */
+[[noreturn]] void checkFail(const char *where, const char *cond,
+                            const std::string &msg);
+
+/** Report a shape-contract failure and abort (pre-rendered shapes). */
+[[noreturn]] void checkShapeFail(const char *where, const char *what,
+                                 const std::string &got,
+                                 const std::string &want);
+
+/** Report an index-bounds failure and abort. */
+[[noreturn]] void checkIndexFail(const char *where, const char *expr,
+                                 int64_t index, int64_t size);
+
+/** Report a non-finite-value failure and abort. */
+[[noreturn]] void checkFiniteFail(const char *where, const char *what,
+                                  int64_t index, float value);
+
+/** @return index of the first non-finite element, or -1. */
+int64_t firstNonFinite(const float *data, int64_t n);
+
+} // namespace detail
+} // namespace edgeadapt
+
+/**
+ * Abort unless @p cond holds. Extra streamable arguments become the
+ * diagnostic message. Always compiled in.
+ */
+#define EA_CHECK(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::edgeadapt::detail::checkFail( \
+                EDGEADAPT_WHERE, #cond, \
+                ::edgeadapt::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/**
+ * Abort unless @p got equals @p want (both Shapes, or anything with
+ * operator!= and a str() method). @p what names the tensor being
+ * checked (e.g. "Conv2d input").
+ */
+#define EA_CHECK_SHAPE(what, got, want) \
+    do { \
+        const auto &ea_got_ = (got); \
+        const auto &ea_want_ = (want); \
+        if (ea_got_ != ea_want_) { \
+            ::edgeadapt::detail::checkShapeFail(EDGEADAPT_WHERE, what, \
+                                                ea_got_.str(), \
+                                                ea_want_.str()); \
+        } \
+    } while (0)
+
+/** Abort unless 0 <= @p index < @p size. Always compiled in. */
+#define EA_CHECK_INDEX(index, size) \
+    do { \
+        int64_t ea_i_ = (index); \
+        int64_t ea_n_ = (size); \
+        if (ea_i_ < 0 || ea_i_ >= ea_n_) { \
+            ::edgeadapt::detail::checkIndexFail(EDGEADAPT_WHERE, #index, \
+                                                ea_i_, ea_n_); \
+        } \
+    } while (0)
+
+/**
+ * Abort if any of the @p n floats at @p data is NaN or infinite.
+ * O(n); intended for adaptation-loop boundaries (logits, BN
+ * statistics), not per-element inner loops.
+ */
+#define EA_CHECK_FINITE(what, data, n) \
+    do { \
+        const float *ea_p_ = (data); \
+        int64_t ea_n_ = (n); \
+        int64_t ea_bad_ = \
+            ::edgeadapt::detail::firstNonFinite(ea_p_, ea_n_); \
+        if (ea_bad_ >= 0) { \
+            ::edgeadapt::detail::checkFiniteFail(EDGEADAPT_WHERE, what, \
+                                                 ea_bad_, ea_p_[ea_bad_]); \
+        } \
+    } while (0)
+
+#ifdef EDGEADAPT_ENABLE_DCHECKS
+
+/** EA_CHECK that compiles away when EDGEADAPT_DCHECKS=OFF. */
+#define EA_DCHECK(cond, ...) EA_CHECK(cond, __VA_ARGS__)
+
+/** EA_CHECK_INDEX that compiles away when EDGEADAPT_DCHECKS=OFF. */
+#define EA_DCHECK_INDEX(index, size) EA_CHECK_INDEX(index, size)
+
+#else
+
+// Disabled variants still compile (but never evaluate) the condition,
+// so an EDGEADAPT_DCHECKS=OFF build cannot silently rot the checks or
+// orphan variables that only the checks read.
+#define EA_DCHECK(cond, ...) \
+    do { \
+        if (false) { \
+            (void)(cond); \
+        } \
+    } while (0)
+
+#define EA_DCHECK_INDEX(index, size) \
+    do { \
+        if (false) { \
+            (void)(index); \
+            (void)(size); \
+        } \
+    } while (0)
+
+#endif // EDGEADAPT_ENABLE_DCHECKS
+
+#endif // EDGEADAPT_BASE_CHECK_HH

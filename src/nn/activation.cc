@@ -1,5 +1,7 @@
 #include "nn/activation.hh"
 
+#include "base/check.hh"
+
 namespace edgeadapt {
 namespace nn {
 
@@ -34,6 +36,9 @@ ReLU::forward(const Tensor &x)
 Tensor
 ReLU::backward(const Tensor &grad_out)
 {
+    EA_CHECK(input_.defined(), "ReLU backward before forward");
+    EA_CHECK_SHAPE("ReLU backward grad", grad_out.shape(),
+                   input_.shape());
     Tensor grad_in(grad_out.shape());
     const float *p = input_.data();
     const float *g = grad_out.data();
@@ -70,6 +75,9 @@ ReLU6::forward(const Tensor &x)
 Tensor
 ReLU6::backward(const Tensor &grad_out)
 {
+    EA_CHECK(input_.defined(), "ReLU6 backward before forward");
+    EA_CHECK_SHAPE("ReLU6 backward grad", grad_out.shape(),
+                   input_.shape());
     Tensor grad_in(grad_out.shape());
     const float *p = input_.data();
     const float *g = grad_out.data();

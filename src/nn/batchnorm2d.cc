@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace edgeadapt {
@@ -11,6 +12,10 @@ namespace nn {
 BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
     : c_(channels), momentum_(momentum), eps_(eps)
 {
+    EA_CHECK(channels > 0, "BatchNorm2d channels must be positive");
+    EA_CHECK(momentum >= 0.0f && momentum <= 1.0f,
+             "BatchNorm2d momentum must be in [0, 1], got ", momentum);
+    EA_CHECK(eps > 0.0f, "BatchNorm2d eps must be positive");
     gamma_.name = "gamma";
     gamma_.value = Tensor::ones(Shape{c_});
     gamma_.grad = Tensor::zeros(Shape{c_});
@@ -33,7 +38,7 @@ BatchNorm2d::resetRunningStats()
 void
 BatchNorm2d::setBlendPrior(float n)
 {
-    panic_if(n < 0.0f, "blend prior must be non-negative");
+    EA_CHECK(n >= 0.0f, "blend prior must be non-negative");
     blendPrior_ = n;
 }
 
@@ -52,8 +57,10 @@ BatchNorm2d::buffers()
 Tensor
 BatchNorm2d::forward(const Tensor &x)
 {
-    panic_if(x.shape().rank() != 4, "BatchNorm2d wants NCHW input");
-    panic_if(x.shape()[1] != c_, "BatchNorm2d channel mismatch");
+    EA_CHECK(x.shape().rank() == 4, "BatchNorm2d wants NCHW input, got ",
+             x.shape().str());
+    EA_CHECK(x.shape()[1] == c_, "BatchNorm2d channel mismatch: got ",
+             x.shape()[1], ", want ", c_);
     const int64_t n = x.shape()[0];
     const int64_t h = x.shape()[2], w = x.shape()[3];
     const int64_t area = h * w;
@@ -136,9 +143,9 @@ BatchNorm2d::forward(const Tensor &x)
 Tensor
 BatchNorm2d::backward(const Tensor &grad_out)
 {
-    panic_if(!xhat_.defined(), "BatchNorm2d backward before forward");
-    panic_if(grad_out.shape() != xhat_.shape(),
-             "BatchNorm2d backward grad shape mismatch");
+    EA_CHECK(xhat_.defined(), "BatchNorm2d backward before forward");
+    EA_CHECK_SHAPE("BatchNorm2d backward grad", grad_out.shape(),
+                   xhat_.shape());
     const int64_t n = grad_out.shape()[0];
     const int64_t h = grad_out.shape()[2], w = grad_out.shape()[3];
     const int64_t area = h * w;
@@ -199,7 +206,7 @@ BatchNorm2d::backward(const Tensor &grad_out)
 Shape
 BatchNorm2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
 {
-    panic_if(in.rank() != 3 || in[0] != c_,
+    EA_CHECK(in.rank() == 3 && in[0] == c_,
              "BatchNorm2d trace shape mismatch: ", in.str());
     if (out) {
         LayerDesc d;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "tensor/gemm.hh"
 #include "tensor/im2col.hh"
@@ -16,7 +17,11 @@ Conv2d::Conv2d(int64_t in_c, int64_t out_c, int64_t kernel,
     : inC_(in_c), outC_(out_c), k_(kernel), stride_(opts.stride),
       pad_(opts.pad), groups_(opts.groups), hasBias_(opts.bias)
 {
-    panic_if(in_c % groups_ != 0 || out_c % groups_ != 0,
+    EA_CHECK(in_c > 0 && out_c > 0 && kernel > 0,
+             "conv dimensions must be positive");
+    EA_CHECK(stride_ > 0 && pad_ >= 0 && groups_ > 0,
+             "bad conv stride/pad/groups");
+    EA_CHECK(in_c % groups_ == 0 && out_c % groups_ == 0,
              "conv channels not divisible by groups");
     int64_t cg = inC_ / groups_;
     double fan_in = (double)(cg * k_ * k_);
@@ -50,8 +55,9 @@ Conv2d::params()
 Tensor
 Conv2d::forward(const Tensor &x)
 {
-    panic_if(x.shape().rank() != 4, "Conv2d wants NCHW input");
-    panic_if(x.shape()[1] != inC_, "Conv2d channel mismatch: got ",
+    EA_CHECK(x.shape().rank() == 4, "Conv2d wants NCHW input, got ",
+             x.shape().str());
+    EA_CHECK(x.shape()[1] == inC_, "Conv2d channel mismatch: got ",
              x.shape()[1], ", want ", inC_);
     const int64_t n = x.shape()[0];
     const int64_t h = x.shape()[2], w = x.shape()[3];
@@ -94,7 +100,7 @@ Conv2d::forward(const Tensor &x)
 Tensor
 Conv2d::backward(const Tensor &grad_out)
 {
-    panic_if(!input_.defined(), "Conv2d backward before forward");
+    EA_CHECK(input_.defined(), "Conv2d backward before forward");
     const Tensor &x = input_;
     const int64_t n = x.shape()[0];
     const int64_t h = x.shape()[2], w = x.shape()[3];
@@ -104,8 +110,8 @@ Conv2d::backward(const Tensor &grad_out)
     const int64_t colRows = inC_ * k_ * k_;
     const int64_t gRows = cg * k_ * k_;
 
-    panic_if(grad_out.shape() != Shape({n, outC_, outH_, outW_}),
-             "Conv2d backward grad shape mismatch");
+    EA_CHECK_SHAPE("Conv2d backward grad", grad_out.shape(),
+                   Shape({n, outC_, outH_, outW_}));
 
     Tensor grad_in = Tensor::zeros(x.shape());
     std::vector<float> cols((size_t)(colRows * outArea));
@@ -153,9 +159,9 @@ Conv2d::backward(const Tensor &grad_out)
 Shape
 Conv2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
 {
-    panic_if(in.rank() != 3, "Conv2d trace wants (C,H,W), got ",
+    EA_CHECK(in.rank() == 3, "Conv2d trace wants (C,H,W), got ",
              in.str());
-    panic_if(in[0] != inC_, "Conv2d trace channel mismatch");
+    EA_CHECK(in[0] == inC_, "Conv2d trace channel mismatch");
     int64_t oh = convOutDim(in[1], k_, stride_, pad_);
     int64_t ow = convOutDim(in[2], k_, stride_, pad_);
     if (out) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "tensor/gemm.hh"
 
@@ -30,8 +31,9 @@ Linear::params()
 Tensor
 Linear::forward(const Tensor &x)
 {
-    panic_if(x.shape().rank() != 2, "Linear wants (N, in) input");
-    panic_if(x.shape()[1] != in_, "Linear width mismatch: got ",
+    EA_CHECK(x.shape().rank() == 2, "Linear wants (N, in) input, got ",
+             x.shape().str());
+    EA_CHECK(x.shape()[1] == in_, "Linear width mismatch: got ",
              x.shape()[1], ", want ", in_);
     input_ = x;
     int64_t n = x.shape()[0];
@@ -51,10 +53,10 @@ Linear::forward(const Tensor &x)
 Tensor
 Linear::backward(const Tensor &grad_out)
 {
-    panic_if(!input_.defined(), "Linear backward before forward");
+    EA_CHECK(input_.defined(), "Linear backward before forward");
     int64_t n = input_.shape()[0];
-    panic_if(grad_out.shape() != Shape({n, out_}),
-             "Linear backward grad shape mismatch");
+    EA_CHECK_SHAPE("Linear backward grad", grad_out.shape(),
+                   Shape({n, out_}));
     if (weight_.requiresGrad) {
         // dW += dY^T (out x n) * X (n x in)
         gemm(true, false, out_, in_, n, 1.0f, grad_out.data(),
@@ -78,7 +80,7 @@ Linear::backward(const Tensor &grad_out)
 Shape
 Linear::trace(const Shape &in, std::vector<LayerDesc> *out) const
 {
-    panic_if(in.rank() != 1 || in[0] != in_,
+    EA_CHECK(in.rank() == 1 && in[0] == in_,
              "Linear trace shape mismatch: ", in.str());
     if (out) {
         LayerDesc d;

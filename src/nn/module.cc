@@ -1,5 +1,6 @@
 #include "nn/module.hh"
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "tensor/ops.hh"
 
@@ -224,7 +225,7 @@ Residual::trace(const Shape &in, std::vector<LayerDesc> *out) const
     Shape y = main_->trace(p, out);
     Shape skip = shortcut_ ? shortcut_->trace(p, out)
                            : (prefix_ ? in : p);
-    panic_if(y != skip, "Residual branch shape mismatch: main ",
+    EA_CHECK(y == skip, "Residual branch shape mismatch: main ",
              y.str(), " vs skip ", skip.str(), " in ", label());
     if (out) {
         LayerDesc d;
@@ -247,7 +248,8 @@ Tensor
 Flatten::forward(const Tensor &x)
 {
     inShape_ = x.shape();
-    panic_if(inShape_.rank() < 2, "Flatten wants a batched tensor");
+    EA_CHECK(inShape_.rank() >= 2, "Flatten wants a batched tensor, got ",
+             inShape_.str());
     int64_t n = inShape_[0];
     return x.reshape(Shape{n, x.numel() / n});
 }

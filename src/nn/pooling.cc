@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace edgeadapt {
@@ -12,7 +13,8 @@ namespace {
 int64_t
 poolOutDim(int64_t in, int64_t k, int64_t stride)
 {
-    panic_if(in < k, "pool window larger than input");
+    EA_CHECK(in >= k, "pool window larger than input (in=", in, " k=",
+             k, ")");
     return (in - k) / stride + 1;
 }
 
@@ -21,13 +23,14 @@ poolOutDim(int64_t in, int64_t k, int64_t stride)
 AvgPool2d::AvgPool2d(int64_t kernel, int64_t stride)
     : k_(kernel), stride_(stride > 0 ? stride : kernel)
 {
-    panic_if(kernel <= 0, "pool kernel must be positive");
+    EA_CHECK(kernel > 0, "pool kernel must be positive");
 }
 
 Tensor
 AvgPool2d::forward(const Tensor &x)
 {
-    panic_if(x.shape().rank() != 4, "AvgPool2d wants NCHW input");
+    EA_CHECK(x.shape().rank() == 4, "AvgPool2d wants NCHW input, got ",
+             x.shape().str());
     inShape_ = x.shape();
     int64_t n = x.shape()[0], c = x.shape()[1];
     int64_t h = x.shape()[2], w = x.shape()[3];
@@ -59,9 +62,15 @@ AvgPool2d::forward(const Tensor &x)
 Tensor
 AvgPool2d::backward(const Tensor &grad_out)
 {
+    EA_CHECK(inShape_.rank() == 4, "AvgPool2d backward before forward");
     int64_t n = inShape_[0], c = inShape_[1];
     int64_t h = inShape_[2], w = inShape_[3];
-    int64_t oh = grad_out.shape()[2], ow = grad_out.shape()[3];
+    int64_t oh = poolOutDim(h, k_, stride_);
+    int64_t ow = poolOutDim(w, k_, stride_);
+    // An oversized grad would turn the scatter loop below into an
+    // out-of-bounds write into grad_in.
+    EA_CHECK_SHAPE("AvgPool2d backward grad", grad_out.shape(),
+                   Shape({n, c, oh, ow}));
     Tensor grad_in = Tensor::zeros(inShape_);
     const float *g = grad_out.data();
     float *q = grad_in.data();
@@ -104,13 +113,14 @@ AvgPool2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
 MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
     : k_(kernel), stride_(stride > 0 ? stride : kernel)
 {
-    panic_if(kernel <= 0, "pool kernel must be positive");
+    EA_CHECK(kernel > 0, "pool kernel must be positive");
 }
 
 Tensor
 MaxPool2d::forward(const Tensor &x)
 {
-    panic_if(x.shape().rank() != 4, "MaxPool2d wants NCHW input");
+    EA_CHECK(x.shape().rank() == 4, "MaxPool2d wants NCHW input, got ",
+             x.shape().str());
     inShape_ = x.shape();
     int64_t n = x.shape()[0], c = x.shape()[1];
     int64_t h = x.shape()[2], w = x.shape()[3];
@@ -150,9 +160,15 @@ MaxPool2d::forward(const Tensor &x)
 Tensor
 MaxPool2d::backward(const Tensor &grad_out)
 {
+    EA_CHECK(inShape_.rank() == 4, "MaxPool2d backward before forward");
     int64_t n = inShape_[0], c = inShape_[1];
     int64_t h = inShape_[2], w = inShape_[3];
-    int64_t oh = grad_out.shape()[2], ow = grad_out.shape()[3];
+    int64_t oh = poolOutDim(h, k_, stride_);
+    int64_t ow = poolOutDim(w, k_, stride_);
+    // The argmax scatter below indexes grad_in with cached positions;
+    // a mismatched grad would read past the end of argmax_.
+    EA_CHECK_SHAPE("MaxPool2d backward grad", grad_out.shape(),
+                   Shape({n, c, oh, ow}));
     Tensor grad_in = Tensor::zeros(inShape_);
     const float *g = grad_out.data();
     float *q = grad_in.data();
@@ -186,7 +202,8 @@ MaxPool2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
 Tensor
 GlobalAvgPool2d::forward(const Tensor &x)
 {
-    panic_if(x.shape().rank() != 4, "GlobalAvgPool2d wants NCHW input");
+    EA_CHECK(x.shape().rank() == 4,
+             "GlobalAvgPool2d wants NCHW input, got ", x.shape().str());
     inShape_ = x.shape();
     int64_t n = x.shape()[0], c = x.shape()[1];
     int64_t area = x.shape()[2] * x.shape()[3];
@@ -207,7 +224,11 @@ GlobalAvgPool2d::forward(const Tensor &x)
 Tensor
 GlobalAvgPool2d::backward(const Tensor &grad_out)
 {
+    EA_CHECK(inShape_.rank() == 4,
+             "GlobalAvgPool2d backward before forward");
     int64_t n = inShape_[0], c = inShape_[1];
+    EA_CHECK_SHAPE("GlobalAvgPool2d backward grad", grad_out.shape(),
+                   Shape({n, c, 1, 1}));
     int64_t area = inShape_[2] * inShape_[3];
     Tensor grad_in(inShape_);
     const float *g = grad_out.data();

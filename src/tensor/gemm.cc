@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "base/check.hh"
+
 namespace edgeadapt {
 
 namespace {
@@ -52,6 +54,11 @@ void
 gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
      float alpha, const float *a, const float *b, float beta, float *c)
 {
+    EA_CHECK(m >= 0 && n >= 0 && k >= 0,
+             "gemm with negative dimension (m=", m, " n=", n, " k=", k,
+             ")");
+    EA_DCHECK(m == 0 || n == 0 || k == 0 || (a && b && c),
+             "gemm with null operand");
     // Scale / clear C first.
     if (beta == 0.0f) {
         std::fill(c, c + m * n, 0.0f);

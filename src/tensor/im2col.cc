@@ -1,5 +1,6 @@
 #include "tensor/im2col.hh"
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace edgeadapt {
@@ -7,6 +8,16 @@ namespace edgeadapt {
 int64_t
 convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
 {
+    EA_CHECK(in > 0 && kernel > 0 && stride > 0 && pad >= 0,
+             "bad convolution geometry (in=", in, " k=", kernel, " s=",
+             stride, " p=", pad, ")");
+    // A kernel that overhangs the padded input makes the numerator
+    // negative; C++ division truncates toward zero, so with stride > 1
+    // the result rounds *up* to a bogus out=1 and the conv silently
+    // samples phantom padding on edge-sized inputs.
+    EA_CHECK(in + 2 * pad >= kernel,
+             "convolution kernel larger than padded input (in=", in,
+             " k=", kernel, " p=", pad, ")");
     int64_t out = (in + 2 * pad - kernel) / stride + 1;
     panic_if(out <= 0, "convolution output dim non-positive (in=", in,
              " k=", kernel, " s=", stride, " p=", pad, ")");

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace edgeadapt {
@@ -11,8 +12,7 @@ namespace {
 void
 checkSameShape(const Tensor &a, const Tensor &b, const char *what)
 {
-    panic_if(a.shape() != b.shape(), what, ": shape mismatch ",
-             a.shape().str(), " vs ", b.shape().str());
+    EA_CHECK_SHAPE(what, b.shape(), a.shape());
 }
 
 } // namespace
@@ -102,7 +102,7 @@ scaleInPlace(Tensor &a, float s)
 void
 clampInPlace(Tensor &a, float lo, float hi)
 {
-    panic_if(hi < lo, "clamp with hi < lo");
+    EA_CHECK(hi >= lo, "clamp with hi < lo");
     float *pa = a.data();
     int64_t n = a.numel();
     for (int64_t i = 0; i < n; ++i)
@@ -112,7 +112,7 @@ clampInPlace(Tensor &a, float lo, float hi)
 std::vector<int>
 argmaxRows(const Tensor &logits)
 {
-    panic_if(logits.shape().rank() != 2, "argmaxRows wants a 2-D tensor");
+    EA_CHECK(logits.shape().rank() == 2, "argmaxRows wants a 2-D tensor");
     int64_t n = logits.shape()[0], c = logits.shape()[1];
     std::vector<int> out((size_t)n);
     const float *p = logits.data();
@@ -131,7 +131,7 @@ argmaxRows(const Tensor &logits)
 Tensor
 softmaxRows(const Tensor &logits)
 {
-    panic_if(logits.shape().rank() != 2, "softmaxRows wants a 2-D tensor");
+    EA_CHECK(logits.shape().rank() == 2, "softmaxRows wants a 2-D tensor");
     int64_t n = logits.shape()[0], c = logits.shape()[1];
     Tensor out(logits.shape());
     const float *p = logits.data();
@@ -157,7 +157,7 @@ softmaxRows(const Tensor &logits)
 Tensor
 logSoftmaxRows(const Tensor &logits)
 {
-    panic_if(logits.shape().rank() != 2,
+    EA_CHECK(logits.shape().rank() == 2,
              "logSoftmaxRows wants a 2-D tensor");
     int64_t n = logits.shape()[0], c = logits.shape()[1];
     Tensor out(logits.shape());

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace edgeadapt {
@@ -9,13 +10,13 @@ namespace edgeadapt {
 Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
 {
     for (auto d : dims_)
-        panic_if(d <= 0, "shape dimensions must be positive, got ", d);
+        EA_CHECK(d > 0, "shape dimensions must be positive, got ", d);
 }
 
 Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
 {
     for (auto d : dims_)
-        panic_if(d <= 0, "shape dimensions must be positive, got ", d);
+        EA_CHECK(d > 0, "shape dimensions must be positive, got ", d);
 }
 
 int64_t
@@ -24,7 +25,7 @@ Shape::dim(int i) const
     int r = rank();
     if (i < 0)
         i += r;
-    panic_if(i < 0 || i >= r, "shape dim index ", i, " out of rank ", r);
+    EA_CHECK_INDEX(i, r);
     return dims_[(size_t)i];
 }
 

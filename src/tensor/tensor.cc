@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace edgeadapt {
@@ -62,7 +63,7 @@ Tensor
 Tensor::fromVector(Shape shape, const std::vector<float> &values)
 {
     Tensor t(std::move(shape));
-    panic_if((int64_t)values.size() != t.numel(),
+    EA_CHECK((int64_t)values.size() == t.numel(),
              "fromVector size mismatch: ", values.size(), " vs ",
              t.numel());
     std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
@@ -72,48 +73,54 @@ Tensor::fromVector(Shape shape, const std::vector<float> &values)
 float *
 Tensor::data()
 {
-    panic_if(!defined(), "access to undefined tensor");
+    EA_CHECK(defined(), "access to undefined tensor");
     return storage_->data();
 }
 
 const float *
 Tensor::data() const
 {
-    panic_if(!defined(), "access to undefined tensor");
+    EA_CHECK(defined(), "access to undefined tensor");
     return storage_->data();
 }
 
 float &
 Tensor::at(int64_t i)
 {
-    panic_if(i < 0 || i >= numel(), "tensor index ", i, " out of ",
-             numel());
+    EA_DCHECK_INDEX(i, numel());
     return data()[i];
 }
 
 float
 Tensor::at(int64_t i) const
 {
-    panic_if(i < 0 || i >= numel(), "tensor index ", i, " out of ",
-             numel());
+    EA_DCHECK_INDEX(i, numel());
     return data()[i];
 }
 
 float &
 Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w)
 {
-    panic_if(shape_.rank() != 4, "4-D access on rank-", shape_.rank(),
+    EA_CHECK(shape_.rank() == 4, "4-D access on rank-", shape_.rank(),
              " tensor");
     int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+    EA_DCHECK_INDEX(n, shape_[0]);
+    EA_DCHECK_INDEX(c, C);
+    EA_DCHECK_INDEX(h, H);
+    EA_DCHECK_INDEX(w, W);
     return data()[((n * C + c) * H + h) * W + w];
 }
 
 float
 Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const
 {
-    panic_if(shape_.rank() != 4, "4-D access on rank-", shape_.rank(),
+    EA_CHECK(shape_.rank() == 4, "4-D access on rank-", shape_.rank(),
              " tensor");
     int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+    EA_DCHECK_INDEX(n, shape_[0]);
+    EA_DCHECK_INDEX(c, C);
+    EA_DCHECK_INDEX(h, H);
+    EA_DCHECK_INDEX(w, W);
     return data()[((n * C + c) * H + h) * W + w];
 }
 
@@ -128,7 +135,7 @@ Tensor::clone() const
 Tensor
 Tensor::reshape(Shape shape) const
 {
-    panic_if(shape.numel() != numel(), "reshape ", shape_.str(), " -> ",
+    EA_CHECK(shape.numel() == numel(), "reshape ", shape_.str(), " -> ",
              shape.str(), " changes element count");
     Tensor t;
     t.storage_ = storage_;
@@ -148,8 +155,7 @@ Tensor::fill(float value)
 void
 Tensor::copyFrom(const Tensor &src)
 {
-    panic_if(shape_ != src.shape(), "copyFrom shape mismatch ",
-             shape_.str(), " vs ", src.shape().str());
+    EA_CHECK_SHAPE("copyFrom source", src.shape(), shape_);
     std::memcpy(data(), src.data(), (size_t)numel() * sizeof(float));
 }
 

@@ -25,20 +25,19 @@ namespace {
 models::Model &
 trainedModel()
 {
-    static models::Model *model = [] {
+    static models::Model model = [] {
         Rng rng(61);
-        auto *m = new models::Model(
-            models::buildModel("wrn40_2-tiny", rng));
+        models::Model m = models::buildModel("wrn40_2-tiny", rng);
         data::SynthCifar ds(16);
         train::TrainConfig cfg;
         cfg.steps = 250;
         cfg.batchSize = 32;
         cfg.useAugmix = false;
         cfg.seed = 62;
-        train::trainModel(*m, ds, cfg);
+        train::trainModel(m, ds, cfg);
         return m;
     }();
-    return *model;
+    return model;
 }
 
 } // namespace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Contract-framework tests: EA_CHECK family semantics (pass-through on
+ * satisfied contracts, panic-style death on violations), EA_DCHECK
+ * compile-gating, and the finite / index / shape specializations.
+ *
+ * Death tests assert on the stable prefix of the diagnostic ("check
+ * failed", "index check failed", ...) so messages can gain detail
+ * without breaking the suite.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "base/check.hh"
+#include "tensor/shape.hh"
+
+using namespace edgeadapt;
+
+TEST(Check, PassingCheckIsSilent)
+{
+    EA_CHECK(1 + 1 == 2, "arithmetic works");
+    EA_CHECK_INDEX(0, 1);
+    EA_CHECK_INDEX(41, 42);
+    EA_CHECK_SHAPE("same", Shape({2, 3}), Shape({2, 3}));
+    float vals[3] = {0.0f, -1.5f, 3.0f};
+    EA_CHECK_FINITE("vals", vals, 3);
+    SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts)
+{
+    EXPECT_DEATH(EA_CHECK(false, "must not hold"), "check failed");
+}
+
+TEST(CheckDeathTest, MessageIncludesConditionAndDetail)
+{
+    int x = 7;
+    EXPECT_DEATH(EA_CHECK(x == 8, "x was ", x), "x == 8.*x was 7");
+}
+
+TEST(CheckDeathTest, IndexBelowRangeAborts)
+{
+    EXPECT_DEATH(EA_CHECK_INDEX(-1, 10), "index check failed");
+}
+
+TEST(CheckDeathTest, IndexAtSizeAborts)
+{
+    EXPECT_DEATH(EA_CHECK_INDEX(10, 10), "index check failed");
+}
+
+TEST(CheckDeathTest, ShapeMismatchAborts)
+{
+    EXPECT_DEATH(EA_CHECK_SHAPE("input", Shape({2, 3}), Shape({3, 2})),
+                 "shape check failed.*input");
+}
+
+TEST(CheckDeathTest, NonFiniteValueAborts)
+{
+    float vals[3] = {1.0f, std::nanf(""), 2.0f};
+    EXPECT_DEATH(EA_CHECK_FINITE("vals", vals, 3),
+                 "finite check failed.*vals\\[1\\]");
+    vals[1] = INFINITY;
+    EXPECT_DEATH(EA_CHECK_FINITE("vals", vals, 3),
+                 "finite check failed");
+}
+
+TEST(Check, CheckEvaluatesConditionExactlyOnce)
+{
+    int calls = 0;
+    auto bump = [&] {
+        ++calls;
+        return true;
+    };
+    EA_CHECK(bump(), "side effects must not repeat");
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, DcheckFiresWhenCompiledIn)
+{
+    if (!kDchecksEnabled)
+        GTEST_SKIP() << "built with EDGEADAPT_DCHECKS=OFF";
+    EXPECT_DEATH(EA_DCHECK(false, "dcheck"), "check failed");
+    EXPECT_DEATH(EA_DCHECK_INDEX(5, 5), "index check failed");
+}
+
+TEST(Check, DcheckCompilesAwayCleanly)
+{
+    // Whichever way the build is configured, a passing EA_DCHECK must
+    // be valid in statement position and evaluate its arguments lazily
+    // enough to be free when disabled.
+    if (true)
+        EA_DCHECK(true, "braceless-if body");
+    EA_DCHECK_INDEX(0, 4);
+    SUCCEED();
+}

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <list>
+
 #include "device/cost_model.hh"
 #include "models/registry.hh"
 
@@ -23,7 +25,10 @@ constexpr double kRelTol = 0.35;
 models::Model &
 model(const std::string &name)
 {
-    static std::vector<std::pair<std::string, models::Model>> cache;
+    // std::list, not std::vector: tests hold references to cached
+    // models across later insertions, so element addresses must be
+    // stable (a vector realloc dangles every outstanding reference).
+    static std::list<std::pair<std::string, models::Model>> cache;
     for (auto &kv : cache) {
         if (kv.first == name)
             return kv.second;

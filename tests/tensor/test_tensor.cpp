@@ -8,6 +8,7 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include "base/check.hh"
 #include "tensor/gemm.hh"
 #include "tensor/im2col.hh"
 #include "tensor/ops.hh"
@@ -194,6 +195,36 @@ TEST(Ops, LogSoftmaxAgreesWithSoftmax)
     Tensor lp = logSoftmaxRows(logits);
     for (int64_t i = 0; i < logits.numel(); ++i)
         EXPECT_NEAR(std::log((double)p.at(i)), lp.at(i), 1e-4);
+}
+
+TEST(TensorDeathTest, DebugBoundsCheckingRejectsLinearAt)
+{
+    if (!kDchecksEnabled)
+        GTEST_SKIP() << "built with EDGEADAPT_DCHECKS=OFF";
+    Tensor a = Tensor::zeros(Shape{2, 3});
+    EXPECT_DEATH(a.at(6), "index check failed");
+    EXPECT_DEATH(a.at(-1), "index check failed");
+}
+
+TEST(TensorDeathTest, DebugBoundsCheckingRejectsEachNchwIndex)
+{
+    if (!kDchecksEnabled)
+        GTEST_SKIP() << "built with EDGEADAPT_DCHECKS=OFF";
+    // Out-of-range on each of the four index arities of at(n,c,h,w);
+    // every other index stays in range so the offending one is the
+    // one that trips.
+    Tensor a = Tensor::zeros(Shape{2, 3, 4, 5});
+    EXPECT_DEATH(a.at(2, 0, 0, 0), "index check failed");
+    EXPECT_DEATH(a.at(0, 3, 0, 0), "index check failed");
+    EXPECT_DEATH(a.at(0, 0, 4, 0), "index check failed");
+    EXPECT_DEATH(a.at(0, 0, 0, 5), "index check failed");
+    EXPECT_DEATH(a.at(-1, 0, 0, 0), "index check failed");
+}
+
+TEST(TensorDeathTest, NchwAtOnWrongRankAborts)
+{
+    Tensor a = Tensor::zeros(Shape{2, 3});
+    EXPECT_DEATH(a.at(0, 0, 0, 0), "check failed");
 }
 
 TEST(Ops, ArgmaxRows)

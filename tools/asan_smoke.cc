@@ -1,0 +1,233 @@
+/**
+ * @file
+ * ASan+UBSan smoke canary over the tensor/nn core. Built with
+ * -fsanitize=address,undefined (see tools/CMakeLists.txt) and
+ * registered as the "asan-smoke" ctest label, it drives the kernels
+ * that produce the paper's numbers — GEMM, im2col, conv, pooling,
+ * batch-norm — through forward and backward passes on deliberately
+ * edge-sized inputs (window == input, stride > window, depthwise
+ * groups, batch of one). Any OOB access or UB aborts the test.
+ *
+ * Full sanitized runs of the whole test suite live in tools/check.sh;
+ * this canary exists so tier-1 gets cheap sanitizer coverage on every
+ * run without a second build tree.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/rng.hh"
+#include "nn/activation.hh"
+#include "nn/batchnorm2d.hh"
+#include "nn/conv2d.hh"
+#include "nn/linear.hh"
+#include "nn/module.hh"
+#include "nn/pooling.hh"
+#include "tensor/gemm.hh"
+#include "tensor/im2col.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+using namespace edgeadapt;
+
+namespace {
+
+int failures = 0;
+
+void
+expectClose(double got, double want, double tol, const char *what)
+{
+    if (std::fabs(got - want) > tol) {
+        std::fprintf(stderr, "asan_smoke: %s: got %g, want %g\n", what,
+                     got, want);
+        ++failures;
+    }
+}
+
+void
+expectFinite(const Tensor &t, const char *what)
+{
+    const float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        if (!std::isfinite(p[i])) {
+            std::fprintf(stderr, "asan_smoke: %s: non-finite at %lld\n",
+                         what, (long long)i);
+            ++failures;
+            return;
+        }
+    }
+}
+
+/** Tensor construction, aliasing, boundary element access. */
+void
+smokeTensor(Rng &rng)
+{
+    Tensor t = Tensor::randn(Shape{2, 3, 4, 5}, rng);
+    expectClose((double)t.numel(), 120.0, 0.0, "numel");
+    // Boundary accesses on both arities.
+    t.at(0) = 1.0f;
+    t.at(t.numel() - 1) = 2.0f;
+    t.at(0, 0, 0, 0) = 3.0f;
+    t.at(1, 2, 3, 4) = 4.0f;
+    expectClose(t.at(1, 2, 3, 4), 4.0, 0.0, "4-D at");
+
+    Tensor alias = t.reshape(Shape{6, 20});
+    alias.at(0) = 7.0f;
+    expectClose(t.at(0, 0, 0, 0), 7.0, 0.0, "reshape aliases storage");
+
+    Tensor deep = t.clone();
+    deep.fill(0.0f);
+    expectClose(t.at(1, 2, 3, 4), 4.0, 0.0, "clone is deep");
+
+    Tensor dst(t.shape());
+    dst.copyFrom(t);
+    expectClose(maxAbsDiff(dst, t), 0.0, 0.0, "copyFrom");
+}
+
+/** All four transpose combinations against a naive reference. */
+void
+smokeGemm(Rng &rng)
+{
+    const int64_t m = 3, n = 4, k = 5;
+    Tensor a = Tensor::randn(Shape{m, k}, rng);
+    Tensor at = Tensor::randn(Shape{k, m}, rng);
+    Tensor b = Tensor::randn(Shape{k, n}, rng);
+    Tensor bt = Tensor::randn(Shape{n, k}, rng);
+
+    auto ref = [&](const float *pa, bool ta, const float *pb, bool tb,
+                   int64_t i, int64_t j) {
+        double s = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            float av = ta ? pa[kk * m + i] : pa[i * k + kk];
+            float bv = tb ? pb[j * k + kk] : pb[kk * n + j];
+            s += (double)av * bv;
+        }
+        return s;
+    };
+    const float *as[2] = {a.data(), at.data()};
+    const float *bs[2] = {b.data(), bt.data()};
+    for (int ta = 0; ta < 2; ++ta) {
+        for (int tb = 0; tb < 2; ++tb) {
+            Tensor c = Tensor::full(Shape{m, n}, 0.5f);
+            gemm(ta, tb, m, n, k, 2.0f, as[ta], bs[tb], 1.0f, c.data());
+            for (int64_t i = 0; i < m; ++i) {
+                for (int64_t j = 0; j < n; ++j) {
+                    double want =
+                        0.5 + 2.0 * ref(as[ta], ta, bs[tb], tb, i, j);
+                    expectClose(c.at(i * n + j), want, 1e-4, "gemm");
+                }
+            }
+        }
+    }
+    // Degenerate sizes must be safe no-ops.
+    gemm(false, false, 0, 0, 0, 1.0f, a.data(), b.data(), 0.0f,
+         Tensor::zeros(Shape{1}).data());
+}
+
+/** conv/pool/bn/linear forward+backward on edge-sized inputs. */
+void
+smokeLayers(Rng &rng)
+{
+    // Depthwise conv where the 3x3 kernel exactly covers the padded
+    // 1x1 input, stride 2 (the truncation-toward-zero corner).
+    {
+        nn::Conv2dOpts opts;
+        opts.stride = 2;
+        opts.pad = 1;
+        opts.groups = 4;
+        nn::Conv2d dw(4, 4, 3, opts, rng);
+        Tensor x = Tensor::randn(Shape{1, 4, 1, 1}, rng);
+        Tensor y = dw.forward(x);
+        expectFinite(y, "depthwise conv forward");
+        Tensor gy = Tensor::ones(y.shape());
+        Tensor gx = dw.backward(gy);
+        expectFinite(gx, "depthwise conv backward");
+    }
+    // Standard conv, kernel == input extent (valid, single output).
+    {
+        nn::Conv2dOpts opts;
+        nn::Conv2d conv(3, 8, 4, opts, rng);
+        Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+        Tensor y = conv.forward(x);
+        expectClose((double)y.shape()[2], 1.0, 0.0, "conv out h");
+        Tensor gx = conv.backward(Tensor::ones(y.shape()));
+        expectFinite(gx, "conv backward");
+    }
+    // Pooling: window == input, then stride > window leaving a
+    // remainder column that the kernels must never touch.
+    {
+        nn::MaxPool2d mp(2, 0);
+        Tensor x = Tensor::randn(Shape{1, 2, 2, 2}, rng);
+        Tensor y = mp.forward(x);
+        Tensor gx = mp.backward(Tensor::ones(y.shape()));
+        expectFinite(gx, "maxpool backward");
+
+        nn::AvgPool2d ap(2, 3);
+        Tensor x2 = Tensor::randn(Shape{1, 2, 5, 5}, rng);
+        Tensor y2 = ap.forward(x2);
+        expectClose((double)y2.shape()[3], 2.0, 0.0, "avgpool out w");
+        Tensor gx2 = ap.backward(Tensor::ones(y2.shape()));
+        expectFinite(gx2, "avgpool backward");
+
+        nn::GlobalAvgPool2d gap;
+        Tensor y3 = gap.forward(x2);
+        Tensor gx3 = gap.backward(Tensor::ones(y3.shape()));
+        expectFinite(gx3, "gap backward");
+    }
+    // BatchNorm over a batch of one image (smallest legal batch for
+    // statistics re-estimation) in train then eval mode.
+    {
+        nn::BatchNorm2d bn(3);
+        Tensor x = Tensor::randn(Shape{1, 3, 4, 4}, rng);
+        bn.setTraining(true);
+        Tensor y = bn.forward(x);
+        expectFinite(y, "bn train forward");
+        Tensor gx = bn.backward(Tensor::ones(y.shape()));
+        expectFinite(gx, "bn train backward");
+        bn.setTraining(false);
+        expectFinite(bn.forward(x), "bn eval forward");
+    }
+    // Linear + activations round trip.
+    {
+        nn::Linear fc(6, 2, rng);
+        Tensor x = Tensor::randn(Shape{3, 6}, rng);
+        Tensor y = fc.forward(x);
+        Tensor gx = fc.backward(Tensor::ones(y.shape()));
+        expectFinite(gx, "linear backward");
+
+        nn::ReLU relu;
+        nn::ReLU6 relu6;
+        Tensor a = relu.forward(x);
+        expectFinite(relu.backward(Tensor::ones(a.shape())),
+                     "relu backward");
+        Tensor b = relu6.forward(x);
+        expectFinite(relu6.backward(Tensor::ones(b.shape())),
+                     "relu6 backward");
+    }
+    // Row ops used for scoring.
+    {
+        Tensor logits = Tensor::randn(Shape{4, 10}, rng);
+        auto pred = argmaxRows(logits);
+        expectClose((double)pred.size(), 4.0, 0.0, "argmax rows");
+        expectFinite(softmaxRows(logits), "softmax");
+        expectFinite(logSoftmaxRows(logits), "log-softmax");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(20240806);
+    smokeTensor(rng);
+    smokeGemm(rng);
+    smokeLayers(rng);
+    if (failures) {
+        std::fprintf(stderr, "asan_smoke: %d failure(s)\n", failures);
+        return 1;
+    }
+    std::printf("asan_smoke: ok\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Correctness-tooling driver: configure, build, and run the full ctest
+# suite under sanitizers.
+#
+#   tools/check.sh            # ASan+UBSan suite, then TSan suite
+#   tools/check.sh asan       # ASan+UBSan only
+#   tools/check.sh tsan       # TSan only
+#   tools/check.sh fast       # ASan+UBSan, smoke labels only
+#
+# Each preset builds in its own tree (build-asan/, build-tsan/) so the
+# tier-1 build/ directory is never disturbed. -march=native is turned
+# off for sanitizer builds (vectorized reports are unreadable and the
+# flag is wrong for cross-checking anyway); EDGEADAPT_DCHECKS stays ON
+# so contract checks and sanitizers hunt together.
+#
+# Extra ctest arguments can be passed through CTEST_ARGS, e.g.
+#   CTEST_ARGS="-R test_tensor" tools/check.sh asan
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+# Make sanitizer failures loud and deterministic.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1:detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+run_preset() {
+    local name="$1" sanitize="$2"
+    shift 2
+    local bdir="$ROOT/build-$name"
+    echo "==== [$name] configure (EDGEADAPT_SANITIZE=$sanitize)"
+    cmake -B "$bdir" -S "$ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DEDGEADAPT_SANITIZE="$sanitize" \
+        -DEDGEADAPT_NATIVE_ARCH=OFF
+    echo "==== [$name] build"
+    cmake --build "$bdir" -j "$JOBS"
+    echo "==== [$name] ctest"
+    # shellcheck disable=SC2086
+    ctest --test-dir "$bdir" --output-on-failure -j "$JOBS" "$@" \
+        ${CTEST_ARGS:-}
+    echo "==== [$name] clean"
+}
+
+case "$MODE" in
+  all)
+    run_preset asan "address;undefined"
+    run_preset tsan thread
+    ;;
+  asan)
+    run_preset asan "address;undefined"
+    ;;
+  tsan)
+    run_preset tsan thread
+    ;;
+  fast)
+    # Quick confidence pass: lint plus the cheap suites under ASan.
+    run_preset asan "address;undefined" -R \
+        'test_base|test_tensor|test_nn|edgeadapt_lint'
+    ;;
+  *)
+    echo "usage: tools/check.sh [all|asan|tsan|fast]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: all requested sanitizer suites passed"
