@@ -22,8 +22,10 @@ using namespace edgeadapt::bench;
 using adapt::Algorithm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv, "ablation_accelerator");
+    args.finish();
     setVerbose(false);
     Rng rng(16);
     device::DeviceSpec ps = device::ultra96();
@@ -84,5 +86,5 @@ main()
                 "beyond ~13 GB/s the residual cost is dispatch "
                 "overhead,\nmatching insight (iii): adaptation needs "
                 "accelerator support, not just fast cores.\n");
-    return 0;
+    return finishReport();
 }

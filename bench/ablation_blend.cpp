@@ -56,8 +56,10 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    int64_t samples = argInt(argc, argv, "--samples", 300);
-    int64_t steps = argInt(argc, argv, "--train-steps", 300);
+    Args args(argc, argv, "ablation_blend");
+    int64_t samples = args.getInt("--samples", 300);
+    int64_t steps = args.getInt("--train-steps", 300);
+    args.finish();
 
     data::SynthCifar ds(16);
     Rng rng(30);
@@ -88,5 +90,5 @@ main(int argc, char **argv)
                 "pure batch statistics degrade; a small source prior "
                 "recovers most of\nthe adaptation benefit, while a "
                 "huge prior collapses back to No-Adapt.\n");
-    return 0;
+    return finishReport();
 }

@@ -23,8 +23,10 @@ using namespace edgeadapt::bench;
 using adapt::Algorithm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv, "ablation_checkpointing");
+    args.finish();
     setVerbose(false);
     Rng rng(18);
 
@@ -85,5 +87,5 @@ main()
                 "segment-fold smaller retained\ngraph, converting the "
                 "paper's hard OOM boundary into a latency trade — the "
                 "streaming\ndirection insight (v) asks for.\n");
-    return 0;
+    return finishReport();
 }

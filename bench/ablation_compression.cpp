@@ -50,8 +50,10 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    int64_t samples = argInt(argc, argv, "--samples", 300);
-    int64_t steps = argInt(argc, argv, "--train-steps", 300);
+    Args args(argc, argv, "ablation_compression");
+    int64_t samples = args.getInt("--samples", 300);
+    int64_t steps = args.getInt("--train-steps", 300);
+    args.finish();
 
     data::SynthCifar ds(16);
     Rng rng(19);
@@ -124,5 +126,5 @@ main(int argc, char **argv)
                 "is meant to protect. BN parameters stay\nfloat32 "
                 "throughout — they are the adaptation working set.\n");
     std::remove(ckpt.c_str());
-    return 0;
+    return finishReport();
 }

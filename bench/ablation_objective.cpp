@@ -19,8 +19,10 @@ using namespace edgeadapt;
 using namespace edgeadapt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv, "ablation_objective");
+    args.finish();
     setVerbose(false);
     Rng rng(17);
 
@@ -55,5 +57,5 @@ main()
                 "normalization shifts weight toward error on "
                 "fast/low-power devices.\n",
                 agree, total);
-    return 0;
+    return finishReport();
 }

@@ -1,40 +1,216 @@
 #include "bench_util.hh"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
 namespace bench {
 
-int64_t
-argInt(int argc, char **argv, const std::string &flag, int64_t def)
+namespace {
+
+/** Everything finishReport() serializes, accumulated as the bench runs. */
+struct ReportState
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (flag == argv[i])
-            return std::atoll(argv[i + 1]);
+    struct Table
+    {
+        std::vector<std::string> header;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    struct Section
+    {
+        std::string title;
+        std::vector<Table> tables;
+    };
+
+    std::string benchName;
+    std::vector<std::string> args;
+    std::string jsonPath;
+    std::string tracePath;
+    std::vector<Section> sections;
+};
+
+ReportState &
+report()
+{
+    static ReportState state;
+    return state;
+}
+
+void
+writeStringArray(obs::JsonWriter &w, const std::vector<std::string> &v)
+{
+    w.beginArray();
+    for (const std::string &s : v)
+        w.value(s);
+    w.endArray();
+}
+
+/** One JSONL line: schema, identity, recorded tables, metrics. */
+std::string
+reportLine()
+{
+    const ReportState &st = report();
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("edgeadapt.bench.v1");
+    w.key("bench");
+    w.value(st.benchName);
+    w.key("args");
+    writeStringArray(w, st.args);
+    w.key("sections");
+    w.beginArray();
+    for (const ReportState::Section &sec : st.sections) {
+        w.beginObject();
+        w.key("title");
+        w.value(sec.title);
+        w.key("tables");
+        w.beginArray();
+        for (const ReportState::Table &t : sec.tables) {
+            w.beginObject();
+            w.key("header");
+            writeStringArray(w, t.header);
+            w.key("rows");
+            w.beginArray();
+            for (const auto &row : t.rows)
+                writeStringArray(w, row);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
     }
-    return def;
+    w.endArray();
+    w.key("metrics");
+    obs::Registry::global().snapshot().writeJson(w);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+Args::Args(int argc, char **argv, const std::string &bench_name)
+{
+    for (int i = 1; i < argc; ++i)
+        tokens_.emplace_back(argv[i]);
+    consumed_.assign(tokens_.size(), false);
+
+    ReportState &st = report();
+    st.benchName = bench_name;
+    st.args = tokens_;
+
+    st.jsonPath = getStr("--json", "");
+    st.tracePath = getStr("--trace", "");
+    if (!st.tracePath.empty())
+        obs::setTracingEnabled(true);
+}
+
+int
+Args::findValue(const std::string &flag)
+{
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+        if (tokens_[i] != flag)
+            continue;
+        consumed_[i] = true;
+        fatal_if(i + 1 >= tokens_.size(), "option ", flag,
+                 " expects a value");
+        consumed_[i + 1] = true;
+        return (int)(i + 1);
+    }
+    return -1;
+}
+
+int64_t
+Args::getInt(const std::string &flag, int64_t def)
+{
+    int vi = findValue(flag);
+    if (vi < 0)
+        return def;
+    const std::string &v = tokens_[(size_t)vi];
+    char *end = nullptr;
+    errno = 0;
+    int64_t parsed = std::strtoll(v.c_str(), &end, 10);
+    fatal_if(v.empty() || errno != 0 || end != v.c_str() + v.size(),
+             "option ", flag, " expects an integer, got \"", v, "\"");
+    return parsed;
 }
 
 bool
-argFlag(int argc, char **argv, const std::string &flag)
+Args::getFlag(const std::string &flag)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (flag == argv[i])
-            return true;
+    bool found = false;
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+        if (tokens_[i] == flag) {
+            consumed_[i] = true;
+            found = true;
+        }
     }
-    return false;
+    return found;
 }
 
 std::string
-argStr(int argc, char **argv, const std::string &flag,
-       const std::string &def)
+Args::getStr(const std::string &flag, const std::string &def)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (flag == argv[i])
-            return argv[i + 1];
+    int vi = findValue(flag);
+    return vi < 0 ? def : tokens_[(size_t)vi];
+}
+
+void
+Args::finish()
+{
+    finished_ = true;
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+        fatal_if(!consumed_[i], "unrecognized option \"", tokens_[i],
+                 "\" (bench ", report().benchName, ")");
     }
-    return def;
+}
+
+void
+section(const std::string &title)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    report().sections.push_back(ReportState::Section{title, {}});
+}
+
+void
+emit(const TextTable &t)
+{
+    std::fputs(t.render().c_str(), stdout);
+    ReportState &st = report();
+    if (st.sections.empty())
+        st.sections.push_back(ReportState::Section{"", {}});
+    st.sections.back().tables.push_back(
+        ReportState::Table{t.headerCells(), t.rowCells()});
+}
+
+int
+finishReport()
+{
+    ReportState &st = report();
+    if (!st.jsonPath.empty()) {
+        obs::sampleProcessMemory();
+        std::string line = reportLine();
+        FILE *f = std::fopen(st.jsonPath.c_str(), "a");
+        fatal_if(!f, "cannot open --json path ", st.jsonPath, ": ",
+                 std::strerror(errno));
+        std::fputs(line.c_str(), f);
+        std::fputc('\n', f);
+        fatal_if(std::fclose(f) != 0, "write to ", st.jsonPath,
+                 " failed");
+        inform("wrote bench report line to " + st.jsonPath);
+    }
+    if (!st.tracePath.empty()) {
+        obs::writeChromeTrace(st.tracePath);
+        inform("wrote Chrome trace to " + st.tracePath);
+    }
+    return 0;
 }
 
 } // namespace bench

@@ -1,13 +1,30 @@
 /**
  * @file
  * Shared helpers for the figure/table bench binaries: canonical model
- * sets, batch sizes, and console/CSV emission.
+ * sets, strict command-line parsing, and console emission that doubles
+ * as a machine-readable report recorder.
+ *
+ * Every bench main follows the same shape:
+ *
+ *   int main(int argc, char **argv) {
+ *       bench::Args args(argc, argv, "fig03_ultra96_forward");
+ *       int64_t batch = args.getInt("--batch", 50);
+ *       args.finish();          // fatal() on unknown options
+ *       ...
+ *       bench::section("...");  // printed AND recorded
+ *       bench::emit(table);
+ *       return bench::finishReport();  // writes --json / --trace
+ *   }
+ *
+ * Built-in options every Args-using bench understands:
+ *   --json <path>   append one JSONL report line (tables + metrics)
+ *   --trace <path>  record a Chrome trace of the run to <path>
  */
 
 #ifndef EDGEADAPT_BENCH_BENCH_UTIL_HH
 #define EDGEADAPT_BENCH_BENCH_UTIL_HH
 
-#include <cstdio>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,30 +42,53 @@ paperBatchSizes()
     return b;
 }
 
-/** Print a titled section to stdout. */
-inline void
-section(const std::string &title)
+/**
+ * Strict "--flag value" command-line parser. Every token must be
+ * consumed by a get*() call (or be one of the built-in options);
+ * finish() fatal()s on anything left over, so typos like "--bacth 50"
+ * fail loudly instead of silently running with defaults.
+ */
+class Args
 {
-    std::printf("\n== %s ==\n", title.c_str());
-}
+  public:
+    /**
+     * @param argc / @p argv main()'s arguments.
+     * @param bench_name report name (also enables --json/--trace).
+     */
+    Args(int argc, char **argv, const std::string &bench_name);
 
-/** Print a table to stdout. */
-inline void
-emit(const TextTable &t)
-{
-    std::fputs(t.render().c_str(), stdout);
-}
+    /** Parse an int64 option; @return @p def if absent. */
+    int64_t getInt(const std::string &flag, int64_t def);
 
-/** Parse "--flag value" style int64 option; @return default if absent. */
-int64_t argInt(int argc, char **argv, const std::string &flag,
-               int64_t def);
+    /** @return whether the bare flag is present. */
+    bool getFlag(const std::string &flag);
 
-/** Parse a flag presence ("--paper-scale"). */
-bool argFlag(int argc, char **argv, const std::string &flag);
+    /** Parse a string option; @return @p def if absent. */
+    std::string getStr(const std::string &flag, const std::string &def);
 
-/** Parse a string option. */
-std::string argStr(int argc, char **argv, const std::string &flag,
-                   const std::string &def);
+    /** fatal() if any argv token was not consumed. Call after get*(). */
+    void finish();
+
+  private:
+    /** @return index of @p flag's value token, or -1 if absent. */
+    int findValue(const std::string &flag);
+
+    std::vector<std::string> tokens_;
+    std::vector<bool> consumed_;
+    bool finished_ = false;
+};
+
+/** Print a titled section to stdout and open it in the report. */
+void section(const std::string &title);
+
+/** Print a table to stdout and record it in the current section. */
+void emit(const TextTable &t);
+
+/**
+ * Finalize the run: write the JSONL report line (--json) and the
+ * Chrome trace (--trace) if requested. @return 0 (bench exit status).
+ */
+int finishReport();
 
 } // namespace bench
 } // namespace edgeadapt

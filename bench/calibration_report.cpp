@@ -72,8 +72,10 @@ const Anchor kAnchors[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv, "calibration_report");
+    args.finish();
     setVerbose(false);
     Rng rng(2022);
 
@@ -222,5 +224,5 @@ main()
         }
         emit(d);
     }
-    return 0;
+    return finishReport();
 }

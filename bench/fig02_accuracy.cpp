@@ -69,14 +69,16 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    int64_t samples = argInt(argc, argv, "--samples", 800);
-    int64_t steps = argInt(argc, argv, "--train-steps", 300);
-    uint64_t seed = (uint64_t)argInt(argc, argv, "--seed", 20221);
-    if (argFlag(argc, argv, "--paper-scale")) {
+    Args args(argc, argv, "fig02_accuracy");
+    int64_t samples = args.getInt("--samples", 800);
+    int64_t steps = args.getInt("--train-steps", 300);
+    uint64_t seed = (uint64_t)args.getInt("--seed", 20221);
+    if (args.getFlag("--paper-scale")) {
         samples = 10000;
         steps = 1500;
     }
-    const bool withMobilenet = argFlag(argc, argv, "--mobilenet");
+    const bool withMobilenet = args.getFlag("--mobilenet");
+    args.finish();
 
     const int64_t batches[3] = {50, 100, 200};
     data::SynthCifar ds(16);
@@ -173,5 +175,5 @@ main(int argc, char **argv)
         std::printf("(paper: 81.2%% -> 28.1%%; adaptation helps but "
                     "cannot replace robust training)\n");
     }
-    return 0;
+    return finishReport();
 }

@@ -7,12 +7,15 @@
  */
 
 #include "base/logging.hh"
+#include "bench_util.hh"
 #include "figures_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    edgeadapt::bench::Args args(argc, argv, "fig03_ultra96_forward");
+    args.finish();
     edgeadapt::setVerbose(false);
     edgeadapt::bench::printForwardTimes({edgeadapt::device::ultra96()});
-    return 0;
+    return edgeadapt::bench::finishReport();
 }

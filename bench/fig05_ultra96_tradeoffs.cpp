@@ -8,12 +8,15 @@
  */
 
 #include "base/logging.hh"
+#include "bench_util.hh"
 #include "figures_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    edgeadapt::bench::Args args(argc, argv, "fig05_ultra96_tradeoffs");
+    args.finish();
     edgeadapt::setVerbose(false);
     edgeadapt::bench::printTradeoffs(edgeadapt::device::ultra96());
-    return 0;
+    return edgeadapt::bench::finishReport();
 }

@@ -6,13 +6,16 @@
  */
 
 #include "base/logging.hh"
+#include "bench_util.hh"
 #include "figures_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    edgeadapt::bench::Args args(argc, argv, "fig06_rpi_forward");
+    args.finish();
     edgeadapt::setVerbose(false);
     edgeadapt::bench::printForwardTimes(
         {edgeadapt::device::raspberryPi4()});
-    return 0;
+    return edgeadapt::bench::finishReport();
 }

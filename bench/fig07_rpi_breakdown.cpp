@@ -5,14 +5,17 @@
  */
 
 #include "base/logging.hh"
+#include "bench_util.hh"
 #include "figures_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    edgeadapt::bench::Args args(argc, argv, "fig07_rpi_breakdown");
+    args.finish();
     edgeadapt::setVerbose(false);
     edgeadapt::bench::printBreakdown(
         {edgeadapt::device::raspberryPi4()},
         {"resnext29", "wrn40_2", "resnet18"}, 50);
-    return 0;
+    return edgeadapt::bench::finishReport();
 }

@@ -7,13 +7,16 @@
  */
 
 #include "base/logging.hh"
+#include "bench_util.hh"
 #include "figures_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    edgeadapt::bench::Args args(argc, argv, "fig08_rpi_tradeoffs");
+    args.finish();
     edgeadapt::setVerbose(false);
     edgeadapt::bench::printTradeoffs(
         edgeadapt::device::raspberryPi4());
-    return 0;
+    return edgeadapt::bench::finishReport();
 }

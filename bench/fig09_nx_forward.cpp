@@ -19,8 +19,10 @@ using namespace edgeadapt;
 using namespace edgeadapt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv, "fig09_nx_forward");
+    args.finish();
     setVerbose(false);
     printForwardTimes({device::xavierNxCpu(), device::xavierNxGpu()});
 
@@ -51,5 +53,5 @@ main()
                fixed(maxSp, 2) + "x"});
     }
     emit(t);
-    return 0;
+    return finishReport();
 }

@@ -8,15 +8,18 @@
  */
 
 #include "base/logging.hh"
+#include "bench_util.hh"
 #include "figures_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    edgeadapt::bench::Args args(argc, argv, "fig10_nx_breakdown");
+    args.finish();
     edgeadapt::setVerbose(false);
     edgeadapt::bench::printBreakdown(
         {edgeadapt::device::xavierNxCpu(),
          edgeadapt::device::xavierNxGpu()},
         {"resnext29", "wrn40_2", "resnet18"}, 50);
-    return 0;
+    return edgeadapt::bench::finishReport();
 }

@@ -8,13 +8,16 @@
  */
 
 #include "base/logging.hh"
+#include "bench_util.hh"
 #include "figures_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    edgeadapt::bench::Args args(argc, argv, "fig11_nx_tradeoffs");
+    args.finish();
     edgeadapt::setVerbose(false);
     edgeadapt::bench::printTradeoffs(edgeadapt::device::xavierNxGpu());
     edgeadapt::bench::printTradeoffs(edgeadapt::device::xavierNxCpu());
-    return 0;
+    return edgeadapt::bench::finishReport();
 }

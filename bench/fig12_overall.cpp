@@ -26,8 +26,10 @@ using namespace edgeadapt::bench;
 using analysis::DesignPoint;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv, "fig12_overall");
+    args.finish();
     setVerbose(false);
     Rng rng(12);
 
@@ -102,5 +104,5 @@ main()
                 a2->energyJ / a3.energyJ);
     std::printf("A3 error penalty vs A1  : +%.2f%%\n",
                 a3.errorPct - a1->errorPct);
-    return 0;
+    return finishReport();
 }

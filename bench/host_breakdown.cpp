@@ -8,7 +8,8 @@
  * multiple of eval-mode BN forward, and BN-Opt's backward pass costs
  * a multiple of its forward pass.
  *
- * Flags: --batch N (default 50).
+ * Flags: --batch N (default 50), --top N (per-layer rows, default 8),
+ * plus the common --json/--trace report options.
  */
 
 #include <cstdio>
@@ -27,7 +28,10 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    int64_t batch = argInt(argc, argv, "--batch", 50);
+    Args args(argc, argv, "host_breakdown");
+    int64_t batch = args.getInt("--batch", 50);
+    int64_t topN = args.getInt("--top", 8);
+    args.finish();
 
     data::SynthCifar ds(16);
     Rng drng(41);
@@ -107,5 +111,25 @@ main(int argc, char **argv)
                             : "-"});
     }
     emit(s);
-    return 0;
+
+    section("Top " + std::to_string(topN) +
+            " layers by fw+bw self-time (BN-Opt, per model)");
+    TextTable top;
+    top.header({"model", "layer", "class", "fw", "bw", "total"});
+    for (const std::string &mn : models::robustModelNames(true)) {
+        Rng rng(43);
+        models::Model m = models::buildModel(mn, rng);
+        auto hb =
+            profile::profileHostRun(m, Algorithm::BnOpt, b.images);
+        for (const auto &lt : hb.topLayers((size_t)topN)) {
+            top.row({models::displayName(mn), lt.name, lt.opClass,
+                     humanTime(lt.forwardSec),
+                     lt.backwardSec > 0 ? humanTime(lt.backwardSec)
+                                        : "0",
+                     humanTime(lt.totalSec())});
+        }
+        top.rule();
+    }
+    emit(top);
+    return finishReport();
 }

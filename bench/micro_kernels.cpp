@@ -3,7 +3,8 @@
  * google-benchmark microbenchmarks for the compute kernels underneath
  * every experiment: GEMM, convolution forward/backward (the BN-Opt
  * bottleneck), train- vs eval-mode batch-norm (the BN-Norm cost), the
- * entropy loss, the Adam step, and the corruption pipeline.
+ * entropy loss, the Adam step, and the corruption pipeline — plus the
+ * trace-span overhead proof (disabled spans must be branch-cheap).
  */
 
 #include <benchmark/benchmark.h>
@@ -12,6 +13,7 @@
 #include "data/synth_cifar.hh"
 #include "nn/batchnorm2d.hh"
 #include "nn/conv2d.hh"
+#include "obs/trace.hh"
 #include "tensor/gemm.hh"
 #include "train/losses.hh"
 #include "train/optimizer.hh"
@@ -174,6 +176,51 @@ BM_Corruption(benchmark::State &state)
     }
 }
 
+void
+BM_TraceSpanDisabled(benchmark::State &state)
+{
+    // The overhead budget for instrumented kernels: with tracing
+    // compiled in but off, a span is one relaxed load and an untaken
+    // branch (the name expression is never evaluated).
+    obs::setTracingEnabled(false);
+    for (auto _ : state) {
+        EA_TRACE_SPAN_CAT("tensor", "bench.noop");
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_TraceSpanEnabled(benchmark::State &state)
+{
+    obs::TraceSession session;
+    for (auto _ : state) {
+        EA_TRACE_SPAN_CAT("tensor", "bench.noop");
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_GemmTraced(benchmark::State &state)
+{
+    // End-to-end check of the <2% budget: the instrumented GEMM with
+    // tracing enabled vs BM_Gemm (disabled) at the same size.
+    obs::TraceSession session;
+    int64_t n = state.range(0);
+    Rng rng(1);
+    Tensor a = Tensor::randn(Shape{n, n}, rng);
+    Tensor b = Tensor::randn(Shape{n, n}, rng);
+    Tensor c = Tensor::zeros(Shape{n, n});
+    for (auto _ : state) {
+        gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+             c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+BENCHMARK(BM_TraceSpanDisabled);
+BENCHMARK(BM_TraceSpanEnabled);
+BENCHMARK(BM_GemmTraced)->Arg(128);
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_ConvForward)->Arg(8)->Arg(32);
 BENCHMARK(BM_ConvBackward)->Arg(8)->Arg(32);

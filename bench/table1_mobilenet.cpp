@@ -21,8 +21,10 @@ using namespace edgeadapt::bench;
 using adapt::Algorithm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv, "table1_mobilenet");
+    args.finish();
     setVerbose(false);
     Rng rng(14);
     models::Model mbv2 = models::buildModel("mobilenetv2", rng);
@@ -72,5 +74,5 @@ main()
                                         200));
     std::printf("=> offline robust training remains necessary; "
                 "adaptation alone cannot close the gap.\n");
-    return 0;
+    return finishReport();
 }

@@ -15,8 +15,10 @@ using namespace edgeadapt;
 using namespace edgeadapt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv, "table_model_stats");
+    args.finish();
     setVerbose(false);
     Rng rng(15);
 
@@ -46,5 +48,5 @@ main()
                 "bytes/param the weights are ~45 MB — the robustbench\n"
                 "checkpoint stores additional training state. See "
                 "EXPERIMENTS.md.)\n");
-    return 0;
+    return finishReport();
 }

@@ -2,6 +2,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/registry.hh"
 #include "train/losses.hh"
 
 namespace edgeadapt {
@@ -172,6 +173,14 @@ class BnOpt : public AdaptationMethod
         Tensor logits = model_.forward(images);
         EA_CHECK_FINITE("BN-Opt logits", logits.data(), logits.numel());
         train::LossResult loss = train::entropy(logits);
+        // The adaptation objective itself is a first-class signal:
+        // entropy should fall as the BN parameters settle.
+        static obs::Gauge &entropyGauge =
+            obs::Registry::global().gauge("adapt.entropy");
+        static obs::Counter &steps =
+            obs::Registry::global().counter("adapt.bnopt.steps");
+        entropyGauge.set(loss.value);
+        steps.increment();
         adam_->zeroGrad();
         model_.backward(loss.gradLogits);
         adam_->step();

@@ -1,9 +1,10 @@
 #include "adapt/session.hh"
 
-#include <chrono>
-
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "profile/timer.hh"
 #include "tensor/ops.hh"
 
 namespace edgeadapt {
@@ -22,16 +23,28 @@ runStream(AdaptationMethod &method, data::CorruptionStream &stream)
 {
     StreamResult r;
     r.corruption = stream.config().corruption;
+    EA_TRACE_SPAN_CAT("adapt",
+                      std::string("adapt.stream:") +
+                          data::corruptionName(r.corruption));
+    static obs::Counter &batchCount =
+        obs::Registry::global().counter("adapt.batches");
+    static obs::Histogram &batchSeconds =
+        obs::Registry::global().histogram("adapt.batch_seconds");
     while (stream.hasNext()) {
         data::Batch b = stream.next();
         EA_CHECK(b.size() > 0, "corruption stream produced an empty batch");
         EA_CHECK(b.images.defined() && b.images.shape()[0] == b.size(),
                  "stream batch image/label count mismatch");
-        auto t0 = std::chrono::steady_clock::now();
-        Tensor logits = method.processBatch(b.images);
-        auto t1 = std::chrono::steady_clock::now();
-        r.hostSeconds +=
-            std::chrono::duration<double>(t1 - t0).count();
+        Tensor logits;
+        {
+            EA_TRACE_SPAN_CAT("adapt", "adapt.batch");
+            profile::Stopwatch sw;
+            logits = method.processBatch(b.images);
+            double sec = sw.seconds();
+            r.hostSeconds += sec;
+            batchSeconds.observe(sec);
+        }
+        batchCount.increment();
 
         auto pred = argmaxRows(logits);
         EA_CHECK(pred.size() == b.labels.size(),
@@ -88,6 +101,9 @@ evaluate(models::Model &model, Algorithm algo,
     }
     pristine.restore(model.net());
     model.setTraining(false);
+    // Fold peak/current RSS into the metrics registry so bench
+    // reports carry the memory high-water mark of the evaluation.
+    obs::sampleProcessMemory();
 
     out.meanErrorPct =
         totalSamples

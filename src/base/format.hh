@@ -46,6 +46,16 @@ class TextTable
     /** Render the table to a string (trailing newline included). */
     std::string render() const;
 
+    /** @return the header cells (empty if header() was never called). */
+    const std::vector<std::string> &headerCells() const { return header_; }
+
+    /** @return the body rows (rules are not represented). */
+    const std::vector<std::vector<std::string>> &
+    rowCells() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
 namespace data {
@@ -19,7 +21,14 @@ Batch
 CorruptionStream::next()
 {
     panic_if(!hasNext(), "CorruptionStream exhausted");
+    EA_TRACE_SPAN_CAT("data", "data.stream.next");
+    static obs::Counter &batches =
+        obs::Registry::global().counter("data.stream.batches");
+    static obs::Counter &samples =
+        obs::Registry::global().counter("data.stream.samples");
     int64_t n = std::min(cfg_.batchSize, cfg_.totalSamples - produced_);
+    batches.increment();
+    samples.add(n);
     int64_t sz = dataset_.imageSize();
     Batch b;
     b.images = Tensor(Shape{n, 3, sz, sz});

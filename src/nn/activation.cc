@@ -1,6 +1,7 @@
 #include "nn/activation.hh"
 
 #include "base/check.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
 namespace nn {
@@ -23,6 +24,7 @@ actDesc(const std::string &label, const char *fallback, const Shape &in)
 Tensor
 ReLU::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     input_ = x;
     Tensor out(x.shape());
     const float *p = x.data();
@@ -36,6 +38,7 @@ ReLU::forward(const Tensor &x)
 Tensor
 ReLU::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     EA_CHECK(input_.defined(), "ReLU backward before forward");
     EA_CHECK_SHAPE("ReLU backward grad", grad_out.shape(),
                    input_.shape());
@@ -60,6 +63,7 @@ ReLU::trace(const Shape &in, std::vector<LayerDesc> *out) const
 Tensor
 ReLU6::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     input_ = x;
     Tensor out(x.shape());
     const float *p = x.data();
@@ -75,6 +79,7 @@ ReLU6::forward(const Tensor &x)
 Tensor
 ReLU6::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     EA_CHECK(input_.defined(), "ReLU6 backward before forward");
     EA_CHECK_SHAPE("ReLU6 backward grad", grad_out.shape(),
                    input_.shape());

@@ -5,6 +5,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
 namespace nn {
@@ -57,6 +58,7 @@ BatchNorm2d::buffers()
 Tensor
 BatchNorm2d::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     EA_CHECK(x.shape().rank() == 4, "BatchNorm2d wants NCHW input, got ",
              x.shape().str());
     EA_CHECK(x.shape()[1] == c_, "BatchNorm2d channel mismatch: got ",
@@ -143,6 +145,7 @@ BatchNorm2d::forward(const Tensor &x)
 Tensor
 BatchNorm2d::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     EA_CHECK(xhat_.defined(), "BatchNorm2d backward before forward");
     EA_CHECK_SHAPE("BatchNorm2d backward grad", grad_out.shape(),
                    xhat_.shape());

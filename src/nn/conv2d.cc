@@ -6,6 +6,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/trace.hh"
 #include "tensor/gemm.hh"
 #include "tensor/im2col.hh"
 
@@ -55,6 +56,7 @@ Conv2d::params()
 Tensor
 Conv2d::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     EA_CHECK(x.shape().rank() == 4, "Conv2d wants NCHW input, got ",
              x.shape().str());
     EA_CHECK(x.shape()[1] == inC_, "Conv2d channel mismatch: got ",
@@ -100,6 +102,7 @@ Conv2d::forward(const Tensor &x)
 Tensor
 Conv2d::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     EA_CHECK(input_.defined(), "Conv2d backward before forward");
     const Tensor &x = input_;
     const int64_t n = x.shape()[0];

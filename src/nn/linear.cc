@@ -4,6 +4,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/trace.hh"
 #include "tensor/gemm.hh"
 
 namespace edgeadapt {
@@ -31,6 +32,7 @@ Linear::params()
 Tensor
 Linear::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     EA_CHECK(x.shape().rank() == 2, "Linear wants (N, in) input, got ",
              x.shape().str());
     EA_CHECK(x.shape()[1] == in_, "Linear width mismatch: got ",
@@ -53,6 +55,7 @@ Linear::forward(const Tensor &x)
 Tensor
 Linear::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     EA_CHECK(input_.defined(), "Linear backward before forward");
     int64_t n = input_.shape()[0];
     EA_CHECK_SHAPE("Linear backward grad", grad_out.shape(),

@@ -2,6 +2,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/trace.hh"
 #include "tensor/ops.hh"
 
 namespace edgeadapt {
@@ -124,6 +125,7 @@ Sequential::at(size_t i)
 Tensor
 Sequential::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     Tensor cur = x;
     for (auto &m : mods_)
         cur = m->forward(cur);
@@ -133,6 +135,7 @@ Sequential::forward(const Tensor &x)
 Tensor
 Sequential::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     Tensor cur = grad_out;
     for (auto it = mods_.rbegin(); it != mods_.rend(); ++it)
         cur = (*it)->backward(cur);
@@ -176,6 +179,7 @@ Residual::Residual(std::unique_ptr<Module> prefix,
 Tensor
 Residual::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     Tensor p = prefix_ ? prefix_->forward(x) : x;
     Tensor y = main_->forward(p);
     Tensor skip = shortcut_ ? shortcut_->forward(p)
@@ -189,6 +193,7 @@ Residual::forward(const Tensor &x)
 Tensor
 Residual::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     Tensor gp = main_->backward(grad_out);
     if (shortcut_) {
         Tensor gs = shortcut_->backward(grad_out);
@@ -247,6 +252,7 @@ Residual::setTraining(bool training)
 Tensor
 Flatten::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     inShape_ = x.shape();
     EA_CHECK(inShape_.rank() >= 2, "Flatten wants a batched tensor, got ",
              inShape_.str());
@@ -257,6 +263,7 @@ Flatten::forward(const Tensor &x)
 Tensor
 Flatten::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     return grad_out.reshape(inShape_);
 }
 

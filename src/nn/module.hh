@@ -99,6 +99,16 @@ class Module
     /** @return the hierarchical label. */
     const std::string &label() const { return label_; }
 
+    /**
+     * @return trace-span name: "Kind" or "Kind:label". Called by the
+     * forward/backward instrumentation only when tracing is enabled.
+     */
+    std::string
+    spanName() const
+    {
+        return label_.empty() ? kind() : kind() + ":" + label_;
+    }
+
   protected:
     bool training_ = false;
     std::string label_;

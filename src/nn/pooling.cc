@@ -4,6 +4,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
 namespace nn {
@@ -29,6 +30,7 @@ AvgPool2d::AvgPool2d(int64_t kernel, int64_t stride)
 Tensor
 AvgPool2d::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     EA_CHECK(x.shape().rank() == 4, "AvgPool2d wants NCHW input, got ",
              x.shape().str());
     inShape_ = x.shape();
@@ -62,6 +64,7 @@ AvgPool2d::forward(const Tensor &x)
 Tensor
 AvgPool2d::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     EA_CHECK(inShape_.rank() == 4, "AvgPool2d backward before forward");
     int64_t n = inShape_[0], c = inShape_[1];
     int64_t h = inShape_[2], w = inShape_[3];
@@ -119,6 +122,7 @@ MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
 Tensor
 MaxPool2d::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     EA_CHECK(x.shape().rank() == 4, "MaxPool2d wants NCHW input, got ",
              x.shape().str());
     inShape_ = x.shape();
@@ -160,6 +164,7 @@ MaxPool2d::forward(const Tensor &x)
 Tensor
 MaxPool2d::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     EA_CHECK(inShape_.rank() == 4, "MaxPool2d backward before forward");
     int64_t n = inShape_[0], c = inShape_[1];
     int64_t h = inShape_[2], w = inShape_[3];
@@ -202,6 +207,7 @@ MaxPool2d::trace(const Shape &in, std::vector<LayerDesc> *out) const
 Tensor
 GlobalAvgPool2d::forward(const Tensor &x)
 {
+    EA_TRACE_SPAN_CAT("fw", spanName());
     EA_CHECK(x.shape().rank() == 4,
              "GlobalAvgPool2d wants NCHW input, got ", x.shape().str());
     inShape_ = x.shape();
@@ -224,6 +230,7 @@ GlobalAvgPool2d::forward(const Tensor &x)
 Tensor
 GlobalAvgPool2d::backward(const Tensor &grad_out)
 {
+    EA_TRACE_SPAN_CAT("bw", spanName());
     EA_CHECK(inShape_.rank() == 4,
              "GlobalAvgPool2d backward before forward");
     int64_t n = inShape_[0], c = inShape_[1];

@@ -1,0 +1,463 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace edgeadapt {
+namespace obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += (char)c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!first_.empty()) {
+        if (!first_.back())
+            out_ += ',';
+        first_.back() = false;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    panic_if(first_.empty(), "JsonWriter: endObject with no open scope");
+    first_.pop_back();
+    out_ += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    panic_if(first_.empty(), "JsonWriter: endArray with no open scope");
+    first_.pop_back();
+    out_ += ']';
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    panic_if(pendingKey_, "JsonWriter: key() twice without a value");
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(const std::string &s)
+{
+    separate();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+}
+
+void
+JsonWriter::value(const char *s)
+{
+    value(std::string(s));
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out_ += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Trim to the shortest representation that still round-trips by
+    // preferring %g at lower precision when it parses back equal.
+    for (int prec = 6; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v) {
+            out_ += probe;
+            return;
+        }
+    }
+    out_ += buf;
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    separate();
+    out_ += std::to_string(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ += v ? "true" : "false";
+}
+
+void
+JsonWriter::null()
+{
+    separate();
+    out_ += "null";
+}
+
+const JsonValue *
+JsonValue::get(const std::string &k) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(k);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/** Recursive-descent parser over a character range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (err_ && err_->empty()) {
+            *err_ = msg + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace((unsigned char)text_[pos_])) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word, size_t n)
+    {
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("invalid literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out->kind = JsonValue::Kind::String;
+            return parseString(&out->string);
+          case 't':
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out->kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string k;
+            if (!parseString(&k))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' in object");
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v))
+                return false;
+            out->object.emplace(std::move(k), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        out->kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v))
+                return false;
+            out->array.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        std::string s;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"') {
+                *out = std::move(s);
+                return true;
+            }
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                s += '"';
+                break;
+              case '\\':
+                s += '\\';
+                break;
+              case '/':
+                s += '/';
+                break;
+              case 'b':
+                s += '\b';
+                break;
+              case 'f':
+                s += '\f';
+                break;
+              case 'n':
+                s += '\n';
+                break;
+              case 'r':
+                s += '\r';
+                break;
+              case 't':
+                s += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= (unsigned)(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= (unsigned)(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= (unsigned)(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // not produced by our writer; pass them through raw).
+                if (cp < 0x80) {
+                    s += (char)cp;
+                } else if (cp < 0x800) {
+                    s += (char)(0xC0 | (cp >> 6));
+                    s += (char)(0x80 | (cp & 0x3F));
+                } else {
+                    s += (char)(0xE0 | (cp >> 12));
+                    s += (char)(0x80 | ((cp >> 6) & 0x3F));
+                    s += (char)(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        auto eatDigits = [&] {
+            while (pos_ < text_.size() &&
+                   std::isdigit((unsigned char)text_[pos_])) {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eatDigits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            eatDigits();
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            eatDigits();
+        }
+        if (!digits)
+            return fail("invalid number");
+        out->kind = JsonValue::Kind::Number;
+        out->number =
+            std::strtod(text_.substr(start, pos_ - start).c_str(),
+                        nullptr);
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+jsonParse(const std::string &text, JsonValue *out, std::string *err)
+{
+    JsonValue v;
+    Parser p(text, err);
+    if (!p.parse(&v))
+        return false;
+    *out = std::move(v);
+    return true;
+}
+
+} // namespace obs
+} // namespace edgeadapt

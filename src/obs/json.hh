@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: an escaping
+ * streaming writer used by the trace exporter and the bench report
+ * machinery, plus a small recursive-descent parser used by tests and
+ * tools to validate that exported documents round-trip. Intentionally
+ * tiny — no external dependency, no DOM mutation API.
+ */
+
+#ifndef EDGEADAPT_OBS_JSON_HH
+#define EDGEADAPT_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace edgeadapt {
+namespace obs {
+
+/** @return @p s escaped for embedding in a JSON string (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer building a document in memory. Calls must be
+ * balanced (beginObject/endObject, beginArray/endArray); inside an
+ * object every value must be preceded by key(). Separators are
+ * inserted automatically. panic() on structural misuse.
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key for the next value (objects only). */
+    void key(const std::string &k);
+
+    void value(const std::string &s);
+    void value(const char *s);
+    void value(double v);
+    void value(int64_t v);
+    void value(int v) { value((int64_t)v); }
+    void value(uint64_t v) { value((int64_t)v); }
+    void value(bool v);
+    void null();
+
+    /** @return the document built so far. */
+    const std::string &str() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    /// one entry per open container: true while no element written yet
+    std::vector<bool> first_;
+    bool pendingKey_ = false;
+};
+
+/**
+ * Parsed JSON value (null / bool / number / string / array / object).
+ * Numbers are stored as double — sufficient for the documents this
+ * repo produces (timestamps, counts, table cells).
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** @return member of an object, or null if absent/not an object. */
+    const JsonValue *get(const std::string &k) const;
+};
+
+/**
+ * Parse a complete JSON document.
+ *
+ * @param text document text.
+ * @param out parsed value (untouched on failure).
+ * @param err optional error description sink.
+ * @return true on success.
+ */
+bool jsonParse(const std::string &text, JsonValue *out,
+               std::string *err = nullptr);
+
+} // namespace obs
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_OBS_JSON_HH

@@ -1,0 +1,219 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "base/check.hh"
+#include "obs/json.hh"
+
+namespace edgeadapt {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    EA_CHECK(!bounds_.empty(), "histogram needs at least one bound");
+    EA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+             "histogram bounds must be ascending");
+}
+
+void
+Histogram::observe(double v)
+{
+    size_t i = (size_t)(std::upper_bound(bounds_.begin(), bounds_.end(),
+                                         v) -
+                        bounds_.begin());
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomicAddDouble(sum_, v);
+}
+
+std::vector<int64_t>
+Histogram::counts() const
+{
+    std::vector<int64_t> out(buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry &
+Registry::global()
+{
+    static Registry r;
+    return r;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>(
+            bounds.empty() ? defaultLatencyBounds() : bounds);
+    }
+    return *slot;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot s;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counters_)
+        s.counters[name] = c->value();
+    for (const auto &[name, g] : gauges_)
+        s.gauges[name] = g->value();
+    for (const auto &[name, h] : histograms_) {
+        HistogramData d;
+        d.bounds = h->bounds();
+        d.counts = h->counts();
+        d.count = h->count();
+        d.sum = h->sum();
+        s.histograms[name] = std::move(d);
+    }
+    return s;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+void
+Snapshot::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, v] : counters) {
+        w.key(name);
+        w.value(v);
+    }
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, v] : gauges) {
+        w.key(name);
+        w.value(v);
+    }
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, h] : histograms) {
+        w.key(name);
+        w.beginObject();
+        w.key("bounds");
+        w.beginArray();
+        for (double b : h.bounds)
+            w.value(b);
+        w.endArray();
+        w.key("counts");
+        w.beginArray();
+        for (int64_t c : h.counts)
+            w.value(c);
+        w.endArray();
+        w.key("count");
+        w.value(h.count);
+        w.key("sum");
+        w.value(h.sum);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+Snapshot::json() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+const std::vector<double> &
+defaultLatencyBounds()
+{
+    // Log-ish spacing from 100 us to 10 s, 3 points per decade —
+    // covers per-batch adaptation latencies on everything from this
+    // host to the paper's slowest edge board.
+    static const std::vector<double> bounds{
+        1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+        5e-2, 1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0,
+    };
+    return bounds;
+}
+
+bool
+sampleProcessMemory()
+{
+#ifdef __linux__
+    std::ifstream status("/proc/self/status");
+    if (!status)
+        return false;
+    double rssKb = -1.0, hwmKb = -1.0;
+    std::string line;
+    while (std::getline(status, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        double kb = 0.0;
+        ls >> key >> kb;
+        if (key == "VmRSS:")
+            rssKb = kb;
+        else if (key == "VmHWM:")
+            hwmKb = kb;
+    }
+    if (rssKb < 0.0 && hwmKb < 0.0)
+        return false;
+    Registry &reg = Registry::global();
+    if (rssKb >= 0.0)
+        reg.gauge("process.vm_rss_kb").set(rssKb);
+    if (hwmKb >= 0.0)
+        reg.gauge("process.vm_hwm_kb").set(hwmKb);
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace obs
+} // namespace edgeadapt

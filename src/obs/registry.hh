@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Metrics registry — the second pillar of the observability layer:
+ * named counters, gauges, and fixed-bucket histograms with lock-free
+ * hot paths. Instruments are registered once (mutex-protected name
+ * lookup) and the returned references stay valid for the process
+ * lifetime, so hot code caches them in function-local statics:
+ *
+ *   static obs::Counter &flops =
+ *       obs::Registry::global().counter("tensor.gemm.flops");
+ *   flops.add(2 * m * n * k);
+ *
+ * Registry::snapshot() captures every instrument into plain maps for
+ * reporting (bench --json, tests). sampleProcessMemory() folds the
+ * Linux VmRSS/VmHWM numbers into gauges (graceful no-op elsewhere).
+ */
+
+#ifndef EDGEADAPT_OBS_REGISTRY_HH
+#define EDGEADAPT_OBS_REGISTRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace edgeadapt {
+namespace obs {
+
+class JsonWriter;
+
+namespace detail {
+
+/** Portable relaxed add for atomic<double> (CAS loop). */
+inline void
+atomicAddDouble(std::atomic<double> &a, double d)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + d,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace detail
+
+/** Monotonic event/quantity counter. */
+class Counter
+{
+  public:
+    void add(int64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+    void increment() { add(1); }
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Last-value-wins instantaneous measurement. */
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations <= bounds[i];
+ * one overflow bucket catches the rest. Bounds are fixed at
+ * registration; observe() is wait-free (one atomic increment plus a
+ * CAS-loop sum update).
+ */
+class Histogram
+{
+  public:
+    /** @param bounds ascending upper bounds (non-empty). */
+    explicit Histogram(std::vector<double> bounds);
+
+    /** Record one observation. */
+    void observe(double v);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** @return per-bucket counts (bounds.size() + 1 entries). */
+    std::vector<int64_t> counts() const;
+
+    int64_t count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<int64_t>> buckets_;
+    std::atomic<int64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Plain-data capture of one histogram. */
+struct HistogramData
+{
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;
+    int64_t count = 0;
+    double sum = 0.0;
+};
+
+/** Point-in-time capture of every registered instrument. */
+struct Snapshot
+{
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+
+    /** Append this snapshot as one JSON object value to @p w. */
+    void writeJson(JsonWriter &w) const;
+
+    /** @return the snapshot as a standalone JSON document. */
+    std::string json() const;
+};
+
+/**
+ * Name -> instrument registry. Lookups are mutex-protected; the
+ * returned references are stable for the process lifetime.
+ */
+class Registry
+{
+  public:
+    /** @return the process-wide registry. */
+    static Registry &global();
+
+    /** Find-or-create a counter. */
+    Counter &counter(const std::string &name);
+
+    /** Find-or-create a gauge. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create a histogram. @p bounds applies on first
+     * registration only (empty = defaultLatencyBounds()).
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds = {});
+
+    /** Capture every instrument. */
+    Snapshot snapshot() const;
+
+    /** Zero every instrument (registrations survive). */
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Log-spaced latency bounds in seconds (100 us .. 10 s). */
+const std::vector<double> &defaultLatencyBounds();
+
+/**
+ * Sample /proc/self/status and set the process.vm_rss_kb and
+ * process.vm_hwm_kb gauges (peak RSS). @return true if sampled
+ * (always false off Linux — graceful no-op).
+ */
+bool sampleProcessMemory();
+
+} // namespace obs
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_OBS_REGISTRY_HH

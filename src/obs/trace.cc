@@ -1,0 +1,332 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace edgeadapt {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> traceEnabled{false};
+} // namespace detail
+
+namespace {
+
+/** Ring buffer of closed spans owned by one thread. */
+struct ThreadBuffer
+{
+    std::mutex mu;                ///< guards events/next/wrapped/dropped
+    std::vector<TraceEvent> events;
+    size_t next = 0;              ///< ring write cursor
+    bool wrapped = false;
+    uint64_t dropped = 0;
+    int depth = 0;                ///< owner-thread only (not locked)
+    uint32_t tid = 0;
+    size_t capacity = 0;
+};
+
+struct BufferRegistry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::atomic<uint32_t> nextTid{1};
+};
+
+BufferRegistry &
+registryOf()
+{
+    static BufferRegistry r;
+    return r;
+}
+
+size_t
+ringCapacity()
+{
+    static const size_t cap = [] {
+        const char *v = std::getenv("EDGEADAPT_TRACE_BUFFER");
+        if (v && *v) {
+            long n = std::atol(v);
+            if (n >= 1024)
+                return (size_t)n;
+        }
+        return (size_t)(1 << 16);
+    }();
+    return cap;
+}
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        BufferRegistry &r = registryOf();
+        b->tid = r.nextTid.fetch_add(1, std::memory_order_relaxed);
+        b->capacity = ringCapacity();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/** Path for the EDGEADAPT_TRACE exit export ("" = none). */
+std::string &
+exitTracePath()
+{
+    static std::string path;
+    return path;
+}
+
+void
+exportTraceAtExit()
+{
+    if (!exitTracePath().empty())
+        writeChromeTrace(exitTracePath());
+}
+
+/** Applies EDGEADAPT_TRACE at static-init time. */
+struct TraceEnvInit
+{
+    TraceEnvInit()
+    {
+        const char *v = std::getenv("EDGEADAPT_TRACE");
+        if (!v || !*v || std::strcmp(v, "0") == 0)
+            return;
+        setTracingEnabled(true);
+        if (std::strcmp(v, "1") != 0) {
+            // Everything the exit handler touches must be constructed
+            // BEFORE std::atexit() so its destructor is sequenced
+            // after the export (atexit handlers and function-local
+            // static destructors share one LIFO stack). Otherwise the
+            // registry dies first and the export reads freed memory.
+            registryOf();
+            traceEpoch();
+            exitTracePath() = v;
+            std::atexit(exportTraceAtExit);
+        }
+    }
+};
+
+TraceEnvInit traceEnvInit;
+
+} // namespace
+
+void
+setTracingEnabled(bool on)
+{
+    detail::traceEnabled.store(on, std::memory_order_relaxed);
+}
+
+int64_t
+traceNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - traceEpoch())
+        .count();
+}
+
+Span::Span(const char *name, const char *category)
+{
+    open(name, std::strlen(name), category);
+}
+
+Span::Span(const std::string &name, const char *category)
+{
+    open(name.data(), name.size(), category);
+}
+
+void
+Span::open(const char *name, size_t len, const char *category)
+{
+    size_t n = std::min(len, TraceEvent::kMaxName);
+    std::memcpy(name_, name, n);
+    name_[n] = '\0';
+    cat_ = category;
+    depth_ = threadBuffer().depth++;
+    startNs_ = traceNowNs();
+}
+
+Span::~Span()
+{
+    if (startNs_ < 0)
+        return;
+    int64_t end = traceNowNs();
+    ThreadBuffer &b = threadBuffer();
+    --b.depth;
+    std::lock_guard<std::mutex> lock(b.mu);
+    if (b.events.size() < b.capacity) {
+        b.events.push_back(TraceEvent{});
+    } else {
+        b.wrapped = true;
+        ++b.dropped;
+    }
+    TraceEvent &ev = b.events[b.next];
+    b.next = (b.next + 1) % b.capacity;
+    std::memcpy(ev.name, name_, sizeof(name_));
+    ev.cat = cat_;
+    ev.startNs = startNs_;
+    ev.durNs = end - startNs_;
+    ev.depth = depth_;
+    ev.tid = b.tid;
+}
+
+std::vector<TraceEvent>
+collectTraceEvents()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+    {
+        BufferRegistry &r = registryOf();
+        std::lock_guard<std::mutex> lock(r.mu);
+        bufs = r.buffers;
+    }
+    std::vector<TraceEvent> out;
+    for (const auto &b : bufs) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.durNs > b.durNs; // parents before children
+              });
+    return out;
+}
+
+void
+clearTraceEvents()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+    {
+        BufferRegistry &r = registryOf();
+        std::lock_guard<std::mutex> lock(r.mu);
+        bufs = r.buffers;
+    }
+    for (const auto &b : bufs) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        b->events.clear();
+        b->next = 0;
+        b->wrapped = false;
+        b->dropped = 0;
+    }
+}
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const TraceEvent &ev : events) {
+        w.beginObject();
+        w.key("name");
+        w.value(std::string(ev.name));
+        if (ev.cat && *ev.cat) {
+            w.key("cat");
+            w.value(ev.cat);
+        }
+        w.key("ph");
+        w.value("X");
+        // Chrome trace timestamps are microseconds.
+        w.key("ts");
+        w.value((double)ev.startNs / 1000.0);
+        w.key("dur");
+        w.value((double)ev.durNs / 1000.0);
+        w.key("pid");
+        w.value((int64_t)1);
+        w.key("tid");
+        w.value((int64_t)ev.tid);
+        w.key("args");
+        w.beginObject();
+        w.key("depth");
+        w.value((int64_t)ev.depth);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+writeChromeTrace(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!out, "cannot open trace output file: ", path);
+    out << chromeTraceJson(collectTraceEvents()) << "\n";
+    fatal_if(!out.good(), "failed writing trace to ", path);
+}
+
+TraceSession::TraceSession(bool enable)
+    : prevEnabled_(tracingEnabled())
+{
+    clearTraceEvents();
+    if (enable)
+        setTracingEnabled(true);
+}
+
+TraceSession::~TraceSession()
+{
+    setTracingEnabled(prevEnabled_);
+}
+
+std::vector<TraceEvent>
+TraceSession::snapshot() const
+{
+    return collectTraceEvents();
+}
+
+uint64_t
+TraceSession::droppedEvents() const
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+    {
+        BufferRegistry &r = registryOf();
+        std::lock_guard<std::mutex> lock(r.mu);
+        bufs = r.buffers;
+    }
+    uint64_t dropped = 0;
+    for (const auto &b : bufs) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        dropped += b->dropped;
+    }
+    return dropped;
+}
+
+std::string
+TraceSession::chromeTraceJson() const
+{
+    return obs::chromeTraceJson(snapshot());
+}
+
+void
+TraceSession::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!out, "cannot open trace output file: ", path);
+    out << chromeTraceJson() << "\n";
+    fatal_if(!out.good(), "failed writing trace to ", path);
+}
+
+} // namespace obs
+} // namespace edgeadapt

@@ -1,142 +1,180 @@
 #include "profile/host_profiler.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "base/logging.hh"
 #include "nn/module.hh"
-#include "profile/timer.hh"
-#include "tensor/ops.hh"
-#include "train/losses.hh"
-#include "train/optimizer.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
 namespace profile {
 
 namespace {
 
-using nn::Module;
-using nn::Residual;
-using nn::Sequential;
-
-/** Map a module kind() to the paper's profiler buckets. */
+/** Map a module kind (span-name prefix) to the paper's buckets. */
 std::string
-classOf(const Module &m)
+classOf(const std::string &kind)
 {
-    const std::string k = m.kind();
-    if (k == "Conv2d")
+    if (kind == "Conv2d")
         return "conv";
-    if (k == "BatchNorm2d")
+    if (kind == "BatchNorm2d")
         return "batchnorm";
-    if (k == "Linear")
+    if (kind == "Linear")
         return "linear";
-    if (k == "ReLU" || k == "ReLU6")
+    if (kind == "ReLU" || kind == "ReLU6")
         return "activation";
-    if (k == "AvgPool2d" || k == "MaxPool2d" || k == "GlobalAvgPool2d")
+    if (kind == "AvgPool2d" || kind == "MaxPool2d" ||
+        kind == "GlobalAvgPool2d") {
         return "pool";
+    }
+    // Composites (Sequential, Residual: the residual add) and Flatten.
     return "other";
 }
 
-/**
- * Execution mirror of the module graph that times each primitive.
- * Composites (Sequential, Residual) are recursed; the residual "add"
- * cost lands in the "other" bucket.
- */
-Tensor
-timedForward(Module &m, const Tensor &x, HostBreakdown &hb)
+/** Give unlabeled primitives "#<index>" labels for per-layer rows. */
+void
+labelPrimitives(nn::Module &root)
 {
-    if (auto *seq = dynamic_cast<Sequential *>(&m)) {
-        Tensor cur = x;
-        for (Module *c : seq->children())
-            cur = timedForward(*c, cur, hb);
-        return cur;
+    int index = 0;
+    for (nn::Module *m : nn::collectModules(root)) {
+        if (!m->children().empty())
+            continue;
+        if (m->label().empty())
+            m->setLabel("#" + std::to_string(index));
+        ++index;
     }
-    if (auto *res = dynamic_cast<Residual *>(&m)) {
-        Tensor p = res->prefix() ? timedForward(*res->prefix(), x, hb)
-                                 : x;
-        Tensor y = timedForward(*res->mainBranch(), p, hb);
-        Tensor skip = res->shortcut()
-                          ? timedForward(*res->shortcut(), p, hb)
-                          : (res->prefix() ? x : p);
-        Stopwatch sw;
-        addInPlace(y, skip);
-        hb.forwardSec["other"] += sw.seconds();
-        return y;
-    }
-    Stopwatch sw;
-    Tensor y = m.forward(x);
-    hb.forwardSec[classOf(m)] += sw.seconds();
-    return y;
 }
 
-/** Reverse mirror for the backward pass. */
-Tensor
-timedBackward(Module &m, const Tensor &g, HostBreakdown &hb)
+bool
+isPassCat(const char *cat)
 {
-    if (auto *seq = dynamic_cast<Sequential *>(&m)) {
-        Tensor cur = g;
-        auto kids = seq->children();
-        for (auto it = kids.rbegin(); it != kids.rend(); ++it)
-            cur = timedBackward(**it, cur, hb);
-        return cur;
-    }
-    if (auto *res = dynamic_cast<Residual *>(&m)) {
-        Tensor gp = timedBackward(*res->mainBranch(), g, hb);
-        if (res->shortcut()) {
-            Tensor gs = timedBackward(*res->shortcut(), g, hb);
-            Stopwatch sw;
-            addInPlace(gp, gs);
-            hb.backwardSec["other"] += sw.seconds();
-            return res->prefix()
-                       ? timedBackward(*res->prefix(), gp, hb)
-                       : gp;
+    return cat && (std::strcmp(cat, "fw") == 0 ||
+                   std::strcmp(cat, "bw") == 0);
+}
+
+/**
+ * Fold trace events into the breakdown. Module spans ("fw"/"bw")
+ * contribute their *self* time — duration minus direct fw/bw
+ * children — so nested kernel spans (cat "tensor" etc.) stay
+ * attributed to the module that issued them. Top-level fw/bw spans
+ * (no fw/bw ancestor) define the pass totals.
+ */
+HostBreakdown
+aggregate(const std::vector<obs::TraceEvent> &events)
+{
+    HostBreakdown hb;
+    std::map<std::string, size_t> layerIndex;
+
+    struct Open
+    {
+        const obs::TraceEvent *ev;
+        int64_t passChildNs = 0; ///< ns consumed by direct fw/bw kids
+    };
+    std::vector<Open> stack;
+
+    auto finalize = [&](const Open &o) {
+        if (!isPassCat(o.ev->cat))
+            return;
+        double selfSec = (double)(o.ev->durNs - o.passChildNs) * 1e-9;
+        std::string name(o.ev->name);
+        std::string kind = name.substr(0, name.find(':'));
+        std::string cls = classOf(kind);
+        bool fw = std::strcmp(o.ev->cat, "fw") == 0;
+        (fw ? hb.forwardSec : hb.backwardSec)[cls] += selfSec;
+
+        // Composites (Sequential/Residual: bare, unlabeled names) are
+        // plumbing, not layers — bucketed above but no per-layer row.
+        if (name.find(':') == std::string::npos)
+            return;
+        auto [it, inserted] =
+            layerIndex.emplace(name, hb.perLayer.size());
+        if (inserted) {
+            LayerTime lt;
+            lt.name = name;
+            lt.opClass = cls;
+            hb.perLayer.push_back(std::move(lt));
         }
-        if (res->prefix()) {
-            Tensor gx = timedBackward(*res->prefix(), gp, hb);
-            Stopwatch sw;
-            addInPlace(gx, g);
-            hb.backwardSec["other"] += sw.seconds();
-            return gx;
+        LayerTime &lt = hb.perLayer[it->second];
+        (fw ? lt.forwardSec : lt.backwardSec) += selfSec;
+    };
+
+    // Events are sorted by (tid, start, -dur): parents precede their
+    // children, so a stack reconstructs the nesting.
+    uint32_t curTid = 0;
+    for (const obs::TraceEvent &ev : events) {
+        if (ev.tid != curTid) {
+            while (!stack.empty()) {
+                finalize(stack.back());
+                stack.pop_back();
+            }
+            curTid = ev.tid;
         }
-        Stopwatch sw;
-        addInPlace(gp, g);
-        hb.backwardSec["other"] += sw.seconds();
-        return gp;
+        while (!stack.empty() &&
+               stack.back().ev->endNs() <= ev.startNs) {
+            finalize(stack.back());
+            stack.pop_back();
+        }
+        if (isPassCat(ev.cat)) {
+            // Attribute this span to the nearest fw/bw ancestor; with
+            // none it is a pass root and defines the pass total.
+            bool foundParent = false;
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+                if (isPassCat(it->ev->cat)) {
+                    it->passChildNs += ev.durNs;
+                    foundParent = true;
+                    break;
+                }
+            }
+            if (!foundParent) {
+                double sec = (double)ev.durNs * 1e-9;
+                if (std::strcmp(ev.cat, "fw") == 0)
+                    hb.totalForward += sec;
+                else
+                    hb.totalBackward += sec;
+            }
+        }
+        stack.push_back(Open{&ev, 0});
     }
-    Stopwatch sw;
-    Tensor gi = m.backward(g);
-    hb.backwardSec[classOf(m)] += sw.seconds();
-    return gi;
+    while (!stack.empty()) {
+        finalize(stack.back());
+        stack.pop_back();
+    }
+    return hb;
 }
 
 } // namespace
+
+std::vector<LayerTime>
+HostBreakdown::topLayers(size_t n) const
+{
+    std::vector<LayerTime> out = perLayer;
+    std::sort(out.begin(), out.end(),
+              [](const LayerTime &a, const LayerTime &b) {
+                  return a.totalSec() > b.totalSec();
+              });
+    if (out.size() > n)
+        out.resize(n);
+    return out;
+}
 
 HostBreakdown
 profileHostRun(models::Model &model, adapt::Algorithm algo,
                const Tensor &images)
 {
-    HostBreakdown hb;
-
-    // Configure mode/grad flags exactly as the algorithms do.
+    labelPrimitives(model.net());
     auto method = adapt::makeMethod(algo, model);
-    (void)method; // configuration side effects only
 
-    Stopwatch fwTotal;
-    Tensor logits = timedForward(model.net(), images, hb);
-    hb.totalForward = fwTotal.seconds();
+    obs::TraceSession session;
+    Tensor logits = method->processBatch(images);
+    (void)logits;
 
-    if (algo == adapt::Algorithm::BnOpt) {
-        train::LossResult loss = train::entropy(logits);
-        std::vector<nn::Parameter *> bnAffine;
-        for (auto *p : nn::collectParameters(model.net())) {
-            if (p->isBnAffine)
-                bnAffine.push_back(p);
-        }
-        train::Adam adam(bnAffine);
-        adam.zeroGrad();
-        Stopwatch bwTotal;
-        timedBackward(model.net(), loss.gradLogits, hb);
-        hb.totalBackward = bwTotal.seconds();
-        adam.step();
+    std::vector<obs::TraceEvent> events = session.snapshot();
+    if (session.droppedEvents() > 0) {
+        warn("host profiler trace buffer wrapped; breakdown is "
+             "incomplete (raise EDGEADAPT_TRACE_BUFFER)");
     }
-    return hb;
+    return aggregate(events);
 }
 
 } // namespace profile

@@ -1,10 +1,12 @@
 /**
  * @file
- * Host-side per-op-class profiler — the measured analogue of the
- * PyTorch Autograd profiler the paper uses for Figs. 4/7/10. It wraps
- * a real model execution (on this machine, not a modeled device) and
- * accumulates wall-clock time per op class for the forward and
- * backward passes, by timing each primitive module.
+ * Host-side profiler — the measured analogue of the PyTorch Autograd
+ * profiler the paper uses for Figs. 4/7/10. Since the observability
+ * layer landed, this is a thin consumer of trace spans: it runs one
+ * real adaptation batch under an obs::TraceSession and aggregates the
+ * per-module spans (cat "fw"/"bw") into per-op-class and per-layer
+ * wall-clock time, instead of re-implementing a timed execution
+ * mirror of the module graph.
  */
 
 #ifndef EDGEADAPT_PROFILE_HOST_PROFILER_HH
@@ -12,12 +14,25 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "adapt/method.hh"
 #include "models/model.hh"
 
 namespace edgeadapt {
 namespace profile {
+
+/** Wall-clock self-time of one module (layer) in the profiled run. */
+struct LayerTime
+{
+    std::string name;    ///< span name, e.g. "Conv2d:#12"
+    std::string opClass; ///< paper bucket: conv/batchnorm/linear/...
+    double forwardSec = 0.0;
+    double backwardSec = 0.0;
+
+    /** @return combined forward+backward time. */
+    double totalSec() const { return forwardSec + backwardSec; }
+};
 
 /** Wall-clock seconds per op class, forward and backward. */
 struct HostBreakdown
@@ -26,14 +41,21 @@ struct HostBreakdown
     std::map<std::string, double> backwardSec;
     double totalForward = 0.0;
     double totalBackward = 0.0;
+    /// per-layer self-times in first-execution order
+    std::vector<LayerTime> perLayer;
+
+    /** @return the @p n most expensive layers (fw+bw, descending). */
+    std::vector<LayerTime> topLayers(size_t n) const;
 };
 
 /**
  * Execute one adaptation batch on the host and profile it.
  *
- * The primitive modules are timed individually: the batch is pushed
- * through the flattened layer list while accumulating per-class time.
- * For BN-Opt the entropy backward is profiled the same way.
+ * The batch runs through AdaptationMethod::processBatch under a trace
+ * session; per-module spans are folded into per-class buckets (module
+ * self-time, composites landing in "other") and a per-layer table.
+ * Unlabeled primitive modules are assigned "#<index>" labels first so
+ * per-layer rows are distinguishable.
  *
  * @param model network (mode is set according to @p algo).
  * @param algo adaptation algorithm to emulate.

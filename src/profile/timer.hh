@@ -1,7 +1,9 @@
 /**
  * @file
- * Host wall-clock timing utilities used by the measured experiments
- * and microbenchmarks.
+ * Host wall-clock timing for the measured experiments and
+ * microbenchmarks. This is the one place library code may touch
+ * std::chrono directly (the lint enforces that); scoped/structured
+ * timing goes through obs/trace.hh spans instead.
  */
 
 #ifndef EDGEADAPT_PROFILE_TIMER_HH
@@ -32,23 +34,6 @@ class Stopwatch
   private:
     using clock = std::chrono::steady_clock;
     clock::time_point start_;
-};
-
-/** Adds its lifetime to an accumulator on destruction. */
-class ScopedTimer
-{
-  public:
-    /** @param acc accumulator (seconds) to add to. */
-    explicit ScopedTimer(double &acc) : acc_(acc) {}
-
-    ~ScopedTimer() { acc_ += sw_.seconds(); }
-
-    ScopedTimer(const ScopedTimer &) = delete;
-    ScopedTimer &operator=(const ScopedTimer &) = delete;
-
-  private:
-    double &acc_;
-    Stopwatch sw_;
 };
 
 } // namespace profile

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "base/check.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
 
@@ -59,6 +61,13 @@ gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
              ")");
     EA_DCHECK(m == 0 || n == 0 || k == 0 || (a && b && c),
              "gemm with null operand");
+    EA_TRACE_SPAN_CAT("tensor", "gemm");
+    static obs::Counter &gemmCalls =
+        obs::Registry::global().counter("tensor.gemm.calls");
+    static obs::Counter &gemmFlops =
+        obs::Registry::global().counter("tensor.gemm.flops");
+    gemmCalls.increment();
+    gemmFlops.add(2 * m * n * k);
     // Scale / clear C first.
     if (beta == 0.0f) {
         std::fill(c, c + m * n, 0.0f);

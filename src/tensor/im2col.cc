@@ -2,8 +2,23 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
+
+namespace {
+
+/** Column-matrix bytes moved by one im2col/col2im call. */
+void
+recordColBytes(int64_t channels, int64_t kh, int64_t kw, int64_t outArea)
+{
+    static obs::Counter &bytes =
+        obs::Registry::global().counter("tensor.im2col.bytes");
+    bytes.add(channels * kh * kw * outArea * (int64_t)sizeof(float));
+}
+
+} // namespace
 
 int64_t
 convOutDim(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
@@ -28,9 +43,11 @@ void
 im2col(const float *data, int64_t channels, int64_t h, int64_t w,
        int64_t kh, int64_t kw, int64_t stride, int64_t pad, float *cols)
 {
+    EA_TRACE_SPAN_CAT("tensor", "im2col");
     const int64_t outH = convOutDim(h, kh, stride, pad);
     const int64_t outW = convOutDim(w, kw, stride, pad);
     const int64_t outArea = outH * outW;
+    recordColBytes(channels, kh, kw, outArea);
 
     float *out = cols;
     for (int64_t c = 0; c < channels; ++c) {
@@ -63,9 +80,11 @@ void
 col2im(const float *cols, int64_t channels, int64_t h, int64_t w,
        int64_t kh, int64_t kw, int64_t stride, int64_t pad, float *data)
 {
+    EA_TRACE_SPAN_CAT("tensor", "col2im");
     const int64_t outH = convOutDim(h, kh, stride, pad);
     const int64_t outW = convOutDim(w, kw, stride, pad);
     const int64_t outArea = outH * outW;
+    recordColBytes(channels, kh, kw, outArea);
 
     const float *in = cols;
     for (int64_t c = 0; c < channels; ++c) {

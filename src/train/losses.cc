@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/trace.hh"
 #include "tensor/ops.hh"
 
 namespace edgeadapt {
@@ -38,6 +39,7 @@ crossEntropy(const Tensor &logits, const std::vector<int> &labels)
 LossResult
 entropy(const Tensor &logits)
 {
+    EA_TRACE_SPAN_CAT("train", "train.entropy");
     panic_if(logits.shape().rank() != 2, "entropy wants (N,C)");
     int64_t n = logits.shape()[0], c = logits.shape()[1];
 

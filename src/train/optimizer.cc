@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace edgeadapt {
 namespace train {
@@ -66,6 +67,7 @@ Adam::Adam(std::vector<nn::Parameter *> params, float lr, float beta1,
 void
 Adam::step()
 {
+    EA_TRACE_SPAN_CAT("train", "train.adam.step");
     ++t_;
     float bc1 = 1.0f - std::pow(beta1_, (float)t_);
     float bc2 = 1.0f - std::pow(beta2_, (float)t_);

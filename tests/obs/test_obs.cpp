@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Observability-layer tests: span nesting and the disabled fast path,
+ * Chrome trace-event export round-tripping through the in-tree JSON
+ * parser, metrics registry aggregation (including under concurrent
+ * writers), and the end-to-end guarantee that a traced adapt::evaluate
+ * run exports per-layer spans nested inside the batch spans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "adapt/session.hh"
+#include "data/synth_cifar.hh"
+#include "models/registry.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::obs;
+
+namespace {
+
+/** Spin long enough that a span's duration is measurably non-zero. */
+void
+burn()
+{
+    volatile double x = 0;
+    for (int i = 0; i < 20000; ++i)
+        x = x + (double)i;
+}
+
+/** @return events from @p evs whose name matches exactly. */
+std::vector<TraceEvent>
+byName(const std::vector<TraceEvent> &evs, const char *name)
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &e : evs) {
+        if (std::strcmp(e.name, name) == 0)
+            out.push_back(e);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Trace, SpansNestAcrossScopes)
+{
+    TraceSession session;
+    {
+        EA_TRACE_SPAN("outer");
+        burn();
+        {
+            EA_TRACE_SPAN_CAT("tensor", "inner");
+            burn();
+        }
+        {
+            EA_TRACE_SPAN("inner2");
+            burn();
+        }
+    }
+    auto evs = session.snapshot();
+    ASSERT_EQ(evs.size(), 3u);
+
+    auto outer = byName(evs, "outer");
+    auto inner = byName(evs, "inner");
+    auto inner2 = byName(evs, "inner2");
+    ASSERT_EQ(outer.size(), 1u);
+    ASSERT_EQ(inner.size(), 1u);
+    ASSERT_EQ(inner2.size(), 1u);
+
+    // Depths reflect lexical nesting; timestamps reflect containment.
+    EXPECT_EQ(outer[0].depth, 0);
+    EXPECT_EQ(inner[0].depth, 1);
+    EXPECT_EQ(inner2[0].depth, 1);
+    EXPECT_STREQ(inner[0].cat, "tensor");
+    EXPECT_GE(inner[0].startNs, outer[0].startNs);
+    EXPECT_LE(inner[0].endNs(), outer[0].endNs());
+    EXPECT_GE(inner2[0].startNs, inner[0].endNs());
+    EXPECT_LE(inner2[0].endNs(), outer[0].endNs());
+    EXPECT_GT(outer[0].durNs, 0);
+    EXPECT_EQ(session.droppedEvents(), 0u);
+}
+
+TEST(Trace, DisabledTracingRecordsNothing)
+{
+    clearTraceEvents();
+    setTracingEnabled(false);
+    {
+        EA_TRACE_SPAN("invisible");
+        EA_TRACE_SPAN_CAT("fw", std::string("also-invisible"));
+        burn();
+    }
+    EXPECT_TRUE(collectTraceEvents().empty());
+}
+
+TEST(Trace, DisabledSpanDoesNotEvaluateNameExpression)
+{
+    setTracingEnabled(false);
+    int evaluations = 0;
+    auto expensiveName = [&]() {
+        ++evaluations;
+        return std::string("expensive");
+    };
+    {
+        EA_TRACE_SPAN(expensiveName());
+    }
+    EXPECT_EQ(evaluations, 0);
+
+    TraceSession session;
+    {
+        EA_TRACE_SPAN(expensiveName());
+    }
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Trace, LongNamesAreTruncatedNotCorrupted)
+{
+    TraceSession session;
+    {
+        EA_TRACE_SPAN(std::string(200, 'x'));
+    }
+    auto evs = session.snapshot();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(std::strlen(evs[0].name), TraceEvent::kMaxName);
+}
+
+TEST(Trace, ChromeTraceJsonRoundTrips)
+{
+    TraceSession session;
+    {
+        EA_TRACE_SPAN_CAT("adapt", "parent \"quoted\"");
+        burn();
+        {
+            EA_TRACE_SPAN_CAT("fw", "child");
+            burn();
+        }
+    }
+    std::string doc = session.chromeTraceJson();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(doc, &v, &err)) << err;
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *events = v.get("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->array.size(), 2u);
+
+    for (const JsonValue &e : events->array) {
+        ASSERT_TRUE(e.isObject());
+        EXPECT_EQ(e.get("ph")->string, "X");
+        EXPECT_TRUE(e.get("ts")->isNumber());
+        EXPECT_TRUE(e.get("dur")->isNumber());
+        EXPECT_TRUE(e.get("name")->isString());
+    }
+    // The escaped name survives the round trip.
+    bool found = false;
+    for (const JsonValue &e : events->array)
+        found = found || e.get("name")->string == "parent \"quoted\"";
+    EXPECT_TRUE(found);
+}
+
+TEST(Json, ParserHandlesEscapesAndNesting)
+{
+    const std::string doc =
+        "{\"a\": [1, 2.5, -3e2], \"s\": \"q\\\"\\u0041\\n\", "
+        "\"o\": {\"b\": true, \"n\": null}}";
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(doc, &v, &err)) << err;
+    EXPECT_DOUBLE_EQ(v.get("a")->array[2].number, -300.0);
+    EXPECT_EQ(v.get("s")->string, "q\"A\n");
+    EXPECT_TRUE(v.get("o")->get("b")->boolean);
+    EXPECT_EQ(v.get("o")->get("n")->kind, JsonValue::Kind::Null);
+
+    EXPECT_FALSE(jsonParse("{\"unterminated\": ", &v, &err));
+    EXPECT_FALSE(jsonParse("{} trailing", &v, &err));
+}
+
+TEST(Registry, CountersGaugesHistogramsAggregate)
+{
+    Registry reg;
+    Counter &c = reg.counter("test.counter");
+    c.add(5);
+    c.increment();
+    EXPECT_EQ(c.value(), 6);
+    // Same name, same instrument.
+    EXPECT_EQ(&reg.counter("test.counter"), &c);
+
+    Gauge &g = reg.gauge("test.gauge");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+    Histogram &h = reg.histogram("test.hist", {1.0, 2.0, 4.0});
+    h.observe(0.5); // bucket 0 (<= 1)
+    h.observe(1.5); // bucket 1 (<= 2)
+    h.observe(3.0); // bucket 2 (<= 4)
+    h.observe(9.0); // overflow
+    EXPECT_EQ(h.count(), 4);
+    EXPECT_DOUBLE_EQ(h.sum(), 14.0);
+    EXPECT_EQ(h.counts(), (std::vector<int64_t>{1, 1, 1, 1}));
+
+    Snapshot s = reg.snapshot();
+    EXPECT_EQ(s.counters.at("test.counter"), 6);
+    EXPECT_DOUBLE_EQ(s.gauges.at("test.gauge"), 2.5);
+    EXPECT_EQ(s.histograms.at("test.hist").count, 4);
+
+    // The snapshot serializes to parseable JSON.
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(s.json(), &v, &err)) << err;
+    EXPECT_DOUBLE_EQ(v.get("counters")->get("test.counter")->number,
+                     6.0);
+
+    reg.reset();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_EQ(h.count(), 0);
+}
+
+TEST(Registry, ConcurrentWritersLoseNothing)
+{
+    Registry reg;
+    Counter &c = reg.counter("mt.counter");
+    Histogram &h = reg.histogram("mt.hist", {0.5});
+    constexpr int kThreads = 4;
+    constexpr int kIters = 20000;
+
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&reg, &c, &h] {
+            for (int i = 0; i < kIters; ++i) {
+                c.increment();
+                h.observe(1.0);
+                // Registration races too, not just the hot path.
+                reg.counter("mt.shared").add(1);
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+
+    EXPECT_EQ(c.value(), (int64_t)kThreads * kIters);
+    EXPECT_EQ(reg.counter("mt.shared").value(),
+              (int64_t)kThreads * kIters);
+    EXPECT_EQ(h.count(), (int64_t)kThreads * kIters);
+    EXPECT_DOUBLE_EQ(h.sum(), (double)kThreads * kIters);
+}
+
+TEST(Registry, ProcessMemorySampling)
+{
+    bool sampled = sampleProcessMemory();
+#ifdef __linux__
+    ASSERT_TRUE(sampled);
+    Snapshot s = Registry::global().snapshot();
+    EXPECT_GT(s.gauges.at("process.vm_rss_kb"), 0.0);
+    EXPECT_GT(s.gauges.at("process.vm_hwm_kb"), 0.0);
+    EXPECT_GE(s.gauges.at("process.vm_hwm_kb"),
+              s.gauges.at("process.vm_rss_kb"));
+#else
+    EXPECT_FALSE(sampled);
+#endif
+}
+
+TEST(Trace, EvaluateExportsNestedPerLayerSpans)
+{
+    // The acceptance contract: a trace captured from evaluate() on a
+    // small model exports valid Chrome trace-event JSON in which
+    // per-layer module spans nest inside the per-batch spans.
+    Rng rng(501);
+    models::Model m = models::buildModel("resnet18-tiny", rng);
+    data::SynthCifar ds(16);
+
+    adapt::EvalConfig cfg;
+    cfg.batchSize = 8;
+    cfg.samplesPerCorruption = 16;
+    cfg.corruptions = {data::allCorruptions()[0]};
+
+    TraceSession session;
+    adapt::evaluate(m, adapt::Algorithm::BnNorm, ds, cfg);
+    auto evs = session.snapshot();
+    ASSERT_EQ(session.droppedEvents(), 0u);
+
+    auto batches = byName(evs, "adapt.batch");
+    ASSERT_EQ(batches.size(), 2u); // 16 samples / batch 8
+
+    // Find a Conv2d forward span nested inside the first batch span.
+    bool nestedConv = false;
+    for (const TraceEvent &e : evs) {
+        if (std::strncmp(e.name, "Conv2d", 6) == 0 &&
+            std::strcmp(e.cat, "fw") == 0 &&
+            e.startNs >= batches[0].startNs &&
+            e.endNs() <= batches[0].endNs() &&
+            e.depth > batches[0].depth) {
+            nestedConv = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(nestedConv);
+
+    // The export is valid Chrome trace-event JSON carrying the same
+    // events (plus nothing else).
+    std::string doc = chromeTraceJson(evs);
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(doc, &v, &err)) << err;
+    const JsonValue *events = v.get("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_EQ(events->array.size(), evs.size());
+
+    // The instrumented hot paths also fed the metrics registry.
+    Snapshot s = Registry::global().snapshot();
+    EXPECT_GE(s.counters.at("adapt.batches"), 2);
+    EXPECT_GT(s.counters.at("tensor.gemm.flops"), 0);
+    EXPECT_GE(s.counters.at("data.stream.batches"), 2);
+    EXPECT_GE(s.histograms.at("adapt.batch_seconds").count, 2);
+}

@@ -1,8 +1,8 @@
 /**
  * @file
- * Host-profiler tests: the timed execution mirror must produce the
- * same numerical results as the plain forward/backward, and the
- * per-class accounting must cover the pass totals.
+ * Host-profiler tests: the traced profiling run must produce the same
+ * numerical results as an untraced run, and the per-class/per-layer
+ * accounting must cover the pass totals.
  */
 
 #include <gtest/gtest.h>
@@ -25,16 +25,33 @@ TEST(Timer, StopwatchAdvances)
     EXPECT_GT(sw.seconds(), 0.0);
 }
 
-TEST(Timer, ScopedTimerAccumulates)
+TEST(HostProfiler, PerLayerRowsNameAndRankLayers)
 {
-    double acc = 0.0;
-    {
-        ScopedTimer t(acc);
-        volatile double x = 0;
-        for (int i = 0; i < 100000; ++i)
-            x = x + (double)i;
+    Rng rng(117);
+    models::Model m = models::buildModel("resnet18-tiny", rng);
+    data::SynthCifar ds(16);
+    Rng drng(118);
+    data::Batch batch = ds.batch(8, drng);
+
+    HostBreakdown hb =
+        profileHostRun(m, adapt::Algorithm::BnNorm, batch.images);
+    ASSERT_FALSE(hb.perLayer.empty());
+    // Every primitive got a distinguishable "Kind:#i" or labeled name.
+    bool sawConv = false;
+    for (const LayerTime &lt : hb.perLayer) {
+        EXPECT_NE(lt.name.find(':'), std::string::npos) << lt.name;
+        if (lt.opClass == "conv") {
+            sawConv = true;
+            EXPECT_GT(lt.forwardSec, 0.0);
+        }
     }
-    EXPECT_GT(acc, 0.0);
+    EXPECT_TRUE(sawConv);
+
+    auto top = hb.topLayers(3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_GE(top[0].totalSec(), top[1].totalSec());
+    EXPECT_GE(top[1].totalSec(), top[2].totalSec());
+    EXPECT_LE(top.size(), hb.perLayer.size());
 }
 
 TEST(HostProfiler, TimedMirrorMatchesPlainForward)

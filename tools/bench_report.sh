@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the fast, deterministic (cost-model) bench binaries with --json
+# and aggregate their JSONL report lines into one machine-readable
+# document — the BENCH_edgeadapt.json trajectory at the repo root.
+#
+# Usage: tools/bench_report.sh [OUT.json]
+#   BUILD_DIR overrides the build tree (default: <repo>/build).
+#
+# The tables inside are deterministic; the metrics blocks (e.g. RSS
+# gauges) vary per host, so treat the committed file as a baseline
+# snapshot, not a byte-stable artifact.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$root/build}"
+out="${1:-$root/BENCH_edgeadapt.json}"
+
+benches=(
+    table_model_stats
+    table1_mobilenet
+    fig03_ultra96_forward
+    fig09_nx_forward
+    fig12_overall
+)
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+for b in "${benches[@]}"; do
+    bin="$build/bench/$b"
+    if [ ! -x "$bin" ]; then
+        echo "bench_report: $bin not built (cmake --build $build)" >&2
+        exit 1
+    fi
+    echo "bench_report: running $b" >&2
+    "$bin" --json "$tmp" > /dev/null
+done
+
+{
+    printf '{"schema":"edgeadapt.bench.report.v1","benches":[\n'
+    sed '$!s/$/,/' "$tmp"
+    printf ']}\n'
+} > "$out"
+
+echo "bench_report: wrote $out ($(wc -c < "$out") bytes)" >&2

@@ -12,6 +12,9 @@
  *              "new (addr)" placement syntax are recognized and allowed)
  *  - stdio:    no std::cout / bare printf in src/ — library code must
  *              report through inform()/warn() (base/logging.hh)
+ *  - chrono:   no direct std::chrono in src/ outside src/profile/ and
+ *              src/obs/ — time through profile::Stopwatch or trace
+ *              spans so the repo has one timing idiom
  *  - tab:      no tab characters
  *  - space:    no trailing whitespace
  *
@@ -271,6 +274,10 @@ lintFile(const fs::path &path, const std::string &rel)
 
     bool isHeader = path.extension() == ".hh";
     bool isLibrary = rel.rfind("src/", 0) == 0;
+    // The two sanctioned homes of std::chrono: the stopwatch and the
+    // trace clock. Everything else times through them.
+    bool chronoAllowed = rel.rfind("src/profile/", 0) == 0 ||
+                         rel.rfind("src/obs/", 0) == 0;
 
     std::vector<std::string> rawLines = splitLines(raw);
     std::vector<std::string> codeLines =
@@ -323,6 +330,13 @@ lintFile(const fs::path &path, const std::string &rel)
             if (containsWord(code, "printf")) {
                 report(rel, ln, "stdio",
                        "printf in library code (use inform()/warn())");
+            }
+            if (!chronoAllowed &&
+                (code.find("std::chrono") != std::string::npos ||
+                 code.find("<chrono>") != std::string::npos)) {
+                report(rel, ln, "chrono",
+                       "std::chrono outside src/profile//src/obs/ "
+                       "(use profile::Stopwatch or trace spans)");
             }
         }
     }
