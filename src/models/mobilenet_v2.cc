@@ -1,6 +1,5 @@
 #include "models/mobilenet_v2.hh"
 
-#include "base/logging.hh"
 #include "models/blocks.hh"
 #include "nn/activation.hh"
 #include "nn/linear.hh"

@@ -136,6 +136,8 @@ Tensor
 Sequential::backward(const Tensor &grad_out)
 {
     EA_TRACE_SPAN_CAT("bw", spanName());
+    EA_CHECK(grad_out.defined(),
+             "Sequential backward needs a defined gradient");
     Tensor cur = grad_out;
     for (auto it = mods_.rbegin(); it != mods_.rend(); ++it)
         cur = (*it)->backward(cur);
@@ -194,6 +196,8 @@ Tensor
 Residual::backward(const Tensor &grad_out)
 {
     EA_TRACE_SPAN_CAT("bw", spanName());
+    EA_CHECK(grad_out.defined(),
+             "Residual backward needs a defined gradient");
     Tensor gp = main_->backward(grad_out);
     if (shortcut_) {
         Tensor gs = shortcut_->backward(grad_out);
@@ -264,6 +268,9 @@ Tensor
 Flatten::backward(const Tensor &grad_out)
 {
     EA_TRACE_SPAN_CAT("bw", spanName());
+    EA_CHECK(inShape_.rank() >= 2, "Flatten backward before forward");
+    EA_CHECK_SHAPE("Flatten backward grad", grad_out.shape(),
+                   (Shape{inShape_[0], inShape_.numel() / inShape_[0]}));
     return grad_out.reshape(inShape_);
 }
 

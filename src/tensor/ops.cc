@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "base/check.hh"
-#include "base/logging.hh"
 
 namespace edgeadapt {
 

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "base/logging.hh"
-#include "tensor/ops.hh"
 #include "train/losses.hh"
 
 namespace edgeadapt {

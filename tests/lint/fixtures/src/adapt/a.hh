@@ -1,0 +1,16 @@
+// Lower-layer half of the layering-cycle fixture pair.
+
+#ifndef EDGEADAPT_ADAPT_A_HH
+#define EDGEADAPT_ADAPT_A_HH
+
+namespace fixture {
+
+inline int
+adaptThing()
+{
+    return 6;
+}
+
+} // namespace fixture
+
+#endif // EDGEADAPT_ADAPT_A_HH

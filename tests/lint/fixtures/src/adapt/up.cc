@@ -1,0 +1,16 @@
+// Layering fixture: adapt sits below profile in the declared DAG, so
+// this include is an upward edge (layer error) and — because
+// profile/p.hh includes adapt/a.hh — also closes a module cycle
+// (layer-cycle error).
+
+#include "profile/p.hh"
+
+namespace fixture {
+
+int
+upwardEdge()
+{
+    return profileThing();
+}
+
+} // namespace fixture

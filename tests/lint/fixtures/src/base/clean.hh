@@ -1,0 +1,14 @@
+// Clean header: correct guard, no violations. Its exported symbol
+// cleanValue() is deliberately never used by base/unused.cc so the
+// unused-include pass has a true positive to find.
+
+#ifndef EDGEADAPT_BASE_CLEAN_HH
+#define EDGEADAPT_BASE_CLEAN_HH
+
+namespace fixture {
+
+int cleanValue();
+
+} // namespace fixture
+
+#endif // EDGEADAPT_BASE_CLEAN_HH

@@ -1,0 +1,13 @@
+// CRLF fixture: every line ends in \r\n. The crlf rule must fire
+// once for the file and the trailing-whitespace rule must stay
+// quiet about the carriage returns.
+
+namespace fixture {
+
+int
+crlfBad()
+{
+    return 3;
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Violating header: the guard macro is not derived from the path
+// (want EDGEADAPT_BASE_GUARD_BAD_HH).
+
+#ifndef FIXTURE_WRONG_GUARD_HH
+#define FIXTURE_WRONG_GUARD_HH
+
+namespace fixture {
+
+int guardBad();
+
+} // namespace fixture
+
+#endif // FIXTURE_WRONG_GUARD_HH

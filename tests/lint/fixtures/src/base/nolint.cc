@@ -1,0 +1,16 @@
+// Suppression fixtures. A scoped NOLINT(rule) on a code line
+// suppresses exactly that rule; a bare NOLINT is itself rejected,
+// and naming an unknown rule is rejected too.
+
+namespace fixture {
+
+int *
+suppressed()
+{
+    int *ok = new int(1);    // NOLINT(raw-new)
+    int *bad = new int(2);   // NOLINT
+    int *bad2 = new int(3);  // NOLINT(no-such-rule)
+    return ok ? bad : bad2;
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// raw-new / raw-delete fixtures. The first block is clean: deleted
+// functions (including "=" on the previous line, the old checker's
+// false positive) and placement new are all allowed. The second block
+// violates both rules.
+
+#include <memory>
+
+namespace fixture {
+
+struct NoCopy
+{
+    NoCopy(const NoCopy &) = delete;
+    NoCopy &operator=(const NoCopy &) =
+        delete;
+};
+
+void
+placementOk(void *storage)
+{
+    new (storage) int(7);
+}
+
+int *
+rawNewBad()
+{
+    int *p = new int(7);
+    delete p;
+    return nullptr;
+}
+
+} // namespace fixture

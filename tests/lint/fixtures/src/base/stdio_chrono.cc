@@ -1,0 +1,25 @@
+// stdio / chrono fixtures: library code (src/) must report through
+// inform()/warn() and time through profile::Stopwatch or trace
+// spans. Mentions in comments and string literals must NOT fire:
+// std::cout, printf, std::chrono.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void
+stdioBad()
+{
+    std::cout << "hello\n";
+    printf("hello std::cout printf\n");
+}
+
+long
+chronoBad()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// unused-include fixture: base/clean.hh is directly included but
+// none of its exported symbols appears below, so the IWYU-lite pass
+// must warn on the include line.
+
+#include "base/clean.hh"
+
+namespace fixture {
+
+int
+unusedInclude()
+{
+    return 4;
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Violating header: "using namespace" at any scope in a header.
+
+#ifndef EDGEADAPT_BASE_USING_NS_HH
+#define EDGEADAPT_BASE_USING_NS_HH
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+
+inline string usingNs() { return "bad"; }
+
+} // namespace fixture
+
+#endif // EDGEADAPT_BASE_USING_NS_HH

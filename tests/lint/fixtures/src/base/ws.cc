@@ -1,0 +1,14 @@
+// Whitespace fixtures: one tab-indented line, one line with
+// trailing spaces.
+
+namespace fixture {
+
+int
+wsBad()
+{
+	int tabbed = 1;
+    int trailing = 2;   
+    return tabbed + trailing;
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Mini Module base for the instrumentation-coverage fixtures. The
+// pass seeds its class hierarchy at the class named Module declared
+// in src/nn/module.hh — which, relative to the fixture mini-repo
+// root, is this file.
+
+#ifndef EDGEADAPT_NN_MODULE_HH
+#define EDGEADAPT_NN_MODULE_HH
+
+namespace fixture {
+
+class Module
+{
+  public:
+    virtual ~Module() = default;
+    virtual int forward(int x) = 0;
+    virtual int backward(int g) = 0;
+};
+
+} // namespace fixture
+
+#endif // EDGEADAPT_NN_MODULE_HH

@@ -1,0 +1,31 @@
+// Clean instrumentation fixture: a Module subclass whose forward and
+// backward both open trace spans and whose backward states a grad
+// contract — one method defined inline, one out of line, to cover
+// both spellings the pass understands.
+
+#include "nn/module.hh"
+
+namespace fixture {
+
+class Traced : public Module
+{
+  public:
+    int
+    forward(int x) override
+    {
+        EA_TRACE_SPAN("Traced.fw");
+        return x + 1;
+    }
+
+    int backward(int g) override;
+};
+
+int
+Traced::backward(int g)
+{
+    EA_TRACE_SPAN_CAT("bw", "Traced.bw");
+    EA_CHECK(g >= 0, "gradient must be finite");
+    return g;
+}
+
+} // namespace fixture

@@ -1,0 +1,46 @@
+// Violating instrumentation fixture: a transitive Module subclass
+// (Untraced -> Traced2 -> Module) whose forward lacks a trace span
+// and whose backward lacks both a span and an EA_CHECK* contract.
+
+#include "nn/module.hh"
+
+namespace fixture {
+
+class Traced2 : public Module
+{
+  public:
+    int
+    forward(int x) override
+    {
+        EA_TRACE_SPAN("Traced2.fw");
+        return x;
+    }
+
+    int
+    backward(int g) override
+    {
+        EA_TRACE_SPAN("Traced2.bw");
+        EA_CHECK(g >= 0, "gradient must be finite");
+        return g;
+    }
+};
+
+class Untraced : public Traced2
+{
+  public:
+    int
+    forward(int x) override
+    {
+        return x * 2;
+    }
+
+    int backward(int g) override;
+};
+
+int
+Untraced::backward(int g)
+{
+    return g * 2;
+}
+
+} // namespace fixture

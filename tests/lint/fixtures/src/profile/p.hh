@@ -1,0 +1,20 @@
+// Upper-layer half of the layering-cycle fixture pair: profile
+// legitimately includes adapt (downward edge), but adapt/up.cc
+// includes this header back, closing a module cycle.
+
+#ifndef EDGEADAPT_PROFILE_P_HH
+#define EDGEADAPT_PROFILE_P_HH
+
+#include "adapt/a.hh"
+
+namespace fixture {
+
+inline int
+profileThing()
+{
+    return adaptThing() + 1;
+}
+
+} // namespace fixture
+
+#endif // EDGEADAPT_PROFILE_P_HH

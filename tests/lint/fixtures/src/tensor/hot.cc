@@ -1,0 +1,29 @@
+// hot-alloc fixture: heap growth inside a loop in src/tensor/ is an
+// error unless the line carries NOLINT(hot-alloc). Growth before the
+// loop is fine.
+
+namespace fixture {
+
+struct Buf
+{
+    int *data;
+    int size;
+    void push_back(int v);
+    void reserve(int n);
+};
+
+int
+hotLoop(Buf &buf, int n)
+{
+    buf.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        buf.push_back(i);
+        buf.push_back(i * 2);  // NOLINT(hot-alloc)
+    }
+    int total = 0;
+    while (total < n)
+        buf.push_back(total++);
+    return buf.size;
+}
+
+} // namespace fixture

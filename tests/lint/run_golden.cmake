@@ -1,0 +1,64 @@
+# Golden-output test for the static analyzer. Runs edgeadapt_lint
+# over the fixture mini-repo, compares the JSON report byte-for-byte
+# against expected.json, then replays the same report as a --baseline
+# and requires the run to come back clean (the round-trip proves the
+# baseline matcher understands the tool's own output).
+#
+# Invoked by ctest as:
+#   cmake -DLINT_BIN=... -DFIXTURES=... -DEXPECTED=... -DOUT_DIR=...
+#         -P run_golden.cmake
+
+foreach(var LINT_BIN FIXTURES EXPECTED OUT_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_golden.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+# --- 1. Fixture run must reproduce the golden report, rc=1. ---------
+
+execute_process(
+    COMMAND "${LINT_BIN}" --repo-root "${FIXTURES}" --format=json
+            "${FIXTURES}"
+    OUTPUT_VARIABLE actual
+    ERROR_VARIABLE stderr_out
+    RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "expected exit status 1 (errors found), got '${rc}'\n"
+        "stderr: ${stderr_out}")
+endif()
+
+file(READ "${EXPECTED}" golden)
+if(NOT actual STREQUAL golden)
+    file(WRITE "${OUT_DIR}/lint_actual.json" "${actual}")
+    message(FATAL_ERROR
+        "JSON report differs from golden file.\n"
+        "  expected: ${EXPECTED}\n"
+        "  actual:   ${OUT_DIR}/lint_actual.json\n"
+        "If the change is intentional, regenerate with:\n"
+        "  edgeadapt_lint --repo-root tests/lint/fixtures --format=json "
+        "tests/lint/fixtures > tests/lint/expected.json")
+endif()
+
+# --- 2. Replaying the report as a baseline must suppress it all. ----
+
+execute_process(
+    COMMAND "${LINT_BIN}" --repo-root "${FIXTURES}" --format=json
+            --baseline "${EXPECTED}" "${FIXTURES}"
+    OUTPUT_VARIABLE baselined
+    ERROR_VARIABLE stderr_out
+    RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "baseline round-trip: expected exit status 0, got '${rc}'\n"
+        "stderr: ${stderr_out}\noutput: ${baselined}")
+endif()
+
+if(NOT baselined MATCHES "\"errors\":0")
+    message(FATAL_ERROR
+        "baseline round-trip: error count is not zero:\n${baselined}")
+endif()
+
+message(STATUS "lint golden test passed")

@@ -9,11 +9,31 @@
 # The tables inside are deterministic; the metrics blocks (e.g. RSS
 # gauges) vary per host, so treat the committed file as a baseline
 # snapshot, not a byte-stable artifact.
+#
+# The trajectory only accepts results from a repo the static analyzer
+# signs off on: if edgeadapt_lint reports errors, the script refuses
+# to touch OUT. Set EDGEADAPT_SKIP_LINT=1 to bypass (e.g. while
+# bisecting).
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$root/build}"
 out="${1:-$root/BENCH_edgeadapt.json}"
+
+if [ "${EDGEADAPT_SKIP_LINT:-0}" != "1" ]; then
+    lint="$build/tools/edgeadapt_lint"
+    if [ ! -x "$lint" ]; then
+        echo "bench_report: building edgeadapt_lint for the pre-report check" >&2
+        cmake --build "$build" --target edgeadapt_lint >&2
+    fi
+    if ! "$lint" --repo-root "$root" --exclude tests/lint/fixtures \
+        "$root/src" "$root/tests" "$root/bench" "$root/tools" \
+        "$root/examples" >&2; then
+        echo "bench_report: static analyzer reported errors; refusing to update $out" >&2
+        echo "bench_report: fix the findings (or EDGEADAPT_SKIP_LINT=1 to bypass)" >&2
+        exit 1
+    fi
+fi
 
 benches=(
     table_model_stats

@@ -6,6 +6,9 @@
 #   tools/check.sh asan       # ASan+UBSan only
 #   tools/check.sh tsan       # TSan only
 #   tools/check.sh fast       # ASan+UBSan, smoke labels only
+#   tools/check.sh lint       # static analyzer only (no sanitizer
+#                             # rebuild: compiles just edgeadapt_lint
+#                             # in build/ and runs every pass)
 #
 # Each preset builds in its own tree (build-asan/, build-tsan/) so the
 # tier-1 build/ directory is never disturbed. -march=native is turned
@@ -45,6 +48,24 @@ run_preset() {
     echo "==== [$name] clean"
 }
 
+# Fast path for the static analyzer: one target in the tier-1 tree,
+# then every pass over the whole repo. Seconds, not minutes — meant
+# to run before each commit.
+run_lint() {
+    local bdir="$ROOT/build"
+    if [ ! -f "$bdir/CMakeCache.txt" ]; then
+        echo "==== [lint] configure"
+        cmake -B "$bdir" -S "$ROOT"
+    fi
+    echo "==== [lint] build edgeadapt_lint"
+    cmake --build "$bdir" --target edgeadapt_lint -j "$JOBS"
+    echo "==== [lint] analyze"
+    "$bdir/tools/edgeadapt_lint" --repo-root "$ROOT" \
+        --exclude tests/lint/fixtures \
+        "$ROOT/src" "$ROOT/tests" "$ROOT/bench" "$ROOT/tools" \
+        "$ROOT/examples"
+}
+
 case "$MODE" in
   all)
     run_preset asan "address;undefined"
@@ -61,8 +82,13 @@ case "$MODE" in
     run_preset asan "address;undefined" -R \
         'test_base|test_tensor|test_nn|edgeadapt_lint'
     ;;
+  lint)
+    run_lint
+    echo "check.sh: static analysis passed"
+    exit 0
+    ;;
   *)
-    echo "usage: tools/check.sh [all|asan|tsan|fast]" >&2
+    echo "usage: tools/check.sh [all|asan|tsan|fast|lint]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,214 @@
+#include "diag.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace ealint {
+
+namespace {
+
+/**
+ * Extract the string value of @p key from the JSON object text in
+ * @p obj. Understands exactly the documents this tool emits (keys and
+ * values are plain escaped strings, no nested objects in findings).
+ */
+std::string
+extractString(const std::string &obj, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":\"";
+    size_t pos = obj.find(needle);
+    if (pos == std::string::npos)
+        return "";
+    pos += needle.size();
+    std::string out;
+    while (pos < obj.size() && obj[pos] != '"') {
+        char c = obj[pos++];
+        if (c == '\\' && pos < obj.size()) {
+            char esc = obj[pos++];
+            switch (esc) {
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              default: out += esc; break;
+            }
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Diagnostics::report(const SourceFile &sf, int line,
+                    const std::string &rule, const std::string &message)
+{
+    if (sf.suppressed(line, rule))
+        return;
+    reportRaw(sf.rel, line, rule, message);
+}
+
+void
+Diagnostics::reportRaw(const std::string &file, int line,
+                       const std::string &rule,
+                       const std::string &message)
+{
+    const RuleInfo *info = findRule(rule);
+    Finding f;
+    f.file = file;
+    f.line = line;
+    f.rule = rule;
+    f.severity = info ? info->severity : Severity::Error;
+    f.message = message;
+    findings_.push_back(std::move(f));
+}
+
+bool
+Diagnostics::loadBaseline(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    // Walk the top-level findings array object by object. The writer
+    // emits one finding per line, but parse by braces so a reformatted
+    // baseline still loads.
+    size_t arr = text.find("\"findings\":[");
+    if (arr == std::string::npos)
+        return true; // empty or foreign document: no pairs to add
+    size_t pos = arr;
+    while (true) {
+        size_t open = text.find('{', pos);
+        size_t end = text.find(']', pos);
+        if (open == std::string::npos ||
+            (end != std::string::npos && end < open)) {
+            break;
+        }
+        size_t close = text.find('}', open);
+        if (close == std::string::npos)
+            break;
+        std::string obj = text.substr(open, close - open + 1);
+        std::string file = extractString(obj, "file");
+        std::string rule = extractString(obj, "rule");
+        if (!file.empty() && !rule.empty())
+            baseline_.insert({file, rule});
+        pos = close + 1;
+    }
+    return true;
+}
+
+void
+Diagnostics::finalize()
+{
+    for (Finding &f : findings_) {
+        if (baseline_.count({f.file, f.rule}))
+            f.baselined = true;
+    }
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+}
+
+void
+Diagnostics::emitText(std::ostream &os, int filesScanned) const
+{
+    for (const Finding &f : findings_) {
+        if (f.baselined)
+            continue;
+        os << f.file << ":" << f.line << ": "
+           << severityName(f.severity) << ": [" << f.rule << "] "
+           << f.message << "\n";
+    }
+    os << "edgeadapt_lint: " << filesScanned << " files, "
+       << count(Severity::Error) << " error(s), "
+       << count(Severity::Warning) << " warning(s)";
+    if (baselinedCount())
+        os << ", " << baselinedCount() << " baselined";
+    os << "\n";
+}
+
+void
+Diagnostics::emitJson(std::ostream &os, int filesScanned) const
+{
+    os << "{\"schema\":\"edgeadapt.lint.v1\",\"files\":" << filesScanned
+       << ",\"findings\":[\n";
+    bool first = true;
+    for (const Finding &f : findings_) {
+        if (f.baselined)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"file\":\"" << jsonEscape(f.file)
+           << "\",\"line\":" << f.line << ",\"rule\":\""
+           << jsonEscape(f.rule) << "\",\"severity\":\""
+           << severityName(f.severity) << "\",\"message\":\""
+           << jsonEscape(f.message) << "\"}";
+    }
+    os << "\n],\"counts\":{\"errors\":" << count(Severity::Error)
+       << ",\"warnings\":" << count(Severity::Warning)
+       << ",\"baselined\":" << baselinedCount() << "}}\n";
+}
+
+int
+Diagnostics::count(Severity sev) const
+{
+    int n = 0;
+    for (const Finding &f : findings_) {
+        if (!f.baselined && f.severity == sev)
+            ++n;
+    }
+    return n;
+}
+
+int
+Diagnostics::baselinedCount() const
+{
+    int n = 0;
+    for (const Finding &f : findings_) {
+        if (f.baselined)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ealint

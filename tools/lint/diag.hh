@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Finding collection, output formatting, and baseline support for the
+ * edgeadapt static analyzer.
+ *
+ * Findings accumulate unordered during the passes, are sorted by
+ * (file, line, rule, message) before emission, and can be rendered as
+ * human-readable text or as a machine-readable JSON document
+ * (--format=json). A baseline file — simply a previous --format=json
+ * output — grandfathers known findings: a finding whose (file, rule)
+ * pair appears in the baseline is counted but neither printed nor
+ * fatal, so new rules can land before the last legacy violation dies.
+ */
+
+#ifndef EDGEADAPT_TOOLS_LINT_DIAG_HH
+#define EDGEADAPT_TOOLS_LINT_DIAG_HH
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rules.hh"
+#include "source.hh"
+
+namespace ealint {
+
+/** One reported violation. */
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    Severity severity = Severity::Error;
+    std::string message;
+    bool baselined = false;
+};
+
+/** Finding sink shared by all passes. */
+class Diagnostics
+{
+  public:
+    /**
+     * Record a finding for @p rule (must exist in the rule table)
+     * unless a NOLINT(rule) on that line of @p sf suppresses it.
+     */
+    void report(const SourceFile &sf, int line, const std::string &rule,
+                const std::string &message);
+
+    /** Record a finding with no suppression context (I/O errors). */
+    void reportRaw(const std::string &file, int line,
+                   const std::string &rule, const std::string &message);
+
+    /**
+     * Load (file, rule) pairs from a previous --format=json run.
+     * @return false when the file cannot be read.
+     */
+    bool loadBaseline(const std::string &path);
+
+    /** Sort findings and mark the baselined ones. Call once, at end. */
+    void finalize();
+
+    /** Emit the classic file:line: [rule] message listing. */
+    void emitText(std::ostream &os, int filesScanned) const;
+
+    /** Emit the edgeadapt.lint.v1 JSON document. */
+    void emitJson(std::ostream &os, int filesScanned) const;
+
+    /** @return unbaselined findings of @p sev. */
+    int count(Severity sev) const;
+
+    /** @return findings suppressed by the baseline. */
+    int baselinedCount() const;
+
+    const std::vector<Finding> &findings() const { return findings_; }
+
+  private:
+    std::vector<Finding> findings_;
+    std::set<std::pair<std::string, std::string>> baseline_;
+};
+
+/** JSON-escape @p s (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace ealint
+
+#endif // EDGEADAPT_TOOLS_LINT_DIAG_HH

@@ -1,355 +1,76 @@
 /**
  * @file
- * edgeadapt-lint: a small static checker enforcing repo conventions
- * over src/, tests/, and bench/. Registered as a ctest test (label
- * "lint") so tier-1 fails on violations.
+ * edgeadapt_lint: driver for the edgeadapt multi-pass static
+ * analyzer. The heavy lifting lives in the lexer (lexer.cc), the
+ * source model (source.cc), and the four passes (pass_*.cc); this
+ * file owns the command line, file discovery, and exit status.
  *
- * Rules:
- *  - guard:    include-guard macros in .hh files must be derived from
- *              the file path (EDGEADAPT_<PATH>_HH, src/ stripped)
- *  - using-ns: no "using namespace" at any scope in headers
- *  - new:      no raw new/delete anywhere ("= delete" declarations and
- *              "new (addr)" placement syntax are recognized and allowed)
- *  - stdio:    no std::cout / bare printf in src/ — library code must
- *              report through inform()/warn() (base/logging.hh)
- *  - chrono:   no direct std::chrono in src/ outside src/profile/ and
- *              src/obs/ — time through profile::Stopwatch or trace
- *              spans so the repo has one timing idiom
- *  - tab:      no tab characters
- *  - space:    no trailing whitespace
+ * Usage:
+ *   edgeadapt_lint [--repo-root DIR] [--format=text|json]
+ *                  [--baseline FILE] [--pass NAME]...
+ *                  [--exclude REL_PREFIX]... [--werror]
+ *                  [--list-rules] PATH [PATH...]
  *
- * A line whose raw text contains "NOLINT" is exempt from the token
- * rules (guard/tab/space still apply). Token rules run on a copy of
- * the source with comments and string/char literals blanked out, so
- * prose like "the new statistics" never trips them.
+ * Passes (default: all): token, include-graph, unused-include,
+ * instrumentation. Suppression is per-line and per-rule via
+ * NOLINT(rule-id); bare NOLINT is itself a violation. --baseline
+ * takes a previous --format=json report and grandfathers its
+ * (file, rule) pairs.
  *
- * Usage: edgeadapt_lint --repo-root DIR PATH [PATH...]
- * Exits 0 when clean, 1 when violations were found, 2 on usage or
- * I/O errors. This tool is intentionally dependency-free (no gtest,
- * no edgeadapt libs) so it builds everywhere in seconds.
+ * Exits 0 when no unsuppressed errors were found (warnings do not
+ * fail unless --werror), 1 on errors, 2 on usage or I/O problems.
+ * The tool stays dependency-free (no gtest, no edgeadapt libs) so it
+ * builds everywhere in seconds.
  */
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "diag.hh"
+#include "passes.hh"
+#include "rules.hh"
+#include "source.hh"
+
+namespace ealint {
+
+const std::vector<Pass> &
+passTable()
+{
+    static const std::vector<Pass> table = {
+        {"token", runTokenPass},
+        {"include-graph", runIncludeGraphPass},
+        {"unused-include", runUnusedIncludePass},
+        {"instrumentation", runInstrumentationPass},
+    };
+    return table;
+}
+
+} // namespace ealint
 
 namespace {
 
 namespace fs = std::filesystem;
-
-struct Violation
-{
-    std::string file; // repo-relative path
-    int line = 0;
-    std::string rule;
-    std::string message;
-};
-
-std::vector<Violation> violations;
-
-void
-report(const std::string &file, int line, const std::string &rule,
-       const std::string &message)
-{
-    violations.push_back({file, line, rule, message});
-}
-
-/** @return source text with comments and literals blanked to spaces. */
-std::string
-stripCommentsAndStrings(const std::string &src)
-{
-    enum class St { Code, Slash, Line, Block, BlockStar, Str, Chr };
-    std::string out(src);
-    St st = St::Code;
-    bool escaped = false;
-    for (size_t i = 0; i < src.size(); ++i) {
-        char c = src[i];
-        switch (st) {
-          case St::Code:
-            if (c == '/') {
-                st = St::Slash;
-            } else if (c == '"') {
-                st = St::Str;
-                escaped = false;
-            } else if (c == '\'') {
-                st = St::Chr;
-                escaped = false;
-            }
-            break;
-          case St::Slash:
-            if (c == '/') {
-                out[i - 1] = ' ';
-                out[i] = ' ';
-                st = St::Line;
-            } else if (c == '*') {
-                out[i - 1] = ' ';
-                out[i] = ' ';
-                st = St::Block;
-            } else {
-                st = St::Code;
-            }
-            break;
-          case St::Line:
-            if (c == '\n')
-                st = St::Code;
-            else
-                out[i] = ' ';
-            break;
-          case St::Block:
-            if (c == '*')
-                st = St::BlockStar;
-            if (c != '\n')
-                out[i] = ' ';
-            break;
-          case St::BlockStar:
-            if (c == '/')
-                st = St::Code;
-            else if (c != '*')
-                st = St::Block;
-            if (c != '\n')
-                out[i] = ' ';
-            break;
-          case St::Str:
-            if (escaped)
-                escaped = false;
-            else if (c == '\\')
-                escaped = true;
-            else if (c == '"')
-                st = St::Code;
-            if (c != '\n' && st != St::Code)
-                out[i] = ' ';
-            break;
-          case St::Chr:
-            if (escaped)
-                escaped = false;
-            else if (c == '\\')
-                escaped = true;
-            else if (c == '\'')
-                st = St::Code;
-            if (c != '\n' && st != St::Code)
-                out[i] = ' ';
-            break;
-        }
-    }
-    return out;
-}
-
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::string cur;
-    for (char c : text) {
-        if (c == '\n') {
-            lines.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        lines.push_back(cur);
-    return lines;
-}
-
-bool
-isWordChar(char c)
-{
-    return std::isalnum((unsigned char)c) || c == '_';
-}
-
-/** Find whole-word occurrences of @p word in @p line. */
-bool
-containsWord(const std::string &line, const std::string &word,
-             size_t *pos_out = nullptr)
-{
-    size_t pos = 0;
-    while ((pos = line.find(word, pos)) != std::string::npos) {
-        bool leftOk = pos == 0 || !isWordChar(line[pos - 1]);
-        size_t end = pos + word.size();
-        bool rightOk = end >= line.size() || !isWordChar(line[end]);
-        if (leftOk && rightOk) {
-            if (pos_out)
-                *pos_out = pos;
-            return true;
-        }
-        pos = end;
-    }
-    return false;
-}
-
-/** @return last non-space character before @p pos, or '\0'. */
-char
-lastCodeCharBefore(const std::string &line, size_t pos)
-{
-    while (pos > 0) {
-        char c = line[--pos];
-        if (!std::isspace((unsigned char)c))
-            return c;
-    }
-    return '\0';
-}
-
-/** @return expected include-guard macro for a repo-relative path. */
-std::string
-expectedGuard(std::string rel)
-{
-    const std::string prefix = "src/";
-    if (rel.rfind(prefix, 0) == 0)
-        rel = rel.substr(prefix.size());
-    std::string guard = "EDGEADAPT_";
-    for (char c : rel) {
-        guard += std::isalnum((unsigned char)c)
-                     ? (char)std::toupper((unsigned char)c)
-                     : '_';
-    }
-    return guard;
-}
-
-/** Extract the macro named on a "#ifndef X" / "#define X" line. */
-std::string
-directiveMacro(const std::string &line, const std::string &directive)
-{
-    size_t pos = line.find('#');
-    if (pos == std::string::npos)
-        return "";
-    ++pos;
-    while (pos < line.size() && std::isspace((unsigned char)line[pos]))
-        ++pos;
-    if (line.compare(pos, directive.size(), directive) != 0)
-        return "";
-    pos += directive.size();
-    if (pos >= line.size() || !std::isspace((unsigned char)line[pos]))
-        return "";
-    while (pos < line.size() && std::isspace((unsigned char)line[pos]))
-        ++pos;
-    size_t end = pos;
-    while (end < line.size() && isWordChar(line[end]))
-        ++end;
-    return line.substr(pos, end - pos);
-}
-
-void
-checkIncludeGuard(const std::string &rel,
-                  const std::vector<std::string> &code_lines)
-{
-    std::string want = expectedGuard(rel);
-    for (size_t i = 0; i < code_lines.size(); ++i) {
-        std::string name = directiveMacro(code_lines[i], "ifndef");
-        if (name.empty())
-            continue;
-        if (name != want) {
-            report(rel, (int)i + 1, "guard",
-                   "include guard " + name + " should be " + want);
-            return;
-        }
-        if (i + 1 >= code_lines.size() ||
-            directiveMacro(code_lines[i + 1], "define") != want) {
-            report(rel, (int)i + 2, "guard",
-                   "#ifndef " + want + " must be followed by #define " +
-                       want);
-        }
-        return;
-    }
-    report(rel, 1, "guard", "header has no include guard (want " + want +
-                                ")");
-}
-
-void
-lintFile(const fs::path &path, const std::string &rel)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        report(rel, 0, "io", "cannot open file");
-        return;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string raw = buf.str();
-
-    bool isHeader = path.extension() == ".hh";
-    bool isLibrary = rel.rfind("src/", 0) == 0;
-    // The two sanctioned homes of std::chrono: the stopwatch and the
-    // trace clock. Everything else times through them.
-    bool chronoAllowed = rel.rfind("src/profile/", 0) == 0 ||
-                         rel.rfind("src/obs/", 0) == 0;
-
-    std::vector<std::string> rawLines = splitLines(raw);
-    std::vector<std::string> codeLines =
-        splitLines(stripCommentsAndStrings(raw));
-
-    for (size_t i = 0; i < rawLines.size(); ++i) {
-        const std::string &line = rawLines[i];
-        int ln = (int)i + 1;
-        if (line.find('\t') != std::string::npos)
-            report(rel, ln, "tab", "tab character (indent with spaces)");
-        if (!line.empty() &&
-            std::isspace((unsigned char)line.back()))
-            report(rel, ln, "space", "trailing whitespace");
-    }
-
-    for (size_t i = 0; i < codeLines.size(); ++i) {
-        const std::string &code = codeLines[i];
-        int ln = (int)i + 1;
-        if (i < rawLines.size() &&
-            rawLines[i].find("NOLINT") != std::string::npos) {
-            continue;
-        }
-        if (isHeader && code.find("using namespace") != std::string::npos)
-            report(rel, ln, "using-ns", "using namespace in a header");
-        size_t pos = 0;
-        if (containsWord(code, "new", &pos)) {
-            // Placement new over caller-provided storage is fine; the
-            // rule targets raw heap allocation.
-            size_t after = pos + 3;
-            while (after < code.size() &&
-                   std::isspace((unsigned char)code[after])) {
-                ++after;
-            }
-            if (after >= code.size() || code[after] != '(') {
-                report(rel, ln, "new",
-                       "raw new (use std::make_unique or containers)");
-            }
-        }
-        if (containsWord(code, "delete", &pos)) {
-            if (lastCodeCharBefore(code, pos) != '=') {
-                report(rel, ln, "new",
-                       "raw delete (owning pointers must be smart)");
-            }
-        }
-        if (isLibrary) {
-            if (code.find("std::cout") != std::string::npos) {
-                report(rel, ln, "stdio",
-                       "std::cout in library code (use inform()/warn())");
-            }
-            if (containsWord(code, "printf")) {
-                report(rel, ln, "stdio",
-                       "printf in library code (use inform()/warn())");
-            }
-            if (!chronoAllowed &&
-                (code.find("std::chrono") != std::string::npos ||
-                 code.find("<chrono>") != std::string::npos)) {
-                report(rel, ln, "chrono",
-                       "std::chrono outside src/profile//src/obs/ "
-                       "(use profile::Stopwatch or trace spans)");
-            }
-        }
-    }
-
-    if (isHeader)
-        checkIncludeGuard(rel, codeLines);
-}
+using namespace ealint;
 
 bool
 lintable(const fs::path &p)
 {
     auto ext = p.extension();
     return ext == ".hh" || ext == ".cc" || ext == ".cpp";
+}
+
+int
+usage()
+{
+    std::cerr << "usage: edgeadapt_lint [--repo-root DIR] "
+                 "[--format=text|json] [--baseline FILE]\n"
+                 "                      [--pass NAME]... [--exclude "
+                 "REL_PREFIX]... [--werror]\n"
+                 "                      [--list-rules] PATH [PATH...]\n";
+    return 2;
 }
 
 } // namespace
@@ -359,59 +80,142 @@ main(int argc, char **argv)
 {
     fs::path repoRoot;
     std::vector<fs::path> roots;
+    std::vector<std::string> excludes;
+    std::vector<std::string> passNames;
+    std::string format = "text";
+    std::string baselinePath;
+    bool werror = false;
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--repo-root") {
+        auto value = [&](const char *flag) -> const char * {
             if (++i >= argc) {
-                std::cerr << "edgeadapt_lint: --repo-root needs a value\n";
-                return 2;
+                std::cerr << "edgeadapt_lint: " << flag
+                          << " needs a value\n";
+                return nullptr;
             }
-            repoRoot = fs::path(argv[i]);
+            return argv[i];
+        };
+        if (arg == "--repo-root") {
+            const char *v = value("--repo-root");
+            if (!v)
+                return 2;
+            repoRoot = fs::path(v);
+        } else if (arg == "--baseline") {
+            const char *v = value("--baseline");
+            if (!v)
+                return 2;
+            baselinePath = v;
+        } else if (arg == "--pass") {
+            const char *v = value("--pass");
+            if (!v)
+                return 2;
+            passNames.push_back(v);
+        } else if (arg == "--exclude") {
+            const char *v = value("--exclude");
+            if (!v)
+                return 2;
+            excludes.push_back(v);
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json")
+                return usage();
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--list-rules") {
+            for (const RuleInfo &r : ruleTable()) {
+                std::cout << r.id << " (" << severityName(r.severity)
+                          << ", " << r.pass << "): " << r.summary
+                          << "\n";
+            }
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
         } else {
             roots.emplace_back(arg);
         }
     }
-    if (roots.empty()) {
-        std::cerr << "usage: edgeadapt_lint --repo-root DIR PATH...\n";
-        return 2;
-    }
+    if (roots.empty())
+        return usage();
     if (repoRoot.empty())
         repoRoot = fs::current_path();
     repoRoot = fs::weakly_canonical(repoRoot);
 
-    int files = 0;
+    for (const std::string &name : passNames) {
+        bool known = false;
+        for (const Pass &p : passTable())
+            known = known || name == p.name;
+        if (!known) {
+            std::cerr << "edgeadapt_lint: unknown pass '" << name
+                      << "'\n";
+            return 2;
+        }
+    }
+
+    // Discover files, deterministically ordered so reports diff
+    // cleanly run to run.
+    std::vector<fs::path> batch;
     for (const fs::path &root : roots) {
         std::error_code ec;
         if (fs::is_regular_file(root, ec)) {
-            fs::path abs = fs::weakly_canonical(root);
-            lintFile(abs,
-                     fs::relative(abs, repoRoot).generic_string());
-            ++files;
+            batch.push_back(fs::weakly_canonical(root));
             continue;
         }
         if (!fs::is_directory(root, ec)) {
-            std::cerr << "edgeadapt_lint: no such path: " << root << "\n";
+            std::cerr << "edgeadapt_lint: no such path: " << root
+                      << "\n";
             return 2;
         }
-        std::vector<fs::path> batch;
         for (auto it = fs::recursive_directory_iterator(root);
              it != fs::recursive_directory_iterator(); ++it) {
             if (it->is_regular_file() && lintable(it->path()))
                 batch.push_back(fs::weakly_canonical(it->path()));
         }
-        // Deterministic order makes diffs of lint output stable.
-        std::sort(batch.begin(), batch.end());
-        for (const fs::path &p : batch) {
-            lintFile(p, fs::relative(p, repoRoot).generic_string());
-            ++files;
+    }
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+
+    Context ctx;
+    ctx.repoRoot = repoRoot.generic_string();
+    Diagnostics diag;
+    for (const fs::path &p : batch) {
+        std::string rel = fs::relative(p, repoRoot).generic_string();
+        bool skip = false;
+        for (const std::string &ex : excludes)
+            skip = skip || rel.rfind(ex, 0) == 0;
+        if (skip)
+            continue;
+        SourceFile sf;
+        if (!loadSourceFile(p.generic_string(), rel, sf)) {
+            diag.reportRaw(rel, 0, "io", "cannot open file");
+            continue;
         }
+        ctx.files.push_back(std::move(sf));
     }
 
-    for (const Violation &v : violations) {
-        std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
-                  << v.message << "\n";
+    if (!baselinePath.empty() && !diag.loadBaseline(baselinePath)) {
+        std::cerr << "edgeadapt_lint: cannot read baseline "
+                  << baselinePath << "\n";
+        return 2;
     }
-    std::cout << "edgeadapt_lint: " << files << " files, "
-              << violations.size() << " violation(s)\n";
-    return violations.empty() ? 0 : 1;
+
+    for (const Pass &p : passTable()) {
+        if (!passNames.empty() &&
+            std::find(passNames.begin(), passNames.end(), p.name) ==
+                passNames.end()) {
+            continue;
+        }
+        p.run(ctx, diag);
+    }
+
+    diag.finalize();
+    int files = (int)ctx.files.size();
+    if (format == "json")
+        diag.emitJson(std::cout, files);
+    else
+        diag.emitText(std::cout, files);
+
+    bool failed = diag.count(Severity::Error) > 0 ||
+                  (werror && diag.count(Severity::Warning) > 0);
+    return failed ? 1 : 0;
 }

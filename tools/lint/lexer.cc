@@ -1,0 +1,297 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace ealint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha((unsigned char)c) || c == '_';
+}
+
+/** Cursor over the source with line/column tracking. */
+struct Cursor
+{
+    const std::string &src;
+    size_t i = 0;
+    int line = 1;
+    int col = 1;
+
+    explicit Cursor(const std::string &s) : src(s) {}
+
+    bool done() const { return i >= src.size(); }
+    char peek(size_t off = 0) const
+    {
+        return i + off < src.size() ? src[i + off] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src[i++];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    /** Fold "\\\n" (and "\\\r\n") continuations into nothing. */
+    bool
+    skipContinuation()
+    {
+        if (peek() != '\\')
+            return false;
+        size_t off = 1;
+        if (peek(1) == '\r' && peek(2) == '\n')
+            off = 3;
+        else if (peek(1) == '\n')
+            off = 2;
+        else
+            return false;
+        while (off--)
+            advance();
+        return true;
+    }
+};
+
+/** Consume a // comment (cursor past the second '/'). */
+std::string
+lexLineComment(Cursor &cur)
+{
+    std::string text;
+    while (!cur.done() && cur.peek() != '\n') {
+        if (!cur.skipContinuation())
+            text += cur.advance();
+    }
+    return text;
+}
+
+/** Consume a block comment (cursor past the opening "slash-star"). */
+std::string
+lexBlockComment(Cursor &cur)
+{
+    std::string text;
+    while (!cur.done()) {
+        char c = cur.advance();
+        if (c == '*' && cur.peek() == '/') {
+            cur.advance();
+            return text;
+        }
+        text += c;
+    }
+    return text;
+}
+
+/** Consume a quoted literal body up to the unescaped @p quote. */
+std::string
+lexQuoted(Cursor &cur, char quote)
+{
+    std::string text;
+    while (!cur.done()) {
+        char c = cur.advance();
+        if (c == '\\' && !cur.done()) {
+            text += c;
+            text += cur.advance();
+            continue;
+        }
+        if (c == quote || c == '\n')
+            break;
+        text += c;
+    }
+    return text;
+}
+
+/** Consume a raw string R"delim(...)delim" (cursor past the quote). */
+std::string
+lexRawString(Cursor &cur)
+{
+    std::string delim;
+    while (!cur.done() && cur.peek() != '(' && cur.peek() != '"' &&
+           delim.size() < 16) {
+        delim += cur.advance();
+    }
+    if (cur.peek() == '(')
+        cur.advance();
+    std::string close = ")" + delim + "\"";
+    std::string text;
+    while (!cur.done()) {
+        if (cur.src.compare(cur.i, close.size(), close) == 0) {
+            for (size_t k = 0; k < close.size(); ++k)
+                cur.advance();
+            break;
+        }
+        text += cur.advance();
+    }
+    return text;
+}
+
+/** Lex the remainder of a '#' directive line, honoring continuations. */
+Directive
+lexDirective(Cursor &cur, int hashLine, std::vector<Comment> *trailing)
+{
+    std::string body;
+    while (!cur.done() && cur.peek() != '\n') {
+        if (cur.skipContinuation()) {
+            body += ' ';
+            continue;
+        }
+        char c = cur.peek();
+        if (c == '/' && cur.peek(1) == '/') {
+            int ln = cur.line;
+            cur.advance();
+            cur.advance();
+            trailing->push_back({ln, lexLineComment(cur)});
+            break;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            int ln = cur.line;
+            cur.advance();
+            cur.advance();
+            trailing->push_back({ln, lexBlockComment(cur)});
+            body += ' ';
+            continue;
+        }
+        body += cur.advance();
+    }
+
+    Directive d;
+    d.line = hashLine;
+    size_t p = 0;
+    while (p < body.size() && std::isspace((unsigned char)body[p]))
+        ++p;
+    size_t nameEnd = p;
+    while (nameEnd < body.size() && isWordChar(body[nameEnd]))
+        ++nameEnd;
+    d.name = body.substr(p, nameEnd - p);
+    p = nameEnd;
+    while (p < body.size() && std::isspace((unsigned char)body[p]))
+        ++p;
+    size_t end = body.size();
+    while (end > p && std::isspace((unsigned char)body[end - 1]))
+        --end;
+    d.rest = body.substr(p, end - p);
+    return d;
+}
+
+} // namespace
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum((unsigned char)c) || c == '_';
+}
+
+LexResult
+lex(const std::string &src)
+{
+    LexResult out;
+    Cursor cur(src);
+    bool atLineStart = true;
+
+    while (!cur.done()) {
+        if (cur.skipContinuation())
+            continue;
+        char c = cur.peek();
+
+        if (c == '\n') {
+            cur.advance();
+            atLineStart = true;
+            continue;
+        }
+        if (std::isspace((unsigned char)c)) {
+            cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '/') {
+            int ln = cur.line;
+            cur.advance();
+            cur.advance();
+            out.comments.push_back({ln, lexLineComment(cur)});
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            int ln = cur.line;
+            cur.advance();
+            cur.advance();
+            out.comments.push_back({ln, lexBlockComment(cur)});
+            continue;
+        }
+        if (c == '#' && atLineStart) {
+            int hashLine = cur.line;
+            cur.advance();
+            out.directives.push_back(
+                lexDirective(cur, hashLine, &out.comments));
+            continue;
+        }
+        atLineStart = false;
+
+        Token tok;
+        tok.line = cur.line;
+        tok.col = cur.col;
+
+        if (c == '"') {
+            cur.advance();
+            tok.kind = Token::Kind::String;
+            tok.text = lexQuoted(cur, '"');
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (c == '\'') {
+            cur.advance();
+            tok.kind = Token::Kind::CharLit;
+            tok.text = lexQuoted(cur, '\'');
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (c == 'R' && cur.peek(1) == '"') {
+            cur.advance();
+            cur.advance();
+            tok.kind = Token::Kind::String;
+            tok.text = lexRawString(cur);
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (isIdentStart(c)) {
+            tok.kind = Token::Kind::Identifier;
+            while (!cur.done() && isWordChar(cur.peek()))
+                tok.text += cur.advance();
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (std::isdigit((unsigned char)c) ||
+            (c == '.' && std::isdigit((unsigned char)cur.peek(1)))) {
+            tok.kind = Token::Kind::Number;
+            tok.text += cur.advance();
+            while (!cur.done()) {
+                char n = cur.peek();
+                // pp-number: alnum, '.', digit separators, exponent
+                // signs after e/E/p/P.
+                if (isWordChar(n) || n == '.' || n == '\'') {
+                    tok.text += cur.advance();
+                } else if ((n == '+' || n == '-') && !tok.text.empty() &&
+                           (std::tolower((unsigned char)tok.text.back()) ==
+                                'e' ||
+                            std::tolower((unsigned char)tok.text.back()) ==
+                                'p')) {
+                    tok.text += cur.advance();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+        tok.kind = Token::Kind::Punct;
+        tok.text = std::string(1, cur.advance());
+        out.tokens.push_back(std::move(tok));
+    }
+    return out;
+}
+
+} // namespace ealint

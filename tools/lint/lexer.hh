@@ -1,0 +1,89 @@
+/**
+ * @file
+ * C++ tokenizer for the edgeadapt static analyzer. Produces a stream
+ * of code tokens (identifiers, literals, punctuation) plus a separate
+ * list of preprocessor directives; comments are consumed and never
+ * surface as tokens. All rules share this one lexer, replacing the
+ * blank-out-and-substring matching of the original single-file lint.
+ *
+ * The lexer is deliberately approximate where exactness costs more
+ * than it buys for lint rules: it does not expand macros, does not
+ * track digraphs, and folds backslash-newline continuations into
+ * plain whitespace. It does understand line/block comments, string
+ * and character literals (including escapes and raw strings), and
+ * whole-line preprocessor directives with continuations.
+ */
+
+#ifndef EDGEADAPT_TOOLS_LINT_LEXER_HH
+#define EDGEADAPT_TOOLS_LINT_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace ealint {
+
+/** One code token with its 1-based source position. */
+struct Token
+{
+    enum class Kind {
+        Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+        Number,     ///< pp-number (1.5e-3, 0x1F, 1'000, ...)
+        String,     ///< "..." or R"(...)" (text excludes quotes)
+        CharLit,    ///< '...'
+        Punct,      ///< single punctuation character
+    };
+
+    Kind kind = Kind::Punct;
+    std::string text;
+    int line = 0;
+    int col = 0;
+
+    /** Punctuation test: literals can spell "{" too, so kind counts. */
+    bool is(const char *t) const
+    {
+        return kind == Kind::Punct && text == t;
+    }
+    bool isIdent(const char *t) const
+    {
+        return kind == Kind::Identifier && text == t;
+    }
+};
+
+/**
+ * One preprocessor directive, with backslash-newline continuations
+ * folded into @ref rest. @ref line is the line of the '#'.
+ */
+struct Directive
+{
+    int line = 0;
+    std::string name; ///< "include", "define", "ifndef", ...
+    std::string rest; ///< trimmed text after the name
+};
+
+/**
+ * One comment's text (no delimiters). Block comments keep their
+ * embedded newlines so callers can map text back to lines.
+ */
+struct Comment
+{
+    int line = 0; ///< line the comment opens on
+    std::string text;
+};
+
+/** Lexer output: code tokens, directives, and comments. */
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Directive> directives;
+    std::vector<Comment> comments;
+};
+
+/** Tokenize @p src. Never fails; unknown bytes become Punct tokens. */
+LexResult lex(const std::string &src);
+
+/** @return true when @p c can start or continue an identifier. */
+bool isWordChar(char c);
+
+} // namespace ealint
+
+#endif // EDGEADAPT_TOOLS_LINT_LEXER_HH

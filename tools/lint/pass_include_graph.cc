@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Include-graph pass: parses #include directives across src/, builds
+ * the module dependency graph, and enforces the declared layering.
+ *
+ * The layering (lower layer = more basic; an include may only point
+ * strictly downward or stay inside its own module):
+ *
+ *   8  analysis
+ *   7  device  profile
+ *   6  adapt   compress
+ *   5  train
+ *   4  models  data
+ *   3  nn
+ *   2  tensor
+ *   1  obs
+ *   0  base
+ *
+ * obs sits just above base because trace spans and metrics are the
+ * instrumentation substrate the whole stack (tensor kernels included)
+ * reports through. Edges between two modules of the same layer are
+ * errors too: if such a dependency is real, the layering declaration
+ * must change, visibly, in this table and in DESIGN.md.
+ *
+ * Cycles are detected on the full module graph (including edges that
+ * are already layering violations) so a cycle is always reported as
+ * such, not just as a pair of suspicious edges.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes.hh"
+
+namespace ealint {
+
+namespace fs = std::filesystem;
+
+int
+moduleLayer(const std::string &module)
+{
+    static const std::map<std::string, int> layers = {
+        {"base", 0},   {"obs", 1},      {"tensor", 2}, {"nn", 3},
+        {"models", 4}, {"data", 4},     {"train", 5},  {"adapt", 6},
+        {"compress", 6}, {"device", 7}, {"profile", 7}, {"analysis", 8},
+    };
+    auto it = layers.find(module);
+    return it == layers.end() ? -1 : it->second;
+}
+
+std::string
+quotedIncludeTarget(const Directive &d)
+{
+    if (d.name != "include" || d.rest.size() < 2 || d.rest[0] != '"')
+        return "";
+    size_t close = d.rest.find('"', 1);
+    if (close == std::string::npos)
+        return "";
+    return d.rest.substr(1, close - 1);
+}
+
+namespace {
+
+/** One module-level edge with a representative include site. */
+struct Edge
+{
+    std::string from;
+    std::string to;
+    const SourceFile *site = nullptr;
+    int line = 0;
+};
+
+/** @return module of a quoted include target under src/, or "". */
+std::string
+targetModule(const Context &ctx, const std::string &target)
+{
+    size_t slash = target.find('/');
+    if (slash == std::string::npos || slash == 0)
+        return "";
+    std::error_code ec;
+    if (!fs::is_regular_file(fs::path(ctx.repoRoot) / "src" / target,
+                             ec)) {
+        return "";
+    }
+    return target.substr(0, slash);
+}
+
+/** Depth-first search for one cycle through @p module. */
+bool
+findCycle(const std::map<std::string, std::set<std::string>> &graph,
+          const std::string &node, std::set<std::string> &visiting,
+          std::set<std::string> &done, std::vector<std::string> &path)
+{
+    if (done.count(node))
+        return false;
+    if (visiting.count(node)) {
+        path.push_back(node);
+        return true;
+    }
+    visiting.insert(node);
+    auto it = graph.find(node);
+    if (it != graph.end()) {
+        for (const std::string &next : it->second) {
+            if (findCycle(graph, next, visiting, done, path)) {
+                // Unwind only until the cycle's entry node is back on
+                // top; nodes before it are a tail, not cycle members.
+                if (path.front() != path.back() || path.size() == 1)
+                    path.push_back(node);
+                return true;
+            }
+        }
+    }
+    visiting.erase(node);
+    done.insert(node);
+    return false;
+}
+
+} // namespace
+
+void
+runIncludeGraphPass(const Context &ctx, Diagnostics &diag)
+{
+    std::vector<Edge> edges;
+    std::map<std::string, std::set<std::string>> graph;
+
+    for (const SourceFile &sf : ctx.files) {
+        if (!sf.isSrc || sf.module.empty())
+            continue;
+        if (moduleLayer(sf.module) < 0) {
+            diag.report(sf, 1, "layer",
+                        "module src/" + sf.module +
+                            "/ is not in the declared layering (add "
+                            "it to moduleLayer() and DESIGN.md)");
+            continue;
+        }
+        for (const Directive &d : sf.lex.directives) {
+            std::string target = quotedIncludeTarget(d);
+            if (target.empty())
+                continue;
+            std::string to = targetModule(ctx, target);
+            if (to.empty() || to == sf.module)
+                continue;
+            if (graph[sf.module].insert(to).second)
+                edges.push_back({sf.module, to, &sf, d.line});
+
+            int fromLayer = moduleLayer(sf.module);
+            int toLayer = moduleLayer(to);
+            if (toLayer < 0) {
+                diag.report(sf, d.line, "layer",
+                            "include of src/" + to +
+                                "/ which is not in the declared "
+                                "layering");
+            } else if (toLayer >= fromLayer) {
+                diag.report(
+                    sf, d.line, "layer",
+                    "include of " + target + " reaches " +
+                        (toLayer == fromLayer ? "sideways" : "upward") +
+                        ": " + sf.module + " (layer " +
+                        std::to_string(fromLayer) + ") -> " + to +
+                        " (layer " + std::to_string(toLayer) + ")");
+            }
+        }
+    }
+
+    // Cycle detection over the whole module graph. Each cycle is
+    // reported once, attributed to a representative include site.
+    std::set<std::string> done;
+    std::vector<std::string> nodes;
+    for (const auto &entry : graph)
+        nodes.push_back(entry.first);
+    std::sort(nodes.begin(), nodes.end());
+    for (const std::string &node : nodes) {
+        std::set<std::string> visiting;
+        std::vector<std::string> path;
+        if (!findCycle(graph, node, visiting, done, path))
+            continue;
+        std::reverse(path.begin(), path.end());
+        std::string desc;
+        for (const std::string &m : path)
+            desc += (desc.empty() ? "" : " -> ") + m;
+        const Edge *site = nullptr;
+        for (const Edge &e : edges) {
+            if (e.from == path[0] && e.to == path[1]) {
+                site = &e;
+                break;
+            }
+        }
+        if (site) {
+            diag.report(*site->site, site->line, "layer-cycle",
+                        "module cycle: " + desc);
+        } else {
+            diag.reportRaw("src/" + path[0], 1, "layer-cycle",
+                           "module cycle: " + desc);
+        }
+        // One cycle per run keeps the report readable; fixing it
+        // usually dissolves or reveals the rest.
+        break;
+    }
+}
+
+} // namespace ealint

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Instrumentation-coverage pass: ties the analyzer to the measurement
+ * stack. The paper's per-layer breakdowns are only as trustworthy as
+ * the instrumentation they are read from, so this pass mechanically
+ * proves three properties over src/:
+ *
+ *  - trace-span:     the body of every forward()/backward() of every
+ *                    nn::Module subclass (transitively) opens an
+ *                    EA_TRACE_SPAN / EA_TRACE_SPAN_CAT
+ *  - grad-contract:  every such backward() body states at least one
+ *                    EA_CHECK* contract on its inputs/cached state
+ *  - hot-alloc:      src/tensor/ kernels do not grow containers
+ *                    (push_back, resize, ...) or construct
+ *                    std::vector inside loops; a justified exception
+ *                    carries NOLINT(hot-alloc)
+ *
+ * Class discovery is cross-file: subclass declarations usually live
+ * in headers while the method bodies live in .cc files, so the pass
+ * first builds the class hierarchy over all loaded files (seeded at
+ * the Module base in src/nn/module.hh) and then hunts for method
+ * bodies both out-of-line (Tensor X::forward(...) { ... }) and inline
+ * inside a class body.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes.hh"
+
+namespace ealint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool
+isTraceMacro(const std::string &s)
+{
+    return s == "EA_TRACE_SPAN" || s == "EA_TRACE_SPAN_CAT";
+}
+
+bool
+isCheckMacro(const std::string &s)
+{
+    return s == "EA_CHECK" || s == "EA_CHECK_SHAPE" ||
+           s == "EA_CHECK_INDEX" || s == "EA_CHECK_FINITE" ||
+           s == "EA_DCHECK" || s == "EA_DCHECK_INDEX";
+}
+
+/** @return index just past the matching closer for the opener at @p i. */
+size_t
+skipBalanced(const Tokens &toks, size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].is(open))
+            ++depth;
+        else if (toks[i].is(close) && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+/** One discovered class declaration. */
+struct ClassDecl
+{
+    std::string name;
+    const SourceFile *file = nullptr;
+    int line = 0;
+    std::vector<std::string> bases; ///< last path component of each base
+    size_t bodyBegin = 0;           ///< token index past '{'
+    size_t bodyEnd = 0;             ///< token index of '}'
+};
+
+/**
+ * Scan one file for class/struct declarations with a base list and a
+ * body, recording base names and body token ranges.
+ */
+void
+collectClasses(const SourceFile &sf, std::vector<ClassDecl> &out)
+{
+    const Tokens &toks = sf.lex.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (!t.isIdent("class") && !t.isIdent("struct"))
+            continue;
+        // Skip "enum class" and template parameters ("<class T>").
+        if (i > 0 && (toks[i - 1].isIdent("enum") ||
+                      toks[i - 1].is("<") || toks[i - 1].is(","))) {
+            continue;
+        }
+        if (toks[i + 1].kind != Token::Kind::Identifier)
+            continue;
+        ClassDecl decl;
+        decl.name = toks[i + 1].text;
+        decl.file = &sf;
+        decl.line = toks[i + 1].line;
+
+        size_t j = i + 2;
+        if (j < toks.size() && toks[j].isIdent("final"))
+            ++j;
+        if (j < toks.size() && toks[j].is(":")) {
+            // Base list: walk qualified names up to '{'.
+            std::string last;
+            for (++j; j < toks.size() && !toks[j].is("{") &&
+                      !toks[j].is(";");
+                 ++j) {
+                const Token &b = toks[j];
+                if (b.kind == Token::Kind::Identifier) {
+                    if (b.isIdent("public") || b.isIdent("private") ||
+                        b.isIdent("protected") || b.isIdent("virtual")) {
+                        continue;
+                    }
+                    last = b.text;
+                } else if (b.is(",")) {
+                    if (!last.empty())
+                        decl.bases.push_back(last);
+                    last.clear();
+                } else if (b.is("<")) {
+                    // Template base: skip its argument list.
+                    j = skipBalanced(toks, j, "<", ">") - 1;
+                }
+            }
+            if (!last.empty())
+                decl.bases.push_back(last);
+        }
+        if (j >= toks.size() || !toks[j].is("{"))
+            continue; // forward declaration
+        decl.bodyBegin = j + 1;
+        decl.bodyEnd = skipBalanced(toks, j, "{", "}") - 1;
+        out.push_back(std::move(decl));
+        // Nested classes are rare here; continuing the scan past the
+        // header of this class finds them anyway.
+    }
+}
+
+/** A forward()/backward() definition with a body. */
+struct MethodBody
+{
+    const SourceFile *file = nullptr;
+    int line = 0;
+    std::string className;
+    std::string method; ///< "forward" or "backward"
+    size_t begin = 0;   ///< token index past '{'
+    size_t end = 0;     ///< token index of '}'
+};
+
+/**
+ * From token @p i (the method name) try to parse "(params) quals {",
+ * returning true and the body range when this is a definition.
+ */
+bool
+parseBodyAfterName(const Tokens &toks, size_t i, size_t &begin,
+                   size_t &end)
+{
+    size_t j = i + 1;
+    if (j >= toks.size() || !toks[j].is("("))
+        return false;
+    j = skipBalanced(toks, j, "(", ")");
+    // Qualifiers between ")" and "{": const, noexcept, override,
+    // final, trailing return types. "=" means "= 0;" / "= default;",
+    // ";" means a plain declaration — neither has a body to check.
+    for (; j < toks.size(); ++j) {
+        if (toks[j].is("{")) {
+            begin = j + 1;
+            end = skipBalanced(toks, j, "{", "}") - 1;
+            return true;
+        }
+        if (toks[j].is(";") || toks[j].is("="))
+            return false;
+    }
+    return false;
+}
+
+/** Find out-of-line "X::forward(...) { ... }" definitions in @p sf. */
+void
+collectOutOfLineBodies(const SourceFile &sf,
+                       const std::set<std::string> &classes,
+                       std::vector<MethodBody> &out)
+{
+    const Tokens &toks = sf.lex.tokens;
+    for (size_t i = 0; i + 4 < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Identifier ||
+            !classes.count(toks[i].text)) {
+            continue;
+        }
+        if (!toks[i + 1].is(":") || !toks[i + 2].is(":"))
+            continue;
+        const Token &name = toks[i + 3];
+        if (!name.isIdent("forward") && !name.isIdent("backward"))
+            continue;
+        MethodBody mb;
+        if (!parseBodyAfterName(toks, i + 3, mb.begin, mb.end))
+            continue;
+        mb.file = &sf;
+        mb.line = name.line;
+        mb.className = toks[i].text;
+        mb.method = name.text;
+        out.push_back(mb);
+    }
+}
+
+/** Find inline forward/backward bodies inside @p decl's class body. */
+void
+collectInlineBodies(const ClassDecl &decl, std::vector<MethodBody> &out)
+{
+    const Tokens &toks = decl.file->lex.tokens;
+    for (size_t i = decl.bodyBegin; i < decl.bodyEnd; ++i) {
+        const Token &t = toks[i];
+        if (!t.isIdent("forward") && !t.isIdent("backward"))
+            continue;
+        // "X::forward" inside the body belongs to some other class.
+        if (i >= 2 && toks[i - 1].is(":") && toks[i - 2].is(":"))
+            continue;
+        MethodBody mb;
+        if (!parseBodyAfterName(toks, i, mb.begin, mb.end))
+            continue;
+        mb.file = decl.file;
+        mb.line = t.line;
+        mb.className = decl.name;
+        mb.method = t.text;
+        out.push_back(mb);
+        i = mb.end;
+    }
+}
+
+void
+checkBody(const MethodBody &mb, Diagnostics &diag)
+{
+    const Tokens &toks = mb.file->lex.tokens;
+    bool hasSpan = false;
+    bool hasCheck = false;
+    for (size_t i = mb.begin; i < mb.end; ++i) {
+        if (toks[i].kind != Token::Kind::Identifier)
+            continue;
+        hasSpan = hasSpan || isTraceMacro(toks[i].text);
+        hasCheck = hasCheck || isCheckMacro(toks[i].text);
+    }
+    std::string who = mb.className + "::" + mb.method;
+    if (!hasSpan) {
+        diag.report(*mb.file, mb.line, "trace-span",
+                    who + " has no EA_TRACE_SPAN — the per-layer "
+                          "breakdowns cannot see this module");
+    }
+    if (mb.method == "backward" && !hasCheck) {
+        diag.report(*mb.file, mb.line, "grad-contract",
+                    who + " states no EA_CHECK* contract on its "
+                          "gradient/cached state");
+    }
+}
+
+/** Container-growth calls that allocate on the hot path. */
+bool
+isGrowthCall(const std::string &s)
+{
+    return s == "push_back" || s == "emplace_back" || s == "resize" ||
+           s == "reserve" || s == "insert" || s == "emplace" ||
+           s == "assign" || s == "append";
+}
+
+void
+checkHotAlloc(const SourceFile &sf, Diagnostics &diag)
+{
+    const Tokens &toks = sf.lex.tokens;
+    // Loop-body tracking: a brace stack with an is-loop flag, plus a
+    // span for braceless bodies ("for (...) x.push_back(y);").
+    std::vector<bool> braceIsLoop;
+    int loopDepth = 0;
+    size_t bracelessUntil = 0; // token index bound, 0 = inactive
+    bool pendingLoop = false;
+
+    auto inLoop = [&](size_t i) {
+        return loopDepth > 0 || (bracelessUntil && i < bracelessUntil);
+    };
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (bracelessUntil && i >= bracelessUntil)
+            bracelessUntil = 0;
+
+        if (t.isIdent("for") || t.isIdent("while")) {
+            size_t j = i + 1;
+            if (j < toks.size() && toks[j].is("("))
+                j = skipBalanced(toks, j, "(", ")");
+            if (j < toks.size() && toks[j].is("{")) {
+                pendingLoop = true;
+            } else {
+                // Braceless body: one statement, up to its ';'.
+                size_t k = j;
+                while (k < toks.size() && !toks[k].is(";")) {
+                    if (toks[k].is("("))
+                        k = skipBalanced(toks, k, "(", ")");
+                    else
+                        ++k;
+                }
+                if (k > bracelessUntil)
+                    bracelessUntil = k;
+            }
+            i = j - 1;
+            continue;
+        }
+        if (t.isIdent("do") && i + 1 < toks.size() &&
+            toks[i + 1].is("{")) {
+            pendingLoop = true;
+            continue;
+        }
+        if (t.is("{")) {
+            braceIsLoop.push_back(pendingLoop);
+            if (pendingLoop)
+                ++loopDepth;
+            pendingLoop = false;
+            continue;
+        }
+        if (t.is("}")) {
+            if (!braceIsLoop.empty()) {
+                if (braceIsLoop.back())
+                    --loopDepth;
+                braceIsLoop.pop_back();
+            }
+            continue;
+        }
+        if (!inLoop(i) || t.kind != Token::Kind::Identifier)
+            continue;
+
+        bool memberCall = i > 0 && (toks[i - 1].is(".") ||
+                                    (i > 1 && toks[i - 1].is(">") &&
+                                     toks[i - 2].is("-")));
+        if (isGrowthCall(t.text) && memberCall && i + 1 < toks.size() &&
+            toks[i + 1].is("(")) {
+            diag.report(sf, t.line, "hot-alloc",
+                        t.text + "() inside a loop in a src/tensor/ "
+                                 "kernel (hoist the allocation or "
+                                 "justify with NOLINT(hot-alloc))");
+        }
+        if (t.isIdent("vector") && i >= 2 && toks[i - 1].is(":") &&
+            toks[i - 2].is(":") && i >= 3 && toks[i - 3].isIdent("std")) {
+            diag.report(sf, t.line, "hot-alloc",
+                        "std::vector constructed inside a loop in a "
+                        "src/tensor/ kernel (hoist it or justify "
+                        "with NOLINT(hot-alloc))");
+        }
+    }
+}
+
+} // namespace
+
+void
+runInstrumentationPass(const Context &ctx, Diagnostics &diag)
+{
+    // 1. Class hierarchy over every loaded file, seeded at the Module
+    //    base class declared in src/nn/module.hh.
+    std::vector<ClassDecl> classes;
+    for (const SourceFile &sf : ctx.files) {
+        if (sf.isSrc)
+            collectClasses(sf, classes);
+    }
+    std::set<std::string> moduleClasses;
+    for (const ClassDecl &c : classes) {
+        if (c.name == "Module" && c.file->rel == "src/nn/module.hh")
+            moduleClasses.insert(c.name);
+    }
+    if (moduleClasses.empty())
+        return; // core not in the linted set; nothing to prove
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (const ClassDecl &c : classes) {
+            if (moduleClasses.count(c.name))
+                continue;
+            for (const std::string &base : c.bases) {
+                if (moduleClasses.count(base)) {
+                    moduleClasses.insert(c.name);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    moduleClasses.erase("Module"); // the abstract base has no bodies
+
+    // 2. Method bodies, both spellings.
+    std::vector<MethodBody> bodies;
+    for (const SourceFile &sf : ctx.files) {
+        if (sf.isSrc)
+            collectOutOfLineBodies(sf, moduleClasses, bodies);
+    }
+    for (const ClassDecl &c : classes) {
+        if (moduleClasses.count(c.name))
+            collectInlineBodies(c, bodies);
+    }
+    for (const MethodBody &mb : bodies)
+        checkBody(mb, diag);
+
+    // 3. Hot-path allocation discipline in the tensor kernels.
+    for (const SourceFile &sf : ctx.files) {
+        if (sf.rel.rfind("src/tensor/", 0) == 0)
+            checkHotAlloc(sf, diag);
+    }
+}
+
+} // namespace ealint

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Token pass: the per-file convention rules, rebuilt on the shared
+ * tokenizer. Running on tokens instead of blanked-out lines fixes two
+ * long-standing false positives of the string-matching lint: CRLF
+ * files no longer trip the trailing-whitespace rule (they get a
+ * dedicated crlf finding), and "= \n delete" declarations are
+ * recognized across the line break.
+ */
+
+#include <cctype>
+#include <string>
+
+#include "passes.hh"
+
+namespace ealint {
+
+namespace {
+
+/** @return expected include-guard macro for a repo-relative path. */
+std::string
+expectedGuard(std::string rel)
+{
+    const std::string prefix = "src/";
+    if (rel.rfind(prefix, 0) == 0)
+        rel = rel.substr(prefix.size());
+    std::string guard = "EDGEADAPT_";
+    for (char c : rel) {
+        guard += std::isalnum((unsigned char)c)
+                     ? (char)std::toupper((unsigned char)c)
+                     : '_';
+    }
+    return guard;
+}
+
+/** First identifier in a directive's rest text ("#ifndef NAME..."). */
+std::string
+firstIdent(const std::string &rest)
+{
+    size_t end = 0;
+    while (end < rest.size() && isWordChar(rest[end]))
+        ++end;
+    return rest.substr(0, end);
+}
+
+void
+checkGuard(const SourceFile &sf, Diagnostics &diag)
+{
+    std::string want = expectedGuard(sf.rel);
+    const auto &dirs = sf.lex.directives;
+    for (size_t i = 0; i < dirs.size(); ++i) {
+        if (dirs[i].name != "ifndef")
+            continue;
+        std::string name = firstIdent(dirs[i].rest);
+        if (name != want) {
+            diag.report(sf, dirs[i].line, "guard",
+                        "include guard " + name + " should be " + want);
+            return;
+        }
+        if (i + 1 >= dirs.size() || dirs[i + 1].name != "define" ||
+            firstIdent(dirs[i + 1].rest) != want) {
+            diag.report(sf, dirs[i].line + 1, "guard",
+                        "#ifndef " + want +
+                            " must be followed by #define " + want);
+        }
+        return;
+    }
+    diag.report(sf, 1, "guard",
+                "header has no include guard (want " + want + ")");
+}
+
+void
+checkWhitespace(const SourceFile &sf, Diagnostics &diag)
+{
+    if (sf.crlfLines > 0) {
+        diag.report(sf, sf.firstCrlfLine, "crlf",
+                    "CRLF line endings on " +
+                        std::to_string(sf.crlfLines) +
+                        " line(s) (convert to LF)");
+    }
+    for (size_t i = 0; i < sf.rawLines.size(); ++i) {
+        std::string line = sf.rawLines[i];
+        int ln = (int)i + 1;
+        // The '\r' of a CRLF ending is the crlf rule's business, not
+        // trailing whitespace.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.find('\t') != std::string::npos)
+            diag.report(sf, ln, "tab",
+                        "tab character (indent with spaces)");
+        if (!line.empty() && std::isspace((unsigned char)line.back()))
+            diag.report(sf, ln, "space", "trailing whitespace");
+    }
+}
+
+void
+checkTokens(const SourceFile &sf, Diagnostics &diag)
+{
+    // The two sanctioned homes of std::chrono: the stopwatch and the
+    // trace clock. Everything else times through them.
+    bool chronoAllowed = sf.rel.rfind("src/profile/", 0) == 0 ||
+                         sf.rel.rfind("src/obs/", 0) == 0;
+    const auto &toks = sf.lex.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Identifier)
+            continue;
+        auto next = [&](size_t off) -> const Token * {
+            return i + off < toks.size() ? &toks[i + off] : nullptr;
+        };
+        if (sf.isHeader && t.isIdent("using") && next(1) &&
+            next(1)->isIdent("namespace")) {
+            diag.report(sf, t.line, "using-ns",
+                        "using namespace in a header");
+        }
+        if (t.isIdent("new")) {
+            // Placement new over caller-provided storage is fine; the
+            // rule targets raw heap allocation.
+            if (!next(1) || !next(1)->is("(")) {
+                diag.report(sf, t.line, "raw-new",
+                            "raw new (use std::make_unique or "
+                            "containers)");
+            }
+        }
+        if (t.isIdent("delete")) {
+            // "= delete" function declarations are fine, and thanks to
+            // the tokenizer so is "=" on the previous line.
+            if (i == 0 || !toks[i - 1].is("=")) {
+                diag.report(sf, t.line, "raw-delete",
+                            "raw delete (owning pointers must be "
+                            "smart)");
+            }
+        }
+        if (sf.isSrc) {
+            bool stdQualified = t.isIdent("std") && next(1) &&
+                                next(1)->is(":") && next(2) &&
+                                next(2)->is(":");
+            if (stdQualified && next(3) && next(3)->isIdent("cout")) {
+                diag.report(sf, t.line, "stdio",
+                            "std::cout in library code (use "
+                            "inform()/warn())");
+            }
+            if (t.isIdent("printf")) {
+                diag.report(sf, t.line, "stdio",
+                            "printf in library code (use "
+                            "inform()/warn())");
+            }
+            if (!chronoAllowed && stdQualified && next(3) &&
+                next(3)->isIdent("chrono")) {
+                diag.report(sf, t.line, "chrono",
+                            "std::chrono outside src/profile/ and "
+                            "src/obs/ (use profile::Stopwatch or "
+                            "trace spans)");
+            }
+        }
+    }
+    if (sf.isSrc) {
+        bool chronoAllowed = sf.rel.rfind("src/profile/", 0) == 0 ||
+                             sf.rel.rfind("src/obs/", 0) == 0;
+        for (const Directive &d : sf.lex.directives) {
+            if (!chronoAllowed && d.name == "include" &&
+                d.rest.rfind("<chrono>", 0) == 0) {
+                diag.report(sf, d.line, "chrono",
+                            "<chrono> include outside src/profile/ "
+                            "and src/obs/");
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+runTokenPass(const Context &ctx, Diagnostics &diag)
+{
+    for (const SourceFile &sf : ctx.files) {
+        checkWhitespace(sf, diag);
+        checkTokens(sf, diag);
+        if (sf.isHeader)
+            checkGuard(sf, diag);
+        for (int ln : sf.bareNolint) {
+            diag.report(sf, ln, "nolint",
+                        "bare NOLINT (write NOLINT(rule-id, ...))");
+        }
+        for (const auto &entry : sf.nolint) {
+            for (const std::string &rule : entry.second) {
+                if (!findRule(rule)) {
+                    diag.report(sf, entry.first, "nolint",
+                                "NOLINT names unknown rule '" + rule +
+                                    "'");
+                }
+            }
+        }
+    }
+}
+
+} // namespace ealint

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unused-include pass (IWYU-lite). For every quoted include of a repo
+ * header in a src/ file, the pass computes the header's exported
+ * symbols and asks whether any of them appears in the including
+ * file's token stream. No hit means the direct include is dead weight
+ * (or the file is leaning on the header's transitive includes —
+ * equally worth fixing) and a warning is reported.
+ *
+ * "Exported symbol" is a token-level over-approximation: macro names,
+ * type names introduced by class/struct/enum/union, using-alias
+ * names, and any identifier directly followed by '(', '=', '{' or
+ * ';' (function declarations, variables, forward declarations). The
+ * over-approximation errs toward "used", so a warning from this pass
+ * is a strong signal, while silence is not a proof.
+ */
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+
+#include "passes.hh"
+
+namespace ealint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Keywords that must never count as exported symbols. */
+bool
+isKeywordish(const std::string &s)
+{
+    static const std::set<std::string> kw = {
+        "if",      "for",    "while",  "switch",   "return", "sizeof",
+        "class",   "struct", "enum",   "union",    "using",  "namespace",
+        "public",  "private", "protected", "virtual", "override",
+        "const",   "constexpr", "inline", "static", "extern", "template",
+        "typename", "typedef", "operator", "do",    "else",   "case",
+        "default", "break",  "continue", "new",    "delete", "this",
+        "true",    "false",  "nullptr", "void",    "bool",   "char",
+        "int",     "float",  "double", "long",    "short",  "unsigned",
+        "signed",  "auto",   "noexcept", "final",  "explicit", "friend",
+        "catch",   "try",    "throw",
+    };
+    return kw.count(s) > 0;
+}
+
+/** Compute the exported-symbol set of a lexed header. */
+std::set<std::string>
+exportsOf(const SourceFile &sf)
+{
+    std::set<std::string> out;
+    for (const Directive &d : sf.lex.directives) {
+        if (d.name != "define")
+            continue;
+        size_t end = 0;
+        while (end < d.rest.size() && isWordChar(d.rest[end]))
+            ++end;
+        if (end > 0)
+            out.insert(d.rest.substr(0, end));
+    }
+    const auto &toks = sf.lex.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Identifier || isKeywordish(t.text))
+            continue;
+        // A namespace name is shared across the whole repo — seeing it
+        // in the includer proves nothing about this header.
+        if (i > 0 && toks[i - 1].isIdent("namespace"))
+            continue;
+        // class/struct/enum/union NAME (skipping "enum class").
+        if (i > 0 && toks[i - 1].kind == Token::Kind::Identifier) {
+            const std::string &prev = toks[i - 1].text;
+            bool typeIntro = prev == "class" || prev == "struct" ||
+                             prev == "enum" || prev == "union";
+            // "template <class T>": T is a parameter, not an export.
+            bool templateParam =
+                i > 1 && (toks[i - 2].is("<") || toks[i - 2].is(","));
+            if (typeIntro && !templateParam) {
+                out.insert(t.text);
+                continue;
+            }
+            if (prev == "using" && i + 1 < toks.size() &&
+                toks[i + 1].is("=")) {
+                out.insert(t.text);
+                continue;
+            }
+        }
+        if (i + 1 < toks.size()) {
+            const Token &n = toks[i + 1];
+            if (n.is("(") || n.is("=") || n.is("{") || n.is(";"))
+                out.insert(t.text);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+runUnusedIncludePass(const Context &ctx, Diagnostics &diag)
+{
+    // Headers may be included by files outside the linted roots'
+    // intersection, so resolve lazily against the loaded set first
+    // and fall back to reading the header off disk.
+    std::map<std::string, const SourceFile *> byRel;
+    for (const SourceFile &sf : ctx.files)
+        byRel[sf.rel] = &sf;
+    std::map<std::string, SourceFile> extraFiles;
+    std::map<std::string, std::set<std::string>> exportsCache;
+
+    auto exportsFor =
+        [&](const std::string &rel) -> const std::set<std::string> * {
+        auto cached = exportsCache.find(rel);
+        if (cached != exportsCache.end())
+            return &cached->second;
+        const SourceFile *sf = nullptr;
+        auto loaded = byRel.find(rel);
+        if (loaded != byRel.end()) {
+            sf = loaded->second;
+        } else {
+            SourceFile extra;
+            fs::path abs = fs::path(ctx.repoRoot) / rel;
+            if (!loadSourceFile(abs.generic_string(), rel, extra))
+                return nullptr;
+            sf = &(extraFiles[rel] = std::move(extra));
+        }
+        return &(exportsCache[rel] = exportsOf(*sf));
+    };
+
+    for (const SourceFile &sf : ctx.files) {
+        if (!sf.isSrc)
+            continue;
+        // foo.cc gets its interface from foo.hh by convention; that
+        // include is the definition of "used".
+        std::string primary;
+        size_t dot = sf.rel.rfind('.');
+        if (dot != std::string::npos && sf.rel.substr(dot) == ".cc")
+            primary = sf.rel.substr(4, dot - 4) + ".hh"; // minus src/
+
+        std::set<std::string> identifiers;
+        for (const Token &t : sf.lex.tokens) {
+            if (t.kind == Token::Kind::Identifier)
+                identifiers.insert(t.text);
+        }
+        // Macros can also be consumed by the preprocessor itself
+        // (#ifdef EDGEADAPT_...), so directive text counts as usage.
+        for (const Directive &d : sf.lex.directives) {
+            if (d.name == "include")
+                continue;
+            std::string cur;
+            for (char c : d.rest + " ") {
+                if (isWordChar(c)) {
+                    cur += c;
+                } else if (!cur.empty()) {
+                    identifiers.insert(cur);
+                    cur.clear();
+                }
+            }
+        }
+
+        for (const Directive &d : sf.lex.directives) {
+            std::string target = quotedIncludeTarget(d);
+            if (target.empty() || target == primary)
+                continue;
+            std::string rel = "src/" + target;
+            std::error_code ec;
+            if (!fs::is_regular_file(fs::path(ctx.repoRoot) / rel, ec))
+                continue;
+            const std::set<std::string> *exp = exportsFor(rel);
+            if (!exp)
+                continue;
+            bool used = false;
+            for (const std::string &sym : *exp) {
+                if (identifiers.count(sym)) {
+                    used = true;
+                    break;
+                }
+            }
+            if (!used) {
+                diag.report(sf, d.line, "unused-include",
+                            "no exported symbol of " + target +
+                                " is used here (drop the include or "
+                                "NOLINT(unused-include) it)");
+            }
+        }
+    }
+}
+
+} // namespace ealint

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The analyzer's passes. Each pass sees every loaded file plus the
+ * repo root and reports through the shared Diagnostics sink:
+ *
+ *  - token:           per-file convention rules (whitespace, guards,
+ *                     raw new/delete, stdio, chrono, bare NOLINT)
+ *  - include-graph:   parses #include directives across src/, builds
+ *                     the module DAG, and enforces the declared
+ *                     layering (upward edges and cycles are errors)
+ *  - unused-include:  IWYU-lite — a directly included repo header
+ *                     none of whose exported symbols appear in the
+ *                     including file's token stream
+ *  - instrumentation: ties the analyzer to the measurement stack —
+ *                     every nn::Module forward/backward opens a trace
+ *                     span, every backward states an EA_CHECK* grad
+ *                     contract, and src/tensor/ kernels do not grow
+ *                     containers inside loops (NOLINT(hot-alloc)
+ *                     documents the sanctioned exceptions)
+ */
+
+#ifndef EDGEADAPT_TOOLS_LINT_PASSES_HH
+#define EDGEADAPT_TOOLS_LINT_PASSES_HH
+
+#include <string>
+#include <vector>
+
+#include "diag.hh"
+#include "source.hh"
+
+namespace ealint {
+
+/** Shared input to every pass. */
+struct Context
+{
+    std::string repoRoot; ///< absolute, generic separators
+    std::vector<SourceFile> files;
+};
+
+/** One registered pass. */
+struct Pass
+{
+    const char *name;
+    void (*run)(const Context &ctx, Diagnostics &diag);
+};
+
+void runTokenPass(const Context &ctx, Diagnostics &diag);
+void runIncludeGraphPass(const Context &ctx, Diagnostics &diag);
+void runUnusedIncludePass(const Context &ctx, Diagnostics &diag);
+void runInstrumentationPass(const Context &ctx, Diagnostics &diag);
+
+/** @return all passes in execution order. */
+const std::vector<Pass> &passTable();
+
+/**
+ * Layer index of a src/ module in the declared layering, or -1 for a
+ * module the layering does not know. Lower layers are more basic; an
+ * include may only point to a strictly lower layer (or stay within
+ * its own module).
+ */
+int moduleLayer(const std::string &module);
+
+/** @return "#include" target of @p d when quoted ("nn/x.hh"), else "". */
+std::string quotedIncludeTarget(const Directive &d);
+
+} // namespace ealint
+
+#endif // EDGEADAPT_TOOLS_LINT_PASSES_HH

@@ -1,0 +1,65 @@
+#include "rules.hh"
+
+namespace ealint {
+
+const std::vector<RuleInfo> &
+ruleTable()
+{
+    static const std::vector<RuleInfo> table = {
+        // token pass
+        {"tab", Severity::Error, "token",
+         "tab characters (indent with spaces)"},
+        {"space", Severity::Error, "token", "trailing whitespace"},
+        {"crlf", Severity::Error, "token",
+         "CRLF line endings (use LF)"},
+        {"guard", Severity::Error, "token",
+         "include-guard macro must be derived from the file path"},
+        {"using-ns", Severity::Error, "token",
+         "no 'using namespace' in headers"},
+        {"raw-new", Severity::Error, "token",
+         "no raw new (placement new is allowed)"},
+        {"raw-delete", Severity::Error, "token",
+         "no raw delete ('= delete' declarations are allowed)"},
+        {"stdio", Severity::Error, "token",
+         "no std::cout/printf in src/ (use inform()/warn())"},
+        {"chrono", Severity::Error, "token",
+         "no std::chrono in src/ outside profile/ and obs/"},
+        {"nolint", Severity::Error, "token",
+         "bare NOLINT is rejected; write NOLINT(rule-id)"},
+        {"io", Severity::Error, "token", "file cannot be read"},
+        // include-graph pass
+        {"layer", Severity::Error, "include-graph",
+         "module include violates the declared src/ layering"},
+        {"layer-cycle", Severity::Error, "include-graph",
+         "cyclic dependency between src/ modules"},
+        // unused-include pass
+        {"unused-include", Severity::Warning, "unused-include",
+         "directly included header whose symbols are never used"},
+        // instrumentation pass
+        {"trace-span", Severity::Error, "instrumentation",
+         "nn::Module forward/backward must open an EA_TRACE_SPAN"},
+        {"grad-contract", Severity::Error, "instrumentation",
+         "nn::Module backward must state an EA_CHECK* grad contract"},
+        {"hot-alloc", Severity::Error, "instrumentation",
+         "no container growth inside loops in src/tensor/ kernels"},
+    };
+    return table;
+}
+
+const RuleInfo *
+findRule(const std::string &id)
+{
+    for (const RuleInfo &r : ruleTable()) {
+        if (id == r.id)
+            return &r;
+    }
+    return nullptr;
+}
+
+const char *
+severityName(Severity sev)
+{
+    return sev == Severity::Error ? "error" : "warning";
+}
+
+} // namespace ealint

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Rule registry for the edgeadapt static analyzer. Every finding
+ * carries a rule id from this table; the table fixes each rule's
+ * default severity and one-line summary (shown by --list-rules).
+ * Suppression is per-line and per-rule: NOLINT(rule-id). A bare
+ * NOLINT is rejected by the "nolint" rule so blanket escapes cannot
+ * creep in.
+ */
+
+#ifndef EDGEADAPT_TOOLS_LINT_RULES_HH
+#define EDGEADAPT_TOOLS_LINT_RULES_HH
+
+#include <string>
+#include <vector>
+
+namespace ealint {
+
+enum class Severity { Warning, Error };
+
+/** Static description of one rule. */
+struct RuleInfo
+{
+    const char *id;
+    Severity severity;
+    const char *pass;    ///< owning pass name (for --pass filtering)
+    const char *summary; ///< one-line description
+};
+
+/** @return the full rule table (stable order). */
+const std::vector<RuleInfo> &ruleTable();
+
+/** @return the rule entry for @p id, or nullptr. */
+const RuleInfo *findRule(const std::string &id);
+
+/** @return severity name ("error" / "warning"). */
+const char *severityName(Severity sev);
+
+} // namespace ealint
+
+#endif // EDGEADAPT_TOOLS_LINT_RULES_HH

@@ -1,0 +1,139 @@
+#include "source.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace ealint {
+
+namespace {
+
+/**
+ * Parse NOLINT markers in one line's worth of comment text. A scoped
+ * marker names the rules it exempts: NOLINT(rule-a, rule-b). A bare
+ * NOLINT (or the legacy NOLINTNEXTLINE, which this analyzer does not
+ * support) is recorded separately so the nolint rule can reject it.
+ * Only comments attached to a code or directive line are markers at
+ * all — prose that merely discusses NOLINT syntax suppresses nothing
+ * and is not a finding.
+ */
+void
+parseNolint(const std::string &line, int ln, SourceFile &sf)
+{
+    size_t pos = 0;
+    while ((pos = line.find("NOLINT", pos)) != std::string::npos) {
+        // Whole-word on the left so EA_NOLINT-ish names don't match.
+        if (pos > 0 && isWordChar(line[pos - 1])) {
+            pos += 6;
+            continue;
+        }
+        size_t after = pos + 6;
+        if (after < line.size() && line[after] == '(') {
+            size_t close = line.find(')', after);
+            std::string list =
+                close == std::string::npos
+                    ? line.substr(after + 1)
+                    : line.substr(after + 1, close - after - 1);
+            std::string cur;
+            auto flush = [&]() {
+                if (!cur.empty())
+                    sf.nolint[ln].insert(cur);
+                cur.clear();
+            };
+            for (char c : list) {
+                if (c == ',')
+                    flush();
+                else if (!std::isspace((unsigned char)c))
+                    cur += c;
+            }
+            flush();
+            pos = close == std::string::npos ? line.size() : close;
+        } else if (after < line.size() && isWordChar(line[after])) {
+            // NOLINTNEXTLINE and friends: treat as bare (unsupported).
+            sf.bareNolint.push_back(ln);
+            pos = after;
+        } else {
+            sf.bareNolint.push_back(ln);
+            pos = after;
+        }
+    }
+}
+
+} // namespace
+
+bool
+SourceFile::suppressed(int line, const std::string &rule) const
+{
+    auto it = nolint.find(line);
+    return it != nolint.end() && it->second.count(rule) > 0;
+}
+
+bool
+loadSourceFile(const std::string &absPath, const std::string &rel,
+               SourceFile &out)
+{
+    out.absPath = absPath;
+    out.rel = rel;
+    out.isHeader = rel.size() > 3 && rel.rfind(".hh") == rel.size() - 3;
+    out.isSrc = rel.rfind("src/", 0) == 0;
+    if (out.isSrc) {
+        size_t slash = rel.find('/', 4);
+        if (slash != std::string::npos)
+            out.module = rel.substr(4, slash - 4);
+    }
+
+    std::ifstream in(absPath, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out.raw = buf.str();
+
+    std::string cur;
+    auto pushLine = [&]() {
+        out.rawLines.push_back(cur);
+        int ln = (int)out.rawLines.size();
+        if (!cur.empty() && cur.back() == '\r') {
+            ++out.crlfLines;
+            if (!out.firstCrlfLine)
+                out.firstCrlfLine = ln;
+        }
+        cur.clear();
+    };
+    for (char c : out.raw) {
+        if (c == '\n')
+            pushLine();
+        else
+            cur += c;
+    }
+    if (!cur.empty())
+        pushLine();
+
+    out.lex = lex(out.raw);
+
+    // NOLINT markers live in comments, and only count on lines that
+    // carry code or a directive; a marker can suppress nothing on a
+    // comment-only line, so there it is inert documentation.
+    std::set<int> codeLines;
+    for (const Token &t : out.lex.tokens)
+        codeLines.insert(t.line);
+    for (const Directive &d : out.lex.directives)
+        codeLines.insert(d.line);
+    for (const Comment &c : out.lex.comments) {
+        int ln = c.line;
+        std::string line;
+        for (char ch : c.text + "\n") {
+            if (ch != '\n') {
+                line += ch;
+                continue;
+            }
+            if (codeLines.count(ln))
+                parseNolint(line, ln, out);
+            line.clear();
+            ++ln;
+        }
+    }
+    return true;
+}
+
+} // namespace ealint

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Source-file model for the edgeadapt static analyzer: raw text,
+ * per-line views, the token stream, and the per-line suppression map
+ * parsed from NOLINT(rule, ...) comments. Every pass works from this
+ * one representation so a file is read and lexed exactly once.
+ */
+
+#ifndef EDGEADAPT_TOOLS_LINT_SOURCE_HH
+#define EDGEADAPT_TOOLS_LINT_SOURCE_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace ealint {
+
+/** One analyzed file. */
+struct SourceFile
+{
+    std::string absPath; ///< filesystem path used for I/O
+    std::string rel;     ///< repo-relative path (generic separators)
+    std::string raw;     ///< file bytes as read
+
+    /** Lines split on '\n'; a trailing '\r' is kept (see crlfLines). */
+    std::vector<std::string> rawLines;
+
+    LexResult lex; ///< shared token stream + directives
+
+    /** line -> rule ids named in NOLINT(...) on that line. */
+    std::map<int, std::set<std::string>> nolint;
+
+    /** Lines carrying a bare NOLINT (no rule list) — itself a finding. */
+    std::vector<int> bareNolint;
+
+    int crlfLines = 0;     ///< number of lines ending in "\r\n"
+    int firstCrlfLine = 0; ///< 1-based line of the first CRLF ending
+
+    bool isHeader = false; ///< .hh
+    bool isSrc = false;    ///< rel starts with "src/"
+
+    /** First path component under src/ ("tensor", ...), else "". */
+    std::string module;
+
+    /** @return true when @p rule is suppressed on @p line. */
+    bool suppressed(int line, const std::string &rule) const;
+};
+
+/**
+ * Read and lex @p absPath. @return false (leaving @p out partially
+ * filled with the paths) when the file cannot be read.
+ */
+bool loadSourceFile(const std::string &absPath, const std::string &rel,
+                    SourceFile &out);
+
+} // namespace ealint
+
+#endif // EDGEADAPT_TOOLS_LINT_SOURCE_HH
