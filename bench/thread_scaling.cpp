@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Kernel thread-scaling bench: gemm GFLOP/s and conv forward latency
+ * at 1, 2, 4, and hardware_concurrency() threads, driving the shared
+ * pool through parallel::setThreadCount(). The 4-thread row is the
+ * emulation point for the paper's quad-core boards (Ultra96's A53
+ * cluster, RPi4's A72); 6 threads emulates Xavier NX's Carmel CPU.
+ * On a single-core host every row degenerates to ~1.0x — the table
+ * records whatever the hardware actually delivers.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "base/parallel.hh"
+#include "bench_util.hh"
+#include "nn/conv2d.hh"
+#include "obs/trace.hh"
+#include "tensor/gemm.hh"
+#include "tensor/tensor.hh"
+
+using namespace edgeadapt;
+
+namespace {
+
+/** Best-of-reps wall time of @p fn in nanoseconds. */
+template <typename Fn>
+int64_t
+bestNs(int64_t reps, Fn &&fn)
+{
+    fn(); // warm up (thread spawn, scratch growth, page faults)
+    int64_t best = 0;
+    for (int64_t r = 0; r < reps; ++r) {
+        int64_t t0 = obs::traceNowNs();
+        fn();
+        int64_t dt = obs::traceNowNs() - t0;
+        if (r == 0 || dt < best)
+            best = dt;
+    }
+    return best < 1 ? 1 : best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv, "thread_scaling");
+    const int64_t size = args.getInt("--gemm-size", 384);
+    const int64_t batch = args.getInt("--batch", 32);
+    const int64_t reps = args.getInt("--reps", 5);
+    args.finish();
+
+    std::vector<int> threads{1, 2, 4, parallel::hardwareThreads()};
+    std::sort(threads.begin(), threads.end());
+    threads.erase(std::unique(threads.begin(), threads.end()),
+                  threads.end());
+
+    Rng rng(11);
+    Tensor a = Tensor::randn(Shape{size, size}, rng);
+    Tensor b = Tensor::randn(Shape{size, size}, rng);
+    Tensor c = Tensor::zeros(Shape{size, size});
+
+    nn::Conv2dOpts o;
+    o.pad = 1;
+    nn::Conv2d conv(32, 32, 3, o, rng);
+    Tensor x = Tensor::randn(Shape{batch, 32, 16, 16}, rng);
+
+    const int prevThreads = parallel::threadCount();
+    bench::section("Kernel thread scaling (" + std::to_string(size) +
+                   "^3 gemm, batch-" + std::to_string(batch) +
+                   " 32x32x3 conv; host has " +
+                   std::to_string(parallel::hardwareThreads()) +
+                   " hardware thread(s))");
+    TextTable t;
+    t.header({"threads", "gemm GFLOP/s", "gemm speedup", "conv fwd ms",
+              "conv speedup"});
+    double gemmBase = 0.0, convBase = 0.0;
+    for (int th : threads) {
+        parallel::setThreadCount(th);
+        int64_t gemmNs = bestNs(reps, [&] {
+            gemm(false, false, size, size, size, 1.0f, a.data(),
+                 b.data(), 0.0f, c.data());
+        });
+        int64_t convNs = bestNs(reps, [&] {
+            Tensor y = conv.forward(x);
+            (void)y;
+        });
+        double gflops =
+            (double)(2 * size * size * size) / (double)gemmNs;
+        double convMs = (double)convNs / 1e6;
+        if (th == threads.front()) {
+            gemmBase = gflops;
+            convBase = convMs;
+        }
+        t.row({std::to_string(th), fixed(gflops, 2),
+               fixed(gflops / gemmBase, 2) + "x", fixed(convMs, 3),
+               fixed(convBase / convMs, 2) + "x"});
+    }
+    parallel::setThreadCount(prevThreads);
+    bench::emit(t);
+    return bench::finishReport();
+}

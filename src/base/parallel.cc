@@ -1,0 +1,319 @@
+#include "base/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/check.hh"
+#include "base/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace edgeadapt {
+namespace parallel {
+
+namespace {
+
+/**
+ * Set while the calling thread executes a pool-dispatched chunk (the
+ * caller counts: it participates in its own task). The inline-serial
+ * path does NOT set it — a batch-1 conv that degenerates to one chunk
+ * must still let the gemm underneath parallelize.
+ */
+thread_local bool tlInRegion = false;
+
+int
+parseEnvThreads()
+{
+    const char *e = std::getenv("EDGEADAPT_THREADS");
+    if (!e || !*e)
+        return hardwareThreads();
+    char *end = nullptr;
+    long v = std::strtol(e, &end, 10);
+    fatal_if(*end != '\0' || v <= 0 || v > 4096,
+             "EDGEADAPT_THREADS must be a positive integer, got '", e,
+             "'");
+    return (int)v;
+}
+
+std::atomic<int> &
+configuredThreads()
+{
+    static std::atomic<int> n{[] {
+        int v = parseEnvThreads();
+        obs::Registry::global().gauge("parallel.threads").set(v);
+        return v;
+    }()};
+    return n;
+}
+
+/** Run chunks [0, nChunks) of a partition inline, in ascending order. */
+void
+runInline(int64_t begin, int64_t end, int64_t grain, int64_t nChunks,
+          const ForBody &body)
+{
+    for (int64_t c = 0; c < nChunks; ++c) {
+        int64_t cb = begin + c * grain;
+        int64_t ce = std::min(end, cb + grain);
+        body(cb, ce, c);
+    }
+}
+
+/**
+ * The shared pool. One task is in flight at a time; the submitting
+ * thread participates and a second concurrent submitter falls back to
+ * inline execution rather than blocking behind the first.
+ *
+ * All scheduling state is guarded by one mutex. Chunks are coarse by
+ * construction (callers pick grains worth thousands of FLOPs), so a
+ * lock per chunk grab/retire is noise — and it keeps the fork/join
+ * protocol trivially TSan-clean.
+ */
+class Pool
+{
+  public:
+    static Pool &instance()
+    {
+        static Pool p;
+        return p;
+    }
+
+    void run(int64_t begin, int64_t end, int64_t grain, int64_t nChunks,
+             int threads, const ForBody &body)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (task_.active) {
+            // Another user thread already owns the pool; don't nest,
+            // don't queue — this call just runs serially.
+            lock.unlock();
+            runInline(begin, end, grain, nChunks, body);
+            return;
+        }
+        spawnWorkersLocked(threads - 1);
+        task_.active = true;
+        task_.body = &body;
+        task_.begin = begin;
+        task_.end = end;
+        task_.grain = grain;
+        task_.nChunks = nChunks;
+        task_.nextChunk = 0;
+        task_.inFlight = 0;
+        task_.tickets = 0;
+        task_.maxHelpers = threads - 1;
+        task_.failed = false;
+        task_.error = nullptr;
+        ++seq_;
+        workCv_.notify_all();
+        runChunksLocked(lock);
+        doneCv_.wait(lock, [&] {
+            return task_.inFlight == 0 &&
+                   (task_.failed || task_.nextChunk >= task_.nChunks);
+        });
+        task_.active = false;
+        std::exception_ptr err = task_.error;
+        task_.error = nullptr;
+        lock.unlock();
+        if (err)
+            std::rethrow_exception(err);
+    }
+
+  private:
+    struct Task
+    {
+        bool active = false;
+        const ForBody *body = nullptr;
+        int64_t begin = 0;
+        int64_t end = 0;
+        int64_t grain = 1;
+        int64_t nChunks = 0;
+        int64_t nextChunk = 0;
+        int64_t inFlight = 0;
+        int tickets = 0;
+        int maxHelpers = 0;
+        bool failed = false;
+        std::exception_ptr error;
+    };
+
+    Pool() = default;
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+        }
+        workCv_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+
+    void spawnWorkersLocked(int want)
+    {
+        while ((int)workers_.size() < want)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    /**
+     * Grab and execute chunks of the current task until none remain
+     * (or one has failed). Entered and exited with @p lock held; the
+     * lock is dropped around each body invocation. The last thread
+     * out wakes the submitter.
+     */
+    void runChunksLocked(std::unique_lock<std::mutex> &lock)
+    {
+        Task &t = task_;
+        const ForBody *body = t.body;
+        int64_t begin = t.begin, end = t.end, grain = t.grain;
+        bool prevRegion = tlInRegion;
+        tlInRegion = true;
+        while (!t.failed && t.nextChunk < t.nChunks) {
+            int64_t c = t.nextChunk++;
+            ++t.inFlight;
+            lock.unlock();
+            int64_t cb = begin + c * grain;
+            int64_t ce = std::min(end, cb + grain);
+            std::exception_ptr err;
+            try {
+                EA_TRACE_SPAN_CAT("parallel", "parallel.chunk");
+                (*body)(cb, ce, c);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            lock.lock();
+            if (err && !t.failed) {
+                t.failed = true;
+                t.error = err;
+            }
+            --t.inFlight;
+        }
+        tlInRegion = prevRegion;
+        if (t.inFlight == 0 &&
+            (t.failed || t.nextChunk >= t.nChunks)) {
+            doneCv_.notify_all();
+        }
+    }
+
+    void workerLoop()
+    {
+        uint64_t seen = 0;
+        std::unique_lock<std::mutex> lock(mu_);
+        while (true) {
+            workCv_.wait(lock,
+                         [&] { return shutdown_ || seq_ != seen; });
+            if (shutdown_)
+                return;
+            seen = seq_;
+            // Ticket cap: with a configured width below the spawned
+            // worker count (core emulation after setThreadCount), the
+            // surplus workers sit this task out.
+            if (!task_.active || task_.tickets >= task_.maxHelpers)
+                continue;
+            ++task_.tickets;
+            runChunksLocked(lock);
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::vector<std::thread> workers_;
+    Task task_;
+    uint64_t seq_ = 0;
+    bool shutdown_ = false;
+};
+
+struct ScratchSlot
+{
+    std::unique_ptr<float[]> data;
+    size_t cap = 0;
+};
+
+thread_local ScratchSlot tlScratch[kScratchSlots];
+
+} // namespace
+
+int
+hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : (int)hw;
+}
+
+int
+threadCount()
+{
+    return configuredThreads().load(std::memory_order_relaxed);
+}
+
+void
+setThreadCount(int n)
+{
+    EA_CHECK(n >= 1, "setThreadCount wants n >= 1, got ", n);
+    configuredThreads().store(n, std::memory_order_relaxed);
+    obs::Registry::global().gauge("parallel.threads").set(n);
+}
+
+bool
+inParallelRegion()
+{
+    return tlInRegion;
+}
+
+int64_t
+chunkCount(int64_t begin, int64_t end, int64_t grain)
+{
+    EA_CHECK(grain > 0, "parallelFor grain must be positive, got ",
+             grain);
+    if (end <= begin)
+        return 0;
+    return (end - begin + grain - 1) / grain;
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const ForBody &body)
+{
+    EA_CHECK(end >= begin, "parallelFor range is inverted: [", begin,
+             ", ", end, ")");
+    EA_CHECK(!tlInRegion,
+             "nested parallelFor from inside a parallel region; guard "
+             "the inner call with parallel::inParallelRegion()");
+    int64_t nChunks = chunkCount(begin, end, grain);
+    if (nChunks == 0)
+        return;
+    static obs::Counter &calls =
+        obs::Registry::global().counter("parallel.for.calls");
+    static obs::Counter &tasks =
+        obs::Registry::global().counter("parallel.tasks");
+    calls.increment();
+    tasks.add(nChunks);
+    int threads = threadCount();
+    if (threads <= 1 || nChunks <= 1) {
+        runInline(begin, end, grain, nChunks, body);
+        return;
+    }
+    EA_TRACE_SPAN_CAT("parallel", "parallel.for");
+    Pool::instance().run(begin, end, grain, nChunks, threads, body);
+}
+
+float *
+scratch(int slot, size_t elems)
+{
+    EA_CHECK(slot >= 0 && slot < kScratchSlots,
+             "scratch slot out of range: ", slot);
+    ScratchSlot &s = tlScratch[slot];
+    if (s.cap < elems) {
+        s.data = std::make_unique_for_overwrite<float[]>(elems);
+        s.cap = elems;
+    }
+    return s.data.get();
+}
+
+} // namespace parallel
+} // namespace edgeadapt

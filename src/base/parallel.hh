@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared thread pool and data-parallel helpers for the compute
+ * kernels. Lives in src/base/ but forms its own "parallel" module in
+ * the declared lint layering — above obs (it reports through trace
+ * spans and the metrics registry) and below tensor (the kernels are
+ * its callers). This file and src/obs/ are the only places in src/
+ * allowed to touch std::thread/std::mutex/std::condition_variable
+ * (lint rule `raw-thread`): concurrency stays contained here.
+ *
+ * Execution model — parallelFor(begin, end, grain, body) splits the
+ * half-open range into fixed chunks of @p grain indices; the chunk
+ * partition depends only on (range, grain), NEVER on the thread
+ * count, and chunk results are combined (where callers reduce) in
+ * ascending chunk order. That is the determinism contract: any
+ * computation whose per-chunk work is itself deterministic produces
+ * bitwise-identical results at EDGEADAPT_THREADS=1 and =N. Workers
+ * grab chunks dynamically (static partition, dynamic assignment), so
+ * load balance does not perturb results.
+ *
+ * Sizing: EDGEADAPT_THREADS (a positive integer) overrides the
+ * default of std::thread::hardware_concurrency(). This is also the
+ * device-core-emulation knob: the paper's boards are 4-core (Ultra96
+ * A53, RPi4 A72) and 6-core (Xavier NX Carmel), so
+ * EDGEADAPT_THREADS=4 bounds host kernels to the same intra-op
+ * parallelism budget. setThreadCount() is the in-process override
+ * (tests, thread-scaling benches).
+ *
+ * Observability: gauge `parallel.threads` (configured width), counters
+ * `parallel.for.calls` and `parallel.tasks` (chunks scheduled), and
+ * "parallel"-category trace spans around the fork/join and each
+ * dispatched chunk.
+ */
+
+#ifndef EDGEADAPT_BASE_PARALLEL_HH
+#define EDGEADAPT_BASE_PARALLEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace edgeadapt {
+namespace parallel {
+
+/**
+ * Configured parallelism width: EDGEADAPT_THREADS if set (fatal() on
+ * a non-positive or unparsable value), else hardware_concurrency()
+ * (at least 1). First call latches the value; setThreadCount()
+ * changes it afterwards.
+ */
+int threadCount();
+
+/** Hardware concurrency as reported by the standard library (>= 1). */
+int hardwareThreads();
+
+/**
+ * Override the parallelism width for subsequent parallelFor calls
+ * (core-count emulation, thread-scaling benches, determinism tests).
+ * Worker threads are spawned lazily up to the largest width seen and
+ * parked — never killed — so lowering the count is cheap.
+ */
+void setThreadCount(int n);
+
+/**
+ * @return whether the calling thread is currently executing a chunk
+ * that parallelFor dispatched through the pool. Kernels use this to
+ * fall back to their serial path instead of nesting regions.
+ */
+bool inParallelRegion();
+
+/** @return number of chunks parallelFor would use (0 for an empty range). */
+int64_t chunkCount(int64_t begin, int64_t end, int64_t grain);
+
+/** Chunk body: [chunkBegin, chunkEnd) plus the chunk's index. */
+using ForBody = std::function<void(int64_t, int64_t, int64_t)>;
+
+/**
+ * Run @p body over [begin, end) in chunks of @p grain indices.
+ *
+ * The caller participates; with a configured width of 1, or a single
+ * chunk, the chunks run inline on the caller (same partition, same
+ * ascending order) and no parallel region is entered. Nested calls
+ * from inside a pool-dispatched chunk are rejected with EA_CHECK —
+ * guard kernel-level calls with inParallelRegion(). The first
+ * exception thrown by a chunk is rethrown on the caller after all
+ * chunks retire (chunks not yet started are skipped once a chunk has
+ * failed). Concurrent top-level calls from distinct user threads are
+ * legal; the pool serves one and runs the others inline.
+ */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const ForBody &body);
+
+/**
+ * Per-thread, per-slot grow-only scratch storage for kernels that
+ * would otherwise heap-allocate per call (im2col columns, GEMM
+ * packing). The slot map is a static allocation table: two uses may
+ * share a slot only if they can never be live at the same time on
+ * one thread. Returned memory is uninitialized; the pointer is
+ * stable until the same (thread, slot) is requested with a larger
+ * size.
+ */
+float *scratch(int slot, size_t elems);
+
+/** Scratch slot map (see scratch()). */
+inline constexpr int kScratchGemmPackA = 0; ///< gemm: packed op(A)
+inline constexpr int kScratchGemmPackB = 1; ///< gemm: packed op(B)
+inline constexpr int kScratchConvCols = 2;  ///< conv: im2col columns
+inline constexpr int kScratchConvDcols = 3; ///< conv bw: column grads
+inline constexpr int kScratchSlots = 4;     ///< number of slots
+
+} // namespace parallel
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_BASE_PARALLEL_HH

@@ -5,6 +5,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "base/parallel.hh"
 #include "obs/trace.hh"
 
 namespace edgeadapt {
@@ -80,7 +81,15 @@ BatchNorm2d::forward(const Tensor &x)
     float *pxh = xhat_.data();
     float *pis = invStd_.data();
 
-    for (int64_t c = 0; c < c_; ++c) {
+    // Channels are independent — statistics, running-buffer updates,
+    // and the normalize pass all touch per-channel slices only — so
+    // the channel loop parallelizes without locks. Each channel's
+    // reduction stays a single sequential sweep, which is what keeps
+    // the result bitwise identical at any thread count (the issue's
+    // "per-thread partial sums" would tie the summation order to the
+    // thread assignment; per-channel chunks avoid that entirely).
+    auto channels = [&](int64_t cb, int64_t ce, int64_t) {
+    for (int64_t c = cb; c < ce; ++c) {
         double mean, var;
         if (training_) {
             // Re-estimate statistics from the incoming batch -- the
@@ -139,6 +148,11 @@ BatchNorm2d::forward(const Tensor &x)
             }
         }
     }
+    };
+    if (parallel::inParallelRegion())
+        channels(0, c_, 0);
+    else
+        parallel::parallelFor(0, c_, 1, channels);
     return out;
 }
 
@@ -161,7 +175,11 @@ BatchNorm2d::backward(const Tensor &grad_out)
     const float *g = gamma_.value.data();
     float *gx = grad_in.data();
 
-    for (int64_t c = 0; c < c_; ++c) {
+    // Same per-channel independence as forward: the reductions, the
+    // gamma/beta grad writes, and grad_in's channel slices are all
+    // disjoint across channels.
+    auto channels = [&](int64_t cb, int64_t ce, int64_t) {
+    for (int64_t c = cb; c < ce; ++c) {
         // Channel-wise reductions: sum(dy) and sum(dy * xhat).
         double sumDy = 0.0, sumDyXh = 0.0;
         for (int64_t i = 0; i < n; ++i) {
@@ -203,6 +221,11 @@ BatchNorm2d::backward(const Tensor &grad_out)
             }
         }
     }
+    };
+    if (parallel::inParallelRegion())
+        channels(0, c_, 0);
+    else
+        parallel::parallelFor(0, c_, 1, channels);
     return grad_in;
 }
 

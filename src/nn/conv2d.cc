@@ -6,12 +6,28 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "base/parallel.hh"
 #include "obs/trace.hh"
 #include "tensor/gemm.hh"
 #include "tensor/im2col.hh"
 
 namespace edgeadapt {
 namespace nn {
+
+namespace {
+
+/**
+ * Upper bound on backward's image chunks. Each chunk carries private
+ * dW/db partial buffers (combined in ascending chunk order afterwards
+ * so results are independent of thread scheduling), so this bounds
+ * the transient partial-gradient memory at 8x the layer's parameter
+ * count. The chunk grain derives from the batch size alone — never
+ * from the thread count — which keeps the partition, and therefore
+ * the reduction tree, deterministic.
+ */
+constexpr int64_t kMaxGradChunks = 8;
+
+} // namespace
 
 Conv2d::Conv2d(int64_t in_c, int64_t out_c, int64_t kernel,
                const Conv2dOpts &opts, Rng &rng)
@@ -73,29 +89,43 @@ Conv2d::forward(const Tensor &x)
 
     input_ = x; // alias; backward reads it
     Tensor out(Shape{n, outC_, outH_, outW_});
-    std::vector<float> cols((size_t)(colRows * outArea));
 
+    // Images are independent: each chunk writes a disjoint slice of
+    // out and im2col's column matrix lives in per-thread scratch, so
+    // the batch parallelizes without locks. gemm sees the parallel
+    // region and stays serial inside it (batch 1 runs inline instead,
+    // letting gemm fork over rows).
     const float *wp = weight_.value.data();
-    for (int64_t i = 0; i < n; ++i) {
-        const float *img = x.data() + i * inC_ * h * w;
-        im2col(img, inC_, h, w, k_, k_, stride_, pad_, cols.data());
-        float *dst = out.data() + i * outC_ * outArea;
-        for (int64_t g = 0; g < groups_; ++g) {
-            // (ocg x gRows) * (gRows x outArea) -> (ocg x outArea)
-            gemm(false, false, ocg, outArea, gRows, 1.0f,
-                 wp + g * ocg * gRows, cols.data() + g * gRows * outArea,
-                 0.0f, dst + g * ocg * outArea);
-        }
-        if (hasBias_) {
-            const float *b = bias_.value.data();
-            for (int64_t c = 0; c < outC_; ++c) {
-                float bv = b[c];
-                float *row = dst + c * outArea;
-                for (int64_t j = 0; j < outArea; ++j)
-                    row[j] += bv;
+    const float *xp = x.data();
+    float *op = out.data();
+    auto images = [&](int64_t ib, int64_t ie, int64_t) {
+        float *cols = parallel::scratch(parallel::kScratchConvCols,
+                                        (size_t)(colRows * outArea));
+        for (int64_t i = ib; i < ie; ++i) {
+            const float *img = xp + i * inC_ * h * w;
+            im2col(img, inC_, h, w, k_, k_, stride_, pad_, cols);
+            float *dst = op + i * outC_ * outArea;
+            for (int64_t g = 0; g < groups_; ++g) {
+                // (ocg x gRows) * (gRows x outArea) -> (ocg x outArea)
+                gemm(false, false, ocg, outArea, gRows, 1.0f,
+                     wp + g * ocg * gRows, cols + g * gRows * outArea,
+                     0.0f, dst + g * ocg * outArea);
+            }
+            if (hasBias_) {
+                const float *b = bias_.value.data();
+                for (int64_t c = 0; c < outC_; ++c) {
+                    float bv = b[c];
+                    float *row = dst + c * outArea;
+                    for (int64_t j = 0; j < outArea; ++j)
+                        row[j] += bv;
+                }
             }
         }
-    }
+    };
+    if (parallel::inParallelRegion())
+        images(0, n, 0);
+    else
+        parallel::parallelFor(0, n, 1, images);
     return out;
 }
 
@@ -117,43 +147,86 @@ Conv2d::backward(const Tensor &grad_out)
                    Shape({n, outC_, outH_, outW_}));
 
     Tensor grad_in = Tensor::zeros(x.shape());
-    std::vector<float> cols((size_t)(colRows * outArea));
-    std::vector<float> dcols((size_t)(colRows * outArea));
 
     const bool needW = weight_.requiresGrad;
+    const bool needB = hasBias_ && bias_.requiresGrad;
     const float *wp = weight_.value.data();
-    float *gw = weight_.grad.data();
+    const float *xp = x.data();
+    const float *gp = grad_out.data();
+    float *gip = grad_in.data();
 
-    for (int64_t i = 0; i < n; ++i) {
-        const float *gout = grad_out.data() + i * outC_ * outArea;
-        if (needW) {
-            const float *img = x.data() + i * inC_ * h * w;
-            im2col(img, inC_, h, w, k_, k_, stride_, pad_, cols.data());
-        }
-        for (int64_t g = 0; g < groups_; ++g) {
-            const float *goutG = gout + g * ocg * outArea;
+    // grad_in slices are disjoint per image, but dW/db are reductions
+    // over the batch, so each chunk accumulates into its own zeroed
+    // partial; the partials are folded into the parameter grads in
+    // ascending chunk order below (fixed reduction tree — results do
+    // not depend on which thread ran which chunk).
+    const int64_t grain = (n + kMaxGradChunks - 1) / kMaxGradChunks;
+    const int64_t nChunks = parallel::chunkCount(0, n, grain);
+    const int64_t wNumel = weight_.value.numel();
+    std::vector<float> dwPart(
+        needW ? (size_t)(nChunks * wNumel) : 0, 0.0f);
+    std::vector<float> dbPart(
+        needB ? (size_t)(nChunks * outC_) : 0, 0.0f);
+
+    auto images = [&](int64_t ib, int64_t ie, int64_t chunk) {
+        float *cols = parallel::scratch(parallel::kScratchConvCols,
+                                        (size_t)(colRows * outArea));
+        float *dcols = parallel::scratch(parallel::kScratchConvDcols,
+                                         (size_t)(colRows * outArea));
+        float *gw = needW ? dwPart.data() + chunk * wNumel : nullptr;
+        float *gb = needB ? dbPart.data() + chunk * outC_ : nullptr;
+        for (int64_t i = ib; i < ie; ++i) {
+            const float *gout = gp + i * outC_ * outArea;
             if (needW) {
-                // dW += gout * cols^T : (ocg x outArea)*(outArea x gRows)
-                gemm(false, true, ocg, gRows, outArea, 1.0f, goutG,
-                     cols.data() + g * gRows * outArea, 1.0f,
-                     gw + g * ocg * gRows);
+                const float *img = xp + i * inC_ * h * w;
+                im2col(img, inC_, h, w, k_, k_, stride_, pad_, cols);
             }
-            // dcols = W^T * gout : (gRows x ocg)*(ocg x outArea)
-            gemm(true, false, gRows, outArea, ocg, 1.0f,
-                 wp + g * ocg * gRows, goutG, 0.0f,
-                 dcols.data() + g * gRows * outArea);
+            for (int64_t g = 0; g < groups_; ++g) {
+                const float *goutG = gout + g * ocg * outArea;
+                if (needW) {
+                    // dW += gout * cols^T :
+                    //   (ocg x outArea) * (outArea x gRows)
+                    gemm(false, true, ocg, gRows, outArea, 1.0f, goutG,
+                         cols + g * gRows * outArea, 1.0f,
+                         gw + g * ocg * gRows);
+                }
+                // dcols = W^T * gout : (gRows x ocg)*(ocg x outArea)
+                gemm(true, false, gRows, outArea, ocg, 1.0f,
+                     wp + g * ocg * gRows, goutG, 0.0f,
+                     dcols + g * gRows * outArea);
+            }
+            col2im(dcols, inC_, h, w, k_, k_, stride_, pad_,
+                   gip + i * inC_ * h * w);
+            if (needB) {
+                for (int64_t c = 0; c < outC_; ++c) {
+                    const float *row = gout + c * outArea;
+                    double s = 0.0;
+                    for (int64_t j = 0; j < outArea; ++j)
+                        s += row[j];
+                    gb[c] += (float)s;
+                }
+            }
         }
-        col2im(dcols.data(), inC_, h, w, k_, k_, stride_, pad_,
-               grad_in.data() + i * inC_ * h * w);
-        if (hasBias_ && bias_.requiresGrad) {
-            float *gb = bias_.grad.data();
-            for (int64_t c = 0; c < outC_; ++c) {
-                const float *row = gout + c * outArea;
-                double s = 0.0;
-                for (int64_t j = 0; j < outArea; ++j)
-                    s += row[j];
-                gb[c] += (float)s;
-            }
+    };
+    if (parallel::inParallelRegion())
+        images(0, n, 0);
+    else
+        parallel::parallelFor(0, n, grain, images);
+
+    if (needW) {
+        float *gw = weight_.grad.data();
+        for (int64_t chunk = 0; chunk < nChunks; ++chunk) {
+            const float *src = dwPart.data() + chunk * wNumel;
+            for (int64_t i = 0; i < wNumel; ++i)
+                gw[i] += src[i];
+        }
+    }
+    if (needB) {
+        float *gb = bias_.grad.data();
+        for (int64_t chunk = 0; chunk < nChunks; ++chunk) {
+            const float *src = dbPart.data() + chunk * outC_;
+            for (int64_t c = 0; c < outC_; ++c)
+                gb[c] += src[c];
         }
     }
     return grad_in;

@@ -1,9 +1,9 @@
 #include "tensor/gemm.hh"
 
 #include <algorithm>
-#include <vector>
 
 #include "base/check.hh"
+#include "base/parallel.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 
@@ -15,6 +15,11 @@ namespace {
  * Core row-major kernel for C += A * B with A (m x k), B (k x n).
  * The k-outer, j-inner ordering streams B and C rows, which the
  * compiler vectorizes well; blocking keeps the working set in L1/L2.
+ *
+ * Every row of C is computed by one fully sequential pass over k (the
+ * KB blocks in ascending order), so splitting m across threads cannot
+ * change any row's arithmetic — the property the parallel wrapper in
+ * gemm() relies on for bitwise determinism.
  */
 void
 gemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
@@ -29,8 +34,6 @@ gemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
                 float *cRow = c + i * ldc;
                 for (int64_t kk = k0; kk < kMax; ++kk) {
                     float av = alpha * a[i * lda + kk];
-                    if (av == 0.0f)
-                        continue;
                     const float *bRow = b + kk * ldb;
                     for (int64_t j = 0; j < n; ++j)
                         cRow[j] += av * bRow[j];
@@ -50,6 +53,12 @@ packTranspose(int64_t rows, int64_t cols, const float *src, float *dst)
             dst[i * cols + j] = src[j * rows + i];
 }
 
+/** Rows of C handed to one parallelFor chunk. */
+constexpr int64_t kRowGrain = 32;
+
+/** Don't fork below ~2 MFLOP — the join overhead wins there. */
+constexpr int64_t kParallelFlops = int64_t(1) << 20;
+
 } // namespace
 
 void
@@ -68,31 +77,48 @@ gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
         obs::Registry::global().counter("tensor.gemm.flops");
     gemmCalls.increment();
     gemmFlops.add(2 * m * n * k);
-    // Scale / clear C first.
-    if (beta == 0.0f) {
-        std::fill(c, c + m * n, 0.0f);
-    } else if (beta != 1.0f) {
-        for (int64_t i = 0; i < m * n; ++i)
-            c[i] *= beta;
-    }
 
     // Transposed operands are packed into contiguous buffers once; the
     // packing cost is linear while the multiply is cubic, so this is a
-    // net win for all layer-sized problems.
-    std::vector<float> packA, packB;
+    // net win for all layer-sized problems. The buffers are per-thread
+    // grow-only scratch, not per-call heap allocations.
     const float *ap = a;
     const float *bp = b;
     if (transA) {
-        packA.resize((size_t)(m * k));
-        packTranspose(m, k, a, packA.data());
-        ap = packA.data();
+        float *pa = parallel::scratch(parallel::kScratchGemmPackA,
+                                      (size_t)(m * k));
+        packTranspose(m, k, a, pa);
+        ap = pa;
     }
     if (transB) {
-        packB.resize((size_t)(k * n));
-        packTranspose(k, n, b, packB.data());
-        bp = packB.data();
+        float *pb = parallel::scratch(parallel::kScratchGemmPackB,
+                                      (size_t)(k * n));
+        packTranspose(k, n, b, pb);
+        bp = pb;
     }
-    gemmNN(m, n, k, alpha, ap, k, bp, n, c, n);
+
+    // One chunk owns a disjoint band of C rows: beta-scaling and the
+    // k-accumulation for a row happen entirely within its chunk, so no
+    // locks are needed and results are independent of the split.
+    auto rowBand = [&](int64_t rb, int64_t re, int64_t) {
+        float *cb = c + rb * n;
+        int64_t rows = re - rb;
+        if (beta == 0.0f) {
+            std::fill(cb, cb + rows * n, 0.0f);
+        } else if (beta != 1.0f) {
+            for (int64_t i = 0; i < rows * n; ++i)
+                cb[i] *= beta;
+        }
+        gemmNN(rows, n, k, alpha, ap + rb * k, k, bp, n, cb, n);
+    };
+
+    bool fork = !parallel::inParallelRegion() &&
+                parallel::threadCount() > 1 && m > kRowGrain &&
+                2 * m * n * k >= kParallelFlops;
+    if (fork)
+        parallel::parallelFor(0, m, kRowGrain, rowBand);
+    else
+        rowBand(0, m, 0);
 }
 
 } // namespace edgeadapt

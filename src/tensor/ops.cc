@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/check.hh"
+#include "base/parallel.hh"
 
 namespace edgeadapt {
 
@@ -12,6 +13,34 @@ void
 checkSameShape(const Tensor &a, const Tensor &b, const char *what)
 {
     EA_CHECK_SHAPE(what, b.shape(), a.shape());
+}
+
+/** Below this element count the fork/join overhead beats the win. */
+constexpr int64_t kParallelElems = int64_t(1) << 17;
+
+/** Indices handed to one chunk of a parallel elementwise sweep. */
+constexpr int64_t kElemGrain = int64_t(1) << 16;
+
+/**
+ * Run an elementwise body over [0, n): parallel for large tensors
+ * outside a parallel region, plain loop otherwise. Index-wise ops
+ * are trivially deterministic under any chunking.
+ */
+template <typename Fn>
+void
+forRange(int64_t n, Fn &&fn)
+{
+    if (n >= kParallelElems && !parallel::inParallelRegion() &&
+        parallel::threadCount() > 1) {
+        parallel::parallelFor(0, n, kElemGrain,
+                              [&](int64_t b, int64_t e, int64_t) {
+                                  for (int64_t i = b; i < e; ++i)
+                                      fn(i);
+                              });
+        return;
+    }
+    for (int64_t i = 0; i < n; ++i)
+        fn(i);
 }
 
 } // namespace
@@ -24,8 +53,7 @@ add(const Tensor &a, const Tensor &b)
     const float *pa = a.data(), *pb = b.data();
     float *po = out.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        po[i] = pa[i] + pb[i];
+    forRange(n, [=](int64_t i) { po[i] = pa[i] + pb[i]; });
     return out;
 }
 
@@ -37,8 +65,7 @@ sub(const Tensor &a, const Tensor &b)
     const float *pa = a.data(), *pb = b.data();
     float *po = out.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        po[i] = pa[i] - pb[i];
+    forRange(n, [=](int64_t i) { po[i] = pa[i] - pb[i]; });
     return out;
 }
 
@@ -50,8 +77,7 @@ mul(const Tensor &a, const Tensor &b)
     const float *pa = a.data(), *pb = b.data();
     float *po = out.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        po[i] = pa[i] * pb[i];
+    forRange(n, [=](int64_t i) { po[i] = pa[i] * pb[i]; });
     return out;
 }
 
@@ -62,8 +88,7 @@ scale(const Tensor &a, float s)
     const float *pa = a.data();
     float *po = out.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        po[i] = pa[i] * s;
+    forRange(n, [=](int64_t i) { po[i] = pa[i] * s; });
     return out;
 }
 
@@ -74,8 +99,7 @@ addInPlace(Tensor &a, const Tensor &b)
     float *pa = a.data();
     const float *pb = b.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        pa[i] += pb[i];
+    forRange(n, [=](int64_t i) { pa[i] += pb[i]; });
 }
 
 void
@@ -85,8 +109,7 @@ axpyInPlace(Tensor &a, float s, const Tensor &b)
     float *pa = a.data();
     const float *pb = b.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        pa[i] += s * pb[i];
+    forRange(n, [=](int64_t i) { pa[i] += s * pb[i]; });
 }
 
 void
@@ -94,8 +117,7 @@ scaleInPlace(Tensor &a, float s)
 {
     float *pa = a.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        pa[i] *= s;
+    forRange(n, [=](int64_t i) { pa[i] *= s; });
 }
 
 void
@@ -104,8 +126,9 @@ clampInPlace(Tensor &a, float lo, float hi)
     EA_CHECK(hi >= lo, "clamp with hi < lo");
     float *pa = a.data();
     int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
+    forRange(n, [=](int64_t i) {
         pa[i] = std::min(hi, std::max(lo, pa[i]));
+    });
 }
 
 std::vector<int>

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Parallel-engine tests: parallelFor's chunk contract (coverage,
+ * thread-count-independent partition, empty/singleton ranges),
+ * exception propagation and pool reuse after a throw, nested-call
+ * rejection, per-thread scratch, and the headline guarantee — a full
+ * model forward and backward are bitwise identical at 1 and 4
+ * threads. The suite mutates the process-global thread-count setting,
+ * so it runs as a single serialized ctest entry (label "parallel").
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/parallel.hh"
+#include "models/registry.hh"
+#include "nn/module.hh"
+#include "tensor/ops.hh"
+#include "train/losses.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::models;
+
+namespace {
+
+/** RAII thread-count override so a failing test can't leak its
+ *  setting into the rest of the suite. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(int n) : prev_(parallel::threadCount())
+    {
+        parallel::setThreadCount(n);
+    }
+    ~ScopedThreads() { parallel::setThreadCount(prev_); }
+
+  private:
+    int prev_;
+};
+
+} // namespace
+
+TEST(ParallelFor, EmptyRangeRunsNothing)
+{
+    int calls = 0;
+    parallel::parallelFor(5, 5, 1,
+                          [&](int64_t, int64_t, int64_t) { ++calls; });
+    parallel::parallelFor(0, 0, 16,
+                          [&](int64_t, int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(parallel::chunkCount(5, 5, 1), 0);
+}
+
+TEST(ParallelFor, SingletonRangeRunsOneChunkInline)
+{
+    ScopedThreads st(4);
+    int calls = 0;
+    int64_t gotB = -1, gotE = -1, gotC = -1;
+    parallel::parallelFor(7, 8, 4, [&](int64_t b, int64_t e, int64_t c) {
+        ++calls;
+        gotB = b;
+        gotE = e;
+        gotC = c;
+        // A single chunk runs on the caller without entering a
+        // region, so inner kernels may still parallelize.
+        EXPECT_FALSE(parallel::inParallelRegion());
+    });
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(gotB, 7);
+    EXPECT_EQ(gotE, 8);
+    EXPECT_EQ(gotC, 0);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnceAtAnyThreadCount)
+{
+    const int64_t n = 1000;
+    for (int threads : {1, 2, 4, 7}) {
+        ScopedThreads st(threads);
+        // Chunks own disjoint index ranges, so plain writes suffice.
+        std::vector<int> hits((size_t)n, 0);
+        parallel::parallelFor(0, n, 13,
+                              [&](int64_t b, int64_t e, int64_t) {
+                                  for (int64_t i = b; i < e; ++i)
+                                      ++hits[(size_t)i];
+                              });
+        int64_t total =
+            std::accumulate(hits.begin(), hits.end(), int64_t{0});
+        EXPECT_EQ(total, n) << "threads=" << threads;
+        EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1)
+            << "threads=" << threads;
+        EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1)
+            << "threads=" << threads;
+    }
+}
+
+TEST(ParallelFor, ChunkPartitionIsIndependentOfThreadCount)
+{
+    const int64_t begin = 3, end = 260, grain = 32;
+    const int64_t nChunks = parallel::chunkCount(begin, end, grain);
+    ASSERT_GT(nChunks, 1);
+
+    auto capture = [&](int threads) {
+        ScopedThreads st(threads);
+        std::vector<std::pair<int64_t, int64_t>> bounds(
+            (size_t)nChunks, {-1, -1});
+        parallel::parallelFor(begin, end, grain,
+                              [&](int64_t b, int64_t e, int64_t c) {
+                                  bounds[(size_t)c] = {b, e};
+                              });
+        return bounds;
+    };
+
+    auto serial = capture(1);
+    for (int threads : {2, 4, 8})
+        EXPECT_EQ(capture(threads), serial) << "threads=" << threads;
+    // Chunks tile the range in ascending order.
+    EXPECT_EQ(serial.front().first, begin);
+    EXPECT_EQ(serial.back().second, end);
+    for (size_t c = 1; c < serial.size(); ++c)
+        EXPECT_EQ(serial[c].first, serial[c - 1].second);
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolStaysUsable)
+{
+    for (int threads : {1, 4}) {
+        ScopedThreads st(threads);
+        EXPECT_THROW(
+            parallel::parallelFor(0, 64, 4,
+                                  [&](int64_t b, int64_t, int64_t) {
+                                      if (b >= 32)
+                                          throw std::runtime_error(
+                                              "chunk failed");
+                                  }),
+            std::runtime_error)
+            << "threads=" << threads;
+
+        // The pool must come back clean after a failed task.
+        std::vector<int> hits(64, 0);
+        parallel::parallelFor(0, 64, 4,
+                              [&](int64_t b, int64_t e, int64_t) {
+                                  for (int64_t i = b; i < e; ++i)
+                                      ++hits[(size_t)i];
+                              });
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64)
+            << "threads=" << threads;
+    }
+}
+
+TEST(ParallelForDeath, NestedCallFromInsideRegionIsRejected)
+{
+    // The pool's worker threads survive into the forked death-test
+    // child; "threadsafe" re-executes the binary so the child starts
+    // clean.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ScopedThreads st(4);
+    EXPECT_DEATH(
+        parallel::parallelFor(0, 64, 1,
+                              [&](int64_t, int64_t, int64_t) {
+                                  if (parallel::inParallelRegion()) {
+                                      parallel::parallelFor(
+                                          0, 4, 1,
+                                          [](int64_t, int64_t,
+                                             int64_t) {});
+                                  }
+                              }),
+        "check failed");
+}
+
+TEST(ParallelConfig, ThreadCountOverrideAndHardwareFloor)
+{
+    EXPECT_GE(parallel::hardwareThreads(), 1);
+    EXPECT_GE(parallel::threadCount(), 1);
+    {
+        ScopedThreads st(3);
+        EXPECT_EQ(parallel::threadCount(), 3);
+    }
+    EXPECT_FALSE(parallel::inParallelRegion());
+}
+
+TEST(ParallelScratch, GrowsAndKeepsPointerUntilRegrowth)
+{
+    float *p = parallel::scratch(parallel::kScratchGemmPackA, 128);
+    ASSERT_NE(p, nullptr);
+    p[0] = 1.0f;
+    p[127] = 2.0f;
+    // Same or smaller request: same storage.
+    EXPECT_EQ(parallel::scratch(parallel::kScratchGemmPackA, 64), p);
+    EXPECT_EQ(parallel::scratch(parallel::kScratchGemmPackA, 128), p);
+    EXPECT_EQ(p[0], 1.0f);
+    EXPECT_EQ(p[127], 2.0f);
+    // Slots are independent.
+    float *q = parallel::scratch(parallel::kScratchGemmPackB, 128);
+    EXPECT_NE(q, p);
+    // Growth may move it, and the new buffer must be large enough to
+    // write through.
+    float *r = parallel::scratch(parallel::kScratchGemmPackA, 4096);
+    r[4095] = 3.0f;
+    EXPECT_EQ(r[4095], 3.0f);
+}
+
+TEST(ParallelScratch, WorkerThreadsGetTheirOwnBuffers)
+{
+    ScopedThreads st(4);
+    float *mine = parallel::scratch(parallel::kScratchConvCols, 256);
+    // Chunks run concurrently on distinct threads and write the whole
+    // buffer; distinct storage per thread is what keeps this race-free
+    // (TSan enforces it under tools/check.sh tsan).
+    parallel::parallelFor(0, 16, 1, [&](int64_t, int64_t, int64_t) {
+        float *p = parallel::scratch(parallel::kScratchConvCols, 256);
+        ASSERT_NE(p, nullptr);
+        for (int i = 0; i < 256; ++i)
+            p[i] = 1.0f;
+    });
+    EXPECT_EQ(parallel::scratch(parallel::kScratchConvCols, 256), mine);
+}
+
+TEST(ParallelDeterminism, ModelForwardAndBackwardBitwiseAcrossThreads)
+{
+    // The headline contract: chunk partitions derive from (range,
+    // grain) only and reductions fold in ascending chunk order, so
+    // the numbers cannot depend on the thread count. Compare a full
+    // training-mode forward (batch-stat BN) and the backward
+    // gradients at 1 vs 4 threads, bit for bit.
+    auto run = [&](int threads) {
+        ScopedThreads st(threads);
+        Rng rng(401);
+        Model m = buildModel("wrn40_2-tiny", rng);
+        const auto &in = m.info().inputShape;
+        Rng drng(402);
+        Tensor x =
+            Tensor::uniform(Shape{5, in[0], in[1], in[2]}, drng, 0, 1);
+        m.setTraining(true);
+        nn::setRequiresGradTree(m.net(), true);
+        Tensor logits = m.forward(x).clone();
+        auto loss = train::entropy(logits);
+        Tensor gin = m.backward(loss.gradLogits).clone();
+        std::vector<Tensor> grads;
+        for (nn::Parameter *p : nn::collectParameters(m.net()))
+            grads.push_back(p->grad.clone());
+        return std::tuple(std::move(logits), std::move(gin),
+                          std::move(grads));
+    };
+
+    auto [y1, g1, pg1] = run(1);
+    auto [y4, g4, pg4] = run(4);
+
+    ASSERT_EQ(y1.shape(), y4.shape());
+    EXPECT_EQ(std::memcmp(y1.data(), y4.data(),
+                          (size_t)y1.numel() * sizeof(float)),
+              0)
+        << "forward logits differ between 1 and 4 threads";
+    ASSERT_EQ(g1.shape(), g4.shape());
+    EXPECT_EQ(std::memcmp(g1.data(), g4.data(),
+                          (size_t)g1.numel() * sizeof(float)),
+              0)
+        << "input gradients differ between 1 and 4 threads";
+    ASSERT_EQ(pg1.size(), pg4.size());
+    for (size_t i = 0; i < pg1.size(); ++i) {
+        EXPECT_EQ(std::memcmp(pg1[i].data(), pg4[i].data(),
+                              (size_t)pg1[i].numel() * sizeof(float)),
+                  0)
+            << "parameter gradient " << i
+            << " differs between 1 and 4 threads";
+    }
+}

@@ -1,0 +1,25 @@
+// raw-thread clean fixture: src/base/parallel.* is one of the two
+// sanctioned homes of raw concurrency (the other is src/obs/), so
+// these primitives and headers must NOT fire. It is also the
+// "parallel" pseudo-module in the layering, not part of base.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct MiniPool
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::thread worker;
+};
+
+int
+threadAllowedHere()
+{
+    return std::thread::hardware_concurrency() != 0 ? 1 : 0;
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// raw-thread fixture: hand-rolled concurrency anywhere else in src/
+// is rejected — kernels go through parallel::parallelFor. Mentions in
+// comments and strings must NOT fire: std::thread, std::mutex.
+
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct HandRolled
+{
+    std::mutex mu;
+    std::condition_variable cv;
+};
+
+int
+spawnBad()
+{
+    std::thread t([] {});
+    t.join();
+    const char *doc = "std::condition_variable in a string";
+    return doc != nullptr ? 1 : 0;
+}
+
+} // namespace fixture

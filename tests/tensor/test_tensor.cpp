@@ -6,6 +6,8 @@
  */
 
 #include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "base/check.hh"
@@ -110,6 +112,22 @@ TEST(Gemm, BetaZeroOverwritesGarbage)
          c.data());
     for (int64_t i = 0; i < 4; ++i)
         EXPECT_FLOAT_EQ(c.at(i), 2.0f);
+}
+
+TEST(Gemm, ZeroInAPropagatesNaNFromB)
+{
+    // Regression: the kernel used to skip the inner loop when an A
+    // element was zero, which silently swallowed NaN/Inf in B
+    // (0 * NaN must be NaN). C = [[0, 1]] * [[NaN, Inf], [1, 2]].
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    Tensor a = Tensor::fromVector(Shape{2}, {0.0f, 1.0f}); // 1x2
+    Tensor b = Tensor::fromVector(Shape{4}, {nan, inf, 1.0f, 2.0f});
+    Tensor c = Tensor::zeros(Shape{2}); // 1x2
+    gemm(false, false, 1, 2, 2, 1.0f, a.data(), b.data(), 0.0f,
+         c.data());
+    EXPECT_TRUE(std::isnan(c.at(0))); // 0*NaN + 1*1
+    EXPECT_TRUE(std::isnan(c.at(1))); // 0*Inf + 1*2
 }
 
 TEST(Im2Col, RoundTripAdjointProperty)

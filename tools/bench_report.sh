@@ -41,6 +41,7 @@ benches=(
     fig03_ultra96_forward
     fig09_nx_forward
     fig12_overall
+    thread_scaling
 )
 
 tmp="$(mktemp)"

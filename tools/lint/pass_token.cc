@@ -33,6 +33,30 @@ expectedGuard(std::string rel)
     return guard;
 }
 
+/** std:: names whose presence means hand-rolled concurrency. */
+bool
+isThreadPrimitive(const Token &t)
+{
+    return t.isIdent("thread") || t.isIdent("jthread") ||
+           t.isIdent("mutex") || t.isIdent("recursive_mutex") ||
+           t.isIdent("timed_mutex") ||
+           t.isIdent("recursive_timed_mutex") ||
+           t.isIdent("shared_mutex") ||
+           t.isIdent("shared_timed_mutex") ||
+           t.isIdent("condition_variable") ||
+           t.isIdent("condition_variable_any");
+}
+
+/** Standard headers that only concurrency code has business with. */
+bool
+isThreadHeader(const std::string &rest)
+{
+    return rest.rfind("<thread>", 0) == 0 ||
+           rest.rfind("<mutex>", 0) == 0 ||
+           rest.rfind("<condition_variable>", 0) == 0 ||
+           rest.rfind("<shared_mutex>", 0) == 0;
+}
+
 /** First identifier in a directive's rest text ("#ifndef NAME..."). */
 std::string
 firstIdent(const std::string &rest)
@@ -100,6 +124,11 @@ checkTokens(const SourceFile &sf, Diagnostics &diag)
     // trace clock. Everything else times through them.
     bool chronoAllowed = sf.rel.rfind("src/profile/", 0) == 0 ||
                          sf.rel.rfind("src/obs/", 0) == 0;
+    // Likewise the two sanctioned homes of raw concurrency: the
+    // thread pool and the observability internals. Everything else
+    // parallelizes through parallel::parallelFor.
+    bool threadAllowed = sf.rel.rfind("src/base/parallel.", 0) == 0 ||
+                         sf.rel.rfind("src/obs/", 0) == 0;
     const auto &toks = sf.lex.tokens;
     for (size_t i = 0; i < toks.size(); ++i) {
         const Token &t = toks[i];
@@ -152,17 +181,29 @@ checkTokens(const SourceFile &sf, Diagnostics &diag)
                             "src/obs/ (use profile::Stopwatch or "
                             "trace spans)");
             }
+            if (!threadAllowed && stdQualified && next(3) &&
+                isThreadPrimitive(*next(3))) {
+                diag.report(sf, t.line, "raw-thread",
+                            "std::" + next(3)->text +
+                                " outside src/base/parallel.* and "
+                                "src/obs/ (use parallel::parallelFor)");
+            }
         }
     }
     if (sf.isSrc) {
-        bool chronoAllowed = sf.rel.rfind("src/profile/", 0) == 0 ||
-                             sf.rel.rfind("src/obs/", 0) == 0;
         for (const Directive &d : sf.lex.directives) {
-            if (!chronoAllowed && d.name == "include" &&
-                d.rest.rfind("<chrono>", 0) == 0) {
+            if (d.name != "include")
+                continue;
+            if (!chronoAllowed && d.rest.rfind("<chrono>", 0) == 0) {
                 diag.report(sf, d.line, "chrono",
                             "<chrono> include outside src/profile/ "
                             "and src/obs/");
+            }
+            if (!threadAllowed && isThreadHeader(d.rest)) {
+                diag.report(sf, d.line, "raw-thread",
+                            d.rest.substr(0, d.rest.find('>') + 1) +
+                                " include outside src/base/parallel.* "
+                                "and src/obs/");
             }
         }
     }

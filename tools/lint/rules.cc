@@ -24,6 +24,9 @@ ruleTable()
          "no std::cout/printf in src/ (use inform()/warn())"},
         {"chrono", Severity::Error, "token",
          "no std::chrono in src/ outside profile/ and obs/"},
+        {"raw-thread", Severity::Error, "token",
+         "no std::thread/mutex/condition_variable in src/ outside "
+         "base/parallel.* and obs/"},
         {"nolint", Severity::Error, "token",
          "bare NOLINT is rejected; write NOLINT(rule-id)"},
         {"io", Severity::Error, "token", "file cannot be read"},

@@ -68,6 +68,17 @@ SourceFile::suppressed(int line, const std::string &rule) const
     return it != nolint.end() && it->second.count(rule) > 0;
 }
 
+std::string
+srcModule(const std::string &pathUnderSrc)
+{
+    if (pathUnderSrc.rfind("base/parallel.", 0) == 0)
+        return "parallel";
+    size_t slash = pathUnderSrc.find('/');
+    if (slash == std::string::npos || slash == 0)
+        return "";
+    return pathUnderSrc.substr(0, slash);
+}
+
 bool
 loadSourceFile(const std::string &absPath, const std::string &rel,
                SourceFile &out)
@@ -76,11 +87,8 @@ loadSourceFile(const std::string &absPath, const std::string &rel,
     out.rel = rel;
     out.isHeader = rel.size() > 3 && rel.rfind(".hh") == rel.size() - 3;
     out.isSrc = rel.rfind("src/", 0) == 0;
-    if (out.isSrc) {
-        size_t slash = rel.find('/', 4);
-        if (slash != std::string::npos)
-            out.module = rel.substr(4, slash - 4);
-    }
+    if (out.isSrc)
+        out.module = srcModule(rel.substr(4));
 
     std::ifstream in(absPath, std::ios::binary);
     if (!in)

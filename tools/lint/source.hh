@@ -50,6 +50,15 @@ struct SourceFile
 };
 
 /**
+ * Module a path under src/ belongs to, normally its first path
+ * component ("tensor/gemm.cc" -> "tensor"). The one exception is the
+ * pseudo-module "parallel": src/base/parallel.{hh,cc} house the
+ * thread pool, which sits between obs and tensor in the declared
+ * layering even though the files live in the base directory.
+ */
+std::string srcModule(const std::string &pathUnderSrc);
+
+/**
  * Read and lex @p absPath. @return false (leaving @p out partially
  * filled with the paths) when the file cannot be read.
  */
