@@ -5,9 +5,20 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "base/parallel.hh"
 #include "obs/json.hh"
+#include "obs/memtrack.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+
+// Baked in by bench/CMakeLists.txt so report lines can state which
+// sanitizer preset the numbers were taken under and find .git/HEAD.
+#ifndef EDGEADAPT_SANITIZE_NAME
+#define EDGEADAPT_SANITIZE_NAME ""
+#endif
+#ifndef EDGEADAPT_REPO_ROOT
+#define EDGEADAPT_REPO_ROOT "."
+#endif
 
 namespace edgeadapt {
 namespace bench {
@@ -33,6 +44,7 @@ struct ReportState
     std::vector<std::string> args;
     std::string jsonPath;
     std::string tracePath;
+    int64_t startNs = 0;
     std::vector<Section> sections;
 };
 
@@ -52,6 +64,83 @@ writeStringArray(obs::JsonWriter &w, const std::vector<std::string> &v)
     w.endArray();
 }
 
+/** @return first line of @p path with trailing whitespace stripped. */
+std::string
+readFirstLine(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return "";
+    char buf[256] = {};
+    if (!std::fgets(buf, sizeof(buf), f))
+        buf[0] = '\0';
+    std::fclose(f);
+    std::string s(buf);
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                          s.back() == ' ' || s.back() == '\t')) {
+        s.pop_back();
+    }
+    return s;
+}
+
+/** @return the checked-out commit sha, or "" outside a git checkout. */
+std::string
+gitHeadSha()
+{
+    const std::string root = EDGEADAPT_REPO_ROOT;
+    std::string head = readFirstLine(root + "/.git/HEAD");
+    if (head.rfind("ref: ", 0) == 0)
+        return readFirstLine(root + "/.git/" + head.substr(5));
+    return head;
+}
+
+/**
+ * Environment provenance: enough to tell two report lines from
+ * different machines/configs apart when diffing them.
+ */
+void
+writeEnv(obs::JsonWriter &w)
+{
+    w.key("env");
+    w.beginObject();
+    w.key("nproc");
+    w.value(parallel::hardwareThreads());
+    w.key("threads");
+    w.value(parallel::threadCount());
+    const char *te = std::getenv("EDGEADAPT_THREADS");
+    w.key("threads_env");
+    w.value(te ? te : "");
+    w.key("sanitizer");
+    w.value(EDGEADAPT_SANITIZE_NAME);
+    w.key("git_sha");
+    w.value(gitHeadSha());
+    w.endObject();
+}
+
+/** Tracked-allocation totals for the whole bench process. */
+void
+writeMemory(obs::JsonWriter &w)
+{
+    obs::MemStats ms = obs::memStats();
+    w.key("memory");
+    w.beginObject();
+    w.key("tracked");
+    w.value(obs::memTrackingEnabled());
+    w.key("live_bytes");
+    w.value(ms.liveBytes);
+    w.key("high_water_bytes");
+    w.value(ms.highWaterBytes);
+    w.key("alloc_bytes");
+    w.value(ms.allocBytes);
+    w.key("freed_bytes");
+    w.value(ms.freedBytes);
+    w.key("allocs");
+    w.value(ms.allocCount);
+    w.key("frees");
+    w.value(ms.freeCount);
+    w.endObject();
+}
+
 /** One JSONL line: schema, identity, recorded tables, metrics. */
 std::string
 reportLine()
@@ -65,6 +154,10 @@ reportLine()
     w.value(st.benchName);
     w.key("args");
     writeStringArray(w, st.args);
+    writeEnv(w);
+    w.key("elapsed_seconds");
+    w.value((double)(obs::traceNowNs() - st.startNs) * 1e-9);
+    writeMemory(w);
     w.key("sections");
     w.beginArray();
     for (const ReportState::Section &sec : st.sections) {
@@ -106,10 +199,15 @@ Args::Args(int argc, char **argv, const std::string &bench_name)
     st.benchName = bench_name;
     st.args = tokens_;
 
+    st.startNs = obs::traceNowNs();
     st.jsonPath = getStr("--json", "");
     st.tracePath = getStr("--trace", "");
     if (!st.tracePath.empty())
         obs::setTracingEnabled(true);
+    // Reports carry a memory section, so any run that produces one
+    // tracks allocations (traces additionally get per-span bytes).
+    if (!st.jsonPath.empty() || !st.tracePath.empty())
+        obs::setMemTrackingEnabled(true);
 }
 
 int
@@ -196,6 +294,7 @@ finishReport()
     ReportState &st = report();
     if (!st.jsonPath.empty()) {
         obs::sampleProcessMemory();
+        obs::publishMemGauges();
         std::string line = reportLine();
         FILE *f = std::fopen(st.jsonPath.c_str(), "a");
         fatal_if(!f, "cannot open --json path ", st.jsonPath, ": ",

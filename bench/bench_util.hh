@@ -17,8 +17,13 @@
  *   }
  *
  * Built-in options every Args-using bench understands:
- *   --json <path>   append one JSONL report line (tables + metrics)
+ *   --json <path>   append one JSONL report line (tables + metrics +
+ *                   env provenance + tracked-allocation totals)
  *   --trace <path>  record a Chrome trace of the run to <path>
+ *
+ * Either option turns on obs memory tracking for the whole run, so
+ * the report's "memory" section and the trace's per-span byte
+ * counters are populated.
  */
 
 #ifndef EDGEADAPT_BENCH_BENCH_UTIL_HH

@@ -115,7 +115,10 @@ main(int argc, char **argv)
     section("Top " + std::to_string(topN) +
             " layers by fw+bw self-time (BN-Opt, per model)");
     TextTable top;
-    top.header({"model", "layer", "class", "fw", "bw", "total"});
+    top.header({"model", "layer", "class", "fw", "bw", "total",
+                "peak mem", "allocs"});
+    TextTable peaks;
+    peaks.header({"model", "batch peak mem"});
     for (const std::string &mn : models::robustModelNames(true)) {
         Rng rng(43);
         models::Model m = models::buildModel(mn, rng);
@@ -126,10 +129,18 @@ main(int argc, char **argv)
                      humanTime(lt.forwardSec),
                      lt.backwardSec > 0 ? humanTime(lt.backwardSec)
                                         : "0",
-                     humanTime(lt.totalSec())});
+                     humanTime(lt.totalSec()),
+                     humanBytes((uint64_t)lt.peakBytes),
+                     humanCount((uint64_t)lt.allocCount)});
         }
         top.rule();
+        peaks.row({models::displayName(mn),
+                   humanBytes((uint64_t)hb.peakBytes)});
     }
     emit(top);
+
+    section("Tracked live-bytes high water per adaptation batch "
+            "(BN-Opt)");
+    emit(peaks);
     return finishReport();
 }

@@ -17,6 +17,7 @@
 #include "data/synth_cifar.hh"
 #include "nn/batchnorm2d.hh"
 #include "nn/conv2d.hh"
+#include "obs/memtrack.hh"
 #include "obs/trace.hh"
 #include "tensor/gemm.hh"
 #include "train/losses.hh"
@@ -259,6 +260,34 @@ BM_TraceSpanEnabled(benchmark::State &state)
 }
 
 void
+BM_MemTrackDisabled(benchmark::State &state)
+{
+    // Same overhead budget as disabled spans: with memory tracking
+    // compiled in but off, recordAlloc is one relaxed load and an
+    // untaken branch, so instrumented allocation sites cost ~ns.
+    obs::setMemTrackingEnabled(false);
+    for (auto _ : state) {
+        bool tracked = obs::recordAlloc(4096);
+        benchmark::DoNotOptimize(tracked);
+        if (tracked)
+            obs::recordFree(4096);
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_MemTrackEnabled(benchmark::State &state)
+{
+    obs::setMemTrackingEnabled(true);
+    for (auto _ : state) {
+        if (obs::recordAlloc(4096))
+            obs::recordFree(4096);
+        benchmark::ClobberMemory();
+    }
+    obs::setMemTrackingEnabled(false);
+}
+
+void
 BM_GemmTraced(benchmark::State &state)
 {
     // End-to-end check of the <2% budget: the instrumented GEMM with
@@ -279,6 +308,8 @@ BM_GemmTraced(benchmark::State &state)
 
 BENCHMARK(BM_TraceSpanDisabled);
 BENCHMARK(BM_TraceSpanEnabled);
+BENCHMARK(BM_MemTrackDisabled);
+BENCHMARK(BM_MemTrackEnabled);
 BENCHMARK(BM_GemmTraced)->Arg(128);
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_ConvForward)->Arg(8)->Arg(32);

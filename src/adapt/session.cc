@@ -2,6 +2,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/memtrack.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "tensor/ops.hh"
@@ -41,11 +42,25 @@ runStream(AdaptationMethod &method, data::CorruptionStream &stream)
             // Stopwatch: adapt sits below profile in the layering, so
             // reaching up for the stopwatch made the module graph
             // cyclic (profile's host profiler drives adapt).
+            // Per-batch memory rides the same scope: each batch opens
+            // a fresh high-water window (the one global mark — see
+            // resetMemHighWater — so only enabled runs pay for it).
+            const bool mem = obs::memTrackingEnabled();
+            int64_t live0 = 0;
+            if (mem) {
+                live0 = obs::memLiveBytes();
+                obs::resetMemHighWater();
+            }
             int64_t t0 = obs::traceNowNs();
             logits = method.processBatch(b.images);
             double sec = (double)(obs::traceNowNs() - t0) * 1e-9;
             r.hostSeconds += sec;
             batchSeconds.observe(sec);
+            if (mem) {
+                int64_t peak = obs::memHighWaterBytes() - live0;
+                if (peak > r.peakBatchBytes)
+                    r.peakBatchBytes = peak;
+            }
         }
         batchCount.increment();
 
@@ -104,9 +119,11 @@ evaluate(models::Model &model, Algorithm algo,
     }
     pristine.restore(model.net());
     model.setTraining(false);
-    // Fold peak/current RSS into the metrics registry so bench
-    // reports carry the memory high-water mark of the evaluation.
+    // Fold peak/current RSS and the tracked-allocation gauges into
+    // the metrics registry so bench reports carry the memory
+    // high-water mark of the evaluation.
     obs::sampleProcessMemory();
+    obs::publishMemGauges();
 
     out.meanErrorPct =
         totalSamples

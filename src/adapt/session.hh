@@ -27,6 +27,9 @@ struct StreamResult
     int64_t correct = 0;
     int batches = 0;
     double hostSeconds = 0.0; ///< wall-clock host time in processBatch
+    /// worst per-batch live-bytes growth (tracked allocations) across
+    /// the stream; 0 when obs memory tracking is disabled
+    int64_t peakBatchBytes = 0;
 
     /** @return prediction error in percent. */
     double errorPct() const;

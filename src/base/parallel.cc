@@ -12,6 +12,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/memtrack.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 
@@ -232,6 +233,16 @@ struct ScratchSlot
 {
     std::unique_ptr<float[]> data;
     size_t cap = 0;
+    bool tracked = false; ///< stamped by memtrack at allocation
+
+    ~ScratchSlot()
+    {
+        // Safe at thread exit: memtrack's counters and the span stack
+        // are trivially destructible (namespace-scope atomics / POD
+        // thread locals).
+        if (tracked)
+            obs::recordFree((int64_t)(cap * sizeof(float)));
+    }
 };
 
 thread_local ScratchSlot tlScratch[kScratchSlots];
@@ -309,8 +320,12 @@ scratch(int slot, size_t elems)
              "scratch slot out of range: ", slot);
     ScratchSlot &s = tlScratch[slot];
     if (s.cap < elems) {
+        if (s.tracked)
+            obs::recordFree((int64_t)(s.cap * sizeof(float)));
         s.data = std::make_unique_for_overwrite<float[]>(elems);
         s.cap = elems;
+        s.tracked =
+            obs::recordAlloc((int64_t)(elems * sizeof(float)));
     }
     return s.data.get();
 }

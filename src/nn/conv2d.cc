@@ -163,10 +163,14 @@ Conv2d::backward(const Tensor &grad_out)
     const int64_t grain = (n + kMaxGradChunks - 1) / kMaxGradChunks;
     const int64_t nChunks = parallel::chunkCount(0, n, grain);
     const int64_t wNumel = weight_.value.numel();
-    std::vector<float> dwPart(
-        needW ? (size_t)(nChunks * wNumel) : 0, 0.0f);
-    std::vector<float> dbPart(
-        needB ? (size_t)(nChunks * outC_) : 0, 0.0f);
+    // Per-chunk partials live in tracked Tensor storage so the
+    // backward's largest transient shows up in the memory accounting
+    // (untracked-alloc rule; left undefined when the grads are frozen).
+    Tensor dwPart, dbPart;
+    if (needW)
+        dwPart = Tensor::zeros(Shape{nChunks * wNumel});
+    if (needB)
+        dbPart = Tensor::zeros(Shape{nChunks * outC_});
 
     auto images = [&](int64_t ib, int64_t ie, int64_t chunk) {
         float *cols = parallel::scratch(parallel::kScratchConvCols,

@@ -1,0 +1,166 @@
+#include "obs/memtrack.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace edgeadapt {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> memTrackEnabled{false};
+} // namespace detail
+
+namespace {
+
+// Namespace-scope atomics are trivially destructible, so frees from
+// thread_local destructors (scratch slots, cached tensors) at any
+// point of shutdown stay safe.
+std::atomic<int64_t> gLiveBytes{0};
+std::atomic<int64_t> gHighWater{0};
+std::atomic<int64_t> gAllocBytes{0};
+std::atomic<int64_t> gFreedBytes{0};
+std::atomic<int64_t> gAllocCount{0};
+std::atomic<int64_t> gFreeCount{0};
+
+/** Raise the high-water mark to @p live if it grew (CAS-max). */
+void
+raiseHighWater(int64_t live)
+{
+    int64_t hw = gHighWater.load(std::memory_order_relaxed);
+    while (live > hw &&
+           !gHighWater.compare_exchange_weak(
+               hw, live, std::memory_order_relaxed)) {
+    }
+}
+
+/** Applies EDGEADAPT_MEMTRACK at static-init time. */
+struct MemTrackEnvInit
+{
+    MemTrackEnvInit()
+    {
+        const char *v = std::getenv("EDGEADAPT_MEMTRACK");
+        if (v && *v && std::strcmp(v, "0") != 0)
+            setMemTrackingEnabled(true);
+    }
+};
+
+MemTrackEnvInit memTrackEnvInit;
+
+} // namespace
+
+namespace detail {
+
+void
+recordAllocSlow(int64_t bytes)
+{
+    int64_t live =
+        gLiveBytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    raiseHighWater(live);
+    gAllocBytes.fetch_add(bytes, std::memory_order_relaxed);
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (tracingEnabled()) {
+        // Attribute to the innermost open span on this thread; the
+        // accumulator is owned by the opening thread, so plain stores
+        // are race-free.
+        if (SpanMem *m = currentSpanMem()) {
+            m->bytesAlloc += bytes;
+            ++m->allocCount;
+            int64_t delta = live - m->liveAtOpen;
+            if (delta > m->peakBytes)
+                m->peakBytes = delta;
+        }
+    }
+}
+
+void
+recordFreeSlow(int64_t bytes)
+{
+    gLiveBytes.fetch_sub(bytes, std::memory_order_relaxed);
+    gFreedBytes.fetch_add(bytes, std::memory_order_relaxed);
+    gFreeCount.fetch_add(1, std::memory_order_relaxed);
+    if (tracingEnabled()) {
+        if (SpanMem *m = currentSpanMem())
+            m->bytesFreed += bytes;
+    }
+}
+
+} // namespace detail
+
+void
+setMemTrackingEnabled(bool on)
+{
+    detail::memTrackEnabled.store(on, std::memory_order_relaxed);
+}
+
+MemStats
+memStats()
+{
+    MemStats s;
+    s.liveBytes = gLiveBytes.load(std::memory_order_relaxed);
+    s.highWaterBytes = gHighWater.load(std::memory_order_relaxed);
+    s.allocBytes = gAllocBytes.load(std::memory_order_relaxed);
+    s.freedBytes = gFreedBytes.load(std::memory_order_relaxed);
+    s.allocCount = gAllocCount.load(std::memory_order_relaxed);
+    s.freeCount = gFreeCount.load(std::memory_order_relaxed);
+    return s;
+}
+
+int64_t
+memLiveBytes()
+{
+    return gLiveBytes.load(std::memory_order_relaxed);
+}
+
+int64_t
+memHighWaterBytes()
+{
+    return gHighWater.load(std::memory_order_relaxed);
+}
+
+void
+resetMemHighWater()
+{
+    gHighWater.store(gLiveBytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void
+publishMemGauges()
+{
+    static Gauge &live = Registry::global().gauge("mem.live_bytes");
+    static Gauge &hw = Registry::global().gauge("mem.high_water");
+    live.set((double)memLiveBytes());
+    hw.set((double)memHighWaterBytes());
+}
+
+MemTrackScope::MemTrackScope()
+    : prevEnabled_(memTrackingEnabled())
+{
+    setMemTrackingEnabled(true);
+    baseline_ = memLiveBytes();
+    resetMemHighWater();
+}
+
+MemTrackScope::~MemTrackScope()
+{
+    setMemTrackingEnabled(prevEnabled_);
+}
+
+int64_t
+MemTrackScope::highWaterDelta() const
+{
+    int64_t d = memHighWaterBytes() - baseline_;
+    return d > 0 ? d : 0;
+}
+
+int64_t
+MemTrackScope::liveDelta() const
+{
+    return memLiveBytes() - baseline_;
+}
+
+} // namespace obs
+} // namespace edgeadapt

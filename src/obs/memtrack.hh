@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Allocation accounting — the third pillar of the observability layer
+ * next to trace spans and metrics. The Tensor storage layer and the
+ * parallel scratch slots report every backing-buffer allocation and
+ * release here; the accounting attributes bytes to the innermost open
+ * trace span on the calling thread (see trace.hh), maintains global
+ * live-bytes / high-water / count totals, and feeds the memory
+ * sections of bench reports and the host profiler's per-layer
+ * peak-bytes columns.
+ *
+ * Cost model (same rules as trace.hh): when tracking is disabled (the
+ * default) recordAlloc() is one relaxed atomic load and an untaken
+ * branch — proven by BM_MemTrackDisabled. When enabled, an allocation
+ * costs a handful of relaxed atomic adds plus a CAS-max for the
+ * high-water mark; frees of buffers allocated under tracking are
+ * always balanced even if tracking is toggled off mid-lifetime (the
+ * owner stamps `tracked` at allocation time), so live-bytes can never
+ * go negative.
+ *
+ * Enabling: obs::setMemTrackingEnabled(true), an obs::MemTrackScope,
+ * or the EDGEADAPT_MEMTRACK=1 environment variable. Bench binaries
+ * enable it automatically when --json is requested.
+ */
+
+#ifndef EDGEADAPT_OBS_MEMTRACK_HH
+#define EDGEADAPT_OBS_MEMTRACK_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace edgeadapt {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> memTrackEnabled;
+void recordAllocSlow(int64_t bytes);
+void recordFreeSlow(int64_t bytes);
+} // namespace detail
+
+/** @return whether allocations currently record (one relaxed load). */
+inline bool
+memTrackingEnabled()
+{
+    return detail::memTrackEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn allocation tracking on or off process-wide. */
+void setMemTrackingEnabled(bool on);
+
+/**
+ * Record a buffer allocation of @p bytes. @return whether it was
+ * recorded; the owner must stamp this and call recordFree() on
+ * destruction only when true, so a buffer outliving a tracking toggle
+ * never unbalances the books.
+ */
+inline bool
+recordAlloc(int64_t bytes)
+{
+    if (!memTrackingEnabled())
+        return false;
+    detail::recordAllocSlow(bytes);
+    return true;
+}
+
+/** Record the release of a buffer whose recordAlloc() returned true. */
+inline void
+recordFree(int64_t bytes)
+{
+    detail::recordFreeSlow(bytes);
+}
+
+/** Point-in-time capture of the global allocation accounting. */
+struct MemStats
+{
+    int64_t liveBytes = 0;      ///< currently allocated tracked bytes
+    int64_t highWaterBytes = 0; ///< max live since last reset
+    int64_t allocBytes = 0;     ///< total bytes allocated (monotonic)
+    int64_t freedBytes = 0;     ///< total bytes freed (monotonic)
+    int64_t allocCount = 0;     ///< number of allocations (monotonic)
+    int64_t freeCount = 0;      ///< number of frees (monotonic)
+};
+
+/** @return a snapshot of the global counters. */
+MemStats memStats();
+
+/** @return currently live tracked bytes. */
+int64_t memLiveBytes();
+
+/** @return live-bytes high-water mark since the last reset. */
+int64_t memHighWaterBytes();
+
+/**
+ * Reset the high-water mark to the current live-bytes level, opening
+ * a fresh measurement window (e.g. per adaptation batch). There is
+ * one global mark: nested measurement windows clobber each other, so
+ * scoped consumers should capture baselines via MemTrackScope.
+ */
+void resetMemHighWater();
+
+/** Publish mem.live_bytes / mem.high_water gauges to the registry. */
+void publishMemGauges();
+
+/**
+ * RAII measurement window: enables tracking, captures the live-bytes
+ * baseline, and resets the high-water mark; destruction restores the
+ * previous enabled state. highWaterDelta() is the peak growth above
+ * the baseline observed while the scope is open.
+ */
+class MemTrackScope
+{
+  public:
+    MemTrackScope();
+    ~MemTrackScope();
+
+    MemTrackScope(const MemTrackScope &) = delete;
+    MemTrackScope &operator=(const MemTrackScope &) = delete;
+
+    /** @return live tracked bytes when the scope opened. */
+    int64_t baselineBytes() const { return baseline_; }
+
+    /** @return peak live-bytes growth above the baseline so far. */
+    int64_t highWaterDelta() const;
+
+    /** @return current live-bytes growth above the baseline. */
+    int64_t liveDelta() const;
+
+  private:
+    bool prevEnabled_;
+    int64_t baseline_;
+};
+
+} // namespace obs
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_OBS_MEMTRACK_HH

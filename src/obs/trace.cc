@@ -10,6 +10,7 @@
 
 #include "base/logging.hh"
 #include "obs/json.hh"
+#include "obs/memtrack.hh"
 
 namespace edgeadapt {
 namespace obs {
@@ -124,7 +125,28 @@ struct TraceEnvInit
 
 TraceEnvInit traceEnvInit;
 
+// Open-span stack for allocation attribution. Plain-data thread
+// locals have no destructor, so memtrack calls from other
+// thread_local destructors (scratch slots) at thread exit can never
+// touch a dead object. Spans nested deeper than the fixed capacity
+// simply record no allocation data.
+constexpr int kMaxOpenSpans = 256;
+thread_local detail::SpanMem *tlSpanStack[kMaxOpenSpans];
+thread_local int tlSpanDepth = 0;
+
 } // namespace
+
+namespace detail {
+
+SpanMem *
+currentSpanMem()
+{
+    int d = tlSpanDepth;
+    return (d > 0 && d <= kMaxOpenSpans) ? tlSpanStack[d - 1]
+                                         : nullptr;
+}
+
+} // namespace detail
 
 void
 setTracingEnabled(bool on)
@@ -158,6 +180,10 @@ Span::open(const char *name, size_t len, const char *category)
     name_[n] = '\0';
     cat_ = category;
     depth_ = threadBuffer().depth++;
+    mem_.liveAtOpen = memLiveBytes();
+    if (tlSpanDepth < kMaxOpenSpans)
+        tlSpanStack[tlSpanDepth] = &mem_;
+    ++tlSpanDepth;
     startNs_ = traceNowNs();
 }
 
@@ -166,6 +192,7 @@ Span::~Span()
     if (startNs_ < 0)
         return;
     int64_t end = traceNowNs();
+    --tlSpanDepth;
     ThreadBuffer &b = threadBuffer();
     --b.depth;
     std::lock_guard<std::mutex> lock(b.mu);
@@ -183,6 +210,10 @@ Span::~Span()
     ev.durNs = end - startNs_;
     ev.depth = depth_;
     ev.tid = b.tid;
+    ev.bytesAlloc = mem_.bytesAlloc;
+    ev.bytesFreed = mem_.bytesFreed;
+    ev.peakBytes = mem_.peakBytes;
+    ev.allocCount = mem_.allocCount;
 }
 
 std::vector<TraceEvent>
@@ -260,6 +291,24 @@ chromeTraceJson(const std::vector<TraceEvent> &events)
         w.beginObject();
         w.key("depth");
         w.value((int64_t)ev.depth);
+        // Allocation deltas only when memtrack recorded something —
+        // zero-valued keys would bloat every un-tracked trace.
+        if (ev.bytesAlloc) {
+            w.key("bytes_alloc");
+            w.value(ev.bytesAlloc);
+        }
+        if (ev.bytesFreed) {
+            w.key("bytes_freed");
+            w.value(ev.bytesFreed);
+        }
+        if (ev.peakBytes) {
+            w.key("peak_bytes");
+            w.value(ev.peakBytes);
+        }
+        if (ev.allocCount) {
+            w.key("allocs");
+            w.value(ev.allocCount);
+        }
         w.endObject();
         w.endObject();
     }

@@ -41,12 +41,36 @@ struct TraceEvent
     int depth;               ///< nesting depth within the thread
     uint32_t tid;            ///< dense per-thread id (1-based)
 
+    // Allocation accounting while this span was innermost on its
+    // thread (see memtrack.hh; all zero when tracking is off).
+    int64_t bytesAlloc;      ///< tracked bytes allocated
+    int64_t bytesFreed;      ///< tracked bytes freed
+    int64_t peakBytes;       ///< max global live-bytes growth seen
+    int64_t allocCount;      ///< tracked allocation count
+
     /** @return end timestamp in ns. */
     int64_t endNs() const { return startNs + durNs; }
 };
 
 namespace detail {
 extern std::atomic<bool> traceEnabled;
+
+/**
+ * Per-span allocation accumulator, written only by the thread that
+ * opened the span. memtrack attributes each recorded allocation to
+ * the innermost open span of the calling thread.
+ */
+struct SpanMem
+{
+    int64_t bytesAlloc = 0;
+    int64_t bytesFreed = 0;
+    int64_t allocCount = 0;
+    int64_t liveAtOpen = 0; ///< global live bytes when the span opened
+    int64_t peakBytes = 0;  ///< max live growth above liveAtOpen
+};
+
+/** @return this thread's innermost open span accumulator (or null). */
+SpanMem *currentSpanMem();
 } // namespace detail
 
 /** @return whether spans currently record (one relaxed load). */
@@ -84,6 +108,7 @@ class Span
     int64_t startNs_ = -1; ///< -1 = inactive
     int depth_ = 0;
     const char *cat_ = "";
+    detail::SpanMem mem_; ///< allocation deltas while innermost
     char name_[TraceEvent::kMaxName + 1];
 };
 

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "nn/module.hh"
+#include "obs/memtrack.hh"
 #include "obs/trace.hh"
 
 namespace edgeadapt {
@@ -97,6 +98,11 @@ aggregate(const std::vector<obs::TraceEvent> &events)
         }
         LayerTime &lt = hb.perLayer[it->second];
         (fw ? lt.forwardSec : lt.backwardSec) += selfSec;
+        // Allocation data is innermost-span-attributed, so a module
+        // span carries exactly the buffers its own body allocated.
+        lt.allocBytes += o.ev->bytesAlloc;
+        lt.allocCount += o.ev->allocCount;
+        lt.peakBytes = std::max(lt.peakBytes, o.ev->peakBytes);
     };
 
     // Events are sorted by (tid, start, -dur): parents precede their
@@ -165,6 +171,10 @@ profileHostRun(models::Model &model, adapt::Algorithm algo,
     labelPrimitives(model.net());
     auto method = adapt::makeMethod(algo, model);
 
+    // Memory attribution rides on the spans: the scope opens a fresh
+    // high-water window and the per-span accumulators land in the
+    // collected events.
+    obs::MemTrackScope memScope;
     obs::TraceSession session;
     Tensor logits = method->processBatch(images);
     (void)logits;
@@ -174,7 +184,9 @@ profileHostRun(models::Model &model, adapt::Algorithm algo,
         warn("host profiler trace buffer wrapped; breakdown is "
              "incomplete (raise EDGEADAPT_TRACE_BUFFER)");
     }
-    return aggregate(events);
+    HostBreakdown hb = aggregate(events);
+    hb.peakBytes = memScope.highWaterDelta();
+    return hb;
 }
 
 } // namespace profile

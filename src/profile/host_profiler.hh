@@ -29,6 +29,11 @@ struct LayerTime
     std::string opClass; ///< paper bucket: conv/batchnorm/linear/...
     double forwardSec = 0.0;
     double backwardSec = 0.0;
+    // Allocation accounting from obs::memtrack, attributed to the
+    // layer's fw/bw spans (zero when tracking was off for the run).
+    int64_t peakBytes = 0;  ///< worst live-bytes growth in one span
+    int64_t allocBytes = 0; ///< tracked bytes allocated, fw+bw
+    int64_t allocCount = 0; ///< tracked allocations, fw+bw
 
     /** @return combined forward+backward time. */
     double totalSec() const { return forwardSec + backwardSec; }
@@ -41,6 +46,8 @@ struct HostBreakdown
     std::map<std::string, double> backwardSec;
     double totalForward = 0.0;
     double totalBackward = 0.0;
+    /// live-bytes high-water growth over the whole profiled batch
+    int64_t peakBytes = 0;
     /// per-layer self-times in first-execution order
     std::vector<LayerTime> perLayer;
 

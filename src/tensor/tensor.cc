@@ -5,11 +5,29 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/memtrack.hh"
 
 namespace edgeadapt {
 
+namespace detail {
+
+TensorStorage::TensorStorage(size_t n)
+    : data(n),
+      tracked(obs::recordAlloc((int64_t)(n * sizeof(float))))
+{
+}
+
+TensorStorage::~TensorStorage()
+{
+    if (tracked)
+        obs::recordFree((int64_t)(data.size() * sizeof(float)));
+}
+
+} // namespace detail
+
 Tensor::Tensor(Shape shape)
-    : storage_(std::make_shared<std::vector<float>>((size_t)shape.numel())),
+    : storage_(std::make_shared<detail::TensorStorage>(
+          (size_t)shape.numel())),
       shape_(std::move(shape))
 {
     panic_if(shape_.rank() == 0, "cannot allocate a rank-0 tensor");
@@ -74,14 +92,14 @@ float *
 Tensor::data()
 {
     EA_CHECK(defined(), "access to undefined tensor");
-    return storage_->data();
+    return storage_->data.data();
 }
 
 const float *
 Tensor::data() const
 {
     EA_CHECK(defined(), "access to undefined tensor");
-    return storage_->data();
+    return storage_->data.data();
 }
 
 float &

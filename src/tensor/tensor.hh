@@ -19,6 +19,30 @@
 
 namespace edgeadapt {
 
+namespace detail {
+
+/**
+ * Reference-counted backing buffer of one Tensor allocation. The
+ * constructor reports the allocation to obs::memtrack and stamps
+ * `tracked` with the outcome; the destructor balances the books only
+ * when stamped, so a buffer outliving a tracking toggle never drives
+ * live-bytes negative. This is the sanctioned "tracked storage" path
+ * the untracked-alloc lint rule points at.
+ */
+struct TensorStorage
+{
+    explicit TensorStorage(size_t n);
+    ~TensorStorage();
+
+    TensorStorage(const TensorStorage &) = delete;
+    TensorStorage &operator=(const TensorStorage &) = delete;
+
+    std::vector<float> data; // NOLINT(untracked-alloc)
+    bool tracked;
+};
+
+} // namespace detail
+
 /**
  * Reference-counted dense float32 tensor. Default-constructed tensors
  * are "empty" (defined() == false) and may not be accessed.
@@ -97,7 +121,7 @@ class Tensor
     float absMax() const;
 
   private:
-    std::shared_ptr<std::vector<float>> storage_;
+    std::shared_ptr<detail::TensorStorage> storage_;
     Shape shape_;
 };
 

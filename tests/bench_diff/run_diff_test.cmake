@@ -1,0 +1,54 @@
+# Self-test for the bench_diff regression gate. Asserts exact exit
+# codes (0 = within tolerance, 1 = regression, 2 = bad input) across
+# the wrapper and JSONL input forms.
+#
+# Expects: -DDIFF_BIN=<bench_diff binary> -DFIXTURES=<this directory>
+
+function(run_diff expect_code)
+    execute_process(
+        COMMAND ${DIFF_BIN} ${ARGN}
+        RESULT_VARIABLE code
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT code EQUAL ${expect_code})
+        message(FATAL_ERROR
+            "bench_diff ${ARGN}: expected exit ${expect_code}, "
+            "got ${code}\nstdout:\n${out}\nstderr:\n${err}")
+    endif()
+    set(LAST_OUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# Identity: a report diffed against itself is never a regression.
+run_diff(0 ${FIXTURES}/baseline.json ${FIXTURES}/baseline.json)
+
+# Small drifts below the tolerances pass, through the JSONL form.
+run_diff(0 ${FIXTURES}/baseline.json ${FIXTURES}/ok.jsonl)
+
+# Synthetic regressions: alpha +30% wall, beta +20% high-water.
+run_diff(1 ${FIXTURES}/baseline.json ${FIXTURES}/regressed.json)
+if(NOT LAST_OUT MATCHES "REGRESSED.*elapsed_seconds")
+    message(FATAL_ERROR "wall regression not flagged:\n${LAST_OUT}")
+endif()
+if(NOT LAST_OUT MATCHES "REGRESSED.*memory.high_water_bytes")
+    message(FATAL_ERROR "memory regression not flagged:\n${LAST_OUT}")
+endif()
+
+# Loosened tolerances let the same pair pass.
+run_diff(0 --wall-tol 50 --mem-tol 50
+         ${FIXTURES}/baseline.json ${FIXTURES}/regressed.json)
+
+# A bench dropped from the current report is a regression.
+file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/only_alpha.jsonl
+    "{\"schema\":\"edgeadapt.bench.v1\",\"bench\":\"alpha\",\
+\"args\":[],\"elapsed_seconds\":1.0,\
+\"memory\":{\"high_water_bytes\":100000000}}\n")
+run_diff(1 ${FIXTURES}/baseline.json
+         ${CMAKE_CURRENT_BINARY_DIR}/only_alpha.jsonl)
+
+# Unreadable and malformed inputs are usage errors, not regressions.
+run_diff(2 ${FIXTURES}/baseline.json ${FIXTURES}/no_such_file.json)
+file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/garbage.json "not json {")
+run_diff(2 ${FIXTURES}/baseline.json
+         ${CMAKE_CURRENT_BINARY_DIR}/garbage.json)
+
+message(STATUS "bench_diff self-test passed")

@@ -1,0 +1,42 @@
+// untracked-alloc fixture: float buffers in src/tensor/ must go
+// through the tracked storage path. Raw malloc-family calls,
+// std::vector<float> object declarations, and make_unique<float[]>
+// are errors unless the line carries NOLINT(untracked-alloc).
+// References, pointers, and non-float element types are fine.
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+float
+sumRef(const std::vector<float> &values)
+{
+    float s = 0.0f;
+    for (float v : values)
+        s += v;
+    return s;
+}
+
+void
+untracked(int n)
+{
+    float *raw = (float *)std::malloc((size_t)n * sizeof(float));
+    std::free(raw);
+    std::vector<float> buf((size_t)n);
+    auto arr = std::make_unique<float[]>((size_t)n);
+    (void)buf;
+    (void)arr;
+}
+
+void
+sanctioned(int n)
+{
+    std::vector<float> buf((size_t)n); // NOLINT(untracked-alloc)
+    std::vector<int> idx((size_t)n);
+    (void)buf;
+    (void)idx;
+}
+
+} // namespace fixture

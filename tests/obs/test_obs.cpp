@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "adapt/session.hh"
@@ -179,6 +181,79 @@ TEST(Json, ParserHandlesEscapesAndNesting)
 
     EXPECT_FALSE(jsonParse("{\"unterminated\": ", &v, &err));
     EXPECT_FALSE(jsonParse("{} trailing", &v, &err));
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNullAndRoundTrip)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::nan(""));
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
+    w.value(1.5);
+    w.value(-0.0);
+    w.endArray();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(w.str(), &v, &err)) << err;
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.array.size(), 5u);
+    // JSON has no inf/nan; the writer substitutes null, so a report
+    // carrying a poisoned metric still parses everywhere.
+    EXPECT_EQ(v.array[0].kind, JsonValue::Kind::Null);
+    EXPECT_EQ(v.array[1].kind, JsonValue::Kind::Null);
+    EXPECT_EQ(v.array[2].kind, JsonValue::Kind::Null);
+    EXPECT_DOUBLE_EQ(v.array[3].number, 1.5);
+    EXPECT_DOUBLE_EQ(v.array[4].number, 0.0);
+}
+
+TEST(Json, WriterEscapesRoundTripThroughParser)
+{
+    const std::vector<std::string> cases = {
+        "plain",
+        "quote \" backslash \\ slash /",
+        "control \n \t \r chars",
+        std::string("embedded \x01 low \x1f bytes"),
+        "utf8 bytes stay verbatim: \xc3\xa9",
+        "",
+    };
+    for (const std::string &s : cases) {
+        JsonWriter w;
+        w.beginObject();
+        w.key(s);
+        w.value(s);
+        w.endObject();
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(jsonParse(w.str(), &v, &err))
+            << err << " doc: " << w.str();
+        const JsonValue *got = v.get(s);
+        ASSERT_NE(got, nullptr) << w.str();
+        EXPECT_EQ(got->string, s);
+    }
+}
+
+TEST(Json, DeeplyNestedArraysRoundTrip)
+{
+    constexpr int depth = 200;
+    JsonWriter w;
+    for (int i = 0; i < depth; ++i)
+        w.beginArray();
+    w.value((int64_t)42);
+    for (int i = 0; i < depth; ++i)
+        w.endArray();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(w.str(), &v, &err)) << err;
+    const JsonValue *cur = &v;
+    for (int i = 0; i < depth; ++i) {
+        ASSERT_TRUE(cur->isArray()) << "depth " << i;
+        ASSERT_EQ(cur->array.size(), 1u) << "depth " << i;
+        cur = &cur->array[0];
+    }
+    EXPECT_DOUBLE_EQ(cur->number, 42.0);
 }
 
 TEST(Registry, CountersGaugesHistogramsAggregate)

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Bench regression gate: compare two bench reports and fail when the
+ * current run is meaningfully slower or hungrier than the baseline.
+ *
+ * Usage:
+ *   bench_diff [--wall-tol PCT] [--mem-tol PCT] BASELINE CURRENT
+ *
+ * Both inputs may be either an edgeadapt.bench.report.v1 document
+ * (the {"benches":[...]} wrapper tools/bench_report.sh writes) or raw
+ * edgeadapt.bench.v1 JSONL (one report line per bench run). Benches
+ * are matched by name; for each pair the gate compares
+ *
+ *   - elapsed_seconds          (default tolerance: +15%)
+ *   - memory.high_water_bytes  (default tolerance: +10%)
+ *
+ * A regression must also clear an absolute noise floor (5 ms wall,
+ * 1 MiB memory) so micro-benches on a noisy host do not flap. Benches
+ * present in the baseline but missing from the current report count
+ * as regressions — a silently dropped bench must not pass the gate.
+ * Old report lines without the elapsed/memory fields simply skip the
+ * affected comparison.
+ *
+ * Exit status: 0 = within tolerance, 1 = regression, 2 = bad
+ * input/usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+using edgeadapt::obs::JsonValue;
+using edgeadapt::obs::jsonParse;
+
+namespace {
+
+constexpr double kWallFloorSeconds = 0.005;
+constexpr double kMemFloorBytes = 1024.0 * 1024.0;
+
+/** The two gated metrics of one bench run (< 0 = not reported). */
+struct BenchMetrics
+{
+    double elapsedSeconds = -1.0;
+    double highWaterBytes = -1.0;
+};
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+/** Pull the gated metrics out of one edgeadapt.bench.v1 object. */
+BenchMetrics
+metricsOf(const JsonValue &bench)
+{
+    BenchMetrics m;
+    if (const JsonValue *e = bench.get("elapsed_seconds")) {
+        if (e->isNumber())
+            m.elapsedSeconds = e->number;
+    }
+    if (const JsonValue *mem = bench.get("memory")) {
+        if (const JsonValue *hw = mem->get("high_water_bytes")) {
+            if (hw->isNumber())
+                m.highWaterBytes = hw->number;
+        }
+    }
+    return m;
+}
+
+/**
+ * Parse a report file into name -> metrics. Accepts the report.v1
+ * wrapper or bench.v1 JSONL; a repeated bench name keeps the last
+ * run, matching how JSONL reports append.
+ */
+bool
+loadReport(const std::string &path,
+           std::map<std::string, BenchMetrics> *out)
+{
+    std::string text;
+    if (!readFile(path, &text)) {
+        std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+
+    std::vector<JsonValue> benches;
+    JsonValue doc;
+    if (jsonParse(text, &doc) && doc.isObject()) {
+        const JsonValue *schema = doc.get("schema");
+        if (schema && schema->isString() &&
+            schema->string == "edgeadapt.bench.report.v1") {
+            if (const JsonValue *b = doc.get("benches")) {
+                for (const JsonValue &v : b->array)
+                    benches.push_back(v);
+            }
+        } else {
+            benches.push_back(doc); // single bench.v1 line
+        }
+    } else {
+        // JSONL: one bench.v1 object per non-empty line.
+        size_t pos = 0;
+        while (pos < text.size()) {
+            size_t eol = text.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = text.size();
+            std::string line = text.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            JsonValue v;
+            std::string err;
+            if (!jsonParse(line, &v, &err) || !v.isObject()) {
+                std::fprintf(stderr,
+                             "bench_diff: %s: bad JSONL line: %s\n",
+                             path.c_str(), err.c_str());
+                return false;
+            }
+            benches.push_back(std::move(v));
+        }
+    }
+
+    for (const JsonValue &b : benches) {
+        const JsonValue *name = b.get("bench");
+        if (!name || !name->isString()) {
+            std::fprintf(stderr,
+                         "bench_diff: %s: bench entry without a "
+                         "\"bench\" name\n",
+                         path.c_str());
+            return false;
+        }
+        (*out)[name->string] = metricsOf(b);
+    }
+    return true;
+}
+
+/**
+ * Gate one metric pair. Prints a verdict row; @return true when the
+ * current value regressed past tolerance and noise floor.
+ */
+bool
+gate(const std::string &bench, const char *metric, double base,
+     double cur, double tolPct, double floorAbs, const char *unit)
+{
+    if (base < 0.0 || cur < 0.0)
+        return false; // not reported on one side: nothing to gate
+    double deltaPct = base > 0.0 ? 100.0 * (cur - base) / base : 0.0;
+    bool regressed =
+        cur > base * (1.0 + tolPct / 100.0) && cur - base > floorAbs;
+    std::printf("  %-10s %-24s %12.3f -> %12.3f %s  %+7.1f%%  %s\n",
+                regressed ? "REGRESSED" : "ok", metric, base, cur,
+                unit, deltaPct, bench.c_str());
+    return regressed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double wallTol = 15.0;
+    double memTol = 10.0;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if ((a == "--wall-tol" || a == "--mem-tol") && i + 1 < argc) {
+            char *end = nullptr;
+            double v = std::strtod(argv[++i], &end);
+            if (!end || *end != '\0') {
+                std::fprintf(stderr,
+                             "bench_diff: %s expects a number\n",
+                             a.c_str());
+                return 2;
+            }
+            (a == "--wall-tol" ? wallTol : memTol) = v;
+        } else if (a == "--help") {
+            std::printf("usage: bench_diff [--wall-tol PCT] "
+                        "[--mem-tol PCT] BASELINE CURRENT\n");
+            return 0;
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr, "usage: bench_diff [--wall-tol PCT] "
+                             "[--mem-tol PCT] BASELINE CURRENT\n");
+        return 2;
+    }
+
+    std::map<std::string, BenchMetrics> base, cur;
+    if (!loadReport(paths[0], &base) || !loadReport(paths[1], &cur))
+        return 2;
+    if (base.empty()) {
+        std::fprintf(stderr, "bench_diff: baseline %s has no benches\n",
+                     paths[0].c_str());
+        return 2;
+    }
+
+    std::printf("bench_diff: %s -> %s (wall +%.0f%%, mem +%.0f%%)\n",
+                paths[0].c_str(), paths[1].c_str(), wallTol, memTol);
+    int regressions = 0;
+    for (const auto &[name, bm] : base) {
+        auto it = cur.find(name);
+        if (it == cur.end()) {
+            std::printf("  %-10s %-24s %s\n", "REGRESSED",
+                        "missing-bench", name.c_str());
+            ++regressions;
+            continue;
+        }
+        if (gate(name, "elapsed_seconds", bm.elapsedSeconds,
+                 it->second.elapsedSeconds, wallTol,
+                 kWallFloorSeconds, "s "))
+            ++regressions;
+        if (gate(name, "memory.high_water_bytes",
+                 bm.highWaterBytes / kMemFloorBytes,
+                 it->second.highWaterBytes < 0.0
+                     ? -1.0
+                     : it->second.highWaterBytes / kMemFloorBytes,
+                 memTol, 1.0, "MB"))
+            ++regressions;
+    }
+    for (const auto &[name, bm] : cur) {
+        if (!base.count(name))
+            std::printf("  %-10s %-24s %s\n", "new", "untracked-bench",
+                        name.c_str());
+    }
+
+    if (regressions > 0) {
+        std::printf("bench_diff: FAIL — %d regression%s past "
+                    "tolerance\n",
+                    regressions, regressions == 1 ? "" : "s");
+        return 1;
+    }
+    std::printf("bench_diff: OK — all benches within tolerance\n");
+    return 0;
+}

@@ -4,7 +4,14 @@
 # document — the BENCH_edgeadapt.json trajectory at the repo root.
 #
 # Usage: tools/bench_report.sh [OUT.json]
+#        tools/bench_report.sh --diff [BASELINE.json]
 #   BUILD_DIR overrides the build tree (default: <repo>/build).
+#
+# --diff runs the bench set into a temporary report and gates it with
+# bench_diff against BASELINE (default: the committed
+# BENCH_edgeadapt.json) instead of updating the trajectory; the script
+# exits nonzero if any bench regressed past tolerance (>15% wall,
+# >10% peak tracked memory).
 #
 # The tables inside are deterministic; the metrics blocks (e.g. RSS
 # gauges) vary per host, so treat the committed file as a baseline
@@ -18,7 +25,16 @@ set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$root/build}"
-out="${1:-$root/BENCH_edgeadapt.json}"
+
+diff_mode=0
+baseline=""
+if [ "${1:-}" = "--diff" ]; then
+    diff_mode=1
+    baseline="${2:-$root/BENCH_edgeadapt.json}"
+    out="$(mktemp --suffix=.bench.json)"
+else
+    out="${1:-$root/BENCH_edgeadapt.json}"
+fi
 
 if [ "${EDGEADAPT_SKIP_LINT:-0}" != "1" ]; then
     lint="$build/tools/edgeadapt_lint"
@@ -45,7 +61,11 @@ benches=(
 )
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+if [ "$diff_mode" = 1 ]; then
+    trap 'rm -f "$tmp" "$out"' EXIT
+else
+    trap 'rm -f "$tmp"' EXIT
+fi
 
 for b in "${benches[@]}"; do
     bin="$build/bench/$b"
@@ -62,5 +82,16 @@ done
     sed '$!s/$/,/' "$tmp"
     printf ']}\n'
 } > "$out"
+
+if [ "$diff_mode" = 1 ]; then
+    diff_bin="$build/tools/bench_diff"
+    if [ ! -x "$diff_bin" ]; then
+        echo "bench_report: building bench_diff for the gate" >&2
+        cmake --build "$build" --target bench_diff >&2
+    fi
+    echo "bench_report: gating against $baseline" >&2
+    "$diff_bin" "$baseline" "$out"
+    exit $?
+fi
 
 echo "bench_report: wrote $out ($(wc -c < "$out") bytes)" >&2

@@ -9,6 +9,9 @@
 #   tools/check.sh lint       # static analyzer only (no sanitizer
 #                             # rebuild: compiles just edgeadapt_lint
 #                             # in build/ and runs every pass)
+#   tools/check.sh bench      # bench regression gate: rerun the
+#                             # report bench set in build/ and diff
+#                             # against the committed baseline
 #
 # Each preset builds in its own tree (build-asan/, build-tsan/) so the
 # tier-1 build/ directory is never disturbed. -march=native is turned
@@ -87,8 +90,23 @@ case "$MODE" in
     echo "check.sh: static analysis passed"
     exit 0
     ;;
+  bench)
+    # Regression gate over the tier-1 tree: rebuild the bench set and
+    # bench_diff, then compare a fresh run against the committed
+    # baseline report (>15% wall or >10% peak memory fails).
+    if [ ! -f "$ROOT/build/CMakeCache.txt" ]; then
+        echo "==== [bench] configure"
+        cmake -B "$ROOT/build" -S "$ROOT"
+    fi
+    echo "==== [bench] build"
+    cmake --build "$ROOT/build" -j "$JOBS"
+    echo "==== [bench] regression gate"
+    "$ROOT/tools/bench_report.sh" --diff
+    echo "check.sh: bench regression gate passed"
+    exit 0
+    ;;
   *)
-    echo "usage: tools/check.sh [all|asan|tsan|fast|lint]" >&2
+    echo "usage: tools/check.sh [all|asan|tsan|fast|lint|bench]" >&2
     exit 2
     ;;
 esac

@@ -14,6 +14,11 @@
  *                    (push_back, resize, ...) or construct
  *                    std::vector inside loops; a justified exception
  *                    carries NOLINT(hot-alloc)
+ *  - untracked-alloc: src/tensor/ and src/nn/ do not allocate float
+ *                    buffers outside the tracked storage path
+ *                    (detail::TensorStorage / parallel scratch) that
+ *                    the obs memory profiler accounts; a sanctioned
+ *                    site carries NOLINT(untracked-alloc)
  *
  * Class discovery is cross-file: subclass declarations usually live
  * in headers while the method bodies live in .cc files, so the pass
@@ -346,11 +351,92 @@ checkHotAlloc(const SourceFile &sf, Diagnostics &diag)
     }
 }
 
+/** Raw heap-allocation calls the memory profiler cannot see. */
+bool
+isRawAllocCall(const std::string &s)
+{
+    return s == "malloc" || s == "calloc" || s == "realloc" ||
+           s == "aligned_alloc";
+}
+
+/**
+ * Flag float-buffer allocations that bypass the tracked storage path
+ * (detail::TensorStorage / parallel scratch): raw malloc-family
+ * calls, std::vector<float> object declarations, and
+ * make_unique*<float[]> calls. References, pointers, and
+ * template-argument spellings of vector<float> do not allocate and
+ * are left alone.
+ */
+void
+checkUntrackedAlloc(const SourceFile &sf, Diagnostics &diag)
+{
+    const Tokens &toks = sf.lex.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Identifier)
+            continue;
+        if (isRawAllocCall(t.text) && i + 1 < toks.size() &&
+            toks[i + 1].is("(")) {
+            diag.report(sf, t.line, "untracked-alloc",
+                        t.text + "() bypasses the tracked allocation "
+                                 "path (use Tensor storage or "
+                                 "parallel::scratch, or justify with "
+                                 "NOLINT(untracked-alloc))");
+            continue;
+        }
+
+        bool isVec = t.isIdent("vector") && i >= 3 &&
+                     toks[i - 1].is(":") && toks[i - 2].is(":") &&
+                     toks[i - 3].isIdent("std");
+        bool isMakeUnique = t.text == "make_unique" ||
+                            t.text == "make_unique_for_overwrite";
+        if (!isVec && !isMakeUnique)
+            continue;
+        if (i + 1 >= toks.size() || !toks[i + 1].is("<"))
+            continue;
+        size_t past = skipBalanced(toks, i + 1, "<", ">");
+        bool floatElem = false;
+        for (size_t j = i + 2; j + 1 < past; ++j) {
+            if (toks[j].isIdent("float") || toks[j].isIdent("double")) {
+                floatElem = true;
+                break;
+            }
+        }
+        if (!floatElem || past >= toks.size())
+            continue;
+        // A declaration/construction follows the '>' with a name, a
+        // call, or a brace init; '&'/'*'/'>'/','/')'/';' mean a
+        // reference, pointer, or pure type mention instead.
+        const Token &next = toks[past];
+        bool allocates = next.kind == Token::Kind::Identifier ||
+                         next.is("(") || next.is("{");
+        if (isVec && !allocates)
+            continue;
+        const char *what =
+            isVec ? "std::vector<float> buffer"
+                  : "make_unique<float[]> buffer";
+        diag.report(sf, t.line, "untracked-alloc",
+                    std::string(what) +
+                        " invisible to the memory profiler (use "
+                        "Tensor storage or parallel::scratch, or "
+                        "justify with NOLINT(untracked-alloc))");
+    }
+}
+
 } // namespace
 
 void
 runInstrumentationPass(const Context &ctx, Diagnostics &diag)
 {
+    // Tracked-allocation discipline for the layers the profiler
+    // accounts; independent of the Module hierarchy below.
+    for (const SourceFile &sf : ctx.files) {
+        if (sf.rel.rfind("src/tensor/", 0) == 0 ||
+            sf.rel.rfind("src/nn/", 0) == 0) {
+            checkUntrackedAlloc(sf, diag);
+        }
+    }
+
     // 1. Class hierarchy over every loaded file, seeded at the Module
     //    base class declared in src/nn/module.hh.
     std::vector<ClassDecl> classes;

@@ -45,6 +45,9 @@ ruleTable()
          "nn::Module backward must state an EA_CHECK* grad contract"},
         {"hot-alloc", Severity::Error, "instrumentation",
          "no container growth inside loops in src/tensor/ kernels"},
+        {"untracked-alloc", Severity::Error, "instrumentation",
+         "float buffers in src/tensor/ and src/nn/ must use the "
+         "tracked Tensor/scratch storage path"},
     };
     return table;
 }
