@@ -1,6 +1,8 @@
 // Suppression fixtures. A scoped NOLINT(rule) on a code line
-// suppresses exactly that rule; a bare NOLINT is itself rejected,
-// and naming an unknown rule is rejected too.
+// suppresses exactly that rule; the NEXTLINE form does the same for
+// the line below and may sit on a comment-only line. Bare markers
+// are themselves rejected, as is naming an unknown rule — at the
+// marker's own line, even when it aims at the next one.
 
 namespace fixture {
 
@@ -10,7 +12,13 @@ suppressed()
     int *ok = new int(1);    // NOLINT(raw-new)
     int *bad = new int(2);   // NOLINT
     int *bad2 = new int(3);  // NOLINT(no-such-rule)
-    return ok ? bad : bad2;
+    // NOLINTNEXTLINE(raw-new) arena bootstrap, freed in reset()
+    int *ok2 = new int(4);
+    // NOLINTNEXTLINE
+    int *bad3 = new int(5);
+    // NOLINTNEXTLINE(not-a-rule)
+    int *bad4 = new int(6);
+    return ok && ok2 ? bad : (bad2 ? bad3 : bad4);
 }
 
 } // namespace fixture

@@ -1,0 +1,67 @@
+// parallel-reentrant fixtures: libc calls with hidden global state
+// (rand, strtok), function-local mutable statics, and calls to
+// same-file functions that keep static state are all races inside a
+// parallel region. The deterministic per-chunk alternative
+// (rng::chunkSeed-style) is the clean pattern.
+
+namespace fixture {
+
+using int64_t = long long;
+
+void parallelFor(int64_t begin, int64_t end, int64_t grain, int body);
+int rand();
+char *strtok(char *str, const char *delim);
+unsigned mixSeed(unsigned chunk);
+
+unsigned
+countedHelper()
+{
+    static unsigned calls = 0; // mutable static state
+    return ++calls;
+}
+
+void
+libcStateInRegion(float *dst, int64_t n)
+{
+    parallelFor(0, n, 128, [&](int64_t b, int64_t e, int64_t chunk) {
+        for (int64_t i = b; i < e; ++i)
+            dst[i] = (float)rand(); // racy: libc global PRNG state
+        (void)chunk;
+    });
+}
+
+void
+tokenizerInRegion(char *buf, int64_t n)
+{
+    parallelFor(0, n, 128, [&](int64_t b, int64_t e, int64_t chunk) {
+        (void)b;
+        (void)e;
+        (void)chunk;
+        char *tok = strtok(buf, " "); // racy: static cursor
+        (void)tok;
+    });
+}
+
+void
+staticStateInRegion(float *dst, int64_t n)
+{
+    parallelFor(0, n, 128, [&](int64_t b, int64_t e, int64_t chunk) {
+        static int64_t seen = 0; // racy: shared static local
+        ++seen;
+        for (int64_t i = b; i < e; ++i)
+            dst[i] = (float)countedHelper(); // racy: callee static
+        (void)chunk;
+    });
+}
+
+void
+chunkSeededIsClean(float *dst, int64_t n)
+{
+    parallelFor(0, n, 128, [&](int64_t b, int64_t e, int64_t chunk) {
+        unsigned s = mixSeed((unsigned)chunk); // clean: pure per-chunk
+        for (int64_t i = b; i < e; ++i)
+            dst[i] = (float)(s & 0xffu);
+    });
+}
+
+} // namespace fixture

@@ -1,0 +1,98 @@
+// parallel-capture / parallel-scratch-escape fixtures. The racy
+// lambdas write shared state through by-reference captures; the clean
+// ones only touch chunk-disjoint elements (indexed by a lambda
+// parameter or an induction variable of the region) or thread-local
+// copies, and one race is sanctioned with a scoped NOLINT.
+
+namespace fixture {
+
+using int64_t = long long;
+
+void parallelFor(int64_t begin, int64_t end, int64_t grain, int body);
+float *scratch(int slot, int64_t elems);
+
+float *g_stash = nullptr;
+
+void
+capturedAccumulator(const float *src, int64_t n)
+{
+    double sum = 0.0;
+    parallelFor(0, n, 1024, [&](int64_t b, int64_t e, int64_t chunk) {
+        for (int64_t i = b; i < e; ++i)
+            sum += src[i]; // racy: by-ref scalar, not chunk-disjoint
+        (void)chunk;
+    });
+}
+
+void
+sharedCounter(int64_t n)
+{
+    int64_t hits = 0;
+    parallelFor(0, n, 256, [&](int64_t b, int64_t e, int64_t chunk) {
+        (void)e;
+        (void)chunk;
+        if (b >= 0)
+            ++hits; // racy: unsynchronized increment
+    });
+}
+
+void
+chunkDisjointWrites(float *dst, const float *src, int64_t n)
+{
+    parallelFor(0, n, 512, [&](int64_t b, int64_t e, int64_t chunk) {
+        for (int64_t i = b; i < e; ++i)
+            dst[i] = src[i] * 2.0f; // clean: induction-indexed
+        (void)chunk;
+    });
+}
+
+void
+perChunkSlots(float *partial, const float *src, int64_t n)
+{
+    parallelFor(0, n, 128, [&](int64_t b, int64_t e, int64_t chunk) {
+        float acc = 0.0f; // clean: lambda-local accumulator
+        for (int64_t i = b; i < e; ++i)
+            acc += src[i];
+        partial[chunk] = acc; // clean: chunk-indexed slot
+    });
+}
+
+void
+scratchEscapes(int64_t n)
+{
+    parallelFor(0, n, 64, [&](int64_t b, int64_t e, int64_t chunk) {
+        float *tile = scratch(0, 256);
+        g_stash = tile; // racy: per-thread pointer escapes
+        (void)b;
+        (void)e;
+        (void)chunk;
+    });
+}
+
+void
+scratchStaysInside(float *dst, int64_t n)
+{
+    parallelFor(0, n, 64, [&](int64_t b, int64_t e, int64_t chunk) {
+        float *tile = scratch(0, 256); // clean: used and dropped
+        for (int64_t i = b; i < e; ++i) {
+            tile[i - b] = (float)i;
+            dst[i] = tile[i - b];
+        }
+        (void)chunk;
+    });
+}
+
+void
+sanctionedRace(int64_t n, bool *sawWork)
+{
+    bool flag = false;
+    parallelFor(0, n, 32, [&](int64_t b, int64_t e, int64_t chunk) {
+        (void)e;
+        (void)chunk;
+        if (b >= 0)
+            flag = true; // NOLINT(parallel-capture) monotonic flag
+    });
+    *sawWork = flag;
+}
+
+} // namespace fixture

@@ -1,0 +1,57 @@
+// parallel-reduction-order fixtures. parallelFor's determinism
+// contract requires per-chunk partials to fold in ascending chunk
+// order (see base/parallel.hh); a descending fold gives a different
+// float rounding per run order and is flagged. The ascending fold and
+// the suppressed descending one stay clean.
+
+namespace fixture {
+
+using int64_t = long long;
+
+void parallelFor(int64_t begin, int64_t end, int64_t grain, int body);
+
+void
+descendingFold(float *out, const float *src, int64_t n, int64_t chunks)
+{
+    float part[64];
+    parallelFor(0, n, 1024, [&](int64_t b, int64_t e, int64_t chunk) {
+        float acc = 0.0f;
+        for (int64_t i = b; i < e; ++i)
+            acc += src[i];
+        part[chunk] = acc;
+    });
+    for (int64_t c = chunks - 1; c >= 0; --c)
+        out[0] += part[c]; // racy ordering: folds high chunks first
+}
+
+void
+ascendingFold(float *out, const float *src, int64_t n, int64_t chunks)
+{
+    float part[64];
+    parallelFor(0, n, 1024, [&](int64_t b, int64_t e, int64_t chunk) {
+        float acc = 0.0f;
+        for (int64_t i = b; i < e; ++i)
+            acc += src[i];
+        part[chunk] = acc;
+    });
+    for (int64_t c = 0; c < chunks; ++c) // clean: ascending
+        out[0] += part[c];
+}
+
+void
+sanctionedDescending(float *out, const float *src, int64_t n,
+                     int64_t chunks)
+{
+    float part[64];
+    parallelFor(0, n, 1024, [&](int64_t b, int64_t e, int64_t chunk) {
+        float acc = 0.0f;
+        for (int64_t i = b; i < e; ++i)
+            acc += src[i];
+        part[chunk] = acc;
+    });
+    // NOLINTNEXTLINE(parallel-reduction-order) max-reduce, order-free
+    for (int64_t c = chunks - 1; c >= 0; --c)
+        out[0] += part[c];
+}
+
+} // namespace fixture

@@ -1,0 +1,38 @@
+# Wall-clock budget for the static analyzer. The whole point of a
+# home-grown dependency-free lint is that it runs in the inner loop —
+# pre-commit, not CI-only — so the full run (every pass over src/,
+# tools/, and examples/) gets an explicit time budget. The declaration
+# parser made each file a parse, not a scan; this test catches an
+# accidental slide into quadratic territory.
+#
+# Invoked by ctest as:
+#   cmake -DLINT_BIN=... -DREPO_ROOT=... -DBUDGET_SECONDS=...
+#         -P run_perf.cmake
+
+foreach(var LINT_BIN REPO_ROOT BUDGET_SECONDS)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_perf.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+# TIMEOUT enforces the budget: a run that exceeds it is killed and
+# rc becomes a timeout error, failing the test. The analyzed tree is
+# the real one, so exit status 0 (no findings) is also asserted —
+# a perf gate that tolerates lint errors would mask them.
+execute_process(
+    COMMAND "${LINT_BIN}" --repo-root "${REPO_ROOT}"
+            --exclude tests/lint/fixtures
+            "${REPO_ROOT}/src" "${REPO_ROOT}/tools"
+            "${REPO_ROOT}/examples"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc
+    TIMEOUT "${BUDGET_SECONDS}")
+
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "edgeadapt_lint exceeded the ${BUDGET_SECONDS}s budget or "
+        "found errors (rc='${rc}')\nstdout: ${out}\nstderr: ${err}")
+endif()
+
+message(STATUS "lint perf budget met: ${out}")

@@ -1,0 +1,287 @@
+// Unit tests for the analyzer's declaration parser (tools/lint/
+// parser.{hh,cc}): the scope tree, capture lists, and declaration
+// qualifiers the parallel-region race rules depend on. Each test
+// lexes a snippet and pins the recovered structure — in particular
+// the cases the heuristics are easiest to get wrong: nested lambdas,
+// default captures with explicit overrides, init-captures, and
+// templated functions.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parser.hh"
+
+namespace {
+
+using namespace ealint;
+
+FileScopes
+parse(const std::string &src)
+{
+    return parseScopes(lex(src));
+}
+
+/** Innermost scope of kind @p k, or -1. */
+int
+findScope(const FileScopes &fsc, Scope::Kind k, const std::string &name)
+{
+    for (size_t i = 0; i < fsc.scopes.size(); ++i) {
+        if (fsc.scopes[i].kind == k && fsc.scopes[i].name == name)
+            return (int)i;
+    }
+    return -1;
+}
+
+const VarDecl *
+findDecl(const FileScopes &fsc, int scope, const std::string &name)
+{
+    for (const VarDecl &d : fsc.scopes[(size_t)scope].decls) {
+        if (d.name == name)
+            return &d;
+    }
+    return nullptr;
+}
+
+TEST(ParserScopes, FunctionParamsAndLocals)
+{
+    FileScopes fsc = parse(R"(
+        int add(int a, const int b, float *out) {
+            int sum = a + b;
+            return sum;
+        }
+    )");
+    int fn = findScope(fsc, Scope::Kind::Function, "add");
+    ASSERT_GE(fn, 0);
+
+    const VarDecl *a = findDecl(fsc, fn, "a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->isParam);
+    EXPECT_EQ(a->paramIndex, 0);
+    EXPECT_FALSE(a->selfConst);
+
+    const VarDecl *b = findDecl(fsc, fn, "b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->paramIndex, 1);
+    EXPECT_TRUE(b->selfConst);
+
+    const VarDecl *out = findDecl(fsc, fn, "out");
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->paramIndex, 2);
+    EXPECT_TRUE(out->isPointer);
+    EXPECT_FALSE(out->pointeeConst);
+
+    const VarDecl *sum = findDecl(fsc, fn, "sum");
+    ASSERT_NE(sum, nullptr);
+    EXPECT_FALSE(sum->isParam);
+    EXPECT_EQ(sum->paramIndex, -1);
+}
+
+TEST(ParserScopes, UnnamedParamsStillConsumeAnIndex)
+{
+    FileScopes fsc = parse(R"(
+        void body(long b, long e, long) { (void)b; (void)e; }
+        void body2(long b, long, long chunk) { (void)b; (void)chunk; }
+    )");
+    int fn = findScope(fsc, Scope::Kind::Function, "body2");
+    ASSERT_GE(fn, 0);
+    const VarDecl *chunk = findDecl(fsc, fn, "chunk");
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_TRUE(chunk->isParam);
+    EXPECT_EQ(chunk->paramIndex, 2);
+}
+
+TEST(ParserScopes, NestedLambdas)
+{
+    FileScopes fsc = parse(R"(
+        void run() {
+            int outer = 0;
+            auto a = [&](int x) {
+                int mid = x;
+                auto b = [=](int y) { return mid + y; };
+                (void)b;
+            };
+            (void)a; (void)outer;
+        }
+    )");
+    int la = findScope(fsc, Scope::Kind::Lambda, "a");
+    int lb = findScope(fsc, Scope::Kind::Lambda, "b");
+    ASSERT_GE(la, 0);
+    ASSERT_GE(lb, 0);
+    EXPECT_TRUE(fsc.scopes[(size_t)la].hasDefaultRefCapture);
+    EXPECT_FALSE(fsc.scopes[(size_t)la].hasDefaultCopyCapture);
+    EXPECT_TRUE(fsc.scopes[(size_t)lb].hasDefaultCopyCapture);
+    EXPECT_TRUE(fsc.within(lb, la));
+    EXPECT_FALSE(fsc.within(la, lb));
+
+    // 'mid' lives in a, is visible from b, and x is a's parameter.
+    const VarDecl *mid = findDecl(fsc, la, "mid");
+    ASSERT_NE(mid, nullptr);
+    int ds = -1;
+    const VarDecl *fromB =
+        fsc.resolve(lb, "mid", fsc.scopes[(size_t)lb].bodyEnd, &ds);
+    EXPECT_EQ(fromB, mid);
+    EXPECT_EQ(ds, la);
+}
+
+TEST(ParserScopes, DefaultCaptureWithOverrides)
+{
+    FileScopes fsc = parse(R"(
+        void run() {
+            int shared = 0, copy = 0;
+            auto f = [&, copy](int x) { return shared + copy + x; };
+            auto g = [=, &shared](int x) { return shared + copy + x; };
+            (void)f; (void)g;
+        }
+    )");
+    int lf = findScope(fsc, Scope::Kind::Lambda, "f");
+    int lg = findScope(fsc, Scope::Kind::Lambda, "g");
+    ASSERT_GE(lf, 0);
+    ASSERT_GE(lg, 0);
+
+    const Scope &f = fsc.scopes[(size_t)lf];
+    EXPECT_TRUE(f.hasDefaultRefCapture);
+    ASSERT_EQ(f.captures.size(), 1u);
+    EXPECT_EQ(f.captures[0].name, "copy");
+    EXPECT_FALSE(f.captures[0].byRef);
+
+    const Scope &g = fsc.scopes[(size_t)lg];
+    EXPECT_TRUE(g.hasDefaultCopyCapture);
+    ASSERT_EQ(g.captures.size(), 1u);
+    EXPECT_EQ(g.captures[0].name, "shared");
+    EXPECT_TRUE(g.captures[0].byRef);
+}
+
+TEST(ParserScopes, InitCaptures)
+{
+    FileScopes fsc = parse(R"(
+        void run(int *src) {
+            auto f = [p = src, &r = *src](int i) { r = p[i]; };
+            (void)f;
+        }
+    )");
+    int lf = findScope(fsc, Scope::Kind::Lambda, "f");
+    ASSERT_GE(lf, 0);
+    const Scope &f = fsc.scopes[(size_t)lf];
+    ASSERT_EQ(f.captures.size(), 2u);
+    EXPECT_EQ(f.captures[0].name, "p");
+    EXPECT_TRUE(f.captures[0].isInit);
+    EXPECT_FALSE(f.captures[0].byRef);
+    EXPECT_EQ(f.captures[1].name, "r");
+    EXPECT_TRUE(f.captures[1].byRef);
+
+    // Init-captures declare lambda-locals; &r = ... is a reference.
+    const VarDecl *r = findDecl(fsc, lf, "r");
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->isRef);
+    const VarDecl *p = findDecl(fsc, lf, "p");
+    ASSERT_NE(p, nullptr);
+    EXPECT_FALSE(p->isRef);
+}
+
+TEST(ParserScopes, TemplatedFunction)
+{
+    FileScopes fsc = parse(R"(
+        template <typename T, int N>
+        T fold(const T *vals) {
+            T acc = T(0);
+            for (int i = 0; i < N; ++i)
+                acc += vals[i];
+            return acc;
+        }
+    )");
+    int fn = findScope(fsc, Scope::Kind::Function, "fold");
+    ASSERT_GE(fn, 0);
+
+    const VarDecl *vals = findDecl(fsc, fn, "vals");
+    ASSERT_NE(vals, nullptr);
+    EXPECT_TRUE(vals->isParam);
+    EXPECT_TRUE(vals->isPointer);
+    EXPECT_TRUE(vals->pointeeConst);
+
+    // The for-header induction variable resolves from inside the loop
+    // and is marked as such.
+    bool foundInduction = false;
+    for (const Scope &s : fsc.scopes) {
+        for (const VarDecl &d : s.decls)
+            foundInduction = foundInduction ||
+                             (d.name == "i" && d.isInduction);
+    }
+    EXPECT_TRUE(foundInduction);
+}
+
+TEST(ParserScopes, QualifiersStaticAtomicConstPointer)
+{
+    FileScopes fsc = parse(R"(
+        void f() {
+            static long calls = 0;
+            std::atomic<int> hits{0};
+            const float *ro = nullptr;
+            float *const fixed = nullptr;
+            double &alias = *(double *)nullptr;
+            ++calls; ++hits; (void)ro; (void)fixed; alias = 0;
+        }
+    )");
+    int fn = findScope(fsc, Scope::Kind::Function, "f");
+    ASSERT_GE(fn, 0);
+
+    const VarDecl *calls = findDecl(fsc, fn, "calls");
+    ASSERT_NE(calls, nullptr);
+    EXPECT_TRUE(calls->isStatic);
+
+    const VarDecl *hits = findDecl(fsc, fn, "hits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_TRUE(hits->isAtomic);
+
+    const VarDecl *ro = findDecl(fsc, fn, "ro");
+    ASSERT_NE(ro, nullptr);
+    EXPECT_TRUE(ro->isPointer);
+    EXPECT_TRUE(ro->pointeeConst);
+    EXPECT_FALSE(ro->selfConst);
+
+    const VarDecl *fixed = findDecl(fsc, fn, "fixed");
+    ASSERT_NE(fixed, nullptr);
+    EXPECT_TRUE(fixed->selfConst);
+    EXPECT_FALSE(fixed->pointeeConst);
+
+    const VarDecl *alias = findDecl(fsc, fn, "alias");
+    ASSERT_NE(alias, nullptr);
+    EXPECT_TRUE(alias->isRef);
+}
+
+TEST(ParserScopes, LambdaByNameAndUseBeforeDecl)
+{
+    FileScopes fsc = parse(R"(
+        void run(long n) {
+            auto body = [&](long b, long e, long chunk) {
+                (void)b; (void)e; (void)chunk;
+            };
+            parallelFor(0, n, 64, body);
+        }
+    )");
+    int fn = findScope(fsc, Scope::Kind::Function, "run");
+    ASSERT_GE(fn, 0);
+    int lam = fsc.lambdaByName(fn, "body");
+    ASSERT_GE(lam, 0);
+    EXPECT_EQ(fsc.scopes[(size_t)lam].kind, Scope::Kind::Lambda);
+
+    // No use-before-declaration: resolving 'body' before its token
+    // position fails, after it succeeds.
+    const VarDecl *d = findDecl(fsc, fn, "body");
+    ASSERT_NE(d, nullptr);
+    int ds = -1;
+    EXPECT_EQ(fsc.resolve(fn, "body", d->tok, &ds), nullptr);
+    EXPECT_EQ(fsc.resolve(fn, "body", d->tok + 1, &ds), d);
+}
+
+TEST(ParserScopes, PunctSeqRequiresAdjacency)
+{
+    LexResult lr = lex("a += b; c + = d; e +\n= f;");
+    const auto &t = lr.tokens;
+    ASSERT_GE(t.size(), 15u);
+    EXPECT_TRUE(isPunctSeq(t, 1, "+="));   // a '+=' b
+    EXPECT_FALSE(isPunctSeq(t, 6, "+="));  // '+' ' ' '=' not adjacent
+    EXPECT_FALSE(isPunctSeq(t, 11, "+=")); // '+' newline '=' split
+}
+
+} // namespace

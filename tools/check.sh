@@ -9,6 +9,9 @@
 #   tools/check.sh lint       # static analyzer only (no sanitizer
 #                             # rebuild: compiles just edgeadapt_lint
 #                             # in build/ and runs every pass)
+#   tools/check.sh lint-fast  # analyzer over changed files only
+#                             # (git diff vs HEAD + untracked), the
+#                             # sub-second pre-commit loop
 #   tools/check.sh bench      # bench regression gate: rerun the
 #                             # report bench set in build/ and diff
 #                             # against the committed baseline
@@ -69,6 +72,29 @@ run_lint() {
         "$ROOT/examples"
 }
 
+# Changed-files-only variant: the same passes, but --changed-only
+# narrows the batch to what git reports as modified vs HEAD plus
+# untracked files. Cross-file passes (include-graph layering) still
+# see the full discovery set they need via the roots; per-file rules
+# only fire on the changed files.
+run_lint_fast() {
+    local bdir="$ROOT/build"
+    if [ ! -f "$bdir/CMakeCache.txt" ]; then
+        echo "==== [lint-fast] configure"
+        cmake -B "$bdir" -S "$ROOT"
+    fi
+    echo "==== [lint-fast] build edgeadapt_lint"
+    cmake --build "$bdir" --target edgeadapt_lint -j "$JOBS"
+    echo "==== [lint-fast] analyze changed files"
+    {
+        git -C "$ROOT" diff --name-only HEAD
+        git -C "$ROOT" ls-files --others --exclude-standard
+    } | "$bdir/tools/edgeadapt_lint" --repo-root "$ROOT" \
+        --changed-only --exclude tests/lint/fixtures \
+        "$ROOT/src" "$ROOT/tests" "$ROOT/bench" "$ROOT/tools" \
+        "$ROOT/examples"
+}
+
 case "$MODE" in
   all)
     run_preset asan "address;undefined"
@@ -90,6 +116,11 @@ case "$MODE" in
     echo "check.sh: static analysis passed"
     exit 0
     ;;
+  lint-fast)
+    run_lint_fast
+    echo "check.sh: static analysis (changed files) passed"
+    exit 0
+    ;;
   bench)
     # Regression gate over the tier-1 tree: rebuild the bench set and
     # bench_diff, then compare a fresh run against the committed
@@ -106,7 +137,7 @@ case "$MODE" in
     exit 0
     ;;
   *)
-    echo "usage: tools/check.sh [all|asan|tsan|fast|lint|bench]" >&2
+    echo "usage: tools/check.sh [all|asan|tsan|fast|lint|lint-fast|bench]" >&2
     exit 2
     ;;
 esac

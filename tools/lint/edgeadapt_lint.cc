@@ -9,13 +9,17 @@
  *   edgeadapt_lint [--repo-root DIR] [--format=text|json]
  *                  [--baseline FILE] [--pass NAME]...
  *                  [--exclude REL_PREFIX]... [--werror]
- *                  [--list-rules] PATH [PATH...]
+ *                  [--changed-only] [--list-rules] PATH [PATH...]
  *
  * Passes (default: all): token, include-graph, unused-include,
- * instrumentation. Suppression is per-line and per-rule via
- * NOLINT(rule-id); bare NOLINT is itself a violation. --baseline
- * takes a previous --format=json report and grandfathers its
- * (file, rule) pairs.
+ * instrumentation, parallel-region. Suppression is per-line and
+ * per-rule via NOLINT(rule-id), or its NEXTLINE spelling for the
+ * line below; bare markers are themselves violations. --baseline takes a previous
+ * --format=json report and grandfathers its (file, rule) pairs.
+ * --changed-only reads a file list from stdin (one path per line,
+ * repo-relative or absolute — e.g. git diff --name-only) and lints
+ * only the discovered files that appear in it, for a fast local
+ * pre-commit loop.
  *
  * Exits 0 when no unsuppressed errors were found (warnings do not
  * fail unless --werror), 1 on errors, 2 on usage or I/O problems.
@@ -26,6 +30,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -44,6 +49,7 @@ passTable()
         {"include-graph", runIncludeGraphPass},
         {"unused-include", runUnusedIncludePass},
         {"instrumentation", runInstrumentationPass},
+        {"parallel-region", runParallelRegionPass},
     };
     return table;
 }
@@ -69,7 +75,8 @@ usage()
                  "[--format=text|json] [--baseline FILE]\n"
                  "                      [--pass NAME]... [--exclude "
                  "REL_PREFIX]... [--werror]\n"
-                 "                      [--list-rules] PATH [PATH...]\n";
+                 "                      [--changed-only] [--list-rules] "
+                 "PATH [PATH...]\n";
     return 2;
 }
 
@@ -85,6 +92,7 @@ main(int argc, char **argv)
     std::string format = "text";
     std::string baselinePath;
     bool werror = false;
+    bool changedOnly = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -122,6 +130,8 @@ main(int argc, char **argv)
                 return usage();
         } else if (arg == "--werror") {
             werror = true;
+        } else if (arg == "--changed-only") {
+            changedOnly = true;
         } else if (arg == "--list-rules") {
             for (const RuleInfo &r : ruleTable()) {
                 std::cout << r.id << " (" << severityName(r.severity)
@@ -174,6 +184,33 @@ main(int argc, char **argv)
     }
     std::sort(batch.begin(), batch.end());
     batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+
+    // --changed-only: keep only discovered files that stdin names.
+    // An empty list is a legitimate no-op (nothing changed).
+    if (changedOnly) {
+        std::set<std::string> changed;
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            while (!line.empty() &&
+                   (line.back() == '\r' || line.back() == ' ')) {
+                line.pop_back();
+            }
+            if (line.empty())
+                continue;
+            if (line.rfind("./", 0) == 0)
+                line = line.substr(2);
+            changed.insert(
+                fs::weakly_canonical(repoRoot / line).generic_string());
+            changed.insert(
+                fs::weakly_canonical(fs::path(line)).generic_string());
+        }
+        std::vector<fs::path> kept;
+        for (const fs::path &p : batch) {
+            if (changed.count(p.generic_string()))
+                kept.push_back(p);
+        }
+        batch.swap(kept);
+    }
 
     Context ctx;
     ctx.repoRoot = repoRoot.generic_string();

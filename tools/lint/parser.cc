@@ -1,0 +1,897 @@
+#include "parser.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace ealint {
+
+namespace {
+
+/** Keywords that can never be a declared variable's name. */
+bool
+isReservedName(const std::string &s)
+{
+    return s == "auto" || s == "const" || s == "constexpr" ||
+           s == "static" || s == "mutable" || s == "volatile" ||
+           s == "unsigned" || s == "signed" || s == "long" ||
+           s == "short" || s == "int" || s == "float" ||
+           s == "double" || s == "char" || s == "bool" ||
+           s == "void" || s == "inline" || s == "register" ||
+           s == "thread_local" || s == "typename" || s == "struct" ||
+           s == "class" || s == "enum" || s == "union" ||
+           s == "operator" || s == "new" || s == "delete" ||
+           s == "sizeof" || s == "this" || s == "explicit" ||
+           s == "virtual" || s == "extern" || s == "friend" ||
+           s == "noexcept" || s == "final" || s == "override";
+}
+
+/** Statement-head keywords that rule out a declaration. */
+bool
+isControlKeyword(const std::string &s)
+{
+    return s == "return" || s == "if" || s == "else" || s == "for" ||
+           s == "while" || s == "do" || s == "switch" ||
+           s == "case" || s == "default" || s == "break" ||
+           s == "continue" || s == "goto" || s == "throw" ||
+           s == "using" || s == "typedef" || s == "template" ||
+           s == "namespace" || s == "co_return" || s == "co_await" ||
+           s == "co_yield" || s == "delete" || s == "new";
+}
+
+/** Builds the scope tree in a single recursive descent. */
+struct Parser
+{
+    const std::vector<Token> &toks;
+    FileScopes out;
+
+    explicit Parser(const LexResult &lex) : toks(lex.tokens) {}
+
+    // ---- small token utilities --------------------------------------
+
+    bool is(size_t i, const char *t) const
+    {
+        return i < toks.size() && toks[i].is(t);
+    }
+    bool isIdent(size_t i) const
+    {
+        return i < toks.size() &&
+               toks[i].kind == Token::Kind::Identifier;
+    }
+    bool isIdent(size_t i, const char *t) const
+    {
+        return i < toks.size() && toks[i].isIdent(t);
+    }
+
+    /** Index just past the closer matching the opener at @p i. */
+    size_t
+    matchForward(size_t i, const char *open, const char *close) const
+    {
+        int depth = 0;
+        for (; i < toks.size(); ++i) {
+            if (toks[i].is(open))
+                ++depth;
+            else if (toks[i].is(close) && --depth == 0)
+                return i + 1;
+        }
+        return toks.size();
+    }
+
+    /**
+     * Try to treat '<' at @p i as a template-argument group. @return
+     * index past the matching '>', or 0 when no balanced '>' appears
+     * before a top-level ';', '{' or '}' (a comparison, then).
+     */
+    size_t
+    matchTemplateArgs(size_t i) const
+    {
+        int depth = 0;
+        for (; i < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.is("<")) {
+                ++depth;
+            } else if (t.is(">")) {
+                if (--depth == 0)
+                    return i + 1;
+            } else if (t.is("(")) {
+                i = matchForward(i, "(", ")") - 1;
+            } else if (t.is(";") || t.is("{") || t.is("}")) {
+                return 0;
+            }
+        }
+        return 0;
+    }
+
+    /**
+     * @return true when '[' at @p i introduces a lambda rather than a
+     * subscript: the previous token cannot end a postfix expression.
+     */
+    bool
+    isLambdaIntro(size_t i) const
+    {
+        if (!is(i, "["))
+            return false;
+        if (is(i + 1, "[")) // [[attribute]]
+            return false;
+        if (i == 0)
+            return true;
+        const Token &p = toks[i - 1];
+        if (p.is(")") || p.is("]"))
+            return false;
+        if (p.kind == Token::Kind::Identifier)
+            return p.isIdent("return") || p.isIdent("throw") ||
+                   p.isIdent("co_return") || p.isIdent("co_yield");
+        return p.kind == Token::Kind::Punct;
+    }
+
+    // ---- scope bookkeeping ------------------------------------------
+
+    int
+    addScope(Scope::Kind kind, int parent, int line)
+    {
+        Scope s;
+        s.kind = kind;
+        s.parent = parent;
+        s.line = line;
+        out.scopes.push_back(std::move(s));
+        int idx = (int)out.scopes.size() - 1;
+        if (parent >= 0)
+            out.scopes[(size_t)parent].children.push_back(idx);
+        return idx;
+    }
+
+    // ---- declarations -----------------------------------------------
+
+    /** Specifier flags gathered while scanning a statement head. */
+    struct HeadInfo
+    {
+        std::vector<size_t> idents; ///< identifier token indices
+        bool sawStatic = false;
+        bool sawAtomic = false;
+        bool constBeforeStar = false;
+        bool constAfterStar = false;
+        bool sawStar = false;
+        bool sawAmp = false;
+        size_t stop = 0; ///< first token not consumed by the head
+    };
+
+    /**
+     * Scan declaration-specifier/declarator material from @p i:
+     * identifiers, '::' pairs, template-argument groups, '*', '&'.
+     */
+    HeadInfo
+    scanHead(size_t i, size_t end) const
+    {
+        HeadInfo h;
+        while (i < end) {
+            const Token &t = toks[i];
+            if (t.kind == Token::Kind::Identifier) {
+                if (isControlKeyword(t.text))
+                    break;
+                if (t.text == "const" || t.text == "constexpr") {
+                    (h.sawStar ? h.constAfterStar
+                               : h.constBeforeStar) = true;
+                    ++i;
+                    continue;
+                }
+                if (t.text == "static") {
+                    h.sawStatic = true;
+                    ++i;
+                    continue;
+                }
+                if (t.text == "atomic")
+                    h.sawAtomic = true;
+                h.idents.push_back(i);
+                ++i;
+                continue;
+            }
+            if (isPunctSeq(toks, i, "::")) {
+                i += 2;
+                continue;
+            }
+            if (t.is("*")) {
+                h.sawStar = true;
+                ++i;
+                continue;
+            }
+            if (t.is("&")) {
+                h.sawAmp = true;
+                ++i;
+                continue;
+            }
+            if (t.is("<") && !h.idents.empty()) {
+                size_t past = matchTemplateArgs(i);
+                if (!past)
+                    break;
+                // "atomic<int>" marks the declared object atomic.
+                for (size_t k = i + 1; k + 1 < past; ++k) {
+                    if (toks[k].isIdent("atomic"))
+                        h.sawAtomic = true;
+                }
+                i = past;
+                continue;
+            }
+            break;
+        }
+        h.stop = i;
+        return h;
+    }
+
+    /** Register one declared name with flags from its head. */
+    VarDecl &
+    addDecl(int scope, const HeadInfo &h, size_t nameTok, bool induction,
+            bool param, int paramIndex)
+    {
+        VarDecl d;
+        d.name = toks[nameTok].text;
+        d.line = toks[nameTok].line;
+        d.tok = nameTok;
+        d.isParam = param;
+        d.isInduction = induction;
+        d.isStatic = h.sawStatic;
+        d.isAtomic = h.sawAtomic;
+        d.isPointer = h.sawStar;
+        d.isRef = h.sawAmp;
+        if (h.sawStar) {
+            d.pointeeConst = h.constBeforeStar;
+            d.selfConst = h.constAfterStar;
+        } else {
+            d.selfConst = h.constBeforeStar || h.constAfterStar;
+            d.pointeeConst = d.selfConst;
+        }
+        d.paramIndex = paramIndex;
+        Scope &s = out.scopes[(size_t)scope];
+        s.decls.push_back(std::move(d));
+        return s.decls.back();
+    }
+
+    /**
+     * Walk an initializer / expression region from @p i to the next
+     * top-level ';' or ',' (or @p end / unbalanced '}'), parsing any
+     * lambda expressions found along the way into @p scope. @p
+     * bindName names a lambda the initializer *starts* with.
+     * @return index of the terminator.
+     */
+    size_t
+    walkExpr(size_t i, size_t end, int scope, const std::string &bindName)
+    {
+        int depth = 0;
+        bool first = true;
+        while (i < end) {
+            const Token &t = toks[i];
+            if (isLambdaIntro(i)) {
+                i = parseLambda(i, end, scope,
+                                first ? bindName : std::string());
+                first = false;
+                continue;
+            }
+            first = false;
+            if (t.is("(") || t.is("[") || t.is("{")) {
+                ++depth;
+            } else if (t.is(")") || t.is("]")) {
+                if (--depth < 0)
+                    return i;
+            } else if (t.is("}")) {
+                if (--depth < 0)
+                    return i;
+            } else if (depth == 0 && (t.is(";") || t.is(","))) {
+                return i;
+            }
+            ++i;
+        }
+        return end;
+    }
+
+    /**
+     * Try to parse a declaration statement (or prototype/definition
+     * dispatch) at @p i in @p scope. @return index past the statement
+     * when it was a declaration or function, 0 otherwise.
+     */
+    size_t
+    tryDecl(size_t i, size_t end, int scope, bool induction)
+    {
+        HeadInfo h = scanHead(i, end);
+        if (h.idents.empty())
+            return 0;
+        size_t nameTok = h.idents.back();
+        // A qualified tail ("testing::FLAGS_x = ...") is an
+        // assignment to a foreign name, never a declaration.
+        if (nameTok >= 2 && isPunctSeq(toks, nameTok - 2, "::"))
+            return 0;
+        const std::string &name = toks[nameTok].text;
+        if (isReservedName(name))
+            return 0;
+        size_t j = h.stop;
+        bool twoIdents = h.idents.size() >= 2;
+
+        if (j < end && toks[j].is("(")) {
+            if (!inFunctionContext(scope) || !twoIdents) {
+                // File scope: function definition or prototype.
+                return tryFunction(i, end, scope, h);
+            }
+            // Local "Rng rng(401);" — but a definition of a local
+            // helper struct's method etc. still looks the same, so
+            // check what follows the parens: ';' means ctor-init.
+            size_t past = matchForward(j, "(", ")");
+            if (past < end && toks[past].is(";")) {
+                VarDecl &d = addDecl(scope, h, nameTok, induction,
+                                     false, -1);
+                d.initBegin = j + 1;
+                d.initEnd = past - 1;
+                // Lambdas inside ctor arguments still need scopes.
+                walkExpr(j + 1, past - 1, scope, std::string());
+                return past + 1;
+            }
+            return tryFunction(i, end, scope, h);
+        }
+
+        if (j >= end || !twoIdents)
+            return 0;
+        const Token &stop = toks[j];
+        if (!stop.is("=") && !stop.is(";") && !stop.is(",") &&
+            !stop.is("{") && !stop.is("[")) {
+            return 0;
+        }
+        if (stop.is("=") && is(j + 1, "=")) // '==' comparison
+            return 0;
+
+        // Declarator list: name [array][= init | {init}] (, ...)* ;
+        // walkExpr can parse lambdas, growing the scope vector, so the
+        // declaration is re-fetched by index, never held by reference.
+        size_t declNameTok = nameTok;
+        HeadInfo flags = h;
+        while (true) {
+            size_t di = out.scopes[(size_t)scope].decls.size();
+            addDecl(scope, flags, declNameTok, induction, false, -1);
+            auto decl = [&]() -> VarDecl & {
+                return out.scopes[(size_t)scope].decls[di];
+            };
+            while (is(j, "["))
+                j = matchForward(j, "[", "]");
+            if (is(j, "{")) {
+                decl().initBegin = j + 1;
+                size_t past = matchForward(j, "{", "}");
+                decl().initEnd = past - 1;
+                walkExpr(j + 1, past - 1, scope, std::string());
+                j = past;
+            } else if (is(j, "=")) {
+                decl().initBegin = j + 1;
+                std::string dname = decl().name;
+                j = walkExpr(j + 1, end, scope, dname);
+                decl().initEnd = j;
+            }
+            if (is(j, ";"))
+                return j + 1;
+            if (!is(j, ","))
+                return j; // range-for ':' / malformed: stop here
+            // Next declarator: fresh '*'/'&' state, same specifiers.
+            ++j;
+            flags.sawStar = flags.sawAmp = false;
+            while (is(j, "*") || is(j, "&")) {
+                (toks[j].is("*") ? flags.sawStar : flags.sawAmp) = true;
+                ++j;
+            }
+            if (!isIdent(j) || isReservedName(toks[j].text))
+                return j;
+            declNameTok = j;
+            ++j;
+        }
+    }
+
+    /** @return true when @p scope sits inside a function or lambda. */
+    bool
+    inFunctionContext(int scope) const
+    {
+        for (int s = scope; s >= 0; s = out.scopes[(size_t)s].parent) {
+            Scope::Kind k = out.scopes[(size_t)s].kind;
+            if (k == Scope::Kind::Function || k == Scope::Kind::Lambda)
+                return true;
+        }
+        return false;
+    }
+
+    // ---- functions and lambdas --------------------------------------
+
+    /** Parse the parameter list tokens (@p b, @p e exclusive of the
+     *  parens) into @p scope. */
+    void
+    parseParams(size_t b, size_t e, int scope)
+    {
+        int index = 0;
+        size_t i = b;
+        while (i < e) {
+            // One parameter: up to the next top-level ','.
+            size_t pEnd = i;
+            int depth = 0;
+            while (pEnd < e) {
+                const Token &t = toks[pEnd];
+                if (t.is("(") || t.is("<") || t.is("{") || t.is("["))
+                    ++depth;
+                else if (t.is(")") || t.is(">") || t.is("}") ||
+                         t.is("]"))
+                    --depth;
+                else if (t.is(",") && depth == 0)
+                    break;
+                ++pEnd;
+            }
+            // Default arguments are not part of the declarator.
+            size_t declEnd = i;
+            while (declEnd < pEnd && !toks[declEnd].is("="))
+                ++declEnd;
+            HeadInfo h = scanHead(i, declEnd);
+            if (h.idents.size() >= 2) {
+                size_t nameTok = h.idents.back();
+                if (!isReservedName(toks[nameTok].text))
+                    addDecl(scope, h, nameTok, false, true, index);
+            }
+            ++index;
+            i = pEnd + 1;
+        }
+    }
+
+    /**
+     * Decide whether the head at @p i that hit a '(' is a function
+     * definition (body follows) or just a prototype/expression, and
+     * parse it. @return index past the construct, 0 when it is not a
+     * function at all.
+     */
+    size_t
+    tryFunction(size_t /*headStart*/, size_t end, int scope,
+                const HeadInfo &h)
+    {
+        size_t nameTok = h.idents.back();
+        size_t paren = h.stop;
+        if (!is(paren, "("))
+            return 0;
+        size_t pastParams = matchForward(paren, "(", ")");
+        size_t j = pastParams;
+        // Qualifiers, trailing return, ctor-init list — anything up
+        // to the body '{' or a terminating ';'/'='.
+        while (j < end) {
+            const Token &t = toks[j];
+            if (t.is("{"))
+                break;
+            if (t.is(";"))
+                return 0; // prototype: no scope to build
+            if (t.is("="))
+                return 0; // "= default" / "= delete" / "= 0"
+            if (t.is("(")) {
+                j = matchForward(j, "(", ")");
+                continue;
+            }
+            ++j;
+        }
+        if (j >= end)
+            return 0;
+        int fn = addScope(Scope::Kind::Function, scope,
+                          toks[nameTok].line);
+        out.scopes[(size_t)fn].name = toks[nameTok].text;
+        parseParams(paren + 1, pastParams - 1, fn);
+        // Member initializers may construct lambdas too.
+        walkRegionForLambdas(pastParams, j, fn);
+        size_t bodyEnd = matchForward(j, "{", "}") - 1;
+        out.scopes[(size_t)fn].bodyBegin = j + 1;
+        out.scopes[(size_t)fn].bodyEnd = bodyEnd;
+        parseStmts(j + 1, bodyEnd, fn);
+        return bodyEnd + 1;
+    }
+
+    /** Parse lambdas appearing anywhere in [b, e) into @p scope. */
+    void
+    walkRegionForLambdas(size_t b, size_t e, int scope)
+    {
+        for (size_t i = b; i < e;) {
+            if (isLambdaIntro(i))
+                i = parseLambda(i, e, scope, std::string());
+            else
+                ++i;
+        }
+    }
+
+    /**
+     * Parse the lambda whose intro '[' sits at @p i. @return index
+     * past the lambda (past its body, or past the capture list when
+     * malformed).
+     */
+    size_t
+    parseLambda(size_t i, size_t end, int scope,
+                const std::string &bindName)
+    {
+        int lam = addScope(Scope::Kind::Lambda, scope, toks[i].line);
+        out.scopes[(size_t)lam].name = bindName;
+        size_t pastCaps = matchForward(i, "[", "]");
+        parseCaptures(i + 1, pastCaps - 1, lam);
+        size_t j = pastCaps;
+        if (is(j, "(")) {
+            size_t pastParams = matchForward(j, "(", ")");
+            parseParams(j + 1, pastParams - 1, lam);
+            j = pastParams;
+        }
+        // mutable / noexcept(...) / -> ret — up to the body.
+        while (j < end && !toks[j].is("{")) {
+            if (toks[j].is(";") || toks[j].is(")") || toks[j].is(","))
+                return j; // not a lambda body after all
+            if (toks[j].is("("))
+                j = matchForward(j, "(", ")");
+            else
+                ++j;
+        }
+        if (j >= end)
+            return end;
+        size_t bodyEnd = matchForward(j, "{", "}") - 1;
+        out.scopes[(size_t)lam].bodyBegin = j + 1;
+        out.scopes[(size_t)lam].bodyEnd = bodyEnd;
+        parseStmts(j + 1, bodyEnd, lam);
+        return bodyEnd + 1;
+    }
+
+    /** Parse one capture list ([b, e) excludes the brackets).
+     *  Init-capture expressions can contain lambdas, which grows the
+     *  scope vector — the lambda's scope is re-fetched each time. */
+    void
+    parseCaptures(size_t b, size_t e, int lam)
+    {
+        auto s = [&]() -> Scope & { return out.scopes[(size_t)lam]; };
+        size_t i = b;
+        while (i < e) {
+            // One entry: up to the next top-level ','.
+            size_t cEnd = i;
+            int depth = 0;
+            while (cEnd < e) {
+                const Token &t = toks[cEnd];
+                if (t.is("(") || t.is("[") || t.is("{"))
+                    ++depth;
+                else if (t.is(")") || t.is("]") || t.is("}"))
+                    --depth;
+                else if (t.is(",") && depth == 0)
+                    break;
+                ++cEnd;
+            }
+            size_t k = i;
+            bool byRef = false;
+            if (is(k, "&") && (k + 1 >= cEnd || isIdent(k + 1))) {
+                byRef = true;
+                ++k;
+            }
+            if (k >= cEnd) {
+                if (byRef)
+                    s().hasDefaultRefCapture = true;
+            } else if (is(k, "=") && k + 1 >= cEnd) {
+                s().hasDefaultCopyCapture = true;
+            } else if (is(k, "*") && isIdent(k + 1, "this")) {
+                s().captures.push_back(
+                    {"this", false, false, toks[k].line});
+            } else if (isIdent(k)) {
+                Capture c;
+                c.name = toks[k].text;
+                c.byRef = byRef || c.name == "this";
+                c.line = toks[k].line;
+                c.isInit = is(k + 1, "=") && !is(k + 2, "=");
+                s().captures.push_back(c);
+                if (c.isInit) {
+                    // Init-captures introduce a lambda-local name; a
+                    // by-ref one aliases outer state.
+                    HeadInfo h;
+                    h.sawAmp = byRef;
+                    VarDecl &d = addDecl(lam, h, k, false, false, -1);
+                    d.initBegin = k + 2;
+                    d.initEnd = cEnd;
+                    walkRegionForLambdas(k + 2, cEnd, lam);
+                }
+            }
+            i = cEnd + 1;
+        }
+    }
+
+    // ---- statements -------------------------------------------------
+
+    void
+    parseStmts(size_t b, size_t e, int scope)
+    {
+        size_t i = b;
+        while (i < e) {
+            size_t next = parseOneStmt(i, e, scope);
+            i = next > i ? next : i + 1; // always make progress
+        }
+    }
+
+    /** Skip an expression statement, catching embedded lambdas. */
+    size_t
+    skipExprStmt(size_t i, size_t e, int scope)
+    {
+        size_t j = walkExpr(i, e, scope, std::string());
+        if (j < e && (toks[j].is(";") || toks[j].is(",")))
+            return j + 1;
+        return j;
+    }
+
+    size_t
+    parseOneStmt(size_t i, size_t e, int scope)
+    {
+        const Token &t = toks[i];
+
+        if (t.is(";"))
+            return i + 1;
+        if (t.is("}")) // stray closer: tolerate and move on
+            return i + 1;
+        if (t.is("{")) {
+            size_t past = matchForward(i, "{", "}");
+            int blk = addScope(Scope::Kind::Block, scope, t.line);
+            out.scopes[(size_t)blk].bodyBegin = i + 1;
+            out.scopes[(size_t)blk].bodyEnd = past - 1;
+            parseStmts(i + 1, past - 1, blk);
+            return past;
+        }
+        if (is(i, "[") && is(i + 1, "[")) // [[attribute]]
+            return matchForward(i, "[", "]");
+        if (isLambdaIntro(i)) // immediately-invoked lambda statement
+            return skipExprStmt(i, e, scope);
+
+        if (t.kind == Token::Kind::Identifier) {
+            const std::string &kw = t.text;
+            if (kw == "for")
+                return parseFor(i, e, scope);
+            if (kw == "while" || kw == "if" || kw == "switch")
+                return parseCond(i, e, scope);
+            if (kw == "else")
+                return parseOneStmt(i + 1, e, scope);
+            if (kw == "do") {
+                size_t j = parseOneStmt(i + 1, e, scope);
+                // trailing: while ( ... ) ;
+                if (isIdent(j, "while") && is(j + 1, "("))
+                    j = matchForward(j + 1, "(", ")");
+                if (is(j, ";"))
+                    ++j;
+                return j;
+            }
+            if (kw == "namespace") {
+                size_t j = i + 1;
+                while (j < e && !toks[j].is("{") && !toks[j].is(";"))
+                    ++j;
+                if (is(j, ";"))
+                    return j + 1;
+                if (j >= e)
+                    return e;
+                // Transparent for lookup purposes: recurse in place.
+                size_t past = matchForward(j, "{", "}");
+                parseStmts(j + 1, past - 1, scope);
+                return past;
+            }
+            if (kw == "struct" || kw == "class" || kw == "union" ||
+                kw == "enum") {
+                // Skip to the body (past any base list) or to ';'.
+                size_t j = i + 1;
+                while (j < e && !toks[j].is("{") && !toks[j].is(";") &&
+                       !toks[j].is("=")) {
+                    if (toks[j].is("<"))
+                        j = std::max(matchTemplateArgs(j), j + 1);
+                    else
+                        ++j;
+                }
+                if (j >= e || toks[j].is(";"))
+                    return j + 1;
+                if (toks[j].is("=")) // "using X = struct {...}" tail
+                    return skipExprStmt(j, e, scope);
+                size_t past = matchForward(j, "{", "}");
+                int blk = addScope(Scope::Kind::Block, scope, t.line);
+                out.scopes[(size_t)blk].bodyBegin = j + 1;
+                out.scopes[(size_t)blk].bodyEnd = past - 1;
+                parseStmts(j + 1, past - 1, blk);
+                // "struct X { ... } x;" — skip the trailer.
+                while (past < e && !toks[past].is(";"))
+                    ++past;
+                return past + 1;
+            }
+            if (kw == "template") {
+                size_t j = i + 1;
+                if (is(j, "<")) {
+                    size_t past = matchTemplateArgs(j);
+                    j = past ? past : j + 1;
+                }
+                return parseOneStmt(j, e, scope);
+            }
+            if (kw == "public" || kw == "private" ||
+                kw == "protected") {
+                size_t j = i + 1;
+                return is(j, ":") ? j + 1 : j;
+            }
+            if (isControlKeyword(kw))
+                return skipExprStmt(i, e, scope);
+
+            size_t past = tryDecl(i, e, scope, false);
+            if (past)
+                return past;
+            return skipExprStmt(i, e, scope);
+        }
+
+        if (t.is("~") && isIdent(i + 1) && is(i + 2, "(")) {
+            // Destructor definition: reuse the function machinery by
+            // faking a head whose name is the identifier.
+            HeadInfo h;
+            h.idents.push_back(i + 1);
+            h.stop = i + 2;
+            size_t past = tryFunction(i, e, scope, h);
+            if (past)
+                return past;
+        }
+        return skipExprStmt(i, e, scope);
+    }
+
+    size_t
+    parseFor(size_t i, size_t e, int scope)
+    {
+        size_t paren = i + 1;
+        if (!is(paren, "("))
+            return skipExprStmt(i, e, scope);
+        size_t pastParen = matchForward(paren, "(", ")");
+        int blk = addScope(Scope::Kind::Block, scope, toks[i].line);
+        out.scopes[(size_t)blk].bodyBegin = paren + 1;
+
+        // Range-for has a top-level ':' and no ';'; a classic for has
+        // an init section up to the first ';'.
+        size_t colon = 0, semi = 0;
+        int depth = 0;
+        for (size_t j = paren + 1; j + 1 < pastParen; ++j) {
+            const Token &t = toks[j];
+            if (t.is("(") || t.is("[") || t.is("{") || t.is("<"))
+                ++depth;
+            else if (t.is(")") || t.is("]") || t.is("}") || t.is(">"))
+                --depth;
+            else if (depth == 0 && t.is(";") && !semi)
+                semi = j;
+            else if (depth == 0 && t.is(":") && !colon &&
+                     !isPunctSeq(toks, j, "::") &&
+                     !(j > 0 && isPunctSeq(toks, j - 1, "::")))
+                colon = j;
+        }
+        if (semi)
+            tryDecl(paren + 1, semi + 1, blk, true);
+        else if (colon)
+            parseRangeForDecl(paren + 1, colon, blk);
+
+        size_t bodyStart = pastParen;
+        size_t past;
+        if (is(bodyStart, "{")) {
+            past = matchForward(bodyStart, "{", "}");
+            out.scopes[(size_t)blk].bodyEnd = past - 1;
+            parseStmts(bodyStart + 1, past - 1, blk);
+        } else {
+            past = parseOneStmt(bodyStart, e, blk);
+            out.scopes[(size_t)blk].bodyEnd = past;
+        }
+        return past;
+    }
+
+    /** "Type name : range" — register name as an induction variable. */
+    void
+    parseRangeForDecl(size_t b, size_t colon, int blk)
+    {
+        HeadInfo h = scanHead(b, colon);
+        if (h.idents.empty())
+            return;
+        size_t nameTok = h.idents.back();
+        if (!isReservedName(toks[nameTok].text))
+            addDecl(blk, h, nameTok, true, false, -1);
+    }
+
+    size_t
+    parseCond(size_t i, size_t e, int scope)
+    {
+        size_t paren = i + 1;
+        while (isIdent(paren, "constexpr")) // if constexpr
+            ++paren;
+        if (!is(paren, "("))
+            return skipExprStmt(i, e, scope);
+        size_t pastParen = matchForward(paren, "(", ")");
+        int blk = addScope(Scope::Kind::Block, scope, toks[i].line);
+        out.scopes[(size_t)blk].bodyBegin = paren + 1;
+        // "if (auto x = f())" style declarations resolve in the block.
+        tryDecl(paren + 1, pastParen, blk, false);
+        walkRegionForLambdas(paren + 1, pastParen - 1, blk);
+        size_t past;
+        if (is(pastParen, "{")) {
+            past = matchForward(pastParen, "{", "}");
+            out.scopes[(size_t)blk].bodyEnd = past - 1;
+            parseStmts(pastParen + 1, past - 1, blk);
+        } else {
+            past = parseOneStmt(pastParen, e, blk);
+            out.scopes[(size_t)blk].bodyEnd = past;
+        }
+        return past;
+    }
+};
+
+} // namespace
+
+bool
+isPunctSeq(const std::vector<Token> &toks, size_t i, const char *seq)
+{
+    for (size_t k = 0; seq[k]; ++k) {
+        if (i + k >= toks.size())
+            return false;
+        const Token &t = toks[i + k];
+        if (t.kind != Token::Kind::Punct || t.text.size() != 1 ||
+            t.text[0] != seq[k]) {
+            return false;
+        }
+        if (k > 0 && (t.line != toks[i].line ||
+                      t.col != toks[i].col + (int)k)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+FileScopes::enclosing(size_t tok) const
+{
+    int best = 0;
+    size_t bestBegin = 0;
+    for (size_t s = 1; s < scopes.size(); ++s) {
+        const Scope &sc = scopes[s];
+        if (sc.bodyBegin <= tok && tok < sc.bodyEnd &&
+            sc.bodyBegin >= bestBegin) {
+            best = (int)s;
+            bestBegin = sc.bodyBegin;
+        }
+    }
+    return best;
+}
+
+const VarDecl *
+FileScopes::resolve(int from, const std::string &name, size_t beforeTok,
+                    int *foundScope) const
+{
+    for (int s = from; s >= 0; s = scopes[(size_t)s].parent) {
+        const Scope &sc = scopes[(size_t)s];
+        for (auto it = sc.decls.rbegin(); it != sc.decls.rend(); ++it) {
+            if (it->name == name && it->tok < beforeTok) {
+                if (foundScope)
+                    *foundScope = s;
+                return &*it;
+            }
+        }
+    }
+    if (foundScope)
+        *foundScope = -1;
+    return nullptr;
+}
+
+int
+FileScopes::lambdaByName(int from, const std::string &name) const
+{
+    if (name.empty())
+        return -1;
+    // The binding must be visible from 'from': the lambda's parent is
+    // 'from' itself or one of its ancestors.
+    for (int s = from; s >= 0; s = scopes[(size_t)s].parent) {
+        for (int child : scopes[(size_t)s].children) {
+            const Scope &c = scopes[(size_t)child];
+            if (c.kind == Scope::Kind::Lambda && c.name == name)
+                return child;
+        }
+    }
+    return -1;
+}
+
+bool
+FileScopes::within(int scope, int ancestor) const
+{
+    for (int s = scope; s >= 0; s = scopes[(size_t)s].parent) {
+        if (s == ancestor)
+            return true;
+    }
+    return false;
+}
+
+FileScopes
+parseScopes(const LexResult &lex)
+{
+    Parser p(lex);
+    int file = p.addScope(Scope::Kind::File, -1, 1);
+    p.out.scopes[(size_t)file].bodyBegin = 0;
+    p.out.scopes[(size_t)file].bodyEnd = lex.tokens.size();
+    p.parseStmts(0, lex.tokens.size(), file);
+    return std::move(p.out);
+}
+
+} // namespace ealint

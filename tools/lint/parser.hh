@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Declaration parser for the edgeadapt static analyzer: the semantic
+ * layer between the token stream (lexer.hh) and the semantic passes.
+ * From one file's tokens it recovers a scope tree — functions, lambda
+ * expressions with their capture lists and parameters, and plain
+ * blocks — plus the variables declared in each scope with the
+ * qualifiers the race rules care about (const, static, atomic,
+ * reference/pointer declarators, for-loop induction variables).
+ *
+ * Like the lexer, the parser is deliberately approximate: it does not
+ * expand macros, instantiate templates, or resolve overloads, and its
+ * declaration recognition is a heuristic over token shapes (two
+ * identifiers at a statement head followed by '=', ';', ',', '(' or
+ * '{'). It is tuned to be *conservative for the passes built on it*:
+ * a missed declaration makes a variable look like a member/global (the
+ * race pass then errs toward reporting), while a phantom declaration
+ * would silence a finding — so the heuristics reject anything
+ * ambiguous (qualified names, expression statements, call syntax with
+ * a single head identifier). tests/lint/test_parser.cpp pins the
+ * recovered structure over the tricky cases (nested lambdas, default
+ * captures with overrides, init-captures, templated functions).
+ */
+
+#ifndef EDGEADAPT_TOOLS_LINT_PARSER_HH
+#define EDGEADAPT_TOOLS_LINT_PARSER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace ealint {
+
+/** One declared variable (local, parameter, or init-capture). */
+struct VarDecl
+{
+    std::string name;
+    int line = 0;
+    size_t tok = 0; ///< token index of the declared name
+
+    bool isParam = false;     ///< function/lambda parameter
+    bool isInduction = false; ///< declared in a for/range-for header
+    bool isStatic = false;
+    bool isAtomic = false;  ///< "atomic" appears in the specifiers
+    bool isRef = false;     ///< declarator contains '&'
+    bool isPointer = false; ///< declarator contains '*'
+
+    /**
+     * Writability split for pointers: "const float *p" has a const
+     * pointee but a mutable p; "float *const p" the reverse. For
+     * non-pointers selfConst covers both.
+     */
+    bool selfConst = false;    ///< the variable itself is const
+    bool pointeeConst = false; ///< what it points at is const
+
+    /** Initializer token range [initBegin, initEnd), empty if none. */
+    size_t initBegin = 0;
+    size_t initEnd = 0;
+
+    /** 0-based position for parameters (unnamed ones still count, so
+     *  "(int64_t b, int64_t e, int64_t)" leaves index 2 vacant). */
+    int paramIndex = -1;
+};
+
+/** One explicit entry of a lambda capture list. */
+struct Capture
+{
+    std::string name; ///< captured/introduced name ("this" included)
+    bool byRef = false;
+    bool isInit = false; ///< init-capture [x = expr] / [&x = expr]
+    int line = 0;
+};
+
+/** One scope: the file, a function body, a lambda, or a block. */
+struct Scope
+{
+    enum class Kind { File, Function, Lambda, Block };
+
+    Kind kind = Kind::Block;
+    int line = 0;
+    int parent = -1; ///< index into FileScopes::scopes, -1 for File
+
+    /**
+     * Token range the scope covers. For File the whole stream; for
+     * functions/lambdas/blocks [bodyBegin, bodyEnd) is the body
+     * between (exclusive) '{' and '}'. Loop/if blocks start at the
+     * '(' of their header so induction variables resolve inside.
+     */
+    size_t bodyBegin = 0;
+    size_t bodyEnd = 0;
+
+    /** Function name; for a lambda, the variable it was bound to by
+     *  "auto name = [...]" (empty for immediately-passed lambdas). */
+    std::string name;
+
+    // Lambda-only capture information.
+    bool hasDefaultRefCapture = false;  ///< [&]
+    bool hasDefaultCopyCapture = false; ///< [=]
+    std::vector<Capture> captures;      ///< explicit entries
+
+    std::vector<VarDecl> decls; ///< params + directly declared vars
+    std::vector<int> children;  ///< child scope indices
+};
+
+/** Scope tree of one file. scopes[0] is always the File scope. */
+struct FileScopes
+{
+    std::vector<Scope> scopes;
+
+    /** @return innermost scope whose body contains token @p tok. */
+    int enclosing(size_t tok) const;
+
+    /**
+     * Resolve @p name looking outward from scope @p from, considering
+     * only declarations at token index < @p beforeTok (no use before
+     * declaration). @return the declaration and, via @p foundScope,
+     * the scope holding it; nullptr when the name resolves nowhere
+     * (member, global, or unparsed).
+     */
+    const VarDecl *resolve(int from, const std::string &name,
+                           size_t beforeTok, int *foundScope) const;
+
+    /**
+     * @return index of the lambda scope bound to variable @p name
+     * visible from scope @p from ("auto name = [...]"), or -1.
+     */
+    int lambdaByName(int from, const std::string &name) const;
+
+    /** @return true when @p scope is @p ancestor or nested in it. */
+    bool within(int scope, int ancestor) const;
+};
+
+/** Parse the scope tree of one lexed file. Never fails. */
+FileScopes parseScopes(const LexResult &lex);
+
+/**
+ * @return true when tokens [i, i+strlen(seq)) spell the multi-char
+ * punctuator @p seq as adjacent single-char punct tokens on one line
+ * ("+=", "++", "->", "::"). The lexer emits single-character
+ * punctuation; this is the shared way to see compound operators.
+ */
+bool isPunctSeq(const std::vector<Token> &toks, size_t i,
+                const char *seq);
+
+} // namespace ealint
+
+#endif // EDGEADAPT_TOOLS_LINT_PARSER_HH

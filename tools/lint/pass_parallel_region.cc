@@ -1,0 +1,772 @@
+/**
+ * @file
+ * Parallel-region pass: static race detection for parallelFor call
+ * sites, built on the declaration parser (parser.hh). The dev
+ * container has one core, so TSan passes without ever exercising a
+ * real interleaving — these rules are the machine-checked concurrency
+ * reviewer that dynamic analysis cannot be here.
+ *
+ * For every parallelFor(begin, end, grain, body) call site whose body
+ * is a lambda (inline or bound to a local via "auto name = [...]"),
+ * four rules run over the lambda:
+ *
+ *  - parallel-capture: a write to state captured by reference ([&] or
+ *    a named &x) — or to unresolved member/global state — races across
+ *    chunks unless the written element is indexed by a lambda
+ *    parameter or a loop induction variable declared inside the
+ *    lambda (chunk-disjoint by the parallelFor contract). const,
+ *    atomic, and by-value captures are safe; everything else needs a
+ *    NOLINT(parallel-capture) justification.
+ *  - parallel-scratch-escape: scratch() buffers are per-thread;
+ *    storing one outside the lambda publishes a pointer that is
+ *    invalid (or racy) on every other thread.
+ *  - parallel-reentrant: calls to known non-reentrant libc functions,
+ *    mutable function-local statics declared in the region, and calls
+ *    to same-file functions that keep mutable static state.
+ *  - parallel-reduction-order: per-chunk partial buffers (recognized
+ *    by their chunk-parameter indexing) must fold into the final
+ *    accumulator in ascending chunk order — the determinism invariant
+ *    of base/parallel.hh. A fold loop over a partial that does not
+ *    walk ascending is an error.
+ *
+ * Call sites whose (begin, end, grain) are all literal and produce at
+ * most one chunk run inline on the caller and are skipped entirely —
+ * single-chunk "parallelism" cannot race.
+ */
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parser.hh"
+#include "passes.hh"
+
+namespace ealint {
+
+namespace {
+
+/** libc functions with hidden global state. */
+bool
+isNonReentrantLibc(const std::string &name)
+{
+    return name == "rand" || name == "srand" || name == "strtok" ||
+           name == "asctime" || name == "ctime" || name == "gmtime" ||
+           name == "localtime" || name == "setlocale" ||
+           name == "tmpnam";
+}
+
+/** Per-file analysis state shared by the rule checks. */
+struct FileState
+{
+    const SourceFile *sf = nullptr;
+    FileScopes scopes;
+
+    /** Function name -> line of its first mutable static local. */
+    std::map<std::string, int> staticStateFns;
+};
+
+/** One write's left-hand side, reduced to its postfix chain. */
+struct Lhs
+{
+    size_t baseTok = (size_t)-1; ///< token index of the base name
+    bool deref = false;          ///< "*p = ..." form
+    bool hasSubscript = false;
+    /** Token ranges [first, last) of every subscript in the chain. */
+    std::vector<std::pair<size_t, size_t>> subscripts;
+
+    bool valid() const { return baseTok != (size_t)-1; }
+};
+
+size_t
+matchForward(const std::vector<Token> &toks, size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].is(open))
+            ++depth;
+        else if (toks[i].is(close) && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+/** Index of the '[' / '(' matching the closer at @p i, or npos. */
+size_t
+matchBackward(const std::vector<Token> &toks, size_t i, const char *open,
+              const char *close, size_t floor)
+{
+    int depth = 0;
+    for (size_t k = i + 1; k-- > floor;) {
+        if (toks[k].is(close))
+            ++depth;
+        else if (toks[k].is(open) && --depth == 0)
+            return k;
+    }
+    return (size_t)-1;
+}
+
+/**
+ * Walk the postfix chain ending at token @p e backward to its base
+ * identifier: ident ( '.' | '->' | '::' | [expr] | (args) )* — e.g.
+ * "gamma_.grad.data()[c]" reduces to base gamma_ with one subscript.
+ */
+Lhs
+chainBackward(const std::vector<Token> &toks, size_t e, size_t floor)
+{
+    Lhs lhs;
+    size_t k = e;
+    while (k != (size_t)-1 && k >= floor) {
+        const Token &t = toks[k];
+        if (t.is("]")) {
+            size_t open = matchBackward(toks, k, "[", "]", floor);
+            if (open == (size_t)-1)
+                return Lhs{};
+            lhs.hasSubscript = true;
+            lhs.subscripts.emplace_back(open + 1, k);
+            k = open - 1;
+            continue;
+        }
+        if (t.is(")")) {
+            size_t open = matchBackward(toks, k, "(", ")", floor);
+            if (open == (size_t)-1)
+                return Lhs{};
+            k = open - 1;
+            continue;
+        }
+        if (t.kind == Token::Kind::Identifier) {
+            lhs.baseTok = k;
+            if (k >= floor + 1 && toks[k - 1].is(".")) {
+                k -= 2;
+                continue;
+            }
+            if (k >= floor + 2 && (isPunctSeq(toks, k - 2, "->") ||
+                                   isPunctSeq(toks, k - 2, "::"))) {
+                k -= 3;
+                continue;
+            }
+            // Unary '*' in front of the whole chain: a deref write.
+            if (k >= floor + 1 && toks[k - 1].is("*")) {
+                const Token *prev = k >= floor + 2 ? &toks[k - 2]
+                                                   : nullptr;
+                bool unary = !prev ||
+                             (prev->kind == Token::Kind::Punct &&
+                              !prev->is(")") && !prev->is("]"));
+                if (unary)
+                    lhs.deref = true;
+            }
+            return lhs;
+        }
+        return Lhs{};
+    }
+    return Lhs{};
+}
+
+/**
+ * Walk the postfix chain starting at identifier @p b forward (for
+ * prefix ++/-- operands). @return the chain and, via @p pastEnd, the
+ * index just past it.
+ */
+Lhs
+chainForward(const std::vector<Token> &toks, size_t b, size_t limit,
+             size_t *pastEnd)
+{
+    Lhs lhs;
+    if (b >= limit || toks[b].kind != Token::Kind::Identifier)
+        return lhs;
+    lhs.baseTok = b;
+    size_t k = b + 1;
+    while (k < limit) {
+        if (toks[k].is(".")) {
+            k += 2;
+        } else if (isPunctSeq(toks, k, "->") ||
+                   isPunctSeq(toks, k, "::")) {
+            k += 3;
+        } else if (toks[k].is("[")) {
+            size_t past = matchForward(toks, k, "[", "]");
+            lhs.hasSubscript = true;
+            lhs.subscripts.emplace_back(k + 1, past - 1);
+            k = past;
+        } else if (toks[k].is("(")) {
+            k = matchForward(toks, k, "(", ")");
+        } else {
+            break;
+        }
+    }
+    *pastEnd = k;
+    return lhs;
+}
+
+/**
+ * @return true when some identifier in a subscript of @p lhs resolves
+ * to a parameter of the region lambda or to a loop induction variable
+ * declared inside it — the write then touches a chunk-disjoint
+ * element by the parallelFor partition contract.
+ */
+bool
+subscriptIsChunkDisjoint(const FileState &fs, const Lhs &lhs, int region)
+{
+    const auto &toks = fs.sf->lex.tokens;
+    for (const auto &sub : lhs.subscripts) {
+        for (size_t k = sub.first; k < sub.second; ++k) {
+            if (toks[k].kind != Token::Kind::Identifier)
+                continue;
+            int ds = -1;
+            const VarDecl *d = fs.scopes.resolve(
+                fs.scopes.enclosing(k), toks[k].text, k + 1, &ds);
+            if (!d)
+                continue;
+            if (d->isParam && ds == region)
+                return true;
+            if (d->isInduction && fs.scopes.within(ds, region))
+                return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * @return true when the path from the write's scope @p ws out to the
+ * declaring scope @p ds crosses only by-reference captures — i.e. the
+ * write lands on the original object, not a lambda-local copy.
+ */
+bool
+capturedByReference(const FileState &fs, int ws, int ds,
+                    const std::string &name)
+{
+    for (int s = ws; s >= 0 && s != ds;
+         s = fs.scopes.scopes[(size_t)s].parent) {
+        const Scope &sc = fs.scopes.scopes[(size_t)s];
+        if (sc.kind != Scope::Kind::Lambda)
+            continue;
+        bool explicitRef = false, explicitCopy = false;
+        for (const Capture &c : sc.captures) {
+            if (c.name == name)
+                (c.byRef ? explicitRef : explicitCopy) = true;
+        }
+        if (explicitCopy)
+            return false;
+        if (explicitRef)
+            continue;
+        if (sc.hasDefaultCopyCapture)
+            return false;
+        // Default [&], or nothing: treat as by reference (members
+        // and globals reach in regardless of the capture list).
+    }
+    return true;
+}
+
+/** Statement end: the next ';' at the current nesting depth. */
+size_t
+statementEnd(const std::vector<Token> &toks, size_t i, size_t limit)
+{
+    int depth = 0;
+    for (; i < limit; ++i) {
+        const Token &t = toks[i];
+        if (t.is("(") || t.is("[") || t.is("{"))
+            ++depth;
+        else if (t.is(")") || t.is("]") || t.is("}"))
+            --depth;
+        else if (t.is(";") && depth <= 0)
+            return i;
+    }
+    return limit;
+}
+
+/**
+ * @return true when evaluating [b, e) can yield a scratch() POINTER —
+ * a direct call, or a local whose initializer (transitively, a few
+ * hops) did, so laundering through "float *p = scratch(...); g = p;"
+ * still counts. A subscripted use (tile[j]) loads an element value,
+ * not the pointer, and does not count as an escape.
+ */
+bool
+rangeHoldsScratch(const FileState &fs, size_t b, size_t e, int depth)
+{
+    const auto &toks = fs.sf->lex.tokens;
+    for (size_t k = b; k < e; ++k) {
+        if (toks[k].kind != Token::Kind::Identifier)
+            continue;
+        bool subscripted =
+            k + 1 < toks.size() && toks[k + 1].is("[");
+        if (toks[k].isIdent("scratch") && k + 1 < e &&
+            toks[k + 1].is("(")) {
+            size_t past = matchForward(toks, k + 1, "(", ")");
+            if (!(past < e && toks[past].is("[")))
+                return true;
+            k = past;
+            continue;
+        }
+        if (subscripted || depth >= 4)
+            continue;
+        int ds = -1;
+        const VarDecl *d = fs.scopes.resolve(
+            fs.scopes.enclosing(k), toks[k].text, k, &ds);
+        if (d && d->isPointer && d->initEnd > d->initBegin &&
+            rangeHoldsScratch(fs, d->initBegin, d->initEnd, depth + 1))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Classify the '=' at @p k: plain assignment, compound assignment
+ * (+=, <<=, ...), or not a write at all (==, <=, captures, defaults).
+ * @return the token index where the LHS chain ends, or npos.
+ */
+size_t
+assignmentLhsEnd(const std::vector<Token> &toks, size_t k, size_t floor)
+{
+    if (k + 1 < toks.size() && isPunctSeq(toks, k, "=="))
+        return (size_t)-1;
+    if (k < floor + 1)
+        return (size_t)-1;
+    const Token &prev = toks[k - 1];
+    if (prev.is("=") || prev.is("!"))
+        return (size_t)-1;
+    if (prev.is("<") || prev.is(">")) {
+        // <<= / >>= are compound writes; <= / >= are comparisons.
+        if (k >= floor + 2 && toks[k - 2].is(prev.text.c_str()) &&
+            isPunctSeq(toks, k - 2,
+                       prev.is("<") ? "<<=" : ">>=")) {
+            return k - 3;
+        }
+        return (size_t)-1;
+    }
+    if (prev.is("+") || prev.is("-") || prev.is("*") || prev.is("/") ||
+        prev.is("%") || prev.is("&") || prev.is("|") || prev.is("^")) {
+        if (!isPunctSeq(toks, k - 1, (prev.text + "=").c_str()))
+            return (size_t)-1;
+        return k - 2;
+    }
+    return k - 1;
+}
+
+/** Analyze one write whose LHS is @p lhs, at the operator line @p ln. */
+void
+checkWrite(const FileState &fs, const Lhs &lhs, int region, int ln,
+           bool rhsScratch, Diagnostics &diag)
+{
+    if (!lhs.valid())
+        return;
+    const auto &toks = fs.sf->lex.tokens;
+    const std::string &name = toks[lhs.baseTok].text;
+    int ws = fs.scopes.enclosing(lhs.baseTok);
+    // baseTok + 1: a declaration's init "T x = ..." writes x's own
+    // name token, which must resolve to the declaration itself.
+    int ds = -1;
+    const VarDecl *d =
+        fs.scopes.resolve(ws, name, lhs.baseTok + 1, &ds);
+
+    if (d && fs.scopes.within(ds, region)) {
+        // Lambda-local, with one exception: a reference binds outer
+        // state even when declared inside ([&x = y] or T &r = ...).
+        if (d->isRef && !d->isParam && !d->selfConst) {
+            diag.report(*fs.sf, ln, "parallel-capture",
+                        "write through reference '" + name +
+                            "' aliasing state outside the parallel "
+                            "lambda (justify with "
+                            "NOLINT(parallel-capture))");
+        }
+        return;
+    }
+
+    // Outer or unresolved (member/global) state.
+    if (rhsScratch) {
+        diag.report(*fs.sf, ln, "parallel-scratch-escape",
+                    "scratch() pointer escapes the parallel lambda "
+                    "through '" + name +
+                        "' (per-thread buffers are invalid on other "
+                        "threads)");
+        return;
+    }
+    bool elementWrite = lhs.hasSubscript || lhs.deref;
+    if (d) {
+        if (d->isAtomic)
+            return;
+        if (elementWrite ? d->pointeeConst : d->selfConst)
+            return;
+        if (!capturedByReference(fs, ws, ds, name))
+            return; // a by-value copy: the write stays thread-local
+    }
+    if (subscriptIsChunkDisjoint(fs, lhs, region))
+        return;
+    diag.report(*fs.sf, ln, "parallel-capture",
+                "write to '" + name +
+                    "' captured by reference in a parallel lambda is "
+                    "not chunk-disjoint (index by the chunk/induction "
+                    "variable or justify with "
+                    "NOLINT(parallel-capture))");
+}
+
+/** The parallel-capture and parallel-scratch-escape sweep. */
+void
+checkRegionWrites(const FileState &fs, int region, Diagnostics &diag)
+{
+    const auto &toks = fs.sf->lex.tokens;
+    const Scope &lam = fs.scopes.scopes[(size_t)region];
+    for (size_t k = lam.bodyBegin; k < lam.bodyEnd; ++k) {
+        if (isPunctSeq(toks, k, "++") || isPunctSeq(toks, k, "--")) {
+            Lhs lhs;
+            if (k + 2 < lam.bodyEnd &&
+                toks[k + 2].kind == Token::Kind::Identifier) {
+                size_t past = 0;
+                lhs = chainForward(toks, k + 2, lam.bodyEnd, &past);
+            } else if (k >= lam.bodyBegin + 1) {
+                lhs = chainBackward(toks, k - 1, lam.bodyBegin);
+            }
+            checkWrite(fs, lhs, region, toks[k].line, false, diag);
+            ++k; // skip the second punct of the pair
+            continue;
+        }
+        if (!toks[k].is("="))
+            continue;
+        size_t lhsEnd = assignmentLhsEnd(toks, k, lam.bodyBegin);
+        if (lhsEnd == (size_t)-1)
+            continue;
+        Lhs lhs = chainBackward(toks, lhsEnd, lam.bodyBegin);
+        if (!lhs.valid())
+            continue;
+        // A declaration's init '=' resolves to the declared local and
+        // is filtered inside checkWrite; scratch escape needs the RHS.
+        size_t stmtEnd = statementEnd(toks, k + 1, lam.bodyEnd);
+        bool rhsScratch = rangeHoldsScratch(fs, k + 1, stmtEnd, 0);
+        checkWrite(fs, lhs, region, toks[k].line, rhsScratch, diag);
+    }
+}
+
+/** The parallel-reentrant sweep. */
+void
+checkRegionReentrancy(const FileState &fs, int region, Diagnostics &diag)
+{
+    const auto &toks = fs.sf->lex.tokens;
+    const Scope &lam = fs.scopes.scopes[(size_t)region];
+    for (size_t k = lam.bodyBegin; k < lam.bodyEnd; ++k) {
+        const Token &t = toks[k];
+        if (t.kind != Token::Kind::Identifier || k + 1 >= lam.bodyEnd ||
+            !toks[k + 1].is("(")) {
+            continue;
+        }
+        // Member calls (obj.rand()) name something else entirely.
+        if (k >= lam.bodyBegin + 1 && toks[k - 1].is("."))
+            continue;
+        if (k >= lam.bodyBegin + 2 && isPunctSeq(toks, k - 2, "->"))
+            continue;
+        bool qualified =
+            k >= lam.bodyBegin + 2 && isPunctSeq(toks, k - 2, "::");
+        if (isNonReentrantLibc(t.text)) {
+            // std::rand and ::rand are the libc function; any other
+            // namespace's rand is someone else's business.
+            std::string qual;
+            if (qualified && k >= lam.bodyBegin + 3 &&
+                toks[k - 3].kind == Token::Kind::Identifier) {
+                qual = toks[k - 3].text;
+            }
+            if (!qualified || qual.empty() || qual == "std") {
+                diag.report(*fs.sf, t.line, "parallel-reentrant",
+                            "call to non-reentrant " + t.text +
+                                "() inside a parallel region");
+            }
+            continue;
+        }
+        if (!qualified) {
+            auto it = fs.staticStateFns.find(t.text);
+            if (it != fs.staticStateFns.end()) {
+                diag.report(*fs.sf, t.line, "parallel-reentrant",
+                            "call to " + t.text +
+                                "() which keeps mutable static state "
+                                "(line " +
+                                std::to_string(it->second) +
+                                ") inside a parallel region");
+            }
+        }
+    }
+    // Mutable statics declared in the region itself.
+    for (size_t s = 0; s < fs.scopes.scopes.size(); ++s) {
+        if (!fs.scopes.within((int)s, region))
+            continue;
+        for (const VarDecl &d : fs.scopes.scopes[s].decls) {
+            if (d.isStatic && !d.selfConst && !d.isRef && !d.isAtomic) {
+                diag.report(*fs.sf, d.line, "parallel-reentrant",
+                            "mutable static local '" + d.name +
+                                "' inside a parallel region");
+            }
+        }
+    }
+}
+
+/**
+ * The parallel-reduction-order check. Per-chunk partial buffers are
+ * recognized two ways: an outer base written with a chunk-parameter
+ * subscript inside the lambda ("part[chunk] += v"), and outer names
+ * appearing together with the chunk parameter in a lambda-local
+ * declaration's initializer ("float *gw = part.data() + chunk * n").
+ * Any later for-loop in the enclosing function that folds such a base
+ * with += must walk ascending (cond '<', increment ++/+=).
+ */
+void
+checkReductionOrder(const FileState &fs, size_t callTok, int region,
+                    Diagnostics &diag)
+{
+    const auto &toks = fs.sf->lex.tokens;
+    const Scope &lam = fs.scopes.scopes[(size_t)region];
+
+    const VarDecl *chunkParam = nullptr;
+    for (const VarDecl &d : lam.decls) {
+        if (d.isParam && d.paramIndex == 2)
+            chunkParam = &d;
+    }
+    if (!chunkParam)
+        return;
+
+    auto isChunkIdent = [&](size_t k) {
+        if (toks[k].kind != Token::Kind::Identifier ||
+            toks[k].text != chunkParam->name) {
+            return false;
+        }
+        int ds = -1;
+        const VarDecl *d = fs.scopes.resolve(fs.scopes.enclosing(k),
+                                             toks[k].text, k + 1, &ds);
+        return d == chunkParam;
+    };
+    auto isOuterName = [&](size_t k) {
+        if (toks[k].kind != Token::Kind::Identifier)
+            return false;
+        int ds = -1;
+        const VarDecl *d = fs.scopes.resolve(fs.scopes.enclosing(k),
+                                             toks[k].text, k + 1, &ds);
+        return !d || !fs.scopes.within(ds, region);
+    };
+
+    std::set<std::string> bases;
+    // (a) direct chunk-indexed writes to outer state
+    for (size_t k = lam.bodyBegin; k < lam.bodyEnd; ++k) {
+        if (!toks[k].is("="))
+            continue;
+        size_t lhsEnd = assignmentLhsEnd(toks, k, lam.bodyBegin);
+        if (lhsEnd == (size_t)-1)
+            continue;
+        Lhs lhs = chainBackward(toks, lhsEnd, lam.bodyBegin);
+        if (!lhs.valid() || !isOuterName(lhs.baseTok))
+            continue;
+        for (const auto &sub : lhs.subscripts) {
+            for (size_t j = sub.first; j < sub.second; ++j) {
+                if (isChunkIdent(j))
+                    bases.insert(toks[lhs.baseTok].text);
+            }
+        }
+    }
+    // (b) lambda-local views into a partial buffer
+    for (size_t s = 0; s < fs.scopes.scopes.size(); ++s) {
+        if (!fs.scopes.within((int)s, region))
+            continue;
+        for (const VarDecl &d : fs.scopes.scopes[s].decls) {
+            bool usesChunk = false;
+            for (size_t j = d.initBegin; j < d.initEnd; ++j)
+                usesChunk = usesChunk || isChunkIdent(j);
+            if (!usesChunk)
+                continue;
+            for (size_t j = d.initBegin; j < d.initEnd; ++j) {
+                if (isOuterName(j) && !toks[j].isIdent("nullptr") &&
+                    !toks[j].isIdent("scratch")) {
+                    bases.insert(toks[j].text);
+                }
+            }
+        }
+    }
+    if (bases.empty())
+        return;
+
+    // Scan the rest of the enclosing function for fold loops.
+    int encl = fs.scopes.enclosing(callTok);
+    size_t searchEnd = fs.scopes.scopes[(size_t)encl].bodyEnd;
+    size_t k = statementEnd(toks, callTok, searchEnd);
+    while (k < searchEnd) {
+        if (!toks[k].isIdent("for") || k + 1 >= searchEnd ||
+            !toks[k + 1].is("(")) {
+            ++k;
+            continue;
+        }
+        size_t pastParen = matchForward(toks, k + 1, "(", ")");
+        size_t bodyB, bodyE;
+        if (pastParen < searchEnd && toks[pastParen].is("{")) {
+            bodyB = pastParen + 1;
+            bodyE = matchForward(toks, pastParen, "{", "}") - 1;
+        } else {
+            bodyB = pastParen;
+            bodyE = statementEnd(toks, pastParen, searchEnd);
+        }
+        bool foldsBase = false, accumulates = false;
+        for (size_t j = bodyB; j < bodyE; ++j) {
+            if (toks[j].kind == Token::Kind::Identifier &&
+                bases.count(toks[j].text)) {
+                foldsBase = true;
+            }
+            if (isPunctSeq(toks, j, "+="))
+                accumulates = true;
+        }
+        if (foldsBase && accumulates) {
+            // Header sections: init ; cond ; incr.
+            size_t semi1 = statementEnd(toks, k + 2, pastParen - 1);
+            size_t semi2 = statementEnd(toks, semi1 + 1, pastParen - 1);
+            bool condAscends = false, incrAscends = false;
+            for (size_t j = semi1 + 1; j < semi2; ++j) {
+                if (toks[j].is("<") && !isPunctSeq(toks, j, "<<"))
+                    condAscends = true;
+            }
+            for (size_t j = semi2 + 1; j + 1 < pastParen; ++j) {
+                if (isPunctSeq(toks, j, "++") ||
+                    isPunctSeq(toks, j, "+=")) {
+                    incrAscends = true;
+                }
+            }
+            if (!condAscends || !incrAscends) {
+                diag.report(*fs.sf, toks[k].line,
+                            "parallel-reduction-order",
+                            "per-chunk partials must fold in ascending "
+                            "chunk order (see base/parallel.hh, or "
+                            "justify with "
+                            "NOLINT(parallel-reduction-order))");
+            }
+            k = bodyE + 1; // inner loops of a fold are part of it
+            continue;
+        }
+        ++k;
+    }
+}
+
+/** Chunk count for all-literal (begin, end, grain), or -1. */
+long long
+literalChunkCount(const std::vector<Token> &toks,
+                  const std::vector<std::pair<size_t, size_t>> &args)
+{
+    long long v[3];
+    for (int a = 0; a < 3; ++a) {
+        const auto &r = args[(size_t)a];
+        if (r.second != r.first + 1 ||
+            toks[r.first].kind != Token::Kind::Number) {
+            return -1;
+        }
+        v[a] = std::strtoll(toks[r.first].text.c_str(), nullptr, 0);
+    }
+    long long n = v[1] - v[0];
+    if (n <= 0)
+        return 0;
+    return v[2] > 0 ? (n + v[2] - 1) / v[2] : 1;
+}
+
+/** Resolve the lambda scope a call site's 4th argument names. */
+int
+findRegionLambda(const FileState &fs, size_t callTok, size_t argB,
+                 size_t argE)
+{
+    const auto &toks = fs.sf->lex.tokens;
+    if (argE == argB + 1 &&
+        toks[argB].kind == Token::Kind::Identifier) {
+        return fs.scopes.lambdaByName(fs.scopes.enclosing(callTok),
+                                      toks[argB].text);
+    }
+    // Inline lambda: the outermost Lambda scope inside the argument.
+    int best = -1;
+    size_t bestBegin = (size_t)-1;
+    for (size_t s = 0; s < fs.scopes.scopes.size(); ++s) {
+        const Scope &sc = fs.scopes.scopes[s];
+        if (sc.kind == Scope::Kind::Lambda && sc.bodyBegin >= argB &&
+            sc.bodyEnd <= argE && sc.bodyBegin < bestBegin) {
+            best = (int)s;
+            bestBegin = sc.bodyBegin;
+        }
+    }
+    return best;
+}
+
+void
+analyzeCallSite(const FileState &fs, size_t callTok,
+                std::set<int> &analyzed, Diagnostics &diag)
+{
+    const auto &toks = fs.sf->lex.tokens;
+    size_t paren = callTok + 1;
+    size_t pastParen = matchForward(toks, paren, "(", ")");
+
+    // Split the argument list on top-level commas.
+    std::vector<std::pair<size_t, size_t>> args;
+    size_t argB = paren + 1;
+    int depth = 0;
+    for (size_t k = paren + 1; k + 1 < pastParen; ++k) {
+        const Token &t = toks[k];
+        if (t.is("(") || t.is("[") || t.is("{"))
+            ++depth;
+        else if (t.is(")") || t.is("]") || t.is("}"))
+            --depth;
+        else if (t.is(",") && depth == 0) {
+            args.emplace_back(argB, k);
+            argB = k + 1;
+        }
+    }
+    args.emplace_back(argB, pastParen - 1);
+    if (args.size() != 4)
+        return; // a declaration, or not the parallelFor we know
+
+    // (begin, end, grain) all literal and at most one chunk: the body
+    // runs inline on the caller — nothing can race.
+    long long chunks = literalChunkCount(toks, args);
+    if (chunks >= 0 && chunks <= 1)
+        return;
+
+    int region = findRegionLambda(fs, callTok, args[3].first,
+                                  args[3].second);
+    if (region < 0)
+        return;
+    if (analyzed.insert(region).second) {
+        checkRegionWrites(fs, region, diag);
+        checkRegionReentrancy(fs, region, diag);
+    }
+    checkReductionOrder(fs, callTok, region, diag);
+}
+
+/** Function name -> line of its first mutable function-local static. */
+void
+collectStaticStateFns(FileState &fs)
+{
+    const auto &scopes = fs.scopes.scopes;
+    for (size_t f = 0; f < scopes.size(); ++f) {
+        if (scopes[f].kind != Scope::Kind::Function)
+            continue;
+        for (size_t s = 0; s < scopes.size(); ++s) {
+            if (!fs.scopes.within((int)s, (int)f))
+                continue;
+            for (const VarDecl &d : scopes[s].decls) {
+                if (d.isStatic && !d.selfConst && !d.isRef &&
+                    !d.isAtomic &&
+                    !fs.staticStateFns.count(scopes[f].name)) {
+                    fs.staticStateFns[scopes[f].name] = d.line;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+runParallelRegionPass(const Context &ctx, Diagnostics &diag)
+{
+    for (const SourceFile &sf : ctx.files) {
+        FileState fs;
+        fs.sf = &sf;
+        fs.scopes = parseScopes(sf.lex);
+        collectStaticStateFns(fs);
+
+        const auto &toks = sf.lex.tokens;
+        std::set<int> analyzed;
+        for (size_t k = 0; k + 1 < toks.size(); ++k) {
+            if (toks[k].isIdent("parallelFor") && toks[k + 1].is("("))
+                analyzeCallSite(fs, k, analyzed, diag);
+        }
+    }
+}
+
+} // namespace ealint

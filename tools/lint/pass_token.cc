@@ -223,13 +223,11 @@ runTokenPass(const Context &ctx, Diagnostics &diag)
             diag.report(sf, ln, "nolint",
                         "bare NOLINT (write NOLINT(rule-id, ...))");
         }
-        for (const auto &entry : sf.nolint) {
-            for (const std::string &rule : entry.second) {
-                if (!findRule(rule)) {
-                    diag.report(sf, entry.first, "nolint",
-                                "NOLINT names unknown rule '" + rule +
-                                    "'");
-                }
+        for (const auto &decl : sf.nolintDecls) {
+            if (!findRule(decl.second)) {
+                diag.report(sf, decl.first, "nolint",
+                            "NOLINT names unknown rule '" +
+                                decl.second + "'");
             }
         }
     }

@@ -17,6 +17,11 @@
  *                     contract, and src/tensor/ kernels do not grow
  *                     containers inside loops (NOLINT(hot-alloc)
  *                     documents the sanctioned exceptions)
+ *  - parallel-region: semantic race detection over parallelFor call
+ *                     sites, built on the declaration parser
+ *                     (parser.hh): racy by-reference captures,
+ *                     escaping scratch() pointers, non-reentrant
+ *                     calls, and descending reduction folds
  */
 
 #ifndef EDGEADAPT_TOOLS_LINT_PASSES_HH
@@ -48,6 +53,7 @@ void runTokenPass(const Context &ctx, Diagnostics &diag);
 void runIncludeGraphPass(const Context &ctx, Diagnostics &diag);
 void runUnusedIncludePass(const Context &ctx, Diagnostics &diag);
 void runInstrumentationPass(const Context &ctx, Diagnostics &diag);
+void runParallelRegionPass(const Context &ctx, Diagnostics &diag);
 
 /** @return all passes in execution order. */
 const std::vector<Pass> &passTable();

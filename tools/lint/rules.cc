@@ -48,6 +48,19 @@ ruleTable()
         {"untracked-alloc", Severity::Error, "instrumentation",
          "float buffers in src/tensor/ and src/nn/ must use the "
          "tracked Tensor/scratch storage path"},
+        // parallel-region pass
+        {"parallel-capture", Severity::Error, "parallel-region",
+         "no unsynchronized write through a by-reference capture in a "
+         "parallel lambda (chunk-disjoint indexed writes are allowed)"},
+        {"parallel-scratch-escape", Severity::Error, "parallel-region",
+         "scratch() pointers are per-thread and must not escape the "
+         "parallel lambda"},
+        {"parallel-reentrant", Severity::Error, "parallel-region",
+         "no calls to non-reentrant functions (rand/strtok/function-"
+         "local static state) inside parallel regions"},
+        {"parallel-reduction-order", Severity::Error, "parallel-region",
+         "reduction folds over per-chunk partials must accumulate in "
+         "ascending chunk order (determinism invariant)"},
     };
     return table;
 }

@@ -10,15 +10,19 @@ namespace {
 
 /**
  * Parse NOLINT markers in one line's worth of comment text. A scoped
- * marker names the rules it exempts: NOLINT(rule-a, rule-b). A bare
- * NOLINT (or the legacy NOLINTNEXTLINE, which this analyzer does not
- * support) is recorded separately so the nolint rule can reject it.
- * Only comments attached to a code or directive line are markers at
- * all — prose that merely discusses NOLINT syntax suppresses nothing
- * and is not a finding.
+ * same-line marker names the rules it exempts on its own line:
+ * NOLINT(rule-a, rule-b); the NEXTLINE spelling exempts them on the
+ * line below instead. A bare marker of either spelling (no rule list)
+ * is recorded separately so the nolint rule can reject it. Same-line
+ * markers only count on lines that carry code or a directive (@p
+ * lineHasCode) — prose that merely discusses NOLINT syntax suppresses
+ * nothing and is not a finding — while the NEXTLINE form is honored
+ * on comment-only lines too, since standing alone above the code it
+ * exempts is its whole point.
  */
 void
-parseNolint(const std::string &line, int ln, SourceFile &sf)
+parseNolint(const std::string &line, int ln, bool lineHasCode,
+            SourceFile &sf)
 {
     size_t pos = 0;
     while ((pos = line.find("NOLINT", pos)) != std::string::npos) {
@@ -28,6 +32,14 @@ parseNolint(const std::string &line, int ln, SourceFile &sf)
             continue;
         }
         size_t after = pos + 6;
+        bool nextLine = line.compare(after, 8, "NEXTLINE") == 0;
+        if (nextLine)
+            after += 8;
+        if (!nextLine && !lineHasCode) {
+            pos = after;
+            continue;
+        }
+        int target = nextLine ? ln + 1 : ln;
         if (after < line.size() && line[after] == '(') {
             size_t close = line.find(')', after);
             std::string list =
@@ -36,8 +48,10 @@ parseNolint(const std::string &line, int ln, SourceFile &sf)
                     : line.substr(after + 1, close - after - 1);
             std::string cur;
             auto flush = [&]() {
-                if (!cur.empty())
-                    sf.nolint[ln].insert(cur);
+                if (!cur.empty()) {
+                    sf.nolint[target].insert(cur);
+                    sf.nolintDecls.emplace_back(ln, cur);
+                }
                 cur.clear();
             };
             for (char c : list) {
@@ -49,7 +63,7 @@ parseNolint(const std::string &line, int ln, SourceFile &sf)
             flush();
             pos = close == std::string::npos ? line.size() : close;
         } else if (after < line.size() && isWordChar(line[after])) {
-            // NOLINTNEXTLINE and friends: treat as bare (unsupported).
+            // NOLINTBLAH and friends: treat as bare (unsupported).
             sf.bareNolint.push_back(ln);
             pos = after;
         } else {
@@ -119,9 +133,10 @@ loadSourceFile(const std::string &absPath, const std::string &rel,
 
     out.lex = lex(out.raw);
 
-    // NOLINT markers live in comments, and only count on lines that
-    // carry code or a directive; a marker can suppress nothing on a
-    // comment-only line, so there it is inert documentation.
+    // NOLINT markers live in comments. Same-line markers only count
+    // on lines that carry code or a directive (on a comment-only line
+    // they suppress nothing and are inert documentation);
+    // NEXTLINE-form markers count anywhere.
     std::set<int> codeLines;
     for (const Token &t : out.lex.tokens)
         codeLines.insert(t.line);
@@ -135,8 +150,7 @@ loadSourceFile(const std::string &absPath, const std::string &rel,
                 line += ch;
                 continue;
             }
-            if (codeLines.count(ln))
-                parseNolint(line, ln, out);
+            parseNolint(line, ln, codeLines.count(ln) > 0, out);
             line.clear();
             ++ln;
         }

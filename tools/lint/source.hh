@@ -30,8 +30,15 @@ struct SourceFile
 
     LexResult lex; ///< shared token stream + directives
 
-    /** line -> rule ids named in NOLINT(...) on that line. */
+    /** line -> rule ids suppressed on that line, whether the marker
+     *  was on the line itself or a NEXTLINE marker above it. */
     std::map<int, std::set<std::string>> nolint;
+
+    /** Every rule id named by a marker, at the marker's own line —
+     *  this is what unknown-id rejection reports against (a
+     *  NEXTLINE marker suppresses the line below, but the bad id
+     *  should be flagged where it was written). */
+    std::vector<std::pair<int, std::string>> nolintDecls;
 
     /** Lines carrying a bare NOLINT (no rule list) — itself a finding. */
     std::vector<int> bareNolint;
