@@ -9,6 +9,7 @@
 #include "obs/json.hh"
 #include "obs/memtrack.hh"
 #include "obs/registry.hh"
+#include "obs/snapshot.hh"
 #include "obs/trace.hh"
 
 // Baked in by bench/CMakeLists.txt so report lines can state which
@@ -204,9 +205,25 @@ Args::Args(int argc, char **argv, const std::string &bench_name)
     st.tracePath = getStr("--trace", "");
     if (!st.tracePath.empty())
         obs::setTracingEnabled(true);
+    std::string telemetryPath = getStr("--telemetry", "");
+    int64_t telemetryEvery = getInt("--telemetry-every", 16);
+    if (!telemetryPath.empty())
+        obs::setTelemetrySink(telemetryPath, (int)telemetryEvery);
+    std::string postmortemPath = getStr("--postmortem", "");
+    if (!postmortemPath.empty())
+        obs::installPostmortemHandlers(postmortemPath.c_str());
+    // Post-mortem artifacts reuse the report's env provenance fields;
+    // obs sits below parallel, so the values are pushed down here.
+    const char *te = std::getenv("EDGEADAPT_THREADS");
+    obs::setPostmortemEnv(parallel::hardwareThreads(),
+                          parallel::threadCount(), te ? te : "",
+                          EDGEADAPT_SANITIZE_NAME,
+                          gitHeadSha().c_str());
     // Reports carry a memory section, so any run that produces one
-    // tracks allocations (traces additionally get per-span bytes).
-    if (!st.jsonPath.empty() || !st.tracePath.empty())
+    // tracks allocations (traces additionally get per-span bytes);
+    // telemetry snapshots likewise carry live/high-water bytes.
+    if (!st.jsonPath.empty() || !st.tracePath.empty() ||
+        !telemetryPath.empty())
         obs::setMemTrackingEnabled(true);
 }
 

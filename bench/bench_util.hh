@@ -17,13 +17,20 @@
  *   }
  *
  * Built-in options every Args-using bench understands:
- *   --json <path>   append one JSONL report line (tables + metrics +
- *                   env provenance + tracked-allocation totals)
- *   --trace <path>  record a Chrome trace of the run to <path>
+ *   --json <path>       append one JSONL report line (tables + metrics
+ *                       + env provenance + tracked-allocation totals)
+ *   --trace <path>      record a Chrome trace of the run to <path>
+ *   --telemetry <path>  append "edgeadapt.telemetry.v1" JSONL
+ *                       snapshots every --telemetry-every N batches
+ *                       (default 16) of any adaptation stream
+ *   --postmortem <path> arm crash dumps: EA_CHECK failures and fatal
+ *                       signals write a "postmortem.v1" artifact to
+ *                       <path> before the process dies
  *
- * Either option turns on obs memory tracking for the whole run, so
+ * --json/--trace turn on obs memory tracking for the whole run, so
  * the report's "memory" section and the trace's per-span byte
- * counters are populated.
+ * counters are populated. --telemetry also enables memory tracking so
+ * snapshot lines carry live/high-water bytes.
  */
 
 #ifndef EDGEADAPT_BENCH_BENCH_UTIL_HH

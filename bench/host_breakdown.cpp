@@ -18,6 +18,7 @@
 #include "bench_util.hh"
 #include "data/synth_cifar.hh"
 #include "models/registry.hh"
+#include "obs/registry.hh"
 #include "profile/host_profiler.hh"
 
 using namespace edgeadapt;
@@ -119,11 +120,22 @@ main(int argc, char **argv)
                 "peak mem", "allocs"});
     TextTable peaks;
     peaks.header({"model", "batch peak mem"});
+    TextTable quality;
+    quality.header({"model", "adapt.entropy", "adapt.confidence",
+                    "adapt.bn_drift"});
     for (const std::string &mn : models::robustModelNames(true)) {
         Rng rng(43);
         models::Model m = models::buildModel(mn, rng);
         auto hb =
             profile::profileHostRun(m, Algorithm::BnOpt, b.images);
+        // The profiled processBatch call just refreshed the adapt.*
+        // quality gauges for this model; read them before the next
+        // model's run overwrites them.
+        obs::Registry &reg = obs::Registry::global();
+        quality.row({models::displayName(mn),
+                     fixed(reg.gauge("adapt.entropy").value(), 4),
+                     fixed(reg.gauge("adapt.confidence").value(), 4),
+                     fixed(reg.gauge("adapt.bn_drift").value(), 4)});
         for (const auto &lt : hb.topLayers((size_t)topN)) {
             top.row({models::displayName(mn), lt.name, lt.opClass,
                      humanTime(lt.forwardSec),
@@ -142,5 +154,9 @@ main(int argc, char **argv)
     section("Tracked live-bytes high water per adaptation batch "
             "(BN-Opt)");
     emit(peaks);
+
+    section("Adaptation-quality gauges after one BN-Opt batch "
+            "(label-free signals)");
+    emit(quality);
     return finishReport();
 }

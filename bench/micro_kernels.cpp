@@ -17,6 +17,7 @@
 #include "data/synth_cifar.hh"
 #include "nn/batchnorm2d.hh"
 #include "nn/conv2d.hh"
+#include "obs/flightrec.hh"
 #include "obs/memtrack.hh"
 #include "obs/trace.hh"
 #include "tensor/gemm.hh"
@@ -288,6 +289,34 @@ BM_MemTrackEnabled(benchmark::State &state)
 }
 
 void
+BM_FlightRecDisabled(benchmark::State &state)
+{
+    // The flight recorder is on by default, so its *disabled* path is
+    // the escape hatch, and the same budget applies as for disabled
+    // spans: one relaxed load and an untaken branch.
+    obs::setFlightRecorderEnabled(false);
+    for (auto _ : state) {
+        obs::flightMark("bench.noop", 1.0);
+        benchmark::ClobberMemory();
+    }
+    obs::setFlightRecorderEnabled(true);
+}
+
+void
+BM_FlightRecEnabled(benchmark::State &state)
+{
+    // The always-on cost: one seqlock slot write in a per-thread ring
+    // (no locks, no allocation). This is what every span close and
+    // quality probe pays in a default-configured process.
+    obs::setFlightRecorderEnabled(true);
+    for (auto _ : state) {
+        obs::flightMark("bench.noop", 1.0);
+        benchmark::ClobberMemory();
+    }
+    obs::clearFlightEvents();
+}
+
+void
 BM_GemmTraced(benchmark::State &state)
 {
     // End-to-end check of the <2% budget: the instrumented GEMM with
@@ -310,6 +339,8 @@ BENCHMARK(BM_TraceSpanDisabled);
 BENCHMARK(BM_TraceSpanEnabled);
 BENCHMARK(BM_MemTrackDisabled);
 BENCHMARK(BM_MemTrackEnabled);
+BENCHMARK(BM_FlightRecDisabled);
+BENCHMARK(BM_FlightRecEnabled);
 BENCHMARK(BM_GemmTraced)->Arg(128);
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_ConvForward)->Arg(8)->Arg(32);

@@ -86,7 +86,8 @@ namespace {
 class NoAdapt : public AdaptationMethod
 {
   public:
-    explicit NoAdapt(models::Model &model) : model_(model)
+    explicit NoAdapt(models::Model &model)
+        : model_(model), probe_(model)
     {
         model_.setTraining(false);
         nn::setRequiresGradTree(model_.net(), false);
@@ -96,13 +97,22 @@ class NoAdapt : public AdaptationMethod
     processBatch(const Tensor &images) override
     {
         checkAdaptBatch(model_, images);
-        return model_.forward(images);
+        Tensor logits = model_.forward(images);
+        probe_.observe(logits);
+        return logits;
     }
 
     Algorithm algorithm() const override { return Algorithm::NoAdapt; }
 
+    const quality::StreamQuality *
+    quality() const override
+    {
+        return &probe_.summary();
+    }
+
   private:
     models::Model &model_;
+    quality::QualityProbe probe_;
 };
 
 /**
@@ -113,7 +123,8 @@ class NoAdapt : public AdaptationMethod
 class BnNorm : public AdaptationMethod
 {
   public:
-    explicit BnNorm(models::Model &model) : model_(model)
+    explicit BnNorm(models::Model &model)
+        : model_(model), probe_(model)
     {
         model_.setTraining(true);
         nn::setRequiresGradTree(model_.net(), false);
@@ -127,13 +138,21 @@ class BnNorm : public AdaptationMethod
         // Degenerate batch statistics (e.g. a zero-variance channel)
         // surface here as non-finite logits.
         EA_CHECK_FINITE("BN-Norm logits", logits.data(), logits.numel());
+        probe_.observe(logits);
         return logits;
     }
 
     Algorithm algorithm() const override { return Algorithm::BnNorm; }
 
+    const quality::StreamQuality *
+    quality() const override
+    {
+        return &probe_.summary();
+    }
+
   private:
     models::Model &model_;
+    quality::QualityProbe probe_;
 };
 
 /**
@@ -147,7 +166,8 @@ class BnNorm : public AdaptationMethod
 class BnOpt : public AdaptationMethod
 {
   public:
-    BnOpt(models::Model &model, const BnOptOpts &opts) : model_(model)
+    BnOpt(models::Model &model, const BnOptOpts &opts)
+        : model_(model), probe_(model)
     {
         model_.setTraining(true);
         // Freeze everything, then re-enable exactly the BN affine set.
@@ -173,13 +193,12 @@ class BnOpt : public AdaptationMethod
         Tensor logits = model_.forward(images);
         EA_CHECK_FINITE("BN-Opt logits", logits.data(), logits.numel());
         train::LossResult loss = train::entropy(logits);
-        // The adaptation objective itself is a first-class signal:
-        // entropy should fall as the BN parameters settle.
-        static obs::Gauge &entropyGauge =
-            obs::Registry::global().gauge("adapt.entropy");
+        // The probe publishes the adapt.entropy gauge (its entropy is
+        // the same objective train::entropy minimizes, computed
+        // gradient-free) plus confidence/skew/drift.
+        probe_.observe(logits);
         static obs::Counter &steps =
             obs::Registry::global().counter("adapt.bnopt.steps");
-        entropyGauge.set(loss.value);
         steps.increment();
         adam_->zeroGrad();
         model_.backward(loss.gradLogits);
@@ -189,8 +208,15 @@ class BnOpt : public AdaptationMethod
 
     Algorithm algorithm() const override { return Algorithm::BnOpt; }
 
+    const quality::StreamQuality *
+    quality() const override
+    {
+        return &probe_.summary();
+    }
+
   private:
     models::Model &model_;
+    quality::QualityProbe probe_;
     std::unique_ptr<train::Adam> adam_;
 };
 

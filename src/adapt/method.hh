@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "adapt/quality.hh"
 #include "models/model.hh"
 #include "train/optimizer.hh"
 
@@ -67,6 +68,16 @@ class AdaptationMethod
 
     /** @return which algorithm this is. */
     virtual Algorithm algorithm() const = 0;
+
+    /**
+     * @return the label-free quality aggregate over every batch this
+     * method has processed (entropy, confidence, skew, BN drift), or
+     * nullptr for methods that do not probe.
+     */
+    virtual const quality::StreamQuality *quality() const
+    {
+        return nullptr;
+    }
 };
 
 /** Options for BN-Opt's optimizer (TENT defaults). */

@@ -1,0 +1,187 @@
+#include "adapt/quality.hh"
+
+#include <cmath>
+
+#include "base/check.hh"
+#include "nn/batchnorm2d.hh"
+#include "obs/flightrec.hh"
+#include "obs/registry.hh"
+
+namespace edgeadapt {
+namespace adapt {
+namespace quality {
+
+namespace {
+
+/** Histogram bounds for per-batch entropy (nats; ln 10 ~ 2.30). */
+const std::vector<double> &
+entropyBounds()
+{
+    static const std::vector<double> b{0.1, 0.25, 0.5, 0.75, 1.0,
+                                       1.25, 1.5,  2.0, 2.5,  3.0};
+    return b;
+}
+
+/** Histogram bounds for per-batch mean max-softmax confidence. */
+const std::vector<double> &
+confidenceBounds()
+{
+    static const std::vector<double> b{0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9, 1.0};
+    return b;
+}
+
+} // namespace
+
+BatchQuality
+batchQuality(const Tensor &logits)
+{
+    EA_CHECK(logits.defined(), "quality probe on undefined logits");
+    EA_CHECK(logits.shape().rank() == 2,
+             "quality probe expects (N, C) logits, got ",
+             logits.shape().str());
+    const int64_t n = logits.shape()[0];
+    const int64_t c = logits.shape()[1];
+    EA_CHECK(n >= 1 && c >= 1, "quality probe on an empty batch");
+
+    const float *x = logits.data();
+    std::vector<int64_t> modal((size_t)c, 0);
+    double entropySum = 0.0, confSum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const float *row = x + i * c;
+        // Stable softmax statistics in one pass over the row.
+        float m = row[0];
+        int64_t arg = 0;
+        for (int64_t j = 1; j < c; ++j) {
+            if (row[j] > m) {
+                m = row[j];
+                arg = j;
+            }
+        }
+        double z = 0.0, dot = 0.0; // sum(e), sum(e * (l - m))
+        for (int64_t j = 0; j < c; ++j) {
+            double e = std::exp((double)row[j] - (double)m);
+            z += e;
+            dot += e * ((double)row[j] - (double)m);
+        }
+        // H = log z - (1/z) * sum(e_j * (l_j - m))
+        entropySum += std::log(z) - dot / z;
+        confSum += std::exp((double)row[arg] - (double)m) / z;
+        ++modal[(size_t)arg];
+    }
+    int64_t top = 0;
+    for (int64_t cnt : modal)
+        top = std::max(top, cnt);
+
+    BatchQuality q;
+    q.entropy = entropySum / (double)n;
+    q.confidence = confSum / (double)n;
+    q.skew = (double)top / (double)n;
+    return q;
+}
+
+BnStatsSnapshot
+BnStatsSnapshot::capture(nn::Module &root)
+{
+    BnStatsSnapshot snap;
+    for (nn::Module *m : nn::collectModules(root)) {
+        auto *bn = dynamic_cast<nn::BatchNorm2d *>(m);
+        if (!bn)
+            continue;
+        const float *mu = bn->runningMean().data();
+        const float *var = bn->runningVar().data();
+        size_t c = (size_t)bn->channels();
+        snap.means_.emplace_back(mu, mu + c);
+        snap.vars_.emplace_back(var, var + c);
+    }
+    return snap;
+}
+
+double
+BnStatsSnapshot::drift(nn::Module &root) const
+{
+    if (empty())
+        return 0.0;
+    constexpr double eps = 1e-5;
+    double acc = 0.0;
+    int64_t channels = 0;
+    size_t layer = 0;
+    for (nn::Module *m : nn::collectModules(root)) {
+        auto *bn = dynamic_cast<nn::BatchNorm2d *>(m);
+        if (!bn)
+            continue;
+        EA_CHECK(layer < means_.size(),
+                 "BN drift: model grew layers since capture");
+        const std::vector<float> &mu0 = means_[layer];
+        const std::vector<float> &var0 = vars_[layer];
+        EA_CHECK((size_t)bn->channels() == mu0.size(),
+                 "BN drift: channel count changed since capture");
+        const float *mu = bn->runningMean().data();
+        const float *var = bn->runningVar().data();
+        for (size_t j = 0; j < mu0.size(); ++j) {
+            double dm = (double)mu[j] - (double)mu0[j];
+            double v0 = (double)var0[j] + eps;
+            double lv = std::log(((double)var[j] + eps) / v0);
+            acc += dm * dm / v0 + lv * lv;
+        }
+        channels += bn->channels();
+        ++layer;
+    }
+    EA_CHECK(layer == means_.size(),
+             "BN drift: model lost layers since capture");
+    return channels ? std::sqrt(acc / (double)channels) : 0.0;
+}
+
+QualityProbe::QualityProbe(models::Model &model)
+    : model_(model), source_(BnStatsSnapshot::capture(model.net()))
+{
+}
+
+BatchQuality
+QualityProbe::observe(const Tensor &logits)
+{
+    BatchQuality q = batchQuality(logits);
+    double drift =
+        source_.empty() ? 0.0 : source_.drift(model_.net());
+
+    static obs::Gauge &gEntropy =
+        obs::Registry::global().gauge("adapt.entropy");
+    static obs::Gauge &gConfidence =
+        obs::Registry::global().gauge("adapt.confidence");
+    static obs::Gauge &gSkew =
+        obs::Registry::global().gauge("adapt.skew");
+    static obs::Gauge &gDrift =
+        obs::Registry::global().gauge("adapt.bn_drift");
+    static obs::Histogram &hEntropy =
+        obs::Registry::global().histogram("adapt.batch_entropy",
+                                          entropyBounds());
+    static obs::Histogram &hConfidence =
+        obs::Registry::global().histogram("adapt.batch_confidence",
+                                          confidenceBounds());
+    gEntropy.set(q.entropy);
+    gConfidence.set(q.confidence);
+    gSkew.set(q.skew);
+    gDrift.set(drift);
+    hEntropy.observe(q.entropy);
+    hConfidence.observe(q.confidence);
+    obs::flightMark("adapt.entropy", q.entropy);
+    obs::flightMark("adapt.bn_drift", drift);
+
+    int64_t n = sum_.batches;
+    sum_.meanEntropy =
+        (sum_.meanEntropy * n + q.entropy) / (double)(n + 1);
+    sum_.meanConfidence =
+        (sum_.meanConfidence * n + q.confidence) / (double)(n + 1);
+    sum_.meanSkew = (sum_.meanSkew * n + q.skew) / (double)(n + 1);
+    sum_.maxSkew = std::max(sum_.maxSkew, q.skew);
+    sum_.lastEntropy = q.entropy;
+    sum_.lastConfidence = q.confidence;
+    sum_.lastSkew = q.skew;
+    sum_.bnDrift = drift;
+    ++sum_.batches;
+    return q;
+}
+
+} // namespace quality
+} // namespace adapt
+} // namespace edgeadapt

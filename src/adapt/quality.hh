@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Adaptation-quality metrics: the online signals that tell an
+ * unattended test-time-adaptation stream it is drifting off the rails
+ * *before* accuracy (which needs labels nobody has at test time) can.
+ * Four per-batch probes, all label-free:
+ *
+ *  - prediction entropy: mean Shannon entropy of the softmax rows —
+ *    the TENT objective itself; creeping growth means the regime got
+ *    harder, sudden collapse to ~0 often accompanies mode collapse.
+ *  - max-softmax confidence: mean of each row's top probability.
+ *  - prediction skew: the fraction of the batch argmax-assigned to
+ *    the modal class. 1/C for a balanced batch, ~1.0 when adaptation
+ *    has collapsed to predicting one class for everything.
+ *  - BN running-stat drift: a scale-normalized distance between the
+ *    current BatchNorm running statistics and the source (pristine)
+ *    statistics captured when the method was built — how far
+ *    statistics re-estimation has actually moved the model.
+ *
+ * A QualityProbe lives inside each AdaptationMethod, publishes the
+ * adapt.entropy / adapt.confidence / adapt.skew / adapt.bn_drift
+ * gauges plus per-batch histograms, drops flight-recorder
+ * breadcrumbs, and aggregates a StreamQuality summary that
+ * adapt::runStream copies into StreamResult.
+ */
+
+#ifndef EDGEADAPT_ADAPT_QUALITY_HH
+#define EDGEADAPT_ADAPT_QUALITY_HH
+
+#include <vector>
+
+#include "models/model.hh"
+
+namespace edgeadapt {
+namespace adapt {
+namespace quality {
+
+/** Label-free quality readings for one batch of logits. */
+struct BatchQuality
+{
+    double entropy = 0.0;    ///< mean softmax entropy (nats)
+    double confidence = 0.0; ///< mean max-softmax probability
+    double skew = 0.0;       ///< modal-class fraction of predictions
+};
+
+/**
+ * Compute the per-batch quality probes from (N, C) logits in one
+ * pass, gradient-free (train::entropy builds a backward graph this
+ * monitoring path must not pay for).
+ */
+BatchQuality batchQuality(const Tensor &logits);
+
+/** Aggregate quality over one adaptation stream. */
+struct StreamQuality
+{
+    int64_t batches = 0;
+    double meanEntropy = 0.0;
+    double meanConfidence = 0.0;
+    double meanSkew = 0.0;
+    double maxSkew = 0.0;     ///< collapse detector: worst batch
+    double lastEntropy = 0.0;
+    double lastConfidence = 0.0;
+    double lastSkew = 0.0;
+    double bnDrift = 0.0;     ///< latest drift vs source stats
+};
+
+/**
+ * Frozen copy of every BatchNorm layer's running statistics, captured
+ * from the pristine model so later drift is measured against the
+ * source domain.
+ */
+class BnStatsSnapshot
+{
+  public:
+    /** Capture running mean/var of every BN layer under @p root. */
+    static BnStatsSnapshot capture(nn::Module &root);
+
+    /** @return true when the model has no BN layers. */
+    bool empty() const { return means_.empty(); }
+
+    /**
+     * Scale-normalized distance of @p root's current BN running
+     * statistics from this snapshot: per channel, the squared
+     * variance-normalized mean shift plus the squared log-variance
+     * ratio, averaged over all channels, square-rooted. 0 = identical
+     * statistics; O(1) per channel.
+     */
+    double drift(nn::Module &root) const;
+
+  private:
+    std::vector<std::vector<float>> means_;
+    std::vector<std::vector<float>> vars_;
+};
+
+/**
+ * Per-method quality monitor. Construct while the model is still
+ * pristine (method constructors do) so the BN source snapshot really
+ * is the source domain; call observe() with each batch's logits.
+ */
+class QualityProbe
+{
+  public:
+    explicit QualityProbe(models::Model &model);
+
+    /**
+     * Probe one batch: computes BatchQuality and BN drift, publishes
+     * the gauges/histograms and flight-recorder marks, folds the
+     * readings into summary().
+     */
+    BatchQuality observe(const Tensor &logits);
+
+    /** @return the running aggregate over all observed batches. */
+    const StreamQuality &summary() const { return sum_; }
+
+  private:
+    models::Model &model_;
+    BnStatsSnapshot source_;
+    StreamQuality sum_;
+};
+
+} // namespace quality
+} // namespace adapt
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_ADAPT_QUALITY_HH

@@ -2,8 +2,10 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/flightrec.hh"
 #include "obs/memtrack.hh"
 #include "obs/registry.hh"
+#include "obs/snapshot.hh"
 #include "obs/trace.hh"
 #include "tensor/ops.hh"
 
@@ -63,6 +65,10 @@ runStream(AdaptationMethod &method, data::CorruptionStream &stream)
             }
         }
         batchCount.increment();
+        // Heartbeats: a flight-recorder breadcrumb every batch and a
+        // telemetry snapshot every N-th (no-op unless a sink is set).
+        obs::flightMark("adapt.batch", (double)r.batches);
+        obs::telemetryTick("adapt.stream");
 
         auto pred = argmaxRows(logits);
         EA_CHECK(pred.size() == b.labels.size(),
@@ -75,6 +81,8 @@ runStream(AdaptationMethod &method, data::CorruptionStream &stream)
         r.samples += b.size();
         ++r.batches;
     }
+    if (const quality::StreamQuality *q = method.quality())
+        r.quality = *q;
     return r;
 }
 

@@ -30,6 +30,9 @@ struct StreamResult
     /// worst per-batch live-bytes growth (tracked allocations) across
     /// the stream; 0 when obs memory tracking is disabled
     int64_t peakBatchBytes = 0;
+    /// label-free adaptation-quality aggregate (entropy, confidence,
+    /// skew, BN drift); zero-valued when the method has no probe
+    quality::StreamQuality quality;
 
     /** @return prediction error in percent. */
     double errorPct() const;

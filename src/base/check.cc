@@ -1,8 +1,33 @@
 #include "base/check.hh"
 
+#include <atomic>
 #include <cmath>
 
 namespace edgeadapt {
+
+namespace {
+
+std::atomic<detail::CheckFailureHook> gCheckHook{nullptr};
+
+/** Fire the last-words hook (if any), then panic. */
+[[noreturn]] void
+failWith(const char *where, const std::string &msg)
+{
+    if (detail::CheckFailureHook hook =
+            gCheckHook.load(std::memory_order_acquire)) {
+        hook(where, msg.c_str());
+    }
+    panicImpl(where, msg);
+}
+
+} // namespace
+
+detail::CheckFailureHook
+setCheckFailureHook(detail::CheckFailureHook hook)
+{
+    return gCheckHook.exchange(hook, std::memory_order_acq_rel);
+}
+
 namespace detail {
 
 void
@@ -14,31 +39,31 @@ checkFail(const char *where, const char *cond, const std::string &msg)
         full += ": ";
         full += msg;
     }
-    panicImpl(where, full);
+    failWith(where, full);
 }
 
 void
 checkShapeFail(const char *where, const char *what,
                const std::string &got, const std::string &want)
 {
-    panicImpl(where, concat("shape check failed: ", what, ": got ", got,
-                            ", want ", want));
+    failWith(where, concat("shape check failed: ", what, ": got ", got,
+                           ", want ", want));
 }
 
 void
 checkIndexFail(const char *where, const char *expr, int64_t index,
                int64_t size)
 {
-    panicImpl(where, concat("index check failed: ", expr, " = ", index,
-                            " not in [0, ", size, ")"));
+    failWith(where, concat("index check failed: ", expr, " = ", index,
+                           " not in [0, ", size, ")"));
 }
 
 void
 checkFiniteFail(const char *where, const char *what, int64_t index,
                 float value)
 {
-    panicImpl(where, concat("finite check failed: ", what, "[", index,
-                            "] = ", value));
+    failWith(where, concat("finite check failed: ", what, "[", index,
+                           "] = ", value));
 }
 
 int64_t

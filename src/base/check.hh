@@ -40,6 +40,12 @@ inline constexpr bool kDchecksEnabled = false;
 
 namespace detail {
 
+/**
+ * Hook invoked with the rendered diagnostic right before any EA_CHECK
+ * family failure aborts. Must return; must not itself fail a check.
+ */
+using CheckFailureHook = void (*)(const char *where, const char *msg);
+
 /** Report an EA_CHECK condition failure and abort. */
 [[noreturn]] void checkFail(const char *where, const char *cond,
                             const std::string &msg);
@@ -61,6 +67,17 @@ namespace detail {
 int64_t firstNonFinite(const float *data, int64_t n);
 
 } // namespace detail
+
+/**
+ * Install a last-words hook fired on every contract failure before
+ * the process aborts — the post-mortem writer (obs/snapshot.hh)
+ * registers itself here; base cannot depend on obs, so the coupling
+ * is this one function pointer. Pass nullptr to uninstall.
+ * @return the previously installed hook.
+ */
+detail::CheckFailureHook
+setCheckFailureHook(detail::CheckFailureHook hook);
+
 } // namespace edgeadapt
 
 /**

@@ -1,0 +1,198 @@
+#include "obs/flightrec.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.hh"
+
+namespace edgeadapt {
+namespace obs {
+
+namespace detail {
+
+// On by default: the recorder is the post-mortem black box, so it
+// must already be running when something goes wrong.
+std::atomic<bool> flightRecEnabled{true};
+
+} // namespace detail
+
+namespace {
+
+using detail::FlightRing;
+using detail::FlightSlot;
+using detail::kFlightMaxThreads;
+using detail::kFlightRingCap;
+
+// The whole recorder is statically allocated (zero-initialized BSS):
+// no constructor ordering, no destructor ordering, and a signal
+// handler can walk it at any point in the process lifetime.
+FlightRing gRings[kFlightMaxThreads];
+std::atomic<uint32_t> gNextRing{0};
+std::atomic<uint64_t> gDropped{0};
+
+// Ring assignment for this thread: -1 = not assigned yet, -2 = pool
+// exhausted (record nothing). Plain POD thread_local — no destructor,
+// so appends from other thread_local destructors stay safe.
+thread_local int32_t tlRingIndex = -1;
+
+/** Applies EDGEADAPT_FLIGHTREC at static-init time ("0" disables). */
+struct FlightEnvInit
+{
+    FlightEnvInit()
+    {
+        const char *v = std::getenv("EDGEADAPT_FLIGHTREC");
+        if (v && std::strcmp(v, "0") == 0)
+            setFlightRecorderEnabled(false);
+    }
+};
+
+FlightEnvInit flightEnvInit;
+
+} // namespace
+
+namespace detail {
+
+FlightRing *
+flightRings()
+{
+    return gRings;
+}
+
+void
+flightAppend(FlightKind kind, const char *name, double value)
+{
+    int32_t idx = tlRingIndex;
+    if (idx < 0) {
+        if (idx == -2) {
+            gDropped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        uint32_t claimed =
+            gNextRing.fetch_add(1, std::memory_order_relaxed);
+        if (claimed >= kFlightMaxThreads) {
+            tlRingIndex = -2;
+            gDropped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        tlRingIndex = idx = (int32_t)claimed;
+        gRings[claimed].tid.store(claimed + 1,
+                                  std::memory_order_relaxed);
+    }
+    FlightRing &ring = gRings[idx];
+    uint64_t c = ring.cursor.load(std::memory_order_relaxed);
+    if (c >= kFlightRingCap)
+        gDropped.fetch_add(1, std::memory_order_relaxed);
+    FlightSlot &s = ring.slots[c % kFlightRingCap];
+
+    // Seqlock per slot: odd while the payload is being written, then
+    // the (even, nonzero) generation of this lap. Readers that catch
+    // the slot mid-write see an odd or changed seq and discard it.
+    uint64_t gen = (c / kFlightRingCap + 1) * 2;
+    s.seq.store(gen - 1, std::memory_order_relaxed);
+    s.timeNs.store(traceNowNs(), std::memory_order_relaxed);
+    s.value.store(value, std::memory_order_relaxed);
+    s.kind.store((uint8_t)kind, std::memory_order_relaxed);
+    size_t n = 0;
+    for (; n < FlightEvent::kMaxName && name[n]; ++n)
+        s.name[n].store(name[n], std::memory_order_relaxed);
+    s.name[n].store('\0', std::memory_order_relaxed);
+    s.seq.store(gen, std::memory_order_release);
+    ring.cursor.store(c + 1, std::memory_order_release);
+}
+
+bool
+flightReadSlot(const FlightRing &ring, uint32_t i, FlightEvent *out)
+{
+    const FlightSlot &s = ring.slots[i];
+    uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1))
+        return false;
+    out->timeNs = s.timeNs.load(std::memory_order_relaxed);
+    out->value = s.value.load(std::memory_order_relaxed);
+    out->kind = (FlightKind)s.kind.load(std::memory_order_relaxed);
+    size_t n = 0;
+    for (; n < FlightEvent::kMaxName; ++n) {
+        char c = s.name[n].load(std::memory_order_relaxed);
+        out->name[n] = c;
+        if (!c)
+            break;
+    }
+    out->name[FlightEvent::kMaxName] = '\0';
+    out->tid = ring.tid.load(std::memory_order_relaxed);
+    // Order the payload loads before the seq re-check.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint64_t s2 = s.seq.load(std::memory_order_relaxed);
+    return s1 == s2 && out->kind != FlightKind::None;
+}
+
+} // namespace detail
+
+const char *
+flightKindName(FlightKind k)
+{
+    switch (k) {
+      case FlightKind::None:
+        return "none";
+      case FlightKind::Mark:
+        return "mark";
+      case FlightKind::SpanEnd:
+        return "span";
+      case FlightKind::Check:
+        return "check";
+    }
+    return "?";
+}
+
+void
+setFlightRecorderEnabled(bool on)
+{
+    detail::flightRecEnabled.store(on, std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent>
+flightEvents(size_t lastN)
+{
+    std::vector<FlightEvent> out;
+    for (uint32_t r = 0; r < kFlightMaxThreads; ++r) {
+        const FlightRing &ring = gRings[r];
+        uint64_t c = ring.cursor.load(std::memory_order_acquire);
+        if (c == 0)
+            continue;
+        uint64_t n = std::min<uint64_t>(c, kFlightRingCap);
+        for (uint64_t k = c - n; k < c; ++k) {
+            FlightEvent ev;
+            if (detail::flightReadSlot(
+                    ring, (uint32_t)(k % kFlightRingCap), &ev)) {
+                out.push_back(ev);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightEvent &a, const FlightEvent &b) {
+                  return a.timeNs < b.timeNs;
+              });
+    if (lastN && out.size() > lastN)
+        out.erase(out.begin(), out.end() - (ptrdiff_t)lastN);
+    return out;
+}
+
+uint64_t
+flightDroppedEvents()
+{
+    return gDropped.load(std::memory_order_relaxed);
+}
+
+void
+clearFlightEvents()
+{
+    for (uint32_t r = 0; r < kFlightMaxThreads; ++r) {
+        FlightRing &ring = gRings[r];
+        ring.cursor.store(0, std::memory_order_relaxed);
+        for (uint32_t i = 0; i < kFlightRingCap; ++i)
+            ring.slots[i].seq.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace obs
+} // namespace edgeadapt

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Flight recorder — the liveness pillar of the observability layer
+ * next to trace spans, metrics, and allocation accounting. Each
+ * thread owns a fixed-capacity ring of recent events (span ends,
+ * explicit marks, contract failures) held in statically allocated
+ * all-atomic slots, so the last moments of a run can be read out at
+ * ANY time: from tests, from the periodic telemetry snapshotter, or
+ * from an async-signal context while the process is dying (see
+ * snapshot.hh). Unlike tracing, the recorder is on by default — it is
+ * the black box that makes unattended adaptation streams debuggable
+ * after the fact.
+ *
+ * Cost model (same rules as trace.hh/memtrack.hh): when disabled,
+ * flightMark() is one relaxed atomic load and an untaken branch —
+ * proven by BM_FlightRecDisabled. When enabled, an append is a
+ * timestamp plus ~a dozen relaxed atomic stores into the calling
+ * thread's own ring; there are no locks and no allocation anywhere on
+ * the write path.
+ *
+ * Concurrency: every slot field is an atomic written only by the ring
+ * owner and read (relaxed) by dumpers, so concurrent dumps are
+ * race-free under TSan by construction. A dump that overlaps a write
+ * may observe a torn *logical* event (name from the new event, value
+ * from the old); the `seq` slot field makes that detectable — readers
+ * drop slots whose sequence moved while they were being copied.
+ * Threads beyond the fixed pool capacity record nothing (counted in
+ * flightDroppedEvents()).
+ *
+ * Enabling: on by default; obs::setFlightRecorderEnabled(false) or
+ * EDGEADAPT_FLIGHTREC=0 turns it off.
+ */
+
+#ifndef EDGEADAPT_OBS_FLIGHTREC_HH
+#define EDGEADAPT_OBS_FLIGHTREC_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace edgeadapt {
+namespace obs {
+
+/** What a flight-recorder slot describes. */
+enum class FlightKind : uint8_t
+{
+    None = 0,   ///< empty slot
+    Mark = 1,   ///< explicit flightMark() with a named value
+    SpanEnd = 2, ///< a trace span closed (value = duration seconds)
+    Check = 3,  ///< a contract failure was being reported
+};
+
+/** @return a short stable label for @p k ("mark", "span", ...). */
+const char *flightKindName(FlightKind k);
+
+/** One decoded flight-recorder event (plain data, dump output). */
+struct FlightEvent
+{
+    static constexpr size_t kMaxName = 31;
+
+    int64_t timeNs = 0;   ///< trace-epoch timestamp (traceNowNs)
+    double value = 0.0;   ///< event payload (seconds, metric value...)
+    uint32_t tid = 0;     ///< dense flight-thread id (1-based)
+    FlightKind kind = FlightKind::None;
+    char name[kMaxName + 1] = {0}; ///< NUL-terminated (truncated)
+};
+
+namespace detail {
+
+extern std::atomic<bool> flightRecEnabled;
+
+/**
+ * One ring slot. Every field is an atomic so that dump readers racing
+ * the owner thread are race-free; `seq` is bumped to an odd value
+ * before the payload stores and to the (even) slot generation after
+ * them, letting readers detect and discard in-flight slots.
+ */
+struct FlightSlot
+{
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> timeNs{0};
+    std::atomic<double> value{0.0};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<char> name[FlightEvent::kMaxName + 1];
+};
+
+constexpr uint32_t kFlightRingCap = 256;  ///< events per thread
+constexpr uint32_t kFlightMaxThreads = 16; ///< rings in the pool
+
+/** Per-thread ring; `cursor` counts appends monotonically. */
+struct FlightRing
+{
+    std::atomic<uint64_t> cursor{0};
+    std::atomic<uint32_t> tid{0}; ///< 0 = never claimed
+    FlightSlot slots[kFlightRingCap];
+};
+
+/** @return the static ring pool (kFlightMaxThreads entries). */
+FlightRing *flightRings();
+
+/** Enabled-path append into the calling thread's ring. */
+void flightAppend(FlightKind kind, const char *name, double value);
+
+/**
+ * Copy slot @p i of @p ring into @p out if it holds a settled event.
+ * Safe in any context (relaxed atomic loads only).
+ * @return false for empty or in-flight slots.
+ */
+bool flightReadSlot(const FlightRing &ring, uint32_t i,
+                    FlightEvent *out);
+
+} // namespace detail
+
+/** @return whether events currently record (one relaxed load). */
+inline bool
+flightRecorderEnabled()
+{
+    return detail::flightRecEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn the flight recorder on or off process-wide. */
+void setFlightRecorderEnabled(bool on);
+
+/**
+ * Record a named value into this thread's ring. The cheap always-on
+ * breadcrumb for coarse progress points (batch boundaries, stream
+ * starts, quality readings). @p name should be a short dotted
+ * identifier; it is truncated to FlightEvent::kMaxName.
+ */
+inline void
+flightMark(const char *name, double value,
+           FlightKind kind = FlightKind::Mark)
+{
+    if (!flightRecorderEnabled())
+        return;
+    detail::flightAppend(kind, name, value);
+}
+
+/**
+ * Collect the recorder's current contents across all threads, sorted
+ * by timestamp (oldest first).
+ *
+ * @param lastN keep only the newest N events (0 = all).
+ */
+std::vector<FlightEvent> flightEvents(size_t lastN = 0);
+
+/**
+ * Events lost so far: ring overwrites plus appends from threads
+ * beyond the fixed pool capacity.
+ */
+uint64_t flightDroppedEvents();
+
+/**
+ * Drop every recorded event (all rings). Intended for tests opening a
+ * fresh observation window; racing writers may land events that
+ * survive the clear.
+ */
+void clearFlightEvents();
+
+} // namespace obs
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_OBS_FLIGHTREC_HH

@@ -1,6 +1,7 @@
 #include "obs/registry.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +10,46 @@
 
 namespace edgeadapt {
 namespace obs {
+
+namespace {
+
+// Lock-free instrument index for the async-signal-safe post-mortem
+// path (see InstrumentRef in registry.hh). Appended under the
+// registry mutex, published with a release store of the count, never
+// shrunk. Only instruments of the process-global registry are indexed
+// — a test-local Registry would dangle here after destruction.
+detail::InstrumentRef gInstruments[detail::kMaxInstruments];
+std::atomic<int> gInstrumentCount{0};
+
+void
+indexInstrument(const std::string &name,
+                detail::InstrumentRef::Kind kind, const void *ptr)
+{
+    int n = gInstrumentCount.load(std::memory_order_relaxed);
+    if (n >= detail::kMaxInstruments)
+        return;
+    detail::InstrumentRef &e = gInstruments[n];
+    size_t len =
+        std::min(name.size(), detail::InstrumentRef::kMaxName);
+    std::memcpy(e.name, name.data(), len);
+    e.name[len] = '\0';
+    e.kind = kind;
+    e.ptr = ptr;
+    gInstrumentCount.store(n + 1, std::memory_order_release);
+}
+
+} // namespace
+
+namespace detail {
+
+const InstrumentRef *
+instrumentIndex(int *count)
+{
+    *count = gInstrumentCount.load(std::memory_order_acquire);
+    return gInstruments;
+}
+
+} // namespace detail
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
@@ -47,6 +88,36 @@ Histogram::reset()
     sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double
+HistogramData::quantile(double q) const
+{
+    EA_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of [0, 1]: ", q);
+    if (count <= 0 || bounds.empty() || counts.empty())
+        return 0.0;
+    // Walk the cumulative distribution to the bucket holding the
+    // q*count-th observation, then interpolate linearly inside it
+    // (observations assumed uniform within a bucket).
+    double target = q * (double)count;
+    double cum = 0.0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        double cb = (double)counts[i];
+        if (cb <= 0.0)
+            continue;
+        if (cum + cb >= target || i + 1 == counts.size()) {
+            if (i >= bounds.size())
+                return bounds.back(); // overflow bucket: clamp
+            double hi = bounds[i];
+            double lo =
+                i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+            double frac = (target - cum) / cb;
+            frac = std::min(1.0, std::max(0.0, frac));
+            return lo + frac * (hi - lo);
+        }
+        cum += cb;
+    }
+    return bounds.back();
+}
+
 Registry &
 Registry::global()
 {
@@ -59,8 +130,13 @@ Registry::counter(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto &slot = counters_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Counter>();
+        if (this == &global()) {
+            indexInstrument(name, detail::InstrumentRef::Kind::Counter,
+                            slot.get());
+        }
+    }
     return *slot;
 }
 
@@ -69,8 +145,13 @@ Registry::gauge(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto &slot = gauges_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Gauge>();
+        if (this == &global()) {
+            indexInstrument(name, detail::InstrumentRef::Kind::Gauge,
+                            slot.get());
+        }
+    }
     return *slot;
 }
 
@@ -83,6 +164,11 @@ Registry::histogram(const std::string &name,
     if (!slot) {
         slot = std::make_unique<Histogram>(
             bounds.empty() ? defaultLatencyBounds() : bounds);
+        if (this == &global()) {
+            indexInstrument(name,
+                            detail::InstrumentRef::Kind::Histogram,
+                            slot.get());
+        }
     }
     return *slot;
 }

@@ -33,6 +33,40 @@ class JsonWriter;
 
 namespace detail {
 
+/**
+ * One entry of the lock-free instrument index — the bridge that lets
+ * an async-signal-safe post-mortem writer (snapshot.cc) walk every
+ * registered instrument without taking the registry mutex. Entries
+ * are appended under the registration mutex and published by a
+ * release store of the count; they are never removed (instruments
+ * live for the process lifetime). Reading the pointed-to Counter /
+ * Gauge / Histogram totals is relaxed atomic loads only.
+ */
+struct InstrumentRef
+{
+    static constexpr size_t kMaxName = 63;
+
+    enum class Kind : uint8_t
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    char name[kMaxName + 1];
+    Kind kind;
+    const void *ptr;
+};
+
+/** Instruments indexed beyond this capacity are silently skipped. */
+constexpr int kMaxInstruments = 512;
+
+/**
+ * @return the index base; writes the published entry count to
+ * @p count (acquire). Safe in any context, including signal handlers.
+ */
+const InstrumentRef *instrumentIndex(int *count);
+
 /** Portable relaxed add for atomic<double> (CAS loop). */
 inline void
 atomicAddDouble(std::atomic<double> &a, double d)
@@ -109,6 +143,19 @@ struct HistogramData
     std::vector<int64_t> counts;
     int64_t count = 0;
     double sum = 0.0;
+
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) by linear
+     * interpolation inside the bucket holding the q*count-th
+     * observation, assuming observations spread uniformly within a
+     * bucket. The first finite bucket interpolates from min(0,
+     * bounds[0]); the overflow bucket cannot be interpolated and
+     * clamps to bounds.back(). @return 0 when the histogram is empty.
+     */
+    double quantile(double q) const;
+
+    /** @return sum / count (exact, not bucket-derived), 0 if empty. */
+    double mean() const { return count ? sum / (double)count : 0.0; }
 };
 
 /** Point-in-time capture of every registered instrument. */

@@ -1,0 +1,657 @@
+#include "obs/snapshot.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "base/check.hh"
+#include "base/logging.hh"
+#include "obs/flightrec.hh"
+#include "obs/json.hh"
+#include "obs/memtrack.hh"
+#include "obs/trace.hh"
+
+namespace edgeadapt {
+namespace obs {
+
+// ---------------------------------------------------------------------
+// Post-mortem dumps. Everything the writer touches is statically
+// allocated and every step is async-signal-safe: hand-rolled number
+// formatting into a flushing buffer, open/write/close, relaxed atomic
+// loads of the flight rings, memtrack counters, and the lock-free
+// instrument index. No malloc, no locks, no stdio.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr int kPmMaxEvents = 128;
+
+char gPmPath[512] = {0}; ///< empty = not armed
+int gPmLastN = 64;
+std::atomic<bool> gPmWritten{false};
+
+struct PmEnv
+{
+    int nproc = -1;
+    int threads = -1;
+    char threadsEnv[64] = {0};
+    char sanitizer[32] = {0};
+    char gitSha[64] = {0};
+};
+PmEnv gPmEnv;
+
+/** Buffered fd writer; every method is async-signal-safe. */
+struct PmOut
+{
+    int fd = -1;
+    char buf[1024];
+    size_t n = 0;
+
+    void
+    flush()
+    {
+        size_t off = 0;
+        while (off < n) {
+            ssize_t w = ::write(fd, buf + off, n - off);
+            if (w <= 0)
+                break; // dying anyway; nothing better to do
+            off += (size_t)w;
+        }
+        n = 0;
+    }
+
+    void
+    put(char c)
+    {
+        if (n == sizeof(buf))
+            flush();
+        buf[n++] = c;
+    }
+
+    /** Append @p s verbatim (no quoting). */
+    void
+    raw(const char *s)
+    {
+        for (; *s; ++s)
+            put(*s);
+    }
+
+    /** Append @p s as a quoted, escaped JSON string. */
+    void
+    str(const char *s)
+    {
+        static const char *hex = "0123456789abcdef";
+        put('"');
+        for (; *s; ++s) {
+            unsigned char c = (unsigned char)*s;
+            if (c == '"' || c == '\\') {
+                put('\\');
+                put((char)c);
+            } else if (c < 0x20) {
+                raw("\\u00");
+                put(hex[c >> 4]);
+                put(hex[c & 0xf]);
+            } else {
+                put((char)c);
+            }
+        }
+        put('"');
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        char tmp[24];
+        int i = 0;
+        do {
+            tmp[i++] = (char)('0' + v % 10);
+            v /= 10;
+        } while (v);
+        while (i)
+            put(tmp[--i]);
+    }
+
+    void
+    i64(int64_t v)
+    {
+        if (v < 0) {
+            put('-');
+            u64((uint64_t)-(v + 1) + 1);
+        } else {
+            u64((uint64_t)v);
+        }
+    }
+
+    /** Scientific notation with 17 significant digits; NaN/inf -> null. */
+    void
+    dbl(double v)
+    {
+        if (!std::isfinite(v)) {
+            raw("null");
+            return;
+        }
+        if (v < 0) {
+            put('-');
+            v = -v;
+        }
+        if (v == 0.0) {
+            put('0');
+            return;
+        }
+        int e = 0;
+        while (v >= 10.0) {
+            v /= 10.0;
+            ++e;
+        }
+        while (v < 1.0) {
+            v *= 10.0;
+            --e;
+        }
+        for (int i = 0; i < 17; ++i) {
+            int d = (int)v;
+            if (d > 9)
+                d = 9; // rounding crept past the radix
+            put((char)('0' + d));
+            if (i == 0)
+                put('.');
+            v = (v - d) * 10.0;
+        }
+        put('e');
+        i64(e);
+    }
+};
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV:
+        return "SIGSEGV";
+      case SIGBUS:
+        return "SIGBUS";
+      case SIGFPE:
+        return "SIGFPE";
+      case SIGILL:
+        return "SIGILL";
+      case SIGABRT:
+        return "SIGABRT";
+    }
+    return "?";
+}
+
+/**
+ * Gather the newest flight events into @p out (capacity @p cap),
+ * oldest first. Static-buffer insertion sort — no allocation.
+ */
+int
+pmCollectEvents(FlightEvent *out, int cap)
+{
+    // Up to lastN per ring, merged, newest kept.
+    static FlightEvent all[detail::kFlightMaxThreads * kPmMaxEvents];
+    int total = 0;
+    detail::FlightRing *rings = detail::flightRings();
+    for (uint32_t r = 0; r < detail::kFlightMaxThreads; ++r) {
+        const detail::FlightRing &ring = rings[r];
+        uint64_t c = ring.cursor.load(std::memory_order_acquire);
+        if (c == 0)
+            continue;
+        uint64_t n = std::min<uint64_t>(
+            std::min<uint64_t>(c, detail::kFlightRingCap),
+            (uint64_t)cap);
+        for (uint64_t k = c - n; k < c; ++k) {
+            if (total == (int)(sizeof(all) / sizeof(all[0])))
+                break;
+            if (detail::flightReadSlot(
+                    ring, (uint32_t)(k % detail::kFlightRingCap),
+                    &all[total])) {
+                ++total;
+            }
+        }
+    }
+    // Insertion sort by timestamp (small N, crash path).
+    for (int i = 1; i < total; ++i) {
+        FlightEvent key = all[i];
+        int j = i - 1;
+        while (j >= 0 && all[j].timeNs > key.timeNs) {
+            all[j + 1] = all[j];
+            --j;
+        }
+        all[j + 1] = key;
+    }
+    int keep = total < cap ? total : cap;
+    for (int i = 0; i < keep; ++i)
+        out[i] = all[total - keep + i];
+    return keep;
+}
+
+/** The artifact writer itself. Async-signal-safe throughout. */
+bool
+writeArtifact(const char *reason, const char *where, const char *msg,
+              int sig)
+{
+    if (!gPmPath[0])
+        return false;
+    int fd = ::open(gPmPath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    PmOut w;
+    w.fd = fd;
+
+    w.raw("{\"schema\":\"postmortem.v1\",\"reason\":");
+    w.str(reason);
+    w.raw(",\"where\":");
+    if (where)
+        w.str(where);
+    else
+        w.raw("null");
+    w.raw(",\"message\":");
+    if (msg)
+        w.str(msg);
+    else
+        w.raw("null");
+    w.raw(",\"signal\":");
+    w.i64(sig);
+    w.raw(",\"signal_name\":");
+    if (sig)
+        w.str(signalName(sig));
+    else
+        w.raw("null");
+    w.raw(",\"t_ns\":");
+    w.i64(traceNowNs());
+
+    w.raw(",\"env\":{\"nproc\":");
+    w.i64(gPmEnv.nproc);
+    w.raw(",\"threads\":");
+    w.i64(gPmEnv.threads);
+    w.raw(",\"threads_env\":");
+    w.str(gPmEnv.threadsEnv);
+    w.raw(",\"sanitizer\":");
+    w.str(gPmEnv.sanitizer);
+    w.raw(",\"git_sha\":");
+    w.str(gPmEnv.gitSha);
+    w.raw("}");
+
+    MemStats ms = memStats();
+    w.raw(",\"memory\":{\"live_bytes\":");
+    w.i64(ms.liveBytes);
+    w.raw(",\"high_water_bytes\":");
+    w.i64(ms.highWaterBytes);
+    w.raw(",\"alloc_bytes\":");
+    w.i64(ms.allocBytes);
+    w.raw(",\"freed_bytes\":");
+    w.i64(ms.freedBytes);
+    w.raw(",\"allocs\":");
+    w.i64(ms.allocCount);
+    w.raw(",\"frees\":");
+    w.i64(ms.freeCount);
+    w.raw("}");
+
+    // Metrics through the lock-free index: totals only (histogram
+    // buckets stay out — count/sum is what post-mortem triage needs).
+    int nInstruments = 0;
+    const detail::InstrumentRef *idx =
+        detail::instrumentIndex(&nInstruments);
+    using Kind = detail::InstrumentRef::Kind;
+    w.raw(",\"metrics\":{");
+    for (int pass = 0; pass < 3; ++pass) {
+        Kind want = pass == 0   ? Kind::Counter
+                    : pass == 1 ? Kind::Gauge
+                                : Kind::Histogram;
+        if (pass == 0)
+            w.raw("\"counters\":{");
+        else if (pass == 1)
+            w.raw(",\"gauges\":{");
+        else
+            w.raw(",\"histograms\":{");
+        bool first = true;
+        for (int i = 0; i < nInstruments; ++i) {
+            if (idx[i].kind != want)
+                continue;
+            if (!first)
+                w.put(',');
+            first = false;
+            w.str(idx[i].name);
+            w.put(':');
+            if (want == Kind::Counter) {
+                w.i64(((const Counter *)idx[i].ptr)->value());
+            } else if (want == Kind::Gauge) {
+                w.dbl(((const Gauge *)idx[i].ptr)->value());
+            } else {
+                const Histogram *h = (const Histogram *)idx[i].ptr;
+                w.raw("{\"count\":");
+                w.i64(h->count());
+                w.raw(",\"sum\":");
+                w.dbl(h->sum());
+                w.put('}');
+            }
+        }
+        w.put('}');
+    }
+    w.put('}');
+
+    static FlightEvent events[kPmMaxEvents];
+    int nEvents = pmCollectEvents(events, gPmLastN);
+    w.raw(",\"events\":[");
+    for (int i = 0; i < nEvents; ++i) {
+        if (i)
+            w.put(',');
+        w.raw("{\"t_ns\":");
+        w.i64(events[i].timeNs);
+        w.raw(",\"tid\":");
+        w.u64(events[i].tid);
+        w.raw(",\"kind\":");
+        w.str(flightKindName(events[i].kind));
+        w.raw(",\"name\":");
+        w.str(events[i].name);
+        w.raw(",\"value\":");
+        w.dbl(events[i].value);
+        w.put('}');
+    }
+    w.raw("],\"dropped_events\":");
+    w.u64(flightDroppedEvents());
+    w.raw("}\n");
+    w.flush();
+    ::close(fd);
+    return true;
+}
+
+/** EA_CHECK last-words hook: breadcrumb, then one artifact. */
+void
+pmCheckHook(const char *where, const char *msg)
+{
+    flightMark("check.fail", 0.0, FlightKind::Check);
+    if (!gPmWritten.exchange(true))
+        writeArtifact("check-failure", where, msg, 0);
+}
+
+/**
+ * Fatal-signal handler. Installed with SA_RESETHAND|SA_NODEFER, so
+ * re-raising after the dump runs the default disposition and the
+ * process still dies by the original signal.
+ */
+void
+pmSignalHandler(int sig)
+{
+    if (!gPmWritten.exchange(true))
+        writeArtifact("signal", nullptr, nullptr, sig);
+    ::raise(sig);
+}
+
+const int kPmSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+} // namespace
+
+void
+setPostmortemEnv(int nproc, int threads, const char *threadsEnv,
+                 const char *sanitizer, const char *gitSha)
+{
+    if (nproc >= 0)
+        gPmEnv.nproc = nproc;
+    if (threads >= 0)
+        gPmEnv.threads = threads;
+    auto copy = [](char *dst, size_t cap, const char *src) {
+        if (!src)
+            return;
+        size_t n = std::min(cap - 1, std::strlen(src));
+        std::memcpy(dst, src, n);
+        dst[n] = '\0';
+    };
+    copy(gPmEnv.threadsEnv, sizeof(gPmEnv.threadsEnv), threadsEnv);
+    copy(gPmEnv.sanitizer, sizeof(gPmEnv.sanitizer), sanitizer);
+    copy(gPmEnv.gitSha, sizeof(gPmEnv.gitSha), gitSha);
+}
+
+void
+installPostmortemHandlers(const char *path, int lastNEvents)
+{
+    EA_CHECK(path && *path, "post-mortem dumps need an artifact path");
+    size_t n = std::min(sizeof(gPmPath) - 1, std::strlen(path));
+    std::memcpy(gPmPath, path, n);
+    gPmPath[n] = '\0';
+    gPmLastN = std::min(kPmMaxEvents, std::max(1, lastNEvents));
+    gPmWritten.store(false, std::memory_order_relaxed);
+
+    // Fill env defaults the library can derive itself; bench_util
+    // overrides via setPostmortemEnv (obs cannot see parallel).
+    if (gPmEnv.nproc < 0) {
+        long hw = ::sysconf(_SC_NPROCESSORS_ONLN);
+        gPmEnv.nproc = hw > 0 ? (int)hw : 1;
+    }
+    if (!gPmEnv.threadsEnv[0]) {
+        const char *te = std::getenv("EDGEADAPT_THREADS");
+        if (te)
+            setPostmortemEnv(-1, -1, te, nullptr, nullptr);
+    }
+
+    // Force the trace epoch (a function-local static) to initialize
+    // now, so the handler's traceNowNs() never hits a guarded init.
+    (void)traceNowNs();
+
+    setCheckFailureHook(&pmCheckHook);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &pmSignalHandler;
+    sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    for (int sig : kPmSignals)
+        ::sigaction(sig, &sa, nullptr);
+}
+
+bool
+postmortemInstalled()
+{
+    return gPmPath[0] != '\0';
+}
+
+void
+uninstallPostmortemHandlers()
+{
+    if (!postmortemInstalled())
+        return;
+    setCheckFailureHook(nullptr);
+    for (int sig : kPmSignals)
+        ::signal(sig, SIG_DFL);
+    gPmPath[0] = '\0';
+}
+
+bool
+writePostmortemNow(const char *reason)
+{
+    return writeArtifact(reason, nullptr, nullptr, 0);
+}
+
+// ---------------------------------------------------------------------
+// Periodic telemetry snapshots (normal code path).
+// ---------------------------------------------------------------------
+
+namespace detail {
+std::atomic<bool> telemetryEnabled{false};
+} // namespace detail
+
+SnapshotWriter::SnapshotWriter(std::string path)
+    : path_(std::move(path))
+{
+    EA_CHECK(!path_.empty(), "SnapshotWriter needs a path");
+}
+
+void
+SnapshotWriter::write(const std::string &label)
+{
+    Snapshot cur = Registry::global().snapshot();
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("edgeadapt.telemetry.v1");
+    w.key("seq");
+    w.value(seq_ + 1); // 1-based: line N carries seq N
+    w.key("t_ns");
+    w.value(traceNowNs());
+    w.key("label");
+    w.value(label);
+
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, v] : cur.counters) {
+        int64_t prev = 0;
+        if (havePrev_) {
+            auto it = prev_.counters.find(name);
+            if (it != prev_.counters.end())
+                prev = it->second;
+        }
+        w.key(name);
+        w.beginObject();
+        w.key("total");
+        w.value(v);
+        w.key("delta");
+        w.value(v - prev);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, v] : cur.gauges) {
+        w.key(name);
+        w.value(v);
+    }
+    w.endObject();
+
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, h] : cur.histograms) {
+        int64_t prevCount = 0;
+        double prevSum = 0.0;
+        if (havePrev_) {
+            auto it = prev_.histograms.find(name);
+            if (it != prev_.histograms.end()) {
+                prevCount = it->second.count;
+                prevSum = it->second.sum;
+            }
+        }
+        w.key(name);
+        w.beginObject();
+        w.key("count");
+        w.value(h.count);
+        w.key("delta_count");
+        w.value(h.count - prevCount);
+        w.key("sum");
+        w.value(h.sum);
+        w.key("delta_sum");
+        w.value(h.sum - prevSum);
+        w.key("p50");
+        w.value(h.quantile(0.50));
+        w.key("p90");
+        w.value(h.quantile(0.90));
+        w.key("p99");
+        w.value(h.quantile(0.99));
+        w.endObject();
+    }
+    w.endObject();
+
+    MemStats ms = memStats();
+    w.key("memory");
+    w.beginObject();
+    w.key("tracked");
+    w.value(memTrackingEnabled());
+    w.key("live_bytes");
+    w.value(ms.liveBytes);
+    w.key("high_water_bytes");
+    w.value(ms.highWaterBytes);
+    w.key("alloc_bytes");
+    w.value(ms.allocBytes);
+    w.key("freed_bytes");
+    w.value(ms.freedBytes);
+    w.key("allocs");
+    w.value(ms.allocCount);
+    w.key("frees");
+    w.value(ms.freeCount);
+    w.endObject();
+
+    w.key("flightrec");
+    w.beginObject();
+    w.key("dropped");
+    w.value((int64_t)flightDroppedEvents());
+    w.endObject();
+    w.endObject();
+
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    fatal_if(!out, "cannot open telemetry path: ", path_);
+    out << w.str() << "\n";
+    fatal_if(!out.good(), "failed writing telemetry to ", path_);
+
+    prev_ = std::move(cur);
+    havePrev_ = true;
+    ++seq_;
+    flightMark("telemetry.snapshot", (double)seq_);
+}
+
+namespace {
+
+std::mutex gTelemetryMu;
+std::unique_ptr<SnapshotWriter> gTelemetrySink;
+int gTelemetryEvery = 16;
+uint64_t gTelemetryTicks = 0;
+
+/** Arms the sinks from the environment at static-init time. */
+struct SnapshotEnvInit
+{
+    SnapshotEnvInit()
+    {
+        const char *pm = std::getenv("EDGEADAPT_POSTMORTEM");
+        if (pm && *pm)
+            installPostmortemHandlers(pm);
+        const char *tp = std::getenv("EDGEADAPT_TELEMETRY");
+        if (tp && *tp) {
+            int every = 16;
+            const char *ev = std::getenv("EDGEADAPT_TELEMETRY_EVERY");
+            if (ev && *ev && std::atoi(ev) > 0)
+                every = std::atoi(ev);
+            setTelemetrySink(tp, every);
+        }
+    }
+};
+
+SnapshotEnvInit snapshotEnvInit;
+
+} // namespace
+
+void
+setTelemetrySink(const std::string &path, int everyN)
+{
+    std::lock_guard<std::mutex> lock(gTelemetryMu);
+    if (path.empty() || everyN <= 0) {
+        detail::telemetryEnabled.store(false,
+                                       std::memory_order_relaxed);
+        gTelemetrySink.reset();
+        return;
+    }
+    gTelemetrySink = std::make_unique<SnapshotWriter>(path);
+    gTelemetryEvery = everyN;
+    gTelemetryTicks = 0;
+    detail::telemetryEnabled.store(true, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+telemetryTickSlow(const char *label)
+{
+    std::lock_guard<std::mutex> lock(gTelemetryMu);
+    if (!gTelemetrySink)
+        return;
+    if (++gTelemetryTicks % (uint64_t)gTelemetryEvery == 0)
+        gTelemetrySink->write(label);
+}
+
+} // namespace detail
+
+} // namespace obs
+} // namespace edgeadapt

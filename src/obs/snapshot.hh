@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Telemetry snapshots and post-mortem dumps — the consumers of the
+ * flight recorder (flightrec.hh) and the metrics registry.
+ *
+ * Two artifact schemas:
+ *
+ *  - "edgeadapt.telemetry.v1": one JSONL line per periodic snapshot
+ *    (counter totals + deltas, gauges, histogram count/sum/quantiles,
+ *    memtrack state), appended by SnapshotWriter. adapt::runStream
+ *    drives the process-wide sink via telemetryTick() every batch;
+ *    the sink writes every N-th tick. Normal code path — may
+ *    allocate, may lock.
+ *
+ *  - "postmortem.v1": a single JSON object written when the process
+ *    dies abnormally — an EA_CHECK contract failure (via the
+ *    setCheckFailureHook last-words hook) or a fatal signal
+ *    (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT). Contains the last-N
+ *    flight-recorder events, a metrics snapshot (read through the
+ *    lock-free instrument index), memtrack totals, and the bench env
+ *    provenance fields. The writer is async-signal-safe: static
+ *    buffers, hand-rolled number formatting, open/write/close only —
+ *    no malloc, no locks, no stdio.
+ *
+ * Enabling: installPostmortemHandlers() / EDGEADAPT_POSTMORTEM=<path>
+ * for dumps, setTelemetrySink() / EDGEADAPT_TELEMETRY=<path> (period
+ * via EDGEADAPT_TELEMETRY_EVERY, default 16) for snapshots. Bench
+ * binaries wire both through --postmortem / --telemetry.
+ */
+
+#ifndef EDGEADAPT_OBS_SNAPSHOT_HH
+#define EDGEADAPT_OBS_SNAPSHOT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hh"
+
+namespace edgeadapt {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> telemetryEnabled;
+void telemetryTickSlow(const char *label);
+} // namespace detail
+
+/**
+ * Periodic "edgeadapt.telemetry.v1" JSONL appender. Each write()
+ * captures the registry and emits totals plus deltas against the
+ * previous write, so rates and means are computable line-to-line
+ * without rescanning buckets. Not signal-safe (normal code path).
+ */
+class SnapshotWriter
+{
+  public:
+    /** @param path JSONL file to append to (created on first write). */
+    explicit SnapshotWriter(std::string path);
+
+    /** Append one telemetry line labeled @p label. */
+    void write(const std::string &label);
+
+    /** @return lines written so far. */
+    int64_t lines() const { return seq_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    Snapshot prev_;
+    bool havePrev_ = false;
+    int64_t seq_ = 0;
+};
+
+/**
+ * Configure the process-wide telemetry sink: every @p everyN-th
+ * telemetryTick() appends a snapshot line to @p path. An empty path
+ * or everyN <= 0 disables the sink.
+ */
+void setTelemetrySink(const std::string &path, int everyN);
+
+/**
+ * Progress heartbeat for streaming loops (one relaxed load when no
+ * sink is configured). adapt::runStream calls this once per batch.
+ */
+inline void
+telemetryTick(const char *label)
+{
+    if (!detail::telemetryEnabled.load(std::memory_order_relaxed))
+        return;
+    detail::telemetryTickSlow(label);
+}
+
+/**
+ * Inject the bench env provenance fields into post-mortem artifacts
+ * (obs sits below parallel in the layering, so thread counts must be
+ * pushed in from above — bench_util does this). Pass nullptr to leave
+ * a string field unchanged, a negative count to leave it unchanged.
+ */
+void setPostmortemEnv(int nproc, int threads, const char *threadsEnv,
+                      const char *sanitizer, const char *gitSha);
+
+/**
+ * Arm post-mortem dumps: installs the EA_CHECK last-words hook and
+ * fatal-signal handlers (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT) that
+ * write a "postmortem.v1" artifact to @p path before the process
+ * dies. At most one artifact is written per process.
+ *
+ * @param path artifact file (truncated on write).
+ * @param lastNEvents flight-recorder events to include (clamped to
+ *        [1, 128]).
+ */
+void installPostmortemHandlers(const char *path, int lastNEvents = 64);
+
+/** @return whether post-mortem dumps are currently armed. */
+bool postmortemInstalled();
+
+/** Disarm: restore default signal dispositions, drop the hook. */
+void uninstallPostmortemHandlers();
+
+/**
+ * Write the artifact to the configured path right now (reason
+ * "manual"). Signal-safe. @return false when not armed or the file
+ * cannot be opened.
+ */
+bool writePostmortemNow(const char *reason = "manual");
+
+} // namespace obs
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_OBS_SNAPSHOT_HH

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "base/logging.hh"
+#include "obs/flightrec.hh"
 #include "obs/json.hh"
 #include "obs/memtrack.hh"
 
@@ -193,6 +194,11 @@ Span::~Span()
         return;
     int64_t end = traceNowNs();
     --tlSpanDepth;
+    // Mirror the close into the flight recorder (span ends are the
+    // black box's richest event source while tracing is on; lock-free,
+    // so it stays cheap next to the mutexed ring append below).
+    flightMark(name_, (double)(end - startNs_) * 1e-9,
+               FlightKind::SpanEnd);
     ThreadBuffer &b = threadBuffer();
     --b.depth;
     std::lock_guard<std::mutex> lock(b.mu);

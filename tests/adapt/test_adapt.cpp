@@ -7,9 +7,12 @@
  * under covariate shift, BN adaptation reduces prediction error.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "adapt/method.hh"
+#include "adapt/quality.hh"
 #include "adapt/session.hh"
 #include "models/registry.hh"
 #include "tensor/ops.hh"
@@ -231,6 +234,81 @@ TEST(Session, EvaluateRestoresPristineState)
     m.setTraining(false);
     Tensor l2 = m.forward(b.images);
     EXPECT_LT(maxAbsDiff(l1, l2), 1e-7f);
+}
+
+TEST(Quality, BatchQualityMatchesHandComputedSoftmax)
+{
+    // Two rows, two classes, mirrored 1:3 odds. Each row's softmax is
+    // {0.25, 0.75} (in some order), so entropy and confidence follow
+    // in closed form, and the argmaxes split across both classes.
+    const float l3 = std::log(3.0f);
+    Tensor logits =
+        Tensor::fromVector(Shape{2, 2}, {0.0f, l3, l3, 0.0f});
+    quality::BatchQuality q = quality::batchQuality(logits);
+
+    const double h =
+        -(0.25 * std::log(0.25) + 0.75 * std::log(0.75));
+    EXPECT_NEAR(q.entropy, h, 1e-6);
+    EXPECT_NEAR(q.confidence, 0.75, 1e-6);
+    // Row 0 predicts class 1, row 1 predicts class 0: no modal class.
+    EXPECT_NEAR(q.skew, 0.5, 1e-9);
+}
+
+TEST(Quality, SkewFlagsPredictionCollapse)
+{
+    // Every row argmaxes to class 2 — the signature of adaptation
+    // collapse — so the modal fraction saturates at 1.
+    Tensor logits = Tensor::fromVector(
+        Shape{4, 3},
+        {0.0f, 1.0f, 6.0f, -1.0f, 0.5f, 7.0f,
+         0.2f, 0.1f, 5.0f, 1.0f, 2.0f, 8.0f});
+    quality::BatchQuality q = quality::batchQuality(logits);
+    EXPECT_NEAR(q.skew, 1.0, 1e-9);
+    EXPECT_GT(q.confidence, 0.9);
+    EXPECT_LT(q.entropy, 0.3);
+}
+
+TEST(Quality, BnDriftZeroWhenPristineGrowsUnderBnNorm)
+{
+    Rng rng(74);
+    models::Model m = models::buildModel("wrn40_2-tiny", rng);
+    quality::BnStatsSnapshot source =
+        quality::BnStatsSnapshot::capture(m.net());
+    ASSERT_FALSE(source.empty());
+    EXPECT_DOUBLE_EQ(source.drift(m.net()), 0.0);
+
+    // BN-Norm rewrites running statistics from the batch; drift must
+    // register the move.
+    auto method = makeMethod(Algorithm::BnNorm, m);
+    data::SynthCifar ds(16);
+    Rng drng(75);
+    data::Batch b = ds.batch(16, drng);
+    method->processBatch(b.images);
+    EXPECT_GT(source.drift(m.net()), 0.0);
+}
+
+TEST(Quality, StreamResultCarriesQualitySummary)
+{
+    models::Model &m = trainedModel();
+    nn::ModelState pristine = nn::ModelState::capture(m.net());
+
+    data::SynthCifar ds(16);
+    auto method = makeMethod(Algorithm::BnNorm, m);
+    data::StreamConfig sc;
+    sc.corruption = data::Corruption::GaussianNoise;
+    sc.batchSize = 25;
+    sc.totalSamples = 100;
+    data::CorruptionStream stream(ds, sc, Rng(76));
+    StreamResult r = runStream(*method, stream);
+
+    EXPECT_EQ(r.quality.batches, r.batches);
+    EXPECT_GT(r.quality.meanEntropy, 0.0);
+    EXPECT_GT(r.quality.meanConfidence, 0.0);
+    EXPECT_LE(r.quality.meanConfidence, 1.0);
+    EXPECT_GE(r.quality.maxSkew, r.quality.meanSkew);
+    EXPECT_LE(r.quality.maxSkew, 1.0);
+    EXPECT_GT(r.quality.bnDrift, 0.0);
+    pristine.restore(m.net());
 }
 
 TEST(Session, AdaptationReducesErrorUnderShift)

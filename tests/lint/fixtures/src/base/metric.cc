@@ -1,0 +1,40 @@
+// metric-name fixture: registry metric names at counter()/gauge()/
+// histogram() member-call sites must be lowercase dotted identifiers
+// ("module.metric"). Computed names and non-member calls are left
+// alone; a sanctioned site carries NOLINT(metric-name).
+
+#include <string>
+
+namespace fixture {
+
+struct Instrument
+{
+    void increment() {}
+    void set(double) {}
+};
+
+struct Registry
+{
+    Instrument &counter(const std::string &);
+    Instrument &gauge(const std::string &);
+    Instrument &histogram(const std::string &);
+};
+
+Instrument &freeGauge(const std::string &);
+
+void
+metrics(Registry &reg, Registry *preg, const std::string &dynamic)
+{
+    reg.counter("adapt.batches").increment();       // ok: dotted
+    reg.gauge("mem.live_bytes").set(1.0);           // ok: dotted
+    preg->histogram("adapt.batch_seconds");         // ok: via ->
+    reg.counter("Batches").increment();             // bad: uppercase
+    reg.gauge("entropy").set(0.5);                  // bad: no dot
+    preg->histogram("adapt.batch seconds");         // bad: space
+    reg.counter("adapt..steps").increment();        // bad: empty segment
+    reg.counter(dynamic).increment();               // ok: computed
+    freeGauge("NotAMetric");                        // ok: not a member call
+    reg.gauge("Legacy.Name").set(2.0); // NOLINT(metric-name)
+}
+
+} // namespace fixture

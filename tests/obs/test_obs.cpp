@@ -296,6 +296,84 @@ TEST(Registry, CountersGaugesHistogramsAggregate)
     EXPECT_EQ(h.count(), 0);
 }
 
+TEST(Registry, SnapshotReportsHistogramCountAndSum)
+{
+    // The per-histogram observation count and sum ride through the
+    // snapshot AND its JSON serialization — telemetry deltas and the
+    // post-mortem metrics section are built from exactly these fields.
+    Registry reg;
+    Histogram &h = reg.histogram("test.countsum", {1.0, 10.0});
+    h.observe(0.25);
+    h.observe(5.0);
+    h.observe(100.0);
+
+    Snapshot s = reg.snapshot();
+    const HistogramData &hd = s.histograms.at("test.countsum");
+    EXPECT_EQ(hd.count, 3);
+    EXPECT_DOUBLE_EQ(hd.sum, 105.25);
+    EXPECT_DOUBLE_EQ(hd.mean(), 105.25 / 3.0);
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(s.json(), &v, &err)) << err;
+    const JsonValue *jh = v.get("histograms")->get("test.countsum");
+    ASSERT_NE(jh, nullptr);
+    EXPECT_DOUBLE_EQ(jh->get("count")->number, 3.0);
+    EXPECT_DOUBLE_EQ(jh->get("sum")->number, 105.25);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("test.quant", {10.0, 20.0, 40.0});
+    // 10 observations in (0, 10], 10 in (10, 20].
+    for (int i = 0; i < 10; ++i) {
+        h.observe(5.0);
+        h.observe(15.0);
+    }
+    HistogramData hd = reg.snapshot().histograms.at("test.quant");
+
+    // Median: 10 of 20 observations land exactly at the first bucket
+    // boundary under the uniform-within-bucket assumption.
+    EXPECT_DOUBLE_EQ(hd.quantile(0.5), 10.0);
+    // Quartiles sit mid-bucket.
+    EXPECT_DOUBLE_EQ(hd.quantile(0.25), 5.0);
+    EXPECT_DOUBLE_EQ(hd.quantile(0.75), 15.0);
+    // Extremes clamp to the bucket edges.
+    EXPECT_DOUBLE_EQ(hd.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hd.quantile(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileOverflowClampsAndEmptyIsZero)
+{
+    Registry reg;
+    HistogramData empty =
+        reg.snapshot().histograms.count("none")
+            ? reg.snapshot().histograms.at("none")
+            : HistogramData{};
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    Histogram &h = reg.histogram("test.quant_over", {1.0, 2.0});
+    h.observe(50.0); // overflow bucket only
+    HistogramData hd = reg.snapshot().histograms.at("test.quant_over");
+    // The overflow bucket has no upper edge to interpolate toward;
+    // every quantile inside it clamps to the last finite bound.
+    EXPECT_DOUBLE_EQ(hd.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(hd.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, QuantileNegativeFirstBoundInterpolatesFromIt)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("test.quant_neg", {-10.0, 10.0});
+    h.observe(-15.0); // first bucket: everything <= -10
+    HistogramData hd = reg.snapshot().histograms.at("test.quant_neg");
+    // The first bucket's lower edge is min(0, bounds[0]) = -10: the
+    // bucket is degenerate ([-10, -10]) and every quantile inside it
+    // returns the bound itself.
+    EXPECT_DOUBLE_EQ(hd.quantile(0.5), -10.0);
+}
+
 TEST(Registry, ConcurrentWritersLoseNothing)
 {
     Registry reg;

@@ -1,0 +1,144 @@
+// Post-mortem dump tests. The death tests fork (gtest death-test
+// machinery), crash the child — an EA_CHECK contract failure and a
+// raised fatal signal — and then parse the "postmortem.v1" artifact
+// the dying child left on disk. Runs as one serialized ctest entry
+// ("obs" label): handlers and the flight recorder are process-global.
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/check.hh"
+#include "obs/flightrec.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "obs/snapshot.hh"
+
+using namespace edgeadapt;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Parse @p path and verify the invariant postmortem.v1 structure. */
+obs::JsonValue
+parseArtifact(const std::string &path)
+{
+    std::string text = slurp(path);
+    EXPECT_FALSE(text.empty()) << "no artifact at " << path;
+    obs::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(obs::jsonParse(text, &v, &err)) << err;
+    EXPECT_TRUE(v.isObject());
+    EXPECT_EQ(v.get("schema")->string, "postmortem.v1");
+    EXPECT_NE(v.get("reason"), nullptr);
+    EXPECT_TRUE(v.get("env")->isObject());
+    EXPECT_GT(v.get("env")->get("nproc")->number, 0.0);
+    EXPECT_TRUE(v.get("memory")->isObject());
+    EXPECT_NE(v.get("memory")->get("live_bytes"), nullptr);
+    EXPECT_TRUE(v.get("metrics")->isObject());
+    EXPECT_TRUE(v.get("events")->isArray());
+    return v;
+}
+
+bool
+hasEventNamed(const obs::JsonValue &artifact, const std::string &name)
+{
+    for (const obs::JsonValue &e : artifact.get("events")->array) {
+        const obs::JsonValue *n = e.get("name");
+        if (n && n->isString() && n->string == name)
+            return true;
+    }
+    return false;
+}
+
+TEST(Postmortem, ManualWriteRoundTrips)
+{
+    std::string path = testing::TempDir() + "/edgeadapt_pm_manual.json";
+    std::remove(path.c_str());
+
+    obs::Registry::global().counter("test.pm.events").add(11);
+    obs::Registry::global().gauge("test.pm.level").set(3.25);
+    obs::installPostmortemHandlers(path.c_str(), 32);
+    EXPECT_TRUE(obs::postmortemInstalled());
+    obs::flightMark("test.pm.breadcrumb", 1.0);
+    EXPECT_TRUE(obs::writePostmortemNow());
+    obs::uninstallPostmortemHandlers();
+    EXPECT_FALSE(obs::postmortemInstalled());
+
+    obs::JsonValue v = parseArtifact(path);
+    EXPECT_EQ(v.get("reason")->string, "manual");
+    EXPECT_TRUE(hasEventNamed(v, "test.pm.breadcrumb"));
+    const obs::JsonValue *counters =
+        v.get("metrics")->get("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->get("test.pm.events"), nullptr);
+    EXPECT_EQ(counters->get("test.pm.events")->number, 11.0);
+    const obs::JsonValue *gauges = v.get("metrics")->get("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_DOUBLE_EQ(gauges->get("test.pm.level")->number, 3.25);
+    std::remove(path.c_str());
+}
+
+TEST(Postmortem, WriteWithoutInstallFails)
+{
+    obs::uninstallPostmortemHandlers();
+    EXPECT_FALSE(obs::writePostmortemNow());
+}
+
+TEST(PostmortemDeathTest, CheckFailureLeavesArtifact)
+{
+    std::string path = testing::TempDir() + "/edgeadapt_pm_check.json";
+    std::remove(path.c_str());
+
+    EXPECT_DEATH(
+        {
+            obs::installPostmortemHandlers(path.c_str(), 16);
+            obs::flightMark("test.pm.last_words", 9.0);
+            EA_CHECK(1 == 2, "deliberate contract failure");
+        },
+        "deliberate contract failure");
+
+    obs::JsonValue v = parseArtifact(path);
+    EXPECT_EQ(v.get("reason")->string, "check-failure");
+    EXPECT_NE(v.get("message")->string.find("deliberate contract"),
+              std::string::npos);
+    // The hook records the failure itself as the final breadcrumb.
+    EXPECT_TRUE(hasEventNamed(v, "check.fail"));
+    EXPECT_TRUE(hasEventNamed(v, "test.pm.last_words"));
+    std::remove(path.c_str());
+}
+
+TEST(PostmortemDeathTest, FatalSignalLeavesArtifact)
+{
+    std::string path = testing::TempDir() + "/edgeadapt_pm_sig.json";
+    std::remove(path.c_str());
+
+    EXPECT_EXIT(
+        {
+            obs::installPostmortemHandlers(path.c_str(), 16);
+            obs::flightMark("test.pm.before_signal", 4.0);
+            ::raise(SIGSEGV);
+        },
+        testing::KilledBySignal(SIGSEGV), "");
+
+    obs::JsonValue v = parseArtifact(path);
+    EXPECT_EQ(v.get("reason")->string, "signal");
+    EXPECT_EQ(v.get("signal")->number, (double)SIGSEGV);
+    EXPECT_EQ(v.get("signal_name")->string, "SIGSEGV");
+    EXPECT_TRUE(hasEventNamed(v, "test.pm.before_signal"));
+    std::remove(path.c_str());
+}
+
+} // namespace

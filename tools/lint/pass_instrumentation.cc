@@ -423,6 +423,69 @@ checkUntrackedAlloc(const SourceFile &sf, Diagnostics &diag)
     }
 }
 
+/**
+ * @return whether @p name is a lowercase dotted metric identifier:
+ * two or more non-empty [a-z0-9_] segments joined by single dots.
+ */
+bool
+isMetricName(const std::string &name)
+{
+    bool sawDot = false;
+    bool segEmpty = true;
+    for (char ch : name) {
+        if (ch == '.') {
+            if (segEmpty)
+                return false;
+            sawDot = true;
+            segEmpty = true;
+        } else if ((ch >= 'a' && ch <= 'z') ||
+                   (ch >= '0' && ch <= '9') || ch == '_') {
+            segEmpty = false;
+        } else {
+            return false;
+        }
+    }
+    return sawDot && !segEmpty;
+}
+
+/**
+ * Enforce the metric-name convention at every counter()/gauge()/
+ * histogram() member-call site with a literal name. Namespaced dotted
+ * names keep the registry snapshot (and everything downstream of it:
+ * bench reports, telemetry lines, post-mortem dumps) greppable and
+ * collision-free across modules. Computed names are resolved at run
+ * time and are left to review.
+ */
+void
+checkMetricName(const SourceFile &sf, Diagnostics &diag)
+{
+    const Tokens &toks = sf.lex.tokens;
+    for (size_t i = 1; i + 2 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Identifier)
+            continue;
+        if (!t.isIdent("counter") && !t.isIdent("gauge") &&
+            !t.isIdent("histogram")) {
+            continue;
+        }
+        bool memberCall = toks[i - 1].is(".") ||
+                          (i > 1 && toks[i - 1].is(">") &&
+                           toks[i - 2].is("-"));
+        if (!memberCall || !toks[i + 1].is("("))
+            continue;
+        const Token &arg = toks[i + 2];
+        if (arg.kind != Token::Kind::String)
+            continue;
+        if (isMetricName(arg.text))
+            continue;
+        diag.report(sf, arg.line, "metric-name",
+                    "metric name \"" + arg.text +
+                        "\" is not a lowercase dotted identifier "
+                        "(want \"module.metric\" like "
+                        "\"adapt.entropy\")");
+    }
+}
+
 } // namespace
 
 void
@@ -436,6 +499,11 @@ runInstrumentationPass(const Context &ctx, Diagnostics &diag)
             checkUntrackedAlloc(sf, diag);
         }
     }
+
+    // Metric-name convention everywhere a registry instrument is
+    // created (src, tests, benches, tools alike).
+    for (const SourceFile &sf : ctx.files)
+        checkMetricName(sf, diag);
 
     // 1. Class hierarchy over every loaded file, seeded at the Module
     //    base class declared in src/nn/module.hh.

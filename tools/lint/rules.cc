@@ -48,6 +48,9 @@ ruleTable()
         {"untracked-alloc", Severity::Error, "instrumentation",
          "float buffers in src/tensor/ and src/nn/ must use the "
          "tracked Tensor/scratch storage path"},
+        {"metric-name", Severity::Error, "instrumentation",
+         "registry metric names must be lowercase dotted identifiers "
+         "(e.g. \"adapt.entropy\")"},
         // parallel-region pass
         {"parallel-capture", Severity::Error, "parallel-region",
          "no unsynchronized write through a by-reference capture in a "

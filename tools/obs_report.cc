@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Artifact browser for the observability layer: pretty-prints,
+ * validates, merges, and diffs the two crash/telemetry schemas —
+ * "edgeadapt.telemetry.v1" JSONL streams (SnapshotWriter) and
+ * "postmortem.v1" crash dumps (installPostmortemHandlers).
+ *
+ * Usage:
+ *   obs_report FILE...              pretty-print each artifact
+ *   obs_report --check FILE...      validate schemas; exit 1 on any
+ *                                   malformed document
+ *   obs_report --merge FILE...      merge telemetry streams into one
+ *                                   t_ns-ordered JSONL on stdout
+ *   obs_report --diff FILE_A FILE_B compare the final telemetry
+ *                                   snapshots (or post-mortem metric
+ *                                   sections) of two artifacts
+ *
+ * Exit status: 0 = ok, 1 = validation failure (--check) or malformed
+ * input, 2 = usage error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+using edgeadapt::obs::JsonValue;
+using edgeadapt::obs::jsonParse;
+
+namespace {
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+/** One parsed document plus the raw line it came from. */
+struct Doc
+{
+    JsonValue value;
+    std::string raw;
+    int line = 0; ///< 1-based line in the source file (0 = whole file)
+};
+
+/**
+ * Load an artifact file: JSONL (one object per non-empty line) or a
+ * single whole-file JSON document. @return false with a message on
+ * stderr when anything fails to parse.
+ */
+bool
+loadDocs(const std::string &path, std::vector<Doc> *out)
+{
+    std::string text;
+    if (!readFile(path, &text)) {
+        std::fprintf(stderr, "obs_report: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    // A post-mortem artifact is a single (possibly multi-line-free)
+    // object; try whole-file first, then fall back to JSONL.
+    JsonValue whole;
+    if (jsonParse(text, &whole) && whole.isObject()) {
+        out->push_back(Doc{std::move(whole), text, 0});
+        return true;
+    }
+    size_t pos = 0;
+    int lineNo = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++lineNo;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonValue v;
+        std::string err;
+        if (!jsonParse(line, &v, &err) || !v.isObject()) {
+            std::fprintf(stderr, "obs_report: %s:%d: bad JSON: %s\n",
+                         path.c_str(), lineNo, err.c_str());
+            return false;
+        }
+        out->push_back(Doc{std::move(v), std::move(line), lineNo});
+    }
+    if (out->empty()) {
+        std::fprintf(stderr, "obs_report: %s: no documents\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+schemaOf(const JsonValue &doc)
+{
+    const JsonValue *s = doc.get("schema");
+    return s && s->isString() ? s->string : "";
+}
+
+double
+numberAt(const JsonValue &doc, const char *key, double def = 0.0)
+{
+    const JsonValue *v = doc.get(key);
+    return v && v->isNumber() ? v->number : def;
+}
+
+std::string
+stringAt(const JsonValue &doc, const char *key)
+{
+    const JsonValue *v = doc.get(key);
+    return v && v->isString() ? v->string : "";
+}
+
+// ---------------------------------------------------------------- check
+
+/**
+ * Validate one document against its declared schema. Only structure
+ * this repo's writers guarantee is required; extra keys are ignored so
+ * the check survives additive schema growth.
+ */
+bool
+checkDoc(const std::string &path, const Doc &d, std::string *schema)
+{
+    auto fail = [&](const char *what) {
+        std::fprintf(stderr, "obs_report: %s:%d: %s\n", path.c_str(),
+                     d.line, what);
+        return false;
+    };
+    *schema = schemaOf(d.value);
+    if (*schema == "edgeadapt.telemetry.v1") {
+        if (!d.value.get("seq") || !d.value.get("t_ns"))
+            return fail("telemetry line missing seq/t_ns");
+        const JsonValue *g = d.value.get("gauges");
+        const JsonValue *c = d.value.get("counters");
+        const JsonValue *h = d.value.get("histograms");
+        if (!g || !g->isObject() || !c || !c->isObject() || !h ||
+            !h->isObject())
+            return fail("telemetry line missing metric sections");
+        const JsonValue *m = d.value.get("memory");
+        if (!m || !m->isObject() || !m->get("live_bytes"))
+            return fail("telemetry line missing memory section");
+        return true;
+    }
+    if (*schema == "postmortem.v1") {
+        if (stringAt(d.value, "reason").empty())
+            return fail("post-mortem missing reason");
+        const JsonValue *env = d.value.get("env");
+        if (!env || !env->isObject() || !env->get("nproc"))
+            return fail("post-mortem missing env provenance");
+        const JsonValue *mem = d.value.get("memory");
+        if (!mem || !mem->isObject() || !mem->get("live_bytes"))
+            return fail("post-mortem missing memory section");
+        const JsonValue *ev = d.value.get("events");
+        if (!ev || !ev->isArray())
+            return fail("post-mortem missing events array");
+        for (const JsonValue &e : ev->array) {
+            if (!e.isObject() || !e.get("t_ns") || !e.get("name"))
+                return fail("post-mortem event missing t_ns/name");
+        }
+        const JsonValue *met = d.value.get("metrics");
+        if (!met || !met->isObject())
+            return fail("post-mortem missing metrics section");
+        return true;
+    }
+    return fail("unknown or missing schema");
+}
+
+int
+cmdCheck(const std::vector<std::string> &files)
+{
+    bool ok = true;
+    for (const std::string &path : files) {
+        std::vector<Doc> docs;
+        if (!loadDocs(path, &docs)) {
+            ok = false;
+            continue;
+        }
+        std::map<std::string, int> bySchema;
+        bool fileOk = true;
+        for (const Doc &d : docs) {
+            std::string schema;
+            if (!checkDoc(path, d, &schema))
+                fileOk = false;
+            else
+                ++bySchema[schema];
+        }
+        if (fileOk) {
+            std::string kinds;
+            for (const auto &[s, n] : bySchema) {
+                if (!kinds.empty())
+                    kinds += ", ";
+                kinds += s + " x" + std::to_string(n);
+            }
+            std::printf("ok: %s (%s)\n", path.c_str(), kinds.c_str());
+        }
+        ok = ok && fileOk;
+    }
+    return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------- print
+
+void
+printTelemetryLine(const Doc &d)
+{
+    const JsonValue &v = d.value;
+    std::printf("  #%-4lld t=%.3fs %-16s", (long long)numberAt(v, "seq"),
+                numberAt(v, "t_ns") * 1e-9,
+                stringAt(v, "label").c_str());
+    if (const JsonValue *mem = v.get("memory")) {
+        std::printf(" live=%.1fKiB hw=%.1fKiB",
+                    numberAt(*mem, "live_bytes") / 1024.0,
+                    numberAt(*mem, "high_water_bytes") / 1024.0);
+    }
+    if (const JsonValue *g = v.get("gauges")) {
+        for (const char *k : {"adapt.entropy", "adapt.confidence",
+                              "adapt.bn_drift"}) {
+            if (const JsonValue *gv = g->get(k)) {
+                if (gv->isNumber())
+                    std::printf(" %s=%.4f", k, gv->number);
+            }
+        }
+    }
+    std::printf("\n");
+}
+
+void
+printPostmortem(const Doc &d)
+{
+    const JsonValue &v = d.value;
+    std::printf("  reason:  %s\n", stringAt(v, "reason").c_str());
+    std::string where = stringAt(v, "where");
+    if (!where.empty())
+        std::printf("  where:   %s\n", where.c_str());
+    std::string msg = stringAt(v, "message");
+    if (!msg.empty())
+        std::printf("  message: %s\n", msg.c_str());
+    if (numberAt(v, "signal") != 0.0) {
+        std::printf("  signal:  %d (%s)\n", (int)numberAt(v, "signal"),
+                    stringAt(v, "signal_name").c_str());
+    }
+    if (const JsonValue *env = v.get("env")) {
+        std::printf("  env:     nproc=%d threads=%d sanitizer=%s "
+                    "git=%.12s\n",
+                    (int)numberAt(*env, "nproc"),
+                    (int)numberAt(*env, "threads"),
+                    stringAt(*env, "sanitizer").c_str(),
+                    stringAt(*env, "git_sha").c_str());
+    }
+    if (const JsonValue *mem = v.get("memory")) {
+        std::printf("  memory:  live=%.1fKiB high-water=%.1fKiB "
+                    "allocs=%lld\n",
+                    numberAt(*mem, "live_bytes") / 1024.0,
+                    numberAt(*mem, "high_water_bytes") / 1024.0,
+                    (long long)numberAt(*mem, "allocs"));
+    }
+    if (const JsonValue *ev = v.get("events")) {
+        std::printf("  last %zu flight-recorder events "
+                    "(%lld dropped):\n",
+                    ev->array.size(),
+                    (long long)numberAt(v, "dropped_events"));
+        for (const JsonValue &e : ev->array) {
+            std::printf("    %12.6fs tid=%-3d %-8s %-24s %g\n",
+                        numberAt(e, "t_ns") * 1e-9,
+                        (int)numberAt(e, "tid"),
+                        stringAt(e, "kind").c_str(),
+                        stringAt(e, "name").c_str(),
+                        numberAt(e, "value"));
+        }
+    }
+}
+
+int
+cmdPrint(const std::vector<std::string> &files)
+{
+    for (const std::string &path : files) {
+        std::vector<Doc> docs;
+        if (!loadDocs(path, &docs))
+            return 1;
+        std::printf("== %s ==\n", path.c_str());
+        for (const Doc &d : docs) {
+            std::string schema = schemaOf(d.value);
+            if (schema == "edgeadapt.telemetry.v1") {
+                printTelemetryLine(d);
+            } else if (schema == "postmortem.v1") {
+                printPostmortem(d);
+            } else {
+                std::fprintf(stderr,
+                             "obs_report: %s:%d: unknown schema "
+                             "\"%s\"\n",
+                             path.c_str(), d.line, schema.c_str());
+                return 1;
+            }
+        }
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------- merge
+
+int
+cmdMerge(const std::vector<std::string> &files)
+{
+    std::vector<Doc> all;
+    for (const std::string &path : files) {
+        std::vector<Doc> docs;
+        if (!loadDocs(path, &docs))
+            return 1;
+        for (Doc &d : docs) {
+            if (schemaOf(d.value) != "edgeadapt.telemetry.v1") {
+                std::fprintf(stderr,
+                             "obs_report: --merge accepts telemetry "
+                             "streams only (%s:%d)\n",
+                             path.c_str(), d.line);
+                return 1;
+            }
+            all.push_back(std::move(d));
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Doc &a, const Doc &b) {
+                         return numberAt(a.value, "t_ns") <
+                                numberAt(b.value, "t_ns");
+                     });
+    for (const Doc &d : all)
+        std::printf("%s\n", d.raw.c_str());
+    return 0;
+}
+
+// ----------------------------------------------------------------- diff
+
+/** Flatten the comparable numbers of one artifact into name -> value. */
+std::map<std::string, double>
+flatMetrics(const JsonValue &doc)
+{
+    std::map<std::string, double> out;
+    if (const JsonValue *g = doc.get("gauges")) {
+        for (const auto &[k, v] : g->object) {
+            if (v.isNumber())
+                out["gauge " + k] = v.number;
+        }
+    }
+    if (const JsonValue *c = doc.get("counters")) {
+        for (const auto &[k, v] : c->object) {
+            // Telemetry counters are {total, delta}; post-mortem
+            // counters are bare numbers.
+            if (v.isNumber())
+                out["counter " + k] = v.number;
+            else if (const JsonValue *t = v.get("total"))
+                out["counter " + k] = t->number;
+        }
+    }
+    if (const JsonValue *m = doc.get("metrics")) {
+        // postmortem.v1 nests its registry snapshot under "metrics".
+        for (const char *sec : {"counters", "gauges"}) {
+            if (const JsonValue *s = m->get(sec)) {
+                for (const auto &[k, v] : s->object) {
+                    if (v.isNumber())
+                        out[std::string(sec) + " " + k] = v.number;
+                }
+            }
+        }
+    }
+    if (const JsonValue *mem = doc.get("memory")) {
+        out["memory live_bytes"] = numberAt(*mem, "live_bytes");
+        out["memory high_water_bytes"] =
+            numberAt(*mem, "high_water_bytes");
+    }
+    return out;
+}
+
+int
+cmdDiff(const std::string &pathA, const std::string &pathB)
+{
+    std::vector<Doc> a, b;
+    if (!loadDocs(pathA, &a) || !loadDocs(pathB, &b))
+        return 1;
+    // Diff the *final* state of each artifact (last telemetry line;
+    // a post-mortem file has exactly one document).
+    const JsonValue &va = a.back().value;
+    const JsonValue &vb = b.back().value;
+    auto ma = flatMetrics(va);
+    auto mb = flatMetrics(vb);
+    std::printf("%-40s %16s %16s %12s\n", "metric", pathA.c_str(),
+                pathB.c_str(), "delta");
+    for (const auto &[name, x] : ma) {
+        auto it = mb.find(name);
+        if (it == mb.end()) {
+            std::printf("%-40s %16g %16s %12s\n", name.c_str(), x,
+                        "-", "-");
+            continue;
+        }
+        std::printf("%-40s %16g %16g %+12g\n", name.c_str(), x,
+                    it->second, it->second - x);
+    }
+    for (const auto &[name, y] : mb) {
+        if (!ma.count(name))
+            std::printf("%-40s %16s %16g %12s\n", name.c_str(), "-", y,
+                        "-");
+    }
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: obs_report FILE...\n"
+                 "       obs_report --check FILE...\n"
+                 "       obs_report --merge FILE...\n"
+                 "       obs_report --diff FILE_A FILE_B\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+    if (args[0] == "--check") {
+        args.erase(args.begin());
+        return args.empty() ? usage() : cmdCheck(args);
+    }
+    if (args[0] == "--merge") {
+        args.erase(args.begin());
+        return args.empty() ? usage() : cmdMerge(args);
+    }
+    if (args[0] == "--diff") {
+        return args.size() == 3 ? cmdDiff(args[1], args[2]) : usage();
+    }
+    for (const std::string &a : args) {
+        if (a.rfind("--", 0) == 0)
+            return usage();
+    }
+    return cmdPrint(args);
+}
