@@ -322,6 +322,10 @@ scratch(int slot, size_t elems)
     if (s.cap < elems) {
         if (s.tracked)
             obs::recordFree((int64_t)(s.cap * sizeof(float)));
+        // The per-thread arena is the sanctioned allocation point of
+        // hot kernels: it grows monotonically to the high-water mark,
+        // so steady-state calls never reach the allocator.
+        // NOLINTNEXTLINE(hot-alloc-interproc)
         s.data = std::make_unique_for_overwrite<float[]>(elems);
         s.cap = elems;
         s.tracked =

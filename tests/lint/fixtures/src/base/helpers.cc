@@ -1,0 +1,51 @@
+// Cross-TU helpers for the whole-program fixtures. The interprocedural
+// rules resolve calls from src/tensor/interproc_race.cc and
+// interproc_alloc.cc into these definitions: bumpSharedTally writes a
+// plain global (racy when reached from a parallel region),
+// bumpAtomicTally is its synchronized twin, logSample grows a
+// container (allocation when reached from a hot loop), scaleSample is
+// the pure clean variant.
+
+namespace fixture {
+
+using int64_t = long long;
+
+int64_t gTally = 0;
+
+struct AtomicTally
+{
+    void add(int64_t v);
+};
+
+struct FloatLog
+{
+    void push_back(float v);
+};
+
+FloatLog gLog;
+
+void
+bumpSharedTally()
+{
+    gTally += 1; // unsynchronized global write
+}
+
+void
+bumpAtomicTally(AtomicTally &tally)
+{
+    tally.add(1);
+}
+
+void
+logSample(float v)
+{
+    gLog.push_back(v); // container growth: heap allocation
+}
+
+float
+scaleSample(float v)
+{
+    return v * 0.5f; // pure: no effects to summarize
+}
+
+} // namespace fixture

@@ -1,0 +1,70 @@
+// signal-safety fixtures. installHandlers() registers pmCheckHook via
+// setCheckFailureHook and pmSignalHandler through .sa_handler, so
+// both anchor the async-signal-safety closure. The dirty handler path
+// hides its sins one call deep in emitDump (allocation, a lock, and a
+// call the analyzer cannot resolve); the quiet handler sticks to
+// write() and is clean.
+
+namespace fixture {
+
+struct CrashLog
+{
+    void push_back(int v);
+};
+
+struct mutex
+{
+};
+
+struct lock_guard
+{
+    explicit lock_guard(mutex &m);
+};
+
+using size_t = unsigned long;
+long write(int fd, const void *buf, size_t n);
+void setCheckFailureHook(void (*hook)(const char *, const char *));
+void formatCrashLine(char *buf, int cap);
+
+CrashLog gCrashLog;
+mutex gDumpMutex;
+
+void
+emitDump()
+{
+    lock_guard guard(gDumpMutex); // unsafe: may deadlock in a handler
+    gCrashLog.push_back(1);       // unsafe: allocation
+    char line[64];
+    formatCrashLine(line, 64); // unsafe: unresolved, not whitelisted
+}
+
+void
+pmCheckHook(const char *where, const char *msg)
+{
+    (void)where;
+    (void)msg;
+    emitDump();
+}
+
+void
+pmSignalHandler(int sig)
+{
+    (void)sig;
+    write(2, "crash\n", 6); // clean: async-signal-safe whitelist
+}
+
+struct sigaction_t
+{
+    void (*sa_handler)(int);
+};
+
+void
+installHandlers()
+{
+    setCheckFailureHook(&pmCheckHook);
+    sigaction_t sa;
+    sa.sa_handler = &pmSignalHandler;
+    (void)sa;
+}
+
+} // namespace fixture

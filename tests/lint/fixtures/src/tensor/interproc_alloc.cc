@@ -1,0 +1,39 @@
+// hot-alloc-interproc fixtures: the kernel loops never touch a
+// container themselves — allocation hides one call away in
+// src/base/helpers.cc (logSample grows a log) — so the per-file
+// hot-alloc rule cannot see it. The clean loop calls the pure helper;
+// the warm-up path keeps its sanctioned call under a scoped NOLINT.
+
+namespace fixture {
+
+using int64_t = long long;
+
+void logSample(float v);
+float scaleSample(float v);
+
+void
+launderedAllocation(float *dst, const float *src, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        dst[i] = src[i];
+        logSample(src[i]); // hot loop reaches push_back via helper
+    }
+}
+
+void
+pureHelperIsClean(float *dst, const float *src, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = scaleSample(src[i]); // clean: callee allocates nothing
+}
+
+void
+sanctionedWarmup(const float *src, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        // One-time calibration sweep, allowed to grow the log.
+        logSample(src[i]); // NOLINT(hot-alloc-interproc)
+    }
+}
+
+} // namespace fixture

@@ -1,0 +1,53 @@
+// parallel-interproc fixtures: the region bodies are clean under the
+// per-file parallel rules — every shared write hides behind a call
+// into src/base/helpers.cc — so only the whole-program closure can
+// see the races. The synchronized variant routes through a method of
+// an opaque tally type and stays clean.
+
+namespace fixture {
+
+using int64_t = long long;
+
+void parallelFor(int64_t begin, int64_t end, int64_t grain, int body);
+void bumpSharedTally();
+void bumpAtomicTally(struct AtomicTally &tally);
+float scaleSample(float v);
+
+using HookFn = void (*)(float *);
+
+HookFn gHook;
+
+void
+launderedGlobalWrite(float *dst, int64_t n)
+{
+    parallelFor(0, n, 256, [&](int64_t b, int64_t e, int64_t chunk) {
+        for (int64_t i = b; i < e; ++i) {
+            dst[i] = scaleSample((float)i);
+            bumpSharedTally(); // racy: callee writes a global
+        }
+        (void)chunk;
+    });
+}
+
+void
+indirectDispatch(float *dst, int64_t n)
+{
+    parallelFor(0, n, 256, [&](int64_t b, int64_t e, int64_t chunk) {
+        (void)e;
+        (void)chunk;
+        gHook(dst + b); // racy: function pointer, assume worst
+    });
+}
+
+void
+synchronizedTally(AtomicTally &tally, float *dst, int64_t n)
+{
+    parallelFor(0, n, 256, [&](int64_t b, int64_t e, int64_t chunk) {
+        for (int64_t i = b; i < e; ++i)
+            dst[i] = scaleSample((float)i); // clean: pure callee
+        bumpAtomicTally(tally);
+        (void)chunk;
+    });
+}
+
+} // namespace fixture

@@ -1,0 +1,98 @@
+# Whole-program canary: seed one violation per interprocedural rule
+# into a scratch copy of the real src/ tree and require the analyzer
+# to catch every one. Unlike the fixture mini-repo (synthetic,
+# self-contained), this proves the rules fire on the production code
+# paths they were built for: a cross-file racy helper reached from
+# gemm's parallel region, an allocation laundered into the same
+# region's loop, a malloc on the post-mortem signal path, and an
+# upward call from base into adapt.
+#
+# The unmutated copy must come back clean first, so every finding is
+# attributable to a seed.
+#
+# Invoked by ctest as:
+#   cmake -DLINT_BIN=... -DSRC_DIR=... -DOUT_DIR=... -P run_canary.cmake
+
+foreach(var LINT_BIN SRC_DIR OUT_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_canary.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+set(work "${OUT_DIR}/lint_canary")
+file(REMOVE_RECURSE "${work}")
+file(COPY "${SRC_DIR}" DESTINATION "${work}")
+
+# --- 1. The pristine copy is clean under the whole-program pass. ----
+
+execute_process(
+    COMMAND "${LINT_BIN}" --repo-root "${work}"
+            --pass whole-program "${work}/src"
+    OUTPUT_VARIABLE clean_out
+    ERROR_VARIABLE clean_err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "pristine src/ copy is not clean (rc=${rc}):\n${clean_out}")
+endif()
+
+# --- 2. Seed one violation per rule. --------------------------------
+
+macro(seed file before after)
+    file(READ "${work}/src/${file}" _text)
+    string(FIND "${_text}" "${before}" _pos)
+    if(_pos EQUAL -1)
+        message(FATAL_ERROR
+            "seed anchor not found in src/${file}: ${before}")
+    endif()
+    string(REPLACE "${before}" "${after}" _text "${_text}")
+    file(WRITE "${work}/src/${file}" "${_text}")
+endmacro()
+
+# signal-safety: heap allocation inside the post-mortem artifact
+# writer, which both installed handlers reach.
+seed(obs/snapshot.cc
+    "    PmOut w;"
+    "    PmOut w;\n    void *pmLeak = malloc(64);\n    (void)pmLeak;")
+
+# parallel-interproc / hot-alloc-interproc: a cross-file helper pair
+# in ops.cc — one writes a global, one grows a container — called
+# from gemm's row-band region lambda.
+seed(tensor/ops.cc
+    "namespace edgeadapt {"
+    "namespace edgeadapt {\n\nint64_t gCanaryOps = 0;\nstd::vector<float> gCanaryLog;\n\nvoid\nnoteCanaryOp()\n{\n    gCanaryOps += 1;\n}\n\nvoid\nlogCanaryValue(float v)\n{\n    gCanaryLog.push_back(v);\n}\n")
+
+seed(tensor/gemm.cc
+    "    auto rowBand = [&](int64_t rb, int64_t re, int64_t) {"
+    "    auto rowBand = [&](int64_t rb, int64_t re, int64_t) {\n        noteCanaryOp();\n        for (int64_t cr = rb; cr < re; ++cr)\n            logCanaryValue((float)cr);")
+
+# layer-call: base (layer 0) calling upward into adapt (layer 7).
+seed(base/format.cc
+    "namespace edgeadapt {"
+    "namespace edgeadapt {\n\nconst char *\ncanaryAlgorithmTag()\n{\n    return algorithmName(Algorithm::kTent);\n}\n")
+
+# --- 3. Every seeded rule must fire, and nothing may crash. ---------
+
+execute_process(
+    COMMAND "${LINT_BIN}" --repo-root "${work}"
+            --pass whole-program "${work}/src"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+        "seeded run: expected rc=1, got '${rc}'\n${out}\n${err}")
+endif()
+
+foreach(expect
+        "\\[signal-safety\\] allocates \\('malloc\\(\\)'\\)"
+        "\\[parallel-interproc\\].*writes shared state 'gCanaryOps'"
+        "\\[hot-alloc-interproc\\].*push_back\\(\\)"
+        "\\[layer-call\\] call to 'algorithmName'")
+    if(NOT out MATCHES "${expect}")
+        message(FATAL_ERROR
+            "seeded violation not reported: ${expect}\n${out}")
+    endif()
+endforeach()
+
+message(STATUS "lint whole-program canary passed")

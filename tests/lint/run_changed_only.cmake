@@ -1,0 +1,52 @@
+# Regression test for --changed-only stdin handling. A git diff
+# routinely names files that no longer exist (deleted or renamed-away
+# entries); the scanner must skip them with a note, keep linting the
+# files that do exist, and skip the whole-program pass (which needs
+# the full file set) with a second note.
+#
+# Invoked by ctest as:
+#   cmake -DLINT_BIN=... -DREPO_ROOT=... -DOUT_DIR=...
+#         -P run_changed_only.cmake
+
+foreach(var LINT_BIN REPO_ROOT OUT_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR
+            "run_changed_only.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+set(stdin_file "${OUT_DIR}/changed_only_stdin.txt")
+file(WRITE "${stdin_file}"
+    "src/base/deleted_in_this_diff.cc\nsrc/base/check.cc\n")
+
+execute_process(
+    COMMAND "${LINT_BIN}" --repo-root "${REPO_ROOT}" --changed-only
+            "${REPO_ROOT}/src"
+    INPUT_FILE "${stdin_file}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "--changed-only with a deleted path: expected rc=0, got "
+        "'${rc}'\nstdout: ${out}\nstderr: ${err}")
+endif()
+
+if(NOT err MATCHES "skipping 'src/base/deleted_in_this_diff.cc'")
+    message(FATAL_ERROR
+        "missing skip note for the deleted path.\nstderr: ${err}")
+endif()
+
+if(NOT err MATCHES "skipping whole-program pass under --changed-only")
+    message(FATAL_ERROR
+        "missing whole-program skip note.\nstderr: ${err}")
+endif()
+
+# The existing file must still have been scanned.
+if(NOT out MATCHES "1 files")
+    message(FATAL_ERROR
+        "expected exactly the surviving file to be scanned.\n${out}")
+endif()
+
+message(STATUS "lint --changed-only regression test passed")

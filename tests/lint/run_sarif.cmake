@@ -1,0 +1,81 @@
+# SARIF round-trip test: the fixture mini-repo is emitted both as the
+# native JSON report and as SARIF 2.1.0, and the two must agree — one
+# SARIF result per JSON finding, same rule ids, plus the full rule
+# table in the driver metadata.
+#
+# Invoked by ctest as:
+#   cmake -DLINT_BIN=... -DFIXTURES=... -P run_sarif.cmake
+
+foreach(var LINT_BIN FIXTURES)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_sarif.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${LINT_BIN}" --repo-root "${FIXTURES}" --format=sarif
+            "${FIXTURES}"
+    OUTPUT_VARIABLE sarif
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "sarif run: expected rc=1, got '${rc}'")
+endif()
+
+execute_process(
+    COMMAND "${LINT_BIN}" --repo-root "${FIXTURES}" --format=json
+            "${FIXTURES}"
+    OUTPUT_VARIABLE json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "json run: expected rc=1, got '${rc}'")
+endif()
+
+if(NOT sarif MATCHES "\"version\":\"2.1.0\"")
+    message(FATAL_ERROR "missing SARIF version marker:\n${sarif}")
+endif()
+
+# One result per finding.
+string(REGEX MATCHALL "\"ruleId\":" sarif_results "${sarif}")
+string(REGEX MATCHALL "\"rule\":" json_findings "${json}")
+list(LENGTH sarif_results n_sarif)
+list(LENGTH json_findings n_json)
+if(NOT n_sarif EQUAL n_json)
+    message(FATAL_ERROR
+        "result count mismatch: ${n_sarif} SARIF results vs "
+        "${n_json} JSON findings")
+endif()
+if(n_sarif EQUAL 0)
+    message(FATAL_ERROR "fixture run produced no findings at all")
+endif()
+
+# Every JSON finding's rule id appears as a SARIF ruleId, and every
+# file path as an artifact URI.
+string(REGEX MATCHALL "\"rule\":\"[a-z-]+\"" rules "${json}")
+foreach(r ${rules})
+    string(REPLACE "\"rule\":" "\"ruleId\":" want "${r}")
+    string(FIND "${sarif}" "${want}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR "rule missing from SARIF: ${want}")
+    endif()
+endforeach()
+
+string(REGEX MATCHALL "\"file\":\"[^\"]+\"" files "${json}")
+foreach(f ${files})
+    string(REGEX REPLACE "\"file\":\"([^\"]+)\"" "\\1" path "${f}")
+    string(FIND "${sarif}" "\"uri\":\"${path}\"" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR "file missing from SARIF: ${path}")
+    endif()
+endforeach()
+
+# The driver metadata carries the whole rule table, interprocedural
+# rules included.
+foreach(rule parallel-interproc hot-alloc-interproc signal-safety
+        layer-call tab hot-alloc)
+    string(FIND "${sarif}" "\"id\":\"${rule}\"" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR "rule table entry missing: ${rule}")
+    endif()
+endforeach()
+
+message(STATUS "lint SARIF round-trip test passed")

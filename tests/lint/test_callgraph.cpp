@@ -1,0 +1,297 @@
+// Unit tests for the whole-program layer (tools/lint/summary.{hh,cc}
+// + callgraph.{hh,cc}): cross-TU call resolution and the effect
+// summaries the interprocedural rules consume. Each test builds a
+// tiny multi-file "repo" from snippets and pins the corner cases the
+// resolution policy is easiest to get wrong: overload unions,
+// own-class preference for unqualified member calls, receiver-typed
+// member resolution, templated callees, lambdas passed as callbacks,
+// function pointers degrading to worst-case, and recursion/SCC cycles
+// in the reachability closure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "callgraph.hh"
+
+namespace {
+
+using namespace ealint;
+
+SourceFile
+makeFile(const std::string &rel, const std::string &src)
+{
+    SourceFile sf;
+    sf.rel = rel;
+    sf.absPath = rel;
+    sf.raw = src;
+    sf.isSrc = rel.rfind("src/", 0) == 0;
+    if (sf.isSrc)
+        sf.module = srcModule(rel.substr(4));
+    sf.lex = lex(src);
+    return sf;
+}
+
+CallGraph
+build(std::vector<std::pair<std::string, std::string>> files)
+{
+    std::vector<SourceFile> sfs;
+    for (const auto &f : files)
+        sfs.push_back(makeFile(f.first, f.second));
+    return buildCallGraph(sfs);
+}
+
+/** Sole node named @p name, failing the test when ambiguous. */
+int
+nodeNamed(const CallGraph &g, const std::string &name)
+{
+    std::vector<int> ids = g.byName(name);
+    EXPECT_EQ(ids.size(), 1u) << "ambiguous or missing: " << name;
+    return ids.empty() ? -1 : ids[0];
+}
+
+bool
+hasEdge(const CallGraph &g, int from, int to)
+{
+    for (int c : g.nodes[(size_t)from].callees) {
+        if (c == to)
+            return true;
+    }
+    return false;
+}
+
+TEST(CallGraph, OverloadUnionAcrossTUs)
+{
+    CallGraph g = build({
+        {"src/base/a.cc", R"(
+            void emit(int v) { (void)v; }
+        )"},
+        {"src/obs/b.cc", R"(
+            void emit(float v) { (void)v; }
+        )"},
+        {"src/tensor/c.cc", R"(
+            void kernel() { emit(3); }
+        )"},
+    });
+    int kernel = nodeNamed(g, "kernel");
+    std::vector<int> emits = g.byName("emit");
+    ASSERT_EQ(emits.size(), 2u);
+    // A plain call resolves to the whole cross-TU overload set.
+    EXPECT_TRUE(hasEdge(g, kernel, emits[0]));
+    EXPECT_TRUE(hasEdge(g, kernel, emits[1]));
+    EXPECT_TRUE(g.nodes[(size_t)kernel].unresolved.empty());
+}
+
+TEST(CallGraph, UnqualifiedMemberCallPrefersOwnClass)
+{
+    CallGraph g = build({
+        {"src/obs/counter.cc", R"(
+            struct Counter {
+                void add(int v) { total_ += v; }
+                void increment() { add(1); }
+                int total_ = 0;
+            };
+        )"},
+        {"src/nn/seq.cc", R"(
+            struct Sequential {
+                void add(int m) { (void)m; }
+            };
+        )"},
+    });
+    int inc = nodeNamed(g, "increment");
+    std::vector<int> adds = g.byName("add");
+    ASSERT_EQ(adds.size(), 2u);
+    int ownAdd = -1, foreignAdd = -1;
+    for (int a : adds) {
+        if (g.nodes[(size_t)a].fs->qualifier == "Counter")
+            ownAdd = a;
+        else
+            foreignAdd = a;
+    }
+    ASSERT_GE(ownAdd, 0);
+    ASSERT_GE(foreignAdd, 0);
+    EXPECT_TRUE(hasEdge(g, inc, ownAdd));
+    EXPECT_FALSE(hasEdge(g, inc, foreignAdd));
+}
+
+TEST(CallGraph, MemberCallResolvesThroughReceiverType)
+{
+    CallGraph g = build({
+        {"src/nn/conv.cc", R"(
+            struct Conv {
+                void forward(float *x) { (void)x; }
+            };
+            struct Pool {
+                void forward(float *x) { (void)x; }
+            };
+        )"},
+        {"src/models/net.cc", R"(
+            struct Conv;
+            void run(Conv &layer, float *x) {
+                Conv c = layer;
+                c.forward(x);
+            }
+        )"},
+    });
+    int run = nodeNamed(g, "run");
+    std::vector<int> fwds = g.byName("forward");
+    ASSERT_EQ(fwds.size(), 2u);
+    for (int f : fwds) {
+        bool isConv = g.nodes[(size_t)f].fs->qualifier == "Conv";
+        EXPECT_EQ(hasEdge(g, run, f), isConv)
+            << g.nodeName(f) << " edge wrong";
+    }
+}
+
+TEST(CallGraph, QualifiedCallMatchesNamespacePath)
+{
+    CallGraph g = build({
+        {"src/base/par.cc", R"(
+            namespace edgeadapt { namespace parallel {
+            void configure(int n) { (void)n; }
+            } }
+        )"},
+        {"src/adapt/user.cc", R"(
+            void tune() { parallel::configure(4); }
+            void wrong() { device::configure(4); }
+        )"},
+    });
+    int tune = nodeNamed(g, "tune");
+    int wrong = nodeNamed(g, "wrong");
+    int conf = nodeNamed(g, "configure");
+    EXPECT_TRUE(hasEdge(g, tune, conf));
+    // A qualifier that matches neither class nor namespace resolves
+    // nowhere and is recorded as unresolved.
+    EXPECT_FALSE(hasEdge(g, wrong, conf));
+    ASSERT_EQ(g.nodes[(size_t)wrong].unresolved.size(), 1u);
+    EXPECT_EQ(g.nodes[(size_t)wrong].unresolved[0]->name, "configure");
+}
+
+TEST(CallGraph, TemplatedCalleeWithExplicitArgs)
+{
+    CallGraph g = build({
+        {"src/tensor/util.cc", R"(
+            template <typename T>
+            T clampTo(T v) { return v; }
+        )"},
+        {"src/tensor/kern.cc", R"(
+            float shrink(float v) { return clampTo<float>(v); }
+        )"},
+    });
+    int shrink = nodeNamed(g, "shrink");
+    int clamp = nodeNamed(g, "clampTo");
+    EXPECT_TRUE(hasEdge(g, shrink, clamp));
+}
+
+TEST(CallGraph, LambdaPassedAsCallbackGetsMayInvokeEdge)
+{
+    CallGraph g = build({
+        {"src/base/sched.cc", R"(
+            void runner(int body) { (void)body; }
+            void launch() {
+                auto work = [&](int i) { (void)i; };
+                runner(work);
+            }
+        )"},
+    });
+    int launch = nodeNamed(g, "launch");
+    int lambda = -1;
+    for (size_t n = 0; n < g.nodes.size(); ++n) {
+        if (g.nodes[n].fs->isLambda && g.nodes[n].fs->name == "work")
+            lambda = (int)n;
+    }
+    ASSERT_GE(lambda, 0);
+    EXPECT_TRUE(hasEdge(g, launch, lambda));
+}
+
+TEST(CallGraph, FunctionPointerDegradesToWorstCase)
+{
+    CallGraph g = build({
+        {"src/device/hook.cc", R"(
+            using HookFn = void (*)(int);
+            HookFn gHook;
+            void fire() { gHook(1); }
+        )"},
+    });
+    int fire = nodeNamed(g, "fire");
+    const FnSummary *fs = g.nodes[(size_t)fire].fs;
+    // The call resolves to nothing, is not "unresolved external", and
+    // leaves the worst-case marker the rules key on.
+    EXPECT_TRUE(g.nodes[(size_t)fire].callees.empty());
+    EXPECT_TRUE(g.nodes[(size_t)fire].unresolved.empty());
+    ASSERT_EQ(fs->indirectCalls.size(), 1u);
+    EXPECT_EQ(fs->indirectCalls[0].what, "gHook");
+}
+
+TEST(CallGraph, RecursionAndSccTerminate)
+{
+    CallGraph g = build({
+        {"src/analysis/walk.cc", R"(
+            void visitB(int d);
+            void visitA(int d) { visitB(d - 1); }
+            void visitB(int d) { visitA(d - 1); }
+            int fact(int n) { return n < 2 ? 1 : n * fact(n - 1); }
+        )"},
+    });
+    int a = nodeNamed(g, "visitA");
+    int b = nodeNamed(g, "visitB");
+    int fact = nodeNamed(g, "fact");
+    std::vector<int> reach = g.reachable(a, nullptr);
+    // The mutual cycle closes without hanging and covers both nodes.
+    EXPECT_EQ(reach.size(), 2u);
+    EXPECT_TRUE(hasEdge(g, a, b));
+    EXPECT_TRUE(hasEdge(g, b, a));
+    // Self-recursion is a one-node cycle.
+    EXPECT_TRUE(hasEdge(g, fact, fact));
+    EXPECT_EQ(g.reachable(fact, nullptr).size(), 1u);
+}
+
+TEST(Summary, EffectExtraction)
+{
+    CallGraph g = build({
+        {"src/obs/fx.cc", R"(
+            int gCount = 0;
+            struct Log { void push_back(int v); };
+            Log gLog;
+            void touch(float *dst, int n) {
+                gCount += 1;
+                dst[0] = (float)n;
+                gLog.push_back(n);
+                throw n;
+            }
+        )"},
+    });
+    int touch = nodeNamed(g, "touch");
+    const FnSummary *fs = g.nodes[(size_t)touch].fs;
+    ASSERT_EQ(fs->globalWrites.size(), 1u);
+    EXPECT_EQ(fs->globalWrites[0].what, "gCount");
+    EXPECT_TRUE(fs->writesParamIdx.count(0));
+    ASSERT_EQ(fs->allocs.size(), 1u);
+    EXPECT_EQ(fs->allocs[0].what, "push_back()");
+    EXPECT_EQ(fs->throwSites.size(), 1u);
+}
+
+TEST(Summary, WitnessPathThroughChain)
+{
+    CallGraph g = build({
+        {"src/tensor/a.cc", R"(
+            void leafWrite();
+            void mid() { leafWrite(); }
+            void top() { mid(); }
+        )"},
+        {"src/tensor/b.cc", R"(
+            int gShared = 0;
+            void leafWrite() { gShared = 7; }
+        )"},
+    });
+    int top = nodeNamed(g, "top");
+    int leaf = nodeNamed(g, "leafWrite");
+    std::map<int, std::pair<int, int>> parent;
+    std::vector<int> reach = g.reachable(top, &parent);
+    EXPECT_EQ(reach.size(), 3u);
+    EXPECT_EQ(g.pathString(top, leaf, parent),
+              "top -> mid -> leafWrite");
+}
+
+} // namespace

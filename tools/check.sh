@@ -8,10 +8,14 @@
 #   tools/check.sh fast       # ASan+UBSan, smoke labels only
 #   tools/check.sh lint       # static analyzer only (no sanitizer
 #                             # rebuild: compiles just edgeadapt_lint
-#                             # in build/ and runs every pass)
+#                             # in build/ and runs every pass, the
+#                             # whole-program cross-TU rules included)
 #   tools/check.sh lint-fast  # analyzer over changed files only
 #                             # (git diff vs HEAD + untracked), the
-#                             # sub-second pre-commit loop
+#                             # sub-second pre-commit loop; per-file
+#                             # passes only — the whole-program pass
+#                             # needs the full file set and is skipped
+#                             # under --changed-only
 #   tools/check.sh bench      # bench regression gate: rerun the
 #                             # report bench set in build/ and diff
 #                             # against the committed baseline
@@ -72,11 +76,13 @@ run_lint() {
         "$ROOT/examples"
 }
 
-# Changed-files-only variant: the same passes, but --changed-only
-# narrows the batch to what git reports as modified vs HEAD plus
+# Changed-files-only variant: the per-file passes, with --changed-only
+# narrowing the batch to what git reports as modified vs HEAD plus
 # untracked files. Cross-file passes (include-graph layering) still
 # see the full discovery set they need via the roots; per-file rules
-# only fire on the changed files.
+# only fire on the changed files; the whole-program pass is skipped by
+# the driver (a partial file set would mis-resolve cross-TU calls) —
+# run `check.sh lint` before pushing to get the interprocedural rules.
 run_lint_fast() {
     local bdir="$ROOT/build"
     if [ ! -f "$bdir/CMakeCache.txt" ]; then

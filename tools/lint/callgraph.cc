@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Call-graph construction and reachability over function summaries.
+ * See callgraph.hh for the resolution policy.
+ */
+
+#include "callgraph.hh"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace ealint {
+
+namespace {
+
+/** @return true when @p nsPath is @p q or ends in "::q". */
+bool
+nsEndsWith(const std::string &nsPath, const std::string &q)
+{
+    if (nsPath == q)
+        return true;
+    if (nsPath.size() > q.size() + 2 &&
+        nsPath.compare(nsPath.size() - q.size(), q.size(), q) == 0 &&
+        nsPath.compare(nsPath.size() - q.size() - 2, 2, "::") == 0) {
+        return true;
+    }
+    return false;
+}
+
+struct Builder
+{
+    CallGraph &g;
+
+    explicit Builder(CallGraph &cg) : g(cg) {}
+
+    void
+    makeNodes()
+    {
+        for (size_t f = 0; f < g.files.size(); ++f) {
+            for (const FnSummary &fs : g.files[f].fns) {
+                CGNode n;
+                n.file = (int)f;
+                n.scope = fs.scope;
+                n.fs = &fs;
+                n.sf = g.files[f].sf;
+                g.nodes.push_back(n);
+                if (!fs.isLambda && !fs.name.empty()) {
+                    g.nameIndex[fs.name].push_back(
+                        (int)g.nodes.size() - 1);
+                }
+            }
+        }
+    }
+
+    void
+    connect()
+    {
+        for (size_t n = 0; n < g.nodes.size(); ++n) {
+            CGNode &node = g.nodes[n];
+            std::set<int> seen;
+            for (const CallSite &cs : node.fs->calls) {
+                std::vector<int> targets =
+                    g.resolveCall((int)n, cs);
+                if (targets.empty() &&
+                    (cs.kind == CallSite::Kind::Direct ||
+                     cs.kind == CallSite::Kind::Qualified ||
+                     cs.kind == CallSite::Kind::GlobalQual) &&
+                    cs.name != "parallelFor") {
+                    node.unresolved.push_back(&cs);
+                }
+                for (int t : targets) {
+                    node.calleeSites.push_back({t, cs.line});
+                    if (seen.insert(t).second)
+                        node.callees.push_back(t);
+                }
+                // May-invoke edges: function names and lambdas
+                // passed as arguments are assumed to be called.
+                for (const CallArg &a : cs.bareArgs) {
+                    for (int t : argTargets((int)n, cs, a)) {
+                        node.calleeSites.push_back({t, cs.line});
+                        if (seen.insert(t).second)
+                            node.callees.push_back(t);
+                    }
+                }
+                for (int t : inlineLambdaArgs((int)n, cs)) {
+                    node.calleeSites.push_back({t, cs.line});
+                    if (seen.insert(t).second)
+                        node.callees.push_back(t);
+                }
+            }
+        }
+    }
+
+    /** Nodes a bare-identifier argument may invoke. */
+    std::vector<int>
+    argTargets(int caller, const CallSite &cs, const CallArg &a)
+    {
+        const CGNode &node = g.nodes[(size_t)caller];
+        const FileScopes &scopes = g.files[(size_t)node.file].scopes;
+        int from = scopes.enclosing(a.tok);
+        int lam = scopes.lambdaByName(from, a.name);
+        if (lam >= 0) {
+            int t = g.nodeOf(node.file, lam);
+            return t >= 0 ? std::vector<int>{t} : std::vector<int>{};
+        }
+        // A name shadowed by a data variable is not a function ref.
+        if (scopes.resolve(from, a.name, a.tok, nullptr))
+            return {};
+        (void)cs;
+        auto it = g.nameIndex.find(a.name);
+        return it == g.nameIndex.end() ? std::vector<int>{}
+                                       : it->second;
+    }
+
+    /** Lambda literals written directly in the argument list. */
+    std::vector<int>
+    inlineLambdaArgs(int caller, const CallSite &cs)
+    {
+        std::vector<int> out;
+        const CGNode &node = g.nodes[(size_t)caller];
+        const FileScopes &scopes = g.files[(size_t)node.file].scopes;
+        for (size_t s = 0; s < scopes.scopes.size(); ++s) {
+            const Scope &sc = scopes.scopes[s];
+            if (sc.kind != Scope::Kind::Lambda)
+                continue;
+            if (sc.bodyBegin <= cs.argBegin ||
+                sc.bodyEnd > cs.argEnd + 1) {
+                continue;
+            }
+            // Only direct arguments: the lambda's innermost enclosing
+            // callable must be the caller itself.
+            int t = g.nodeOf(node.file, (int)s);
+            if (t < 0)
+                continue;
+            int p = sc.parent;
+            while (p >= 0 &&
+                   scopes.scopes[(size_t)p].kind == Scope::Kind::Block)
+                p = scopes.scopes[(size_t)p].parent;
+            if (p == node.scope)
+                out.push_back(t);
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+int
+CallGraph::nodeOf(int file, int scope) const
+{
+    for (size_t n = 0; n < nodes.size(); ++n) {
+        if (nodes[n].file == file && nodes[n].scope == scope)
+            return (int)n;
+    }
+    return -1;
+}
+
+std::vector<int>
+CallGraph::byName(const std::string &name) const
+{
+    auto it = nameIndex.find(name);
+    return it == nameIndex.end() ? std::vector<int>{} : it->second;
+}
+
+std::vector<int>
+CallGraph::resolveCall(int caller, const CallSite &cs) const
+{
+    // parallelFor is an intrinsic of the analysis: the pool's
+    // type-erased dispatch never leaks into closures.
+    if (cs.name == "parallelFor")
+        return {};
+
+    const CGNode &node = nodes[(size_t)caller];
+    switch (cs.kind) {
+    case CallSite::Kind::LambdaVar: {
+        int t = nodeOf(node.file, cs.lambdaScope);
+        return t >= 0 ? std::vector<int>{t} : std::vector<int>{};
+    }
+    case CallSite::Kind::CallbackParam:
+    case CallSite::Kind::Indirect:
+        return {};
+    case CallSite::Kind::Direct: {
+        std::vector<int> all = byName(cs.name);
+        // An unqualified call inside a member function binds to the
+        // own class's method when one exists; only a true free call
+        // widens to the cross-TU overload union.
+        if (!node.fs->qualifier.empty()) {
+            std::vector<int> own;
+            for (int t : all) {
+                if (nodes[(size_t)t].fs->qualifier ==
+                    node.fs->qualifier) {
+                    own.push_back(t);
+                }
+            }
+            if (!own.empty())
+                return own;
+        }
+        return all;
+    }
+    case CallSite::Kind::Qualified:
+    case CallSite::Kind::Member: {
+        std::vector<int> out;
+        for (int t : byName(cs.name)) {
+            const FnSummary *fs = nodes[(size_t)t].fs;
+            if (fs->qualifier == cs.qualifier ||
+                (cs.kind == CallSite::Kind::Qualified &&
+                 nsEndsWith(fs->nsPath, cs.qualifier))) {
+                out.push_back(t);
+            }
+        }
+        return out;
+    }
+    case CallSite::Kind::GlobalQual: {
+        std::vector<int> out;
+        for (int t : byName(cs.name)) {
+            const FnSummary *fs = nodes[(size_t)t].fs;
+            if (fs->nsPath.empty() && fs->qualifier.empty())
+                out.push_back(t);
+        }
+        return out;
+    }
+    }
+    return {};
+}
+
+std::vector<int>
+CallGraph::reachable(int start,
+                     std::map<int, std::pair<int, int>> *parent) const
+{
+    std::vector<int> order;
+    std::set<int> seen;
+    std::deque<int> q;
+    q.push_back(start);
+    seen.insert(start);
+    while (!q.empty()) {
+        int n = q.front();
+        q.pop_front();
+        order.push_back(n);
+        const CGNode &node = nodes[(size_t)n];
+        for (size_t e = 0; e < node.calleeSites.size(); ++e) {
+            int t = node.calleeSites[e].first;
+            if (seen.insert(t).second) {
+                if (parent)
+                    (*parent)[t] = {n, node.calleeSites[e].second};
+                q.push_back(t);
+            }
+        }
+    }
+    return order;
+}
+
+std::string
+CallGraph::pathString(
+    int start, int target,
+    const std::map<int, std::pair<int, int>> &parent) const
+{
+    std::vector<int> chain;
+    int n = target;
+    chain.push_back(n);
+    while (n != start) {
+        auto it = parent.find(n);
+        if (it == parent.end())
+            break;
+        n = it->second.first;
+        chain.push_back(n);
+    }
+    std::string out;
+    for (size_t i = chain.size(); i-- > 0;) {
+        out += nodeName(chain[i]);
+        if (i)
+            out += " -> ";
+    }
+    return out;
+}
+
+std::string
+CallGraph::nodeName(int n) const
+{
+    const FnSummary *fs = nodes[(size_t)n].fs;
+    if (fs->isLambda) {
+        if (!fs->name.empty())
+            return "[lambda " + fs->name + "]";
+        return "[lambda@" + std::to_string(fs->line) + "]";
+    }
+    if (!fs->qualifier.empty())
+        return fs->qualifier + "::" + fs->name;
+    return fs->name;
+}
+
+CallGraph
+buildCallGraph(const std::vector<SourceFile> &files)
+{
+    CallGraph g;
+    for (const SourceFile &sf : files) {
+        if (sf.raw.empty() && sf.lex.tokens.empty())
+            continue;
+        g.files.push_back(summarizeFile(sf));
+    }
+    Builder b(g);
+    b.makeNodes();
+    b.connect();
+    return g;
+}
+
+} // namespace ealint

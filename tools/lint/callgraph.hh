@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cross-TU symbol index and call graph over the per-function
+ * summaries (summary.hh). This is the resolution layer of the
+ * whole-program pass: it turns syntactic call sites into edges
+ * between summarized functions so the interprocedural rules can walk
+ * transitive closures.
+ *
+ * Resolution policy (conservative in the overload direction, precise
+ * in the namespace/class direction):
+ *
+ *  - A plain call "f(...)" resolves to *every* function named f in
+ *    the scanned tree — the union of the overload set across all
+ *    TUs. A rule that needs "all candidates violate" semantics (see
+ *    layer-call) quantifies over this set.
+ *  - A qualified call "q::f(...)" resolves only to functions whose
+ *    class qualifier is q or whose namespace path ends in q; no
+ *    fallback to the plain set, so "std::min" stays external.
+ *  - "::f(...)" resolves only against global-namespace definitions;
+ *    in this tree that means libc wrappers stay external.
+ *  - A member call "x.f(...)" resolves through the receiver's
+ *    declared type only. Expression receivers are skipped entirely.
+ *  - A lambda or function name passed as a call argument adds a
+ *    may-invoke edge from the caller (callbacks are assumed to run).
+ *  - "parallelFor" is an intrinsic: callers keep the
+ *    callsParallelFor bit, but its own implementation is never
+ *    imported, so the pool's type-erased dispatch does not poison
+ *    every kernel with worst-case effects.
+ *  - A call through a data variable (function pointer) resolves to
+ *    nothing and is recorded as worst-case on the caller.
+ */
+
+#ifndef EDGEADAPT_TOOLS_LINT_CALLGRAPH_HH
+#define EDGEADAPT_TOOLS_LINT_CALLGRAPH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "summary.hh"
+
+namespace ealint {
+
+/** One function/lambda node of the whole-program graph. */
+struct CGNode
+{
+    int file = -1;  ///< index into CallGraph::files
+    int scope = -1; ///< scope index within that file
+    const FnSummary *fs = nullptr;
+    const SourceFile *sf = nullptr;
+
+    /** Resolved outgoing edges: (callee node, call line). One entry
+     *  per (callee, site); deduplicated per callee for closure walks
+     *  via the parallel callees vector. */
+    std::vector<std::pair<int, int>> calleeSites;
+    std::vector<int> callees; ///< deduplicated callee node ids
+
+    /** Direct/qualified call sites with no in-tree candidate. */
+    std::vector<const CallSite *> unresolved;
+};
+
+/** Whole-program call graph. Owns the per-file summaries. */
+struct CallGraph
+{
+    std::vector<FileSummary> files;
+    std::vector<CGNode> nodes;
+
+    /** name -> ids of named function nodes (lambdas excluded). */
+    std::map<std::string, std::vector<int>> nameIndex;
+
+    /** @return node id for (file, scope), or -1. */
+    int nodeOf(int file, int scope) const;
+
+    /** @return node ids of functions (not lambdas) named @p name. */
+    std::vector<int> byName(const std::string &name) const;
+
+    /**
+     * Resolve one call site of @p caller to candidate node ids.
+     * Empty for external, intrinsic, parameter-callback, and
+     * indirect calls.
+     */
+    std::vector<int> resolveCall(int caller, const CallSite &cs) const;
+
+    /**
+     * Nodes reachable from @p start over resolved edges (including
+     * @p start). @p parent receives, for each reached node, the
+     * (predecessor node, call line) pair that first discovered it —
+     * the witness chain for diagnostics.
+     */
+    std::vector<int>
+    reachable(int start,
+              std::map<int, std::pair<int, int>> *parent) const;
+
+    /** "a -> b -> c" witness string from @p parent back-pointers. */
+    std::string pathString(
+        int start, int target,
+        const std::map<int, std::pair<int, int>> &parent) const;
+
+    /** Display name of node @p n ("Conv2d::forward", "lambda@42"). */
+    std::string nodeName(int n) const;
+};
+
+/** Summarize @p files (skipping unreadable ones) and build the graph. */
+CallGraph buildCallGraph(const std::vector<SourceFile> &files);
+
+} // namespace ealint
+
+#endif // EDGEADAPT_TOOLS_LINT_CALLGRAPH_HH

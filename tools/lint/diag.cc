@@ -164,6 +164,47 @@ Diagnostics::emitJson(std::ostream &os, int filesScanned) const
        << ",\"baselined\":" << baselinedCount() << "}}\n";
 }
 
+void
+Diagnostics::emitSarif(std::ostream &os, int filesScanned) const
+{
+    os << "{\"version\":\"2.1.0\",\"$schema\":\"https://json."
+          "schemastore.org/sarif-2.1.0.json\",\"runs\":[{"
+          "\"tool\":{\"driver\":{\"name\":\"edgeadapt_lint\","
+          "\"informationUri\":\"tools/lint\",\"rules\":[\n";
+    bool first = true;
+    for (const RuleInfo &r : ruleTable()) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"id\":\"" << jsonEscape(r.id)
+           << "\",\"shortDescription\":{\"text\":\""
+           << jsonEscape(r.summary)
+           << "\"},\"defaultConfiguration\":{\"level\":\""
+           << (r.severity == Severity::Error ? "error" : "warning")
+           << "\"}}";
+    }
+    os << "\n]}},\"properties\":{\"filesScanned\":" << filesScanned
+       << "},\"results\":[\n";
+    first = true;
+    for (const Finding &f : findings_) {
+        if (f.baselined)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ruleId\":\"" << jsonEscape(f.rule)
+           << "\",\"level\":\""
+           << (f.severity == Severity::Error ? "error" : "warning")
+           << "\",\"message\":{\"text\":\"" << jsonEscape(f.message)
+           << "\"},\"locations\":[{\"physicalLocation\":{"
+              "\"artifactLocation\":{\"uri\":\""
+           << jsonEscape(f.file)
+           << "\"},\"region\":{\"startLine\":"
+           << (f.line > 0 ? f.line : 1) << "}}}]}";
+    }
+    os << "\n]}]}\n";
+}
+
 int
 Diagnostics::count(Severity sev) const
 {

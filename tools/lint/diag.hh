@@ -5,8 +5,9 @@
  *
  * Findings accumulate unordered during the passes, are sorted by
  * (file, line, rule, message) before emission, and can be rendered as
- * human-readable text or as a machine-readable JSON document
- * (--format=json). A baseline file — simply a previous --format=json
+ * human-readable text, as a machine-readable JSON document
+ * (--format=json), or as SARIF 2.1.0 (--format=sarif) for code
+ * scanning integrations. A baseline file — simply a previous --format=json
  * output — grandfathers known findings: a finding whose (file, rule)
  * pair appears in the baseline is counted but neither printed nor
  * fatal, so new rules can land before the last legacy violation dies.
@@ -66,6 +67,13 @@ class Diagnostics
 
     /** Emit the edgeadapt.lint.v1 JSON document. */
     void emitJson(std::ostream &os, int filesScanned) const;
+
+    /**
+     * Emit a SARIF 2.1.0 log (one run, the full rule table in the
+     * driver metadata, one result per unbaselined finding) for code
+     * scanning UIs. Paths are emitted repo-relative as recorded.
+     */
+    void emitSarif(std::ostream &os, int filesScanned) const;
 
     /** @return unbaselined findings of @p sev. */
     int count(Severity sev) const;

@@ -6,20 +6,25 @@
  * file owns the command line, file discovery, and exit status.
  *
  * Usage:
- *   edgeadapt_lint [--repo-root DIR] [--format=text|json]
+ *   edgeadapt_lint [--repo-root DIR] [--format=text|json|sarif]
  *                  [--baseline FILE] [--pass NAME]...
  *                  [--exclude REL_PREFIX]... [--werror]
  *                  [--changed-only] [--list-rules] PATH [PATH...]
  *
  * Passes (default: all): token, include-graph, unused-include,
- * instrumentation, parallel-region. Suppression is per-line and
- * per-rule via NOLINT(rule-id), or its NEXTLINE spelling for the
- * line below; bare markers are themselves violations. --baseline takes a previous
- * --format=json report and grandfathers its (file, rule) pairs.
- * --changed-only reads a file list from stdin (one path per line,
- * repo-relative or absolute — e.g. git diff --name-only) and lints
- * only the discovered files that appear in it, for a fast local
- * pre-commit loop.
+ * instrumentation, parallel-region, whole-program. Suppression is
+ * per-line and per-rule via NOLINT(rule-id), or its NEXTLINE spelling
+ * for the line below; bare markers are themselves violations.
+ * --baseline takes a previous --format=json report and grandfathers
+ * its (file, rule) pairs. --format=sarif emits SARIF 2.1.0 for code
+ * scanning UIs. --changed-only reads a file list from stdin (one path
+ * per line, repo-relative or absolute — e.g. git diff --name-only)
+ * and lints only the discovered files that appear in it, for a fast
+ * local pre-commit loop; paths that no longer exist (deleted or
+ * renamed entries in a diff) are skipped with a note. Because the
+ * whole-program pass needs the full file set to resolve cross-TU
+ * calls, --changed-only skips it unless it is selected explicitly
+ * with --pass whole-program.
  *
  * Exits 0 when no unsuppressed errors were found (warnings do not
  * fail unless --werror), 1 on errors, 2 on usage or I/O problems.
@@ -50,6 +55,7 @@ passTable()
         {"unused-include", runUnusedIncludePass},
         {"instrumentation", runInstrumentationPass},
         {"parallel-region", runParallelRegionPass},
+        {"whole-program", runWholeProgramPass},
     };
     return table;
 }
@@ -72,7 +78,7 @@ int
 usage()
 {
     std::cerr << "usage: edgeadapt_lint [--repo-root DIR] "
-                 "[--format=text|json] [--baseline FILE]\n"
+                 "[--format=text|json|sarif] [--baseline FILE]\n"
                  "                      [--pass NAME]... [--exclude "
                  "REL_PREFIX]... [--werror]\n"
                  "                      [--changed-only] [--list-rules] "
@@ -126,8 +132,10 @@ main(int argc, char **argv)
             excludes.push_back(v);
         } else if (arg.rfind("--format=", 0) == 0) {
             format = arg.substr(9);
-            if (format != "text" && format != "json")
+            if (format != "text" && format != "json" &&
+                format != "sarif") {
                 return usage();
+            }
         } else if (arg == "--werror") {
             werror = true;
         } else if (arg == "--changed-only") {
@@ -186,7 +194,10 @@ main(int argc, char **argv)
     batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
 
     // --changed-only: keep only discovered files that stdin names.
-    // An empty list is a legitimate no-op (nothing changed).
+    // An empty list is a legitimate no-op (nothing changed). A diff
+    // list routinely names files that no longer exist (deleted or
+    // renamed-away entries); those are skipped with a note, never an
+    // error — the pre-commit loop must survive any git diff output.
     if (changedOnly) {
         std::set<std::string> changed;
         std::string line;
@@ -199,10 +210,24 @@ main(int argc, char **argv)
                 continue;
             if (line.rfind("./", 0) == 0)
                 line = line.substr(2);
-            changed.insert(
-                fs::weakly_canonical(repoRoot / line).generic_string());
-            changed.insert(
-                fs::weakly_canonical(fs::path(line)).generic_string());
+            std::error_code ec;
+            fs::path inRepo =
+                fs::weakly_canonical(repoRoot / line, ec);
+            bool any = false;
+            if (!ec && fs::is_regular_file(inRepo, ec)) {
+                changed.insert(inRepo.generic_string());
+                any = true;
+            }
+            ec.clear();
+            fs::path asGiven = fs::weakly_canonical(fs::path(line), ec);
+            if (!ec && fs::is_regular_file(asGiven, ec)) {
+                changed.insert(asGiven.generic_string());
+                any = true;
+            }
+            if (!any) {
+                std::cerr << "edgeadapt_lint: note: skipping '" << line
+                          << "' (not a file; deleted or renamed?)\n";
+            }
         }
         std::vector<fs::path> kept;
         for (const fs::path &p : batch) {
@@ -242,6 +267,17 @@ main(int argc, char **argv)
                 passNames.end()) {
             continue;
         }
+        // Whole-program analysis over a partial file set would both
+        // miss findings and invent them (unresolved calls look
+        // worst-case); under --changed-only it only runs when asked
+        // for by name.
+        if (changedOnly && std::string(p.name) == "whole-program" &&
+            passNames.empty()) {
+            std::cerr << "edgeadapt_lint: note: skipping "
+                         "whole-program pass under --changed-only "
+                         "(pass --pass whole-program to force)\n";
+            continue;
+        }
         p.run(ctx, diag);
     }
 
@@ -249,6 +285,8 @@ main(int argc, char **argv)
     int files = (int)ctx.files.size();
     if (format == "json")
         diag.emitJson(std::cout, files);
+    else if (format == "sarif")
+        diag.emitSarif(std::cout, files);
     else
         diag.emitText(std::cout, files);
 

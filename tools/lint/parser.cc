@@ -44,7 +44,22 @@ struct Parser
     const std::vector<Token> &toks;
     FileScopes out;
 
+    /** Enclosing namespace names while descending ("" for anonymous). */
+    std::vector<std::string> nsStack;
+
     explicit Parser(const LexResult &lex) : toks(lex.tokens) {}
+
+    std::string
+    nsPath() const
+    {
+        std::string p;
+        for (const std::string &n : nsStack) {
+            if (!p.empty())
+                p += "::";
+            p += n.empty() ? "(anon)" : n;
+        }
+        return p;
+    }
 
     // ---- small token utilities --------------------------------------
 
@@ -147,6 +162,7 @@ struct Parser
         std::vector<size_t> idents; ///< identifier token indices
         bool sawStatic = false;
         bool sawAtomic = false;
+        bool sawThreadLocal = false;
         bool constBeforeStar = false;
         bool constAfterStar = false;
         bool sawStar = false;
@@ -175,6 +191,11 @@ struct Parser
                 }
                 if (t.text == "static") {
                     h.sawStatic = true;
+                    ++i;
+                    continue;
+                }
+                if (t.text == "thread_local") {
+                    h.sawThreadLocal = true;
                     ++i;
                     continue;
                 }
@@ -229,8 +250,15 @@ struct Parser
         d.isInduction = induction;
         d.isStatic = h.sawStatic;
         d.isAtomic = h.sawAtomic;
+        d.isThreadLocal = h.sawThreadLocal;
         d.isPointer = h.sawStar;
         d.isRef = h.sawAmp;
+        // The type identifier sits just before the declared name in
+        // the head; for later declarators of a list ("float *a, *b")
+        // the head's last ident is the *first* name, so the same
+        // second-to-last slot still holds the type.
+        if (h.idents.size() >= 2)
+            d.typeName = toks[h.idents[h.idents.size() - 2]].text;
         if (h.sawStar) {
             d.pointeeConst = h.constBeforeStar;
             d.selfConst = h.constAfterStar;
@@ -293,14 +321,24 @@ struct Parser
         if (h.idents.empty())
             return 0;
         size_t nameTok = h.idents.back();
-        // A qualified tail ("testing::FLAGS_x = ...") is an
-        // assignment to a foreign name, never a declaration.
-        if (nameTok >= 2 && isPunctSeq(toks, nameTok - 2, "::"))
-            return 0;
+        bool qualified =
+            nameTok >= 2 && isPunctSeq(toks, nameTok - 2, "::");
         const std::string &name = toks[nameTok].text;
         if (isReservedName(name))
             return 0;
         size_t j = h.stop;
+        if (qualified) {
+            // An out-of-line member/namespace definition
+            // ("Tensor Conv2d::forward(...) { ... }") gets a Function
+            // scope; tryFunction rejects mere calls and out-of-line
+            // static member initializers ("int Foo::n(0);") because
+            // no body brace follows. Any other qualified tail
+            // ("testing::FLAGS_x = ...") is an assignment to a
+            // foreign name, never a declaration.
+            if (j < end && toks[j].is("(") && !inFunctionContext(scope))
+                return tryFunction(i, end, scope, h);
+            return 0;
+        }
         bool twoIdents = h.idents.size() >= 2;
 
         if (j < end && toks[j].is("(")) {
@@ -465,6 +503,29 @@ struct Parser
         int fn = addScope(Scope::Kind::Function, scope,
                           toks[nameTok].line);
         out.scopes[(size_t)fn].name = toks[nameTok].text;
+        out.scopes[(size_t)fn].nsPath = nsPath();
+        if (nameTok >= 2 && isPunctSeq(toks, nameTok - 2, "::") &&
+            h.idents.size() >= 2) {
+            // Out-of-line definition: the class (or namespace) is the
+            // identifier before the final "::".
+            out.scopes[(size_t)fn].qualifier =
+                toks[h.idents[h.idents.size() - 2]].text;
+        } else {
+            // Inline member: the nearest enclosing class body, if the
+            // function sits directly inside one.
+            for (int s = scope; s >= 0;
+                 s = out.scopes[(size_t)s].parent) {
+                const Scope &sc = out.scopes[(size_t)s];
+                if (sc.kind == Scope::Kind::Function ||
+                    sc.kind == Scope::Kind::Lambda) {
+                    break;
+                }
+                if (sc.kind == Scope::Kind::Block && sc.classBody) {
+                    out.scopes[(size_t)fn].qualifier = sc.name;
+                    break;
+                }
+            }
+        }
         parseParams(paren + 1, pastParams - 1, fn);
         // Member initializers may construct lambdas too.
         walkRegionForLambdas(pastParams, j, fn);
@@ -645,15 +706,26 @@ struct Parser
             }
             if (kw == "namespace") {
                 size_t j = i + 1;
-                while (j < e && !toks[j].is("{") && !toks[j].is(";"))
+                // Collect the (possibly nested, possibly empty) name
+                // for the namespace path carried by Function scopes.
+                std::vector<std::string> segs;
+                while (j < e && !toks[j].is("{") && !toks[j].is(";")) {
+                    if (isIdent(j) && !toks[j].isIdent("inline"))
+                        segs.push_back(toks[j].text);
                     ++j;
+                }
                 if (is(j, ";"))
                     return j + 1;
                 if (j >= e)
                     return e;
+                if (segs.empty())
+                    segs.push_back(std::string()); // anonymous
                 // Transparent for lookup purposes: recurse in place.
                 size_t past = matchForward(j, "{", "}");
+                for (const std::string &s : segs)
+                    nsStack.push_back(s);
                 parseStmts(j + 1, past - 1, scope);
+                nsStack.resize(nsStack.size() - segs.size());
                 return past;
             }
             if (kw == "struct" || kw == "class" || kw == "union" ||
@@ -675,6 +747,28 @@ struct Parser
                 int blk = addScope(Scope::Kind::Block, scope, t.line);
                 out.scopes[(size_t)blk].bodyBegin = j + 1;
                 out.scopes[(size_t)blk].bodyEnd = past - 1;
+                if (kw != "enum") {
+                    // Record the class name so member functions carry
+                    // it as their qualifier: last identifier before
+                    // the base-clause ':' (or the body), skipping
+                    // "final" and attribute-ish tokens.
+                    out.scopes[(size_t)blk].classBody = true;
+                    std::string cls;
+                    for (size_t q = i + 1; q < j; ++q) {
+                        if (toks[q].is(":") &&
+                            !isPunctSeq(toks, q, "::") &&
+                            !(q > 0 && isPunctSeq(toks, q - 1, "::"))) {
+                            break;
+                        }
+                        if (toks[q].is("("))
+                            q = matchForward(q, "(", ")") - 1;
+                        else if (isIdent(q) &&
+                                 !toks[q].isIdent("final") &&
+                                 !toks[q].isIdent("alignas"))
+                            cls = toks[q].text;
+                    }
+                    out.scopes[(size_t)blk].name = cls;
+                }
                 parseStmts(j + 1, past - 1, blk);
                 // "struct X { ... } x;" — skip the trailer.
                 while (past < e && !toks[past].is(";"))

@@ -16,10 +16,14 @@
  * a missed declaration makes a variable look like a member/global (the
  * race pass then errs toward reporting), while a phantom declaration
  * would silence a finding — so the heuristics reject anything
- * ambiguous (qualified names, expression statements, call syntax with
- * a single head identifier). tests/lint/test_parser.cpp pins the
- * recovered structure over the tricky cases (nested lambdas, default
- * captures with overrides, init-captures, templated functions).
+ * ambiguous (qualified assignment targets, expression statements,
+ * call syntax with a single head identifier). Out-of-line qualified
+ * definitions ("Tensor Conv2d::forward(...) { ... }") do get Function
+ * scopes, carrying the class in Scope::qualifier, so member bodies
+ * resolve their locals and the call-graph layer can key methods by
+ * class. tests/lint/test_parser.cpp pins the recovered structure over
+ * the tricky cases (nested lambdas, default captures with overrides,
+ * init-captures, templated functions, qualified member definitions).
  */
 
 #ifndef EDGEADAPT_TOOLS_LINT_PARSER_HH
@@ -43,9 +47,18 @@ struct VarDecl
     bool isParam = false;     ///< function/lambda parameter
     bool isInduction = false; ///< declared in a for/range-for header
     bool isStatic = false;
-    bool isAtomic = false;  ///< "atomic" appears in the specifiers
-    bool isRef = false;     ///< declarator contains '&'
-    bool isPointer = false; ///< declarator contains '*'
+    bool isAtomic = false;      ///< "atomic" appears in the specifiers
+    bool isThreadLocal = false; ///< "thread_local" specifier
+    bool isRef = false;         ///< declarator contains '&'
+    bool isPointer = false;     ///< declarator contains '*'
+
+    /**
+     * Last type-ish identifier of the declaration head ("Tensor" for
+     * "const Tensor &x", "atomic" for "std::atomic<int> n"). The
+     * call-graph layer resolves "x.f()" through it. Empty when the
+     * head has no usable type token (init-captures, "auto").
+     */
+    std::string typeName;
 
     /**
      * Writability split for pointers: "const float *p" has a const
@@ -92,8 +105,26 @@ struct Scope
     size_t bodyEnd = 0;
 
     /** Function name; for a lambda, the variable it was bound to by
-     *  "auto name = [...]" (empty for immediately-passed lambdas). */
+     *  "auto name = [...]" (empty for immediately-passed lambdas).
+     *  For a class/struct/union body Block, the class name. */
     std::string name;
+
+    /**
+     * For a Function: the class it belongs to, recovered either from
+     * an out-of-line qualified definition ("Tensor Conv2d::forward")
+     * or from the enclosing class body for inline members. Empty for
+     * free functions. Namespace-qualified out-of-line definitions
+     * ("void obs::f()") put the namespace here; callers disambiguate
+     * via nsPath.
+     */
+    std::string qualifier;
+
+    /** For a Function: enclosing namespace path ("edgeadapt::parallel",
+     *  anonymous segments spelled "(anon)"). */
+    std::string nsPath;
+
+    /** Block only: true when this is a class/struct/union body. */
+    bool classBody = false;
 
     // Lambda-only capture information.
     bool hasDefaultRefCapture = false;  ///< [&]

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * The whole-program pass: four interprocedural rules over the cross-TU
+ * call graph (callgraph.hh).
+ *
+ *  - parallel-interproc: a parallelFor body must not reach, through
+ *    any resolved call chain, a function that writes shared
+ *    non-atomic state (globals, foreign static locals, non-reentrant
+ *    libc) or calls through a function pointer. The same-file
+ *    static-local case is left to the per-file parallel-reentrant
+ *    rule, which still works under --changed-only.
+ *  - hot-alloc-interproc: a loop in hot code — any src/tensor/
+ *    function, or a parallelFor region body anywhere in src/ — must
+ *    not reach heap allocation through helper calls: the laundering
+ *    hole left by the per-file hot-alloc/untracked-alloc rules.
+ *  - signal-safety: every function reachable from the post-mortem
+ *    handler set (functions installed via setCheckFailureHook /
+ *    signal / sigaction / .sa_handler assignment) must be
+ *    async-signal-safe: no allocation, locks, stdio, throwing,
+ *    non-reentrant libc, indirect calls, or calls to functions the
+ *    analyzer cannot see and does not whitelist.
+ *  - layer-call: the declared module layering enforced on resolved
+ *    call edges. A call is only flagged when *every* in-src candidate
+ *    sits in a strictly higher layer — conservative against overload
+ *    collisions across modules.
+ *
+ * All findings honor NOLINT(rule) at their anchor line: effect-site
+ * rules anchor at the effect (allocation, write), call-site rules at
+ * the call.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "callgraph.hh"
+#include "passes.hh"
+
+namespace ealint {
+
+namespace {
+
+/** First effect in @p v not suppressed for @p rule, or nullptr. */
+const Effect *
+firstActive(const std::vector<Effect> &v, const SourceFile &sf,
+            const char *rule)
+{
+    for (const Effect &e : v) {
+        if (!sf.suppressed(e.line, rule))
+            return &e;
+    }
+    return nullptr;
+}
+
+/**
+ * Line of the first call hop out of @p start on the discovered path
+ * to @p target — the edge rules anchor their finding on so the
+ * suppression comment sits inside the offending body.
+ */
+int
+firstHopLine(int start, int target,
+             const std::map<int, std::pair<int, int>> &parent)
+{
+    int n = target;
+    int line = 0;
+    while (n != start) {
+        auto it = parent.find(n);
+        if (it == parent.end())
+            break;
+        line = it->second.second;
+        n = it->second.first;
+    }
+    return line;
+}
+
+// ---- parallel-interproc ---------------------------------------------
+
+void checkRegionRefArgs(const CallGraph &g, int region,
+                        Diagnostics &diag);
+
+void
+checkParallelInterproc(const CallGraph &g, Diagnostics &diag)
+{
+    static const char *kRule = "parallel-interproc";
+    for (size_t u = 0; u < g.nodes.size(); ++u) {
+        const CGNode &node = g.nodes[u];
+        for (const CallSite &cs : node.fs->calls) {
+            if (cs.name != "parallelFor")
+                continue;
+            // The region body: any lambda edge created by this call
+            // site (an inline literal or a named lambda argument).
+            std::set<int> regions;
+            for (const auto &e : node.calleeSites) {
+                if (e.second == cs.line &&
+                    g.nodes[(size_t)e.first].fs->isLambda) {
+                    regions.insert(e.first);
+                }
+            }
+            for (int r : regions) {
+                std::map<int, std::pair<int, int>> parent;
+                std::vector<int> reach = g.reachable(r, &parent);
+                const CGNode &rn = g.nodes[(size_t)r];
+                for (int t : reach) {
+                    const CGNode &tn = g.nodes[(size_t)t];
+                    const Effect *ind =
+                        firstActive(tn.fs->indirectCalls, *tn.sf,
+                                    kRule);
+                    if (ind && t == r) {
+                        diag.report(
+                            *rn.sf, ind->line, kRule,
+                            "parallel region calls through the "
+                            "function pointer '" +
+                                ind->what +
+                                "' (cannot prove race-freedom)");
+                    } else if (ind) {
+                        int line = firstHopLine(r, t, parent);
+                        diag.report(
+                            *rn.sf, line ? line : rn.fs->line, kRule,
+                            "parallel region reaches '" +
+                                g.nodeName(t) +
+                                "' which calls through the function "
+                                "pointer '" +
+                                ind->what +
+                                "' (cannot prove race-freedom; path " +
+                                g.pathString(r, t, parent) + ")");
+                    }
+                    if (t == r)
+                        continue;
+                    const Effect *gw = firstActive(
+                        tn.fs->globalWrites, *tn.sf, kRule);
+                    if (gw) {
+                        diag.report(
+                            *rn.sf, firstHopLine(r, t, parent), kRule,
+                            "parallel region reaches '" +
+                                g.nodeName(t) +
+                                "' which writes shared state '" +
+                                gw->what + "' (" + tn.sf->rel + ":" +
+                                std::to_string(gw->line) +
+                                "; path " +
+                                g.pathString(r, t, parent) + ")");
+                    }
+                    const Effect *sw = firstActive(
+                        tn.fs->staticLocalWrites, *tn.sf, kRule);
+                    if (sw && tn.sf != rn.sf) {
+                        diag.report(
+                            *rn.sf, firstHopLine(r, t, parent), kRule,
+                            "parallel region reaches '" +
+                                g.nodeName(t) +
+                                "' which mutates function-local "
+                                "static '" +
+                                sw->what + "' (" + tn.sf->rel + ":" +
+                                std::to_string(sw->line) +
+                                "; path " +
+                                g.pathString(r, t, parent) + ")");
+                    }
+                    const Effect *lc = firstActive(
+                        tn.fs->libcUnsafe, *tn.sf, kRule);
+                    if (lc) {
+                        diag.report(
+                            *rn.sf, firstHopLine(r, t, parent), kRule,
+                            "parallel region reaches '" +
+                                g.nodeName(t) +
+                                "' which calls non-reentrant '" +
+                                lc->what + "' (path " +
+                                g.pathString(r, t, parent) + ")");
+                    }
+                }
+                // By-reference arguments handed from the region to a
+                // callee that writes the matching parameter.
+                checkRegionRefArgs(g, r, diag);
+            }
+        }
+    }
+}
+
+void
+checkRegionRefArgs(const CallGraph &g, int region, Diagnostics &diag)
+{
+    static const char *kRule = "parallel-interproc";
+    const CGNode &rn = g.nodes[(size_t)region];
+    const FileScopes &scopes = g.files[(size_t)rn.file].scopes;
+    for (const CallSite &cs : rn.fs->calls) {
+        std::vector<int> targets = g.resolveCall(region, cs);
+        if (targets.empty())
+            continue;
+        for (const CallArg &a : cs.bareArgs) {
+            if (a.addressOf)
+                continue;
+            int found = -1;
+            const VarDecl *v = scopes.resolve(
+                scopes.enclosing(a.tok), a.name, a.tok, &found);
+            if (!v || v->isAtomic || v->selfConst || v->isParam ||
+                v->isInduction) {
+                continue;
+            }
+            // Only captured state races: the variable must live
+            // outside the region body.
+            if (scopes.within(found, rn.scope))
+                continue;
+            for (int t : targets) {
+                const CGNode &tn = g.nodes[(size_t)t];
+                if (!tn.fs->writesParamIdx.count(a.index))
+                    continue;
+                diag.report(
+                    *rn.sf, cs.line, kRule,
+                    "parallel region passes captured '" + a.name +
+                        "' to '" + g.nodeName(t) +
+                        "' which writes through parameter " +
+                        std::to_string(a.index) +
+                        " (unsynchronized shared write)");
+                break;
+            }
+        }
+    }
+}
+
+// ---- hot-alloc-interproc --------------------------------------------
+
+/** Node ids of every parallelFor region lambda in the graph. */
+std::set<int>
+regionLambdas(const CallGraph &g)
+{
+    std::set<int> out;
+    for (size_t u = 0; u < g.nodes.size(); ++u) {
+        const CGNode &node = g.nodes[u];
+        for (const CallSite &cs : node.fs->calls) {
+            if (cs.name != "parallelFor")
+                continue;
+            for (const auto &e : node.calleeSites) {
+                if (e.second == cs.line &&
+                    g.nodes[(size_t)e.first].fs->isLambda) {
+                    out.insert(e.first);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void
+checkHotAllocInterproc(const CallGraph &g, Diagnostics &diag)
+{
+    static const char *kRule = "hot-alloc-interproc";
+    // Transitive "reaches an unsuppressed allocation" bit, with a
+    // witness edge for the message; monotone fixpoint, so recursion
+    // and SCC cycles converge naturally.
+    size_t n = g.nodes.size();
+    std::vector<char> reach(n, 0);
+    std::vector<int> via(n, -1); // callee that made the bit flip
+    for (size_t i = 0; i < n; ++i) {
+        if (firstActive(g.nodes[i].fs->allocs, *g.nodes[i].sf, kRule))
+            reach[i] = 1;
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            if (reach[i])
+                continue;
+            for (int c : g.nodes[i].callees) {
+                if (reach[(size_t)c]) {
+                    reach[i] = 1;
+                    via[i] = c;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    auto witness = [&](int t) {
+        std::string path = g.nodeName(t);
+        int w = t;
+        while (via[(size_t)w] >= 0) {
+            w = via[(size_t)w];
+            path += " -> " + g.nodeName(w);
+        }
+        const Effect *e = firstActive(g.nodes[(size_t)w].fs->allocs,
+                                      *g.nodes[(size_t)w].sf, kRule);
+        if (e) {
+            path += " (allocates '" + e->what + "' at " +
+                    g.nodes[(size_t)w].sf->rel + ":" +
+                    std::to_string(e->line) + ")";
+        }
+        return path;
+    };
+    // Hot code: every function in src/tensor (kernel code by
+    // definition) plus every parallelFor region body in src/ —
+    // module-management loops in nn (clone, parameter collection)
+    // legitimately allocate and are not hot.
+    std::set<int> regions = regionLambdas(g);
+    for (size_t u = 0; u < n; ++u) {
+        const CGNode &node = g.nodes[u];
+        if (!node.sf->isSrc)
+            continue;
+        if (node.sf->module != "tensor" && !regions.count((int)u))
+            continue;
+        std::set<size_t> reported;
+        for (const CallSite &cs : node.fs->calls) {
+            if (!cs.inLoop || reported.count(cs.tok))
+                continue;
+            for (const auto &e : node.calleeSites) {
+                if (e.second != cs.line || !reach[(size_t)e.first])
+                    continue;
+                // Direct allocation in the loop body itself is the
+                // per-file hot-alloc rule's finding, not ours.
+                if (e.first == (int)u)
+                    continue;
+                diag.report(*node.sf, cs.line, kRule,
+                            "loop reaches heap allocation through "
+                            "'" +
+                                cs.name + "': " + witness(e.first));
+                reported.insert(cs.tok);
+                break;
+            }
+        }
+    }
+}
+
+// ---- signal-safety --------------------------------------------------
+
+/**
+ * Names the signal-safety rule accepts without a summary: the POSIX
+ * async-signal-safe set actually used on the post-mortem path, plus
+ * primitives the runtime hand-verifies (atomic fences, chrono's
+ * steady_clock reads, float classification).
+ */
+const std::unordered_set<std::string> &
+signalSafeCalls()
+{
+    static const std::unordered_set<std::string> s = {
+        // POSIX async-signal-safe
+        "write", "open", "close", "raise", "abort", "_exit", "_Exit",
+        "signal", "sigaction", "sigemptyset", "sigfillset",
+        "sigaddset", "sigdelset", "kill", "getpid",
+        // freestanding memory/string primitives
+        "memcpy", "memmove", "memset", "strlen", "strcmp", "strncmp",
+        "strchr",
+        // hand-verified lock-free / constexpr primitives
+        "atomic_thread_fence", "min", "max", "isfinite", "isnan",
+        "signbit", "now", "duration_cast",
+    };
+    return s;
+}
+
+void
+checkSignalSafety(const CallGraph &g, Diagnostics &diag)
+{
+    static const char *kRule = "signal-safety";
+    // The handler set: functions whose address reaches a handler
+    // registration point.
+    std::set<int> anchors;
+    for (size_t u = 0; u < g.nodes.size(); ++u) {
+        const CGNode &node = g.nodes[u];
+        for (const CallSite &cs : node.fs->calls) {
+            if (cs.name != "setCheckFailureHook" &&
+                cs.name != "signal" && cs.name != "sigaction") {
+                continue;
+            }
+            for (const CallArg &a : cs.bareArgs) {
+                for (int t : g.byName(a.name))
+                    anchors.insert(t);
+            }
+        }
+        for (const std::string &h : node.fs->handlerAssigns) {
+            for (int t : g.byName(h))
+                anchors.insert(t);
+        }
+    }
+    // First-anchor-wins global visit so shared helpers (the artifact
+    // writer both handlers call) are reported once.
+    std::set<int> visited;
+    for (int a : anchors) {
+        std::map<int, std::pair<int, int>> parent;
+        std::vector<int> reach = g.reachable(a, &parent);
+        std::string anchorName = g.nodeName(a);
+        for (int t : reach) {
+            if (!visited.insert(t).second)
+                continue;
+            const CGNode &tn = g.nodes[(size_t)t];
+            std::string where = t == a
+                                    ? "handler '" + anchorName + "'"
+                                    : "'" + g.nodeName(t) +
+                                          "' on the signal path of "
+                                          "handler '" +
+                                          anchorName + "' (path " +
+                                          g.pathString(a, t, parent) +
+                                          ")";
+            struct Check
+            {
+                const std::vector<Effect> *v;
+                const char *label;
+            };
+            const Check checks[] = {
+                {&tn.fs->allocs, "allocates"},
+                {&tn.fs->lockUses, "takes a lock"},
+                {&tn.fs->stdioUses, "uses stdio"},
+                {&tn.fs->throwSites, "throws"},
+                {&tn.fs->libcUnsafe, "calls non-reentrant libc"},
+                {&tn.fs->indirectCalls,
+                 "calls through a function pointer"},
+            };
+            for (const Check &c : checks) {
+                const Effect *e = firstActive(*c.v, *tn.sf, kRule);
+                if (e) {
+                    diag.report(*tn.sf, e->line, kRule,
+                                std::string(c.label) + " ('" +
+                                    e->what + "') in " + where);
+                }
+            }
+            for (const CallSite *cs : tn.unresolved) {
+                if (signalSafeCalls().count(cs->name))
+                    continue;
+                // Already reported as a concrete effect on this line
+                // (malloc is both an alloc and an unresolved call).
+                bool dup = false;
+                for (const Check &c : checks) {
+                    for (const Effect &e : *c.v)
+                        dup = dup || e.line == cs->line;
+                }
+                if (dup)
+                    continue;
+                diag.report(*tn.sf, cs->line, kRule,
+                            "call to '" + cs->name +
+                                "' which is not provably "
+                                "async-signal-safe in " +
+                                where);
+            }
+            for (const CallSite &cs : tn.fs->calls) {
+                if (cs.kind == CallSite::Kind::CallbackParam) {
+                    diag.report(*tn.sf, cs.line, kRule,
+                                "indirect callback '" + cs.name +
+                                    "' invoked in " + where);
+                }
+            }
+        }
+    }
+}
+
+// ---- layer-call -----------------------------------------------------
+
+void
+checkLayerCall(const CallGraph &g, Diagnostics &diag)
+{
+    static const char *kRule = "layer-call";
+    for (size_t u = 0; u < g.nodes.size(); ++u) {
+        const CGNode &node = g.nodes[u];
+        if (!node.sf->isSrc)
+            continue;
+        int callerLayer = moduleLayer(node.sf->module);
+        if (callerLayer < 0)
+            continue;
+        for (const CallSite &cs : node.fs->calls) {
+            if (cs.kind != CallSite::Kind::Direct &&
+                cs.kind != CallSite::Kind::Qualified &&
+                cs.kind != CallSite::Kind::Member) {
+                continue;
+            }
+            std::vector<int> targets = g.resolveCall((int)u, cs);
+            int best = -1; // lowest candidate layer
+            int bestNode = -1;
+            bool any = false;
+            for (int t : targets) {
+                const CGNode &tn = g.nodes[(size_t)t];
+                if (!tn.sf->isSrc)
+                    continue;
+                int l = moduleLayer(tn.sf->module);
+                if (l < 0)
+                    continue;
+                if (tn.sf->module == node.sf->module) {
+                    any = false; // same-module candidate: legal
+                    break;
+                }
+                any = true;
+                if (best < 0 || l < best) {
+                    best = l;
+                    bestNode = t;
+                }
+            }
+            // Flag only when every in-src candidate sits strictly
+            // above the caller — conservative against overload
+            // collisions across modules.
+            if (any && best > callerLayer) {
+                const CGNode &tn = g.nodes[(size_t)bestNode];
+                diag.report(
+                    *node.sf, cs.line, kRule,
+                    "call to '" + cs.name + "' resolves into module "
+                    "'" +
+                        tn.sf->module + "' (layer " +
+                        std::to_string(best) +
+                        "), above calling module '" +
+                        node.sf->module + "' (layer " +
+                        std::to_string(callerLayer) +
+                        ") — upward calls violate the layering");
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+runWholeProgramPass(const Context &ctx, Diagnostics &diag)
+{
+    CallGraph g = buildCallGraph(ctx.files);
+    checkParallelInterproc(g, diag);
+    checkHotAllocInterproc(g, diag);
+    checkSignalSafety(g, diag);
+    checkLayerCall(g, diag);
+}
+
+} // namespace ealint

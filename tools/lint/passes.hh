@@ -22,6 +22,13 @@
  *                     (parser.hh): racy by-reference captures,
  *                     escaping scratch() pointers, non-reentrant
  *                     calls, and descending reduction folds
+ *  - whole-program:   the cross-TU layer (summary.hh, callgraph.hh):
+ *                     interprocedural race and allocation reach for
+ *                     parallel regions and hot loops, async-signal-
+ *                     safety of the post-mortem handler set, and the
+ *                     layering DAG enforced on calls. Needs the whole
+ *                     file set — the driver skips it under
+ *                     --changed-only unless selected explicitly.
  */
 
 #ifndef EDGEADAPT_TOOLS_LINT_PASSES_HH
@@ -54,6 +61,7 @@ void runIncludeGraphPass(const Context &ctx, Diagnostics &diag);
 void runUnusedIncludePass(const Context &ctx, Diagnostics &diag);
 void runInstrumentationPass(const Context &ctx, Diagnostics &diag);
 void runParallelRegionPass(const Context &ctx, Diagnostics &diag);
+void runWholeProgramPass(const Context &ctx, Diagnostics &diag);
 
 /** @return all passes in execution order. */
 const std::vector<Pass> &passTable();

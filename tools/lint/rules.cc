@@ -64,6 +64,19 @@ ruleTable()
         {"parallel-reduction-order", Severity::Error, "parallel-region",
          "reduction folds over per-chunk partials must accumulate in "
          "ascending chunk order (determinism invariant)"},
+        // whole-program pass
+        {"parallel-interproc", Severity::Error, "whole-program",
+         "a parallelFor body must not reach (through any call chain) "
+         "a function that writes shared non-atomic state"},
+        {"hot-alloc-interproc", Severity::Error, "whole-program",
+         "loops in src/tensor/ and src/nn/ must not reach heap "
+         "allocation through helper calls"},
+        {"signal-safety", Severity::Error, "whole-program",
+         "functions reachable from the post-mortem handler set must "
+         "be async-signal-safe (no allocation/locks/stdio/throw)"},
+        {"layer-call", Severity::Error, "whole-program",
+         "calls must respect the declared src/ layering, not just "
+         "includes"},
     };
     return table;
 }

@@ -1,0 +1,725 @@
+/**
+ * @file
+ * FnSummary extraction: one linear token walk per function/lambda
+ * body, with nested lambda bodies and static-local initializers
+ * carved out as skip intervals. See summary.hh for the approximation
+ * contract the heuristics implement.
+ */
+
+#include "summary.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ealint {
+
+namespace {
+
+/** Index just past the closer matching the opener at @p i. */
+size_t
+matchForward(const std::vector<Token> &toks, size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (toks[i].is(open))
+            ++depth;
+        else if (toks[i].is(close) && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+/**
+ * Treat '<' at @p i as a template-argument group. @return index past
+ * the matching '>', or 0 when no balanced '>' appears before a
+ * top-level ';', '{' or '}' (a comparison, then).
+ */
+size_t
+matchTemplateArgs(const std::vector<Token> &toks, size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.is("<")) {
+            ++depth;
+        } else if (t.is(">")) {
+            if (--depth == 0)
+                return i + 1;
+        } else if (t.is("(")) {
+            i = matchForward(toks, i, "(", ")") - 1;
+        } else if (t.is(";") || t.is("{") || t.is("}")) {
+            return 0;
+        }
+    }
+    return 0;
+}
+
+/** Index of the opener matching the closer at @p i (or npos). */
+size_t
+matchBackward(const std::vector<Token> &toks, size_t i, const char *open,
+              const char *close)
+{
+    int depth = 0;
+    for (size_t j = i + 1; j-- > 0;) {
+        if (toks[j].is(close))
+            ++depth;
+        else if (toks[j].is(open) && --depth == 0)
+            return j;
+        if (j == 0)
+            break;
+    }
+    return (size_t)-1;
+}
+
+bool
+isControlish(const std::string &s)
+{
+    return s == "if" || s == "for" || s == "while" || s == "switch" ||
+           s == "return" || s == "sizeof" || s == "catch" ||
+           s == "alignof" || s == "alignas" || s == "decltype" ||
+           s == "static_assert" || s == "noexcept" ||
+           s == "static_cast" || s == "dynamic_cast" ||
+           s == "const_cast" || s == "reinterpret_cast" ||
+           s == "throw" || s == "new" || s == "delete" ||
+           s == "assert" || s == "defined";
+}
+
+const std::unordered_set<std::string> &
+mallocFamily()
+{
+    static const std::unordered_set<std::string> s = {
+        "malloc",      "calloc",        "realloc",
+        "aligned_alloc", "strdup",      "posix_memalign",
+        "make_unique", "make_shared",   "make_unique_for_overwrite",
+    };
+    return s;
+}
+
+const std::unordered_set<std::string> &
+growthCalls()
+{
+    static const std::unordered_set<std::string> s = {
+        "push_back", "emplace_back", "resize",  "reserve",
+        "insert",    "emplace",      "assign",  "append",
+    };
+    return s;
+}
+
+const std::unordered_set<std::string> &
+allocatingTypes()
+{
+    static const std::unordered_set<std::string> s = {
+        "vector", "string", "deque", "map", "unordered_map", "set",
+        "unordered_set", "Tensor",
+    };
+    return s;
+}
+
+const std::unordered_set<std::string> &
+lockGuardTypes()
+{
+    static const std::unordered_set<std::string> s = {
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+    };
+    return s;
+}
+
+const std::unordered_set<std::string> &
+stdioCalls()
+{
+    static const std::unordered_set<std::string> s = {
+        "printf", "fprintf", "vfprintf", "sprintf",  "snprintf",
+        "vsnprintf", "puts", "fputs",    "putc",     "fputc",
+        "putchar", "fopen",  "fclose",   "fflush",   "fread",
+        "fwrite",  "fgets",  "fgetc",    "getc",     "getchar",
+        "scanf",   "fscanf", "sscanf",   "perror",   "fseek",
+        "ftell",   "rewind", "tmpfile",  "vprintf",
+    };
+    return s;
+}
+
+/** Same list the per-file parallel-reentrant rule uses. */
+const std::unordered_set<std::string> &
+libcUnsafeCalls()
+{
+    static const std::unordered_set<std::string> s = {
+        "rand",   "srand",     "strtok", "asctime", "ctime",
+        "gmtime", "localtime", "setlocale", "tmpnam",
+    };
+    return s;
+}
+
+/** Token intervals [begin, end) to exclude from a body walk. */
+struct SkipSet
+{
+    std::vector<std::pair<size_t, size_t>> iv;
+
+    void
+    add(size_t b, size_t e)
+    {
+        if (b < e)
+            iv.push_back({b, e});
+    }
+
+    void
+    seal()
+    {
+        std::sort(iv.begin(), iv.end());
+    }
+
+    /** @return end of the interval covering @p i, or 0. */
+    size_t
+    coveredUntil(size_t i) const
+    {
+        for (const auto &p : iv) {
+            if (p.first > i)
+                break;
+            if (i < p.second)
+                return p.second;
+        }
+        return 0;
+    }
+};
+
+struct Summarizer
+{
+    const SourceFile &sf;
+    const FileScopes &scopes;
+    const std::vector<Token> &toks;
+
+    /** Token indices that are declared names (skip ctor-call shapes). */
+    std::unordered_set<size_t> declToks;
+
+    Summarizer(const SourceFile &f, const FileScopes &sc)
+        : sf(f), scopes(sc), toks(f.lex.tokens)
+    {
+        for (const Scope &s : sc.scopes)
+            for (const VarDecl &d : s.decls)
+                declToks.insert(d.tok);
+    }
+
+    bool is(size_t i, const char *t) const
+    {
+        return i < toks.size() && toks[i].is(t);
+    }
+    bool isIdent(size_t i) const
+    {
+        return i < toks.size() &&
+               toks[i].kind == Token::Kind::Identifier;
+    }
+
+    /** @return true when scope @p s is (in) the unit @p unit without
+     *  crossing into a nested function/lambda. */
+    bool
+    directlyInUnit(int s, int unit) const
+    {
+        for (; s >= 0; s = scopes.scopes[(size_t)s].parent) {
+            if (s == unit)
+                return true;
+            Scope::Kind k = scopes.scopes[(size_t)s].kind;
+            if (k == Scope::Kind::Function || k == Scope::Kind::Lambda)
+                return false;
+        }
+        return false;
+    }
+
+    /** Build the skip set for @p unit: nested callable bodies plus
+     *  static-local declarations with their initializers. */
+    SkipSet
+    buildSkips(int unit) const
+    {
+        SkipSet sk;
+        const Scope &u = scopes.scopes[(size_t)unit];
+        for (size_t s = 0; s < scopes.scopes.size(); ++s) {
+            const Scope &c = scopes.scopes[s];
+            if ((int)s == unit)
+                continue;
+            if (c.kind != Scope::Kind::Function &&
+                c.kind != Scope::Kind::Lambda)
+                continue;
+            if (c.bodyBegin >= u.bodyBegin && c.bodyEnd <= u.bodyEnd)
+                sk.add(c.bodyBegin, c.bodyEnd);
+        }
+        // One-time static initialization is not a per-call effect.
+        for (size_t s = 0; s < scopes.scopes.size(); ++s) {
+            if (!directlyInUnit((int)s, unit) && (int)s != unit)
+                continue;
+            for (const VarDecl &d : scopes.scopes[s].decls) {
+                if (d.isStatic && d.initEnd > d.initBegin)
+                    sk.add(d.tok, d.initEnd);
+            }
+        }
+        sk.seal();
+        return sk;
+    }
+
+    /** Loop-body token intervals inside [b, e). */
+    std::vector<std::pair<size_t, size_t>>
+    loopRanges(size_t b, size_t e) const
+    {
+        std::vector<std::pair<size_t, size_t>> out;
+        for (size_t i = b; i < e; ++i) {
+            if (!isIdent(i))
+                continue;
+            const std::string &t = toks[i].text;
+            size_t open = 0, close = 0;
+            if ((t == "for" || t == "while") && is(i + 1, "(")) {
+                size_t past = matchForward(toks, i + 1, "(", ")");
+                open = i + 1;
+                if (is(past, "{"))
+                    close = matchForward(toks, past, "{", "}");
+                else {
+                    close = past;
+                    while (close < e && !toks[close].is(";"))
+                        ++close;
+                }
+            } else if (t == "do" && is(i + 1, "{")) {
+                open = i + 1;
+                close = matchForward(toks, i + 1, "{", "}");
+            }
+            if (close > open)
+                out.push_back({open, std::min(close, e)});
+        }
+        return out;
+    }
+
+    static bool
+    inAny(const std::vector<std::pair<size_t, size_t>> &iv, size_t i)
+    {
+        for (const auto &p : iv)
+            if (i >= p.first && i < p.second)
+                return true;
+        return false;
+    }
+
+    // ---- writes -----------------------------------------------------
+
+    /**
+     * Walk backward from @p lhsEnd (last token of an lvalue) to its
+     * root identifier. @p through reports whether the write went
+     * through a subscript, field access, or dereference. @return the
+     * root token index, or npos for expression receivers.
+     */
+    size_t
+    lvalueRoot(size_t lhsEnd, bool *through) const
+    {
+        *through = false;
+        size_t p = lhsEnd;
+        while (true) {
+            if (p >= toks.size())
+                return (size_t)-1;
+            if (toks[p].is("]")) {
+                size_t open = matchBackward(toks, p, "[", "]");
+                if (open == (size_t)-1 || open == 0)
+                    return (size_t)-1;
+                *through = true;
+                p = open - 1;
+                continue;
+            }
+            if (!isIdent(p))
+                return (size_t)-1;
+            // Continue through "a.b" / "a->b" chains to the root.
+            if (p >= 2 && toks[p - 1].is(".") && isIdent(p - 2)) {
+                *through = true;
+                p = p - 2;
+                continue;
+            }
+            if (p >= 3 && isPunctSeq(toks, p - 2, "->")) {
+                *through = true;
+                p = p - 3;
+                continue;
+            }
+            // A qualified root (Foo::x) is a foreign name; skip.
+            if (p >= 2 && isPunctSeq(toks, p - 2, "::"))
+                return (size_t)-1;
+            // "*p = ..." writes through the pointer.
+            if (p >= 1 && toks[p - 1].is("*") &&
+                !(p >= 2 && (isIdent(p - 2) || toks[p - 2].is(")") ||
+                             toks[p - 2].is("]")))) {
+                *through = true;
+            }
+            return p;
+        }
+    }
+
+    void
+    recordWrite(FnSummary &fs, int unit, size_t root, bool through)
+    {
+        const std::string &name = toks[root].text;
+        int scope = scopes.enclosing(root);
+        int found = -1;
+        const VarDecl *v = scopes.resolve(scope, name, root + 1, &found);
+        if (!v) {
+            if (name == "errno")
+                fs.usesErrno = true;
+            else if (!fs.qualifier.empty())
+                fs.writesMember = true;
+            return;
+        }
+        if (v->isAtomic || v->isThreadLocal)
+            return;
+        if (v->isParam) {
+            bool writable = through
+                                ? (v->isPointer || v->isRef) &&
+                                      !v->pointeeConst
+                                : v->isRef && !v->selfConst;
+            if (writable && v->paramIndex >= 0 &&
+                directlyInUnit(found, unit)) {
+                fs.writesParamIdx.insert(v->paramIndex);
+            }
+            return;
+        }
+        if (found == 0) {
+            // File/namespace-scope variable (namespaces are
+            // transparent, so their decls live in the File scope).
+            if (!v->selfConst)
+                fs.globalWrites.push_back({toks[root].line, name});
+            return;
+        }
+        if (v->isStatic && !v->selfConst)
+            fs.staticLocalWrites.push_back({toks[root].line, name});
+    }
+
+    /** Detect "lhs op= rhs" / "++lhs" at token @p i; @return tokens
+     *  consumed (0 when not a write). */
+    size_t
+    tryWrite(FnSummary &fs, int unit, size_t i)
+    {
+        // Prefix increment/decrement.
+        if ((isPunctSeq(toks, i, "++") || isPunctSeq(toks, i, "--")) &&
+            isIdent(i + 2)) {
+            bool through = false;
+            recordWrite(fs, unit, i + 2, through);
+            return 3;
+        }
+        // Postfix increment/decrement.
+        if ((isPunctSeq(toks, i, "++") || isPunctSeq(toks, i, "--")) &&
+            i > 0 && (isIdent(i - 1) || toks[i - 1].is("]"))) {
+            bool through = false;
+            size_t root = lvalueRoot(i - 1, &through);
+            if (root != (size_t)-1)
+                recordWrite(fs, unit, root, through);
+            return 2;
+        }
+        if (!toks[i].is("="))
+            return 0;
+        if (is(i + 1, "=")) // '=='
+            return 2;
+        size_t lhsEnd = i;
+        // Compound assignment: the '=' is preceded by the operator
+        // character(s), which are preceded by the lvalue.
+        static const char ops[] = "+-*/%&|^<>";
+        while (lhsEnd > 0 &&
+               toks[lhsEnd - 1].kind == Token::Kind::Punct &&
+               toks[lhsEnd - 1].text.size() == 1 &&
+               std::string(ops).find(toks[lhsEnd - 1].text[0]) !=
+                   std::string::npos) {
+            --lhsEnd;
+        }
+        if (lhsEnd != i) {
+            // "a != b" / "a <= b" comparisons are not writes.
+            char c = toks[lhsEnd].text[0];
+            if (i - lhsEnd == 1 && (c == '<' || c == '>'))
+                return 0;
+            if (i - lhsEnd == 1 && toks[lhsEnd].is("!"))
+                return 0;
+        }
+        if (lhsEnd == 0)
+            return 1;
+        bool through = false;
+        size_t root = lvalueRoot(lhsEnd - 1, &through);
+        if (root != (size_t)-1 && !declToks.count(root))
+            recordWrite(fs, unit, root, through);
+        return 1;
+    }
+
+    // ---- calls ------------------------------------------------------
+
+    void
+    recordCall(FnSummary &fs, size_t i, size_t paren,
+               const std::vector<std::pair<size_t, size_t>> &loops)
+    {
+        CallSite cs;
+        cs.name = toks[i].text;
+        cs.line = toks[i].line;
+        cs.tok = i;
+        cs.argBegin = paren + 1;
+        cs.argEnd = matchForward(toks, paren, "(", ")") - 1;
+        cs.inLoop = inAny(loops, i);
+
+        if (i >= 2 && isPunctSeq(toks, i - 2, "::")) {
+            if (i >= 3 && isIdent(i - 3)) {
+                cs.kind = CallSite::Kind::Qualified;
+                cs.qualifier = toks[i - 3].text;
+            } else {
+                cs.kind = CallSite::Kind::GlobalQual;
+            }
+        } else if (i >= 2 && toks[i - 1].is(".")) {
+            // Simple receiver only: "x.f(...)" with x a plain name.
+            // Everything else ("r[i].size()", "path().empty()",
+            // "a.b.c()") is an expression chain: growth calls only.
+            if (!isIdent(i - 2) ||
+                (i >= 4 &&
+                 (toks[i - 3].is(".") || toks[i - 3].is(")") ||
+                  toks[i - 3].is("]") ||
+                  isPunctSeq(toks, i - 4, "->")))) {
+                trackAllocCall(fs, cs); // chains: growth calls only
+                return;
+            }
+            const VarDecl *v = scopes.resolve(scopes.enclosing(i),
+                                              toks[i - 2].text, i,
+                                              nullptr);
+            if (!v || v->typeName.empty()) {
+                trackAllocCall(fs, cs);
+                return;
+            }
+            cs.kind = CallSite::Kind::Member;
+            cs.qualifier = v->typeName;
+        } else if (i >= 3 && isPunctSeq(toks, i - 2, "->")) {
+            if (toks[i - 3].isIdent("this") && !fs.qualifier.empty()) {
+                cs.kind = CallSite::Kind::Member;
+                cs.qualifier = fs.qualifier;
+            } else if (isIdent(i - 3) &&
+                       !(i >= 5 && (toks[i - 4].is(".") ||
+                                    isPunctSeq(toks, i - 5, "->")))) {
+                const VarDecl *v = scopes.resolve(scopes.enclosing(i),
+                                                  toks[i - 3].text, i,
+                                                  nullptr);
+                if (!v || v->typeName.empty()) {
+                    trackAllocCall(fs, cs);
+                    return;
+                }
+                cs.kind = CallSite::Kind::Member;
+                cs.qualifier = v->typeName;
+            } else {
+                trackAllocCall(fs, cs);
+                return;
+            }
+        } else {
+            int from = scopes.enclosing(i);
+            int lam = scopes.lambdaByName(from, cs.name);
+            const VarDecl *v =
+                scopes.resolve(from, cs.name, i, nullptr);
+            if (lam >= 0) {
+                cs.kind = CallSite::Kind::LambdaVar;
+                cs.lambdaScope = lam;
+            } else if (v && v->isParam) {
+                // A parameter callback (own or captured from the
+                // lexically enclosing function) is accounted for at
+                // the enclosing function's call sites, where the
+                // call-graph layer adds may-invoke edges for named
+                // arguments; only data variables are truly unknown.
+                cs.kind = CallSite::Kind::CallbackParam;
+            } else if (v) {
+                cs.kind = CallSite::Kind::Indirect;
+                fs.indirectCalls.push_back({cs.line, cs.name});
+            } else {
+                cs.kind = CallSite::Kind::Direct;
+            }
+        }
+
+        if (cs.name == "parallelFor")
+            fs.callsParallelFor = true;
+
+        trackAllocCall(fs, cs);
+        trackEffectCall(fs, cs);
+        collectArgs(cs);
+        fs.calls.push_back(std::move(cs));
+    }
+
+    /** Growth/allocation classification shared by all call shapes. */
+    void
+    trackAllocCall(FnSummary &fs, const CallSite &cs)
+    {
+        if (growthCalls().count(cs.name) &&
+            (cs.kind == CallSite::Kind::Member ||
+             cs.kind == CallSite::Kind::Direct)) {
+            fs.allocs.push_back({cs.line, cs.name + "()"});
+        }
+        if (mallocFamily().count(cs.name))
+            fs.allocs.push_back({cs.line, cs.name + "()"});
+    }
+
+    void
+    trackEffectCall(FnSummary &fs, const CallSite &cs)
+    {
+        if (cs.name == "pthread_mutex_lock" ||
+            cs.name == "pthread_mutex_unlock") {
+            fs.lockUses.push_back({cs.line, cs.name + "()"});
+        }
+        if ((cs.name == "lock" || cs.name == "unlock" ||
+             cs.name == "try_lock") &&
+            cs.kind == CallSite::Kind::Member &&
+            cs.qualifier.find("mutex") != std::string::npos) {
+            fs.lockUses.push_back({cs.line, cs.name + "()"});
+        }
+        if (stdioCalls().count(cs.name))
+            fs.stdioUses.push_back({cs.line, cs.name + "()"});
+        if (libcUnsafeCalls().count(cs.name))
+            fs.libcUnsafe.push_back({cs.line, cs.name + "()"});
+    }
+
+    void
+    collectArgs(CallSite &cs) const
+    {
+        int index = 0;
+        size_t i = cs.argBegin;
+        while (i < cs.argEnd) {
+            size_t aEnd = i;
+            int depth = 0;
+            while (aEnd < cs.argEnd) {
+                const Token &t = toks[aEnd];
+                if (t.is("(") || t.is("[") || t.is("{"))
+                    ++depth;
+                else if (t.is(")") || t.is("]") || t.is("}"))
+                    --depth;
+                else if (t.is(",") && depth == 0)
+                    break;
+                ++aEnd;
+            }
+            if (aEnd == i + 1 && isIdent(i)) {
+                cs.bareArgs.push_back(
+                    {toks[i].text, index, false, i});
+            } else if (aEnd == i + 2 && toks[i].is("&") &&
+                       isIdent(i + 1)) {
+                cs.bareArgs.push_back(
+                    {toks[i + 1].text, index, true, i + 1});
+            }
+            ++index;
+            i = aEnd + 1;
+        }
+    }
+
+    // ---- the walk ---------------------------------------------------
+
+    FnSummary
+    summarize(int unit)
+    {
+        const Scope &u = scopes.scopes[(size_t)unit];
+        FnSummary fs;
+        fs.scope = unit;
+        fs.name = u.name;
+        fs.qualifier = u.qualifier;
+        fs.nsPath = u.nsPath;
+        fs.isLambda = u.kind == Scope::Kind::Lambda;
+        fs.line = u.line;
+
+        SkipSet sk = buildSkips(unit);
+        auto loops = loopRanges(u.bodyBegin, u.bodyEnd);
+
+        // Allocation by construction: local containers/Tensors.
+        for (size_t s = 0; s < scopes.scopes.size(); ++s) {
+            if ((int)s != unit && !directlyInUnit((int)s, unit))
+                continue;
+            for (const VarDecl &d : scopes.scopes[s].decls) {
+                if (d.isParam || d.isStatic || d.isRef || d.isPointer)
+                    continue;
+                if (allocatingTypes().count(d.typeName)) {
+                    fs.allocs.push_back(
+                        {d.line, d.typeName + " " + d.name});
+                }
+                if (lockGuardTypes().count(d.typeName))
+                    fs.lockUses.push_back(
+                        {d.line, d.typeName + " " + d.name});
+            }
+        }
+
+        for (size_t i = u.bodyBegin; i < u.bodyEnd;) {
+            size_t until = sk.coveredUntil(i);
+            if (until) {
+                i = until;
+                continue;
+            }
+            const Token &t = toks[i];
+            if (t.kind == Token::Kind::Identifier) {
+                if (t.text == "throw") {
+                    fs.throwSites.push_back({t.line, "throw"});
+                    ++i;
+                    continue;
+                }
+                if (t.text == "new" &&
+                    !(i > 0 && (toks[i - 1].is(".") ||
+                                isPunctSeq(toks, i - 1, "::")))) {
+                    fs.allocs.push_back({t.line, "new"});
+                    ++i;
+                    continue;
+                }
+                if ((t.text == "cout" || t.text == "cerr" ||
+                     t.text == "clog" || t.text == "cin")) {
+                    fs.stdioUses.push_back({t.line, t.text});
+                    ++i;
+                    continue;
+                }
+                if (t.text == "errno") {
+                    fs.usesErrno = true;
+                    ++i;
+                    continue;
+                }
+                if ((t.text == "sa_handler" ||
+                     t.text == "sa_sigaction") &&
+                    is(i + 1, "=") && !is(i + 2, "=")) {
+                    size_t r = i + 2;
+                    if (is(r, "&"))
+                        ++r;
+                    if (isIdent(r))
+                        fs.handlerAssigns.push_back(toks[r].text);
+                    i = r + 1;
+                    continue;
+                }
+                size_t paren = i + 1;
+                if (is(paren, "<")) {
+                    // "make_unique<float[]>(...)" and friends.
+                    size_t past = matchTemplateArgs(toks, paren);
+                    if (past && is(past, "("))
+                        paren = past;
+                }
+                if (is(paren, "(") && !isControlish(t.text) &&
+                    !declToks.count(i)) {
+                    recordCall(fs, i, paren, loops);
+                    ++i;
+                    continue;
+                }
+                ++i;
+                continue;
+            }
+            if (t.kind == Token::Kind::Punct) {
+                size_t n = tryWrite(fs, unit, i);
+                if (n) {
+                    i += n;
+                    continue;
+                }
+            }
+            ++i;
+        }
+        return fs;
+    }
+};
+
+} // namespace
+
+const FnSummary *
+FileSummary::byScope(int scope) const
+{
+    for (const FnSummary &f : fns)
+        if (f.scope == scope)
+            return &f;
+    return nullptr;
+}
+
+FileSummary
+summarizeFile(const SourceFile &sf)
+{
+    FileSummary out;
+    out.sf = &sf;
+    out.scopes = parseScopes(sf.lex);
+    Summarizer sm(sf, out.scopes);
+    for (size_t s = 0; s < out.scopes.scopes.size(); ++s) {
+        Scope::Kind k = out.scopes.scopes[s].kind;
+        if (k == Scope::Kind::Function || k == Scope::Kind::Lambda)
+            out.fns.push_back(sm.summarize((int)s));
+    }
+    return out;
+}
+
+} // namespace ealint

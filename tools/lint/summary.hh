@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Per-function effect summaries for the whole-program analysis layer.
+ *
+ * For every function and lambda scope recovered by the declaration
+ * parser (parser.hh), summarizeFile() extracts a FnSummary: the
+ * side-effect facts the interprocedural rules consume (writes to
+ * globals / file statics / by-reference parameters, heap allocation,
+ * lock and stdio use, non-reentrant libc calls, throw statements) plus
+ * every call site with enough syntactic context for the call-graph
+ * layer (callgraph.hh) to resolve it across translation units.
+ *
+ * The extraction deliberately mirrors the analyzer's house style:
+ * token-shape heuristics tuned so the real tree is provably clean
+ * while seeded violations still fire. The known approximations are
+ *
+ *  - writes through non-parameter local pointers are invisible (the
+ *    pointee is unknown; reporting would flood every blocked kernel),
+ *  - member calls resolve only through a receiver whose declared type
+ *    the parser recovered ("PmOut w; w.flush()"), never through
+ *    expression receivers or casts,
+ *  - a lambda's body is summarized as its own unit, not folded into
+ *    the enclosing function; the call graph connects the two with a
+ *    may-invoke edge when the lambda is passed as a call argument,
+ *  - the initializer of a function-local static is one-time work and
+ *    is excluded from the body scan (guarded initialization is not a
+ *    per-call effect).
+ *
+ * Suppression stays at the rule layer: every recorded effect carries
+ * its line so a rule can honor NOLINT(rule) at the effect site.
+ */
+
+#ifndef EDGEADAPT_TOOLS_LINT_SUMMARY_HH
+#define EDGEADAPT_TOOLS_LINT_SUMMARY_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parser.hh"
+#include "source.hh"
+
+namespace ealint {
+
+/** One identifier-only call argument ("f(x, &g, a + b)" keeps x, g). */
+struct CallArg
+{
+    std::string name;
+    int index = 0;         ///< 0-based argument position
+    bool addressOf = false; ///< spelled &name
+    size_t tok = 0;         ///< token index of the identifier
+};
+
+/** One call site inside a summarized body. */
+struct CallSite
+{
+    enum class Kind
+    {
+        Direct,        ///< f(...) — plain name, resolved cross-TU
+        Qualified,     ///< ns::f(...) / Class::f(...)
+        GlobalQual,    ///< ::f(...) — global namespace (libc wrappers)
+        Member,        ///< x.f(...) with a parser-known receiver type
+        LambdaVar,     ///< f names "auto f = [...]" in scope
+        CallbackParam, ///< f is a parameter of the enclosing callable
+        Indirect,      ///< f is a data variable: pointer, assume worst
+    };
+
+    Kind kind = Kind::Direct;
+    std::string name;      ///< callee name token
+    std::string qualifier; ///< namespace / class / receiver type
+    int line = 0;
+    size_t tok = 0;       ///< token index of the callee name
+    size_t argBegin = 0;  ///< token range between the call parens
+    size_t argEnd = 0;
+    int lambdaScope = -1; ///< LambdaVar: scope index of the lambda
+    bool inLoop = false;  ///< sits inside a for/while/do body
+    std::vector<CallArg> bareArgs;
+};
+
+/** One recorded side effect with its suppression anchor. */
+struct Effect
+{
+    int line = 0;
+    std::string what; ///< variable / callee / token for the message
+};
+
+/** Effect summary of one function or lambda body. */
+struct FnSummary
+{
+    int scope = -1; ///< index into the file's FileScopes
+    std::string name;
+    std::string qualifier; ///< class for members, see Scope::qualifier
+    std::string nsPath;
+    bool isLambda = false;
+    int line = 0;
+
+    // -- own effects (this body only; nested lambdas excluded) -------
+    std::vector<Effect> globalWrites;      ///< non-atomic file-scope vars
+    std::vector<Effect> staticLocalWrites; ///< own mutable static locals
+    std::vector<Effect> allocs;            ///< new/malloc/growth/containers
+    std::vector<Effect> lockUses;          ///< mutex guards, pthread locks
+    std::vector<Effect> stdioUses;         ///< printf family, iostreams
+    std::vector<Effect> libcUnsafe;        ///< rand/strtok/setlocale/...
+    std::vector<Effect> throwSites;
+    std::vector<Effect> indirectCalls; ///< calls through data pointers
+    bool writesMember = false; ///< unresolved root inside a member fn
+    bool usesErrno = false;
+    bool callsParallelFor = false;
+
+    /** Parameter indices written directly (deref/subscript/ref). */
+    std::set<int> writesParamIdx;
+
+    /** Function names assigned to .sa_handler / .sa_sigaction. */
+    std::vector<std::string> handlerAssigns;
+
+    std::vector<CallSite> calls;
+};
+
+/** Summaries of one file, aligned with its scope tree. */
+struct FileSummary
+{
+    const SourceFile *sf = nullptr;
+    FileScopes scopes;
+
+    /** One summary per Function/Lambda scope, scope-index order. */
+    std::vector<FnSummary> fns;
+
+    /** @return summary whose scope index is @p scope, or nullptr. */
+    const FnSummary *byScope(int scope) const;
+};
+
+/** Parse and summarize every function/lambda body of @p sf. */
+FileSummary summarizeFile(const SourceFile &sf);
+
+} // namespace ealint
+
+#endif // EDGEADAPT_TOOLS_LINT_SUMMARY_HH

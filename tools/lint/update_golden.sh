@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerate tests/lint/expected.json, the golden report the
+# lint_selftest ctest compares byte-for-byte (tests/lint/run_golden.cmake).
+#
+# The report is already deterministic — findings are stable-sorted by
+# (file, line, rule, message) before emission — so the golden is
+# exactly one analyzer run over the fixture mini-repo with the same
+# flags the selftest uses. Run this after adding a rule, a fixture, or
+# changing a diagnostic message, then review the diff like any other
+# code change: every added/removed finding must be explainable by your
+# change.
+#
+# Usage:  tools/lint/update_golden.sh [BUILD_DIR]
+# BUILD_DIR defaults to "build"; the analyzer is built if missing.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+lint_bin="$build_dir/tools/edgeadapt_lint"
+fixtures="$repo_root/tests/lint/fixtures"
+golden="$repo_root/tests/lint/expected.json"
+
+if [[ ! -x "$lint_bin" ]]; then
+    echo "update_golden: building edgeadapt_lint in $build_dir" >&2
+    cmake -B "$build_dir" -S "$repo_root" >/dev/null
+    cmake --build "$build_dir" --target edgeadapt_lint -j >/dev/null
+fi
+
+# rc=1 (errors found) is the expected fixture outcome; anything else
+# means the fixture tree or the analyzer is broken — don't write a
+# bogus golden over the good one.
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+rc=0
+"$lint_bin" --repo-root "$fixtures" --format=json "$fixtures" \
+    > "$tmp" || rc=$?
+if [[ "$rc" != 1 ]]; then
+    echo "update_golden: analyzer exited $rc (expected 1); golden" \
+         "left untouched" >&2
+    exit 1
+fi
+
+if cmp -s "$tmp" "$golden"; then
+    echo "update_golden: $golden already up to date"
+else
+    cp "$tmp" "$golden"
+    echo "update_golden: wrote $golden — review with: git diff $golden"
+fi
