@@ -11,6 +11,7 @@
 #include "obs/registry.hh"
 #include "obs/snapshot.hh"
 #include "obs/trace.hh"
+#include "tensor/simd/dispatch.hh"
 
 // Baked in by bench/CMakeLists.txt so report lines can state which
 // sanitizer preset the numbers were taken under and find .git/HEAD.
@@ -111,6 +112,10 @@ writeEnv(obs::JsonWriter &w)
     const char *te = std::getenv("EDGEADAPT_THREADS");
     w.key("threads_env");
     w.value(te ? te : "");
+    // The active SIMD dispatch variant: bench_diff keys on it so a
+    // scalar run is never silently compared against an AVX2 one.
+    w.key("simd");
+    w.value(simd::activeDispatch().name);
     w.key("sanitizer");
     w.value(EDGEADAPT_SANITIZE_NAME);
     w.key("git_sha");

@@ -5,8 +5,14 @@
  * bottleneck), train- vs eval-mode batch-norm (the BN-Norm cost), the
  * entropy loss, the Adam step, and the corruption pipeline — plus the
  * trace-span overhead proof (disabled spans must be branch-cheap).
+ *
+ * GEMM benches also report "gemm_gflops", derived from the
+ * tensor.gemm.flops registry counter rather than the loop's nominal
+ * item count, so the rate reflects the work the dispatch layer
+ * actually executed.
  */
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -15,10 +21,12 @@
 #include "base/parallel.hh"
 #include "data/corruptions.hh"
 #include "data/synth_cifar.hh"
+#include "nn/activation.hh"
 #include "nn/batchnorm2d.hh"
 #include "nn/conv2d.hh"
 #include "obs/flightrec.hh"
 #include "obs/memtrack.hh"
+#include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "tensor/gemm.hh"
 #include "train/losses.hh"
@@ -28,6 +36,21 @@ using namespace edgeadapt;
 
 namespace {
 
+/**
+ * Counter-derived GFLOP/s: the tensor.gemm.flops delta across the
+ * timed loop, reported as a rate (google-benchmark divides by wall
+ * seconds). @p before is the counter value read before the loop.
+ */
+void
+reportGemmGflops(benchmark::State &state, int64_t before)
+{
+    int64_t delta =
+        obs::Registry::global().counter("tensor.gemm.flops").value() -
+        before;
+    state.counters["gemm_gflops"] = benchmark::Counter(
+        (double)delta * 1e-9, benchmark::Counter::kIsRate);
+}
+
 void
 BM_Gemm(benchmark::State &state)
 {
@@ -36,12 +59,15 @@ BM_Gemm(benchmark::State &state)
     Tensor a = Tensor::randn(Shape{n, n}, rng);
     Tensor b = Tensor::randn(Shape{n, n}, rng);
     Tensor c = Tensor::zeros(Shape{n, n});
+    int64_t flops0 =
+        obs::Registry::global().counter("tensor.gemm.flops").value();
     for (auto _ : state) {
         gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
              c.data());
         benchmark::DoNotOptimize(c.data());
     }
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    reportGemmGflops(state, flops0);
 }
 
 void
@@ -155,12 +181,15 @@ BM_GemmThreads(benchmark::State &state)
     Tensor a = Tensor::randn(Shape{n, n}, rng);
     Tensor b = Tensor::randn(Shape{n, n}, rng);
     Tensor c = Tensor::zeros(Shape{n, n});
+    int64_t flops0 =
+        obs::Registry::global().counter("tensor.gemm.flops").value();
     for (auto _ : state) {
         gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
              c.data());
         benchmark::DoNotOptimize(c.data());
     }
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    reportGemmGflops(state, flops0);
     parallel::setThreadCount(prev);
 }
 
@@ -195,6 +224,54 @@ threadArgs(benchmark::internal::Benchmark *b)
     // The work runs on pool workers; the main thread's CPU clock
     // would overstate the speedup. Scaling is a wall-time question.
     b->UseRealTime();
+}
+
+void
+BM_ConvBnReluEval(benchmark::State &state)
+{
+    // The unfused No-Adapt inference chain: three passes over the
+    // activation (conv write-back, BN affine, ReLU clamp).
+    int64_t batch = state.range(0);
+    Rng rng(10);
+    nn::Conv2dOpts o;
+    o.pad = 1;
+    nn::Conv2d conv(32, 32, 3, o, rng);
+    nn::BatchNorm2d bn(32);
+    nn::ReLU relu;
+    conv.setTraining(false);
+    bn.setTraining(false);
+    relu.setTraining(false);
+    Tensor x = Tensor::randn(Shape{batch, 32, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = relu.forward(bn.forward(conv.forward(x)));
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void
+BM_ConvBnReluEvalFused(benchmark::State &state)
+{
+    // Same computation with the frozen BN affine and the ReLU folded
+    // into the conv epilogue: one fused scale+shift+clamp pass.
+    int64_t batch = state.range(0);
+    Rng rng(10);
+    nn::Conv2dOpts o;
+    o.pad = 1;
+    nn::Conv2d conv(32, 32, 3, o, rng);
+    nn::BatchNorm2d bn(32);
+    conv.setTraining(false);
+    bn.setTraining(false);
+    Tensor scale, shift;
+    bn.foldedAffine(&scale, &shift);
+    conv.fuseEpilogue(scale, shift, 0.0f,
+                      std::numeric_limits<float>::infinity());
+    Tensor x = Tensor::randn(Shape{batch, 32, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
 }
 
 void
@@ -348,6 +425,8 @@ BENCHMARK(BM_ConvBackward)->Arg(8)->Arg(32);
 BENCHMARK(BM_GemmThreads)->Apply(threadArgs);
 BENCHMARK(BM_ConvForwardThreads)->Apply(threadArgs);
 BENCHMARK(BM_DepthwiseConv);
+BENCHMARK(BM_ConvBnReluEval)->Arg(8)->Arg(32);
+BENCHMARK(BM_ConvBnReluEvalFused)->Arg(8)->Arg(32);
 BENCHMARK(BM_BatchNormEval)->Arg(50)->Arg(200);
 BENCHMARK(BM_BatchNormTrain)->Arg(50)->Arg(200);
 BENCHMARK(BM_BatchNormBackward)->Arg(50);

@@ -14,6 +14,7 @@
 
 #include "base/parallel.hh"
 #include "bench_util.hh"
+#include "models/registry.hh"
 #include "nn/conv2d.hh"
 #include "obs/trace.hh"
 #include "tensor/gemm.hh"
@@ -48,6 +49,7 @@ main(int argc, char **argv)
     bench::Args args(argc, argv, "thread_scaling");
     const int64_t size = args.getInt("--gemm-size", 384);
     const int64_t batch = args.getInt("--batch", 32);
+    const int64_t modelBatch = args.getInt("--model-batch", 8);
     const int64_t reps = args.getInt("--reps", 5);
     args.finish();
 
@@ -99,5 +101,39 @@ main(int argc, char **argv)
     }
     parallel::setThreadCount(prevThreads);
     bench::emit(t);
+
+    // The fused No-Adapt eval path: conv+BN(+ReLU) chains folded into
+    // the conv epilogues of a full resnet18 forward. The unfused row
+    // is the same model with the fold undone — fused must win, that
+    // is the point of the eval-mode fusion.
+    Rng mrng(12);
+    models::Model model = models::buildModel("resnet18", mrng);
+    model.setTraining(false);
+    const Shape &img = model.info().inputShape;
+    Tensor mx = Tensor::randn(
+        Shape{modelBatch, img[0], img[1], img[2]}, mrng);
+    bench::section("Fused eval forward (resnet18, batch-" +
+                   std::to_string(modelBatch) + ")");
+    TextTable ft;
+    ft.header({"threads", "unfused ms", "fused ms", "fused speedup"});
+    for (int th : threads) {
+        parallel::setThreadCount(th);
+        model.unfuseEvalPath();
+        int64_t plainNs = bestNs(reps, [&] {
+            Tensor y = model.forward(mx);
+            (void)y;
+        });
+        model.fuseEvalPath();
+        int64_t fusedNs = bestNs(reps, [&] {
+            Tensor y = model.forward(mx);
+            (void)y;
+        });
+        ft.row({std::to_string(th), fixed((double)plainNs / 1e6, 3),
+                fixed((double)fusedNs / 1e6, 3),
+                fixed((double)plainNs / (double)fusedNs, 2) + "x"});
+    }
+    model.unfuseEvalPath();
+    parallel::setThreadCount(prevThreads);
+    bench::emit(ft);
     return bench::finishReport();
 }

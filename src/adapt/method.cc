@@ -1,5 +1,8 @@
 #include "adapt/method.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "base/check.hh"
 #include "base/logging.hh"
 #include "obs/registry.hh"
@@ -27,6 +30,24 @@ checkAdaptBatch(const models::Model &model, const Tensor &images)
                  images.shape()[3] == in[2],
              "adaptation batch geometry ", images.shape().str(),
              " does not match model input ", in.str());
+}
+
+/**
+ * EDGEADAPT_FUSED_EVAL gates the fused Conv+BN+ReLU eval path that
+ * No-Adapt installs for its (frozen, eval-only) streams: unset, "1"
+ * or "on" enables it; "0" or "off" forces the unfused layer-by-layer
+ * forward (e.g. for A/B timing or numerics triage). The adaptation
+ * methods never fuse — they mutate BN state every batch.
+ */
+bool
+fusedEvalEnabled()
+{
+    const char *e = std::getenv("EDGEADAPT_FUSED_EVAL");
+    if (!e || std::strcmp(e, "1") == 0 || std::strcmp(e, "on") == 0)
+        return true;
+    if (std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0)
+        return false;
+    fatal("EDGEADAPT_FUSED_EVAL must be 0/1/on/off, got \"", e, "\"");
 }
 
 } // namespace
@@ -82,7 +103,12 @@ bnAffineParamCount(models::Model &model)
 
 namespace {
 
-/** Baseline: eval-mode inference, nothing changes. */
+/**
+ * Baseline: eval-mode inference, nothing changes. The model is frozen
+ * for the whole stream, so the Conv+BN+ReLU chains are folded into
+ * fused conv epilogues for the duration (EDGEADAPT_FUSED_EVAL gates
+ * this); the destructor restores the unfused tree.
+ */
 class NoAdapt : public AdaptationMethod
 {
   public:
@@ -91,6 +117,14 @@ class NoAdapt : public AdaptationMethod
     {
         model_.setTraining(false);
         nn::setRequiresGradTree(model_.net(), false);
+        if (fusedEvalEnabled())
+            fused_ = model_.fuseEvalPath() > 0;
+    }
+
+    ~NoAdapt() override
+    {
+        if (fused_)
+            model_.unfuseEvalPath();
     }
 
     Tensor
@@ -113,6 +147,7 @@ class NoAdapt : public AdaptationMethod
   private:
     models::Model &model_;
     quality::QualityProbe probe_;
+    bool fused_ = false;
 };
 
 /**

@@ -174,6 +174,10 @@ QualityProbe::observe(const Tensor &logits)
         (sum_.meanConfidence * n + q.confidence) / (double)(n + 1);
     sum_.meanSkew = (sum_.meanSkew * n + q.skew) / (double)(n + 1);
     sum_.maxSkew = std::max(sum_.maxSkew, q.skew);
+    // The running-mean division can land 1 ulp above the max when
+    // every batch reports the same skew; consumers compare the two
+    // (collapse detection), so pin the mean <= max invariant.
+    sum_.meanSkew = std::min(sum_.meanSkew, sum_.maxSkew);
     sum_.lastEntropy = q.entropy;
     sum_.lastConfidence = q.confidence;
     sum_.lastSkew = q.skew;

@@ -101,7 +101,15 @@ void parallelFor(int64_t begin, int64_t end, int64_t grain,
  */
 float *scratch(int slot, size_t elems);
 
-/** Scratch slot map (see scratch()). */
+/**
+ * Scratch slot map (see scratch()). The gemm slots hold whichever
+ * packed form the active SIMD dispatch uses: the scalar path packs
+ * whole transposed operands (A: m x k, B: k x n); the micro-kernel
+ * path packs zero-padded panels (A: per-band MR-interleaved k-blocks
+ * on each worker, B: NR-wide full-k panels on the caller, read-only
+ * to workers), which are padded up to full tile multiples — sizing
+ * goes through simd::packedAElems()/packedBElems(), not m*k/k*n.
+ */
 inline constexpr int kScratchGemmPackA = 0; ///< gemm: packed op(A)
 inline constexpr int kScratchGemmPackB = 1; ///< gemm: packed op(B)
 inline constexpr int kScratchConvCols = 2;  ///< conv: im2col columns

@@ -1,6 +1,11 @@
 #include "models/model.hh"
 
+#include <limits>
+
+#include "base/check.hh"
 #include "base/logging.hh"
+#include "nn/batchnorm2d.hh"
+#include "nn/conv2d.hh"
 
 namespace edgeadapt {
 namespace models {
@@ -9,6 +14,76 @@ Model::Model(ModelInfo info, std::unique_ptr<nn::Module> net)
     : info_(std::move(info)), net_(std::move(net))
 {
     panic_if(!net_, "Model requires a network");
+}
+
+void
+Model::setTraining(bool training)
+{
+    if (training && fusedChains_ > 0)
+        unfuseEvalPath();
+    net_->setTraining(training);
+}
+
+int
+Model::fuseEvalPath()
+{
+    EA_CHECK(!net_->training(),
+             "fuseEvalPath is eval-only — the folded constants freeze "
+             "the BN running statistics");
+    if (fusedChains_ > 0)
+        return fusedChains_; // idempotent
+    constexpr float kInf = std::numeric_limits<float>::infinity();
+    for (nn::Module *m : nn::collectModules(*net_)) {
+        auto *seq = dynamic_cast<nn::Sequential *>(m);
+        if (!seq)
+            continue;
+        // Scan for [Conv2d, BatchNorm2d, (ReLU|ReLU6)] runs. Only
+        // adjacent direct children fuse: a BN behind a Residual
+        // boundary sees a different tensor than the conv wrote.
+        for (size_t i = 0; i + 1 < seq->size(); ++i) {
+            auto *conv = dynamic_cast<nn::Conv2d *>(&seq->at(i));
+            if (!conv || conv->hasFusedEpilogue())
+                continue;
+            auto *bn = dynamic_cast<nn::BatchNorm2d *>(&seq->at(i + 1));
+            if (!bn || bn->channels() != conv->outChannels())
+                continue;
+            float lo = -kInf, hi = kInf;
+            size_t last = i + 1;
+            if (i + 2 < seq->size()) {
+                const std::string k = seq->at(i + 2).kind();
+                if (k == "ReLU") {
+                    lo = 0.0f;
+                    last = i + 2;
+                } else if (k == "ReLU6") {
+                    lo = 0.0f;
+                    hi = 6.0f;
+                    last = i + 2;
+                }
+            }
+            Tensor scale, shift;
+            bn->foldedAffine(&scale, &shift);
+            conv->fuseEpilogue(scale, shift, lo, hi);
+            bn->setFusedBypassed(true);
+            if (last == i + 2)
+                seq->at(last).setFusedBypassed(true);
+            ++fusedChains_;
+            i = last;
+        }
+    }
+    return fusedChains_;
+}
+
+void
+Model::unfuseEvalPath()
+{
+    if (fusedChains_ == 0)
+        return;
+    for (nn::Module *m : nn::collectModules(*net_)) {
+        if (auto *conv = dynamic_cast<nn::Conv2d *>(m))
+            conv->clearFusedEpilogue();
+        m->setFusedBypassed(false);
+    }
+    fusedChains_ = 0;
 }
 
 const std::vector<nn::LayerDesc> &

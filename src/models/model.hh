@@ -67,8 +67,33 @@ class Model
     /** Back-propagate logits gradient; @return input gradient. */
     Tensor backward(const Tensor &g) { return net_->backward(g); }
 
-    /** Switch train/eval mode on the whole tree. */
-    void setTraining(bool training) { net_->setTraining(training); }
+    /**
+     * Switch train/eval mode on the whole tree. Entering train mode
+     * automatically unfuses the eval path (train-mode BN statistics
+     * invalidate the folded constants).
+     */
+    void setTraining(bool training);
+
+    /**
+     * Fold every [Conv2d, BatchNorm2d, (ReLU|ReLU6)] run found inside
+     * the tree's Sequential containers into the convolution's fused
+     * per-channel epilogue (see nn::Conv2d::fuseEpilogue()): the BN
+     * running statistics and affine parameters become a scale/shift
+     * pair applied at the conv's write-back, the activation becomes
+     * the epilogue clamp, and the folded BN/activation modules are
+     * bypassed during forward. Valid only in eval mode with frozen
+     * parameters — exactly the No-Adapt deployment configuration; any
+     * adaptation method that re-estimates statistics or takes
+     * gradient steps must run unfused (backward rejects fused
+     * layers). Idempotent. @return the number of fused chains.
+     */
+    int fuseEvalPath();
+
+    /** Undo fuseEvalPath() (no-op when nothing is fused). */
+    void unfuseEvalPath();
+
+    /** @return whether any Conv+BN(+ReLU) chain is currently fused. */
+    bool evalPathFused() const { return fusedChains_ > 0; }
 
     /** @return the per-image layer trace (computed once, cached). */
     const std::vector<nn::LayerDesc> &layers() const;
@@ -82,6 +107,7 @@ class Model
     mutable std::vector<nn::LayerDesc> layers_;
     mutable ModelStats stats_;
     mutable bool traced_ = false;
+    int fusedChains_ = 0;
 };
 
 } // namespace models

@@ -25,6 +25,8 @@ Tensor
 ReLU::forward(const Tensor &x)
 {
     EA_TRACE_SPAN_CAT("fw", spanName());
+    EA_CHECK(!fusedBypassed(),
+             "ReLU forward while folded into a fused epilogue");
     input_ = x;
     Tensor out(x.shape());
     const float *p = x.data();
@@ -64,6 +66,8 @@ Tensor
 ReLU6::forward(const Tensor &x)
 {
     EA_TRACE_SPAN_CAT("fw", spanName());
+    EA_CHECK(!fusedBypassed(),
+             "ReLU6 forward while folded into a fused epilogue");
     input_ = x;
     Tensor out(x.shape());
     const float *p = x.data();

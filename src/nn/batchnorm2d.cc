@@ -38,6 +38,27 @@ BatchNorm2d::resetRunningStats()
 }
 
 void
+BatchNorm2d::foldedAffine(Tensor *scale, Tensor *shift)
+{
+    EA_CHECK(scale && shift, "foldedAffine needs output tensors");
+    *scale = Tensor(Shape{c_});
+    *shift = Tensor(Shape{c_});
+    const float *g = gamma_.value.data();
+    const float *b = beta_.value.data();
+    const float *mu = runMean_.data();
+    const float *var = runVar_.data();
+    float *ps = scale->data();
+    float *pt = shift->data();
+    for (int64_t c = 0; c < c_; ++c) {
+        // Same invStd rounding as the eval forward path.
+        float is = (float)(1.0 / std::sqrt((double)var[c] + (double)eps_));
+        float s = g[c] * is;
+        ps[c] = s;
+        pt[c] = b[c] - mu[c] * s;
+    }
+}
+
+void
 BatchNorm2d::setBlendPrior(float n)
 {
     EA_CHECK(n >= 0.0f, "blend prior must be non-negative");
@@ -60,6 +81,8 @@ Tensor
 BatchNorm2d::forward(const Tensor &x)
 {
     EA_TRACE_SPAN_CAT("fw", spanName());
+    EA_CHECK(!fusedBypassed(),
+             "BatchNorm2d forward while folded into a fused epilogue");
     EA_CHECK(x.shape().rank() == 4, "BatchNorm2d wants NCHW input, got ",
              x.shape().str());
     EA_CHECK(x.shape()[1] == c_, "BatchNorm2d channel mismatch: got ",

@@ -65,6 +65,21 @@ class BatchNorm2d : public Module
     void resetRunningStats();
 
     /**
+     * Fold the eval-mode transform into a per-channel affine pair for
+     * the fused Conv+BN+ReLU epilogue:
+     *
+     *   scale[c] = gamma[c] / sqrt(runVar[c] + eps)
+     *   shift[c] = beta[c] - runMean[c] * scale[c]
+     *
+     * so that y = x * scale + shift equals this layer's eval forward
+     * up to rounding (the folded form multiplies before subtracting;
+     * the eval path normalizes first — algebraically identical,
+     * bitwise different). Valid only while the running statistics are
+     * frozen: any train-mode forward invalidates the folded values.
+     */
+    void foldedAffine(Tensor *scale, Tensor *shift);
+
+    /**
      * Enable source-prior blending of train-mode statistics
      * (Schneider et al., the paper's ref [14]): with prior strength
      * N > 0, the normalization statistics become

@@ -10,6 +10,7 @@
 #include "obs/trace.hh"
 #include "tensor/gemm.hh"
 #include "tensor/im2col.hh"
+#include "tensor/simd/dispatch.hh"
 
 namespace edgeadapt {
 namespace nn {
@@ -60,6 +61,40 @@ Conv2d::bias()
     return bias_;
 }
 
+void
+Conv2d::fuseEpilogue(const Tensor &scale, const Tensor &shift,
+                     float actLo, float actHi)
+{
+    EA_CHECK(!training_,
+             "Conv2d::fuseEpilogue is eval-only (train-mode BN "
+             "statistics are not foldable)");
+    EA_CHECK_SHAPE("fused epilogue scale", scale.shape(), Shape({outC_}));
+    EA_CHECK_SHAPE("fused epilogue shift", shift.shape(), Shape({outC_}));
+    EA_CHECK(actLo <= actHi, "fused epilogue clamp bounds inverted");
+    fusedScale_ = scale.clone();
+    fusedShift_ = shift.clone();
+    if (hasBias_) {
+        // The unfused chain applies bias before the BN affine:
+        // (y + b) * s + t = y * s + (b * s + t).
+        const float *b = bias_.value.data();
+        const float *s = fusedScale_.data();
+        float *t = fusedShift_.data();
+        for (int64_t c = 0; c < outC_; ++c)
+            t[c] += b[c] * s[c];
+    }
+    fusedLo_ = actLo;
+    fusedHi_ = actHi;
+    fused_ = true;
+}
+
+void
+Conv2d::clearFusedEpilogue()
+{
+    fused_ = false;
+    fusedScale_ = Tensor();
+    fusedShift_ = Tensor();
+}
+
 std::vector<Parameter *>
 Conv2d::params()
 {
@@ -73,6 +108,9 @@ Tensor
 Conv2d::forward(const Tensor &x)
 {
     EA_TRACE_SPAN_CAT("fw", spanName());
+    EA_CHECK(!(fused_ && training_),
+             "Conv2d forward: fused epilogue is eval-only — unfuse "
+             "before train-mode forward");
     EA_CHECK(x.shape().rank() == 4, "Conv2d wants NCHW input, got ",
              x.shape().str());
     EA_CHECK(x.shape()[1] == inC_, "Conv2d channel mismatch: got ",
@@ -111,7 +149,16 @@ Conv2d::forward(const Tensor &x)
                      wp + g * ocg * gRows, cols + g * gRows * outArea,
                      0.0f, dst + g * ocg * outArea);
             }
-            if (hasBias_) {
+            if (fused_) {
+                // Folded BN(+activation) epilogue; conv bias, when
+                // present, is already in the shift (fuseEpilogue()).
+                const float *s = fusedScale_.data();
+                const float *t = fusedShift_.data();
+                for (int64_t c = 0; c < outC_; ++c)
+                    simd::fusedScaleShiftClamp(outArea, dst + c * outArea,
+                                               s[c], t[c], fusedLo_,
+                                               fusedHi_);
+            } else if (hasBias_) {
                 const float *b = bias_.value.data();
                 for (int64_t c = 0; c < outC_; ++c) {
                     float bv = b[c];
@@ -133,6 +180,9 @@ Tensor
 Conv2d::backward(const Tensor &grad_out)
 {
     EA_TRACE_SPAN_CAT("bw", spanName());
+    EA_CHECK(!fused_,
+             "Conv2d backward with a fused epilogue — unfuse the eval "
+             "path before adaptation/training");
     EA_CHECK(input_.defined(), "Conv2d backward before forward");
     const Tensor &x = input_;
     const int64_t n = x.shape()[0];

@@ -55,6 +55,39 @@ class Conv2d : public Module
     /** @return the bias parameter; panics when bias is disabled. */
     Parameter &bias();
 
+    /** @return output channel count. */
+    int64_t outChannels() const { return outC_; }
+
+    /**
+     * Install a fused per-output-channel epilogue: after the GEMM,
+     * each output channel c is transformed in place as
+     *
+     *   y = clamp(y * scale[c] + shift[c], actLo, actHi)
+     *
+     * This is how the model layer folds a following frozen
+     * BatchNorm2d (and optional ReLU/ReLU6) into the convolution for
+     * eval-mode streams: scale/shift come from
+     * BatchNorm2d::foldedAffine(), actLo/actHi encode the activation
+     * ((-inf, +inf) = none, (0, +inf) = ReLU, (0, 6) = ReLU6). The
+     * conv's own bias, when present, is folded into the shift here so
+     * the separate bias pass is skipped. Eval-only: forward rejects a
+     * fused epilogue in train mode and backward rejects it outright —
+     * clear it (models::Model::unfuseEvalPath()) before adaptation.
+     *
+     * @param scale per-channel scale, shape (outC).
+     * @param shift per-channel shift, shape (outC).
+     * @param actLo clamp lower bound (-inf for no activation).
+     * @param actHi clamp upper bound (+inf for no upper clip).
+     */
+    void fuseEpilogue(const Tensor &scale, const Tensor &shift,
+                      float actLo, float actHi);
+
+    /** Remove the fused epilogue (no-op when none is installed). */
+    void clearFusedEpilogue();
+
+    /** @return whether a fused epilogue is installed. */
+    bool hasFusedEpilogue() const { return fused_; }
+
   private:
     int64_t inC_, outC_, k_, stride_, pad_, groups_;
     bool hasBias_;
@@ -62,6 +95,11 @@ class Conv2d : public Module
     Parameter bias_;
     Tensor input_;      ///< cached forward input
     int64_t outH_ = 0, outW_ = 0;
+
+    // Fused eval-mode epilogue (see fuseEpilogue()).
+    bool fused_ = false;
+    Tensor fusedScale_, fusedShift_; ///< per-out-channel affine
+    float fusedLo_ = 0.0f, fusedHi_ = 0.0f;
 };
 
 } // namespace nn

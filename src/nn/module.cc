@@ -127,8 +127,13 @@ Sequential::forward(const Tensor &x)
 {
     EA_TRACE_SPAN_CAT("fw", spanName());
     Tensor cur = x;
-    for (auto &m : mods_)
+    for (auto &m : mods_) {
+        // A bypassed module's effect lives in the preceding Conv2d's
+        // fused epilogue (models::Model::fuseEvalPath()).
+        if (m->fusedBypassed())
+            continue;
         cur = m->forward(cur);
+    }
     return cur;
 }
 
@@ -139,8 +144,13 @@ Sequential::backward(const Tensor &grad_out)
     EA_CHECK(grad_out.defined(),
              "Sequential backward needs a defined gradient");
     Tensor cur = grad_out;
-    for (auto it = mods_.rbegin(); it != mods_.rend(); ++it)
+    for (auto it = mods_.rbegin(); it != mods_.rend(); ++it) {
+        EA_CHECK(!(*it)->fusedBypassed(),
+                 "Sequential backward through a fused eval path — "
+                 "unfuse before training/adaptation (",
+                 (*it)->spanName(), ")");
         cur = (*it)->backward(cur);
+    }
     return cur;
 }
 

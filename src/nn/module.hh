@@ -100,6 +100,18 @@ class Module
     const std::string &label() const { return label_; }
 
     /**
+     * @return whether this module's effect has been folded into a
+     * neighbouring layer's fused epilogue (eval-only Conv+BN+ReLU
+     * fusion, see models::Model::fuseEvalPath()). A bypassed module is
+     * skipped by its containing Sequential; calling forward/backward
+     * on it directly is a wiring bug and is rejected with EA_CHECK.
+     */
+    bool fusedBypassed() const { return fusedBypassed_; }
+
+    /** Mark/unmark this module as folded away (model-layer fusion). */
+    void setFusedBypassed(bool bypassed) { fusedBypassed_ = bypassed; }
+
+    /**
      * @return trace-span name: "Kind" or "Kind:label". Called by the
      * forward/backward instrumentation only when tracing is enabled.
      */
@@ -111,6 +123,7 @@ class Module
 
   protected:
     bool training_ = false;
+    bool fusedBypassed_ = false;
     std::string label_;
 };
 

@@ -6,15 +6,18 @@
 #include "base/parallel.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "tensor/simd/dispatch.hh"
 
 namespace edgeadapt {
 
 namespace {
 
 /**
- * Core row-major kernel for C += A * B with A (m x k), B (k x n).
- * The k-outer, j-inner ordering streams B and C rows, which the
- * compiler vectorizes well; blocking keeps the working set in L1/L2.
+ * Core row-major kernel for C += A * B with A (m x k), B (k x n) —
+ * the scalar dispatch variant (EDGEADAPT_SIMD=scalar and the fallback
+ * when no micro-kernel is compiled for this CPU). The k-outer,
+ * j-inner ordering streams B and C rows, which the compiler
+ * vectorizes well; blocking keeps the working set in L1/L2.
  *
  * Every row of C is computed by one fully sequential pass over k (the
  * KB blocks in ascending order), so splitting m across threads cannot
@@ -43,14 +46,28 @@ gemmNN(int64_t m, int64_t n, int64_t k, float alpha, const float *a,
     }
 }
 
-/** Pack op(X) into a dense row-major m x k buffer. */
+/**
+ * Pack op(X) into a dense row-major rows x cols buffer. Blocked so
+ * both sides stay cache-resident: the naive i-outer/j-inner loop
+ * reads src down a column (stride `rows` floats), which for large
+ * operands touches a new cache line — often a new page — every
+ * iteration; 64x64 blocks amortize each loaded line across the whole
+ * block before it is evicted.
+ */
 void
 packTranspose(int64_t rows, int64_t cols, const float *src, float *dst)
 {
     // src is cols x rows row-major; dst becomes rows x cols row-major.
-    for (int64_t i = 0; i < rows; ++i)
-        for (int64_t j = 0; j < cols; ++j)
-            dst[i * cols + j] = src[j * rows + i];
+    constexpr int64_t TB = 64;
+    for (int64_t i0 = 0; i0 < rows; i0 += TB) {
+        int64_t iMax = std::min(i0 + TB, rows);
+        for (int64_t j0 = 0; j0 < cols; j0 += TB) {
+            int64_t jMax = std::min(j0 + TB, cols);
+            for (int64_t i = i0; i < iMax; ++i)
+                for (int64_t j = j0; j < jMax; ++j)
+                    dst[i * cols + j] = src[j * rows + i];
+        }
+    }
 }
 
 /** Rows of C handed to one parallelFor chunk. */
@@ -59,25 +76,12 @@ constexpr int64_t kRowGrain = 32;
 /** Don't fork below ~2 MFLOP — the join overhead wins there. */
 constexpr int64_t kParallelFlops = int64_t(1) << 20;
 
-} // namespace
-
+/** Legacy scalar driver: pack transposed operands, band over rows. */
 void
-gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
-     float alpha, const float *a, const float *b, float beta, float *c)
+gemmScalar(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
+           float alpha, const float *a, const float *b, float beta,
+           float *c)
 {
-    EA_CHECK(m >= 0 && n >= 0 && k >= 0,
-             "gemm with negative dimension (m=", m, " n=", n, " k=", k,
-             ")");
-    EA_DCHECK(m == 0 || n == 0 || k == 0 || (a && b && c),
-             "gemm with null operand");
-    EA_TRACE_SPAN_CAT("tensor", "gemm");
-    static obs::Counter &gemmCalls =
-        obs::Registry::global().counter("tensor.gemm.calls");
-    static obs::Counter &gemmFlops =
-        obs::Registry::global().counter("tensor.gemm.flops");
-    gemmCalls.increment();
-    gemmFlops.add(2 * m * n * k);
-
     // Transposed operands are packed into contiguous buffers once; the
     // packing cost is linear while the multiply is cubic, so this is a
     // net win for all layer-sized problems. The buffers are per-thread
@@ -119,6 +123,75 @@ gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
         parallel::parallelFor(0, m, kRowGrain, rowBand);
     else
         rowBand(0, m, 0);
+}
+
+/**
+ * Micro-kernel driver (AVX2 today, NEON when it lands): op(B) is
+ * packed once into zero-padded NR-wide panels on the calling thread,
+ * then each row-band chunk packs its own op(A) k-blocks into
+ * per-thread scratch and runs the register-blocked tile kernel. The
+ * packed layouts replace the strided packTranspose copies — the
+ * micro-kernel always reads unit-stride, whatever the transpose
+ * flags.
+ */
+void
+gemmDispatch(const simd::Dispatch &d, bool transA, bool transB,
+             int64_t m, int64_t n, int64_t k, float alpha,
+             const float *a, const float *b, float beta, float *c)
+{
+    float *pb = parallel::scratch(
+        parallel::kScratchGemmPackB,
+        (size_t)simd::packedBElems(d, k, n));
+    simd::packB(d, transB, k, n, b, pb);
+
+    // One chunk owns a disjoint band of C rows; its packed-A buffer
+    // is per-thread scratch, and the shared packed-B panels are only
+    // read. Per-row arithmetic is band-position independent (see
+    // simd/dispatch.hh), so the chunk split cannot change results.
+    auto rowBand = [&](int64_t rb, int64_t re, int64_t) {
+        float *pa = parallel::scratch(
+            parallel::kScratchGemmPackA,
+            (size_t)simd::packedAElems(d, re - rb, k));
+        simd::gemmRowBand(d, transA, rb, re, n, k, alpha, a, m, pb,
+                          pa, beta, c);
+    };
+
+    bool fork = !parallel::inParallelRegion() &&
+                parallel::threadCount() > 1 && m > kRowGrain &&
+                2 * m * n * k >= kParallelFlops;
+    if (fork)
+        parallel::parallelFor(0, m, kRowGrain, rowBand);
+    else
+        rowBand(0, m, 0);
+}
+
+} // namespace
+
+void
+gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
+     float alpha, const float *a, const float *b, float beta, float *c)
+{
+    EA_CHECK(m >= 0 && n >= 0 && k >= 0,
+             "gemm with negative dimension (m=", m, " n=", n, " k=", k,
+             ")");
+    EA_DCHECK(m == 0 || n == 0 || k == 0 || (a && b && c),
+             "gemm with null operand");
+    EA_TRACE_SPAN_CAT("tensor", "gemm");
+    static obs::Counter &gemmCalls =
+        obs::Registry::global().counter("tensor.gemm.calls");
+    static obs::Counter &gemmFlops =
+        obs::Registry::global().counter("tensor.gemm.flops");
+    gemmCalls.increment();
+    gemmFlops.add(2 * m * n * k);
+
+    // k == 0 means C = beta * C with no product term; the scalar
+    // driver's beta pass handles it (the panel driver iterates
+    // k-blocks and would skip the write-back entirely).
+    const simd::Dispatch &d = simd::activeDispatch();
+    if (d.hasMicroKernel() && k > 0)
+        gemmDispatch(d, transA, transB, m, n, k, alpha, a, b, beta, c);
+    else
+        gemmScalar(transA, transB, m, n, k, alpha, a, b, beta, c);
 }
 
 } // namespace edgeadapt

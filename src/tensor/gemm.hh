@@ -1,9 +1,13 @@
 /**
  * @file
  * Single-precision general matrix multiply used by the convolution and
- * linear layers. The kernel is a cache-blocked i-k-j loop that the
- * compiler auto-vectorizes; it is the compute backbone of the whole
- * library, so microbenchmarks cover it (`bench/micro_kernels`).
+ * linear layers. The implementation is runtime-dispatched through
+ * src/tensor/simd/: a register-blocked, panel-packed micro-kernel on
+ * CPUs with a compiled vector variant (AVX2+FMA today), and the
+ * legacy cache-blocked i-k-j scalar loop as the always-available
+ * fallback (EDGEADAPT_SIMD selects explicitly). It is the compute
+ * backbone of the whole library, so microbenchmarks cover it
+ * (`bench/micro_kernels`).
  */
 
 #ifndef EDGEADAPT_TENSOR_GEMM_HH

@@ -1,9 +1,12 @@
 #include "tensor/im2col.hh"
 
+#include <algorithm>
+
 #include "base/check.hh"
 #include "base/logging.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "tensor/simd/dispatch.hh"
 
 namespace edgeadapt {
 
@@ -55,16 +58,31 @@ im2col(const float *data, int64_t channels, int64_t h, int64_t w,
         for (int64_t ki = 0; ki < kh; ++ki) {
             for (int64_t kj = 0; kj < kw; ++kj) {
                 // One row of the column matrix: the (c, ki, kj) tap
-                // sampled at every output position.
+                // sampled at every output position. With stride 1
+                // the in-bounds tap positions form one contiguous
+                // source span per output row — a straight copy
+                // (bitwise identical to the per-element gather, and
+                // what the models actually run: every conv in the
+                // model zoo except the downsampling ones is
+                // stride 1).
+                int64_t x0 = std::clamp<int64_t>(pad - kj, 0, outW);
+                int64_t x1 =
+                    std::clamp<int64_t>(w + pad - kj, x0, outW);
                 for (int64_t oy = 0; oy < outH; ++oy) {
                     int64_t iy = oy * stride - pad + ki;
                     float *dst = out + oy * outW;
                     if (iy < 0 || iy >= h) {
-                        for (int64_t ox = 0; ox < outW; ++ox)
-                            dst[ox] = 0.0f;
+                        std::fill(dst, dst + outW, 0.0f);
                         continue;
                     }
                     const float *srcRow = img + iy * w;
+                    if (stride == 1) {
+                        std::fill(dst, dst + x0, 0.0f);
+                        std::copy(srcRow + x0 - pad + kj,
+                                  srcRow + x1 - pad + kj, dst + x0);
+                        std::fill(dst + x1, dst + outW, 0.0f);
+                        continue;
+                    }
                     for (int64_t ox = 0; ox < outW; ++ox) {
                         int64_t ix = ox * stride - pad + kj;
                         dst[ox] = (ix >= 0 && ix < w) ? srcRow[ix] : 0.0f;
@@ -91,12 +109,24 @@ col2im(const float *cols, int64_t channels, int64_t h, int64_t w,
         float *img = data + c * h * w;
         for (int64_t ki = 0; ki < kh; ++ki) {
             for (int64_t kj = 0; kj < kw; ++kj) {
+                // Mirror of the im2col stride-1 span: the in-bounds
+                // scatter targets are contiguous, so the accumulate
+                // becomes one vectorized span add per output row.
+                int64_t x0 = std::clamp<int64_t>(pad - kj, 0, outW);
+                int64_t x1 =
+                    std::clamp<int64_t>(w + pad - kj, x0, outW);
                 for (int64_t oy = 0; oy < outH; ++oy) {
                     int64_t iy = oy * stride - pad + ki;
                     if (iy < 0 || iy >= h)
                         continue;
                     const float *src = in + oy * outW;
                     float *dstRow = img + iy * w;
+                    if (stride == 1) {
+                        simd::vaddInPlace(x1 - x0,
+                                          dstRow + x0 - pad + kj,
+                                          src + x0);
+                        continue;
+                    }
                     for (int64_t ox = 0; ox < outW; ++ox) {
                         int64_t ix = ox * stride - pad + kj;
                         if (ix >= 0 && ix < w)

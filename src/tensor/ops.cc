@@ -4,6 +4,7 @@
 
 #include "base/check.hh"
 #include "base/parallel.hh"
+#include "tensor/simd/dispatch.hh"
 
 namespace edgeadapt {
 
@@ -22,25 +23,25 @@ constexpr int64_t kParallelElems = int64_t(1) << 17;
 constexpr int64_t kElemGrain = int64_t(1) << 16;
 
 /**
- * Run an elementwise body over [0, n): parallel for large tensors
- * outside a parallel region, plain loop otherwise. Index-wise ops
- * are trivially deterministic under any chunking.
+ * Run a span kernel over [0, n): parallel spans for large tensors
+ * outside a parallel region, one span otherwise. The dispatched
+ * kernels are per-element independent and give every element the
+ * same arithmetic wherever a span boundary falls (see
+ * simd/dispatch.hh), so chunking stays invisible in the results.
  */
 template <typename Fn>
 void
-forRange(int64_t n, Fn &&fn)
+forSpans(int64_t n, Fn &&fn)
 {
     if (n >= kParallelElems && !parallel::inParallelRegion() &&
         parallel::threadCount() > 1) {
         parallel::parallelFor(0, n, kElemGrain,
                               [&](int64_t b, int64_t e, int64_t) {
-                                  for (int64_t i = b; i < e; ++i)
-                                      fn(i);
+                                  fn(b, e - b);
                               });
         return;
     }
-    for (int64_t i = 0; i < n; ++i)
-        fn(i);
+    fn(0, n);
 }
 
 } // namespace
@@ -53,7 +54,9 @@ add(const Tensor &a, const Tensor &b)
     const float *pa = a.data(), *pb = b.data();
     float *po = out.data();
     int64_t n = a.numel();
-    forRange(n, [=](int64_t i) { po[i] = pa[i] + pb[i]; });
+    forSpans(n, [=](int64_t b, int64_t len) {
+        simd::vadd(len, pa + b, pb + b, po + b);
+    });
     return out;
 }
 
@@ -65,7 +68,9 @@ sub(const Tensor &a, const Tensor &b)
     const float *pa = a.data(), *pb = b.data();
     float *po = out.data();
     int64_t n = a.numel();
-    forRange(n, [=](int64_t i) { po[i] = pa[i] - pb[i]; });
+    forSpans(n, [=](int64_t b, int64_t len) {
+        simd::vsub(len, pa + b, pb + b, po + b);
+    });
     return out;
 }
 
@@ -77,7 +82,9 @@ mul(const Tensor &a, const Tensor &b)
     const float *pa = a.data(), *pb = b.data();
     float *po = out.data();
     int64_t n = a.numel();
-    forRange(n, [=](int64_t i) { po[i] = pa[i] * pb[i]; });
+    forSpans(n, [=](int64_t b, int64_t len) {
+        simd::vmul(len, pa + b, pb + b, po + b);
+    });
     return out;
 }
 
@@ -88,7 +95,9 @@ scale(const Tensor &a, float s)
     const float *pa = a.data();
     float *po = out.data();
     int64_t n = a.numel();
-    forRange(n, [=](int64_t i) { po[i] = pa[i] * s; });
+    forSpans(n, [=](int64_t b, int64_t len) {
+        simd::vscale(len, pa + b, s, po + b);
+    });
     return out;
 }
 
@@ -99,7 +108,9 @@ addInPlace(Tensor &a, const Tensor &b)
     float *pa = a.data();
     const float *pb = b.data();
     int64_t n = a.numel();
-    forRange(n, [=](int64_t i) { pa[i] += pb[i]; });
+    forSpans(n, [=](int64_t b, int64_t len) {
+        simd::vaddInPlace(len, pa + b, pb + b);
+    });
 }
 
 void
@@ -109,7 +120,9 @@ axpyInPlace(Tensor &a, float s, const Tensor &b)
     float *pa = a.data();
     const float *pb = b.data();
     int64_t n = a.numel();
-    forRange(n, [=](int64_t i) { pa[i] += s * pb[i]; });
+    forSpans(n, [=](int64_t b, int64_t len) {
+        simd::vaxpyInPlace(len, pa + b, s, pb + b);
+    });
 }
 
 void
@@ -117,7 +130,9 @@ scaleInPlace(Tensor &a, float s)
 {
     float *pa = a.data();
     int64_t n = a.numel();
-    forRange(n, [=](int64_t i) { pa[i] *= s; });
+    forSpans(n, [=](int64_t b, int64_t len) {
+        simd::vscaleInPlace(len, pa + b, s);
+    });
 }
 
 void
@@ -126,8 +141,8 @@ clampInPlace(Tensor &a, float lo, float hi)
     EA_CHECK(hi >= lo, "clamp with hi < lo");
     float *pa = a.data();
     int64_t n = a.numel();
-    forRange(n, [=](int64_t i) {
-        pa[i] = std::min(hi, std::max(lo, pa[i]));
+    forSpans(n, [=](int64_t b, int64_t len) {
+        simd::vclampInPlace(len, pa + b, lo, hi);
     });
 }
 

@@ -1,0 +1,240 @@
+#include "tensor/simd/dispatch.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/check.hh"
+#include "base/logging.hh"
+#include "tensor/simd/kernels.hh"
+
+namespace edgeadapt {
+namespace simd {
+
+namespace {
+
+Dispatch
+makeDispatch(Variant v)
+{
+    switch (v) {
+    case Variant::Avx2:
+        return {Variant::Avx2, "avx2", kAvx2Mr, kAvx2Nr};
+    case Variant::Neon:
+        // Reserved: no NEON kernels yet, so the probe never selects
+        // it and variantSupported() rejects it.
+        return {Variant::Neon, "neon", 0, 0};
+    case Variant::Scalar:
+        break;
+    }
+    return {Variant::Scalar, "scalar", 0, 0};
+}
+
+/**
+ * Resolve EDGEADAPT_SIMD (explicit variant, fatal() if unknown or
+ * unsupported) or fall back to the best probed variant.
+ */
+Variant
+resolveInitialVariant()
+{
+    const char *e = std::getenv("EDGEADAPT_SIMD");
+    if (!e || !*e)
+        return probeBestVariant();
+    Variant v;
+    if (std::strcmp(e, "scalar") == 0) {
+        v = Variant::Scalar;
+    } else if (std::strcmp(e, "avx2") == 0) {
+        v = Variant::Avx2;
+    } else if (std::strcmp(e, "neon") == 0) {
+        v = Variant::Neon;
+    } else {
+        fatal("EDGEADAPT_SIMD must be scalar|avx2|neon, got '", e, "'");
+    }
+    fatal_if(!variantSupported(v), "EDGEADAPT_SIMD=", e,
+             " requested but this CPU/build does not support it");
+    return v;
+}
+
+/** Latched active kernel set (first use resolves env + probe). */
+Dispatch &
+activeSlot()
+{
+    static Dispatch d = makeDispatch(resolveInitialVariant());
+    return d;
+}
+
+} // namespace
+
+bool
+variantSupported(Variant v)
+{
+    switch (v) {
+    case Variant::Scalar:
+        return true;
+    case Variant::Avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+        return avx2Compiled() && __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
+#else
+        return false;
+#endif
+    case Variant::Neon:
+        return false; // reserved — no kernels yet
+    }
+    return false;
+}
+
+Variant
+probeBestVariant()
+{
+    if (variantSupported(Variant::Avx2))
+        return Variant::Avx2;
+    return Variant::Scalar;
+}
+
+const Dispatch &
+activeDispatch()
+{
+    return activeSlot();
+}
+
+void
+setVariant(Variant v)
+{
+    fatal_if(!variantSupported(v), "setVariant(", variantName(v),
+             "): variant not supported on this CPU/build");
+    activeSlot() = makeDispatch(v);
+}
+
+const char *
+variantName(Variant v)
+{
+    return makeDispatch(v).name;
+}
+
+int64_t
+packedBElems(const Dispatch &d, int64_t k, int64_t n)
+{
+    EA_DCHECK(d.hasMicroKernel(), "packedBElems on scalar dispatch");
+    int64_t panels = (n + d.nr - 1) / d.nr;
+    return panels * k * d.nr;
+}
+
+int64_t
+packedAElems(const Dispatch &d, int64_t rows, int64_t k)
+{
+    EA_DCHECK(d.hasMicroKernel(), "packedAElems on scalar dispatch");
+    int64_t tiles = (rows + d.mr - 1) / d.mr;
+    int64_t kc = k < kKC ? k : kKC;
+    return tiles * kc * d.mr;
+}
+
+void
+packB(const Dispatch &d, bool transB, int64_t k, int64_t n,
+      const float *b, float *pb)
+{
+    packBPanels(d.nr, transB, k, n, b, pb);
+}
+
+void
+gemmRowBand(const Dispatch &d, bool transA, int64_t rb, int64_t re,
+            int64_t n, int64_t k, float alpha, const float *a,
+            int64_t m, const float *pb, float *pa, float beta, float *c)
+{
+    switch (d.variant) {
+    case Variant::Avx2:
+        gemmRowBandAvx2(transA, rb, re, n, k, alpha, a, m, pb, pa,
+                        beta, c);
+        return;
+    case Variant::Scalar:
+    case Variant::Neon:
+        break;
+    }
+    panic("gemmRowBand: dispatch has no micro-kernel");
+}
+
+// Elementwise wrappers: switch on the latched variant with direct
+// calls (no function pointers — see the header on parallel-interproc).
+
+void
+vadd(int64_t len, const float *a, const float *b, float *out)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        vaddAvx2(len, a, b, out);
+    else
+        vaddScalar(len, a, b, out);
+}
+
+void
+vsub(int64_t len, const float *a, const float *b, float *out)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        vsubAvx2(len, a, b, out);
+    else
+        vsubScalar(len, a, b, out);
+}
+
+void
+vmul(int64_t len, const float *a, const float *b, float *out)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        vmulAvx2(len, a, b, out);
+    else
+        vmulScalar(len, a, b, out);
+}
+
+void
+vscale(int64_t len, const float *a, float s, float *out)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        vscaleAvx2(len, a, s, out);
+    else
+        vscaleScalar(len, a, s, out);
+}
+
+void
+vaddInPlace(int64_t len, float *dst, const float *src)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        vaddInPlaceAvx2(len, dst, src);
+    else
+        vaddInPlaceScalar(len, dst, src);
+}
+
+void
+vaxpyInPlace(int64_t len, float *dst, float s, const float *src)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        vaxpyInPlaceAvx2(len, dst, s, src);
+    else
+        vaxpyInPlaceScalar(len, dst, s, src);
+}
+
+void
+vscaleInPlace(int64_t len, float *dst, float s)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        vscaleInPlaceAvx2(len, dst, s);
+    else
+        vscaleInPlaceScalar(len, dst, s);
+}
+
+void
+vclampInPlace(int64_t len, float *dst, float lo, float hi)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        vclampInPlaceAvx2(len, dst, lo, hi);
+    else
+        vclampInPlaceScalar(len, dst, lo, hi);
+}
+
+void
+fusedScaleShiftClamp(int64_t len, float *dst, float scale, float shift,
+                     float lo, float hi)
+{
+    if (activeSlot().variant == Variant::Avx2)
+        fusedScaleShiftClampAvx2(len, dst, scale, shift, lo, hi);
+    else
+        fusedScaleShiftClampScalar(len, dst, scale, shift, lo, hi);
+}
+
+} // namespace simd
+} // namespace edgeadapt

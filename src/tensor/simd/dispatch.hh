@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD micro-kernel layer for the tensor kernels.
+ *
+ * A `Dispatch` names one instruction-set variant of the hot kernels:
+ * the register-blocked GEMM micro-kernel, the packed-panel writers it
+ * consumes, and the vectorized elementwise primitives. The variant is
+ * chosen once at startup: `EDGEADAPT_SIMD=scalar|avx2` forces a
+ * variant (fatal() if the CPU cannot run it), otherwise the best
+ * supported one is probed (AVX2+FMA via the compiler's CPU-feature
+ * builtins). `Variant::Neon` is reserved so an aarch64 kernel file
+ * can slot in without touching call sites; until it exists the probe
+ * never selects it. The scalar variant is always available and is the
+ * exact legacy code path (bitwise identical to the pre-SIMD library).
+ *
+ * Dispatch is a switch on the `Variant` enum — deliberately NOT a
+ * table of function pointers. Kernels run inside parallelFor bodies,
+ * and the whole-program lint rule `parallel-interproc` (rightly)
+ * refuses to prove race-freedom across indirect calls; direct calls
+ * keep the call graph analyzable.
+ *
+ * Numeric-determinism policy (DESIGN Sec. 13):
+ *  - WITHIN a variant, results are bitwise deterministic across
+ *    thread counts. The packed panels are zero-padded to full MR/NR
+ *    tiles and every tile — full or ragged, whatever band a chunk
+ *    owns — is accumulated and written back through the same
+ *    per-element arithmetic, so the chunk partition cannot perturb
+ *    any output element.
+ *  - ACROSS variants, results agree only to tolerance: the AVX2
+ *    kernel uses FMA and a different alpha/accumulation association
+ *    than the scalar loop. Tests compare cross-variant output with
+ *    an epsilon; anything needing bitwise stability must pin
+ *    EDGEADAPT_SIMD.
+ *
+ * Intrinsics isolation: lint rule `simd-isolation` keeps intrinsics
+ * headers and vector-register tokens inside src/tensor/simd/ — this
+ * header is plain C++ and safe to include anywhere in src/tensor.
+ */
+
+#ifndef EDGEADAPT_TENSOR_SIMD_DISPATCH_HH
+#define EDGEADAPT_TENSOR_SIMD_DISPATCH_HH
+
+#include <cstdint>
+
+namespace edgeadapt {
+namespace simd {
+
+/** Instruction-set variants, in preference order (higher is better). */
+enum class Variant {
+    Scalar = 0, ///< portable legacy kernels; always available
+    Avx2 = 1,   ///< x86-64 AVX2+FMA micro-kernels
+    Neon = 2,   ///< reserved for aarch64 (no kernels yet)
+};
+
+/** Resolved kernel set plus its GEMM micro-tile geometry. */
+struct Dispatch {
+    Variant variant;  ///< which kernel set this is
+    const char *name; ///< "scalar" / "avx2" / "neon" (env + bench JSON)
+    int mr;           ///< micro-tile rows (0: no micro-kernel — the
+                      ///< legacy gemmNN path in gemm.cc is used)
+    int nr;           ///< micro-tile cols
+
+    bool hasMicroKernel() const { return mr > 0; }
+};
+
+/** k-dimension block: one packed A band is MR x kKC floats. */
+inline constexpr int64_t kKC = 384;
+
+/**
+ * The active kernel set. First call resolves EDGEADAPT_SIMD (fatal()
+ * on an unknown name or an unsupported forced variant) or probes the
+ * CPU; later calls return the latched value. setVariant() overrides.
+ */
+const Dispatch &activeDispatch();
+
+/** Best variant this CPU supports (ignores EDGEADAPT_SIMD). */
+Variant probeBestVariant();
+
+/** @return whether this CPU can execute @p v. */
+bool variantSupported(Variant v);
+
+/**
+ * Force the active variant (A/B tests, the scalar-vs-SIMD comparison
+ * suite). fatal() if the CPU does not support it. Not thread-safe
+ * against concurrent kernel calls — switch only between operations.
+ */
+void setVariant(Variant v);
+
+/** Stable lowercase name for @p v (matches EDGEADAPT_SIMD values). */
+const char *variantName(Variant v);
+
+/*
+ * Packed-panel GEMM. gemm() packs op(B) once into the caller's
+ * kScratchGemmPackB slot, then each row-band chunk packs its op(A)
+ * band per k-block into its own kScratchGemmPackA slot and runs the
+ * micro-kernel over MR x NR tiles. Panels are zero-padded to full
+ * tile width so ragged edges share the full-tile code path.
+ *
+ * Packed op(B) layout: ceil(n/NR) panels, each k x NR row-major
+ * (panel jp holds columns [jp*NR, jp*NR+NR), padded with zeros past
+ * n). Packed op(A) band layout: ceil(rows/MR) tiles per k-block,
+ * each kc x MR (tile t holds rows [t*MR, t*MR+MR) of the band,
+ * interleaved so one micro-kernel step reads MR contiguous floats).
+ */
+
+/** Elements needed in the packed-op(B) scratch buffer. */
+int64_t packedBElems(const Dispatch &d, int64_t k, int64_t n);
+
+/** Elements needed for one packed-op(A) row band. */
+int64_t packedAElems(const Dispatch &d, int64_t rows, int64_t k);
+
+/**
+ * Pack op(B) (k x n) into @p pb using the layout above. @p b is the
+ * raw operand: k x n row-major, or n x k when @p transB.
+ */
+void packB(const Dispatch &d, bool transB, int64_t k, int64_t n,
+           const float *b, float *pb);
+
+/**
+ * Compute rows [rb, re) of C = alpha * op(A) * op(B) + beta * C for
+ * one row-band chunk. @p a is the raw A operand (m x k row-major, or
+ * k x m when @p transA); @p pb is the packed op(B) from packB();
+ * @p pa is this thread's packed-A scratch (>= packedAElems(d, re-rb,
+ * k) elements); @p c is the full m x n C matrix. Requires
+ * d.hasMicroKernel().
+ */
+void gemmRowBand(const Dispatch &d, bool transA, int64_t rb, int64_t re,
+                 int64_t n, int64_t k, float alpha, const float *a,
+                 int64_t m, const float *pb, float *pa, float beta,
+                 float *c);
+
+/*
+ * Vectorized elementwise primitives. add/sub/mul/scale/clamp are
+ * bitwise identical across variants (one IEEE op per element); axpy
+ * and fusedScaleShiftClamp use FMA on AVX2 and therefore agree with
+ * scalar only to tolerance.
+ */
+
+/** out[i] = a[i] + b[i] */
+void vadd(int64_t len, const float *a, const float *b, float *out);
+/** out[i] = a[i] - b[i] */
+void vsub(int64_t len, const float *a, const float *b, float *out);
+/** out[i] = a[i] * b[i] */
+void vmul(int64_t len, const float *a, const float *b, float *out);
+/** out[i] = a[i] * s */
+void vscale(int64_t len, const float *a, float s, float *out);
+/** dst[i] += src[i] */
+void vaddInPlace(int64_t len, float *dst, const float *src);
+/** dst[i] += s * src[i] */
+void vaxpyInPlace(int64_t len, float *dst, float s, const float *src);
+/** dst[i] *= s */
+void vscaleInPlace(int64_t len, float *dst, float s);
+/** dst[i] = min(max(dst[i], lo), hi) */
+void vclampInPlace(int64_t len, float *dst, float lo, float hi);
+
+/**
+ * Fused Conv+BN(+ReLU) write-back epilogue:
+ * dst[i] = clamp(dst[i] * scale + shift, lo, hi), applied per output
+ * channel while the conv result is still cache-hot. Pass lo = -inf,
+ * hi = +inf for no activation; (0, +inf) for ReLU; (0, 6) for ReLU6.
+ */
+void fusedScaleShiftClamp(int64_t len, float *dst, float scale,
+                          float shift, float lo, float hi);
+
+} // namespace simd
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TENSOR_SIMD_DISPATCH_HH

@@ -1,0 +1,351 @@
+#include "tensor/simd/kernels.hh"
+
+#include "base/logging.hh"
+#include "tensor/simd/dispatch.hh"
+
+/*
+ * AVX2+FMA kernel set. This translation unit is the only place in the
+ * library allowed to touch x86 intrinsics (lint rule simd-isolation);
+ * CMake builds it with -mavx2 -mfma on x86-64 regardless of the
+ * global arch flags, and dispatch.cc only routes here after the
+ * CPU-feature probe succeeds. On other architectures the entry points
+ * compile to fatal() stubs.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeadapt {
+namespace simd {
+
+namespace {
+
+constexpr int MR = kAvx2Mr; ///< 6 rows per micro-tile
+constexpr int NR = kAvx2Nr; ///< 16 cols per micro-tile (2 ymm)
+
+/**
+ * One MR x NR tile of C over a kc-long packed strip: twelve ymm
+ * accumulators (6 rows x 2 halves), B loaded once per kk, A rows
+ * broadcast — 15 of the 16 ymm registers stay live in the loop.
+ *
+ * The accumulators are spilled to a stack tile and written back with
+ * a scalar per-element loop. That single write-back path — full and
+ * ragged tiles alike, zero-padded lanes simply skipped — is what
+ * keeps results bitwise independent of where row-band chunk
+ * boundaries fall (see dispatch.hh on the determinism policy).
+ */
+void
+microTile(int64_t kc, float alpha, float beta, bool firstK,
+          const float *pa, const float *pb, float *c, int64_t ldc,
+          int64_t iw, int64_t jw)
+{
+    // Named accumulators, manually unrolled: an indexed
+    // __m256 acc[MR] array keeps GCC from promoting the tile to
+    // registers (it re-spills every iteration), which costs ~3x.
+    __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+    __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+    __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+    __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+    __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+    __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < kc; ++kk) {
+        __m256 b0 = _mm256_loadu_ps(pb + kk * NR);
+        __m256 b1 = _mm256_loadu_ps(pb + kk * NR + 8);
+        _mm_prefetch((const char *)(pb + kk * NR + 4 * NR),
+                     _MM_HINT_T0);
+        const float *arow = pa + kk * MR;
+        __m256 av = _mm256_broadcast_ss(arow + 0);
+        c00 = _mm256_fmadd_ps(av, b0, c00);
+        c01 = _mm256_fmadd_ps(av, b1, c01);
+        av = _mm256_broadcast_ss(arow + 1);
+        c10 = _mm256_fmadd_ps(av, b0, c10);
+        c11 = _mm256_fmadd_ps(av, b1, c11);
+        av = _mm256_broadcast_ss(arow + 2);
+        c20 = _mm256_fmadd_ps(av, b0, c20);
+        c21 = _mm256_fmadd_ps(av, b1, c21);
+        av = _mm256_broadcast_ss(arow + 3);
+        c30 = _mm256_fmadd_ps(av, b0, c30);
+        c31 = _mm256_fmadd_ps(av, b1, c31);
+        av = _mm256_broadcast_ss(arow + 4);
+        c40 = _mm256_fmadd_ps(av, b0, c40);
+        c41 = _mm256_fmadd_ps(av, b1, c41);
+        av = _mm256_broadcast_ss(arow + 5);
+        c50 = _mm256_fmadd_ps(av, b0, c50);
+        c51 = _mm256_fmadd_ps(av, b1, c51);
+    }
+    alignas(32) float tmp[MR * NR];
+    _mm256_store_ps(tmp + 0 * NR, c00);
+    _mm256_store_ps(tmp + 0 * NR + 8, c01);
+    _mm256_store_ps(tmp + 1 * NR, c10);
+    _mm256_store_ps(tmp + 1 * NR + 8, c11);
+    _mm256_store_ps(tmp + 2 * NR, c20);
+    _mm256_store_ps(tmp + 2 * NR + 8, c21);
+    _mm256_store_ps(tmp + 3 * NR, c30);
+    _mm256_store_ps(tmp + 3 * NR + 8, c31);
+    _mm256_store_ps(tmp + 4 * NR, c40);
+    _mm256_store_ps(tmp + 4 * NR + 8, c41);
+    _mm256_store_ps(tmp + 5 * NR, c50);
+    _mm256_store_ps(tmp + 5 * NR + 8, c51);
+    for (int64_t i = 0; i < iw; ++i) {
+        float *dst = c + i * ldc;
+        const float *t = tmp + i * NR;
+        if (firstK) {
+            if (beta == 0.0f) {
+                // Plain store: NaN/Inf already in C must not leak
+                // through a multiply-by-zero (PR 4 regression).
+                for (int64_t j = 0; j < jw; ++j)
+                    dst[j] = alpha * t[j];
+            } else {
+                for (int64_t j = 0; j < jw; ++j)
+                    dst[j] = beta * dst[j] + alpha * t[j];
+            }
+        } else {
+            for (int64_t j = 0; j < jw; ++j)
+                dst[j] += alpha * t[j];
+        }
+    }
+}
+
+} // namespace
+
+bool
+avx2Compiled()
+{
+    return true;
+}
+
+void
+gemmRowBandAvx2(bool transA, int64_t rb, int64_t re, int64_t n,
+                int64_t k, float alpha, const float *a, int64_t m,
+                const float *pb, float *pa, float beta, float *c)
+{
+    // k-blocks ascend; panel (j) outer / row tile (i) inner keeps the
+    // kc x NR B panel hot in L1 across the whole row band.
+    for (int64_t k0 = 0; k0 < k; k0 += kKC) {
+        int64_t kc = std::min(kKC, k - k0);
+        packABand(MR, transA, rb, re, k0, kc, k, m, a, pa);
+        bool firstK = k0 == 0;
+        for (int64_t j = 0; j < n; j += NR) {
+            int64_t jw = std::min<int64_t>(NR, n - j);
+            const float *panel = pb + j * k + k0 * NR;
+            for (int64_t i = rb; i < re; i += MR) {
+                int64_t iw = std::min<int64_t>(MR, re - i);
+                microTile(kc, alpha, beta, firstK, pa + (i - rb) * kc,
+                          panel, c + i * n + j, n, iw, jw);
+            }
+        }
+    }
+}
+
+/*
+ * Elementwise kernels: 8-lane main loop plus a scalar tail. add, sub,
+ * mul, scale, and clamp are one IEEE op per element, so vector body
+ * and scalar tail produce bitwise-identical results; the FMA kernels
+ * use std::fma in the tail (also a single rounding) so an element's
+ * result does not depend on which side of the vector/tail split it
+ * lands on when span partitions differ.
+ */
+
+void
+vaddAvx2(int64_t len, const float *a, const float *b, float *out)
+{
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(out + i,
+                         _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(b + i)));
+    for (; i < len; ++i)
+        out[i] = a[i] + b[i];
+}
+
+void
+vsubAvx2(int64_t len, const float *a, const float *b, float *out)
+{
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(out + i,
+                         _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(b + i)));
+    for (; i < len; ++i)
+        out[i] = a[i] - b[i];
+}
+
+void
+vmulAvx2(int64_t len, const float *a, const float *b, float *out)
+{
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(out + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(b + i)));
+    for (; i < len; ++i)
+        out[i] = a[i] * b[i];
+}
+
+void
+vscaleAvx2(int64_t len, const float *a, float s, float *out)
+{
+    __m256 vs = _mm256_set1_ps(s);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(out + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+    for (; i < len; ++i)
+        out[i] = a[i] * s;
+}
+
+void
+vaddInPlaceAvx2(int64_t len, float *dst, const float *src)
+{
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                       _mm256_loadu_ps(src + i)));
+    for (; i < len; ++i)
+        dst[i] += src[i];
+}
+
+void
+vaxpyInPlaceAvx2(int64_t len, float *dst, float s, const float *src)
+{
+    __m256 vs = _mm256_set1_ps(s);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         _mm256_fmadd_ps(vs, _mm256_loadu_ps(src + i),
+                                         _mm256_loadu_ps(dst + i)));
+    for (; i < len; ++i)
+        dst[i] = std::fma(s, src[i], dst[i]);
+}
+
+void
+vscaleInPlaceAvx2(int64_t len, float *dst, float s)
+{
+    __m256 vs = _mm256_set1_ps(s);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(dst + i), vs));
+    for (; i < len; ++i)
+        dst[i] *= s;
+}
+
+void
+vclampInPlaceAvx2(int64_t len, float *dst, float lo, float hi)
+{
+    __m256 vlo = _mm256_set1_ps(lo);
+    __m256 vhi = _mm256_set1_ps(hi);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        __m256 v = _mm256_max_ps(_mm256_loadu_ps(dst + i), vlo);
+        _mm256_storeu_ps(dst + i, _mm256_min_ps(v, vhi));
+    }
+    for (; i < len; ++i)
+        dst[i] = std::min(hi, std::max(lo, dst[i]));
+}
+
+void
+fusedScaleShiftClampAvx2(int64_t len, float *dst, float scale,
+                         float shift, float lo, float hi)
+{
+    __m256 vs = _mm256_set1_ps(scale);
+    __m256 vt = _mm256_set1_ps(shift);
+    __m256 vlo = _mm256_set1_ps(lo);
+    __m256 vhi = _mm256_set1_ps(hi);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        __m256 v = _mm256_fmadd_ps(_mm256_loadu_ps(dst + i), vs, vt);
+        v = _mm256_max_ps(v, vlo);
+        _mm256_storeu_ps(dst + i, _mm256_min_ps(v, vhi));
+    }
+    for (; i < len; ++i) {
+        float v = std::fma(dst[i], scale, shift);
+        dst[i] = std::min(hi, std::max(lo, v));
+    }
+}
+
+} // namespace simd
+} // namespace edgeadapt
+
+#else // !x86-64: fatal() stubs so dispatch.cc links everywhere.
+
+namespace edgeadapt {
+namespace simd {
+
+bool
+avx2Compiled()
+{
+    return false;
+}
+
+void
+gemmRowBandAvx2(bool, int64_t, int64_t, int64_t, int64_t, float,
+                const float *, int64_t, const float *, float *, float,
+                float *)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+vaddAvx2(int64_t, const float *, const float *, float *)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+vsubAvx2(int64_t, const float *, const float *, float *)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+vmulAvx2(int64_t, const float *, const float *, float *)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+vscaleAvx2(int64_t, const float *, float, float *)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+vaddInPlaceAvx2(int64_t, float *, const float *)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+vaxpyInPlaceAvx2(int64_t, float *, float, const float *)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+vscaleInPlaceAvx2(int64_t, float *, float)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+vclampInPlaceAvx2(int64_t, float *, float, float)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+void
+fusedScaleShiftClampAvx2(int64_t, float *, float, float, float, float)
+{
+    fatal("AVX2 kernels not compiled into this build");
+}
+
+} // namespace simd
+} // namespace edgeadapt
+
+#endif

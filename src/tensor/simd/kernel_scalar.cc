@@ -1,0 +1,82 @@
+#include "tensor/simd/kernels.hh"
+
+#include <algorithm>
+
+namespace edgeadapt {
+namespace simd {
+
+/*
+ * Portable elementwise kernels — the always-available fallback and
+ * the reference the vector variants are tested against. One IEEE op
+ * per element (no FMA, no reassociation), so any auto-vectorization
+ * the compiler applies cannot change results.
+ */
+
+void
+vaddScalar(int64_t len, const float *a, const float *b, float *out)
+{
+    for (int64_t i = 0; i < len; ++i)
+        out[i] = a[i] + b[i];
+}
+
+void
+vsubScalar(int64_t len, const float *a, const float *b, float *out)
+{
+    for (int64_t i = 0; i < len; ++i)
+        out[i] = a[i] - b[i];
+}
+
+void
+vmulScalar(int64_t len, const float *a, const float *b, float *out)
+{
+    for (int64_t i = 0; i < len; ++i)
+        out[i] = a[i] * b[i];
+}
+
+void
+vscaleScalar(int64_t len, const float *a, float s, float *out)
+{
+    for (int64_t i = 0; i < len; ++i)
+        out[i] = a[i] * s;
+}
+
+void
+vaddInPlaceScalar(int64_t len, float *dst, const float *src)
+{
+    for (int64_t i = 0; i < len; ++i)
+        dst[i] += src[i];
+}
+
+void
+vaxpyInPlaceScalar(int64_t len, float *dst, float s, const float *src)
+{
+    for (int64_t i = 0; i < len; ++i)
+        dst[i] += s * src[i];
+}
+
+void
+vscaleInPlaceScalar(int64_t len, float *dst, float s)
+{
+    for (int64_t i = 0; i < len; ++i)
+        dst[i] *= s;
+}
+
+void
+vclampInPlaceScalar(int64_t len, float *dst, float lo, float hi)
+{
+    for (int64_t i = 0; i < len; ++i)
+        dst[i] = std::min(hi, std::max(lo, dst[i]));
+}
+
+void
+fusedScaleShiftClampScalar(int64_t len, float *dst, float scale,
+                           float shift, float lo, float hi)
+{
+    for (int64_t i = 0; i < len; ++i) {
+        float v = dst[i] * scale + shift;
+        dst[i] = std::min(hi, std::max(lo, v));
+    }
+}
+
+} // namespace simd
+} // namespace edgeadapt

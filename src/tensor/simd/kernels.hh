@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Internal per-variant kernel entry points behind the simd::Dispatch
+ * switch. Each variant implements the same contract (documented on
+ * the dispatch.hh wrappers); dispatch.cc selects among them with
+ * direct calls so the whole-program lint pass can follow the call
+ * graph into parallel regions. Not installed outside src/tensor/simd.
+ */
+
+#ifndef EDGEADAPT_TENSOR_SIMD_KERNELS_HH
+#define EDGEADAPT_TENSOR_SIMD_KERNELS_HH
+
+#include <cstdint>
+
+namespace edgeadapt {
+namespace simd {
+
+/*
+ * AVX2+FMA kernel set (kernel_avx2.cc, built with -mavx2 -mfma on
+ * x86-64; fatal() stubs elsewhere). Micro-tile is 6 x 16: twelve
+ * 8-lane accumulators plus two B loads and one A broadcast fit the
+ * sixteen ymm registers.
+ */
+inline constexpr int kAvx2Mr = 6;
+inline constexpr int kAvx2Nr = 16;
+
+/** @return whether this build can ever run the AVX2 kernels. */
+bool avx2Compiled();
+
+void gemmRowBandAvx2(bool transA, int64_t rb, int64_t re, int64_t n,
+                     int64_t k, float alpha, const float *a, int64_t m,
+                     const float *pb, float *pa, float beta, float *c);
+
+void vaddAvx2(int64_t len, const float *a, const float *b, float *out);
+void vsubAvx2(int64_t len, const float *a, const float *b, float *out);
+void vmulAvx2(int64_t len, const float *a, const float *b, float *out);
+void vscaleAvx2(int64_t len, const float *a, float s, float *out);
+void vaddInPlaceAvx2(int64_t len, float *dst, const float *src);
+void vaxpyInPlaceAvx2(int64_t len, float *dst, float s,
+                      const float *src);
+void vscaleInPlaceAvx2(int64_t len, float *dst, float s);
+void vclampInPlaceAvx2(int64_t len, float *dst, float lo, float hi);
+void fusedScaleShiftClampAvx2(int64_t len, float *dst, float scale,
+                              float shift, float lo, float hi);
+
+/*
+ * Scalar kernel set (kernel_scalar.cc). The GEMM scalar path is the
+ * legacy gemmNN driver in gemm.cc (Dispatch::mr == 0 routes there);
+ * only the elementwise primitives live here.
+ */
+void vaddScalar(int64_t len, const float *a, const float *b,
+                float *out);
+void vsubScalar(int64_t len, const float *a, const float *b,
+                float *out);
+void vmulScalar(int64_t len, const float *a, const float *b,
+                float *out);
+void vscaleScalar(int64_t len, const float *a, float s, float *out);
+void vaddInPlaceScalar(int64_t len, float *dst, const float *src);
+void vaxpyInPlaceScalar(int64_t len, float *dst, float s,
+                        const float *src);
+void vscaleInPlaceScalar(int64_t len, float *dst, float s);
+void vclampInPlaceScalar(int64_t len, float *dst, float lo, float hi);
+void fusedScaleShiftClampScalar(int64_t len, float *dst, float scale,
+                                float shift, float lo, float hi);
+
+/*
+ * Panel packers (pack.cc) — variant-agnostic: layout is parameterized
+ * on the dispatch geometry (mr/nr), arithmetic-free, bitwise
+ * identical everywhere.
+ */
+void packBPanels(int nr, bool transB, int64_t k, int64_t n,
+                 const float *b, float *pb);
+void packABand(int mr, bool transA, int64_t rb, int64_t re, int64_t k0,
+               int64_t kc, int64_t k, int64_t m, const float *a,
+               float *pa);
+
+} // namespace simd
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_TENSOR_SIMD_KERNELS_HH

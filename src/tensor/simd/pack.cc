@@ -1,0 +1,83 @@
+#include "tensor/simd/kernels.hh"
+
+#include <algorithm>
+
+namespace edgeadapt {
+namespace simd {
+
+/*
+ * Panel packers for the micro-kernel GEMM (layout documented in
+ * dispatch.hh). Both are pure data movement — no arithmetic — so the
+ * packed images are bitwise identical across variants and thread
+ * counts. Tails are zero-padded to full mr/nr width: a padded lane
+ * multiplies into its own accumulator and is simply not written back,
+ * which keeps ragged tiles on the exact same arithmetic path as full
+ * ones (the within-variant bitwise-determinism invariant).
+ */
+
+void
+packBPanels(int nr, bool transB, int64_t k, int64_t n, const float *b,
+            float *pb)
+{
+    for (int64_t j = 0; j < n; j += nr) {
+        int64_t jw = std::min<int64_t>(nr, n - j);
+        float *panel = pb + j * k; // == panelIndex * (k * nr)
+        if (!transB) {
+            // B is k x n row-major: each panel row is nr contiguous
+            // source floats.
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float *src = b + kk * n + j;
+                float *dst = panel + kk * nr;
+                std::copy(src, src + jw, dst);
+                std::fill(dst + jw, dst + nr, 0.0f);
+            }
+        } else {
+            // B is n x k row-major (op(B) = B^T): column jj of the
+            // panel is a contiguous source row, so walk jj outer for
+            // sequential reads.
+            for (int64_t jj = 0; jj < jw; ++jj) {
+                const float *src = b + (j + jj) * k;
+                for (int64_t kk = 0; kk < k; ++kk)
+                    panel[kk * nr + jj] = src[kk];
+            }
+            for (int64_t jj = jw; jj < nr; ++jj)
+                for (int64_t kk = 0; kk < k; ++kk)
+                    panel[kk * nr + jj] = 0.0f;
+        }
+    }
+}
+
+void
+packABand(int mr, bool transA, int64_t rb, int64_t re, int64_t k0,
+          int64_t kc, int64_t k, int64_t m, const float *a, float *pa)
+{
+    for (int64_t i = rb; i < re; i += mr) {
+        int64_t iw = std::min<int64_t>(mr, re - i);
+        float *tile = pa + (i - rb) * kc; // == tileIndex * (kc * mr)
+        if (!transA) {
+            // A is m x k row-major: row ii of the tile is contiguous
+            // in the source, strided by mr in the tile.
+            for (int64_t ii = 0; ii < iw; ++ii) {
+                const float *src = a + (i + ii) * k + k0;
+                for (int64_t kk = 0; kk < kc; ++kk)
+                    tile[kk * mr + ii] = src[kk];
+            }
+            for (int64_t ii = iw; ii < mr; ++ii)
+                for (int64_t kk = 0; kk < kc; ++kk)
+                    tile[kk * mr + ii] = 0.0f;
+        } else {
+            // A is k x m row-major (op(A) = A^T): one source row
+            // holds the mr-wide slice for a single kk — sequential
+            // reads and writes.
+            for (int64_t kk = 0; kk < kc; ++kk) {
+                const float *src = a + (k0 + kk) * m + i;
+                float *dst = tile + kk * mr;
+                std::copy(src, src + iw, dst);
+                std::fill(dst + iw, dst + mr, 0.0f);
+            }
+        }
+    }
+}
+
+} // namespace simd
+} // namespace edgeadapt

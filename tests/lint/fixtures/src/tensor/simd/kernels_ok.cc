@@ -1,0 +1,22 @@
+// simd-isolation clean fixture: under src/tensor/simd/ the intrinsics
+// headers and the __m256/_mm256_ families are exactly where they
+// belong, so none of this may fire.
+
+#include <immintrin.h>
+
+namespace fixture {
+
+float
+sumEightOk(const float *p)
+{
+    __m256 v = _mm256_loadu_ps(p);
+    __m256 s = _mm256_add_ps(v, v);
+    alignas(32) float out[8];
+    _mm256_store_ps(out, s);
+    float acc = 0.0f;
+    for (int i = 0; i < 8; ++i)
+        acc += out[i];
+    return acc;
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// simd-isolation fixture: vector intrinsics outside src/tensor/simd/
+// are rejected — kernels reach the ISA through the simd:: dispatch
+// API. Mentions in comments and strings must NOT fire: __m256,
+// _mm256_add_ps, <immintrin.h>.
+
+#include <immintrin.h>
+
+namespace fixture {
+
+float
+sumEightBad(const float *p)
+{
+    __m256 v = _mm256_loadu_ps(p);
+    __m256 s = _mm256_add_ps(v, v);
+    alignas(32) float out[8];
+    _mm256_store_ps(out, s);
+    const char *doc = "_mm512_fmadd_ps in a string";
+    float acc = doc != nullptr ? 0.0f : 1.0f;
+    for (int i = 0; i < 8; ++i)
+        acc += out[i];
+    return acc;
+}
+
+} // namespace fixture

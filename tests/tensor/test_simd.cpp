@@ -1,0 +1,564 @@
+/**
+ * @file
+ * Scalar-vs-dispatch comparison suite for the SIMD micro-kernel layer
+ * (src/tensor/simd/). Exercises the numeric-determinism policy from
+ * DESIGN Sec. 13: within a variant results are bitwise stable across
+ * thread counts; across variants GEMM and the FMA elementwise ops
+ * agree only to tolerance (the non-FMA elementwise ops are bitwise
+ * identical everywhere). Also covers the eval-mode Conv+BN+ReLU
+ * fusion these kernels enable. The tests flip the process-global
+ * dispatch variant and thread count, so the binary runs as one
+ * serialized ctest entry (label "simd").
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adapt/method.hh"
+#include "base/parallel.hh"
+#include "base/rng.hh"
+#include "models/model.hh"
+#include "nn/activation.hh"
+#include "nn/batchnorm2d.hh"
+#include "nn/conv2d.hh"
+#include "nn/linear.hh"
+#include "nn/module.hh"
+#include "tensor/gemm.hh"
+#include "tensor/im2col.hh"
+#include "tensor/simd/dispatch.hh"
+#include "tensor/tensor.hh"
+
+using namespace edgeadapt;
+using simd::Variant;
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/** Restore the dispatch variant and thread count after each test. */
+class DispatchGuard
+{
+  public:
+    DispatchGuard()
+        : variant_(simd::activeDispatch().variant),
+          threads_(parallel::threadCount())
+    {
+    }
+
+    ~DispatchGuard()
+    {
+        simd::setVariant(variant_);
+        parallel::setThreadCount(threads_);
+    }
+
+  private:
+    Variant variant_;
+    int threads_;
+};
+
+/** Variants this host can actually run (scalar is always first). */
+std::vector<Variant>
+supportedVariants()
+{
+    std::vector<Variant> out{Variant::Scalar};
+    if (simd::variantSupported(Variant::Avx2))
+        out.push_back(Variant::Avx2);
+    return out;
+}
+
+/** Double-precision reference GEMM matching gemm()'s contract. */
+void
+refGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, float alpha,
+        const float *a, const float *b, float beta, float *c)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int64_t p = 0; p < k; ++p) {
+                double av = ta ? a[p * m + i] : a[i * k + p];
+                double bv = tb ? b[j * k + p] : b[p * n + j];
+                acc += av * bv;
+            }
+            double prior =
+                beta == 0.0f ? 0.0 : (double)beta * c[i * n + j];
+            c[i * n + j] = (float)(prior + (double)alpha * acc);
+        }
+    }
+}
+
+/** One gemm() under a pinned variant into a fresh copy of c0. */
+Tensor
+gemmUnder(Variant v, bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+          float alpha, const Tensor &a, const Tensor &b, float beta,
+          const Tensor &c0)
+{
+    simd::setVariant(v);
+    Tensor c = c0.clone();
+    gemm(ta, tb, m, n, k, alpha, a.data(), b.data(), beta, c.data());
+    return c;
+}
+
+/**
+ * Small-but-ragged CNN head used by the fusion tests: two fusable
+ * chains (conv+bias -> BN -> ReLU, then conv -> BN with no
+ * activation) ahead of the classifier.
+ */
+std::unique_ptr<nn::Module>
+buildFusableNet(Rng &rng)
+{
+    auto net = std::make_unique<nn::Sequential>();
+    nn::Conv2dOpts o1;
+    o1.pad = 1;
+    o1.bias = true;
+    net->add(std::make_unique<nn::Conv2d>(3, 6, 3, o1, rng));
+    net->add(std::make_unique<nn::BatchNorm2d>(6));
+    net->add(std::make_unique<nn::ReLU>());
+    nn::Conv2dOpts o2;
+    net->add(std::make_unique<nn::Conv2d>(6, 4, 1, o2, rng));
+    net->add(std::make_unique<nn::BatchNorm2d>(4));
+    net->add(std::make_unique<nn::Flatten>());
+    net->add(std::make_unique<nn::Linear>(4 * 8 * 8, 7, rng));
+    return net;
+}
+
+/** Give every BN layer non-trivial frozen statistics and affine. */
+void
+randomizeBnState(nn::Module &root, Rng &rng)
+{
+    for (nn::Module *m : nn::collectModules(root)) {
+        auto *bn = dynamic_cast<nn::BatchNorm2d *>(m);
+        if (!bn)
+            continue;
+        int64_t c = bn->channels();
+        Tensor r = Tensor::randn(Shape{4 * c}, rng, 0.5f);
+        const float *p = r.data();
+        for (int64_t i = 0; i < c; ++i) {
+            bn->runningMean().data()[i] = p[i];
+            bn->runningVar().data()[i] = 0.3f + std::fabs(p[c + i]);
+            bn->gamma().value.data()[i] = 1.0f + p[2 * c + i];
+            bn->beta().value.data()[i] = p[3 * c + i];
+        }
+    }
+}
+
+models::Model
+buildFusableModel(Rng &rng)
+{
+    models::ModelInfo info;
+    info.name = "fusable-tiny";
+    info.display = "Fusable-Tiny";
+    info.inputShape = Shape{3, 8, 8};
+    info.numClasses = 7;
+    models::Model model(std::move(info), buildFusableNet(rng));
+    randomizeBnState(model.net(), rng);
+    model.setTraining(false);
+    return model;
+}
+
+} // namespace
+
+TEST(SimdGemm, MatchesReferenceOnRaggedShapesAllVariants)
+{
+    DispatchGuard guard;
+    const int64_t sizes[] = {1, 2, 3, 7, 8, 9, 31};
+    Rng rng(101);
+    for (Variant v : supportedVariants()) {
+        simd::setVariant(v);
+        for (int64_t m : sizes) {
+            for (int64_t n : sizes) {
+                for (int64_t k : sizes) {
+                    Tensor a = Tensor::randn(Shape{m * k}, rng);
+                    Tensor b = Tensor::randn(Shape{k * n}, rng);
+                    Tensor c0 = Tensor::randn(Shape{m * n}, rng);
+                    float tol =
+                        1e-4f * std::sqrt((float)k) + 1e-5f;
+                    for (bool ta : {false, true}) {
+                        for (bool tb : {false, true}) {
+                            Tensor ref = c0.clone();
+                            refGemm(ta, tb, m, n, k, 1.5f, a.data(),
+                                    b.data(), 0.5f, ref.data());
+                            Tensor got = c0.clone();
+                            gemm(ta, tb, m, n, k, 1.5f, a.data(),
+                                 b.data(), 0.5f, got.data());
+                            for (int64_t i = 0; i < m * n; ++i) {
+                                ASSERT_NEAR(ref.data()[i],
+                                            got.data()[i], tol)
+                                    << simd::variantName(v) << " m=" << m
+                                    << " n=" << n << " k=" << k
+                                    << " ta=" << ta << " tb=" << tb
+                                    << " i=" << i;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdGemm, MultiKBlockAndAlphaBetaCases)
+{
+    DispatchGuard guard;
+    // k = 401 spans two kKC blocks with a ragged tail; alpha/beta
+    // combinations cover overwrite, accumulate, and pure-beta scaling.
+    const int64_t m = 13, n = 21, k = simd::kKC + 17;
+    Rng rng(102);
+    Tensor a = Tensor::randn(Shape{m * k}, rng);
+    Tensor b = Tensor::randn(Shape{k * n}, rng);
+    Tensor c0 = Tensor::randn(Shape{m * n}, rng);
+    const float cases[][2] = {
+        {1.0f, 0.0f}, {1.0f, 1.0f}, {0.5f, -2.0f}, {0.0f, 0.5f}};
+    for (Variant v : supportedVariants()) {
+        simd::setVariant(v);
+        for (const float *ab : cases) {
+            Tensor ref = c0.clone();
+            refGemm(false, false, m, n, k, ab[0], a.data(), b.data(),
+                    ab[1], ref.data());
+            Tensor got = c0.clone();
+            gemm(false, false, m, n, k, ab[0], a.data(), b.data(),
+                 ab[1], got.data());
+            float tol = 1e-4f * std::sqrt((float)k) + 1e-5f;
+            for (int64_t i = 0; i < m * n; ++i) {
+                ASSERT_NEAR(ref.data()[i], got.data()[i], tol)
+                    << simd::variantName(v) << " alpha=" << ab[0]
+                    << " beta=" << ab[1] << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(SimdGemm, BetaZeroOverwritesNanAndBetaOneKeepsIt)
+{
+    DispatchGuard guard;
+    const int64_t m = 9, n = 17, k = 33;
+    Rng rng(103);
+    Tensor a = Tensor::randn(Shape{m * k}, rng);
+    Tensor b = Tensor::randn(Shape{k * n}, rng);
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    for (Variant v : supportedVariants()) {
+        simd::setVariant(v);
+        // beta = 0 must overwrite, never read, the destination: a
+        // NaN-poisoned C comes out fully finite.
+        Tensor c(Shape{m * n});
+        c.fill(nan);
+        gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f,
+             c.data());
+        for (int64_t i = 0; i < m * n; ++i) {
+            ASSERT_TRUE(std::isfinite(c.data()[i]))
+                << simd::variantName(v) << " i=" << i;
+        }
+        // beta = 1 reads it: the NaN must propagate.
+        c.fill(nan);
+        gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 1.0f,
+             c.data());
+        for (int64_t i = 0; i < m * n; ++i) {
+            ASSERT_TRUE(std::isnan(c.data()[i]))
+                << simd::variantName(v) << " i=" << i;
+        }
+    }
+}
+
+TEST(SimdGemm, BitwiseDeterministicAcrossThreadCountsPerVariant)
+{
+    DispatchGuard guard;
+    // Big enough to trip the row-band fork (m > 32, 2mnk >= 1M) and
+    // ragged against both tile dimensions and the k-blocking.
+    const int64_t m = 97, n = 70, k = simd::kKC + 17;
+    Rng rng(104);
+    Tensor a = Tensor::randn(Shape{m * k}, rng);
+    Tensor b = Tensor::randn(Shape{k * n}, rng);
+    Tensor c0 = Tensor::randn(Shape{m * n}, rng);
+    for (Variant v : supportedVariants()) {
+        parallel::setThreadCount(1);
+        Tensor c1 =
+            gemmUnder(v, false, true, m, n, k, 1.25f, a, b, 0.5f, c0);
+        parallel::setThreadCount(4);
+        Tensor c4 =
+            gemmUnder(v, false, true, m, n, k, 1.25f, a, b, 0.5f, c0);
+        EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(),
+                                 (size_t)(m * n) * sizeof(float)))
+            << "variant " << simd::variantName(v);
+    }
+}
+
+TEST(SimdElementwise, ExactOpsBitwiseIdenticalAcrossVariants)
+{
+    DispatchGuard guard;
+    if (supportedVariants().size() < 2)
+        GTEST_SKIP() << "only the scalar variant is available";
+    Rng rng(105);
+    for (int64_t len : {1, 2, 7, 8, 9, 31, 64, 67}) {
+        Tensor a = Tensor::randn(Shape{len}, rng);
+        Tensor b = Tensor::randn(Shape{len}, rng);
+        auto run = [&](Variant v, Tensor *add, Tensor *sub, Tensor *mul,
+                       Tensor *scale, Tensor *clamp) {
+            simd::setVariant(v);
+            *add = Tensor(Shape{len});
+            simd::vadd(len, a.data(), b.data(), add->data());
+            *sub = Tensor(Shape{len});
+            simd::vsub(len, a.data(), b.data(), sub->data());
+            *mul = Tensor(Shape{len});
+            simd::vmul(len, a.data(), b.data(), mul->data());
+            *scale = Tensor(Shape{len});
+            simd::vscale(len, a.data(), -1.75f, scale->data());
+            *clamp = a.clone();
+            simd::vclampInPlace(len, clamp->data(), 0.0f, 0.5f);
+        };
+        Tensor sAdd, sSub, sMul, sScale, sClamp;
+        run(Variant::Scalar, &sAdd, &sSub, &sMul, &sScale, &sClamp);
+        Tensor vAdd, vSub, vMul, vScale, vClamp;
+        run(Variant::Avx2, &vAdd, &vSub, &vMul, &vScale, &vClamp);
+        size_t bytes = (size_t)len * sizeof(float);
+        EXPECT_EQ(0, std::memcmp(sAdd.data(), vAdd.data(), bytes));
+        EXPECT_EQ(0, std::memcmp(sSub.data(), vSub.data(), bytes));
+        EXPECT_EQ(0, std::memcmp(sMul.data(), vMul.data(), bytes));
+        EXPECT_EQ(0, std::memcmp(sScale.data(), vScale.data(), bytes));
+        EXPECT_EQ(0, std::memcmp(sClamp.data(), vClamp.data(), bytes));
+    }
+}
+
+TEST(SimdElementwise, FmaOpsAgreeToToleranceAcrossVariants)
+{
+    DispatchGuard guard;
+    if (supportedVariants().size() < 2)
+        GTEST_SKIP() << "only the scalar variant is available";
+    Rng rng(106);
+    for (int64_t len : {1, 7, 8, 33, 67}) {
+        Tensor dst0 = Tensor::randn(Shape{len}, rng);
+        Tensor src = Tensor::randn(Shape{len}, rng);
+        auto axpy = [&](Variant v) {
+            simd::setVariant(v);
+            Tensor d = dst0.clone();
+            simd::vaxpyInPlace(len, d.data(), 0.37f, src.data());
+            return d;
+        };
+        auto fused = [&](Variant v) {
+            simd::setVariant(v);
+            Tensor d = dst0.clone();
+            simd::fusedScaleShiftClamp(len, d.data(), 1.3f, -0.2f,
+                                       0.0f, kInf);
+            return d;
+        };
+        Tensor sa = axpy(Variant::Scalar), va = axpy(Variant::Avx2);
+        Tensor sf = fused(Variant::Scalar), vf = fused(Variant::Avx2);
+        for (int64_t i = 0; i < len; ++i) {
+            EXPECT_NEAR(sa.data()[i], va.data()[i], 1e-6f) << i;
+            EXPECT_NEAR(sf.data()[i], vf.data()[i], 1e-6f) << i;
+        }
+    }
+}
+
+TEST(SimdIm2col, Stride1SpanPathMatchesGatherReference)
+{
+    // Extreme padding (kernel wider than the image) exercises the
+    // clamped-span endpoints of the stride-1 fast path.
+    Rng rng(107);
+    struct Geo {
+        int64_t c, h, w, kh, kw, stride, pad;
+    };
+    const Geo geos[] = {{2, 6, 5, 3, 3, 1, 1},
+                        {1, 1, 1, 7, 7, 1, 3},
+                        {3, 8, 8, 3, 3, 1, 0},
+                        {2, 7, 5, 5, 5, 1, 2},
+                        {2, 9, 9, 3, 3, 2, 1}};
+    for (const Geo &g : geos) {
+        Tensor img = Tensor::randn(Shape{g.c, g.h, g.w}, rng);
+        int64_t outH = convOutDim(g.h, g.kh, g.stride, g.pad);
+        int64_t outW = convOutDim(g.w, g.kw, g.stride, g.pad);
+        int64_t rows = g.c * g.kh * g.kw;
+        Tensor cols(Shape{rows, outH * outW});
+        im2col(img.data(), g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad,
+               cols.data());
+        // Per-element gather reference.
+        int64_t r = 0;
+        for (int64_t c = 0; c < g.c; ++c) {
+            for (int64_t ki = 0; ki < g.kh; ++ki) {
+                for (int64_t kj = 0; kj < g.kw; ++kj, ++r) {
+                    for (int64_t oy = 0; oy < outH; ++oy) {
+                        for (int64_t ox = 0; ox < outW; ++ox) {
+                            int64_t iy = oy * g.stride - g.pad + ki;
+                            int64_t ix = ox * g.stride - g.pad + kj;
+                            float want =
+                                (iy >= 0 && iy < g.h && ix >= 0 &&
+                                 ix < g.w)
+                                    ? img.data()[(c * g.h + iy) * g.w +
+                                                 ix]
+                                    : 0.0f;
+                            float got =
+                                cols.data()[r * outH * outW +
+                                            oy * outW + ox];
+                            ASSERT_EQ(want, got)
+                                << "c=" << c << " ki=" << ki
+                                << " kj=" << kj << " oy=" << oy
+                                << " ox=" << ox;
+                        }
+                    }
+                }
+            }
+        }
+        // col2im must be the exact adjoint scatter of that gather.
+        Tensor back = Tensor::zeros(Shape{g.c, g.h, g.w});
+        col2im(cols.data(), g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad,
+               back.data());
+        Tensor ref = Tensor::zeros(Shape{g.c, g.h, g.w});
+        r = 0;
+        for (int64_t c = 0; c < g.c; ++c) {
+            for (int64_t ki = 0; ki < g.kh; ++ki) {
+                for (int64_t kj = 0; kj < g.kw; ++kj, ++r) {
+                    for (int64_t oy = 0; oy < outH; ++oy) {
+                        for (int64_t ox = 0; ox < outW; ++ox) {
+                            int64_t iy = oy * g.stride - g.pad + ki;
+                            int64_t ix = ox * g.stride - g.pad + kj;
+                            if (iy < 0 || iy >= g.h || ix < 0 ||
+                                ix >= g.w)
+                                continue;
+                            ref.data()[(c * g.h + iy) * g.w + ix] +=
+                                cols.data()[r * outH * outW +
+                                            oy * outW + ox];
+                        }
+                    }
+                }
+            }
+        }
+        for (int64_t i = 0; i < ref.numel(); ++i)
+            ASSERT_EQ(ref.data()[i], back.data()[i]) << "i=" << i;
+    }
+}
+
+TEST(SimdFusion, FoldedAffineMatchesEvalBatchNorm)
+{
+    Rng rng(108);
+    nn::BatchNorm2d bn(5);
+    randomizeBnState(bn, rng);
+    bn.setTraining(false);
+    Tensor x = Tensor::randn(Shape{2, 5, 3, 4}, rng);
+    Tensor want = bn.forward(x);
+    Tensor scale, shift;
+    bn.foldedAffine(&scale, &shift);
+    const float *s = scale.data();
+    const float *t = shift.data();
+    for (int64_t i = 0; i < 2; ++i) {
+        for (int64_t c = 0; c < 5; ++c) {
+            for (int64_t j = 0; j < 12; ++j) {
+                int64_t off = (i * 5 + c) * 12 + j;
+                EXPECT_NEAR(want.data()[off],
+                            x.data()[off] * s[c] + t[c], 1e-5f)
+                    << "c=" << c << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(SimdFusion, FusedModelMatchesUnfusedAndUnfuseRestoresBitwise)
+{
+    DispatchGuard guard;
+    Rng rng(109);
+    models::Model model = buildFusableModel(rng);
+    Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+    for (Variant v : supportedVariants()) {
+        simd::setVariant(v);
+        Tensor plain = model.forward(x);
+        EXPECT_EQ(2, model.fuseEvalPath());
+        EXPECT_TRUE(model.evalPathFused());
+        EXPECT_EQ(2, model.fuseEvalPath()) << "fuse must be idempotent";
+        Tensor fused = model.forward(x);
+        for (int64_t i = 0; i < plain.numel(); ++i) {
+            ASSERT_NEAR(plain.data()[i], fused.data()[i], 2e-4f)
+                << simd::variantName(v) << " i=" << i;
+        }
+        model.unfuseEvalPath();
+        EXPECT_FALSE(model.evalPathFused());
+        Tensor restored = model.forward(x);
+        EXPECT_EQ(0, std::memcmp(plain.data(), restored.data(),
+                                 (size_t)plain.numel() * sizeof(float)))
+            << simd::variantName(v);
+    }
+}
+
+TEST(SimdFusion, FusedForwardBitwiseAcrossThreadCounts)
+{
+    DispatchGuard guard;
+    Rng rng(110);
+    models::Model model = buildFusableModel(rng);
+    Tensor x = Tensor::randn(Shape{6, 3, 8, 8}, rng);
+    ASSERT_GT(model.fuseEvalPath(), 0);
+    for (Variant v : supportedVariants()) {
+        simd::setVariant(v);
+        parallel::setThreadCount(1);
+        Tensor l1 = model.forward(x);
+        parallel::setThreadCount(4);
+        Tensor l4 = model.forward(x);
+        EXPECT_EQ(0, std::memcmp(l1.data(), l4.data(),
+                                 (size_t)l1.numel() * sizeof(float)))
+            << "variant " << simd::variantName(v);
+    }
+    model.unfuseEvalPath();
+}
+
+TEST(SimdFusion, BackwardThroughFusedPathIsRejected)
+{
+    Rng rng(111);
+    models::Model model = buildFusableModel(rng);
+    Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+    ASSERT_GT(model.fuseEvalPath(), 0);
+    Tensor logits = model.forward(x);
+    Tensor g = Tensor::zeros(logits.shape());
+    EXPECT_DEATH(model.backward(g), "fused");
+}
+
+TEST(SimdFusion, EnteringTrainModeUnfuses)
+{
+    Rng rng(112);
+    models::Model model = buildFusableModel(rng);
+    ASSERT_GT(model.fuseEvalPath(), 0);
+    model.setTraining(true);
+    EXPECT_FALSE(model.evalPathFused());
+    // Train-mode forward must run the full unfused chain again.
+    Tensor x = Tensor::randn(Shape{4, 3, 8, 8}, rng);
+    Tensor logits = model.forward(x);
+    EXPECT_EQ(logits.shape(), (Shape{4, 7}));
+    model.setTraining(false);
+}
+
+TEST(SimdFusion, NoAdaptFusesForStreamAndRestoresOnDestruction)
+{
+    Rng rng(113);
+    models::Model model = buildFusableModel(rng);
+    Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+    Tensor plain = model.forward(x);
+    {
+        auto method = adapt::makeMethod(adapt::Algorithm::NoAdapt, model);
+        EXPECT_TRUE(model.evalPathFused());
+        Tensor logits = method->processBatch(x);
+        for (int64_t i = 0; i < plain.numel(); ++i)
+            ASSERT_NEAR(plain.data()[i], logits.data()[i], 2e-4f);
+    }
+    EXPECT_FALSE(model.evalPathFused());
+    // The env gate forces the unfused path for A/B comparisons.
+    ASSERT_EQ(0, setenv("EDGEADAPT_FUSED_EVAL", "0", 1));
+    {
+        auto method = adapt::makeMethod(adapt::Algorithm::NoAdapt, model);
+        EXPECT_FALSE(model.evalPathFused());
+        Tensor logits = method->processBatch(x);
+        EXPECT_EQ(0, std::memcmp(plain.data(), logits.data(),
+                                 (size_t)plain.numel() * sizeof(float)));
+    }
+    ASSERT_EQ(0, unsetenv("EDGEADAPT_FUSED_EVAL"));
+}
+
+TEST(SimdFusion, AdaptationMethodsNeverFuse)
+{
+    Rng rng(114);
+    models::Model model = buildFusableModel(rng);
+    auto method = adapt::makeMethod(adapt::Algorithm::BnNorm, model);
+    EXPECT_FALSE(model.evalPathFused());
+    Tensor x = Tensor::randn(Shape{8, 3, 8, 8}, rng);
+    Tensor logits = method->processBatch(x);
+    EXPECT_EQ(logits.shape(), (Shape{8, 7}));
+}

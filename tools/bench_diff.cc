@@ -9,7 +9,10 @@
  * Both inputs may be either an edgeadapt.bench.report.v1 document
  * (the {"benches":[...]} wrapper tools/bench_report.sh writes) or raw
  * edgeadapt.bench.v1 JSONL (one report line per bench run). Benches
- * are matched by name; for each pair the gate compares
+ * are matched by (name, env.simd) so a scalar-dispatch run is never
+ * silently compared against an AVX2 one; reports from before the
+ * env.simd field carry no variant tag and match by name alone.
+ * For each matched pair the gate compares
  *
  *   - elapsed_seconds          (default tolerance: +15%)
  *   - memory.high_water_bytes  (default tolerance: +10%)
@@ -29,7 +32,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hh"
@@ -82,14 +87,50 @@ metricsOf(const JsonValue &bench)
     return m;
 }
 
+/** (bench name, SIMD variant tag — "" for pre-simd reports). */
+using BenchKey = std::pair<std::string, std::string>;
+using BenchMap = std::map<BenchKey, BenchMetrics>;
+
+/** Display form: "name" or "name [avx2]". */
+std::string
+keyLabel(const BenchKey &k)
+{
+    return k.second.empty() ? k.first : k.first + " [" + k.second + "]";
+}
+
 /**
- * Parse a report file into name -> metrics. Accepts the report.v1
- * wrapper or bench.v1 JSONL; a repeated bench name keeps the last
- * run, matching how JSONL reports append.
+ * Find the entry matching (name, simd). Exact key first; an untagged
+ * side (report written before env.simd existed) falls back to
+ * matching by name alone, so old baselines keep gating new runs.
+ */
+const BenchKey *
+findMatch(const BenchMap &m, const BenchKey &want)
+{
+    auto it = m.find(want);
+    if (it != m.end())
+        return &it->first;
+    if (!want.second.empty()) {
+        // Tagged vs an untagged report: match the variant-less entry.
+        it = m.find(BenchKey{want.first, std::string()});
+        if (it != m.end())
+            return &it->first;
+        return nullptr;
+    }
+    // Untagged vs a tagged report: first entry with the same name.
+    for (const auto &kv : m) {
+        if (kv.first.first == want.first)
+            return &kv.first;
+    }
+    return nullptr;
+}
+
+/**
+ * Parse a report file into (name, simd) -> metrics. Accepts the
+ * report.v1 wrapper or bench.v1 JSONL; a repeated bench key keeps the
+ * last run, matching how JSONL reports append.
  */
 bool
-loadReport(const std::string &path,
-           std::map<std::string, BenchMetrics> *out)
+loadReport(const std::string &path, BenchMap *out)
 {
     std::string text;
     if (!readFile(path, &text)) {
@@ -143,7 +184,14 @@ loadReport(const std::string &path,
                          path.c_str());
             return false;
         }
-        (*out)[name->string] = metricsOf(b);
+        std::string simd;
+        if (const JsonValue *env = b.get("env")) {
+            if (const JsonValue *s = env->get("simd")) {
+                if (s->isString())
+                    simd = s->string;
+            }
+        }
+        (*out)[BenchKey{name->string, simd}] = metricsOf(b);
     }
     return true;
 }
@@ -201,7 +249,7 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::map<std::string, BenchMetrics> base, cur;
+    BenchMap base, cur;
     if (!loadReport(paths[0], &base) || !loadReport(paths[1], &cur))
         return 2;
     if (base.empty()) {
@@ -213,30 +261,33 @@ main(int argc, char **argv)
     std::printf("bench_diff: %s -> %s (wall +%.0f%%, mem +%.0f%%)\n",
                 paths[0].c_str(), paths[1].c_str(), wallTol, memTol);
     int regressions = 0;
-    for (const auto &[name, bm] : base) {
-        auto it = cur.find(name);
-        if (it == cur.end()) {
+    std::set<BenchKey> matched;
+    for (const auto &[key, bm] : base) {
+        const std::string label = keyLabel(key);
+        const BenchKey *curKey = findMatch(cur, key);
+        if (!curKey) {
             std::printf("  %-10s %-24s %s\n", "REGRESSED",
-                        "missing-bench", name.c_str());
+                        "missing-bench", label.c_str());
             ++regressions;
             continue;
         }
-        if (gate(name, "elapsed_seconds", bm.elapsedSeconds,
-                 it->second.elapsedSeconds, wallTol,
-                 kWallFloorSeconds, "s "))
+        matched.insert(*curKey);
+        const BenchMetrics &cm = cur.at(*curKey);
+        if (gate(label, "elapsed_seconds", bm.elapsedSeconds,
+                 cm.elapsedSeconds, wallTol, kWallFloorSeconds, "s "))
             ++regressions;
-        if (gate(name, "memory.high_water_bytes",
+        if (gate(label, "memory.high_water_bytes",
                  bm.highWaterBytes / kMemFloorBytes,
-                 it->second.highWaterBytes < 0.0
+                 cm.highWaterBytes < 0.0
                      ? -1.0
-                     : it->second.highWaterBytes / kMemFloorBytes,
+                     : cm.highWaterBytes / kMemFloorBytes,
                  memTol, 1.0, "MB"))
             ++regressions;
     }
-    for (const auto &[name, bm] : cur) {
-        if (!base.count(name))
+    for (const auto &[key, bm] : cur) {
+        if (!matched.count(key) && !findMatch(base, key))
             std::printf("  %-10s %-24s %s\n", "new", "untracked-bench",
-                        name.c_str());
+                        keyLabel(key).c_str());
     }
 
     if (regressions > 0) {

@@ -67,14 +67,31 @@ else
     trap 'rm -f "$tmp"' EXIT
 fi
 
-for b in "${benches[@]}"; do
-    bin="$build/bench/$b"
-    if [ ! -x "$bin" ]; then
-        echo "bench_report: $bin not built (cmake --build $build)" >&2
-        exit 1
-    fi
-    echo "bench_report: running $b" >&2
-    "$bin" --json "$tmp" > /dev/null
+# Each bench runs once per SIMD dispatch variant so the report carries
+# a scalar and a best-probed row (bench_diff keys on env.simd and
+# refuses to compare across variants). On scalar-only hosts the probe
+# resolves to scalar and the set collapses to one pass.
+probe="$build/tools/simd_probe"
+if [ ! -x "$probe" ]; then
+    echo "bench_report: building simd_probe for variant discovery" >&2
+    cmake --build "$build" --target simd_probe >&2
+fi
+best="$("$probe" --best)"
+variants=(scalar)
+if [ "$best" != "scalar" ]; then
+    variants+=("$best")
+fi
+
+for v in "${variants[@]}"; do
+    for b in "${benches[@]}"; do
+        bin="$build/bench/$b"
+        if [ ! -x "$bin" ]; then
+            echo "bench_report: $bin not built (cmake --build $build)" >&2
+            exit 1
+        fi
+        echo "bench_report: running $b (EDGEADAPT_SIMD=$v)" >&2
+        EDGEADAPT_SIMD="$v" "$bin" --json "$tmp" > /dev/null
+    done
 done
 
 {

@@ -19,6 +19,12 @@
 #   tools/check.sh bench      # bench regression gate: rerun the
 #                             # report bench set in build/ and diff
 #                             # against the committed baseline
+#   tools/check.sh simd       # tier-1 ctest suite twice in build/:
+#                             # once under EDGEADAPT_SIMD=scalar and
+#                             # once under the best CPUID-probed
+#                             # variant, so both sides of the dispatch
+#                             # layer stay green (the probed pass is
+#                             # skipped on scalar-only hosts)
 #
 # Each preset builds in its own tree (build-asan/, build-tsan/) so the
 # tier-1 build/ directory is never disturbed. -march=native is turned
@@ -127,6 +133,34 @@ case "$MODE" in
     echo "check.sh: static analysis (changed files) passed"
     exit 0
     ;;
+  simd)
+    # Both sides of the SIMD dispatch layer over the tier-1 tree: the
+    # full ctest suite under the forced scalar kernels, then again
+    # under the best CPUID-probed variant. simd_probe tells us what
+    # the probe resolved to; when that is already "scalar" the second
+    # pass would duplicate the first and is skipped.
+    if [ ! -f "$ROOT/build/CMakeCache.txt" ]; then
+        echo "==== [simd] configure"
+        cmake -B "$ROOT/build" -S "$ROOT"
+    fi
+    echo "==== [simd] build"
+    cmake --build "$ROOT/build" -j "$JOBS"
+    best="$("$ROOT/build/tools/simd_probe" --best)"
+    echo "==== [simd] ctest (EDGEADAPT_SIMD=scalar)"
+    # shellcheck disable=SC2086
+    EDGEADAPT_SIMD=scalar ctest --test-dir "$ROOT/build" \
+        --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
+    if [ "$best" = "scalar" ]; then
+        echo "check.sh: probed best variant is scalar; skipping the duplicate pass"
+    else
+        echo "==== [simd] ctest (EDGEADAPT_SIMD=$best)"
+        # shellcheck disable=SC2086
+        EDGEADAPT_SIMD="$best" ctest --test-dir "$ROOT/build" \
+            --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
+    fi
+    echo "check.sh: tier-1 suite green under scalar and $best dispatch"
+    exit 0
+    ;;
   bench)
     # Regression gate over the tier-1 tree: rebuild the bench set and
     # bench_diff, then compare a fresh run against the committed
@@ -143,7 +177,7 @@ case "$MODE" in
     exit 0
     ;;
   *)
-    echo "usage: tools/check.sh [all|asan|tsan|fast|lint|lint-fast|bench]" >&2
+    echo "usage: tools/check.sh [all|asan|tsan|fast|lint|lint-fast|bench|simd]" >&2
     exit 2
     ;;
 esac

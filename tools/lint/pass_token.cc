@@ -57,6 +57,28 @@ isThreadHeader(const std::string &rest)
            rest.rfind("<shared_mutex>", 0) == 0;
 }
 
+/** Intrinsics headers that mark a TU as vector-ISA-specific. */
+bool
+isIntrinsicsHeader(const std::string &rest)
+{
+    return rest.rfind("<immintrin.h>", 0) == 0 ||
+           rest.rfind("<x86intrin.h>", 0) == 0 ||
+           rest.rfind("<emmintrin.h>", 0) == 0 ||
+           rest.rfind("<xmmintrin.h>", 0) == 0 ||
+           rest.rfind("<arm_neon.h>", 0) == 0;
+}
+
+/** Identifier prefixes of the x86/Neon intrinsic families. */
+bool
+isIntrinsicIdent(const std::string &s)
+{
+    return s.rfind("__m128", 0) == 0 || s.rfind("__m256", 0) == 0 ||
+           s.rfind("__m512", 0) == 0 || s.rfind("_mm_", 0) == 0 ||
+           s.rfind("_mm256_", 0) == 0 || s.rfind("_mm512_", 0) == 0 ||
+           s.rfind("vld1", 0) == 0 || s.rfind("vst1", 0) == 0 ||
+           s.rfind("float32x", 0) == 0;
+}
+
 /** First identifier in a directive's rest text ("#ifndef NAME..."). */
 std::string
 firstIdent(const std::string &rest)
@@ -129,6 +151,11 @@ checkTokens(const SourceFile &sf, Diagnostics &diag)
     // parallelizes through parallel::parallelFor.
     bool threadAllowed = sf.rel.rfind("src/base/parallel.", 0) == 0 ||
                          sf.rel.rfind("src/obs/", 0) == 0;
+    // And the one sanctioned home of vector intrinsics: the runtime-
+    // dispatched kernel layer. Everything else (tests and benches
+    // included) goes through the simd:: dispatch API so a TU never
+    // silently becomes ISA-specific.
+    bool simdAllowed = sf.rel.rfind("src/tensor/simd/", 0) == 0;
     const auto &toks = sf.lex.tokens;
     for (size_t i = 0; i < toks.size(); ++i) {
         const Token &t = toks[i];
@@ -150,6 +177,11 @@ checkTokens(const SourceFile &sf, Diagnostics &diag)
                             "raw new (use std::make_unique or "
                             "containers)");
             }
+        }
+        if (!simdAllowed && isIntrinsicIdent(t.text)) {
+            diag.report(sf, t.line, "simd-isolation",
+                        t.text + " outside src/tensor/simd/ (use the "
+                                 "simd:: dispatch API)");
         }
         if (t.isIdent("delete")) {
             // "= delete" function declarations are fine, and thanks to
@@ -187,6 +219,15 @@ checkTokens(const SourceFile &sf, Diagnostics &diag)
                             "std::" + next(3)->text +
                                 " outside src/base/parallel.* and "
                                 "src/obs/ (use parallel::parallelFor)");
+            }
+        }
+    }
+    if (!simdAllowed) {
+        for (const Directive &d : sf.lex.directives) {
+            if (d.name == "include" && isIntrinsicsHeader(d.rest)) {
+                diag.report(sf, d.line, "simd-isolation",
+                            d.rest.substr(0, d.rest.find('>') + 1) +
+                                " include outside src/tensor/simd/");
             }
         }
     }

@@ -27,6 +27,9 @@ ruleTable()
         {"raw-thread", Severity::Error, "token",
          "no std::thread/mutex/condition_variable in src/ outside "
          "base/parallel.* and obs/"},
+        {"simd-isolation", Severity::Error, "token",
+         "vector intrinsics (immintrin.h/arm_neon.h, __m256/_mm256_/"
+         "vld1 families) only under src/tensor/simd/"},
         {"nolint", Severity::Error, "token",
          "bare NOLINT is rejected; write NOLINT(rule-id)"},
         {"io", Severity::Error, "token", "file cannot be read"},

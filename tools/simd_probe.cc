@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Print the active SIMD dispatch variant and exit.
+ *
+ * Usage:
+ *   simd_probe          # name of the variant forward would use now
+ *   simd_probe --best   # best CPUID-probed variant, ignoring
+ *                       # EDGEADAPT_SIMD
+ *
+ * Lets shell drivers (tools/check.sh simd, tools/bench_report.sh)
+ * discover what the dispatch layer resolved to: the probe result is a
+ * runtime CPUID decision the shell cannot reproduce portably.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "tensor/simd/dispatch.hh"
+
+int
+main(int argc, char **argv)
+{
+    bool best = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--best") == 0) {
+            best = true;
+        } else {
+            std::fprintf(stderr, "usage: simd_probe [--best]\n");
+            return 2;
+        }
+    }
+    using namespace edgeadapt::simd;
+    const char *name =
+        best ? variantName(probeBestVariant()) : activeDispatch().name;
+    std::printf("%s\n", name);
+    return 0;
+}
