@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "base/parallel.hh"
+#include "obs/energy.hh"
 #include "obs/json.hh"
 #include "obs/memtrack.hh"
 #include "obs/registry.hh"
@@ -97,6 +98,22 @@ gitHeadSha()
 }
 
 /**
+ * Mirror of the adapt-layer EDGEADAPT_FUSED_EVAL parse (method.cc
+ * keeps it file-local): unset/"1"/"on" means the fused eval path is
+ * active for No-Adapt streams, "0"/"off" forces the unfused forward.
+ */
+bool
+fusedEvalActive()
+{
+    const char *e = std::getenv("EDGEADAPT_FUSED_EVAL");
+    if (!e || std::strcmp(e, "1") == 0 || std::strcmp(e, "on") == 0)
+        return true;
+    if (std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0)
+        return false;
+    fatal("EDGEADAPT_FUSED_EVAL must be 0/1/on/off, got \"", e, "\"");
+}
+
+/**
  * Environment provenance: enough to tell two report lines from
  * different machines/configs apart when diffing them.
  */
@@ -116,6 +133,12 @@ writeEnv(obs::JsonWriter &w)
     // scalar run is never silently compared against an AVX2 one.
     w.key("simd");
     w.value(simd::activeDispatch().name);
+    w.key("fused_eval");
+    w.value(fusedEvalActive() ? "on" : "off");
+    // Meter backend the numbers were taken under: energy totals from
+    // a synthetic run must never gate against a RAPL-metered one.
+    w.key("energy");
+    w.value(obs::energyBackendName());
     w.key("sanitizer");
     w.value(EDGEADAPT_SANITIZE_NAME);
     w.key("git_sha");
@@ -147,6 +170,41 @@ writeMemory(obs::JsonWriter &w)
     w.endObject();
 }
 
+/** Meter totals for the whole bench process (see obs/energy.hh). */
+void
+writeEnergy(obs::JsonWriter &w)
+{
+    obs::EnergyStats es = obs::energyStats();
+    w.key("energy");
+    w.beginObject();
+    w.key("metered");
+    w.value(es.metered);
+    w.key("backend");
+    w.value(es.backendName);
+    w.key("total_j");
+    w.value(es.totalJoules);
+    w.key("avg_w");
+    w.value(es.avgPowerW);
+    w.key("cycles");
+    w.value(es.cycles);
+    w.key("instructions");
+    w.value(es.instructions);
+    w.key("llc_misses");
+    w.value(es.llcMisses);
+    w.key("domains");
+    w.beginArray();
+    for (int i = 0; i < obs::energyDomainCount(); ++i) {
+        w.beginObject();
+        w.key("name");
+        w.value(obs::energyDomainName(i));
+        w.key("joules");
+        w.value(obs::energyDomainJoules(i));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 /** One JSONL line: schema, identity, recorded tables, metrics. */
 std::string
 reportLine()
@@ -164,6 +222,7 @@ reportLine()
     w.key("elapsed_seconds");
     w.value((double)(obs::traceNowNs() - st.startNs) * 1e-9);
     writeMemory(w);
+    writeEnergy(w);
     w.key("sections");
     w.beginArray();
     for (const ReportState::Section &sec : st.sections) {
@@ -228,8 +287,13 @@ Args::Args(int argc, char **argv, const std::string &bench_name)
     // tracks allocations (traces additionally get per-span bytes);
     // telemetry snapshots likewise carry live/high-water bytes.
     if (!st.jsonPath.empty() || !st.tracePath.empty() ||
-        !telemetryPath.empty())
+        !telemetryPath.empty()) {
         obs::setMemTrackingEnabled(true);
+        // Same trigger arms the probed energy meter (synthetic on
+        // meterless hosts; a no-op under EDGEADAPT_ENERGY=off) so
+        // report lines carry an energy section.
+        obs::enableEnergyMetering();
+    }
 }
 
 int
@@ -317,6 +381,7 @@ finishReport()
     if (!st.jsonPath.empty()) {
         obs::sampleProcessMemory();
         obs::publishMemGauges();
+        obs::publishEnergyGauges();
         std::string line = reportLine();
         FILE *f = std::fopen(st.jsonPath.c_str(), "a");
         fatal_if(!f, "cannot open --json path ", st.jsonPath, ": ",

@@ -117,9 +117,9 @@ main(int argc, char **argv)
             " layers by fw+bw self-time (BN-Opt, per model)");
     TextTable top;
     top.header({"model", "layer", "class", "fw", "bw", "total",
-                "peak mem", "allocs"});
+                "peak mem", "allocs", "energy"});
     TextTable peaks;
-    peaks.header({"model", "batch peak mem"});
+    peaks.header({"model", "batch peak mem", "batch energy"});
     TextTable quality;
     quality.header({"model", "adapt.entropy", "adapt.confidence",
                     "adapt.bn_drift"});
@@ -143,16 +143,20 @@ main(int argc, char **argv)
                                         : "0",
                      humanTime(lt.totalSec()),
                      humanBytes((uint64_t)lt.peakBytes),
-                     humanCount((uint64_t)lt.allocCount)});
+                     humanCount((uint64_t)lt.allocCount),
+                     lt.joules > 0 ? fixed(lt.joules, 4) + " J"
+                                   : "-"});
         }
         top.rule();
         peaks.row({models::displayName(mn),
-                   humanBytes((uint64_t)hb.peakBytes)});
+                   humanBytes((uint64_t)hb.peakBytes),
+                   hb.energyJ > 0 ? fixed(hb.energyJ, 4) + " J"
+                                  : "-"});
     }
     emit(top);
 
-    section("Tracked live-bytes high water per adaptation batch "
-            "(BN-Opt)");
+    section("Tracked live-bytes high water and meter energy per "
+            "adaptation batch (BN-Opt)");
     emit(peaks);
 
     section("Adaptation-quality gauges after one BN-Opt batch "

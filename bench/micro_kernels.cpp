@@ -24,6 +24,7 @@
 #include "nn/activation.hh"
 #include "nn/batchnorm2d.hh"
 #include "nn/conv2d.hh"
+#include "obs/energy.hh"
 #include "obs/flightrec.hh"
 #include "obs/memtrack.hh"
 #include "obs/registry.hh"
@@ -366,6 +367,32 @@ BM_MemTrackEnabled(benchmark::State &state)
 }
 
 void
+BM_EnergyDisabled(benchmark::State &state)
+{
+    // The overhead budget for energy-instrumented kernels: with no
+    // meter armed, a charge site is one relaxed load and an untaken
+    // branch — the same budget as disabled spans and memtrack.
+    obs::setEnergyBackend(obs::EnergyBackend::Off);
+    for (auto _ : state) {
+        obs::energyCountFlops(4096);
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_EnergyEnabled(benchmark::State &state)
+{
+    // The armed synthetic-meter cost: one relaxed fetch_add on the
+    // process-wide work counter (no locks, no syscalls).
+    obs::setEnergyBackend(obs::EnergyBackend::Synthetic);
+    for (auto _ : state) {
+        obs::energyCountFlops(4096);
+        benchmark::ClobberMemory();
+    }
+    obs::setEnergyBackend(obs::EnergyBackend::Off);
+}
+
+void
 BM_FlightRecDisabled(benchmark::State &state)
 {
     // The flight recorder is on by default, so its *disabled* path is
@@ -416,6 +443,8 @@ BENCHMARK(BM_TraceSpanDisabled);
 BENCHMARK(BM_TraceSpanEnabled);
 BENCHMARK(BM_MemTrackDisabled);
 BENCHMARK(BM_MemTrackEnabled);
+BENCHMARK(BM_EnergyDisabled);
+BENCHMARK(BM_EnergyEnabled);
 BENCHMARK(BM_FlightRecDisabled);
 BENCHMARK(BM_FlightRecEnabled);
 BENCHMARK(BM_GemmTraced)->Arg(128);

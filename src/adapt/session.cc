@@ -2,6 +2,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/energy.hh"
 #include "obs/flightrec.hh"
 #include "obs/memtrack.hh"
 #include "obs/registry.hh"
@@ -32,6 +33,8 @@ runStream(AdaptationMethod &method, data::CorruptionStream &stream)
         obs::Registry::global().counter("adapt.batches");
     static obs::Histogram &batchSeconds =
         obs::Registry::global().histogram("adapt.batch_seconds");
+    static obs::Histogram &batchJoules =
+        obs::Registry::global().histogram("adapt.batch_joules");
     while (stream.hasNext()) {
         data::Batch b = stream.next();
         EA_CHECK(b.size() > 0, "corruption stream produced an empty batch");
@@ -53,11 +56,25 @@ runStream(AdaptationMethod &method, data::CorruptionStream &stream)
                 live0 = obs::memLiveBytes();
                 obs::resetMemHighWater();
             }
+            // Per-batch energy rides the same window: meter joules
+            // across processBatch feed the batch histogram and the
+            // stream total (only armed runs pay the sample).
+            obs::EnergySample e0;
+            const bool energy = obs::energySampleNow(&e0);
             int64_t t0 = obs::traceNowNs();
             logits = method.processBatch(b.images);
             double sec = (double)(obs::traceNowNs() - t0) * 1e-9;
             r.hostSeconds += sec;
             batchSeconds.observe(sec);
+            if (energy) {
+                obs::EnergySample e1;
+                if (obs::energySampleNow(&e1) &&
+                    e1.joules > e0.joules) {
+                    double j = e1.joules - e0.joules;
+                    batchJoules.observe(j);
+                    r.energyJ += j;
+                }
+            }
             if (mem) {
                 int64_t peak = obs::memHighWaterBytes() - live0;
                 if (peak > r.peakBatchBytes)
@@ -132,6 +149,7 @@ evaluate(models::Model &model, Algorithm algo,
     // high-water mark of the evaluation.
     obs::sampleProcessMemory();
     obs::publishMemGauges();
+    obs::publishEnergyGauges();
 
     out.meanErrorPct =
         totalSamples

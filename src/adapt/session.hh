@@ -30,6 +30,9 @@ struct StreamResult
     /// worst per-batch live-bytes growth (tracked allocations) across
     /// the stream; 0 when obs memory tracking is disabled
     int64_t peakBatchBytes = 0;
+    /// meter joules across all processBatch calls; 0 when no energy
+    /// meter is armed (see obs/energy.hh)
+    double energyJ = 0.0;
     /// label-free adaptation-quality aggregate (entropy, confidence,
     /// skew, BN drift); zero-valued when the method has no probe
     quality::StreamQuality quality;

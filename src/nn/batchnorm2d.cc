@@ -6,6 +6,7 @@
 #include "base/check.hh"
 #include "base/logging.hh"
 #include "base/parallel.hh"
+#include "obs/energy.hh"
 #include "obs/trace.hh"
 
 namespace edgeadapt {
@@ -93,6 +94,13 @@ BatchNorm2d::forward(const Tensor &x)
     const int64_t m = n * area;
 
     fwdWasTraining_ = training_;
+    // BN is bandwidth-bound: charge the streamed traffic to the
+    // synthetic energy meter (read + write in eval; the training path
+    // re-reads the input for its mean and variance passes). Charged
+    // once per forward, before the parallel region, so totals stay
+    // thread-count independent.
+    obs::energyCountBytes((int64_t)sizeof(float) * m * c_ *
+                          (training_ ? 4 : 2));
     Tensor out(x.shape());
     xhat_ = Tensor(x.shape());
     invStd_ = Tensor(Shape{c_});

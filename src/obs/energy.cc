@@ -1,0 +1,604 @@
+#include "obs/energy.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "obs/perfcount.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace edgeadapt {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> energyEnabled{false};
+} // namespace detail
+
+const char *
+EnergyMeter::domainName(int) const
+{
+    return "";
+}
+
+double
+EnergyMeter::domainJoules(int) const
+{
+    return 0.0;
+}
+
+namespace {
+
+// Namespace-scope relaxed atomics: the post-mortem writer reads these
+// from a signal context, and charge sites on worker threads write them
+// during shutdown-adjacent teardown. All trivially destructible.
+std::atomic<int> gBackend{(int)EnergyBackend::Off};
+std::atomic<const char *> gBackendName{"off"};
+std::atomic<int64_t> gSynthFlops{0};
+std::atomic<int64_t> gSynthBytes{0};
+std::atomic<double> gJoulesPerFlop{2.5e-10};
+std::atomic<double> gJoulesPerByte{6.25e-10};
+std::atomic<double> gJoulesLast{0.0};
+std::atomic<double> gArmJoules{0.0};
+std::atomic<int64_t> gArmT0Ns{0};
+std::atomic<int64_t> gCycles{0};
+std::atomic<int64_t> gInstructions{0};
+std::atomic<int64_t> gLlcMisses{0};
+std::atomic<EnergyMeter *> gMeter{nullptr};
+bool gForcedOff = false; // EDGEADAPT_ENERGY=off seen at init
+
+double
+synthTotalJoules()
+{
+    return (double)gSynthFlops.load(std::memory_order_relaxed) *
+               gJoulesPerFlop.load(std::memory_order_relaxed) +
+           (double)gSynthBytes.load(std::memory_order_relaxed) *
+               gJoulesPerByte.load(std::memory_order_relaxed);
+}
+
+/** Deterministic work-driven meter; see energy.hh for the formula. */
+class SyntheticMeter final : public EnergyMeter
+{
+  public:
+    const char *name() const override { return "synthetic"; }
+    double totalJoules() override { return synthTotalJoules(); }
+};
+
+/**
+ * Powercap-backed meter: a RaplReader behind a mutex, because spans
+ * on different threads sample concurrently and the reader mutates
+ * per-domain wraparound state.
+ */
+class RaplMeter final : public EnergyMeter
+{
+  public:
+    bool arm(const char *root)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return reader_.reset(root);
+    }
+
+    const char *name() const override { return "rapl"; }
+
+    double totalJoules() override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return reader_.sampleJoules();
+    }
+
+    int domainCount() const override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return reader_.domainCount();
+    }
+
+    const char *domainName(int i) const override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return reader_.domainName(i);
+    }
+
+    double domainJoules(int i) const override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return reader_.domainJoules(i);
+    }
+
+  private:
+    mutable std::mutex mu_;
+    RaplReader reader_;
+};
+
+SyntheticMeter gSyntheticMeter;
+RaplMeter gRaplMeter;
+
+const char *
+raplRoot()
+{
+    const char *r = std::getenv("EDGEADAPT_RAPL_ROOT");
+    return (r && *r) ? r : "/sys/class/powercap";
+}
+
+/** Read a decimal uint64 from offset 0 of @p fd. */
+bool
+preadUint(int fd, uint64_t *out)
+{
+    char buf[32];
+    ssize_t n = ::pread(fd, buf, sizeof(buf) - 1, 0);
+    if (n <= 0)
+        return false;
+    buf[n] = '\0';
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(buf, &end, 10);
+    if (end == buf)
+        return false;
+    *out = (uint64_t)v;
+    return true;
+}
+
+/** Read a decimal uint64 from the file at @p path. */
+bool
+readUintFile(const char *path, uint64_t *out)
+{
+    int fd = ::open(path, O_RDONLY);
+    if (fd < 0)
+        return false;
+    bool ok = preadUint(fd, out);
+    ::close(fd);
+    return ok;
+}
+
+/** Read a trimmed line from @p path into @p out (cap @p n). */
+bool
+readLineFile(const char *path, char *out, size_t n)
+{
+    int fd = ::open(path, O_RDONLY);
+    if (fd < 0)
+        return false;
+    ssize_t got = ::read(fd, out, n - 1);
+    ::close(fd);
+    if (got <= 0)
+        return false;
+    out[got] = '\0';
+    if (char *nl = std::strchr(out, '\n'))
+        *nl = '\0';
+    return out[0] != '\0';
+}
+
+/** Mirror the armed state into the signal-safe atomics. */
+void
+armMeter(EnergyMeter *meter, EnergyBackend backend)
+{
+    gMeter.store(meter, std::memory_order_release);
+    gBackend.store((int)backend, std::memory_order_relaxed);
+    gBackendName.store(meter ? meter->name()
+                             : energyBackendName(EnergyBackend::Off),
+                       std::memory_order_relaxed);
+    if (meter) {
+        double j = meter->totalJoules();
+        gArmJoules.store(j, std::memory_order_relaxed);
+        gJoulesLast.store(j, std::memory_order_relaxed);
+        gArmT0Ns.store(traceNowNs(), std::memory_order_relaxed);
+    }
+    detail::energyEnabled.store(meter != nullptr,
+                                std::memory_order_relaxed);
+}
+
+/** Applies EDGEADAPT_ENERGY at static-init time. */
+struct EnergyEnvInit
+{
+    EnergyEnvInit()
+    {
+        const char *e = std::getenv("EDGEADAPT_ENERGY");
+        if (!e || !*e)
+            return;
+        if (std::strcmp(e, "off") == 0 || std::strcmp(e, "0") == 0) {
+            gForcedOff = true;
+            return;
+        }
+        if (std::strcmp(e, "rapl") == 0) {
+            setEnergyBackend(EnergyBackend::Rapl);
+            return;
+        }
+        if (std::strcmp(e, "synthetic") == 0) {
+            setEnergyBackend(EnergyBackend::Synthetic);
+            return;
+        }
+        fatal("EDGEADAPT_ENERGY must be off|rapl|synthetic, got '", e,
+              "'");
+    }
+};
+
+EnergyEnvInit energyEnvInit;
+
+} // namespace
+
+namespace detail {
+
+void
+energyCountFlopsSlow(int64_t flops)
+{
+    gSynthFlops.fetch_add(flops, std::memory_order_relaxed);
+}
+
+void
+energyCountBytesSlow(int64_t bytes)
+{
+    gSynthBytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+EnergyBackend
+energyBackend()
+{
+    return (EnergyBackend)gBackend.load(std::memory_order_relaxed);
+}
+
+const char *
+energyBackendName(EnergyBackend b)
+{
+    switch (b) {
+    case EnergyBackend::Rapl:
+        return "rapl";
+    case EnergyBackend::Synthetic:
+        return "synthetic";
+    case EnergyBackend::Off:
+        break;
+    }
+    return "off";
+}
+
+const char *
+energyBackendName()
+{
+    return gBackendName.load(std::memory_order_relaxed);
+}
+
+bool
+energyBackendSupported(EnergyBackend b)
+{
+    if (b != EnergyBackend::Rapl)
+        return true;
+    RaplReader probe;
+    return probe.reset(raplRoot());
+}
+
+void
+setEnergyBackend(EnergyBackend b)
+{
+    switch (b) {
+    case EnergyBackend::Off:
+        armMeter(nullptr, EnergyBackend::Off);
+        return;
+    case EnergyBackend::Synthetic:
+        armMeter(&gSyntheticMeter, EnergyBackend::Synthetic);
+        return;
+    case EnergyBackend::Rapl:
+        fatal_if(!gRaplMeter.arm(raplRoot()),
+                 "EDGEADAPT_ENERGY=rapl: no readable powercap domain "
+                 "under ",
+                 raplRoot(),
+                 " (override the root with EDGEADAPT_RAPL_ROOT, or "
+                 "use the synthetic backend)");
+        armMeter(&gRaplMeter, EnergyBackend::Rapl);
+        return;
+    }
+    fatal("setEnergyBackend: unknown backend ", (int)b);
+}
+
+void
+setEnergyMeter(EnergyMeter *meter)
+{
+    armMeter(meter, EnergyBackend::Off);
+}
+
+void
+enableEnergyMetering()
+{
+    if (energyMeteringEnabled() || gForcedOff)
+        return;
+    setEnergyBackend(energyBackendSupported(EnergyBackend::Rapl)
+                         ? EnergyBackend::Rapl
+                         : EnergyBackend::Synthetic);
+}
+
+void
+setSyntheticEnergySpec(const SyntheticEnergySpec &spec)
+{
+    gJoulesPerFlop.store(spec.joulesPerFlop,
+                         std::memory_order_relaxed);
+    gJoulesPerByte.store(spec.joulesPerByte,
+                         std::memory_order_relaxed);
+}
+
+SyntheticEnergySpec
+syntheticEnergySpec()
+{
+    SyntheticEnergySpec s;
+    s.joulesPerFlop = gJoulesPerFlop.load(std::memory_order_relaxed);
+    s.joulesPerByte = gJoulesPerByte.load(std::memory_order_relaxed);
+    return s;
+}
+
+bool
+energySampleNow(EnergySample *out)
+{
+    *out = EnergySample{};
+    EnergyMeter *m = gMeter.load(std::memory_order_acquire);
+    if (m == nullptr)
+        return false;
+    out->joules = m->totalJoules();
+    gJoulesLast.store(out->joules, std::memory_order_relaxed);
+    PerfSample p;
+    if (perfCountersSample(&p)) {
+        out->cycles = p.cycles;
+        out->instructions = p.instructions;
+        out->llcMisses = p.llcMisses;
+        // The mirror holds the most recent sampling thread's totals;
+        // report readers treat it as "the main measurement thread".
+        gCycles.store(p.cycles, std::memory_order_relaxed);
+        gInstructions.store(p.instructions,
+                            std::memory_order_relaxed);
+        gLlcMisses.store(p.llcMisses, std::memory_order_relaxed);
+    }
+    return true;
+}
+
+EnergyStats
+energyStats()
+{
+    EnergyStats s;
+    EnergySample now;
+    s.metered = energySampleNow(&now);
+    s.backend = energyBackend();
+    s.backendName = energyBackendName();
+    if (!s.metered)
+        return s;
+    s.totalJoules = now.joules;
+    s.cycles = now.cycles;
+    s.instructions = now.instructions;
+    s.llcMisses = now.llcMisses;
+    int64_t t0 = gArmT0Ns.load(std::memory_order_relaxed);
+    s.meterSeconds = (double)(traceNowNs() - t0) * 1e-9;
+    double delta =
+        now.joules - gArmJoules.load(std::memory_order_relaxed);
+    if (s.meterSeconds > 0.0 && delta > 0.0)
+        s.avgPowerW = delta / s.meterSeconds;
+    return s;
+}
+
+double
+energyTotalJoulesRelaxed()
+{
+    if (gBackend.load(std::memory_order_relaxed) ==
+        (int)EnergyBackend::Synthetic)
+        return synthTotalJoules();
+    return gJoulesLast.load(std::memory_order_relaxed);
+}
+
+void
+energyCountersRelaxed(int64_t *cycles, int64_t *instructions,
+                      int64_t *llcMisses)
+{
+    *cycles = gCycles.load(std::memory_order_relaxed);
+    *instructions = gInstructions.load(std::memory_order_relaxed);
+    *llcMisses = gLlcMisses.load(std::memory_order_relaxed);
+}
+
+const char *
+energyBackendNameRelaxed()
+{
+    return gBackendName.load(std::memory_order_relaxed);
+}
+
+int
+energyDomainCount()
+{
+    EnergyMeter *m = gMeter.load(std::memory_order_acquire);
+    return m ? m->domainCount() : 0;
+}
+
+const char *
+energyDomainName(int i)
+{
+    EnergyMeter *m = gMeter.load(std::memory_order_acquire);
+    return m ? m->domainName(i) : "";
+}
+
+double
+energyDomainJoules(int i)
+{
+    EnergyMeter *m = gMeter.load(std::memory_order_acquire);
+    return m ? m->domainJoules(i) : 0.0;
+}
+
+void
+publishEnergyGauges()
+{
+    static Gauge &totalJ = Registry::global().gauge("energy.total_j");
+    static Gauge &powerW = Registry::global().gauge("energy.power_w");
+    EnergyStats s = energyStats();
+    totalJ.set(s.totalJoules);
+    powerW.set(s.avgPowerW);
+}
+
+// ---------------------------------------------------------------------
+// RaplReader
+
+RaplReader::~RaplReader()
+{
+    close();
+}
+
+void
+RaplReader::close()
+{
+    for (int i = 0; i < count_; ++i) {
+        if (domains_[i].fd >= 0)
+            ::close(domains_[i].fd);
+        domains_[i] = Domain{};
+    }
+    count_ = 0;
+}
+
+bool
+RaplReader::reset(const char *root)
+{
+    close();
+    DIR *dir = ::opendir(root);
+    if (dir == nullptr)
+        return false;
+
+    // Package-level domains only: "intel-rapl:<n>". Subdomains
+    // ("intel-rapl:0:1" — core/uncore/dram) are folded into their
+    // package counter already, and the mmio mirror ("intel-rapl-mmio")
+    // would double-count the package.
+    char names[kMaxDomains][64];
+    int found = 0;
+    while (struct dirent *ent = ::readdir(dir)) {
+        const char *n = ent->d_name;
+        if (std::strncmp(n, "intel-rapl:", 11) != 0)
+            continue;
+        if (std::strchr(n + 11, ':') != nullptr)
+            continue;
+        if (found < kMaxDomains) {
+            std::strncpy(names[found], n, sizeof(names[found]) - 1);
+            names[found][sizeof(names[found]) - 1] = '\0';
+            ++found;
+        }
+    }
+    ::closedir(dir);
+
+    // readdir order is filesystem-dependent; sort for stable domain
+    // indices across runs.
+    int order[kMaxDomains];
+    for (int i = 0; i < found; ++i)
+        order[i] = i;
+    std::sort(order, order + found, [&names](int a, int b) {
+        return std::strcmp(names[a], names[b]) < 0;
+    });
+
+    for (int oi = 0; oi < found; ++oi) {
+        const char *entry = names[order[oi]];
+        char path[512];
+        Domain d;
+        std::snprintf(path, sizeof(path), "%s/%s/energy_uj", root,
+                      entry);
+        d.fd = ::open(path, O_RDONLY);
+        if (d.fd < 0)
+            continue; // missing or permission-denied: skip domain
+        if (!preadUint(d.fd, &d.lastUj)) {
+            ::close(d.fd);
+            continue;
+        }
+        std::snprintf(path, sizeof(path), "%s/%s/max_energy_range_uj",
+                      root, entry);
+        if (!readUintFile(path, &d.maxRangeUj))
+            d.maxRangeUj = 0; // unknown: negative deltas are dropped
+        std::snprintf(path, sizeof(path), "%s/%s/name", root, entry);
+        if (!readLineFile(path, d.name, sizeof(d.name))) {
+            std::strncpy(d.name, entry, sizeof(d.name) - 1);
+            d.name[sizeof(d.name) - 1] = '\0';
+        }
+        domains_[count_++] = d;
+    }
+    return ok();
+}
+
+const char *
+RaplReader::domainName(int i) const
+{
+    return (i >= 0 && i < count_) ? domains_[i].name : "";
+}
+
+double
+RaplReader::sampleJoules()
+{
+    uint64_t total = 0;
+    for (int i = 0; i < count_; ++i) {
+        Domain &d = domains_[i];
+        uint64_t v = 0;
+        if (d.fd >= 0 && preadUint(d.fd, &v)) {
+            if (v >= d.lastUj)
+                d.accumUj += v - d.lastUj;
+            else if (d.maxRangeUj > d.lastUj)
+                // Counter wrapped: the tail up to the range plus the
+                // restarted head.
+                d.accumUj += (d.maxRangeUj - d.lastUj) + v;
+            // else: backwards jump with no usable range; drop it.
+            d.lastUj = v;
+        }
+        total += d.accumUj;
+    }
+    return (double)total * 1e-6;
+}
+
+double
+RaplReader::domainJoules(int i) const
+{
+    return (i >= 0 && i < count_)
+               ? (double)domains_[i].accumUj * 1e-6
+               : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// EnergyScope
+
+EnergyScope::EnergyScope()
+    : prev_(energyBackend())
+{
+    if (!energyMeteringEnabled())
+        enableEnergyMetering(); // no-op under EDGEADAPT_ENERGY=off
+    capture();
+}
+
+EnergyScope::EnergyScope(EnergyBackend b)
+    : prev_(energyBackend())
+{
+    setEnergyBackend(b);
+    capture();
+}
+
+EnergyScope::~EnergyScope()
+{
+    if (energyBackend() != prev_)
+        setEnergyBackend(prev_);
+}
+
+void
+EnergyScope::capture()
+{
+    metering_ = energySampleNow(&base_);
+}
+
+EnergySample
+EnergyScope::delta() const
+{
+    EnergySample now;
+    EnergySample d;
+    if (!metering_ || !energySampleNow(&now))
+        return d;
+    d.joules = now.joules > base_.joules ? now.joules - base_.joules
+                                         : 0.0;
+    d.cycles = now.cycles - base_.cycles;
+    d.instructions = now.instructions - base_.instructions;
+    d.llcMisses = now.llcMisses - base_.llcMisses;
+    return d;
+}
+
+double
+EnergyScope::joulesDelta() const
+{
+    return delta().joules;
+}
+
+} // namespace obs
+} // namespace edgeadapt

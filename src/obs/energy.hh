@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Energy metering — the fourth pillar of the observability layer next
+ * to trace spans, metrics, and allocation accounting. A pluggable
+ * EnergyMeter reports cumulative joules; trace.cc samples it at span
+ * open/close to stamp per-span joule (and hardware-counter) deltas,
+ * adapt::runStream samples it per batch, and the bench/telemetry/
+ * post-mortem writers surface the process totals.
+ *
+ * Three built-in backends, selected at init by probe with an
+ * EDGEADAPT_ENERGY=off|rapl|synthetic override (mirroring the
+ * EDGEADAPT_SIMD dispatch pattern — unknown or unsupported values are
+ * fatal):
+ *
+ *  - `rapl`: Linux powercap sysfs
+ *    (/sys/class/powercap/intel-rapl:N/energy_uj), package domains
+ *    discovered at arm time, wraparound-corrected via
+ *    max_energy_range_uj. Root overridable with EDGEADAPT_RAPL_ROOT
+ *    (fixture trees in tests).
+ *  - `synthetic`: deterministic work-driven meter for meterless
+ *    machines and CI. Instrumented kernels charge work units (gemm
+ *    FLOPs, BatchNorm bytes); joules = flops x joulesPerFlop +
+ *    bytes x joulesPerByte. Integer work accumulation makes totals
+ *    bitwise identical at any EDGEADAPT_THREADS; the default rates
+ *    mirror the device::cost_model Ultra96 processor spec (2.5 W at
+ *    10 GFLOP/s compute, 4 GB/s streaming), and the cost-model
+ *    validation test configures both sides from one ProcessorSpec.
+ *  - `off`: the default. energyCountFlops()/energyCountBytes() are
+ *    one relaxed load and an untaken branch (BM_EnergyDisabled); span
+ *    sampling is skipped entirely.
+ *
+ * Hardware counters (cycles / instructions / LLC misses, see
+ * perfcount.hh) ride along with whichever backend is armed and
+ * degrade to zeros where perf_event_open is unavailable.
+ *
+ * Signal safety: the post-mortem writer reads energy totals between
+ * arbitrary instructions. All totals live in namespace-scope relaxed
+ * atomics; energyTotalJoulesRelaxed() / energyCountersRelaxed() /
+ * energyBackendNameRelaxed() touch only those (file-backed meters
+ * report their last-sampled value; the synthetic meter is computed
+ * fresh from the work counters). The `signal-safety` lint pass keeps
+ * the post-mortem path honest, and `meter-isolation` pins powercap
+ * paths and raw syscalls inside src/obs/energy* + perfcount*.
+ */
+
+#ifndef EDGEADAPT_OBS_ENERGY_HH
+#define EDGEADAPT_OBS_ENERGY_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace edgeadapt {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> energyEnabled;
+void energyCountFlopsSlow(int64_t flops);
+void energyCountBytesSlow(int64_t bytes);
+} // namespace detail
+
+/** Which meter is armed. Off disables all sampling and charging. */
+enum class EnergyBackend
+{
+    Off = 0,
+    Rapl = 1,
+    Synthetic = 2,
+};
+
+/** @return whether a meter is armed (one relaxed load). */
+inline bool
+energyMeteringEnabled()
+{
+    return detail::energyEnabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Charge @p flops of arithmetic work to the synthetic meter. Called
+ * by instrumented kernels (gemm) once per top-level invocation, never
+ * inside parallel regions, so totals are thread-count independent.
+ * No-op (relaxed load + untaken branch) when metering is off or the
+ * armed backend is not synthetic.
+ */
+inline void
+energyCountFlops(int64_t flops)
+{
+    if (!energyMeteringEnabled())
+        return;
+    detail::energyCountFlopsSlow(flops);
+}
+
+/** Charge @p bytes of memory traffic (bandwidth-bound kernels). */
+inline void
+energyCountBytes(int64_t bytes)
+{
+    if (!energyMeteringEnabled())
+        return;
+    detail::energyCountBytesSlow(bytes);
+}
+
+/**
+ * Abstract cumulative-energy meter. Implementations report monotonic
+ * joules since the meter was armed; the dispatch layer samples it and
+ * mirrors the reading into relaxed atomics for the signal-safe
+ * readers. Custom meters (a board-specific INA226 driver, say) plug
+ * in via setEnergyMeter().
+ */
+class EnergyMeter
+{
+  public:
+    virtual ~EnergyMeter() = default;
+
+    /** Stable backend name for provenance ("rapl", "synthetic"). */
+    virtual const char *name() const = 0;
+
+    /** @return cumulative joules since the meter was armed. */
+    virtual double totalJoules() = 0;
+
+    /** @return number of reported sub-domains (0 = opaque meter). */
+    virtual int domainCount() const { return 0; }
+
+    /** @return name of domain @p i (e.g. "package-0"). */
+    virtual const char *domainName(int i) const;
+
+    /** @return cumulative joules attributed to domain @p i. */
+    virtual double domainJoules(int i) const;
+};
+
+/** @return the active backend (Off when no meter is armed). */
+EnergyBackend energyBackend();
+
+/** @return the name of @p b: "off" / "rapl" / "synthetic". */
+const char *energyBackendName(EnergyBackend b);
+
+/** @return the active backend's name ("custom" for setEnergyMeter). */
+const char *energyBackendName();
+
+/** @return whether @p b can be armed on this host right now. */
+bool energyBackendSupported(EnergyBackend b);
+
+/**
+ * Arm the built-in backend @p b (Off disarms). Fatal when @p b is
+ * unsupported on this host — mirror of the EDGEADAPT_SIMD contract;
+ * callers that want a fallback should consult energyBackendSupported()
+ * or use enableEnergyMetering().
+ */
+void setEnergyBackend(EnergyBackend b);
+
+/**
+ * Arm a caller-owned meter (must outlive the arming). Pass nullptr to
+ * disarm. Custom meters are outside the built-in enum: energyBackend()
+ * reports Off for them, but energyBackendName() reports the meter's
+ * own name and metering is enabled.
+ */
+void setEnergyMeter(EnergyMeter *meter);
+
+/**
+ * Arm the best probed backend: rapl when a readable powercap tree
+ * exists, synthetic otherwise. Honors an explicit EDGEADAPT_ENERGY=off
+ * (stays disarmed) and is a no-op when a meter is already armed.
+ * Bench binaries call this when --json is requested.
+ */
+void enableEnergyMetering();
+
+/** Synthetic meter rates; see the file comment for the formula. */
+struct SyntheticEnergySpec
+{
+    /// joules per arithmetic FLOP (default: 2.5 W / 10 GFLOP/s)
+    double joulesPerFlop = 2.5e-10;
+    /// joules per byte of streamed traffic (default: 2.5 W / 4 GB/s)
+    double joulesPerByte = 6.25e-10;
+};
+
+/** Install synthetic rates (tests configure from a ProcessorSpec). */
+void setSyntheticEnergySpec(const SyntheticEnergySpec &spec);
+
+/** @return the current synthetic rates. */
+SyntheticEnergySpec syntheticEnergySpec();
+
+/** One meter + hardware-counter reading. */
+struct EnergySample
+{
+    double joules = 0.0;      ///< cumulative joules since arm
+    int64_t cycles = 0;       ///< cumulative thread cycles (0 = n/a)
+    int64_t instructions = 0; ///< cumulative retired instructions
+    int64_t llcMisses = 0;    ///< cumulative LLC misses
+};
+
+/**
+ * Sample the armed meter and this thread's hardware counters, and
+ * refresh the signal-safe mirror atomics. @return false (zeroed @p
+ * out) when no meter is armed. Not async-signal-safe — file-backed
+ * meters read sysfs here; signal contexts use the *Relaxed readers.
+ */
+bool energySampleNow(EnergySample *out);
+
+/** Point-in-time energy accounting for reports. */
+struct EnergyStats
+{
+    bool metered = false;      ///< whether a meter is armed
+    EnergyBackend backend = EnergyBackend::Off;
+    const char *backendName = "off";
+    double totalJoules = 0.0;  ///< cumulative since arm
+    double meterSeconds = 0.0; ///< wall seconds since arm
+    double avgPowerW = 0.0;    ///< totalJoules / meterSeconds
+    int64_t cycles = 0;        ///< last-sampled counter totals
+    int64_t instructions = 0;
+    int64_t llcMisses = 0;
+};
+
+/** Sample (when armed) and snapshot the accounting. */
+EnergyStats energyStats();
+
+/** Publish energy.total_j / energy.power_w gauges to the registry. */
+void publishEnergyGauges();
+
+/** Signal-safe: last-mirrored (synthetic: live) total joules. */
+double energyTotalJoulesRelaxed();
+
+/** Signal-safe: last-mirrored hardware-counter totals. */
+void energyCountersRelaxed(int64_t *cycles, int64_t *instructions,
+                           int64_t *llcMisses);
+
+/** Signal-safe: the armed backend's name. */
+const char *energyBackendNameRelaxed();
+
+/** @return sub-domain count of the armed meter (rapl packages). */
+int energyDomainCount();
+
+/** @return name of armed-meter domain @p i. */
+const char *energyDomainName(int i);
+
+/** @return cumulative joules of armed-meter domain @p i. */
+double energyDomainJoules(int i);
+
+/**
+ * Standalone reader for a powercap sysfs tree — the parsing half of
+ * the rapl backend, exposed so tests can point it at fixture trees.
+ * Discovers package domains (`intel-rapl:<n>` directories; subdomains
+ * like intel-rapl:0:1 are skipped — the package counter already
+ * includes them), keeps a per-domain fd to energy_uj, and corrects
+ * counter wraparound with max_energy_range_uj. Domains whose
+ * energy_uj cannot be opened or parsed (missing file, permission
+ * denied) are skipped at discovery; a tree with no readable domain
+ * reads as !ok() and the probe falls back to the synthetic meter.
+ */
+class RaplReader
+{
+  public:
+    static constexpr int kMaxDomains = 8;
+
+    RaplReader() = default;
+    ~RaplReader();
+
+    RaplReader(const RaplReader &) = delete;
+    RaplReader &operator=(const RaplReader &) = delete;
+
+    /** (Re-)discover domains under @p root; @return ok(). */
+    bool reset(const char *root);
+
+    /** Close fds and forget all domains. */
+    void close();
+
+    /** @return whether at least one domain is readable. */
+    bool ok() const { return count_ > 0; }
+
+    int domainCount() const { return count_; }
+    const char *domainName(int i) const;
+
+    /**
+     * Re-read every domain, fold wraparound, and @return total
+     * cumulative joules since reset(). Unreadable re-reads freeze
+     * that domain's contribution rather than failing the sample.
+     */
+    double sampleJoules();
+
+    /** @return cumulative joules of domain @p i since reset(). */
+    double domainJoules(int i) const;
+
+  private:
+    struct Domain
+    {
+        char name[64] = {0};
+        int fd = -1;             // energy_uj, kept open for pread
+        uint64_t maxRangeUj = 0; // wraparound modulus (0 = unknown)
+        uint64_t lastUj = 0;     // previous raw reading
+        uint64_t accumUj = 0;    // wraparound-corrected total delta
+    };
+
+    Domain domains_[kMaxDomains];
+    int count_ = 0;
+};
+
+/**
+ * RAII measurement window: arms a meter (the probed backend by
+ * default, honoring EDGEADAPT_ENERGY=off — metering() reports whether
+ * arming took), captures baseline totals, and restores the previously
+ * armed backend on destruction. delta() is growth over the baseline.
+ */
+class EnergyScope
+{
+  public:
+    /** Arm the probed backend (no-op under EDGEADAPT_ENERGY=off). */
+    EnergyScope();
+
+    /** Arm @p b specifically (fatal when unsupported). */
+    explicit EnergyScope(EnergyBackend b);
+
+    ~EnergyScope();
+
+    EnergyScope(const EnergyScope &) = delete;
+    EnergyScope &operator=(const EnergyScope &) = delete;
+
+    /** @return whether a meter is armed inside this scope. */
+    bool metering() const { return metering_; }
+
+    /** @return meter/counter growth since the scope opened. */
+    EnergySample delta() const;
+
+    /** @return joule growth since the scope opened. */
+    double joulesDelta() const;
+
+  private:
+    void capture();
+
+    EnergyBackend prev_;
+    EnergySample base_;
+    bool metering_ = false;
+};
+
+} // namespace obs
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_OBS_ENERGY_HH

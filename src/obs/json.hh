@@ -87,6 +87,7 @@ struct JsonValue
     bool isArray() const { return kind == Kind::Array; }
     bool isString() const { return kind == Kind::String; }
     bool isNumber() const { return kind == Kind::Number; }
+    bool isBool() const { return kind == Kind::Bool; }
 
     /** @return member of an object, or null if absent/not an object. */
     const JsonValue *get(const std::string &k) const;

@@ -1,0 +1,156 @@
+#include "obs/perfcount.hh"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace edgeadapt {
+namespace obs {
+
+namespace {
+
+#if defined(__linux__)
+
+/** glibc ships no wrapper for perf_event_open; go through syscall(2). */
+int
+perfEventOpen(struct perf_event_attr *attr, pid_t pid, int cpu,
+              int groupFd, unsigned long flags)
+{
+    return (int)::syscall(SYS_perf_event_open, attr, pid, cpu, groupFd,
+                          flags);
+}
+
+int
+openHardwareCounter(uint64_t config)
+{
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // pid=0, cpu=-1: this thread, wherever it runs.
+    return perfEventOpen(&attr, 0, -1, -1, 0);
+}
+
+bool
+readCounter(int fd, int64_t *out)
+{
+    if (fd < 0)
+        return false;
+    uint64_t v = 0;
+    if (::read(fd, &v, sizeof(v)) != (ssize_t)sizeof(v))
+        return false;
+    *out = (int64_t)v;
+    return true;
+}
+
+/**
+ * The calling thread's counter fds. Opened on first sample; the
+ * destructor closes them at thread exit. LLC misses are optional —
+ * some hosts expose cycles/instructions but no cache events.
+ */
+struct ThreadCounters
+{
+    int cycles = -1;
+    int instructions = -1;
+    int llc = -1;
+    bool opened = false;
+
+    ~ThreadCounters() { close(); }
+
+    bool open()
+    {
+        if (opened)
+            return cycles >= 0;
+        opened = true;
+        cycles = openHardwareCounter(PERF_COUNT_HW_CPU_CYCLES);
+        if (cycles < 0)
+            return false;
+        instructions = openHardwareCounter(PERF_COUNT_HW_INSTRUCTIONS);
+        llc = openHardwareCounter(PERF_COUNT_HW_CACHE_MISSES);
+        return true;
+    }
+
+    void close()
+    {
+        if (cycles >= 0)
+            ::close(cycles);
+        if (instructions >= 0)
+            ::close(instructions);
+        if (llc >= 0)
+            ::close(llc);
+        cycles = instructions = llc = -1;
+        opened = false;
+    }
+};
+
+ThreadCounters &
+threadCounters()
+{
+    thread_local ThreadCounters tc;
+    return tc;
+}
+
+#endif // __linux__
+
+// -1 unknown, 0 unsupported, 1 supported.
+std::atomic<int> gSupported{-1};
+
+} // namespace
+
+bool
+perfCountersSupported()
+{
+    int s = gSupported.load(std::memory_order_relaxed);
+    if (s >= 0)
+        return s == 1;
+#if defined(__linux__)
+    int fd = openHardwareCounter(PERF_COUNT_HW_CPU_CYCLES);
+    bool ok = fd >= 0;
+    if (fd >= 0)
+        ::close(fd);
+#else
+    bool ok = false;
+#endif
+    gSupported.store(ok ? 1 : 0, std::memory_order_relaxed);
+    return ok;
+}
+
+bool
+perfCountersSample(PerfSample *out)
+{
+    *out = PerfSample{};
+    if (!perfCountersSupported())
+        return false;
+#if defined(__linux__)
+    ThreadCounters &tc = threadCounters();
+    if (!tc.open())
+        return false;
+    if (!readCounter(tc.cycles, &out->cycles))
+        return false;
+    readCounter(tc.instructions, &out->instructions);
+    readCounter(tc.llc, &out->llcMisses); // optional; stays 0 if absent
+    return true;
+#else
+    return false;
+#endif
+}
+
+void
+perfCountersCloseThread()
+{
+#if defined(__linux__)
+    threadCounters().close();
+#endif
+}
+
+} // namespace obs
+} // namespace edgeadapt

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hardware performance counters via perf_event_open(2) — the counter
+ * half of the energy/hardware observability pillar (energy.hh holds
+ * the joule half). Each thread that samples owns its own trio of
+ * counter fds (cycles, retired instructions, LLC misses) opened
+ * lazily on first use, so per-span deltas taken on a worker thread
+ * count that thread's work without cross-thread multiplexing.
+ *
+ * perf_event_open is unavailable in many deployment environments
+ * (containers with perf_event_paranoid locked down, seccomp filters,
+ * non-Linux hosts): every entry point degrades gracefully — the probe
+ * reports unsupported, samples return false, and callers fall back to
+ * reporting zeros. Nothing here ever aborts on a missing kernel
+ * facility.
+ *
+ * This header and energy.hh are the only translation units allowed to
+ * touch perf_event_open / raw syscall(2) — enforced by the
+ * `meter-isolation` lint rule.
+ */
+
+#ifndef EDGEADAPT_OBS_PERFCOUNT_HH
+#define EDGEADAPT_OBS_PERFCOUNT_HH
+
+#include <cstdint>
+
+namespace edgeadapt {
+namespace obs {
+
+/** One reading of the calling thread's hardware counters. */
+struct PerfSample
+{
+    int64_t cycles = 0;       ///< PERF_COUNT_HW_CPU_CYCLES
+    int64_t instructions = 0; ///< PERF_COUNT_HW_INSTRUCTIONS
+    int64_t llcMisses = 0;    ///< PERF_COUNT_HW_CACHE_MISSES
+};
+
+/**
+ * @return whether this process can open hardware counters at all.
+ * Probes once (opens and closes a throwaway cycles counter) and
+ * caches the verdict; safe to call repeatedly.
+ */
+bool perfCountersSupported();
+
+/**
+ * Read the calling thread's cumulative counters since its fds were
+ * opened (first sample on the thread opens them). @return false when
+ * counters are unsupported or the read fails; @p out is zeroed then.
+ */
+bool perfCountersSample(PerfSample *out);
+
+/** Close the calling thread's counter fds (tests; idempotent). */
+void perfCountersCloseThread();
+
+} // namespace obs
+} // namespace edgeadapt
+
+#endif // EDGEADAPT_OBS_PERFCOUNT_HH

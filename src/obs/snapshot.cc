@@ -14,6 +14,7 @@
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "obs/energy.hh"
 #include "obs/flightrec.hh"
 #include "obs/json.hh"
 #include "obs/memtrack.hh"
@@ -292,6 +293,22 @@ writeArtifact(const char *reason, const char *where, const char *msg,
     w.i64(ms.allocCount);
     w.raw(",\"frees\":");
     w.i64(ms.freeCount);
+    w.raw("}");
+
+    // Energy through the relaxed mirrors only (energy.hh): the armed
+    // meter may read sysfs, which is off-limits here.
+    int64_t cyc = 0, ins = 0, llc = 0;
+    energyCountersRelaxed(&cyc, &ins, &llc);
+    w.raw(",\"energy\":{\"backend\":");
+    w.str(energyBackendNameRelaxed());
+    w.raw(",\"total_j\":");
+    w.dbl(energyTotalJoulesRelaxed());
+    w.raw(",\"cycles\":");
+    w.i64(cyc);
+    w.raw(",\"instructions\":");
+    w.i64(ins);
+    w.raw(",\"llc_misses\":");
+    w.i64(llc);
     w.raw("}");
 
     // Metrics through the lock-free index: totals only (histogram
@@ -575,6 +592,28 @@ SnapshotWriter::write(const std::string &label)
     w.value(ms.freeCount);
     w.endObject();
 
+    EnergyStats es = energyStats();
+    w.key("energy");
+    w.beginObject();
+    w.key("metered");
+    w.value(es.metered);
+    w.key("backend");
+    w.value(es.backendName);
+    w.key("total_j");
+    w.value(es.totalJoules);
+    w.key("delta_j");
+    w.value(havePrev_ ? es.totalJoules - prevEnergyJ_
+                      : es.totalJoules);
+    w.key("avg_w");
+    w.value(es.avgPowerW);
+    w.key("cycles");
+    w.value(es.cycles);
+    w.key("instructions");
+    w.value(es.instructions);
+    w.key("llc_misses");
+    w.value(es.llcMisses);
+    w.endObject();
+
     w.key("flightrec");
     w.beginObject();
     w.key("dropped");
@@ -588,6 +627,7 @@ SnapshotWriter::write(const std::string &label)
     fatal_if(!out.good(), "failed writing telemetry to ", path_);
 
     prev_ = std::move(cur);
+    prevEnergyJ_ = es.totalJoules;
     havePrev_ = true;
     ++seq_;
     flightMark("telemetry.snapshot", (double)seq_);

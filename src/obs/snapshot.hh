@@ -68,6 +68,7 @@ class SnapshotWriter
   private:
     std::string path_;
     Snapshot prev_;
+    double prevEnergyJ_ = 0.0;
     bool havePrev_ = false;
     int64_t seq_ = 0;
 };

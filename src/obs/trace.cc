@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "base/logging.hh"
+#include "obs/energy.hh"
 #include "obs/flightrec.hh"
 #include "obs/json.hh"
 #include "obs/memtrack.hh"
@@ -185,6 +186,16 @@ Span::open(const char *name, size_t len, const char *category)
     if (tlSpanDepth < kMaxOpenSpans)
         tlSpanStack[tlSpanDepth] = &mem_;
     ++tlSpanDepth;
+    if (energyMeteringEnabled()) {
+        EnergySample s;
+        if (energySampleNow(&s)) {
+            en_.joules = s.joules;
+            en_.cycles = s.cycles;
+            en_.instructions = s.instructions;
+            en_.llcMisses = s.llcMisses;
+            en_.sampled = true;
+        }
+    }
     startNs_ = traceNowNs();
 }
 
@@ -194,6 +205,18 @@ Span::~Span()
         return;
     int64_t end = traceNowNs();
     --tlSpanDepth;
+    double joules = 0.0;
+    int64_t cycles = 0, instructions = 0, llcMisses = 0;
+    if (en_.sampled) {
+        EnergySample s;
+        if (energySampleNow(&s)) {
+            if (s.joules > en_.joules)
+                joules = s.joules - en_.joules;
+            cycles = s.cycles - en_.cycles;
+            instructions = s.instructions - en_.instructions;
+            llcMisses = s.llcMisses - en_.llcMisses;
+        }
+    }
     // Mirror the close into the flight recorder (span ends are the
     // black box's richest event source while tracing is on; lock-free,
     // so it stays cheap next to the mutexed ring append below).
@@ -220,6 +243,10 @@ Span::~Span()
     ev.bytesFreed = mem_.bytesFreed;
     ev.peakBytes = mem_.peakBytes;
     ev.allocCount = mem_.allocCount;
+    ev.joules = joules;
+    ev.cycles = cycles;
+    ev.instructions = instructions;
+    ev.llcMisses = llcMisses;
 }
 
 std::vector<TraceEvent>
@@ -314,6 +341,23 @@ chromeTraceJson(const std::vector<TraceEvent> &events)
         if (ev.allocCount) {
             w.key("allocs");
             w.value(ev.allocCount);
+        }
+        // Energy/counter deltas only when a meter recorded something.
+        if (ev.joules != 0.0) {
+            w.key("joules");
+            w.value(ev.joules);
+        }
+        if (ev.cycles) {
+            w.key("cycles");
+            w.value(ev.cycles);
+        }
+        if (ev.instructions) {
+            w.key("instructions");
+            w.value(ev.instructions);
+        }
+        if (ev.llcMisses) {
+            w.key("llc_misses");
+            w.value(ev.llcMisses);
         }
         w.endObject();
         w.endObject();

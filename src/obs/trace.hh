@@ -48,6 +48,15 @@ struct TraceEvent
     int64_t peakBytes;       ///< max global live-bytes growth seen
     int64_t allocCount;      ///< tracked allocation count
 
+    // Energy/hardware-counter deltas between span open and close (see
+    // energy.hh; all zero when no meter is armed). The meter is
+    // process-wide, so a span's joules include concurrent work on
+    // other threads; the counters are per-thread.
+    double joules;           ///< meter joules across the span
+    int64_t cycles;          ///< thread CPU cycles across the span
+    int64_t instructions;    ///< retired instructions across the span
+    int64_t llcMisses;       ///< LLC misses across the span
+
     /** @return end timestamp in ns. */
     int64_t endNs() const { return startNs + durNs; }
 };
@@ -71,6 +80,19 @@ struct SpanMem
 
 /** @return this thread's innermost open span accumulator (or null). */
 SpanMem *currentSpanMem();
+
+/**
+ * Meter/counter totals captured when a span opened; the close path
+ * subtracts them from a fresh sample to stamp the TraceEvent deltas.
+ */
+struct SpanEnergy
+{
+    double joules = 0.0;
+    int64_t cycles = 0;
+    int64_t instructions = 0;
+    int64_t llcMisses = 0;
+    bool sampled = false; ///< whether the open-side sample succeeded
+};
 } // namespace detail
 
 /** @return whether spans currently record (one relaxed load). */
@@ -108,7 +130,8 @@ class Span
     int64_t startNs_ = -1; ///< -1 = inactive
     int depth_ = 0;
     const char *cat_ = "";
-    detail::SpanMem mem_; ///< allocation deltas while innermost
+    detail::SpanMem mem_;    ///< allocation deltas while innermost
+    detail::SpanEnergy en_;  ///< meter totals at open
     char name_[TraceEvent::kMaxName + 1];
 };
 

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "nn/module.hh"
+#include "obs/energy.hh"
 #include "obs/memtrack.hh"
 #include "obs/trace.hh"
 
@@ -71,6 +72,7 @@ aggregate(const std::vector<obs::TraceEvent> &events)
     {
         const obs::TraceEvent *ev;
         int64_t passChildNs = 0; ///< ns consumed by direct fw/bw kids
+        double passChildJ = 0.0; ///< joules consumed by those kids
     };
     std::vector<Open> stack;
 
@@ -103,6 +105,11 @@ aggregate(const std::vector<obs::TraceEvent> &events)
         lt.allocBytes += o.ev->bytesAlloc;
         lt.allocCount += o.ev->allocCount;
         lt.peakBytes = std::max(lt.peakBytes, o.ev->peakBytes);
+        // Energy deltas are open-to-close (inclusive), so subtract
+        // the direct fw/bw children the same way self-time does.
+        double selfJ = o.ev->joules - o.passChildJ;
+        if (selfJ > 0.0)
+            lt.joules += selfJ;
     };
 
     // Events are sorted by (tid, start, -dur): parents precede their
@@ -128,6 +135,7 @@ aggregate(const std::vector<obs::TraceEvent> &events)
             for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
                 if (isPassCat(it->ev->cat)) {
                     it->passChildNs += ev.durNs;
+                    it->passChildJ += ev.joules;
                     foundParent = true;
                     break;
                 }
@@ -173,8 +181,11 @@ profileHostRun(models::Model &model, adapt::Algorithm algo,
 
     // Memory attribution rides on the spans: the scope opens a fresh
     // high-water window and the per-span accumulators land in the
-    // collected events.
+    // collected events. Energy rides the same way — the scope arms
+    // the probed meter (synthetic on meterless hosts; a no-op under
+    // EDGEADAPT_ENERGY=off) so spans carry joule deltas.
     obs::MemTrackScope memScope;
+    obs::EnergyScope energyScope;
     obs::TraceSession session;
     Tensor logits = method->processBatch(images);
     (void)logits;
@@ -186,6 +197,7 @@ profileHostRun(models::Model &model, adapt::Algorithm algo,
     }
     HostBreakdown hb = aggregate(events);
     hb.peakBytes = memScope.highWaterDelta();
+    hb.energyJ = energyScope.joulesDelta();
     return hb;
 }
 

@@ -34,6 +34,9 @@ struct LayerTime
     int64_t peakBytes = 0;  ///< worst live-bytes growth in one span
     int64_t allocBytes = 0; ///< tracked bytes allocated, fw+bw
     int64_t allocCount = 0; ///< tracked allocations, fw+bw
+    /// meter joules self-attributed to the layer's fw/bw spans (zero
+    /// when no energy meter was armed for the run; see obs/energy.hh)
+    double joules = 0.0;
 
     /** @return combined forward+backward time. */
     double totalSec() const { return forwardSec + backwardSec; }
@@ -48,6 +51,8 @@ struct HostBreakdown
     double totalBackward = 0.0;
     /// live-bytes high-water growth over the whole profiled batch
     int64_t peakBytes = 0;
+    /// meter joules over the whole profiled batch (0 = no meter)
+    double energyJ = 0.0;
     /// per-layer self-times in first-execution order
     std::vector<LayerTime> perLayer;
 

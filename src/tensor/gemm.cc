@@ -4,6 +4,7 @@
 
 #include "base/check.hh"
 #include "base/parallel.hh"
+#include "obs/energy.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "tensor/simd/dispatch.hh"
@@ -183,6 +184,9 @@ gemm(bool transA, bool transB, int64_t m, int64_t n, int64_t k,
         obs::Registry::global().counter("tensor.gemm.flops");
     gemmCalls.increment();
     gemmFlops.add(2 * m * n * k);
+    // Charged once per call, before any fork: the synthetic energy
+    // meter's totals stay bitwise identical at any thread count.
+    obs::energyCountFlops(2 * m * n * k);
 
     // k == 0 means C = beta * C with no product term; the scalar
     // driver's beta pass handles it (the panel driver iterates

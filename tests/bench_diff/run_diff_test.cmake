@@ -37,6 +37,28 @@ endif()
 run_diff(0 --wall-tol 50 --mem-tol 50
          ${FIXTURES}/baseline.json ${FIXTURES}/regressed.json)
 
+# Energy: a metered baseline gates total_j — alpha's +30% fails while
+# beta's +2% passes.
+run_diff(1 ${FIXTURES}/energy_baseline.json
+         ${FIXTURES}/energy_regressed.json)
+if(NOT LAST_OUT MATCHES "REGRESSED.*energy.total_j")
+    message(FATAL_ERROR "energy regression not flagged:\n${LAST_OUT}")
+endif()
+
+# A loosened energy tolerance lets the same pair pass.
+run_diff(0 --energy-tol 50 ${FIXTURES}/energy_baseline.json
+         ${FIXTURES}/energy_regressed.json)
+
+# Backward compatibility: a baseline written before the energy
+# section existed never gates the new field, whatever the current
+# report says about joules.
+run_diff(0 ${FIXTURES}/baseline.json ${FIXTURES}/energy_regressed.json)
+
+# And an unmetered current run (EDGEADAPT_ENERGY=off writes
+# metered=false) skips the energy gate against a metered baseline.
+run_diff(0 ${FIXTURES}/energy_baseline.json
+         ${FIXTURES}/energy_off.jsonl)
+
 # A bench dropped from the current report is a regression.
 file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/only_alpha.jsonl
     "{\"schema\":\"edgeadapt.bench.v1\",\"bench\":\"alpha\",\

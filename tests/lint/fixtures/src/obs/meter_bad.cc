@@ -1,0 +1,22 @@
+// meter-isolation fixtures, violating side: RAPL sysfs path literals
+// and the perf_event_open/syscall identifiers outside the sanctioned
+// src/obs/energy* / src/obs/perfcount* homes. Every hit below must
+// appear in the golden report.
+
+namespace fixture {
+
+long syscall(long number, ...);
+int perf_event_open(void *attr, int pid, int cpu, int grp, int fl);
+
+const char *kRoot = "/sys/class/powercap";
+const char *kDomain = "intel-rapl:0";
+
+double
+readMeterDirectly()
+{
+    (void)syscall(298);
+    (void)perf_event_open(nullptr, 0, -1, -1, 0);
+    return 0.0;
+}
+
+} // namespace fixture

@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Energy-meter tests: the RAPL powercap parser against a fixture
+ * sysfs tree (domain discovery and ordering, subdomain exclusion,
+ * wraparound folding, unreadable domains, missing roots), the
+ * env-rooted rapl backend dispatch, the synthetic meter's configured
+ * rates and thread-count determinism, the disabled fast path, custom
+ * meters via setEnergyMeter, per-span joule attribution and its
+ * Chrome trace export, the energy gauges, per-batch energy in
+ * adaptation streams, per-layer joules in the host profiler, and the
+ * validation loop closing the cost model: synthetic joules measured
+ * over a NoAdapt stream must land within the tolerance documented in
+ * DESIGN.md Sec. 14 of device::estimateRun().energyJ when both sides
+ * are configured from the same ProcessorSpec.
+ *
+ * The suite mutates the process-global meter, so it runs as a single
+ * serialized ctest entry (label "obs").
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "adapt/session.hh"
+#include "base/parallel.hh"
+#include "data/synth_cifar.hh"
+#include "device/cost_model.hh"
+#include "models/registry.hh"
+#include "obs/energy.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "profile/host_profiler.hh"
+
+using namespace edgeadapt;
+using namespace edgeadapt::obs;
+
+namespace {
+
+/** Write @p text to @p path (truncating), asserting success. */
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+    std::fclose(f);
+}
+
+/**
+ * A temporary powercap fixture tree. Domains are added by directory
+ * name; energy_uj rewrites go through update() (in place — the reader
+ * keeps a pread fd on the original inode, so the file must never be
+ * unlinked and recreated).
+ */
+class RaplFixture
+{
+  public:
+    RaplFixture()
+    {
+        char tmpl[] = "/tmp/edgeadapt_rapl_XXXXXX";
+        char *d = ::mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        root_ = d ? d : "";
+    }
+
+    const char *root() const { return root_.c_str(); }
+
+    /** Create domain directory @p dir with an energy_uj counter. */
+    void addDomain(const std::string &dir, uint64_t energyUj,
+                   uint64_t maxRangeUj, const std::string &name)
+    {
+        std::string d = root_ + "/" + dir;
+        ASSERT_EQ(::mkdir(d.c_str(), 0755), 0) << d;
+        writeFile(d + "/energy_uj", std::to_string(energyUj) + "\n");
+        if (maxRangeUj > 0) {
+            writeFile(d + "/max_energy_range_uj",
+                      std::to_string(maxRangeUj) + "\n");
+        }
+        if (!name.empty())
+            writeFile(d + "/name", name + "\n");
+    }
+
+    /** Create a domain directory with no energy_uj file at all. */
+    void addEmptyDomain(const std::string &dir)
+    {
+        std::string d = root_ + "/" + dir;
+        ASSERT_EQ(::mkdir(d.c_str(), 0755), 0) << d;
+    }
+
+    /** Rewrite a domain's energy_uj counter in place. */
+    void update(const std::string &dir, uint64_t energyUj)
+    {
+        writeFile(root_ + "/" + dir + "/energy_uj",
+                  std::to_string(energyUj) + "\n");
+    }
+
+  private:
+    std::string root_;
+};
+
+/** Restore the synthetic rate spec on scope exit. */
+class SpecRestore
+{
+  public:
+    SpecRestore() : saved_(syntheticEnergySpec()) {}
+    ~SpecRestore() { setSyntheticEnergySpec(saved_); }
+
+  private:
+    SyntheticEnergySpec saved_;
+};
+
+} // namespace
+
+TEST(EnergyRapl, DiscoversSortsAndSkipsSubdomains)
+{
+    RaplFixture fx;
+    // Out-of-order creation; discovery must sort by directory name.
+    fx.addDomain("intel-rapl:1", 5000000, 0, "package-1"); // NOLINT(meter-isolation)
+    fx.addDomain("intel-rapl:0", 1000000, 10000000, "package-0"); // NOLINT(meter-isolation)
+    // Subdomains are folded into their package counter already.
+    fx.addDomain("intel-rapl:0:0", 400000, 0, "core"); // NOLINT(meter-isolation)
+    // The mmio mirror of the same counters must not be double-read.
+    fx.addDomain("intel-rapl-mmio:0", 1000000, 0, "package-0"); // NOLINT(meter-isolation)
+    // A domain with no readable counter is skipped at discovery.
+    fx.addEmptyDomain("intel-rapl:2"); // NOLINT(meter-isolation)
+
+    RaplReader r;
+    ASSERT_TRUE(r.reset(fx.root()));
+    ASSERT_EQ(r.domainCount(), 2);
+    EXPECT_STREQ(r.domainName(0), "package-0");
+    EXPECT_STREQ(r.domainName(1), "package-1");
+
+    // Accumulation starts at reset: the first sample reads zero.
+    EXPECT_DOUBLE_EQ(r.sampleJoules(), 0.0);
+    EXPECT_DOUBLE_EQ(r.domainJoules(0), 0.0);
+
+    fx.update("intel-rapl:0", 1250000); // NOLINT(meter-isolation)
+    fx.update("intel-rapl:1", 5750000); // NOLINT(meter-isolation)
+    EXPECT_DOUBLE_EQ(r.sampleJoules(), 1.0);
+    EXPECT_DOUBLE_EQ(r.domainJoules(0), 0.25);
+    EXPECT_DOUBLE_EQ(r.domainJoules(1), 0.75);
+}
+
+TEST(EnergyRapl, WraparoundFoldsThroughMaxRange)
+{
+    RaplFixture fx;
+    fx.addDomain("intel-rapl:0", 900000, 1000000, "package-0"); // NOLINT(meter-isolation)
+
+    RaplReader r;
+    ASSERT_TRUE(r.reset(fx.root()));
+    EXPECT_DOUBLE_EQ(r.sampleJoules(), 0.0);
+
+    // The counter wrapped: tail up to the range plus restarted head.
+    fx.update("intel-rapl:0", 100000); // NOLINT(meter-isolation)
+    EXPECT_DOUBLE_EQ(r.sampleJoules(), 0.2);
+
+    // And keeps accumulating normally from the new position.
+    fx.update("intel-rapl:0", 150000); // NOLINT(meter-isolation)
+    EXPECT_DOUBLE_EQ(r.sampleJoules(), 0.25);
+}
+
+TEST(EnergyRapl, BackwardsJumpWithoutRangeIsDropped)
+{
+    RaplFixture fx;
+    // No max_energy_range_uj: a backwards jump cannot be folded.
+    fx.addDomain("intel-rapl:0", 500, 0, "package-0"); // NOLINT(meter-isolation)
+
+    RaplReader r;
+    ASSERT_TRUE(r.reset(fx.root()));
+    fx.update("intel-rapl:0", 100); // NOLINT(meter-isolation)
+    EXPECT_DOUBLE_EQ(r.sampleJoules(), 0.0);
+    // The dropped reading still rebases: growth from it is counted.
+    fx.update("intel-rapl:0", 400); // NOLINT(meter-isolation)
+    EXPECT_DOUBLE_EQ(r.sampleJoules(), 300.0 * 1e-6);
+}
+
+TEST(EnergyRapl, MissingOrEmptyRootReadsNotOk)
+{
+    RaplReader r;
+    EXPECT_FALSE(r.reset("/nonexistent/edgeadapt/powercap")); // NOLINT(meter-isolation)
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.domainCount(), 0);
+    EXPECT_DOUBLE_EQ(r.sampleJoules(), 0.0);
+    EXPECT_STREQ(r.domainName(0), "");
+
+    // A root with no package domains reads the same as no root: the
+    // probe falls back to the synthetic meter instead of arming a
+    // meter that can never report.
+    RaplFixture empty;
+    empty.addEmptyDomain("intel-rapl:0"); // NOLINT(meter-isolation)
+    EXPECT_FALSE(r.reset(empty.root()));
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(EnergyRapl, BackendArmsViaEnvRoot)
+{
+    RaplFixture fx;
+    fx.addDomain("intel-rapl:0", 2000000, 0, "package-0"); // NOLINT(meter-isolation)
+    ASSERT_EQ(::setenv("EDGEADAPT_RAPL_ROOT", fx.root(), 1), 0);
+
+    EXPECT_TRUE(energyBackendSupported(EnergyBackend::Rapl));
+    setEnergyBackend(EnergyBackend::Rapl);
+    EXPECT_EQ(energyBackend(), EnergyBackend::Rapl);
+    EXPECT_STREQ(energyBackendName(), "rapl");
+    EXPECT_STREQ(energyBackendNameRelaxed(), "rapl");
+    EXPECT_TRUE(energyMeteringEnabled());
+    ASSERT_EQ(energyDomainCount(), 1);
+    EXPECT_STREQ(energyDomainName(0), "package-0");
+
+    fx.update("intel-rapl:0", 2500000); // NOLINT(meter-isolation)
+    EnergySample s;
+    ASSERT_TRUE(energySampleNow(&s));
+    EXPECT_DOUBLE_EQ(s.joules, 0.5);
+    EXPECT_DOUBLE_EQ(energyDomainJoules(0), 0.5);
+
+    EnergyStats st = energyStats();
+    EXPECT_TRUE(st.metered);
+    EXPECT_EQ(st.backend, EnergyBackend::Rapl);
+    EXPECT_DOUBLE_EQ(st.totalJoules, 0.5);
+    EXPECT_GT(st.meterSeconds, 0.0);
+
+    setEnergyBackend(EnergyBackend::Off);
+    ASSERT_EQ(::unsetenv("EDGEADAPT_RAPL_ROOT"), 0);
+}
+
+TEST(EnergyOff, DisabledPathChargesNothing)
+{
+    setEnergyBackend(EnergyBackend::Off);
+    EXPECT_FALSE(energyMeteringEnabled());
+    EXPECT_STREQ(energyBackendName(), "off");
+    EnergySample s;
+    s.joules = 42.0;
+    EXPECT_FALSE(energySampleNow(&s));
+    EXPECT_DOUBLE_EQ(s.joules, 0.0);
+    EXPECT_FALSE(energyStats().metered);
+
+    // Work charged while off must never surface after re-arming.
+    EnergyScope scope(EnergyBackend::Synthetic);
+    EnergySample s0;
+    ASSERT_TRUE(energySampleNow(&s0));
+    setEnergyBackend(EnergyBackend::Off);
+    energyCountFlops(1 << 20);
+    energyCountBytes(1 << 20);
+    setEnergyBackend(EnergyBackend::Synthetic);
+    EnergySample s1;
+    ASSERT_TRUE(energySampleNow(&s1));
+    EXPECT_DOUBLE_EQ(s1.joules, s0.joules);
+}
+
+TEST(EnergySynthetic, ChargesConfiguredRates)
+{
+    SpecRestore restore;
+    SyntheticEnergySpec spec;
+    spec.joulesPerFlop = 1e-9;
+    spec.joulesPerByte = 2e-9;
+    setSyntheticEnergySpec(spec);
+
+    EnergyScope scope(EnergyBackend::Synthetic);
+    ASSERT_TRUE(scope.metering());
+    EXPECT_STREQ(energyBackendName(), "synthetic");
+    energyCountFlops(1000000);
+    energyCountBytes(500000);
+    // 1e6 flops x 1e-9 J/flop + 5e5 bytes x 2e-9 J/byte = 2 mJ.
+    EXPECT_NEAR(scope.joulesDelta(), 2e-3, 1e-12);
+
+    // The signal-safe reader computes the same total live from the
+    // relaxed work counters.
+    EnergySample s;
+    ASSERT_TRUE(energySampleNow(&s));
+    EXPECT_DOUBLE_EQ(energyTotalJoulesRelaxed(), s.joules);
+}
+
+TEST(EnergySynthetic, DeterministicAcrossThreadCounts)
+{
+    Rng rng(61);
+    models::Model m = models::buildModel("resnet18-tiny", rng);
+    const auto &in = m.info().inputShape;
+    Rng drng(62);
+    Tensor x =
+        Tensor::uniform(Shape{4, in[0], in[1], in[2]}, drng, 0, 1);
+
+    EnergyScope scope(EnergyBackend::Synthetic);
+    const int orig = parallel::threadCount();
+    auto joulesAt = [&](int threads) {
+        parallel::setThreadCount(threads);
+        EnergySample a;
+        EXPECT_TRUE(energySampleNow(&a));
+        Tensor logits = m.forward(x);
+        (void)logits;
+        EnergySample b;
+        EXPECT_TRUE(energySampleNow(&b));
+        return b.joules - a.joules;
+    };
+    double j1 = joulesAt(1);
+    double j4 = joulesAt(4);
+    parallel::setThreadCount(orig);
+
+    ASSERT_GT(j1, 0.0);
+    // Work counters accumulate as integers before the parallel fork,
+    // so the charge is thread-count independent.
+    EXPECT_DOUBLE_EQ(j1, j4);
+}
+
+TEST(EnergyCustomMeter, PlugsInViaSetEnergyMeter)
+{
+    class FakeMeter : public EnergyMeter
+    {
+      public:
+        const char *name() const override { return "ina226"; }
+        double totalJoules() override { return joules; }
+        int domainCount() const override { return 1; }
+        const char *domainName(int) const override { return "rail-a"; }
+        double domainJoules(int) const override { return joules; }
+        double joules = 0.0;
+    };
+
+    FakeMeter fake;
+    setEnergyMeter(&fake);
+    EXPECT_TRUE(energyMeteringEnabled());
+    // Custom meters sit outside the built-in enum but report their
+    // own name for provenance.
+    EXPECT_EQ(energyBackend(), EnergyBackend::Off);
+    EXPECT_STREQ(energyBackendName(), "ina226");
+    fake.joules = 1.5;
+    EnergySample s;
+    ASSERT_TRUE(energySampleNow(&s));
+    EXPECT_DOUBLE_EQ(s.joules, 1.5);
+    ASSERT_EQ(energyDomainCount(), 1);
+    EXPECT_STREQ(energyDomainName(0), "rail-a");
+    EXPECT_DOUBLE_EQ(energyDomainJoules(0), 1.5);
+
+    setEnergyMeter(nullptr);
+    EXPECT_FALSE(energyMeteringEnabled());
+    setEnergyBackend(EnergyBackend::Off);
+}
+
+TEST(EnergySpans, SpansCarryJouleDeltas)
+{
+    EnergyScope scope(EnergyBackend::Synthetic);
+    TraceSession session;
+    {
+        EA_TRACE_SPAN_CAT("test", "energy.work");
+        energyCountFlops(1 << 22);
+    }
+    std::vector<TraceEvent> evs = session.snapshot();
+    const TraceEvent *work = nullptr;
+    for (const TraceEvent &e : evs) {
+        if (std::strcmp(e.name, "energy.work") == 0)
+            work = &e;
+    }
+    ASSERT_NE(work, nullptr);
+    EXPECT_GT(work->joules, 0.0);
+
+    std::string json = chromeTraceJson(evs);
+    EXPECT_NE(json.find("\"joules\""), std::string::npos);
+}
+
+TEST(EnergyGauges, PublishToRegistry)
+{
+    EnergyScope scope(EnergyBackend::Synthetic);
+    energyCountFlops(1 << 22);
+    publishEnergyGauges();
+    Snapshot snap = Registry::global().snapshot();
+    auto total = snap.gauges.find("energy.total_j");
+    auto power = snap.gauges.find("energy.power_w");
+    ASSERT_NE(total, snap.gauges.end());
+    ASSERT_NE(power, snap.gauges.end());
+    EXPECT_GT(total->second, 0.0);
+    EXPECT_GE(power->second, 0.0);
+}
+
+TEST(EnergyStream, StreamResultCarriesPerBatchJoules)
+{
+    Rng rng(71);
+    models::Model m = models::buildModel("wrn40_2-tiny", rng);
+    data::SynthCifar ds(16);
+
+    data::StreamConfig sc;
+    sc.corruption = data::allCorruptions()[0];
+    sc.severity = 3;
+    sc.batchSize = 4;
+    sc.totalSamples = 8;
+
+    {
+        EnergyScope scope(EnergyBackend::Synthetic);
+        auto method = adapt::makeMethod(adapt::Algorithm::BnNorm, m);
+        Rng srng(72);
+        data::CorruptionStream stream(ds, sc, srng);
+        adapt::StreamResult r = adapt::runStream(*method, stream);
+        EXPECT_EQ(r.samples, 8);
+        EXPECT_GT(r.energyJ, 0.0);
+    }
+    {
+        setEnergyBackend(EnergyBackend::Off);
+        auto method = adapt::makeMethod(adapt::Algorithm::BnNorm, m);
+        Rng srng(73);
+        data::CorruptionStream stream(ds, sc, srng);
+        adapt::StreamResult r = adapt::runStream(*method, stream);
+        EXPECT_DOUBLE_EQ(r.energyJ, 0.0);
+    }
+}
+
+TEST(EnergyHostProfiler, ReportsJoulesPerConvLayer)
+{
+    EnergyScope scope(EnergyBackend::Synthetic);
+    Rng rng(81);
+    models::Model m = models::buildModel("resnet18-tiny", rng);
+    Rng drng(82);
+    const auto &in = m.info().inputShape;
+    Tensor x =
+        Tensor::uniform(Shape{4, in[0], in[1], in[2]}, drng, 0, 1);
+
+    profile::HostBreakdown hb =
+        profile::profileHostRun(m, adapt::Algorithm::BnOpt, x);
+    EXPECT_GT(hb.energyJ, 0.0);
+    ASSERT_FALSE(hb.perLayer.empty());
+    int conv = 0;
+    for (const profile::LayerTime &lt : hb.perLayer) {
+        if (lt.opClass != "conv")
+            continue;
+        ++conv;
+        EXPECT_GT(lt.joules, 0.0) << lt.name;
+    }
+    EXPECT_GT(conv, 0);
+}
+
+namespace {
+
+/**
+ * Cost-model validation (DESIGN.md Sec. 14): run a NoAdapt stream
+ * under the synthetic meter with rates derived from the same
+ * ProcessorSpec the analytical estimate uses, and compare total
+ * measured joules against batches x estimateRun().energyJ. The spec
+ * is measurement-configured — compute-bound (huge bandwidths so the
+ * max(compute, memory) model always picks compute), no per-op
+ * dispatch overhead — so both sides reduce to conv/linear FLOPs
+ * divided by the same GFLOP/s rate times the same active power. The
+ * residue is the cost model's analytical MAC count versus the FLOPs
+ * the GEMMs actually charge (padding tiles, the elementwise work the
+ * meter does not charge), bounded by the documented tolerance.
+ */
+void
+validateEnergyAgainstCostModel(const char *name, double tolerance)
+{
+    Rng rng(91);
+    models::Model m = models::buildModel(name, rng);
+    constexpr int64_t batch = 8;
+    constexpr int64_t samples = 16;
+
+    device::DeviceSpec dev = device::raspberryPi4();
+    dev.mem.capacityBytes = 64ull << 30; // never OOM the estimate
+    dev.proc.opOverheadSec = 0.0;
+    dev.proc.bnTrainLayerOverheadSec = 0.0;
+    dev.proc.elementwiseGBps = 1e9; // memory terms effectively free
+    dev.proc.bnTrainGBps = 1e9;
+    device::RunEstimate est =
+        device::estimateRun(dev, m, adapt::Algorithm::NoAdapt, batch);
+    ASSERT_GT(est.energyJ, 0.0);
+    double predicted = (double)(samples / batch) * est.energyJ;
+
+    SpecRestore restore;
+    SyntheticEnergySpec spec;
+    spec.joulesPerFlop =
+        dev.proc.activePowerW / (dev.proc.convFwGflops * 1e9);
+    spec.joulesPerByte = 0.0; // the estimate is compute-bound
+    setSyntheticEnergySpec(spec);
+
+    double measured = 0.0;
+    {
+        EnergyScope scope(EnergyBackend::Synthetic);
+        data::SynthCifar ds(m.info().inputShape[1]);
+        data::StreamConfig sc;
+        sc.corruption = data::allCorruptions()[0];
+        sc.severity = 3;
+        sc.batchSize = batch;
+        sc.totalSamples = samples;
+        auto method = adapt::makeMethod(adapt::Algorithm::NoAdapt, m);
+        Rng srng(92);
+        data::CorruptionStream stream(ds, sc, srng);
+        adapt::StreamResult r = adapt::runStream(*method, stream);
+        EXPECT_EQ(r.samples, samples);
+        measured = r.energyJ;
+    }
+    ASSERT_GT(measured, 0.0);
+
+    double ratio = measured / predicted;
+    EXPECT_GT(ratio, 1.0 - tolerance)
+        << name << ": measured " << measured << " J predicted "
+        << predicted << " J";
+    EXPECT_LT(ratio, 1.0 + tolerance)
+        << name << ": measured " << measured << " J predicted "
+        << predicted << " J";
+}
+
+} // namespace
+
+TEST(EnergyValidation, ResNet18StreamJoulesMatchCostModel)
+{
+    // Tolerance documented in DESIGN.md Sec. 14.
+    validateEnergyAgainstCostModel("resnet18", 0.15);
+}
+
+TEST(EnergyValidation, Wrn40StreamJoulesMatchCostModel)
+{
+    validateEnergyAgainstCostModel("wrn40_2", 0.15);
+}

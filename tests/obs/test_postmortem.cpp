@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "base/check.hh"
+#include "obs/energy.hh"
 #include "obs/flightrec.hh"
 #include "obs/json.hh"
 #include "obs/registry.hh"
@@ -117,6 +118,37 @@ TEST(PostmortemDeathTest, CheckFailureLeavesArtifact)
     // The hook records the failure itself as the final breadcrumb.
     EXPECT_TRUE(hasEventNamed(v, "check.fail"));
     EXPECT_TRUE(hasEventNamed(v, "test.pm.last_words"));
+    std::remove(path.c_str());
+}
+
+TEST(PostmortemDeathTest, SignalPathReportsEnergyFromRelaxedMirrors)
+{
+    std::string path = testing::TempDir() + "/edgeadapt_pm_energy.json";
+    std::remove(path.c_str());
+
+    // The dying child reads energy only through the *Relaxed mirrors
+    // (the armed meter may touch sysfs, which is off-limits in a
+    // signal context); the synthetic total is computed live from the
+    // relaxed work counters, so the flops charged right before the
+    // crash must show up in the artifact.
+    EXPECT_EXIT(
+        {
+            obs::setEnergyBackend(obs::EnergyBackend::Synthetic);
+            obs::energyCountFlops(1 << 22);
+            obs::installPostmortemHandlers(path.c_str(), 16);
+            ::raise(SIGABRT);
+        },
+        testing::KilledBySignal(SIGABRT), "");
+
+    obs::JsonValue v = parseArtifact(path);
+    const obs::JsonValue *energy = v.get("energy");
+    ASSERT_NE(energy, nullptr);
+    ASSERT_TRUE(energy->isObject());
+    EXPECT_EQ(energy->get("backend")->string, "synthetic");
+    EXPECT_GT(energy->get("total_j")->number, 0.0);
+    EXPECT_NE(energy->get("cycles"), nullptr);
+    EXPECT_NE(energy->get("instructions"), nullptr);
+    EXPECT_NE(energy->get("llc_misses"), nullptr);
     std::remove(path.c_str());
 }
 

@@ -4,7 +4,8 @@
  * current run is meaningfully slower or hungrier than the baseline.
  *
  * Usage:
- *   bench_diff [--wall-tol PCT] [--mem-tol PCT] BASELINE CURRENT
+ *   bench_diff [--wall-tol PCT] [--mem-tol PCT] [--energy-tol PCT]
+ *              BASELINE CURRENT
  *
  * Both inputs may be either an edgeadapt.bench.report.v1 document
  * (the {"benches":[...]} wrapper tools/bench_report.sh writes) or raw
@@ -16,9 +17,11 @@
  *
  *   - elapsed_seconds          (default tolerance: +15%)
  *   - memory.high_water_bytes  (default tolerance: +10%)
+ *   - energy.total_j           (default tolerance: +15%)
  *
  * A regression must also clear an absolute noise floor (5 ms wall,
- * 1 MiB memory) so micro-benches on a noisy host do not flap. Benches
+ * 1 MiB memory, 0.05 J energy) so micro-benches on a noisy host do
+ * not flap. Benches
  * present in the baseline but missing from the current report count
  * as regressions — a silently dropped bench must not pass the gate.
  * Old report lines without the elapsed/memory fields simply skip the
@@ -46,12 +49,14 @@ namespace {
 
 constexpr double kWallFloorSeconds = 0.005;
 constexpr double kMemFloorBytes = 1024.0 * 1024.0;
+constexpr double kEnergyFloorJoules = 0.05;
 
-/** The two gated metrics of one bench run (< 0 = not reported). */
+/** The gated metrics of one bench run (< 0 = not reported). */
 struct BenchMetrics
 {
     double elapsedSeconds = -1.0;
     double highWaterBytes = -1.0;
+    double energyTotalJ = -1.0;
 };
 
 bool
@@ -83,6 +88,15 @@ metricsOf(const JsonValue &bench)
             if (hw->isNumber())
                 m.highWaterBytes = hw->number;
         }
+    }
+    // Reports from before the energy section (and unmetered runs,
+    // which write total_j = 0 with metered = false) skip this gate.
+    if (const JsonValue *en = bench.get("energy")) {
+        const JsonValue *metered = en->get("metered");
+        const JsonValue *tj = en->get("total_j");
+        if (metered && metered->isBool() && metered->boolean && tj &&
+            tj->isNumber())
+            m.energyTotalJ = tj->number;
     }
     return m;
 }
@@ -222,10 +236,13 @@ main(int argc, char **argv)
 {
     double wallTol = 15.0;
     double memTol = 10.0;
+    double energyTol = 15.0;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        if ((a == "--wall-tol" || a == "--mem-tol") && i + 1 < argc) {
+        if ((a == "--wall-tol" || a == "--mem-tol" ||
+             a == "--energy-tol") &&
+            i + 1 < argc) {
             char *end = nullptr;
             double v = std::strtod(argv[++i], &end);
             if (!end || *end != '\0') {
@@ -234,18 +251,23 @@ main(int argc, char **argv)
                              a.c_str());
                 return 2;
             }
-            (a == "--wall-tol" ? wallTol : memTol) = v;
+            (a == "--wall-tol"  ? wallTol
+             : a == "--mem-tol" ? memTol
+                                : energyTol) = v;
         } else if (a == "--help") {
             std::printf("usage: bench_diff [--wall-tol PCT] "
-                        "[--mem-tol PCT] BASELINE CURRENT\n");
+                        "[--mem-tol PCT] [--energy-tol PCT] "
+                        "BASELINE CURRENT\n");
             return 0;
         } else {
             paths.push_back(a);
         }
     }
     if (paths.size() != 2) {
-        std::fprintf(stderr, "usage: bench_diff [--wall-tol PCT] "
-                             "[--mem-tol PCT] BASELINE CURRENT\n");
+        std::fprintf(stderr,
+                     "usage: bench_diff [--wall-tol PCT] "
+                     "[--mem-tol PCT] [--energy-tol PCT] "
+                     "BASELINE CURRENT\n");
         return 2;
     }
 
@@ -258,8 +280,10 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::printf("bench_diff: %s -> %s (wall +%.0f%%, mem +%.0f%%)\n",
-                paths[0].c_str(), paths[1].c_str(), wallTol, memTol);
+    std::printf("bench_diff: %s -> %s (wall +%.0f%%, mem +%.0f%%, "
+                "energy +%.0f%%)\n",
+                paths[0].c_str(), paths[1].c_str(), wallTol, memTol,
+                energyTol);
     int regressions = 0;
     std::set<BenchKey> matched;
     for (const auto &[key, bm] : base) {
@@ -282,6 +306,10 @@ main(int argc, char **argv)
                      ? -1.0
                      : cm.highWaterBytes / kMemFloorBytes,
                  memTol, 1.0, "MB"))
+            ++regressions;
+        if (gate(label, "energy.total_j", bm.energyTotalJ,
+                 cm.energyTotalJ, energyTol, kEnergyFloorJoules,
+                 "J "))
             ++regressions;
     }
     for (const auto &[key, bm] : cur) {

@@ -11,7 +11,12 @@
 # bench_diff against BASELINE (default: the committed
 # BENCH_edgeadapt.json) instead of updating the trajectory; the script
 # exits nonzero if any bench regressed past tolerance (>15% wall,
-# >10% peak tracked memory).
+# >10% peak tracked memory, >15% metered energy).
+#
+# Benches run under EDGEADAPT_ENERGY=synthetic (unless the caller
+# already set EDGEADAPT_ENERGY) so the report's energy sections are
+# deterministic cost-model joules, comparable across hosts — a RAPL
+# run would fold in whatever else the machine was doing.
 #
 # The tables inside are deterministic; the metrics blocks (e.g. RSS
 # gauges) vary per host, so treat the committed file as a baseline
@@ -25,6 +30,11 @@ set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$root/build}"
+
+# Deterministic energy sections by default; respect an explicit
+# override (EDGEADAPT_ENERGY=off produces unmetered reports, =rapl
+# produces host-specific wall-plug joules).
+export EDGEADAPT_ENERGY="${EDGEADAPT_ENERGY:-synthetic}"
 
 diff_mode=0
 baseline=""

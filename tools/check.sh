@@ -25,6 +25,12 @@
 #                             # variant, so both sides of the dispatch
 #                             # layer stay green (the probed pass is
 #                             # skipped on scalar-only hosts)
+#   tools/check.sh energy     # tier-1 ctest suite twice in build/:
+#                             # once under EDGEADAPT_ENERGY=off and
+#                             # once under EDGEADAPT_ENERGY=synthetic,
+#                             # so both the disarmed fast path and the
+#                             # armed meter accounting stay green on
+#                             # any host (no RAPL access required)
 #
 # Each preset builds in its own tree (build-asan/, build-tsan/) so the
 # tier-1 build/ directory is never disturbed. -march=native is turned
@@ -161,6 +167,30 @@ case "$MODE" in
     echo "check.sh: tier-1 suite green under scalar and $best dispatch"
     exit 0
     ;;
+  energy)
+    # Both sides of the energy-meter dispatch over the tier-1 tree:
+    # the full ctest suite with metering forced off (every charge site
+    # must stay a relaxed load + untaken branch), then again under the
+    # synthetic meter (every span/batch/report path carries joules).
+    # Neither pass needs powercap or perf_event_open access, so this
+    # runs on any machine.
+    if [ ! -f "$ROOT/build/CMakeCache.txt" ]; then
+        echo "==== [energy] configure"
+        cmake -B "$ROOT/build" -S "$ROOT"
+    fi
+    echo "==== [energy] build"
+    cmake --build "$ROOT/build" -j "$JOBS"
+    echo "==== [energy] ctest (EDGEADAPT_ENERGY=off)"
+    # shellcheck disable=SC2086
+    EDGEADAPT_ENERGY=off ctest --test-dir "$ROOT/build" \
+        --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
+    echo "==== [energy] ctest (EDGEADAPT_ENERGY=synthetic)"
+    # shellcheck disable=SC2086
+    EDGEADAPT_ENERGY=synthetic ctest --test-dir "$ROOT/build" \
+        --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
+    echo "check.sh: tier-1 suite green under off and synthetic metering"
+    exit 0
+    ;;
   bench)
     # Regression gate over the tier-1 tree: rebuild the bench set and
     # bench_diff, then compare a fresh run against the committed
@@ -177,7 +207,7 @@ case "$MODE" in
     exit 0
     ;;
   *)
-    echo "usage: tools/check.sh [all|asan|tsan|fast|lint|lint-fast|bench|simd]" >&2
+    echo "usage: tools/check.sh [all|asan|tsan|fast|lint|lint-fast|bench|simd|energy]" >&2
     exit 2
     ;;
 esac

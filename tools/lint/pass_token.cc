@@ -79,6 +79,33 @@ isIntrinsicIdent(const std::string &s)
            s.rfind("float32x", 0) == 0;
 }
 
+/**
+ * String-literal needles of the meter backends. Built by
+ * concatenation so this file's own literals never contain them —
+ * otherwise the rule would fire on its own implementation.
+ */
+const std::string &
+powercapNeedle()
+{
+    static const std::string s = std::string("power") + "cap";
+    return s;
+}
+
+const std::string &
+raplNeedle()
+{
+    static const std::string s = std::string("intel-") + "rapl";
+    return s;
+}
+
+/** Identifiers that reach the kernel's power/counter interfaces. */
+bool
+isMeterIdent(const Token &t)
+{
+    return t.isIdent("perf_event_open") ||
+           t.isIdent("SYS_perf_event_open") || t.isIdent("syscall");
+}
+
 /** First identifier in a directive's rest text ("#ifndef NAME..."). */
 std::string
 firstIdent(const std::string &rest)
@@ -156,11 +183,33 @@ checkTokens(const SourceFile &sf, Diagnostics &diag)
     // included) goes through the simd:: dispatch API so a TU never
     // silently becomes ISA-specific.
     bool simdAllowed = sf.rel.rfind("src/tensor/simd/", 0) == 0;
+    // The one sanctioned home of raw power metering: the energy /
+    // perf-counter backends. Everything else reads meters through the
+    // obs::energy* API, so RAPL paths and perf_event_open can never
+    // leak into portable code.
+    bool meterAllowed = sf.rel.rfind("src/obs/energy", 0) == 0 ||
+                        sf.rel.rfind("src/obs/perfcount", 0) == 0;
     const auto &toks = sf.lex.tokens;
     for (size_t i = 0; i < toks.size(); ++i) {
         const Token &t = toks[i];
+        if (!meterAllowed && t.kind == Token::Kind::String &&
+            (t.text.find(powercapNeedle()) != std::string::npos ||
+             t.text.find(raplNeedle()) != std::string::npos)) {
+            // "power"/"cap" split: see powercapNeedle().
+            diag.report(sf, t.line, "meter-isolation",
+                        "RAPL/power"
+                        "cap sysfs path literal outside "
+                        "src/obs/energy*/perfcount* (use the "
+                        "obs::energy API)");
+        }
         if (t.kind != Token::Kind::Identifier)
             continue;
+        if (!meterAllowed && isMeterIdent(t)) {
+            diag.report(sf, t.line, "meter-isolation",
+                        t.text + " outside src/obs/energy*/"
+                                 "perfcount* (use the obs::energy "
+                                 "API)");
+        }
         auto next = [&](size_t off) -> const Token * {
             return i + off < toks.size() ? &toks[i + off] : nullptr;
         };

@@ -30,6 +30,12 @@ ruleTable()
         {"simd-isolation", Severity::Error, "token",
          "vector intrinsics (immintrin.h/arm_neon.h, __m256/_mm256_/"
          "vld1 families) only under src/tensor/simd/"},
+        // "power"/"cap" split so the description string does not
+        // itself trip the rule's literal needle.
+        {"meter-isolation", Severity::Error, "token",
+         "power"
+         "cap sysfs paths, perf_event_open and raw syscall() only "
+         "under src/obs/energy* and src/obs/perfcount*"},
         {"nolint", Severity::Error, "token",
          "bare NOLINT is rejected; write NOLINT(rule-id)"},
         {"io", Severity::Error, "token", "file cannot be read"},

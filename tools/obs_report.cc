@@ -155,6 +155,13 @@ checkDoc(const std::string &path, const Doc &d, std::string *schema)
         const JsonValue *m = d.value.get("memory");
         if (!m || !m->isObject() || !m->get("live_bytes"))
             return fail("telemetry line missing memory section");
+        // The energy section is additive (older streams lack it), but
+        // when present it must carry the backend and running total.
+        if (const JsonValue *en = d.value.get("energy")) {
+            if (!en->isObject() || !en->get("backend") ||
+                !en->get("total_j"))
+                return fail("telemetry energy section malformed");
+        }
         return true;
     }
     if (*schema == "postmortem.v1") {
@@ -176,6 +183,11 @@ checkDoc(const std::string &path, const Doc &d, std::string *schema)
         const JsonValue *met = d.value.get("metrics");
         if (!met || !met->isObject())
             return fail("post-mortem missing metrics section");
+        if (const JsonValue *en = d.value.get("energy")) {
+            if (!en->isObject() || !en->get("backend") ||
+                !en->get("total_j"))
+                return fail("post-mortem energy section malformed");
+        }
         return true;
     }
     return fail("unknown or missing schema");
@@ -228,6 +240,15 @@ printTelemetryLine(const Doc &d)
                     numberAt(*mem, "live_bytes") / 1024.0,
                     numberAt(*mem, "high_water_bytes") / 1024.0);
     }
+    if (const JsonValue *en = v.get("energy")) {
+        const JsonValue *metered = en->get("metered");
+        if (metered && metered->isBool() && metered->boolean) {
+            std::printf(" e=%.3fJ(+%.3f) %.2fW",
+                        numberAt(*en, "total_j"),
+                        numberAt(*en, "delta_j"),
+                        numberAt(*en, "avg_w"));
+        }
+    }
     if (const JsonValue *g = v.get("gauges")) {
         for (const char *k : {"adapt.entropy", "adapt.confidence",
                               "adapt.bn_drift"}) {
@@ -269,6 +290,14 @@ printPostmortem(const Doc &d)
                     numberAt(*mem, "live_bytes") / 1024.0,
                     numberAt(*mem, "high_water_bytes") / 1024.0,
                     (long long)numberAt(*mem, "allocs"));
+    }
+    if (const JsonValue *en = v.get("energy")) {
+        std::printf("  energy:  backend=%s total=%.3fJ "
+                    "cycles=%lld instructions=%lld\n",
+                    stringAt(*en, "backend").c_str(),
+                    numberAt(*en, "total_j"),
+                    (long long)numberAt(*en, "cycles"),
+                    (long long)numberAt(*en, "instructions"));
     }
     if (const JsonValue *ev = v.get("events")) {
         std::printf("  last %zu flight-recorder events "
@@ -381,6 +410,11 @@ flatMetrics(const JsonValue &doc)
         out["memory live_bytes"] = numberAt(*mem, "live_bytes");
         out["memory high_water_bytes"] =
             numberAt(*mem, "high_water_bytes");
+    }
+    if (const JsonValue *en = doc.get("energy")) {
+        out["energy total_j"] = numberAt(*en, "total_j");
+        out["energy cycles"] = numberAt(*en, "cycles");
+        out["energy instructions"] = numberAt(*en, "instructions");
     }
     return out;
 }
